@@ -1,0 +1,47 @@
+//! Trivial hand-written rules used as sanity baselines.
+
+use linkdisc_similarity::DistanceFunction;
+use linkdisc_transform::TransformFunction;
+
+/// A rule that links two entities when the lower-cased values of the given
+/// properties match exactly.  Used by the examples as the "naive" baseline a
+/// learned rule has to beat.
+pub fn exact_match_rule(source_property: &str, target_property: &str) -> linkdisc_rule::LinkageRule {
+    linkdisc_rule::compare(
+        linkdisc_rule::transform(
+            TransformFunction::LowerCase,
+            vec![linkdisc_rule::property(source_property)],
+        ),
+        linkdisc_rule::transform(
+            TransformFunction::LowerCase,
+            vec![linkdisc_rule::property(target_property)],
+        ),
+        DistanceFunction::Equality,
+        0.5,
+    )
+    .into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::{EntityBuilder, EntityPair};
+
+    #[test]
+    fn exact_match_rule_links_case_variants() {
+        let rule = exact_match_rule("label", "name");
+        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
+        let b = EntityBuilder::new("b").value("name", "BERLIN").build_with_own_schema();
+        let c = EntityBuilder::new("c").value("name", "Paris").build_with_own_schema();
+        assert!(rule.is_link(&EntityPair::new(&a, &b)));
+        assert!(!rule.is_link(&EntityPair::new(&a, &c)));
+    }
+
+    #[test]
+    fn exact_match_rule_has_expected_structure() {
+        let rule = exact_match_rule("label", "name");
+        let stats = rule.stats();
+        assert_eq!(stats.comparisons, 1);
+        assert_eq!(stats.transformations, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! End-to-end learning benchmarks: one full GenLink run on a small slice of
+//! the Restaurant and Cora datasets (what one fold of Tables 7/8 costs) and
+//! the equivalent Carvalho-baseline run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use genlink::{GenLink, GenLinkConfig};
+use linkdisc_baseline::{CarvalhoConfig, CarvalhoLearner};
+use linkdisc_datasets::DatasetKind;
+
+fn small_genlink_config() -> GenLinkConfig {
+    let mut config = GenLinkConfig::fast();
+    config.gp.population_size = 60;
+    config.gp.max_iterations = 10;
+    config
+}
+
+fn bench_genlink_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn");
+    group.sample_size(10);
+    for kind in [DatasetKind::Restaurant, DatasetKind::Cora] {
+        let dataset = kind.generate(0.08, 11);
+        group.bench_function(format!("genlink/{}", kind.name()), |b| {
+            let learner = GenLink::new(small_genlink_config());
+            b.iter(|| {
+                black_box(learner.learn(&dataset.source, &dataset.target, &dataset.links, 5))
+            })
+        });
+    }
+    let dataset = DatasetKind::Restaurant.generate(0.08, 11);
+    group.bench_function("carvalho/Restaurant", |b| {
+        let mut config = CarvalhoConfig::fast();
+        config.gp.population_size = 60;
+        config.gp.max_iterations = 10;
+        let learner = CarvalhoLearner::new(config);
+        b.iter(|| black_box(learner.learn(&dataset.source, &dataset.target, &dataset.links, 5)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_genlink_learning
+}
+criterion_main!(benches);

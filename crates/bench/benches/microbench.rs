@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the building blocks: distance measures, rule
+//! evaluation, fitness evaluation, seeding, crossover and matching.
+//!
+//! These complement the experiment binaries (which regenerate the paper's
+//! tables): the tables measure end-to-end learning quality, the benches track
+//! the per-operation cost that dominates learning time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use genlink::seeding::SeedingConfig;
+use genlink::{find_compatible_properties, CrossoverOperator, FitnessFunction, ParsimonyModel};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::{EntityPair, ResolvedReferenceLinks};
+use linkdisc_matching::MatchingEngine;
+use linkdisc_rule::{
+    aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
+    TransformFunction,
+};
+use linkdisc_similarity::{jaro_winkler_similarity, levenshtein};
+
+fn sample_rule() -> LinkageRule {
+    aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("title")]),
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(property("year"), property("released"), DistanceFunction::Numeric, 1.0),
+        ],
+    )
+    .into()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.bench_function("levenshtein/short", |b| {
+        b.iter(|| levenshtein(black_box("learning linkage rules"), black_box("learning expressive rules")))
+    });
+    group.bench_function("jaro_winkler/short", |b| {
+        b.iter(|| jaro_winkler_similarity(black_box("acetocillin"), black_box("acetocilin")))
+    });
+    group.bench_function("geographic", |b| {
+        b.iter(|| {
+            DistanceFunction::Geographic.distance_values(black_box("52.52 13.40"), black_box("48.85 2.35"))
+        })
+    });
+    group.bench_function("date", |b| {
+        b.iter(|| DistanceFunction::Date.distance_values(black_box("1998-05-20"), black_box("2004-11-02")))
+    });
+    group.finish();
+}
+
+fn bench_rule_evaluation(c: &mut Criterion) {
+    let dataset = DatasetKind::LinkedMdb.generate(0.3, 7);
+    let rule: LinkageRule = aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("movie:title")]),
+                transform(TransformFunction::LowerCase, vec![property("rdfs:label")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+            compare(
+                property("movie:initial_release_date"),
+                property("dbpedia:released"),
+                DistanceFunction::Date,
+                366.0,
+            ),
+        ],
+    )
+    .into();
+    let source_entity = &dataset.source.entities()[0];
+    let target_entity = &dataset.target.entities()[0];
+    let pair = EntityPair::new(source_entity, target_entity);
+    c.bench_function("rule/evaluate_single_pair", |b| {
+        b.iter(|| black_box(rule.evaluate(black_box(&pair))))
+    });
+
+    let resolved = ResolvedReferenceLinks::resolve(&dataset.links, &dataset.source, &dataset.target);
+    let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+    c.bench_function("fitness/mcc_over_training_links", |b| {
+        b.iter(|| black_box(fitness.evaluate(black_box(&rule))))
+    });
+}
+
+fn bench_seeding_and_crossover(c: &mut Criterion) {
+    let dataset = DatasetKind::Restaurant.generate(0.5, 3);
+    c.bench_function("seeding/find_compatible_properties", |b| {
+        b.iter(|| {
+            find_compatible_properties(
+                black_box(&dataset.source),
+                black_box(&dataset.target),
+                black_box(&dataset.links),
+                &SeedingConfig::default(),
+            )
+        })
+    });
+
+    let rule_a = sample_rule();
+    let rule_b: LinkageRule = compare(
+        transform(
+            TransformFunction::Tokenize,
+            vec![transform(TransformFunction::Stem, vec![property("title")])],
+        ),
+        property("name"),
+        DistanceFunction::Jaccard,
+        0.4,
+    )
+    .into();
+    let mut group = c.benchmark_group("crossover");
+    for operator in [
+        CrossoverOperator::Function,
+        CrossoverOperator::Operators,
+        CrossoverOperator::Aggregation,
+        CrossoverOperator::Transformation,
+        CrossoverOperator::Threshold,
+        CrossoverOperator::Subtree,
+    ] {
+        group.bench_function(operator.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(operator.apply(black_box(&rule_a), black_box(&rule_b), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let dataset = DatasetKind::Restaurant.generate(0.5, 9);
+    let rule: LinkageRule = compare(
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        DistanceFunction::Levenshtein,
+        1.0,
+    )
+    .into();
+    let engine = MatchingEngine::new(rule);
+    c.bench_function("matching/blocked_run_restaurant", |b| {
+        b.iter(|| black_box(engine.run(black_box(&dataset.source), black_box(&dataset.target))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distances, bench_rule_evaluation, bench_seeding_and_crossover, bench_matching
+}
+criterion_main!(benches);

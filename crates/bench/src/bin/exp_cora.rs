@@ -1,0 +1,15 @@
+//! Table 7 (and Figures 7/8): learning curve on the Cora data set, compared
+//! against the Carvalho et al. GP baseline.
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::Cora,
+        "Table 7: Cora",
+        true,
+        &[("Carvalho et al. (paper)", 0.910)],
+        true,
+    );
+}

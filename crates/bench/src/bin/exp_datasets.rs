@@ -1,0 +1,32 @@
+//! Tables 5 and 6: dataset sizes, reference-link counts, property counts and
+//! property coverage of the six (synthetic) evaluation data sets.
+
+use linkdisc_bench::ExperimentSettings;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    let settings = ExperimentSettings::from_env();
+    settings.print_header("Tables 5 & 6: Datasets");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>7} {:>7} {:>6} {:>6}",
+        "Dataset", "|A|", "|B|", "|R+|", "|R-|", "|A.P|", "|B.P|", "C_A", "C_B"
+    );
+    for kind in DatasetKind::ALL {
+        let dataset = kind.generate(settings.scale, settings.seed);
+        let stats = dataset.statistics();
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>7} {:>7} {:>6.1} {:>6.1}",
+            stats.name,
+            stats.source_entities,
+            stats.target_entities,
+            stats.positive_links,
+            stats.negative_links,
+            stats.source_properties,
+            stats.target_properties,
+            stats.source_coverage,
+            stats.target_coverage
+        );
+    }
+    println!();
+    println!("(paper sizes are reached with GENLINK_SCALE=1.0 / GENLINK_PAPER=1)");
+}

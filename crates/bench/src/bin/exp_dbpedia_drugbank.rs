@@ -1,0 +1,16 @@
+//! Table 12: learning curve on the DBpediaDrugBank data set (the data set
+//! whose manually written rule uses 13 comparisons and 33 transformations;
+//! the learned rules should be far smaller).
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::DbpediaDrugBank,
+        "Table 12: DBpediaDrugBank",
+        false,
+        &[],
+        true,
+    );
+}

@@ -1,0 +1,104 @@
+//! Figures 1-6: the rule grammar (Figure 1), the example city rule (Figure 2),
+//! the compatible-property discovery example (Figure 3) and before/after
+//! examples of the crossover operators (Figures 4-6).
+
+use genlink::{find_compatible_properties, CrossoverOperator};
+use genlink::seeding::SeedingConfig;
+use linkdisc_entity::{DataSourceBuilder, ReferenceLinksBuilder};
+use linkdisc_rule::{
+    aggregation, compare, print_rule, property, render_rule, transform, AggregationFunction,
+    DistanceFunction, LinkageRule, TransformFunction,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== Figure 1: linkage rule structure ===");
+    println!("Aggregation  ::= aggregation_function(weight, Similarity+)");
+    println!("Similarity   ::= Aggregation | Comparison");
+    println!("Comparison   ::= distance_function(threshold, weight, Value, Value)");
+    println!("Value        ::= Transformation | Property");
+    println!("Transformation ::= transformation_function(Value+)   (nestable into chains)");
+    println!("Property     ::= property name of the source or target schema");
+    println!();
+
+    println!("=== Figure 2: example linkage rule for interlinking cities ===");
+    let figure2: LinkageRule = aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("label")]),
+                transform(TransformFunction::LowerCase, vec![property("rdfs:label")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+            compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+        ],
+    )
+    .into();
+    println!("{}", render_rule(&figure2));
+    println!("DSL: {}", print_rule(&figure2));
+    println!();
+
+    println!("=== Figure 3: finding compatible properties ===");
+    let source = DataSourceBuilder::new("A", ["label", "point", "population"])
+        .entity("a1", [("label", "Berlin"), ("point", "52.52 13.40"), ("population", "3500000")])
+        .unwrap()
+        .build();
+    let target = DataSourceBuilder::new("B", ["label", "coord", "founded"])
+        .entity("b1", [("label", "berlin"), ("coord", "52.52 13.40"), ("founded", "1237")])
+        .unwrap()
+        .build();
+    let links = ReferenceLinksBuilder::new().positive("a1", "b1").build();
+    let pairs = find_compatible_properties(&source, &target, &links, &SeedingConfig::default());
+    for pair in &pairs {
+        println!(
+            "  ({}, {}, {})",
+            pair.source_property, pair.target_property, pair.function
+        );
+    }
+    println!();
+
+    let rule_a: LinkageRule = aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::Tokenize, vec![property("label")]),
+                property("name"),
+                DistanceFunction::Jaccard,
+                0.4,
+            ),
+            compare(property("date"), property("released"), DistanceFunction::Date, 30.0),
+        ],
+    )
+    .into();
+    let rule_b: LinkageRule = aggregation(
+        AggregationFunction::WeightedMean,
+        vec![
+            compare(
+                transform(
+                    TransformFunction::Tokenize,
+                    vec![transform(TransformFunction::Stem, vec![property("title")])],
+                ),
+                property("label"),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+        ],
+    )
+    .into();
+    let mut rng = StdRng::seed_from_u64(7);
+    for (figure, operator) in [
+        ("Figure 4: operators crossover", CrossoverOperator::Operators),
+        ("Figure 5: aggregation crossover", CrossoverOperator::Aggregation),
+        ("Figure 6: transformation crossover", CrossoverOperator::Transformation),
+    ] {
+        println!("=== {figure} ===");
+        println!("parent 1:\n{}", render_rule(&rule_a));
+        println!("parent 2:\n{}", render_rule(&rule_b));
+        let child = operator.apply(&rule_a, &rule_b, &mut rng);
+        println!("child:\n{}", render_rule(&child));
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Table 11: learning curve on the LinkedMDB data set (comparison with a
+//! manually written rule which matches by title and release date).
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::LinkedMdb,
+        "Table 11: LinkedMDB",
+        false,
+        &[],
+        true,
+    );
+}

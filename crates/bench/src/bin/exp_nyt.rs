@@ -1,0 +1,19 @@
+//! Table 10: learning curve on the NYT locations data set; the OAEI 2011
+//! participants are quoted as published reference values.
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::Nyt,
+        "Table 10: NYT",
+        false,
+        &[
+            ("AgreementMaker (OAEI 2011)", 0.69),
+            ("SEREMI (OAEI 2011)", 0.68),
+            ("Zhishi.links (OAEI 2011)", 0.92),
+        ],
+        false,
+    );
+}

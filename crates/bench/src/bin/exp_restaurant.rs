@@ -1,0 +1,15 @@
+//! Table 8: learning curve on the Restaurant data set, compared against the
+//! Carvalho et al. GP baseline.
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::Restaurant,
+        "Table 8: Restaurant",
+        true,
+        &[("Carvalho et al. (paper)", 0.980)],
+        false,
+    );
+}

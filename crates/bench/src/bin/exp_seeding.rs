@@ -1,0 +1,39 @@
+//! Table 14: mean F-measure of the *initial* population with random vs.
+//! seeded (compatible-property) generation.
+
+use genlink::{GenLink, SeedingStrategy};
+use linkdisc_bench::ExperimentSettings;
+use linkdisc_datasets::DatasetKind;
+use linkdisc_evaluation::Summary;
+
+fn main() {
+    let settings = ExperimentSettings::from_env();
+    settings.print_header("Table 14: Seeding (mean F1 of the initial population)");
+    println!("{:<18} {:>16} {:>16}", "Dataset", "Random", "Seeded");
+    for kind in DatasetKind::ALL {
+        let dataset = kind.generate(settings.scale, settings.seed);
+        let mut cells = Vec::new();
+        for strategy in [SeedingStrategy::Random, SeedingStrategy::Seeded] {
+            let mut config = settings.genlink_config().with_seeding(strategy);
+            // only the initial population matters for this experiment
+            config.gp.max_iterations = 0;
+            let learner = GenLink::new(config);
+            let mut values = Vec::new();
+            for run in 0..settings.runs.max(2) {
+                let outcome = learner.learn(
+                    &dataset.source,
+                    &dataset.target,
+                    &dataset.links,
+                    settings.seed + run as u64,
+                );
+                values.push(outcome.initial_mean_f_measure);
+            }
+            cells.push(Summary::of(values).paper_format());
+        }
+        println!("{:<18} {:>16} {:>16}", kind.name(), cells[0], cells[1]);
+    }
+    println!();
+    println!("expected shape (paper Table 14): seeding matters little for the few-property datasets");
+    println!("(Cora, Restaurant) and improves the initial population considerably for the");
+    println!("many-property Linked Data datasets (NYT, LinkedMDB, DBpediaDrugbank).");
+}

@@ -1,0 +1,15 @@
+//! Table 9: learning curve on the SiderDrugBank data set; the OAEI 2010
+//! participants are quoted as published reference values.
+
+use linkdisc_bench::run_dataset_experiment;
+use linkdisc_datasets::DatasetKind;
+
+fn main() {
+    run_dataset_experiment(
+        DatasetKind::SiderDrugBank,
+        "Table 9: SiderDrugBank",
+        false,
+        &[("ObjectCoref (OAEI 2010)", 0.464), ("RiMOM (OAEI 2010)", 0.504)],
+        false,
+    );
+}

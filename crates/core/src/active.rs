@@ -1,0 +1,190 @@
+//! Active learning: query selection by committee disagreement.
+//!
+//! The GenLink paper points to a companion method (Isele, Jentzsch & Bizer,
+//! ICWE 2012 — reference [21]) that minimises the number of entity pairs a
+//! domain expert has to confirm or reject: instead of labelling random pairs,
+//! the learner asks about the pairs on which the current population of
+//! candidate rules *disagrees* the most (query-by-committee).  This module
+//! implements that selection strategy on top of the GenLink population so the
+//! library can be used interactively:
+//!
+//! 1. learn an initial population from a few labelled links,
+//! 2. call [`select_queries`] with a pool of unlabelled candidate pairs,
+//! 3. have the expert label the returned pairs, add them to the reference
+//!    links, and re-learn.
+
+use linkdisc_entity::{DataSource, EntityPair, Link};
+use linkdisc_rule::LinkageRule;
+
+/// An unlabelled candidate pair together with the committee's disagreement
+/// about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The candidate link.
+    pub link: Link,
+    /// Fraction of committee rules that vote "link" (0.0–1.0).
+    pub agreement: f64,
+    /// Vote entropy in bits: 0 for unanimous committees, 1 for a 50/50 split.
+    pub disagreement: f64,
+}
+
+/// Computes the vote entropy of a committee split where `p` is the fraction of
+/// positive votes.
+fn vote_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Selects the `count` candidate pairs the committee disagrees about the most.
+///
+/// `committee` is any set of linkage rules — typically the fittest rules of
+/// the current GenLink population.  Candidates whose endpoints cannot be
+/// resolved are skipped.  The result is sorted by descending disagreement;
+/// ties are broken deterministically by the link identifiers.
+pub fn select_queries(
+    committee: &[LinkageRule],
+    candidates: &[Link],
+    source: &DataSource,
+    target: &DataSource,
+    count: usize,
+) -> Vec<Query> {
+    if committee.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let mut queries: Vec<Query> = candidates
+        .iter()
+        .filter_map(|link| {
+            let pair = EntityPair::resolve(link, source, target)?;
+            let votes = committee
+                .iter()
+                .filter(|rule| rule.is_link(&pair))
+                .count();
+            let agreement = votes as f64 / committee.len() as f64;
+            Some(Query {
+                link: link.clone(),
+                agreement,
+                disagreement: vote_entropy(agreement),
+            })
+        })
+        .collect();
+    queries.sort_by(|a, b| {
+        b.disagreement
+            .total_cmp(&a.disagreement)
+            .then_with(|| a.link.cmp(&b.link))
+    });
+    queries.truncate(count);
+    queries
+}
+
+/// Builds a pool of unlabelled candidate pairs by pairing every source entity
+/// with every target entity and dropping the pairs already covered by the
+/// reference links.  Intended for small data sets or for candidates that have
+/// already been pruned by the blocking index of `linkdisc-matching`.
+pub fn candidate_pool(
+    source: &DataSource,
+    target: &DataSource,
+    labelled: &linkdisc_entity::ReferenceLinks,
+) -> Vec<Link> {
+    use std::collections::HashSet;
+    let known: HashSet<(String, String)> = labelled
+        .positive()
+        .iter()
+        .chain(labelled.negative())
+        .map(|l| (l.source.clone(), l.target.clone()))
+        .collect();
+    let mut pool = Vec::new();
+    for source_entity in source.entities() {
+        for target_entity in target.entities() {
+            let key = (source_entity.id().to_string(), target_entity.id().to_string());
+            if !known.contains(&key) {
+                pool.push(Link::new(key.0, key.1));
+            }
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::{DataSourceBuilder, ReferenceLinksBuilder};
+    use linkdisc_rule::{compare, property, DistanceFunction};
+
+    fn sources() -> (DataSource, DataSource) {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "alpha")])
+            .unwrap()
+            .entity("a2", [("label", "beta")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["label"])
+            .entity("b1", [("label", "alpha")])
+            .unwrap()
+            .entity("b2", [("label", "alphx")])
+            .unwrap()
+            .entity("b3", [("label", "gamma")])
+            .unwrap()
+            .build();
+        (source, target)
+    }
+
+    fn committee() -> Vec<LinkageRule> {
+        // a strict rule (exact match) and a lenient rule (edit distance 2):
+        // they agree on exact matches and clear non-matches but disagree on
+        // near matches such as alpha/alphx
+        vec![
+            compare(property("label"), property("label"), DistanceFunction::Levenshtein, 0.5).into(),
+            compare(property("label"), property("label"), DistanceFunction::Levenshtein, 4.0).into(),
+        ]
+    }
+
+    #[test]
+    fn vote_entropy_is_maximal_at_even_splits() {
+        assert_eq!(vote_entropy(0.0), 0.0);
+        assert_eq!(vote_entropy(1.0), 0.0);
+        assert!((vote_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(vote_entropy(0.25) < 1.0);
+        assert!(vote_entropy(0.25) > 0.0);
+    }
+
+    #[test]
+    fn queries_prefer_pairs_the_committee_disagrees_on() {
+        let (source, target) = sources();
+        let candidates = vec![
+            Link::new("a1", "b1"), // both rules say link      -> no disagreement
+            Link::new("a1", "b2"), // strict says no, lenient yes -> disagreement
+            Link::new("a1", "b3"), // both say no               -> no disagreement
+        ];
+        let queries = select_queries(&committee(), &candidates, &source, &target, 2);
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].link, Link::new("a1", "b2"));
+        assert!(queries[0].disagreement > queries[1].disagreement);
+        assert!((queries[0].agreement - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unresolvable_candidates_are_skipped_and_count_is_respected() {
+        let (source, target) = sources();
+        let candidates = vec![Link::new("ghost", "b1"), Link::new("a1", "b2")];
+        let queries = select_queries(&committee(), &candidates, &source, &target, 5);
+        assert_eq!(queries.len(), 1);
+        assert!(select_queries(&[], &candidates, &source, &target, 5).is_empty());
+        assert!(select_queries(&committee(), &candidates, &source, &target, 0).is_empty());
+    }
+
+    #[test]
+    fn candidate_pool_excludes_labelled_pairs() {
+        let (source, target) = sources();
+        let labelled = ReferenceLinksBuilder::new()
+            .positive("a1", "b1")
+            .negative("a2", "b3")
+            .build();
+        let pool = candidate_pool(&source, &target, &labelled);
+        assert_eq!(pool.len(), 2 * 3 - 2);
+        assert!(!pool.contains(&Link::new("a1", "b1")));
+        assert!(!pool.contains(&Link::new("a2", "b3")));
+        assert!(pool.contains(&Link::new("a1", "b2")));
+    }
+}

@@ -1,0 +1,672 @@
+//! The specialized crossover operators of GenLink (Section 5.3 of the paper).
+//!
+//! Instead of plain subtree crossover, GenLink uses a set of operators that
+//! each evolve *one aspect* of a linkage rule:
+//!
+//! | operator        | learns                                        |
+//! |-----------------|-----------------------------------------------|
+//! | function        | the best distance/transformation/aggregation function |
+//! | operators       | which comparisons to combine                  |
+//! | aggregation     | the aggregation hierarchy (non-linearity)     |
+//! | transformation  | chains of transformations                     |
+//! | threshold       | the distance thresholds                       |
+//! | weight          | the weights of a weighted-mean aggregation    |
+//!
+//! Plain subtree crossover is also provided as the baseline of the ablation
+//! in Table 15.  Mutation is realised by the engine as headless-chicken
+//! crossover: one of these operators applied to a rule and a freshly generated
+//! random rule.
+//!
+//! All operators are *total*: when a rule does not contain the node kind an
+//! operator needs (e.g. threshold crossover on a rule without comparisons),
+//! the operator degrades gracefully and returns a copy of the first rule, so
+//! the engine never stalls.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use linkdisc_rule::{
+    AggregationFunction, LinkageRule, SimilarityOperator, TransformationOperator, ValueOperator,
+};
+
+/// The crossover operators available to the learner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossoverOperator {
+    /// Interchanges a distance, transformation or aggregation function
+    /// (Algorithm 3).
+    Function,
+    /// Recombines the comparison sets of two aggregations (Algorithm 4).
+    Operators,
+    /// Replaces an aggregation-or-comparison subtree with one of the other
+    /// rule, building aggregation hierarchies (Algorithm 5).
+    Aggregation,
+    /// Recombines transformation chains by a two-point crossover on the
+    /// transformation paths (Algorithm 6).
+    Transformation,
+    /// Averages the thresholds of two comparisons (Algorithm 7).
+    Threshold,
+    /// Averages the weights of two comparison/aggregation operators.
+    Weight,
+    /// Plain subtree crossover (baseline of Table 15).
+    Subtree,
+}
+
+impl CrossoverOperator {
+    /// The specialized operator set of GenLink ("Our Approach" in Table 15).
+    pub const SPECIALIZED: [CrossoverOperator; 6] = [
+        CrossoverOperator::Function,
+        CrossoverOperator::Operators,
+        CrossoverOperator::Aggregation,
+        CrossoverOperator::Transformation,
+        CrossoverOperator::Threshold,
+        CrossoverOperator::Weight,
+    ];
+
+    /// The baseline operator set ("Subtree C." in Table 15).
+    pub const SUBTREE_ONLY: [CrossoverOperator; 1] = [CrossoverOperator::Subtree];
+
+    /// Short name for logs and experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrossoverOperator::Function => "function",
+            CrossoverOperator::Operators => "operators",
+            CrossoverOperator::Aggregation => "aggregation",
+            CrossoverOperator::Transformation => "transformation",
+            CrossoverOperator::Threshold => "threshold",
+            CrossoverOperator::Weight => "weight",
+            CrossoverOperator::Subtree => "subtree",
+        }
+    }
+
+    /// Applies the operator to two parent rules, producing a child rule.
+    ///
+    /// The child is always derived from `first` (the paper's `r1`); `second`
+    /// contributes genetic material.  Degenerate inputs (empty rules, missing
+    /// node kinds) fall back to cloning `first`.
+    pub fn apply(&self, first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+        let (Some(_), Some(_)) = (first.root(), second.root()) else {
+            // an empty parent contributes nothing; prefer the non-empty one
+            return if first.is_empty() { second.clone() } else { first.clone() };
+        };
+        match self {
+            CrossoverOperator::Function => function_crossover(first, second, rng),
+            CrossoverOperator::Operators => operators_crossover(first, second, rng),
+            CrossoverOperator::Aggregation => aggregation_crossover(first, second, rng),
+            CrossoverOperator::Transformation => transformation_crossover(first, second, rng),
+            CrossoverOperator::Threshold => threshold_crossover(first, second, rng),
+            CrossoverOperator::Weight => weight_crossover(first, second, rng),
+            CrossoverOperator::Subtree => subtree_crossover(first, second, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for CrossoverOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// function crossover (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+fn function_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    let mut child = first.clone();
+    let first_root = child.root_mut().expect("non-empty");
+    let second_root = second.root().expect("non-empty");
+    // the node types both rules actually contain
+    let mut node_types = Vec::new();
+    if !first_root.comparisons().is_empty() && !second_root.comparisons().is_empty() {
+        node_types.push(0);
+    }
+    if !first_root.aggregations().is_empty() && !second_root.aggregations().is_empty() {
+        node_types.push(1);
+    }
+    if !first_root.transformations().is_empty() && !second_root.transformations().is_empty() {
+        node_types.push(2);
+    }
+    let Some(&node_type) = node_types.choose(rng) else {
+        return child;
+    };
+    match node_type {
+        0 => {
+            let donor = second_root.comparisons();
+            let function = donor[rng.gen_range(0..donor.len())].function;
+            let index = rng.gen_range(0..first_root.comparisons().len());
+            first_root.with_comparison_mut(index, |c| c.function = function);
+        }
+        1 => {
+            let donor = second_root.aggregations();
+            let function = donor[rng.gen_range(0..donor.len())].function;
+            let index = rng.gen_range(0..first_root.aggregations().len());
+            first_root.with_aggregation_mut(index, |a| a.function = function);
+        }
+        _ => {
+            let donor = second_root.transformations();
+            let function = donor[rng.gen_range(0..donor.len())].function;
+            let index = rng.gen_range(0..first_root.transformations().len());
+            first_root.with_transformation_mut(index, |t| t.function = function);
+        }
+    }
+    child
+}
+
+// ---------------------------------------------------------------------------
+// operators crossover (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+fn operators_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    let mut child = first.clone();
+    let second_root = second.root().expect("non-empty");
+
+    // the children contributed by each parent's selected aggregation (a rule
+    // whose root is a bare comparison contributes that comparison)
+    let children_of = |root: &SimilarityOperator, rng: &mut StdRng| -> Vec<SimilarityOperator> {
+        let aggregations = root.aggregations();
+        if aggregations.is_empty() {
+            vec![root.clone()]
+        } else {
+            aggregations[rng.gen_range(0..aggregations.len())]
+                .operators
+                .clone()
+        }
+    };
+
+    let first_root = child.root_mut().expect("non-empty");
+    let first_aggregations = first_root.aggregations().len();
+    let mut combined = Vec::new();
+    let first_index = if first_aggregations == 0 {
+        combined.push(first_root.clone());
+        None
+    } else {
+        let index = rng.gen_range(0..first_aggregations);
+        combined.extend(first_root.aggregations()[index].operators.clone());
+        Some(index)
+    };
+    combined.extend(children_of(second_root, rng));
+
+    // keep each operator with a probability of 50%, but never end up empty
+    let kept: Vec<SimilarityOperator> = combined
+        .iter()
+        .filter(|_| rng.gen_bool(0.5))
+        .cloned()
+        .collect();
+    let kept = if kept.is_empty() {
+        vec![combined[rng.gen_range(0..combined.len())].clone()]
+    } else {
+        kept
+    };
+
+    match first_index {
+        Some(index) => {
+            first_root.with_aggregation_mut(index, |a| a.operators = kept);
+        }
+        None => {
+            // the first rule had no aggregation: wrap the combined operators
+            let function = second_root
+                .aggregations()
+                .first()
+                .map(|a| a.function)
+                .unwrap_or(AggregationFunction::Min);
+            child.replace_root(SimilarityOperator::aggregation(function, kept));
+        }
+    }
+    child
+}
+
+// ---------------------------------------------------------------------------
+// aggregation crossover (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+fn aggregation_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    let mut child = first.clone();
+    let second_root = second.root().expect("non-empty");
+    let donor_count = second_root.similarity_node_count();
+    let donor = second_root
+        .similarity_node(rng.gen_range(0..donor_count))
+        .expect("index within count")
+        .clone();
+    let first_root = child.root_mut().expect("non-empty");
+    let target_count = first_root.similarity_node_count();
+    let index = rng.gen_range(0..target_count);
+    first_root.replace_similarity_node(index, donor);
+    child
+}
+
+// ---------------------------------------------------------------------------
+// transformation crossover (Algorithm 6)
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to the `index`-th transformation (pre-order) inside a value
+/// operator tree.
+fn with_value_transformation_mut<F: FnOnce(&mut TransformationOperator)>(
+    value: &mut ValueOperator,
+    index: usize,
+    f: F,
+) -> bool {
+    fn walk<F: FnOnce(&mut TransformationOperator)>(
+        node: &mut ValueOperator,
+        remaining: &mut usize,
+        f: F,
+    ) -> Option<F> {
+        match node {
+            ValueOperator::Property(_) => Some(f),
+            ValueOperator::Transformation(t) => {
+                if *remaining == 0 {
+                    f(t);
+                    return None;
+                }
+                *remaining -= 1;
+                let mut f = Some(f);
+                for child in &mut t.inputs {
+                    if let Some(pending) = f.take() {
+                        f = walk(child, remaining, pending);
+                    } else {
+                        break;
+                    }
+                }
+                f
+            }
+        }
+    }
+    let mut remaining = index;
+    walk(value, &mut remaining, f).is_none()
+}
+
+fn transformation_crossover(
+    first: &LinkageRule,
+    second: &LinkageRule,
+    rng: &mut StdRng,
+) -> LinkageRule {
+    let mut child = first.clone();
+    let second_root = second.root().expect("non-empty");
+    let first_transform_count = child.root().expect("non-empty").transformations().len();
+    let second_transforms = second_root.transformations();
+
+    if second_transforms.is_empty() {
+        return child;
+    }
+    if first_transform_count == 0 {
+        // the first rule has no transformation chain yet: graft a (single
+        // input) transformation of the second rule onto a random value slot so
+        // that chains can start growing
+        let function = second_transforms[rng.gen_range(0..second_transforms.len())].function;
+        if function.is_multi_input() {
+            return child;
+        }
+        let root = child.root_mut().expect("non-empty");
+        let mut slots = 0usize;
+        root.for_each_value_root_mut(&mut |_| slots += 1);
+        let chosen = rng.gen_range(0..slots);
+        let mut current = 0usize;
+        root.for_each_value_root_mut(&mut |value| {
+            if current == chosen {
+                let inner = value.clone();
+                *value = ValueOperator::transformation(function, vec![inner]);
+            }
+            current += 1;
+        });
+        return child;
+    }
+
+    // upper/lower selection in the first rule
+    let upper1_index = rng.gen_range(0..first_transform_count);
+    let upper1 = child.root().expect("non-empty").transformations()[upper1_index].clone();
+    let upper1_value = ValueOperator::Transformation(upper1);
+    let inner1 = upper1_value.transformations();
+    let lower1_inputs = inner1[rng.gen_range(0..inner1.len())].inputs.clone();
+
+    // upper/lower selection in the second rule; the lower's inputs are
+    // replaced by the first rule's lower inputs (two-point crossover on the
+    // transformation path)
+    let upper2_index = rng.gen_range(0..second_transforms.len());
+    let mut upper2_value = ValueOperator::Transformation(second_transforms[upper2_index].clone());
+    let inner2_count = upper2_value.transformations().len();
+    let lower2_index = rng.gen_range(0..inner2_count);
+    with_value_transformation_mut(&mut upper2_value, lower2_index, |t| {
+        t.inputs = lower1_inputs;
+    });
+    let ValueOperator::Transformation(replacement) = upper2_value else {
+        unreachable!("constructed as a transformation");
+    };
+
+    let root = child.root_mut().expect("non-empty");
+    root.with_transformation_mut(upper1_index, |t| *t = replacement);
+    // "finally, duplicated transformations are removed"
+    root.for_each_value_root_mut(&mut |value| value.dedup_transformations());
+    child
+}
+
+// ---------------------------------------------------------------------------
+// threshold crossover (Algorithm 7)
+// ---------------------------------------------------------------------------
+
+fn threshold_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    let mut child = first.clone();
+    let second_comparisons = second.root().expect("non-empty").comparisons();
+    let first_comparisons = child.root().expect("non-empty").comparisons().len();
+    if second_comparisons.is_empty() || first_comparisons == 0 {
+        return child;
+    }
+    let donor_threshold = second_comparisons[rng.gen_range(0..second_comparisons.len())].threshold;
+    let index = rng.gen_range(0..first_comparisons);
+    child
+        .root_mut()
+        .expect("non-empty")
+        .with_comparison_mut(index, |c| {
+            c.threshold = 0.5 * (c.threshold + donor_threshold);
+        });
+    child
+}
+
+// ---------------------------------------------------------------------------
+// weight crossover
+// ---------------------------------------------------------------------------
+
+fn weight_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    let mut child = first.clone();
+    let second_root = second.root().expect("non-empty");
+    let donor_index = rng.gen_range(0..second_root.similarity_node_count());
+    let donor_weight = second_root
+        .similarity_node(donor_index)
+        .expect("index within count")
+        .weight();
+    let first_root = child.root_mut().expect("non-empty");
+    let index = rng.gen_range(0..first_root.similarity_node_count());
+    first_root.with_similarity_node_mut(index, |node| {
+        let averaged = ((node.weight() + donor_weight) as f64 / 2.0).round() as u32;
+        node.set_weight(averaged.max(1));
+    });
+    child
+}
+
+// ---------------------------------------------------------------------------
+// subtree crossover (baseline)
+// ---------------------------------------------------------------------------
+
+fn subtree_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    // with a small probability recombine the value trees instead of the
+    // similarity trees so that the baseline can also move transformations
+    if rng.gen_bool(0.3) {
+        let mut child = first.clone();
+        let second_root = second.root().expect("non-empty");
+        let mut donor_values = Vec::new();
+        second_root.for_each_value_collect(&mut donor_values);
+        if !donor_values.is_empty() {
+            let donor = donor_values[rng.gen_range(0..donor_values.len())].clone();
+            let root = child.root_mut().expect("non-empty");
+            let mut slots = 0usize;
+            root.for_each_value_root_mut(&mut |_| slots += 1);
+            if slots > 0 {
+                let chosen = rng.gen_range(0..slots);
+                let mut current = 0usize;
+                root.for_each_value_root_mut(&mut |value| {
+                    if current == chosen {
+                        *value = donor.clone();
+                    }
+                    current += 1;
+                });
+            }
+        }
+        return child;
+    }
+    aggregation_crossover(first, second, rng)
+}
+
+/// Collects clones of every value operator root of a similarity tree
+/// (helper for the subtree baseline; kept local to this module).
+trait CollectValues {
+    fn for_each_value_collect(&self, out: &mut Vec<ValueOperator>);
+}
+
+impl CollectValues for SimilarityOperator {
+    fn for_each_value_collect(&self, out: &mut Vec<ValueOperator>) {
+        match self {
+            SimilarityOperator::Comparison(c) => {
+                out.push(c.source.clone());
+                out.push(c.target.clone());
+            }
+            SimilarityOperator::Aggregation(a) => {
+                for child in &a.operators {
+                    child.for_each_value_collect(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_rule::{aggregation, compare, property, transform, DistanceFunction, TransformFunction};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn rule_a() -> LinkageRule {
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    1.0,
+                ),
+                compare(property("date"), property("released"), DistanceFunction::Date, 30.0),
+            ],
+        )
+        .into()
+    }
+
+    fn rule_b() -> LinkageRule {
+        aggregation(
+            AggregationFunction::WeightedMean,
+            vec![
+                compare(
+                    transform(
+                        TransformFunction::Tokenize,
+                        vec![transform(TransformFunction::Stem, vec![property("title")])],
+                    ),
+                    property("label"),
+                    DistanceFunction::Jaccard,
+                    0.4,
+                ),
+                compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+            ],
+        )
+        .into()
+    }
+
+    #[test]
+    fn every_operator_produces_a_nonempty_rule() {
+        let mut rng = rng(1);
+        let operators = [
+            CrossoverOperator::Function,
+            CrossoverOperator::Operators,
+            CrossoverOperator::Aggregation,
+            CrossoverOperator::Transformation,
+            CrossoverOperator::Threshold,
+            CrossoverOperator::Weight,
+            CrossoverOperator::Subtree,
+        ];
+        for operator in operators {
+            for _ in 0..50 {
+                let child = operator.apply(&rule_a(), &rule_b(), &mut rng);
+                assert!(!child.is_empty(), "{operator} produced an empty rule");
+                assert!(child.operator_count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_parents_are_handled() {
+        let mut rng = rng(2);
+        for operator in CrossoverOperator::SPECIALIZED {
+            let child = operator.apply(&LinkageRule::empty(), &rule_b(), &mut rng);
+            assert_eq!(child, rule_b());
+            let child = operator.apply(&rule_a(), &LinkageRule::empty(), &mut rng);
+            assert_eq!(child, rule_a());
+        }
+    }
+
+    #[test]
+    fn function_crossover_only_changes_functions() {
+        let mut rng = rng(3);
+        for _ in 0..100 {
+            let child = CrossoverOperator::Function.apply(&rule_a(), &rule_b(), &mut rng);
+            // structure is preserved: same number of operators of each kind
+            let a = rule_a().stats();
+            let c = child.stats();
+            assert_eq!(a.comparisons, c.comparisons);
+            assert_eq!(a.aggregations, c.aggregations);
+            assert_eq!(a.transformations, c.transformations);
+            // every distance function in the child stems from one of the parents
+            for comparison in child.root().unwrap().comparisons() {
+                assert!(matches!(
+                    comparison.function,
+                    DistanceFunction::Levenshtein
+                        | DistanceFunction::Date
+                        | DistanceFunction::Jaccard
+                        | DistanceFunction::Geographic
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn function_crossover_eventually_swaps_a_function() {
+        let mut rng = rng(4);
+        let changed = (0..100).any(|_| {
+            let child = CrossoverOperator::Function.apply(&rule_a(), &rule_b(), &mut rng);
+            child != rule_a()
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn operators_crossover_mixes_comparisons_of_both_parents() {
+        let mut rng = rng(5);
+        let mut saw_b_comparison = false;
+        for _ in 0..200 {
+            let child = CrossoverOperator::Operators.apply(&rule_a(), &rule_b(), &mut rng);
+            assert!(child.stats().comparisons >= 1);
+            let (_, target_properties) = child.root().unwrap().properties();
+            if target_properties.contains(&"coord") || target_properties.contains(&"label") {
+                saw_b_comparison = true;
+            }
+        }
+        assert!(saw_b_comparison, "operators crossover never imported a comparison from rule B");
+    }
+
+    #[test]
+    fn operators_crossover_handles_comparison_roots() {
+        let single: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        )
+        .into();
+        let mut rng = rng(6);
+        for _ in 0..50 {
+            let child = CrossoverOperator::Operators.apply(&single, &rule_b(), &mut rng);
+            assert!(!child.is_empty());
+            assert!(child.stats().comparisons >= 1);
+        }
+    }
+
+    #[test]
+    fn aggregation_crossover_can_deepen_the_tree() {
+        let mut rng = rng(7);
+        let deepened = (0..200).any(|_| {
+            let child = CrossoverOperator::Aggregation.apply(&rule_a(), &rule_b(), &mut rng);
+            child.stats().depth > rule_a().stats().depth
+        });
+        assert!(deepened, "aggregation crossover never built a deeper hierarchy");
+    }
+
+    #[test]
+    fn transformation_crossover_builds_chains() {
+        let mut rng = rng(8);
+        let mut max_transformations = 0;
+        for _ in 0..200 {
+            let child = CrossoverOperator::Transformation.apply(&rule_a(), &rule_b(), &mut rng);
+            max_transformations = max_transformations.max(child.stats().transformations);
+            // structure of the similarity tree is untouched
+            assert_eq!(child.stats().comparisons, rule_a().stats().comparisons);
+        }
+        assert!(
+            max_transformations >= 2,
+            "transformation crossover never grew a chain (max {max_transformations})"
+        );
+    }
+
+    #[test]
+    fn transformation_crossover_on_transformation_free_rules_is_identity_or_graft() {
+        let plain: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        )
+        .into();
+        let mut rng = rng(9);
+        for _ in 0..50 {
+            let child = CrossoverOperator::Transformation.apply(&plain, &rule_b(), &mut rng);
+            let transformations = child.stats().transformations;
+            assert!(transformations <= 1);
+            let child2 = CrossoverOperator::Transformation.apply(&plain, &plain, &mut rng);
+            assert_eq!(child2, plain);
+        }
+    }
+
+    #[test]
+    fn threshold_crossover_averages_thresholds() {
+        let a: LinkageRule = compare(property("x"), property("x"), DistanceFunction::Numeric, 10.0).into();
+        let b: LinkageRule = compare(property("y"), property("y"), DistanceFunction::Numeric, 2.0).into();
+        let mut rng = rng(10);
+        let child = CrossoverOperator::Threshold.apply(&a, &b, &mut rng);
+        let threshold = child.root().unwrap().comparisons()[0].threshold;
+        assert!((threshold - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_crossover_averages_weights() {
+        let mut heavy = compare(property("x"), property("x"), DistanceFunction::Numeric, 1.0);
+        heavy.set_weight(9);
+        let a: LinkageRule = heavy.into();
+        let b: LinkageRule = compare(property("y"), property("y"), DistanceFunction::Numeric, 1.0).into();
+        let mut rng = rng(11);
+        let child = CrossoverOperator::Weight.apply(&a, &b, &mut rng);
+        assert_eq!(child.root().unwrap().comparisons()[0].weight, 5);
+    }
+
+    #[test]
+    fn subtree_crossover_mixes_material_from_both_parents() {
+        let mut rng = rng(12);
+        let mut differs = false;
+        for _ in 0..100 {
+            let child = CrossoverOperator::Subtree.apply(&rule_a(), &rule_b(), &mut rng);
+            assert!(!child.is_empty());
+            if child != rule_a() {
+                differs = true;
+            }
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = CrossoverOperator::SPECIALIZED
+            .iter()
+            .chain(CrossoverOperator::SUBTREE_ONLY.iter())
+            .map(|o| o.name())
+            .collect();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,170 @@
+//! The [`linkdisc_gp::Problem`] implementation that ties together the random
+//! rule generator, the specialized crossover operators and the MCC fitness.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use linkdisc_gp::{Evaluated, Problem};
+use linkdisc_rule::LinkageRule;
+
+use crate::fitness::FitnessFunction;
+use crate::operators::CrossoverOperator;
+use crate::random::RandomRuleGenerator;
+use crate::representation::RepresentationMode;
+
+/// The GenLink learning problem over one training link set.
+pub struct GenLinkProblem<'a> {
+    fitness: FitnessFunction<'a>,
+    generator: RandomRuleGenerator,
+    crossover_operators: Vec<CrossoverOperator>,
+    representation: RepresentationMode,
+}
+
+impl<'a> GenLinkProblem<'a> {
+    /// Creates the problem from its parts.
+    pub fn new(
+        fitness: FitnessFunction<'a>,
+        generator: RandomRuleGenerator,
+        crossover_operators: Vec<CrossoverOperator>,
+        representation: RepresentationMode,
+    ) -> Self {
+        assert!(
+            !crossover_operators.is_empty(),
+            "at least one crossover operator is required"
+        );
+        GenLinkProblem {
+            fitness,
+            generator,
+            crossover_operators,
+            representation,
+        }
+    }
+
+    /// The random rule generator (exposed for the seeding experiment, which
+    /// inspects the initial population directly).
+    pub fn generator(&self) -> &RandomRuleGenerator {
+        &self.generator
+    }
+}
+
+impl Problem for GenLinkProblem<'_> {
+    type Genome = LinkageRule;
+
+    fn random_genome(&self, rng: &mut StdRng) -> LinkageRule {
+        self.generator.generate(rng)
+    }
+
+    fn crossover(&self, first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+        let operator = self
+            .crossover_operators
+            .choose(rng)
+            .expect("operator set is not empty");
+        let mut child = operator.apply(first, second, rng);
+        // keep the offspring inside the configured representation (no-op for
+        // the full representation)
+        self.representation.enforce(&mut child);
+        child
+    }
+
+    fn evaluate(&self, genome: &LinkageRule) -> Evaluated {
+        self.fitness.evaluate(genome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::ParsimonyModel;
+    use crate::seeding::CompatiblePair;
+    use linkdisc_entity::{DataSourceBuilder, Link, ReferenceLinks, ResolvedReferenceLinks};
+    use linkdisc_rule::DistanceFunction;
+    use rand::SeedableRng;
+
+    fn pairs() -> Vec<CompatiblePair> {
+        vec![CompatiblePair {
+            source_property: "label".into(),
+            target_property: "label".into(),
+            function: DistanceFunction::Levenshtein,
+            support: 1.0,
+        }]
+    }
+
+    #[test]
+    fn problem_generates_crosses_and_evaluates() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "x")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["label"])
+            .entity("b1", [("label", "x")])
+            .unwrap()
+            .entity("b2", [("label", "completely different")])
+            .unwrap()
+            .build();
+        let links = ReferenceLinks::new(
+            vec![Link::new("a1", "b1")],
+            vec![Link::new("a1", "b2")],
+        );
+        let resolved = ResolvedReferenceLinks::resolve(&links, &source, &target);
+        let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+        let generator = RandomRuleGenerator::new(pairs(), RepresentationMode::Full);
+        let problem = GenLinkProblem::new(
+            fitness,
+            generator,
+            CrossoverOperator::SPECIALIZED.to_vec(),
+            RepresentationMode::Full,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = problem.random_genome(&mut rng);
+        let b = problem.random_genome(&mut rng);
+        let child = problem.crossover(&a, &b, &mut rng);
+        assert!(!child.is_empty());
+        let evaluated = problem.evaluate(&child);
+        assert!(evaluated.fitness <= 1.0);
+        assert!((0.0..=1.0).contains(&evaluated.f_measure));
+    }
+
+    #[test]
+    fn restricted_problem_never_produces_forbidden_rules() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "x")])
+            .unwrap()
+            .build();
+        let target = source.clone();
+        let links = ReferenceLinks::new(vec![Link::new("a1", "a1")], vec![]);
+        let resolved = ResolvedReferenceLinks::resolve(&links, &source, &target);
+        let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+        let generator = RandomRuleGenerator::new(pairs(), RepresentationMode::Boolean);
+        let problem = GenLinkProblem::new(
+            fitness,
+            generator,
+            CrossoverOperator::SPECIALIZED.to_vec(),
+            RepresentationMode::Boolean,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rules: Vec<LinkageRule> = (0..20).map(|_| problem.random_genome(&mut rng)).collect();
+        for _ in 0..100 {
+            let a = rules[rng.gen_range(0..rules.len())].clone();
+            let b = rules[rng.gen_range(0..rules.len())].clone();
+            let child = problem.crossover(&a, &b, &mut rng);
+            assert!(RepresentationMode::Boolean.permits(&child), "{child:?}");
+            rules.push(child);
+        }
+    }
+
+    use rand::Rng;
+
+    #[test]
+    #[should_panic(expected = "crossover operator")]
+    fn empty_operator_set_is_rejected() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "x")])
+            .unwrap()
+            .build();
+        let links = ReferenceLinks::new(vec![], vec![]);
+        let resolved = ResolvedReferenceLinks::resolve(&links, &source, &source);
+        let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+        let generator = RandomRuleGenerator::new(pairs(), RepresentationMode::Full);
+        GenLinkProblem::new(fitness, generator, vec![], RepresentationMode::Full);
+    }
+}

@@ -1,0 +1,199 @@
+//! Structural simplification of learned linkage rules.
+//!
+//! The parsimony pressure of the fitness function keeps rules small, but the
+//! best rule of the final population can still contain redundancies that make
+//! it harder to read: duplicated comparisons inside an aggregation,
+//! aggregations with a single child, nested aggregations using the same
+//! function, or repeated transformations.  This module removes those
+//! redundancies *without changing the rule's semantics* — every rewrite is
+//! score-preserving for `min`/`max` and preserves the weighted mean exactly
+//! when the duplicates carry equal weights (the only case the rewrite touches).
+//!
+//! Simplification supports the paper's goal that learned rules "can be
+//! understood and further improved by humans".
+
+use linkdisc_rule::{LinkageRule, SimilarityOperator};
+
+/// Simplifies a rule in place and returns the number of operators removed.
+pub fn simplify_rule(rule: &mut LinkageRule) -> usize {
+    let before = rule.operator_count();
+    if let Some(root) = rule.root_mut() {
+        simplify_node(root);
+        // collapsing may leave a single-child aggregation at the root as well
+        if let SimilarityOperator::Aggregation(aggregation) = root {
+            if aggregation.operators.len() == 1 {
+                let child = aggregation.operators.remove(0);
+                *root = child;
+            }
+        }
+        root.for_each_value_root_mut(&mut |value| value.dedup_transformations());
+    }
+    before.saturating_sub(rule.operator_count())
+}
+
+fn simplify_node(node: &mut SimilarityOperator) {
+    let SimilarityOperator::Aggregation(aggregation) = node else {
+        return;
+    };
+    for child in &mut aggregation.operators {
+        simplify_node(child);
+    }
+    // collapse single-child aggregations below this one and splice nested
+    // aggregations that use the same function (min(min(a,b),c) = min(a,b,c))
+    let mut flattened: Vec<SimilarityOperator> = Vec::with_capacity(aggregation.operators.len());
+    for child in aggregation.operators.drain(..) {
+        match child {
+            SimilarityOperator::Aggregation(mut nested) if nested.operators.len() == 1 => {
+                flattened.push(nested.operators.remove(0));
+            }
+            SimilarityOperator::Aggregation(nested)
+                if nested.function == aggregation.function && nested.weight == 1 =>
+            {
+                flattened.extend(nested.operators);
+            }
+            other => flattened.push(other),
+        }
+    }
+    // drop exact duplicates (same subtree and same weight)
+    let mut deduped: Vec<SimilarityOperator> = Vec::with_capacity(flattened.len());
+    for child in flattened {
+        if !deduped.contains(&child) {
+            deduped.push(child);
+        }
+    }
+    aggregation.operators = deduped;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::{EntityBuilder, EntityPair};
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, AggregationFunction, DistanceFunction,
+        TransformFunction,
+    };
+
+    fn redundant_rule() -> LinkageRule {
+        let label = compare(
+            transform(
+                TransformFunction::LowerCase,
+                vec![transform(TransformFunction::LowerCase, vec![property("label")])],
+            ),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        );
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                label.clone(),
+                label.clone(),
+                aggregation(
+                    AggregationFunction::Min,
+                    vec![compare(
+                        property("date"),
+                        property("released"),
+                        DistanceFunction::Date,
+                        30.0,
+                    )],
+                ),
+            ],
+        )
+        .into()
+    }
+
+    #[test]
+    fn simplification_removes_redundant_operators() {
+        let mut rule = redundant_rule();
+        let before = rule.operator_count();
+        let removed = simplify_rule(&mut rule);
+        assert!(removed > 0);
+        assert_eq!(rule.operator_count(), before - removed);
+        let stats = rule.stats();
+        assert_eq!(stats.comparisons, 2, "{rule:?}");
+        assert_eq!(stats.aggregations, 1);
+        assert_eq!(stats.transformations, 1);
+    }
+
+    #[test]
+    fn simplification_preserves_scores() {
+        let mut rule = redundant_rule();
+        let original = rule.clone();
+        simplify_rule(&mut rule);
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .value("date", "2001-01-01")
+            .build_with_own_schema();
+        for (name, date) in [
+            ("berlin", "2001-01-10"),
+            ("Berlim", "2001-01-01"),
+            ("paris", "1990-05-05"),
+            ("berlin", "2005-01-01"),
+        ] {
+            let b = EntityBuilder::new("b")
+                .value("name", name)
+                .value("released", date)
+                .build_with_own_schema();
+            let pair = EntityPair::new(&a, &b);
+            assert!(
+                (original.evaluate(&pair) - rule.evaluate(&pair)).abs() < 1e-12,
+                "simplification changed the score for {name}/{date}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_child_root_aggregation_is_collapsed() {
+        let mut rule: LinkageRule = aggregation(
+            AggregationFunction::WeightedMean,
+            vec![compare(property("a"), property("b"), DistanceFunction::Equality, 0.5)],
+        )
+        .into();
+        simplify_rule(&mut rule);
+        assert_eq!(rule.stats().aggregations, 0);
+        assert_eq!(rule.stats().comparisons, 1);
+    }
+
+    #[test]
+    fn already_minimal_rules_are_untouched() {
+        let mut rule: LinkageRule = aggregation(
+            AggregationFunction::Max,
+            vec![
+                compare(property("a"), property("b"), DistanceFunction::Equality, 0.5),
+                compare(property("c"), property("d"), DistanceFunction::Numeric, 1.0),
+            ],
+        )
+        .into();
+        let original = rule.clone();
+        assert_eq!(simplify_rule(&mut rule), 0);
+        assert_eq!(rule, original);
+    }
+
+    #[test]
+    fn empty_rule_is_a_no_op() {
+        let mut rule = LinkageRule::empty();
+        assert_eq!(simplify_rule(&mut rule), 0);
+        assert!(rule.is_empty());
+    }
+
+    #[test]
+    fn different_function_nesting_is_preserved() {
+        // max(min(a,b), c) must NOT be flattened
+        let mut rule: LinkageRule = aggregation(
+            AggregationFunction::Max,
+            vec![
+                aggregation(
+                    AggregationFunction::Min,
+                    vec![
+                        compare(property("a"), property("b"), DistanceFunction::Equality, 0.5),
+                        compare(property("c"), property("d"), DistanceFunction::Equality, 0.5),
+                    ],
+                ),
+                compare(property("e"), property("f"), DistanceFunction::Equality, 0.5),
+            ],
+        )
+        .into();
+        simplify_rule(&mut rule);
+        assert!(rule.stats().non_linear, "nesting with different functions must survive");
+    }
+}

@@ -1,0 +1,147 @@
+//! LinkedMDB movies vs. DBpedia films.
+//!
+//! The paper uses this data set to compare learned rules against a manually
+//! written one: matching cannot rely on the title alone because different
+//! movies share the same name, so the release date (and possibly the director)
+//! has to be taken into account.  Schemata are wide (100 vs. 46 properties)
+//! with coverage ≈ 0.4 on both sides (Table 6).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::noise;
+use crate::text;
+use crate::util::{aligned_links, fill_fillers, source_with_fillers, Row};
+use crate::Dataset;
+
+/// Core properties of the LinkedMDB side.
+pub const LINKEDMDB_CORE: [&str; 4] = ["movie:title", "movie:initial_release_date", "movie:director", "movie:runtime"];
+/// Core properties of the DBpedia side.
+pub const DBPEDIA_CORE: [&str; 4] = ["rdfs:label", "dbpedia:released", "dbpedia:director", "dbpedia:abstract"];
+
+const LINKEDMDB_FILLERS: usize = 96;
+const DBPEDIA_FILLERS: usize = 42;
+
+/// Generates a LinkedMDB-style dataset with `link_count` positive links.
+pub fn generate(link_count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+    let mut source = source_with_fillers("linkedmdb", &LINKEDMDB_CORE, "movie:p", LINKEDMDB_FILLERS);
+    let mut target = source_with_fillers("dbpedia-films", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
+
+    let distractors = link_count;
+    let mut titles: Vec<String> = Vec::new();
+    for i in 0..link_count + distractors {
+        // reuse roughly a third of the titles to create the "same title,
+        // different year" corner cases the paper highlights
+        let title = if !titles.is_empty() && rng.gen_bool(0.3) {
+            titles[rng.gen_range(0..titles.len())].clone()
+        } else {
+            let t = format!("The {}", text::title(rng.gen_range(1..4), &mut rng));
+            titles.push(t.clone());
+            t
+        };
+        let year = rng.gen_range(1930..2012);
+        let release = format!("{year}-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..28));
+        let director = text::person_name(&mut rng);
+        let runtime = rng.gen_range(70..210);
+
+        let mut row = Row::new();
+        row.set("movie:title", title.clone());
+        row.set_opt("movie:initial_release_date", noise::maybe_drop(release.clone(), 0.9, &mut rng));
+        row.set_opt("movie:director", noise::maybe_drop(director.clone(), 0.7, &mut rng));
+        row.set_opt("movie:runtime", noise::maybe_drop(runtime.to_string(), 0.5, &mut rng));
+        fill_fillers(&mut row, "movie:p", LINKEDMDB_FILLERS, 0.37, &mut rng);
+        row.add_to(&mut source, &format!("a{i}"));
+
+        if i < link_count {
+            let mut noisy = Row::new();
+            noisy.set("rdfs:label", noise::case_noise(&title, &mut rng));
+            // DBpedia sometimes only records the year
+            let target_release = if rng.gen_bool(0.3) { year.to_string() } else { release.clone() };
+            noisy.set_opt("dbpedia:released", noise::maybe_drop(target_release, 0.9, &mut rng));
+            noisy.set_opt(
+                "dbpedia:director",
+                noise::maybe_drop(
+                    noise::maybe_abbreviate_given_name(&director, 0.3, &mut rng),
+                    0.7,
+                    &mut rng,
+                ),
+            );
+            noisy.set_opt(
+                "dbpedia:abstract",
+                noise::maybe_drop(format!("{title} is a film directed by {director}."), 0.4, &mut rng),
+            );
+            fill_fillers(&mut noisy, "dbpedia:p", DBPEDIA_FILLERS, 0.36, &mut rng);
+            noisy.add_to(&mut target, &format!("b{i}"));
+        }
+    }
+
+    let links = aligned_links("a", "b", link_count, &mut rng);
+    Dataset {
+        name: "LinkedMDB",
+        source,
+        target,
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::EntityPair;
+    use std::collections::HashMap;
+
+    #[test]
+    fn schema_sizes_and_coverage_match_table_6() {
+        let dataset = generate(100, 1);
+        let stats = dataset.statistics();
+        assert_eq!(stats.source_properties, 100);
+        assert_eq!(stats.target_properties, 46);
+        assert!((0.3..=0.5).contains(&stats.source_coverage), "{}", stats.source_coverage);
+        assert!((0.3..=0.5).contains(&stats.target_coverage), "{}", stats.target_coverage);
+    }
+
+    #[test]
+    fn duplicate_titles_exist_with_different_years() {
+        let dataset = generate(120, 2);
+        let mut years_by_title: HashMap<String, Vec<String>> = HashMap::new();
+        for entity in dataset.source.entities() {
+            if let Some(title) = entity.first_value("movie:title") {
+                let year = entity
+                    .first_value("movie:initial_release_date")
+                    .unwrap_or("")
+                    .chars()
+                    .take(4)
+                    .collect::<String>();
+                years_by_title.entry(title.to_lowercase()).or_default().push(year);
+            }
+        }
+        let corner_cases = years_by_title
+            .values()
+            .filter(|years| {
+                let unique: std::collections::HashSet<&String> =
+                    years.iter().filter(|y| !y.is_empty()).collect();
+                unique.len() > 1
+            })
+            .count();
+        assert!(corner_cases > 3, "only {corner_cases} same-title/different-year cases");
+    }
+
+    #[test]
+    fn linked_movies_share_title_and_release_year() {
+        let dataset = generate(60, 3);
+        for link in dataset.links.positive().iter().take(30) {
+            let pair = EntityPair::resolve(link, &dataset.source, &dataset.target).unwrap();
+            let a_title = pair.source.first_value("movie:title").unwrap().to_lowercase();
+            let b_title = pair.target.first_value("rdfs:label").unwrap().to_lowercase();
+            assert_eq!(a_title, b_title);
+            if let (Some(a_date), Some(b_date)) = (
+                pair.source.first_value("movie:initial_release_date"),
+                pair.target.first_value("dbpedia:released"),
+            ) {
+                assert_eq!(&a_date[..4], &b_date[..4], "release years differ");
+            }
+        }
+    }
+}

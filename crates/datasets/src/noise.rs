@@ -1,0 +1,234 @@
+//! Noise models applied by the dataset generators.
+//!
+//! The noise deliberately mirrors the phenomena the paper calls out: letter
+//! case inconsistencies ("iPod" vs. "IPOD"), typos, token reordering
+//! (author name order), abbreviations (venues, street suffixes) and missing
+//! values (property coverage below 1.0).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Randomly changes the letter case of a value: 40% unchanged, 30% all lower
+/// case, 20% all upper case, 10% title case.
+pub fn case_noise(value: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..10) {
+        0..=3 => value.to_string(),
+        4..=6 => value.to_lowercase(),
+        7..=8 => value.to_uppercase(),
+        _ => value
+            .split_whitespace()
+            .map(|w| {
+                let mut chars = w.chars();
+                match chars.next() {
+                    Some(first) => first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// Introduces up to `max_edits` single-character typos (substitution, deletion
+/// or duplication) into a value.
+pub fn typo(value: &str, max_edits: usize, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = value.chars().collect();
+    if chars.is_empty() {
+        return value.to_string();
+    }
+    let edits = rng.gen_range(0..=max_edits);
+    for _ in 0..edits {
+        if chars.is_empty() {
+            break;
+        }
+        let position = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..3) {
+            0 => {
+                // substitution with a nearby letter
+                let replacement = (b'a' + rng.gen_range(0..26)) as char;
+                chars[position] = replacement;
+            }
+            1 => {
+                chars.remove(position);
+            }
+            _ => {
+                let c = chars[position];
+                chars.insert(position, c);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// Reorders the whitespace-separated tokens of a value ("first last" vs.
+/// "last, first") with the given probability.
+pub fn maybe_reorder_tokens(value: &str, probability: f64, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = value.split_whitespace().collect();
+    if tokens.len() < 2 || !rng.gen_bool(probability) {
+        return value.to_string();
+    }
+    let mut reordered: Vec<&str> = tokens.clone();
+    reordered.rotate_left(1);
+    reordered.join(" ")
+}
+
+/// Abbreviates a person name ("Mary Shelley" → "M. Shelley") with the given
+/// probability.
+pub fn maybe_abbreviate_given_name(name: &str, probability: f64, rng: &mut StdRng) -> String {
+    if !rng.gen_bool(probability) {
+        return name.to_string();
+    }
+    let mut parts = name.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(given), Some(family)) => {
+            let initial = given.chars().next().map(|c| c.to_uppercase().to_string()).unwrap_or_default();
+            format!("{initial}. {family}")
+        }
+        _ => name.to_string(),
+    }
+}
+
+/// Drops a value entirely with the given probability (models property
+/// coverage below 1.0).
+pub fn maybe_drop(value: String, keep_probability: f64, rng: &mut StdRng) -> Option<String> {
+    if rng.gen_bool(keep_probability.clamp(0.0, 1.0)) {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Perturbs a coordinate by up to `jitter_degrees` in both axes and formats it
+/// as `"lat lon"`.
+pub fn jitter_coordinates(lat: f64, lon: f64, jitter_degrees: f64, rng: &mut StdRng) -> String {
+    let dlat = rng.gen_range(-jitter_degrees..=jitter_degrees);
+    let dlon = rng.gen_range(-jitter_degrees..=jitter_degrees);
+    format!("{:.4} {:.4}", lat + dlat, lon + dlon)
+}
+
+/// Reformats a `NNN-NNN-NNNN` phone number into one of several styles.
+pub fn phone_format_noise(phone: &str, rng: &mut StdRng) -> String {
+    let digits: String = phone.chars().filter(|c| c.is_ascii_digit()).collect();
+    if digits.len() != 10 {
+        return phone.to_string();
+    }
+    match rng.gen_range(0..4) {
+        0 => phone.to_string(),
+        1 => format!("({}) {}-{}", &digits[0..3], &digits[3..6], &digits[6..]),
+        2 => format!("{}.{}.{}", &digits[0..3], &digits[3..6], &digits[6..]),
+        _ => digits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn case_noise_preserves_letters() {
+        let mut rng = rng(1);
+        for _ in 0..50 {
+            let noisy = case_noise("Data Integration", &mut rng);
+            assert_eq!(noisy.to_lowercase(), "data integration");
+        }
+    }
+
+    #[test]
+    fn typo_with_zero_edits_is_identity() {
+        let mut rng = rng(2);
+        assert_eq!(typo("hello", 0, &mut rng), "hello");
+        assert_eq!(typo("", 3, &mut rng), "");
+    }
+
+    #[test]
+    fn typo_stays_close_to_the_original() {
+        let mut rng = rng(3);
+        for _ in 0..50 {
+            let noisy = typo("levenshtein", 2, &mut rng);
+            let distance = linkdisc_levenshtein(&noisy, "levenshtein");
+            assert!(distance <= 2, "{noisy} is {distance} edits away");
+        }
+    }
+
+    // a tiny local levenshtein so this crate does not depend on the similarity crate
+    fn linkdisc_levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut current = vec![0usize; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            current[0] = i + 1;
+            for (j, cb) in b.iter().enumerate() {
+                current[j + 1] = (prev[j] + usize::from(ca != cb))
+                    .min(current[j] + 1)
+                    .min(prev[j + 1] + 1);
+            }
+            std::mem::swap(&mut prev, &mut current);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn reorder_keeps_the_token_set() {
+        let mut rng = rng(4);
+        let reordered = maybe_reorder_tokens("alpha beta gamma", 1.0, &mut rng);
+        let mut original: Vec<&str> = "alpha beta gamma".split_whitespace().collect();
+        let mut tokens: Vec<&str> = reordered.split_whitespace().collect();
+        original.sort_unstable();
+        tokens.sort_unstable();
+        assert_eq!(original, tokens);
+        assert_eq!(maybe_reorder_tokens("single", 1.0, &mut rng), "single");
+        assert_eq!(maybe_reorder_tokens("a b", 0.0, &mut rng), "a b");
+    }
+
+    #[test]
+    fn abbreviation_keeps_the_family_name() {
+        let mut rng = rng(5);
+        let abbreviated = maybe_abbreviate_given_name("Mary Shelley", 1.0, &mut rng);
+        assert_eq!(abbreviated, "M. Shelley");
+        assert_eq!(
+            maybe_abbreviate_given_name("Mary Shelley", 0.0, &mut rng),
+            "Mary Shelley"
+        );
+        assert_eq!(maybe_abbreviate_given_name("Cher", 1.0, &mut rng), "Cher");
+    }
+
+    #[test]
+    fn maybe_drop_respects_probabilities() {
+        let mut rng = rng(6);
+        assert_eq!(maybe_drop("x".into(), 1.0, &mut rng), Some("x".into()));
+        assert_eq!(maybe_drop("x".into(), 0.0, &mut rng), None);
+        let kept = (0..1000)
+            .filter(|_| maybe_drop("x".into(), 0.3, &mut rng).is_some())
+            .count();
+        assert!((200..400).contains(&kept), "kept {kept} of 1000");
+    }
+
+    #[test]
+    fn jittered_coordinates_parse_and_stay_close() {
+        let mut rng = rng(7);
+        let text = jitter_coordinates(52.52, 13.40, 0.01, &mut rng);
+        let parts: Vec<f64> = text
+            .split_whitespace()
+            .map(|p| p.parse().unwrap())
+            .collect();
+        assert!((parts[0] - 52.52).abs() <= 0.011);
+        assert!((parts[1] - 13.40).abs() <= 0.011);
+    }
+
+    #[test]
+    fn phone_formats_preserve_digits() {
+        let mut rng = rng(8);
+        for _ in 0..30 {
+            let noisy = phone_format_noise("212-555-0123", &mut rng);
+            let digits: String = noisy.chars().filter(|c| c.is_ascii_digit()).collect();
+            assert_eq!(digits, "2125550123");
+        }
+        assert_eq!(phone_format_noise("12", &mut rng), "12");
+    }
+}

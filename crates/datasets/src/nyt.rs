@@ -1,0 +1,172 @@
+//! New York Times locations vs. DBpedia (OAEI 2011 data interlinking track).
+//!
+//! Locations are matched between the NYT Linked Data set (38 properties,
+//! coverage ≈ 0.3) and DBpedia (110 properties, coverage ≈ 0.2 — Table 6).
+//! Many place names are ambiguous (several cities named "Springfield"), so an
+//! accurate rule has to combine the label comparison with the geographic
+//! coordinates — exactly the non-linear behaviour the paper reports for this
+//! data set.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::noise;
+use crate::text;
+use crate::util::{aligned_links, fill_fillers, source_with_fillers, Row};
+use crate::Dataset;
+
+/// Core properties of the NYT side.
+pub const NYT_CORE: [&str; 4] = ["nyt:name", "nyt:latitude", "nyt:longitude", "nyt:geo"];
+/// Core properties of the DBpedia side.
+pub const DBPEDIA_CORE: [&str; 4] = ["rdfs:label", "georss:point", "dbpedia:country", "dbpedia:abstract"];
+
+const NYT_FILLERS: usize = 34;
+const DBPEDIA_FILLERS: usize = 106;
+
+/// Generates an NYT-style dataset with `link_count` positive links.
+pub fn generate(link_count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
+    let mut source = source_with_fillers("nyt-locations", &NYT_CORE, "nyt:p", NYT_FILLERS);
+    let mut target = source_with_fillers("dbpedia-places", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
+
+    let source_distractors = link_count * 2; // |A| ≈ 3 × |R+| in Table 5
+    for i in 0..link_count + source_distractors {
+        let place = Place::random(i, &mut rng);
+        let mut row = Row::new();
+        row.set("nyt:name", place.name.clone());
+        // NYT splits latitude and longitude, DBpedia keeps a combined point;
+        // either representation is dropped often enough to reach low coverage
+        if rng.gen_bool(0.85) {
+            row.set("nyt:latitude", format!("{:.4}", place.latitude));
+            row.set("nyt:longitude", format!("{:.4}", place.longitude));
+        }
+        row.set_opt(
+            "nyt:geo",
+            noise::maybe_drop(
+                format!("{:.4} {:.4}", place.latitude, place.longitude),
+                0.5,
+                &mut rng,
+            ),
+        );
+        fill_fillers(&mut row, "nyt:p", NYT_FILLERS, 0.22, &mut rng);
+        row.add_to(&mut source, &format!("a{i}"));
+
+        if i < link_count {
+            let mut noisy = Row::new();
+            noisy.set("rdfs:label", noise::case_noise(&place.dbpedia_label(&mut rng), &mut rng));
+            noisy.set(
+                "georss:point",
+                noise::jitter_coordinates(place.latitude, place.longitude, 0.01, &mut rng),
+            );
+            noisy.set_opt(
+                "dbpedia:country",
+                noise::maybe_drop("United States".to_string(), 0.4, &mut rng),
+            );
+            noisy.set_opt(
+                "dbpedia:abstract",
+                noise::maybe_drop(
+                    format!("{} is a place mentioned in the news.", place.name),
+                    0.3,
+                    &mut rng,
+                ),
+            );
+            fill_fillers(&mut noisy, "dbpedia:p", DBPEDIA_FILLERS, 0.16, &mut rng);
+            noisy.add_to(&mut target, &format!("b{i}"));
+        }
+    }
+
+    let links = aligned_links("a", "b", link_count, &mut rng);
+    Dataset {
+        name: "NYT",
+        source,
+        target,
+        links,
+    }
+}
+
+struct Place {
+    name: String,
+    latitude: f64,
+    longitude: f64,
+}
+
+impl Place {
+    fn random(index: usize, rng: &mut StdRng) -> Self {
+        // deliberately reuse base city names so that distinct places share
+        // labels and can only be told apart by their coordinates
+        let (city, lat, lon) = *text::pick(text::CITIES, rng);
+        let qualifier = text::pick(text::FAMILY_NAMES, rng);
+        let name = if rng.gen_bool(0.5) {
+            city.to_string()
+        } else {
+            format!("{city} {}", text::capitalize(qualifier))
+        };
+        // spread repeated names across the globe
+        let latitude = (lat + (index % 37) as f64 * 1.7 - 30.0).clamp(-89.0, 89.0);
+        let longitude = {
+            let l = lon + (index % 53) as f64 * 3.1 - 80.0;
+            ((l + 180.0).rem_euclid(360.0)) - 180.0
+        };
+        Place {
+            name,
+            latitude,
+            longitude,
+        }
+    }
+
+    fn dbpedia_label(&self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.3) {
+            // DBpedia labels often carry a disambiguation suffix
+            format!("{} ({})", self.name, text::capitalize(*text::pick(text::FAMILY_NAMES, rng)))
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::EntityPair;
+
+    #[test]
+    fn schema_sizes_and_coverage_match_table_6() {
+        let dataset = generate(120, 1);
+        let stats = dataset.statistics();
+        assert_eq!(stats.source_properties, 38);
+        assert_eq!(stats.target_properties, 110);
+        assert!((0.15..=0.45).contains(&stats.source_coverage), "{}", stats.source_coverage);
+        assert!((0.1..=0.35).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(stats.source_entities > 2 * stats.positive_links);
+    }
+
+    #[test]
+    fn labels_alone_are_ambiguous() {
+        let dataset = generate(150, 2);
+        use std::collections::HashMap;
+        let mut by_name: HashMap<String, usize> = HashMap::new();
+        for entity in dataset.source.entities() {
+            if let Some(name) = entity.first_value("nyt:name") {
+                *by_name.entry(name.to_lowercase()).or_default() += 1;
+            }
+        }
+        let ambiguous = by_name.values().filter(|&&c| c > 1).count();
+        assert!(ambiguous > 5, "only {ambiguous} ambiguous names");
+    }
+
+    #[test]
+    fn linked_places_are_geographically_close() {
+        let dataset = generate(60, 3);
+        for link in dataset.links.positive().iter().take(20) {
+            let pair = EntityPair::resolve(link, &dataset.source, &dataset.target).unwrap();
+            let lat: f64 = match pair.source.first_value("nyt:latitude") {
+                Some(v) => v.parse().unwrap(),
+                None => continue,
+            };
+            let point = pair.target.first_value("georss:point").unwrap();
+            let target_lat: f64 = point.split_whitespace().next().unwrap().parse().unwrap();
+            assert!((lat - target_lat).abs() < 0.1, "{lat} vs {target_lat}");
+        }
+    }
+}

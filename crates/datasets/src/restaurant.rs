@@ -1,0 +1,151 @@
+//! Restaurant-style data (Fodor's vs. Zagat's record-linkage benchmark).
+//!
+//! Records carry name, address, city, phone and cuisine type (5 properties,
+//! full coverage — Table 6).  The two guides differ in letter case, street
+//! suffix abbreviations ("Street" vs. "St.") and phone number formatting.
+
+use linkdisc_entity::{DataSource, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::noise;
+use crate::text;
+use crate::util::{aligned_links, Row};
+use crate::Dataset;
+
+/// The properties of a restaurant record (Table 6: 5 properties).
+pub const PROPERTIES: [&str; 5] = ["name", "address", "city", "phone", "type"];
+
+/// Generates a Restaurant-style dataset with `link_count` positive links.
+pub fn generate(link_count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(2));
+    let mut source = DataSource::new("fodors", Schema::new(PROPERTIES));
+    let mut target = DataSource::new("zagats", Schema::new(PROPERTIES));
+
+    // the original data set has 864 entities for 112 links: most restaurants
+    // appear in only one guide, so add plenty of distractors
+    let distractors = (link_count as f64 * 2.8).round() as usize;
+
+    for i in 0..link_count + distractors {
+        let restaurant = Restaurant::random(&mut rng);
+        let mut row = Row::new();
+        row.set("name", restaurant.name.clone())
+            .set("address", format!("{} {} {}", restaurant.number, restaurant.street, restaurant.suffix))
+            .set("city", restaurant.city.clone())
+            .set("phone", restaurant.phone.clone())
+            .set("type", restaurant.cuisine.clone());
+        row.add_to(&mut source, &format!("a{i}"));
+
+        let mut noisy = Row::new();
+        noisy
+            .set("name", noise::case_noise(&restaurant.name, &mut rng))
+            .set(
+                "address",
+                format!(
+                    "{} {} {}",
+                    restaurant.number,
+                    noise::case_noise(&restaurant.street, &mut rng),
+                    restaurant.suffix_abbreviation
+                ),
+            )
+            .set("city", noise::case_noise(&restaurant.city, &mut rng))
+            .set("phone", noise::phone_format_noise(&restaurant.phone, &mut rng))
+            .set("type", restaurant.noisy_cuisine(&mut rng));
+        noisy.add_to(&mut target, &format!("b{i}"));
+    }
+
+    let links = aligned_links("a", "b", link_count, &mut rng);
+    Dataset {
+        name: "Restaurant",
+        source,
+        target,
+        links,
+    }
+}
+
+struct Restaurant {
+    name: String,
+    number: u32,
+    street: String,
+    suffix: String,
+    suffix_abbreviation: String,
+    city: String,
+    phone: String,
+    cuisine: String,
+}
+
+impl Restaurant {
+    fn random(rng: &mut StdRng) -> Self {
+        let (suffix, abbreviation) = *text::pick(text::STREET_SUFFIXES, rng);
+        let (city, _, _) = *text::pick(text::CITIES, rng);
+        let owner = text::capitalize(*text::pick(text::FAMILY_NAMES, rng));
+        let style = text::capitalize(*text::pick(text::CUISINES, rng));
+        Restaurant {
+            name: format!("{owner}'s {style} Kitchen {}", rng.gen_range(1..500)),
+            number: rng.gen_range(1..2000),
+            street: format!("{} {}", text::capitalize(*text::pick(text::FAMILY_NAMES, rng)), ""),
+            suffix: suffix.to_string(),
+            suffix_abbreviation: abbreviation.to_string(),
+            city: city.to_string(),
+            phone: text::phone_number(rng),
+            cuisine: text::pick(text::CUISINES, rng).to_string(),
+        }
+    }
+
+    fn noisy_cuisine(&self, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.2) {
+            // the guides occasionally disagree on the cuisine label
+            text::pick(text::CUISINES, rng).to_string()
+        } else {
+            noise::case_noise(&self.cuisine, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::EntityPair;
+
+    #[test]
+    fn statistics_match_the_paper_shape() {
+        let dataset = generate(112, 1);
+        let stats = dataset.statistics();
+        assert_eq!(stats.positive_links, 112);
+        assert_eq!(stats.source_properties, 5);
+        // the full data set has far more entities than links
+        assert!(stats.source_entities > 300);
+        // all properties are always set (Table 6: coverage 1.0)
+        assert!(stats.source_coverage > 0.99);
+        assert!(stats.target_coverage > 0.99);
+    }
+
+    #[test]
+    fn linked_restaurants_keep_their_phone_digits() {
+        let dataset = generate(50, 2);
+        for link in dataset.links.positive().iter().take(25) {
+            let pair = EntityPair::resolve(link, &dataset.source, &dataset.target).unwrap();
+            let digits = |v: &str| -> String { v.chars().filter(|c| c.is_ascii_digit()).collect() };
+            assert_eq!(
+                digits(pair.source.first_value("phone").unwrap()),
+                digits(pair.target.first_value("phone").unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn street_suffixes_are_abbreviated_on_the_target_side() {
+        let dataset = generate(80, 3);
+        let abbreviated = dataset
+            .target
+            .entities()
+            .iter()
+            .filter(|e| {
+                let address = e.first_value("address").unwrap_or_default();
+                address.ends_with('.')
+            })
+            .count();
+        assert!(abbreviated > 40, "only {abbreviated} abbreviated addresses");
+    }
+}

@@ -1,0 +1,159 @@
+//! Sider vs. DrugBank drugs (OAEI 2010 data interlinking track).
+//!
+//! Sider describes marketed drugs with a handful of properties (8, full
+//! coverage); DrugBank is much wider (79 properties) but sparsely populated
+//! (coverage ≈ 0.5, Table 6).  Matching hinges on drug names and synonyms with
+//! case noise, plus shared identifiers such as the CAS registry number that
+//! are missing for many entities.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::noise;
+use crate::text;
+use crate::util::{aligned_links, fill_fillers, source_with_fillers, Row};
+use crate::Dataset;
+
+/// Core properties of the Sider side.
+pub const SIDER_CORE: [&str; 4] = ["sider:drugName", "sider:synonym", "sider:casNumber", "sider:indication"];
+/// Core properties of the DrugBank side.
+pub const DRUGBANK_CORE: [&str; 4] = [
+    "drugbank:genericName",
+    "drugbank:synonym",
+    "drugbank:casRegistryNumber",
+    "drugbank:description",
+];
+
+/// Number of filler properties so the schema sizes match Table 6
+/// (Sider: 8, DrugBank: 79).
+const SIDER_FILLERS: usize = 4;
+const DRUGBANK_FILLERS: usize = 75;
+
+/// Generates a SiderDrugBank-style dataset with `link_count` positive links.
+pub fn generate(link_count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(3));
+    let mut source = source_with_fillers("sider", &SIDER_CORE, "sider:p", SIDER_FILLERS);
+    let mut target = source_with_fillers("drugbank", &DRUGBANK_CORE, "drugbank:p", DRUGBANK_FILLERS);
+
+    let source_distractors = link_count / 12;
+    let target_distractors = link_count * 4; // DrugBank is ~5x larger than the link set
+
+    for i in 0..link_count + source_distractors {
+        let drug = Drug::random(&mut rng);
+        let mut row = Row::new();
+        row.set("sider:drugName", drug.name.clone())
+            .set("sider:synonym", drug.synonym.clone())
+            .set("sider:indication", format!("treatment of {}", text::pick(text::TOPIC_WORDS, &mut rng)));
+        row.set_opt("sider:casNumber", noise::maybe_drop(drug.cas.clone(), 0.8, &mut rng));
+        fill_fillers(&mut row, "sider:p", SIDER_FILLERS, 0.95, &mut rng);
+        row.add_to(&mut source, &format!("a{i}"));
+
+        if i < link_count {
+            let mut noisy = Row::new();
+            // DrugBank sometimes lists the name only among the synonyms
+            if rng.gen_bool(0.75) {
+                noisy.set("drugbank:genericName", noise::case_noise(&drug.name, &mut rng));
+                noisy.set("drugbank:synonym", noise::case_noise(&drug.synonym, &mut rng));
+            } else {
+                noisy.set("drugbank:genericName", noise::case_noise(&drug.synonym, &mut rng));
+                noisy.set("drugbank:synonym", noise::case_noise(&drug.name, &mut rng));
+            }
+            noisy.set_opt(
+                "drugbank:casRegistryNumber",
+                noise::maybe_drop(drug.cas.clone(), 0.6, &mut rng),
+            );
+            noisy.set_opt(
+                "drugbank:description",
+                noise::maybe_drop(format!("a {} compound", text::pick(text::TOPIC_WORDS, &mut rng)), 0.7, &mut rng),
+            );
+            fill_fillers(&mut noisy, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
+            noisy.add_to(&mut target, &format!("b{i}"));
+        }
+    }
+    for i in 0..target_distractors {
+        let drug = Drug::random(&mut rng);
+        let mut row = Row::new();
+        row.set("drugbank:genericName", drug.name.clone());
+        row.set_opt("drugbank:casRegistryNumber", noise::maybe_drop(drug.cas, 0.6, &mut rng));
+        fill_fillers(&mut row, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
+        row.add_to(&mut target, &format!("d{i}"));
+    }
+
+    let links = aligned_links("a", "b", link_count, &mut rng);
+    Dataset {
+        name: "SiderDrugbank",
+        source,
+        target,
+        links,
+    }
+}
+
+struct Drug {
+    name: String,
+    synonym: String,
+    cas: String,
+}
+
+impl Drug {
+    fn random(rng: &mut StdRng) -> Self {
+        let name = text::drug_name(rng);
+        let synonym = format!("{} {}", name, text::pick(&["hydrochloride", "sodium", "acetate", "citrate"], rng));
+        Drug {
+            name,
+            synonym,
+            cas: text::cas_number(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::EntityPair;
+
+    #[test]
+    fn schema_sizes_match_table_6() {
+        let dataset = generate(50, 1);
+        let stats = dataset.statistics();
+        assert_eq!(stats.source_properties, 8);
+        assert_eq!(stats.target_properties, 79);
+        assert!(stats.target_entities > stats.positive_links * 3);
+        // target coverage around 0.5
+        assert!((0.35..=0.65).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(stats.source_coverage > 0.85);
+    }
+
+    #[test]
+    fn linked_drugs_share_a_name_or_synonym_modulo_case() {
+        let dataset = generate(60, 2);
+        for link in dataset.links.positive().iter().take(30) {
+            let pair = EntityPair::resolve(link, &dataset.source, &dataset.target).unwrap();
+            let source_names: Vec<String> = ["sider:drugName", "sider:synonym"]
+                .iter()
+                .flat_map(|p| pair.source.values(p).iter().map(|v| v.to_lowercase()))
+                .collect();
+            let target_names: Vec<String> = ["drugbank:genericName", "drugbank:synonym"]
+                .iter()
+                .flat_map(|p| pair.target.values(p).iter().map(|v| v.to_lowercase()))
+                .collect();
+            assert!(
+                source_names.iter().any(|n| target_names.contains(n)),
+                "{source_names:?} vs {target_names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cas_numbers_are_partially_missing() {
+        let dataset = generate(100, 3);
+        let with_cas = dataset
+            .target
+            .entities()
+            .iter()
+            .filter(|e| !e.values("drugbank:casRegistryNumber").is_empty())
+            .count();
+        assert!(with_cas > 0);
+        assert!(with_cas < dataset.target.len());
+    }
+}

@@ -1,0 +1,235 @@
+//! Word pools and simple text synthesis for the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Title/topic words used for paper titles, movie titles and the like.
+pub const TOPIC_WORDS: &[&str] = &[
+    "learning", "adaptive", "distributed", "efficient", "scalable", "parallel", "incremental",
+    "probabilistic", "neural", "genetic", "relational", "semantic", "linked", "temporal",
+    "spatial", "robust", "approximate", "interactive", "declarative", "streaming", "federated",
+    "matching", "integration", "deduplication", "classification", "clustering", "indexing",
+    "optimization", "estimation", "discovery", "resolution", "alignment", "retrieval",
+    "networks", "databases", "systems", "models", "algorithms", "frameworks", "methods",
+    "queries", "graphs", "records", "entities", "ontologies", "schemas", "rules",
+];
+
+/// Family names used for authors, directors and restaurant owners.
+pub const FAMILY_NAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts",
+];
+
+/// Given names.
+pub const GIVEN_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "christopher", "karen", "charles", "lisa", "daniel", "nancy", "matthew", "betty",
+    "anthony", "sandra", "mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew",
+    "emily", "paul", "donna", "joshua", "michelle",
+];
+
+/// Venue abbreviations used by the Cora-style generator.
+pub const VENUES: &[(&str, &str)] = &[
+    ("Proceedings of the International Conference on Very Large Data Bases", "VLDB"),
+    ("Proceedings of the ACM SIGMOD International Conference on Management of Data", "SIGMOD"),
+    ("Proceedings of the International Conference on Data Engineering", "ICDE"),
+    ("Proceedings of the International Conference on Machine Learning", "ICML"),
+    ("Journal of Machine Learning Research", "JMLR"),
+    ("Proceedings of the AAAI Conference on Artificial Intelligence", "AAAI"),
+    ("Proceedings of the International World Wide Web Conference", "WWW"),
+    ("IEEE Transactions on Knowledge and Data Engineering", "TKDE"),
+    ("Proceedings of the International Semantic Web Conference", "ISWC"),
+    ("Data and Knowledge Engineering", "DKE"),
+];
+
+/// City names with coordinates (latitude, longitude) for location data sets.
+pub const CITIES: &[(&str, f64, f64)] = &[
+    ("Berlin", 52.5200, 13.4050),
+    ("Paris", 48.8566, 2.3522),
+    ("New York", 40.7128, -74.0060),
+    ("London", 51.5074, -0.1278),
+    ("Rome", 41.9028, 12.4964),
+    ("Madrid", 40.4168, -3.7038),
+    ("Vienna", 48.2082, 16.3738),
+    ("Athens", 37.9838, 23.7275),
+    ("Dublin", 53.3498, -6.2603),
+    ("Lisbon", 38.7223, -9.1393),
+    ("Springfield", 39.7817, -89.6501),
+    ("Portland", 45.5152, -122.6784),
+    ("Columbus", 39.9612, -82.9988),
+    ("Richmond", 37.5407, -77.4360),
+    ("Manchester", 53.4808, -2.2426),
+    ("Birmingham", 52.4862, -1.8904),
+    ("Cambridge", 52.2053, 0.1218),
+    ("Oxford", 51.7520, -1.2577),
+    ("Alexandria", 38.8048, -77.0469),
+    ("Georgetown", 38.9076, -77.0723),
+];
+
+/// Street suffixes with their abbreviations (Restaurant addresses).
+pub const STREET_SUFFIXES: &[(&str, &str)] = &[
+    ("Street", "St."),
+    ("Avenue", "Ave."),
+    ("Boulevard", "Blvd."),
+    ("Road", "Rd."),
+    ("Drive", "Dr."),
+];
+
+/// Cuisine types for the Restaurant data set.
+pub const CUISINES: &[&str] = &[
+    "italian", "french", "american", "chinese", "japanese", "mexican", "indian", "thai",
+    "mediterranean", "steakhouse", "seafood", "vegetarian", "bbq", "cafe", "delicatessen",
+];
+
+/// Drug name fragments for the pharmaceutical data sets.
+pub const DRUG_PREFIXES: &[&str] = &[
+    "aceto", "benzo", "carbo", "dexa", "ethyl", "fluoro", "gluco", "hydro", "iso", "keto",
+    "levo", "methyl", "nitro", "oxy", "pheno", "quino", "ribo", "sulfa", "tetra", "uro",
+];
+
+/// Drug name suffixes.
+pub const DRUG_SUFFIXES: &[&str] = &[
+    "micin", "cillin", "zolam", "pril", "sartan", "statin", "dipine", "olol", "azole", "idine",
+    "mab", "nib", "parin", "profen", "setron", "tadine", "vudine", "xaban", "zepam", "zide",
+];
+
+/// Picks a random element of a slice.
+pub fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> &'a T {
+    items.choose(rng).expect("word pools are never empty")
+}
+
+/// Generates a title of `words` topic words, capitalised.
+pub fn title(words: usize, rng: &mut StdRng) -> String {
+    let mut parts = Vec::with_capacity(words);
+    for _ in 0..words.max(1) {
+        parts.push(capitalize(*pick(TOPIC_WORDS, rng)));
+    }
+    parts.join(" ")
+}
+
+/// Generates a person name of the form `Given Family`.
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        capitalize(*pick(GIVEN_NAMES, rng)),
+        capitalize(*pick(FAMILY_NAMES, rng))
+    )
+}
+
+/// Generates a synthetic drug name.
+pub fn drug_name(rng: &mut StdRng) -> String {
+    let mut name = format!("{}{}", pick(DRUG_PREFIXES, rng), pick(DRUG_SUFFIXES, rng));
+    if rng.gen_bool(0.3) {
+        name = format!("{}{}", name, rng.gen_range(2..90) * 5);
+    }
+    capitalize(&name)
+}
+
+/// Generates a CAS-registry-like identifier (`NNNNN-NN-N`).
+pub fn cas_number(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{:02}-{}",
+        rng.gen_range(1000..99999),
+        rng.gen_range(0..100),
+        rng.gen_range(0..10)
+    )
+}
+
+/// Generates a US-style phone number.
+pub fn phone_number(rng: &mut StdRng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(200..999),
+        rng.gen_range(0..10000)
+    )
+}
+
+/// Upper-cases the first character of a word.
+pub fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Turns a label into a DBpedia-style resource URI.
+pub fn to_dbpedia_uri(label: &str) -> String {
+    format!("http://dbpedia.org/resource/{}", label.replace(' ', "_"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn title_has_requested_word_count() {
+        let mut rng = rng();
+        let t = title(4, &mut rng);
+        assert_eq!(t.split_whitespace().count(), 4);
+        assert!(t.chars().next().unwrap().is_uppercase());
+    }
+
+    #[test]
+    fn person_names_have_two_parts() {
+        let mut rng = rng();
+        let name = person_name(&mut rng);
+        assert_eq!(name.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn cas_numbers_have_the_expected_shape() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let cas = cas_number(&mut rng);
+            let parts: Vec<&str> = cas.split('-').collect();
+            assert_eq!(parts.len(), 3);
+            assert!(parts[0].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn phone_numbers_have_the_expected_shape() {
+        let mut rng = rng();
+        let phone = phone_number(&mut rng);
+        assert_eq!(phone.len(), 12);
+        assert_eq!(phone.matches('-').count(), 2);
+    }
+
+    #[test]
+    fn capitalize_handles_edge_cases() {
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("a"), "A");
+        assert_eq!(capitalize("word"), "Word");
+    }
+
+    #[test]
+    fn dbpedia_uris_replace_spaces() {
+        assert_eq!(
+            to_dbpedia_uri("New York City"),
+            "http://dbpedia.org/resource/New_York_City"
+        );
+    }
+
+    #[test]
+    fn drug_names_are_nonempty_and_capitalised() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let name = drug_name(&mut rng);
+            assert!(!name.is_empty());
+            assert!(name.chars().next().unwrap().is_uppercase());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared helpers for the dataset generators.
+
+use std::collections::HashMap;
+
+use linkdisc_entity::{DataSource, Link, ReferenceLinks, Schema};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::text;
+
+/// Collects `(property, value)` pairs for one entity and aligns them with a
+/// schema when the entity is added to a data source.
+#[derive(Debug, Default, Clone)]
+pub struct Row {
+    values: HashMap<String, Vec<String>>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Row::default()
+    }
+
+    /// Sets a single-valued property.
+    pub fn set(&mut self, property: &str, value: impl Into<String>) -> &mut Self {
+        self.values.entry(property.to_string()).or_default().push(value.into());
+        self
+    }
+
+    /// Sets a property only if the value is present.
+    pub fn set_opt(&mut self, property: &str, value: Option<String>) -> &mut Self {
+        if let Some(value) = value {
+            self.set(property, value);
+        }
+        self
+    }
+
+    /// Adds this row as an entity of the data source.
+    pub fn add_to(&self, source: &mut DataSource, id: &str) {
+        let values = source
+            .schema()
+            .properties()
+            .iter()
+            .map(|p| self.values.get(p).cloned().unwrap_or_default())
+            .collect();
+        source
+            .add(id.to_string(), values)
+            .unwrap_or_else(|e| panic!("dataset generator produced a duplicate id: {e}"));
+    }
+}
+
+/// Creates a data source whose schema is the given core properties followed by
+/// `filler_count` filler properties named `<prefix>0 … <prefix>N`.
+pub fn source_with_fillers(
+    name: &str,
+    core_properties: &[&str],
+    filler_prefix: &str,
+    filler_count: usize,
+) -> DataSource {
+    let mut properties: Vec<String> = core_properties.iter().map(|p| p.to_string()).collect();
+    for i in 0..filler_count {
+        properties.push(format!("{filler_prefix}{i}"));
+    }
+    DataSource::new(name, Schema::new(properties))
+}
+
+/// Fills a row's filler properties with short random values such that each
+/// filler property is present with probability `coverage`.
+pub fn fill_fillers(
+    row: &mut Row,
+    filler_prefix: &str,
+    filler_count: usize,
+    coverage: f64,
+    rng: &mut StdRng,
+) {
+    for i in 0..filler_count {
+        if rng.gen_bool(coverage.clamp(0.0, 1.0)) {
+            let value = format!(
+                "{} {}",
+                text::pick(text::TOPIC_WORDS, rng),
+                rng.gen_range(0..1000)
+            );
+            row.set(&format!("{filler_prefix}{i}"), value);
+        }
+    }
+}
+
+/// Builds balanced reference links for `count` aligned entity pairs
+/// (`a<i>` ↔ `b<i>`), generating the negatives with the paper's scheme.
+pub fn aligned_links(
+    source_prefix: &str,
+    target_prefix: &str,
+    count: usize,
+    rng: &mut StdRng,
+) -> ReferenceLinks {
+    let positives = (0..count)
+        .map(|i| Link::new(format!("{source_prefix}{i}"), format!("{target_prefix}{i}")))
+        .collect();
+    ReferenceLinks::with_generated_negatives(positives, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn row_aligns_values_with_the_schema() {
+        let mut source = source_with_fillers("test", &["label", "year"], "extra", 2);
+        let mut row = Row::new();
+        row.set("year", "1999").set("label", "X").set("unknown", "dropped");
+        row.add_to(&mut source, "e1");
+        let entity = source.get("e1").unwrap();
+        assert_eq!(entity.first_value("label"), Some("X"));
+        assert_eq!(entity.first_value("year"), Some("1999"));
+        assert!(entity.values("extra0").is_empty());
+        assert_eq!(source.schema().len(), 4);
+    }
+
+    #[test]
+    fn set_opt_skips_missing_values() {
+        let mut row = Row::new();
+        row.set_opt("a", None).set_opt("b", Some("x".into()));
+        let mut source = source_with_fillers("test", &["a", "b"], "f", 0);
+        row.add_to(&mut source, "e");
+        assert!(source.get("e").unwrap().values("a").is_empty());
+        assert_eq!(source.get("e").unwrap().first_value("b"), Some("x"));
+    }
+
+    #[test]
+    fn fillers_hit_the_requested_coverage() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut source = source_with_fillers("test", &["label"], "p", 50);
+        for i in 0..100 {
+            let mut row = Row::new();
+            row.set("label", format!("entity {i}"));
+            fill_fillers(&mut row, "p", 50, 0.3, &mut rng);
+            row.add_to(&mut source, &format!("e{i}"));
+        }
+        let coverage = source.property_coverage();
+        // label is always set, fillers at ~0.3 -> overall ≈ (1 + 50*0.3)/51
+        assert!((coverage - 0.31).abs() < 0.05, "coverage {coverage}");
+    }
+
+    #[test]
+    fn aligned_links_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let links = aligned_links("a", "b", 30, &mut rng);
+        assert_eq!(links.positive().len(), 30);
+        assert_eq!(links.negative().len(), 30);
+        assert_eq!(links.positive()[0], Link::new("a0", "b0"));
+    }
+}

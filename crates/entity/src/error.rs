@@ -1,0 +1,83 @@
+//! Error type for the entity model.
+
+use std::fmt;
+
+/// Errors raised while building data sources or reference links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntityError {
+    /// An entity with the same identifier was added twice to a data source.
+    DuplicateEntity(String),
+    /// A reference link points at an entity that is not part of the source.
+    UnknownEntity {
+        /// Identifier of the missing entity.
+        id: String,
+        /// Name of the data source that was searched.
+        source: String,
+    },
+    /// A tabular file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error while reading a tabular file.
+    Io(String),
+}
+
+impl fmt::Display for EntityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityError::DuplicateEntity(id) => write!(f, "duplicate entity id: {id}"),
+            EntityError::UnknownEntity { id, source } => {
+                write!(f, "entity {id} is not part of data source {source}")
+            }
+            EntityError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            EntityError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EntityError {}
+
+impl From<std::io::Error> for EntityError {
+    fn from(err: std::io::Error) -> Self {
+        EntityError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            EntityError::DuplicateEntity("x".into()).to_string(),
+            "duplicate entity id: x"
+        );
+        assert_eq!(
+            EntityError::UnknownEntity {
+                id: "a".into(),
+                source: "cora".into()
+            }
+            .to_string(),
+            "entity a is not part of data source cora"
+        );
+        assert!(EntityError::Parse {
+            line: 3,
+            message: "bad row".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: EntityError = io.into();
+        assert!(matches!(err, EntityError::Io(_)));
+    }
+}

@@ -1,0 +1,319 @@
+//! Reference links: the supervision signal of GenLink.
+//!
+//! A positive reference link `(a, b) ∈ R+` asserts that `a` and `b` describe
+//! the same real-world object, a negative reference link asserts that they do
+//! not (Definition 2 of the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::EntityError;
+use crate::source::DataSource;
+
+/// A reference link between a source entity and a target entity, by identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    /// Identifier of the entity in data source `A`.
+    pub source: String,
+    /// Identifier of the entity in data source `B`.
+    pub target: String,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(source: impl Into<String>, target: impl Into<String>) -> Self {
+        Link {
+            source: source.into(),
+            target: target.into(),
+        }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-> {}", self.source, self.target)
+    }
+}
+
+/// A set of positive (`R+`) and negative (`R−`) reference links.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReferenceLinks {
+    positive: Vec<Link>,
+    negative: Vec<Link>,
+}
+
+impl ReferenceLinks {
+    /// Creates a reference link set from explicit positive and negative links.
+    pub fn new(positive: Vec<Link>, negative: Vec<Link>) -> Self {
+        ReferenceLinks { positive, negative }
+    }
+
+    /// The positive reference links `R+`.
+    pub fn positive(&self) -> &[Link] {
+        &self.positive
+    }
+
+    /// The negative reference links `R−`.
+    pub fn negative(&self) -> &[Link] {
+        &self.negative
+    }
+
+    /// Total number of reference links.
+    pub fn len(&self) -> usize {
+        self.positive.len() + self.negative.len()
+    }
+
+    /// Returns `true` if no link is present.
+    pub fn is_empty(&self) -> bool {
+        self.positive.is_empty() && self.negative.is_empty()
+    }
+
+    /// Generates negative reference links from the positive ones using the
+    /// scheme of Section 6.1 of the paper: for two positive links
+    /// `(a, b)` and `(c, d)` the pairs `(a, d)` and `(c, b)` are negative
+    /// links, because entities within each data source are internally unique.
+    ///
+    /// The positive links are paired up after shuffling with `rng`; the number
+    /// of generated negative links equals the number of positive links (for an
+    /// odd count the last link is crossed with the first).  Generated pairs
+    /// that collide with a positive link are skipped.
+    pub fn with_generated_negatives<R: Rng>(positive: Vec<Link>, rng: &mut R) -> Self {
+        let positive_set: HashSet<(String, String)> = positive
+            .iter()
+            .map(|l| (l.source.clone(), l.target.clone()))
+            .collect();
+        let mut shuffled = positive.clone();
+        shuffled.shuffle(rng);
+        let mut negative = Vec::with_capacity(positive.len());
+        let mut seen: HashSet<(String, String)> = HashSet::new();
+        let n = shuffled.len();
+        if n >= 2 {
+            for i in 0..n {
+                let a = &shuffled[i];
+                let b = &shuffled[(i + 1) % n];
+                for candidate in [
+                    Link::new(a.source.clone(), b.target.clone()),
+                    Link::new(b.source.clone(), a.target.clone()),
+                ] {
+                    if negative.len() >= positive.len() {
+                        break;
+                    }
+                    let key = (candidate.source.clone(), candidate.target.clone());
+                    if positive_set.contains(&key) || seen.contains(&key) {
+                        continue;
+                    }
+                    seen.insert(key);
+                    negative.push(candidate);
+                }
+                if negative.len() >= positive.len() {
+                    break;
+                }
+            }
+        }
+        ReferenceLinks { positive, negative }
+    }
+
+    /// Verifies that every link endpoint exists in the respective data source.
+    pub fn validate(&self, source: &DataSource, target: &DataSource) -> Result<(), EntityError> {
+        for link in self.positive.iter().chain(self.negative.iter()) {
+            if source.get(&link.source).is_none() {
+                return Err(EntityError::UnknownEntity {
+                    id: link.source.clone(),
+                    source: source.name().to_string(),
+                });
+            }
+            if target.get(&link.target).is_none() {
+                return Err(EntityError::UnknownEntity {
+                    id: link.target.clone(),
+                    source: target.name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Randomly splits the reference links into `folds` disjoint folds of
+    /// (approximately) equal size, preserving the positive/negative balance
+    /// within each fold.  Used for the 2-fold cross validation of Section 6.1.
+    pub fn split_folds<R: Rng>(&self, folds: usize, rng: &mut R) -> Vec<ReferenceLinks> {
+        assert!(folds >= 1, "at least one fold is required");
+        let mut positive = self.positive.clone();
+        let mut negative = self.negative.clone();
+        positive.shuffle(rng);
+        negative.shuffle(rng);
+        let mut result: Vec<ReferenceLinks> = (0..folds).map(|_| ReferenceLinks::default()).collect();
+        for (i, link) in positive.into_iter().enumerate() {
+            result[i % folds].positive.push(link);
+        }
+        for (i, link) in negative.into_iter().enumerate() {
+            result[i % folds].negative.push(link);
+        }
+        result
+    }
+
+    /// Merges several reference link sets into one (used to build a training
+    /// set from all folds except the held-out one).
+    pub fn merge<'a, I: IntoIterator<Item = &'a ReferenceLinks>>(sets: I) -> ReferenceLinks {
+        let mut merged = ReferenceLinks::default();
+        for set in sets {
+            merged.positive.extend(set.positive.iter().cloned());
+            merged.negative.extend(set.negative.iter().cloned());
+        }
+        merged
+    }
+
+    /// Splits into a `(train, validation)` pair where the training set holds
+    /// `train_fraction` of both the positive and the negative links.
+    pub fn split_train_validation<R: Rng>(
+        &self,
+        train_fraction: f64,
+        rng: &mut R,
+    ) -> (ReferenceLinks, ReferenceLinks) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must lie in [0, 1]"
+        );
+        let mut positive = self.positive.clone();
+        let mut negative = self.negative.clone();
+        positive.shuffle(rng);
+        negative.shuffle(rng);
+        let pos_cut = (positive.len() as f64 * train_fraction).round() as usize;
+        let neg_cut = (negative.len() as f64 * train_fraction).round() as usize;
+        let val_pos = positive.split_off(pos_cut.min(positive.len()));
+        let val_neg = negative.split_off(neg_cut.min(negative.len()));
+        (
+            ReferenceLinks::new(positive, negative),
+            ReferenceLinks::new(val_pos, val_neg),
+        )
+    }
+}
+
+/// Builder for reference link sets.
+#[derive(Debug, Default)]
+pub struct ReferenceLinksBuilder {
+    positive: Vec<Link>,
+    negative: Vec<Link>,
+}
+
+impl ReferenceLinksBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a positive reference link.
+    pub fn positive(mut self, source: impl Into<String>, target: impl Into<String>) -> Self {
+        self.positive.push(Link::new(source, target));
+        self
+    }
+
+    /// Adds a negative reference link.
+    pub fn negative(mut self, source: impl Into<String>, target: impl Into<String>) -> Self {
+        self.negative.push(Link::new(source, target));
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> ReferenceLinks {
+        ReferenceLinks::new(self.positive, self.negative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn positives(n: usize) -> Vec<Link> {
+        (0..n).map(|i| Link::new(format!("a{i}"), format!("b{i}"))).collect()
+    }
+
+    #[test]
+    fn builder_collects_links() {
+        let links = ReferenceLinksBuilder::new()
+            .positive("a1", "b1")
+            .negative("a1", "b2")
+            .build();
+        assert_eq!(links.positive().len(), 1);
+        assert_eq!(links.negative().len(), 1);
+        assert_eq!(links.len(), 2);
+        assert!(!links.is_empty());
+    }
+
+    #[test]
+    fn generated_negatives_match_positive_count_and_do_not_collide() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let links = ReferenceLinks::with_generated_negatives(positives(50), &mut rng);
+        assert_eq!(links.negative().len(), 50);
+        let positive_set: HashSet<_> = links.positive().iter().cloned().collect();
+        for neg in links.negative() {
+            assert!(!positive_set.contains(neg), "negative {neg} collides with a positive link");
+        }
+        // no duplicate negatives
+        let unique: HashSet<_> = links.negative().iter().cloned().collect();
+        assert_eq!(unique.len(), links.negative().len());
+    }
+
+    #[test]
+    fn single_positive_link_yields_no_negatives() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let links = ReferenceLinks::with_generated_negatives(positives(1), &mut rng);
+        assert!(links.negative().is_empty());
+    }
+
+    #[test]
+    fn folds_are_disjoint_and_cover_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let links = ReferenceLinks::with_generated_negatives(positives(21), &mut rng);
+        let folds = links.split_folds(2, &mut rng);
+        assert_eq!(folds.len(), 2);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, links.len());
+        // positive balance is preserved approximately
+        assert!((folds[0].positive().len() as i64 - folds[1].positive().len() as i64).abs() <= 1);
+        let all: HashSet<_> = folds
+            .iter()
+            .flat_map(|f| f.positive().iter().chain(f.negative().iter()))
+            .collect();
+        assert_eq!(all.len(), links.len());
+    }
+
+    #[test]
+    fn train_validation_split_respects_fraction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let links = ReferenceLinks::with_generated_negatives(positives(100), &mut rng);
+        let (train, val) = links.split_train_validation(0.7, &mut rng);
+        assert_eq!(train.positive().len(), 70);
+        assert_eq!(val.positive().len(), 30);
+        assert_eq!(train.negative().len() + val.negative().len(), 100);
+    }
+
+    #[test]
+    fn merge_concatenates_folds() {
+        let a = ReferenceLinksBuilder::new().positive("a", "b").build();
+        let b = ReferenceLinksBuilder::new().negative("c", "d").build();
+        let merged = ReferenceLinks::merge([&a, &b]);
+        assert_eq!(merged.positive().len(), 1);
+        assert_eq!(merged.negative().len(), 1);
+    }
+
+    #[test]
+    fn validation_detects_unknown_entities() {
+        use crate::source::DataSourceBuilder;
+        let source = DataSourceBuilder::new("s", ["label"])
+            .entity("a1", [("label", "x")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("t", ["label"])
+            .entity("b1", [("label", "x")])
+            .unwrap()
+            .build();
+        let good = ReferenceLinksBuilder::new().positive("a1", "b1").build();
+        assert!(good.validate(&source, &target).is_ok());
+        let bad = ReferenceLinksBuilder::new().positive("a1", "missing").build();
+        assert!(bad.validate(&source, &target).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation of linkage rules: confusion matrices, F-measure, Matthews
+//! correlation coefficient, train/validation protocols and run summaries.
+//!
+//! The paper evaluates learned rules with the F-measure on the reference links
+//! (training and validation folds of a 2-fold cross validation, averaged over
+//! 10 runs) and uses the Matthews correlation coefficient (MCC) as the fitness
+//! measure of the genetic search (Section 5.2).
+
+pub mod confusion;
+pub mod protocol;
+pub mod summary;
+
+pub use confusion::ConfusionMatrix;
+pub use protocol::{evaluate_rule, evaluate_rule_on_links, CrossValidation, FoldResult};
+pub use summary::Summary;

@@ -1,0 +1,99 @@
+//! Mean / standard deviation summaries of repeated measurements.
+//!
+//! Every result table of the paper reports "mean (σ)" over 10 runs; this tiny
+//! statistics helper produces those numbers.
+
+/// Mean and standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (σ, using `n` in the denominator as the paper
+    /// reports population-style deviations over its 10 runs).
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises an iterator of observations.
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+        let values: Vec<f64> = values.into_iter().collect();
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            mean,
+            std_dev: variance.sqrt(),
+            count,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Formats the summary the way the paper's tables do: `0.969 (0.003)`.
+    pub fn paper_format(&self) -> String {
+        format!("{:.3} ({:.3})", self.mean, self.std_dev)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.paper_format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_constant_values() {
+        let s = Summary::of([0.5, 0.5, 0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 0.5);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s, Summary::default());
+    }
+
+    #[test]
+    fn paper_format_matches_table_style() {
+        let s = Summary::of([0.966, 0.970, 0.962]);
+        assert_eq!(s.paper_format(), "0.966 (0.003)");
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_within_min_max(values in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+            let s = Summary::of(values.clone());
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+            prop_assert_eq!(s.count, values.len());
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The evolution loop (Algorithm 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+use crate::population::{Individual, Population};
+use crate::selection::tournament_select;
+use crate::{GpConfig, Problem};
+
+/// Per-iteration statistics, reported to observers and collected in the
+/// result history.  The experiment harness turns these into the
+/// learning-curve tables (Tables 7–12 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration number; `0` describes the initial population.
+    pub iteration: usize,
+    /// Highest fitness in the population.
+    pub best_fitness: f64,
+    /// Mean fitness of the population.
+    pub mean_fitness: f64,
+    /// Highest training F-measure in the population.
+    pub best_f_measure: f64,
+    /// Mean training F-measure of the population.
+    pub mean_f_measure: f64,
+    /// Seconds elapsed since the start of the run (cumulative, like the
+    /// "Time in s" column of the paper's tables).
+    pub elapsed_seconds: f64,
+}
+
+/// The result of an evolution run.
+#[derive(Debug, Clone)]
+pub struct EvolutionResult<G> {
+    /// The best individual (by fitness) of the final population.
+    pub best: Individual<G>,
+    /// The final population.
+    pub population: Population<G>,
+    /// Statistics of every iteration, starting with iteration 0.
+    pub history: Vec<IterationStats>,
+    /// Number of breeding iterations that were executed.
+    pub iterations: usize,
+    /// Whether the run stopped because the F-measure target was reached.
+    pub stopped_early: bool,
+}
+
+/// The generic evolution engine.
+pub struct Evolution<'a, P: Problem> {
+    problem: &'a P,
+    config: GpConfig,
+}
+
+impl<'a, P: Problem> Evolution<'a, P> {
+    /// Creates an engine for a problem; panics on an invalid configuration.
+    pub fn new(problem: &'a P, config: GpConfig) -> Self {
+        config.validate();
+        Evolution { problem, config }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &GpConfig {
+        &self.config
+    }
+
+    /// Runs the evolution to completion.
+    pub fn run(&self, rng: &mut StdRng) -> EvolutionResult<P::Genome> {
+        self.run_with_observer(rng, |_, _| {})
+    }
+
+    /// Runs the evolution, invoking `observer` after the initial population
+    /// has been evaluated (iteration 0) and after every breeding iteration.
+    pub fn run_with_observer<F>(
+        &self,
+        rng: &mut StdRng,
+        mut observer: F,
+    ) -> EvolutionResult<P::Genome>
+    where
+        F: FnMut(&IterationStats, &Population<P::Genome>),
+    {
+        let start = Instant::now();
+        let genomes = self
+            .problem
+            .initial_population(self.config.population_size, rng);
+        let mut population = Population::new(self.evaluate_all(genomes));
+        let mut history = Vec::with_capacity(self.config.max_iterations + 1);
+        let stats = self.stats(0, &population, &start);
+        observer(&stats, &population);
+        history.push(stats);
+
+        let mut iterations = 0;
+        let mut stopped_early = false;
+        for iteration in 1..=self.config.max_iterations {
+            if self.reached_target(&population) {
+                stopped_early = true;
+                break;
+            }
+            let offspring = self.breed(&population, rng);
+            let mut next = self.evaluate_all(offspring);
+            // elitism: carry over the best individuals unchanged
+            let elites = population.elites(self.config.elitism);
+            if !elites.is_empty() {
+                let keep = next.len().saturating_sub(elites.len());
+                next.truncate(keep);
+                next.extend(elites);
+            }
+            population = Population::new(next);
+            iterations = iteration;
+            let stats = self.stats(iteration, &population, &start);
+            observer(&stats, &population);
+            history.push(stats);
+        }
+        if !stopped_early {
+            stopped_early = self.reached_target(&population) && iterations < self.config.max_iterations;
+        }
+
+        let best = population
+            .best()
+            .cloned()
+            .expect("population is never empty");
+        EvolutionResult {
+            best,
+            population,
+            history,
+            iterations,
+            stopped_early,
+        }
+    }
+
+    fn reached_target(&self, population: &Population<P::Genome>) -> bool {
+        population
+            .best_by_f_measure()
+            .map(|i| i.evaluation.f_measure >= self.config.stop_f_measure)
+            .unwrap_or(false)
+    }
+
+    fn stats(
+        &self,
+        iteration: usize,
+        population: &Population<P::Genome>,
+        start: &Instant,
+    ) -> IterationStats {
+        IterationStats {
+            iteration,
+            best_fitness: population.best().map(|i| i.fitness()).unwrap_or(0.0),
+            mean_fitness: population.mean_fitness(),
+            best_f_measure: population
+                .best_by_f_measure()
+                .map(|i| i.evaluation.f_measure)
+                .unwrap_or(0.0),
+            mean_f_measure: population.mean_f_measure(),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Breeds a full new generation (the inner `while` of Algorithm 1):
+    /// select two rules, select a crossover operator (inside
+    /// [`Problem::crossover`]), and with the mutation probability cross the
+    /// first parent with a random genome instead of the second parent
+    /// (headless-chicken mutation).
+    fn breed(&self, population: &Population<P::Genome>, rng: &mut StdRng) -> Vec<P::Genome> {
+        let mut offspring = Vec::with_capacity(self.config.population_size);
+        while offspring.len() < self.config.population_size {
+            let first = tournament_select(population, self.config.tournament_size, rng);
+            let second = tournament_select(population, self.config.tournament_size, rng);
+            let p: f64 = rng.gen();
+            let child = if p < self.config.mutation_probability {
+                let random = self.problem.random_genome(rng);
+                self.problem.crossover(&first.genome, &random, rng)
+            } else {
+                self.problem.crossover(&first.genome, &second.genome, rng)
+            };
+            offspring.push(child);
+        }
+        offspring
+    }
+
+    /// Evaluates genomes in parallel, preserving their order.
+    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        if threads <= 1 || genomes.len() < 2 * threads {
+            return genomes
+                .into_iter()
+                .map(|g| {
+                    let evaluation = self.problem.evaluate(&g);
+                    Individual::new(g, evaluation)
+                })
+                .collect();
+        }
+        let chunk_size = genomes.len().div_ceil(threads);
+        let chunks: Vec<Vec<P::Genome>> = genomes
+            .chunks(chunk_size)
+            .map(|c| c.to_vec())
+            .collect();
+        let mut results: Vec<Vec<Individual<P::Genome>>> = Vec::with_capacity(chunks.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        chunk
+                            .into_iter()
+                            .map(|g| {
+                                let evaluation = self.problem.evaluate(&g);
+                                Individual::new(g, evaluation)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("evaluation thread panicked"));
+            }
+        })
+        .expect("evaluation scope panicked");
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Evaluated;
+
+    /// A toy problem: genomes are integer vectors, fitness is the (negated)
+    /// distance to a target vector, crossover is uniform recombination.
+    struct TargetVector {
+        target: Vec<i32>,
+    }
+
+    impl Problem for TargetVector {
+        type Genome = Vec<i32>;
+
+        fn random_genome(&self, rng: &mut StdRng) -> Vec<i32> {
+            (0..self.target.len()).map(|_| rng.gen_range(0..10)).collect()
+        }
+
+        fn crossover(&self, a: &Vec<i32>, b: &Vec<i32>, rng: &mut StdRng) -> Vec<i32> {
+            a.iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+                .collect()
+        }
+
+        fn evaluate(&self, genome: &Vec<i32>) -> Evaluated {
+            let distance: i32 = genome
+                .iter()
+                .zip(self.target.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            let max_distance = (10 * self.target.len()) as f64;
+            let quality = 1.0 - distance as f64 / max_distance;
+            Evaluated {
+                fitness: quality,
+                f_measure: if distance == 0 { 1.0 } else { quality },
+            }
+        }
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn evolution_improves_fitness() {
+        let problem = TargetVector { target: vec![3, 7, 1, 9, 4] };
+        let config = GpConfig {
+            population_size: 60,
+            max_iterations: 30,
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let result = Evolution::new(&problem, config).run(&mut rng(11));
+        let initial = result.history.first().unwrap().best_fitness;
+        let final_ = result.history.last().unwrap().best_fitness;
+        assert!(final_ >= initial);
+        assert!(final_ > 0.9, "final fitness was {final_}");
+        assert_eq!(result.population.len(), 60);
+    }
+
+    #[test]
+    fn stop_condition_halts_the_run_early() {
+        let problem = TargetVector { target: vec![5, 5] };
+        let config = GpConfig {
+            population_size: 80,
+            max_iterations: 200,
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let result = Evolution::new(&problem, config).run(&mut rng(3));
+        assert!(result.stopped_early);
+        assert!(result.iterations < 200);
+        assert_eq!(result.best.evaluation.f_measure, 1.0);
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_starting_at_zero() {
+        let problem = TargetVector { target: vec![1, 2, 3] };
+        let config = GpConfig {
+            population_size: 20,
+            max_iterations: 5,
+            stop_f_measure: 2.0, // never reached -> run all iterations
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let mut seen = Vec::new();
+        let result = Evolution::new(&problem, config)
+            .run_with_observer(&mut rng(1), |stats, population| {
+                seen.push(stats.iteration);
+                assert_eq!(population.len(), 20);
+            });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(result.history.len(), 6);
+        assert!(!result.stopped_early);
+        // elapsed time is monotonically non-decreasing
+        for pair in result.history.windows(2) {
+            assert!(pair[1].elapsed_seconds >= pair[0].elapsed_seconds);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        let problem = TargetVector { target: vec![2; 8] };
+        let sequential = GpConfig {
+            population_size: 50,
+            max_iterations: 8,
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let parallel = GpConfig { threads: 4, ..sequential };
+        let result_seq = Evolution::new(&problem, sequential).run(&mut rng(9));
+        let result_par = Evolution::new(&problem, parallel).run(&mut rng(9));
+        // evaluation is deterministic, so identical seeds must yield identical histories
+        assert_eq!(result_seq.history.len(), result_par.history.len());
+        for (a, b) in result_seq.history.iter().zip(result_par.history.iter()) {
+            assert_eq!(a.best_fitness, b.best_fitness);
+            assert_eq!(a.mean_fitness, b.mean_fitness);
+        }
+    }
+
+    #[test]
+    fn elitism_never_loses_the_best_individual() {
+        let problem = TargetVector { target: vec![4, 4, 4, 4] };
+        let config = GpConfig {
+            population_size: 30,
+            max_iterations: 12,
+            elitism: 1,
+            stop_f_measure: 2.0,
+            threads: 1,
+            ..GpConfig::default()
+        };
+        let result = Evolution::new(&problem, config).run(&mut rng(5));
+        let mut best_so_far = f64::MIN;
+        for stats in &result.history {
+            assert!(
+                stats.best_fitness >= best_so_far - 1e-12,
+                "best fitness regressed: {} < {best_so_far}",
+                stats.best_fitness
+            );
+            best_so_far = best_so_far.max(stats.best_fitness);
+        }
+    }
+}

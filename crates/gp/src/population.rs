@@ -1,0 +1,152 @@
+//! Populations of evaluated individuals.
+
+/// The result of evaluating a genome.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Evaluated {
+    /// The fitness driving selection (GenLink: `MCC − 0.05 · operatorcount`).
+    pub fitness: f64,
+    /// The F-measure on the training links, driving the stop condition.
+    pub f_measure: f64,
+}
+
+/// A genome together with its evaluation.
+#[derive(Debug, Clone)]
+pub struct Individual<G> {
+    /// The candidate solution.
+    pub genome: G,
+    /// Its evaluation.
+    pub evaluation: Evaluated,
+}
+
+impl<G> Individual<G> {
+    /// Creates an evaluated individual.
+    pub fn new(genome: G, evaluation: Evaluated) -> Self {
+        Individual { genome, evaluation }
+    }
+
+    /// The fitness of this individual.
+    pub fn fitness(&self) -> f64 {
+        self.evaluation.fitness
+    }
+}
+
+/// A population of evaluated individuals.
+#[derive(Debug, Clone)]
+pub struct Population<G> {
+    individuals: Vec<Individual<G>>,
+}
+
+impl<G> Population<G> {
+    /// Creates a population from evaluated individuals.
+    pub fn new(individuals: Vec<Individual<G>>) -> Self {
+        Population { individuals }
+    }
+
+    /// All individuals.
+    pub fn individuals(&self) -> &[Individual<G>] {
+        &self.individuals
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Returns `true` if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// The individual with the highest fitness.
+    pub fn best(&self) -> Option<&Individual<G>> {
+        self.individuals
+            .iter()
+            .max_by(|a, b| a.fitness().total_cmp(&b.fitness()))
+    }
+
+    /// The individual with the highest F-measure (used by the stop condition
+    /// and for reporting, which the paper does in terms of F1 rather than the
+    /// parsimony-penalised fitness).
+    pub fn best_by_f_measure(&self) -> Option<&Individual<G>> {
+        self.individuals
+            .iter()
+            .max_by(|a, b| a.evaluation.f_measure.total_cmp(&b.evaluation.f_measure))
+    }
+
+    /// Mean fitness of the population.
+    pub fn mean_fitness(&self) -> f64 {
+        if self.individuals.is_empty() {
+            return 0.0;
+        }
+        self.individuals.iter().map(Individual::fitness).sum::<f64>() / self.individuals.len() as f64
+    }
+
+    /// Mean F-measure of the population (reported by the seeding experiment,
+    /// Table 14).
+    pub fn mean_f_measure(&self) -> f64 {
+        if self.individuals.is_empty() {
+            return 0.0;
+        }
+        self.individuals
+            .iter()
+            .map(|i| i.evaluation.f_measure)
+            .sum::<f64>()
+            / self.individuals.len() as f64
+    }
+
+    /// The `count` best individuals by fitness (for elitism), cloned.
+    pub fn elites(&self, count: usize) -> Vec<Individual<G>>
+    where
+        G: Clone,
+    {
+        let mut sorted: Vec<&Individual<G>> = self.individuals.iter().collect();
+        sorted.sort_by(|a, b| b.fitness().total_cmp(&a.fitness()));
+        sorted.into_iter().take(count).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Population<&'static str> {
+        Population::new(vec![
+            Individual::new("low", Evaluated { fitness: 0.1, f_measure: 0.9 }),
+            Individual::new("high", Evaluated { fitness: 0.8, f_measure: 0.7 }),
+            Individual::new("mid", Evaluated { fitness: 0.5, f_measure: 0.5 }),
+        ])
+    }
+
+    #[test]
+    fn best_is_by_fitness() {
+        let population = population();
+        assert_eq!(population.best().unwrap().genome, "high");
+        assert_eq!(population.best_by_f_measure().unwrap().genome, "low");
+    }
+
+    #[test]
+    fn means_are_computed() {
+        let population = population();
+        assert!((population.mean_fitness() - 0.4666).abs() < 1e-3);
+        assert!((population.mean_f_measure() - 0.7).abs() < 1e-12);
+        assert_eq!(population.len(), 3);
+        assert!(!population.is_empty());
+    }
+
+    #[test]
+    fn empty_population_is_safe() {
+        let population: Population<&str> = Population::new(vec![]);
+        assert!(population.best().is_none());
+        assert_eq!(population.mean_fitness(), 0.0);
+        assert_eq!(population.mean_f_measure(), 0.0);
+        assert!(population.elites(3).is_empty());
+    }
+
+    #[test]
+    fn elites_are_sorted_by_fitness() {
+        let elites = population().elites(2);
+        assert_eq!(elites[0].genome, "high");
+        assert_eq!(elites[1].genome, "mid");
+        assert_eq!(population().elites(10).len(), 3);
+    }
+}

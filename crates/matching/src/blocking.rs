@@ -1,0 +1,151 @@
+//! Token blocking: an inverted index from normalised tokens to target
+//! entities.
+//!
+//! Evaluating a linkage rule over the full cross product `A × B` is quadratic;
+//! like most record-linkage systems the engine first restricts each source
+//! entity to *candidate* target entities that share at least one lower-cased
+//! token on one of the properties the rule actually compares.  Rules of the
+//! paper's representation always compare textual or numeric property values,
+//! so token blocking is lossless in practice for exact-token overlaps and a
+//! recall/efficiency trade-off otherwise (the engine can fall back to the full
+//! cross product).
+
+use std::collections::{HashMap, HashSet};
+
+use linkdisc_entity::{normalized_tokens, DataSource};
+
+/// An inverted index from normalised tokens to entity positions in the target
+/// data source.
+#[derive(Debug, Clone, Default)]
+pub struct BlockingIndex {
+    by_token: HashMap<String, Vec<usize>>,
+    indexed_entities: usize,
+}
+
+impl BlockingIndex {
+    /// Builds an index over the given properties of the target source.  An
+    /// empty property list indexes every property.
+    pub fn build(target: &DataSource, properties: &[String]) -> Self {
+        let mut by_token: HashMap<String, Vec<usize>> = HashMap::new();
+        let schema = target.schema();
+        let property_indices: Vec<usize> = if properties.is_empty() {
+            (0..schema.len()).collect()
+        } else {
+            properties
+                .iter()
+                .filter_map(|p| schema.index_of(p))
+                .collect()
+        };
+        for (position, entity) in target.entities().iter().enumerate() {
+            let mut seen = HashSet::new();
+            for &property_index in &property_indices {
+                for token in normalized_tokens(entity.values_at(property_index)) {
+                    if seen.insert(token.clone()) {
+                        by_token.entry(token).or_default().push(position);
+                    }
+                }
+            }
+        }
+        BlockingIndex {
+            by_token,
+            indexed_entities: target.len(),
+        }
+    }
+
+    /// Number of distinct tokens in the index.
+    pub fn token_count(&self) -> usize {
+        self.by_token.len()
+    }
+
+    /// Number of entities that were indexed.
+    pub fn indexed_entities(&self) -> usize {
+        self.indexed_entities
+    }
+
+    /// Returns the candidate target positions for a set of query tokens.
+    pub fn candidates_for_tokens(&self, tokens: &[String]) -> Vec<usize> {
+        let mut candidates = HashSet::new();
+        for token in tokens {
+            if let Some(positions) = self.by_token.get(token) {
+                candidates.extend(positions.iter().copied());
+            }
+        }
+        let mut result: Vec<usize> = candidates.into_iter().collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// Returns the candidate target positions for a source entity: all target
+    /// entities sharing at least one token on the given source properties.
+    pub fn candidates(
+        &self,
+        source_entity: &linkdisc_entity::Entity,
+        source_properties: &[String],
+    ) -> Vec<usize> {
+        let mut tokens = Vec::new();
+        if source_properties.is_empty() {
+            for (_, values) in source_entity.iter() {
+                tokens.extend(normalized_tokens(values));
+            }
+        } else {
+            for property in source_properties {
+                tokens.extend(normalized_tokens(source_entity.values(property)));
+            }
+        }
+        self.candidates_for_tokens(&tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::DataSourceBuilder;
+
+    fn target() -> DataSource {
+        DataSourceBuilder::new("cities", ["label", "country"])
+            .entity("b1", [("label", "Berlin"), ("country", "Germany")])
+            .unwrap()
+            .entity("b2", [("label", "Paris"), ("country", "France")])
+            .unwrap()
+            .entity("b3", [("label", "New Berlin"), ("country", "USA")])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn index_finds_entities_sharing_tokens() {
+        let index = BlockingIndex::build(&target(), &["label".to_string()]);
+        assert_eq!(index.indexed_entities(), 3);
+        assert!(index.token_count() >= 3);
+        let candidates = index.candidates_for_tokens(&["berlin".to_string()]);
+        assert_eq!(candidates, vec![0, 2]);
+        assert!(index.candidates_for_tokens(&["unknown".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn candidates_use_source_entity_tokens() {
+        let index = BlockingIndex::build(&target(), &["label".to_string()]);
+        let source = DataSourceBuilder::new("s", ["name"])
+            .entity("a1", [("name", "BERLIN city")])
+            .unwrap()
+            .build();
+        let candidates = index.candidates(source.get("a1").unwrap(), &["name".to_string()]);
+        assert_eq!(candidates, vec![0, 2]);
+        // empty property list falls back to all properties
+        let candidates = index.candidates(source.get("a1").unwrap(), &[]);
+        assert_eq!(candidates, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_property_list_indexes_everything() {
+        let index = BlockingIndex::build(&target(), &[]);
+        let candidates = index.candidates_for_tokens(&["germany".to_string()]);
+        assert_eq!(candidates, vec![0]);
+    }
+
+    #[test]
+    fn unknown_properties_produce_an_empty_index() {
+        let index = BlockingIndex::build(&target(), &["missing".to_string()]);
+        assert_eq!(index.token_count(), 0);
+    }
+}

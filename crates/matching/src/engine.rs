@@ -1,0 +1,324 @@
+//! The matching engine: candidate generation plus rule execution.
+
+use linkdisc_entity::{DataSource, EntityPair};
+use linkdisc_rule::{LinkageRule, LINK_THRESHOLD};
+
+use crate::blocking::BlockingIndex;
+
+/// A generated link with its similarity score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredLink {
+    /// Identifier of the source entity.
+    pub source: String,
+    /// Identifier of the target entity.
+    pub target: String,
+    /// Similarity assigned by the linkage rule (≥ 0.5).
+    pub score: f64,
+}
+
+/// Options of a matching run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchingOptions {
+    /// Use the token blocking index (`true`) or evaluate the full cross
+    /// product (`false`).
+    pub use_blocking: bool,
+    /// Keep only the best-scoring link per source entity.
+    pub best_match_only: bool,
+    /// Number of worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for MatchingOptions {
+    fn default() -> Self {
+        MatchingOptions {
+            use_blocking: true,
+            best_match_only: false,
+            threads: 0,
+        }
+    }
+}
+
+/// The result of a matching run.
+#[derive(Debug, Clone)]
+pub struct MatchingReport {
+    /// The generated links (score ≥ 0.5), sorted by source id then score.
+    pub links: Vec<ScoredLink>,
+    /// Number of candidate pairs the rule was evaluated on.
+    pub evaluated_pairs: usize,
+    /// Size of the full cross product, for comparison.
+    pub cross_product: usize,
+}
+
+impl MatchingReport {
+    /// The fraction of the cross product that was actually evaluated.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.cross_product == 0 {
+            return 0.0;
+        }
+        1.0 - self.evaluated_pairs as f64 / self.cross_product as f64
+    }
+}
+
+/// Executes a linkage rule over two data sources.
+#[derive(Debug, Clone)]
+pub struct MatchingEngine {
+    rule: LinkageRule,
+    options: MatchingOptions,
+}
+
+impl MatchingEngine {
+    /// Creates an engine for a rule with default options.
+    pub fn new(rule: LinkageRule) -> Self {
+        MatchingEngine {
+            rule,
+            options: MatchingOptions::default(),
+        }
+    }
+
+    /// Overrides the matching options.
+    pub fn with_options(mut self, options: MatchingOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The rule this engine executes.
+    pub fn rule(&self) -> &LinkageRule {
+        &self.rule
+    }
+
+    /// Generates links between the two data sources.
+    pub fn run(&self, source: &DataSource, target: &DataSource) -> MatchingReport {
+        let cross_product = source.len() * target.len();
+        let (source_properties, target_properties) = match self.rule.root() {
+            Some(root) => {
+                let (s, t) = root.properties();
+                (
+                    s.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                    t.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                )
+            }
+            None => {
+                return MatchingReport {
+                    links: Vec::new(),
+                    evaluated_pairs: 0,
+                    cross_product,
+                }
+            }
+        };
+
+        let index = if self.options.use_blocking {
+            Some(BlockingIndex::build(target, &target_properties))
+        } else {
+            None
+        };
+
+        let threads = if self.options.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.options.threads
+        };
+
+        let chunk_size = source.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[linkdisc_entity::Entity]> = source.entities().chunks(chunk_size).collect();
+        let mut per_chunk: Vec<(Vec<ScoredLink>, usize)> = Vec::with_capacity(chunks.len());
+
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let index = &index;
+                    let rule = &self.rule;
+                    let source_properties = &source_properties;
+                    let options = self.options;
+                    scope.spawn(move |_| {
+                        let mut links = Vec::new();
+                        let mut evaluated = 0usize;
+                        for source_entity in chunk {
+                            let candidates: Vec<&linkdisc_entity::Entity> = match index {
+                                Some(index) => index
+                                    .candidates(source_entity, source_properties)
+                                    .into_iter()
+                                    .filter_map(|i| target.at(i))
+                                    .collect(),
+                                None => target.entities().iter().collect(),
+                            };
+                            let mut best: Option<ScoredLink> = None;
+                            for target_entity in candidates {
+                                evaluated += 1;
+                                let score =
+                                    rule.evaluate(&EntityPair::new(source_entity, target_entity));
+                                if score < LINK_THRESHOLD {
+                                    continue;
+                                }
+                                let link = ScoredLink {
+                                    source: source_entity.id().to_string(),
+                                    target: target_entity.id().to_string(),
+                                    score,
+                                };
+                                if options.best_match_only {
+                                    if best.as_ref().map_or(true, |b| score > b.score) {
+                                        best = Some(link);
+                                    }
+                                } else {
+                                    links.push(link);
+                                }
+                            }
+                            if let Some(best) = best {
+                                links.push(best);
+                            }
+                        }
+                        (links, evaluated)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_chunk.push(handle.join().expect("matching thread panicked"));
+            }
+        })
+        .expect("matching scope panicked");
+
+        let mut links = Vec::new();
+        let mut evaluated_pairs = 0;
+        for (chunk_links, evaluated) in per_chunk {
+            links.extend(chunk_links);
+            evaluated_pairs += evaluated;
+        }
+        links.sort_by(|a, b| {
+            a.source
+                .cmp(&b.source)
+                .then_with(|| b.score.total_cmp(&a.score))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        MatchingReport {
+            links,
+            evaluated_pairs,
+            cross_product,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
+
+    fn sources() -> (DataSource, DataSource) {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "Berlin")])
+            .unwrap()
+            .entity("a2", [("label", "Paris")])
+            .unwrap()
+            .entity("a3", [("label", "Unmatched Place")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlin")])
+            .unwrap()
+            .entity("b2", [("name", "paris")])
+            .unwrap()
+            .entity("b3", [("name", "Rome")])
+            .unwrap()
+            .build();
+        (source, target)
+    }
+
+    fn rule() -> LinkageRule {
+        compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            0.5,
+        )
+        .into()
+    }
+
+    #[test]
+    fn engine_finds_the_expected_links() {
+        let (source, target) = sources();
+        let report = MatchingEngine::new(rule()).run(&source, &target);
+        let pairs: Vec<(&str, &str)> = report
+            .links
+            .iter()
+            .map(|l| (l.source.as_str(), l.target.as_str()))
+            .collect();
+        assert_eq!(pairs, vec![("a1", "b1"), ("a2", "b2")]);
+        assert!(report.links.iter().all(|l| l.score >= 0.5));
+    }
+
+    #[test]
+    fn blocking_reduces_the_evaluated_pairs() {
+        let (source, target) = sources();
+        let blocked = MatchingEngine::new(rule()).run(&source, &target);
+        let full = MatchingEngine::new(rule())
+            .with_options(MatchingOptions {
+                use_blocking: false,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(full.evaluated_pairs, 9);
+        assert!(blocked.evaluated_pairs < full.evaluated_pairs);
+        assert_eq!(blocked.links, full.links);
+        assert!(blocked.reduction_ratio() > 0.0);
+    }
+
+    #[test]
+    fn best_match_only_keeps_one_link_per_source() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "berlin")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlin")])
+            .unwrap()
+            .entity("b2", [("name", "berlim")])
+            .unwrap()
+            .build();
+        let fuzzy_rule: LinkageRule = compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        // token blocking would prune the "berlim" candidate (no shared
+        // token), so this test evaluates the full cross product
+        let all = MatchingEngine::new(fuzzy_rule.clone())
+            .with_options(MatchingOptions {
+                use_blocking: false,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(all.links.len(), 2);
+        let best = MatchingEngine::new(fuzzy_rule)
+            .with_options(MatchingOptions {
+                use_blocking: false,
+                best_match_only: true,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(best.links.len(), 1);
+        assert_eq!(best.links[0].target, "b1");
+    }
+
+    #[test]
+    fn empty_rule_produces_no_links() {
+        let (source, target) = sources();
+        let report = MatchingEngine::new(LinkageRule::empty()).run(&source, &target);
+        assert!(report.links.is_empty());
+        assert_eq!(report.evaluated_pairs, 0);
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_runs_agree() {
+        let (source, target) = sources();
+        let sequential = MatchingEngine::new(rule())
+            .with_options(MatchingOptions { threads: 1, ..MatchingOptions::default() })
+            .run(&source, &target);
+        let parallel = MatchingEngine::new(rule())
+            .with_options(MatchingOptions { threads: 4, ..MatchingOptions::default() })
+            .run(&source, &target);
+        assert_eq!(sequential.links, parallel.links);
+        assert_eq!(sequential.evaluated_pairs, parallel.evaluated_pairs);
+    }
+}

@@ -1,0 +1,20 @@
+//! Matching engine: executes a linkage rule over two data sources.
+//!
+//! The GenLink paper learns rules from reference links; actually *generating*
+//! links over full data sources is handled by the Silk execution engine
+//! (Isele & Bizer, OM 2011).  This crate provides the equivalent machinery so
+//! learned rules can be applied end-to-end:
+//!
+//! * [`BlockingIndex`] — a token-based inverted index over the target data
+//!   source that prunes the `|A| × |B|` cross product to candidate pairs that
+//!   share at least one normalised token on the properties the rule compares,
+//! * [`MatchingEngine`] — evaluates the rule on each candidate pair (in
+//!   parallel) and returns the scored links above the 0.5 threshold,
+//! * [`MatchingReport`] — links plus counters (candidates, comparisons) so
+//!   the pruning effectiveness can be inspected.
+
+pub mod blocking;
+pub mod engine;
+
+pub use blocking::BlockingIndex;
+pub use engine::{MatchingEngine, MatchingOptions, MatchingReport, ScoredLink};

@@ -1,0 +1,156 @@
+//! Aggregation functions (Table 3 of the paper).
+
+/// The aggregation functions used to combine the scores of several similarity
+/// operators.  Table 3 of the paper lists `max`, `min` and `wmean`.
+///
+/// * `min` corresponds to the conjunction of all comparisons (threshold-based
+///   boolean classifier, Definition 10),
+/// * `max` corresponds to a disjunction,
+/// * `wmean` is the weighted average underlying linear classifiers
+///   (Definition 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregationFunction {
+    /// The maximum of all child scores.
+    Max,
+    /// The minimum of all child scores.
+    Min,
+    /// The weighted arithmetic mean of the child scores.
+    WeightedMean,
+}
+
+impl AggregationFunction {
+    /// Every aggregation function, in a stable order.
+    pub const ALL: [AggregationFunction; 3] = [
+        AggregationFunction::Max,
+        AggregationFunction::Min,
+        AggregationFunction::WeightedMean,
+    ];
+
+    /// The canonical name used by the rule DSL.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationFunction::Max => "max",
+            AggregationFunction::Min => "min",
+            AggregationFunction::WeightedMean => "wmean",
+        }
+    }
+
+    /// Parses a DSL name back into an aggregation function.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
+    /// Combines child scores with their weights (Definition 8).
+    ///
+    /// An empty score list yields `0.0`; `max`/`min` ignore the weights.
+    pub fn evaluate(&self, scores: &[f64], weights: &[u32]) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        match self {
+            AggregationFunction::Max => scores.iter().copied().fold(f64::MIN, f64::max),
+            AggregationFunction::Min => scores.iter().copied().fold(f64::MAX, f64::min),
+            AggregationFunction::WeightedMean => {
+                let mut weighted_sum = 0.0;
+                let mut weight_sum = 0.0;
+                for (i, &score) in scores.iter().enumerate() {
+                    let weight = weights.get(i).copied().unwrap_or(1).max(1) as f64;
+                    weighted_sum += weight * score;
+                    weight_sum += weight;
+                }
+                if weight_sum == 0.0 {
+                    0.0
+                } else {
+                    weighted_sum / weight_sum
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AggregationFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn names_round_trip() {
+        for f in AggregationFunction::ALL {
+            assert_eq!(AggregationFunction::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggregationFunction::from_name("sum"), None);
+    }
+
+    #[test]
+    fn min_and_max_ignore_weights() {
+        let scores = [0.2, 0.9, 0.5];
+        let weights = [10, 1, 1];
+        assert_eq!(AggregationFunction::Min.evaluate(&scores, &weights), 0.2);
+        assert_eq!(AggregationFunction::Max.evaluate(&scores, &weights), 0.9);
+    }
+
+    #[test]
+    fn weighted_mean_matches_definition_9() {
+        // (2*0.4 + 1*1.0) / 3 = 0.6
+        let scores = [0.4, 1.0];
+        let weights = [2, 1];
+        assert!((AggregationFunction::WeightedMean.evaluate(&scores, &weights) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_weights_default_to_one() {
+        let scores = [0.0, 1.0];
+        assert_eq!(
+            AggregationFunction::WeightedMean.evaluate(&scores, &[]),
+            0.5
+        );
+    }
+
+    #[test]
+    fn empty_scores_yield_zero() {
+        for f in AggregationFunction::ALL {
+            assert_eq!(f.evaluate(&[], &[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_clamped_to_one() {
+        let scores = [1.0, 0.0];
+        let weights = [0, 0];
+        assert_eq!(
+            AggregationFunction::WeightedMean.evaluate(&scores, &weights),
+            0.5
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn aggregations_stay_in_unit_interval(
+            scores in proptest::collection::vec(0.0f64..=1.0, 1..8),
+            weights in proptest::collection::vec(1u32..10, 1..8),
+        ) {
+            for f in AggregationFunction::ALL {
+                let v = f.evaluate(&scores, &weights);
+                prop_assert!((0.0..=1.0).contains(&v), "{f} produced {v}");
+            }
+        }
+
+        #[test]
+        fn mean_lies_between_min_and_max(
+            scores in proptest::collection::vec(0.0f64..=1.0, 1..8),
+            weights in proptest::collection::vec(1u32..10, 1..8),
+        ) {
+            let min = AggregationFunction::Min.evaluate(&scores, &weights);
+            let max = AggregationFunction::Max.evaluate(&scores, &weights);
+            let mean = AggregationFunction::WeightedMean.evaluate(&scores, &weights);
+            prop_assert!(mean >= min - 1e-12);
+            prop_assert!(mean <= max + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Ergonomic constructors for linkage rules.
+//!
+//! Examples and tests build rules by hand (as a rule author would in Silk);
+//! these helpers keep that concise:
+//!
+//! ```
+//! use linkdisc_rule::{aggregation, compare, property, transform, AggregationFunction,
+//!                     DistanceFunction, TransformFunction, LinkageRule};
+//!
+//! let rule: LinkageRule = aggregation(
+//!     AggregationFunction::Min,
+//!     vec![
+//!         compare(
+//!             transform(TransformFunction::LowerCase, vec![property("label")]),
+//!             transform(TransformFunction::LowerCase, vec![property("rdfs:label")]),
+//!             DistanceFunction::Levenshtein,
+//!             1.0,
+//!         ),
+//!         compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+//!     ],
+//! )
+//! .into();
+//! assert_eq!(rule.operator_count(), 9);
+//! ```
+
+use linkdisc_similarity::DistanceFunction;
+use linkdisc_transform::TransformFunction;
+
+use crate::aggregation::AggregationFunction;
+use crate::operators::{SimilarityOperator, ValueOperator};
+use crate::rule::LinkageRule;
+
+/// Creates a property operator.
+pub fn property(name: impl Into<String>) -> ValueOperator {
+    ValueOperator::property(name)
+}
+
+/// Creates a transformation operator.
+pub fn transform(function: TransformFunction, inputs: Vec<ValueOperator>) -> ValueOperator {
+    ValueOperator::transformation(function, inputs)
+}
+
+/// Creates a comparison operator with weight 1.
+pub fn compare(
+    source: ValueOperator,
+    target: ValueOperator,
+    function: DistanceFunction,
+    threshold: f64,
+) -> SimilarityOperator {
+    SimilarityOperator::comparison(source, target, function, threshold)
+}
+
+/// Creates an aggregation operator with weight 1.
+pub fn aggregation(
+    function: AggregationFunction,
+    operators: Vec<SimilarityOperator>,
+) -> SimilarityOperator {
+    SimilarityOperator::aggregation(function, operators)
+}
+
+/// A fluent builder for the common "one aggregation of several comparisons"
+/// rule shape.
+#[derive(Debug, Default)]
+pub struct RuleBuilder {
+    function: Option<AggregationFunction>,
+    comparisons: Vec<SimilarityOperator>,
+}
+
+impl RuleBuilder {
+    /// Starts a new builder (defaults to weighted-mean aggregation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the aggregation function.
+    pub fn aggregate_with(mut self, function: AggregationFunction) -> Self {
+        self.function = Some(function);
+        self
+    }
+
+    /// Adds a comparison of the same property on both sides.
+    pub fn compare_property(
+        self,
+        property_name: &str,
+        function: DistanceFunction,
+        threshold: f64,
+    ) -> Self {
+        self.compare_properties(property_name, property_name, function, threshold)
+    }
+
+    /// Adds a comparison of a source property against a target property.
+    pub fn compare_properties(
+        mut self,
+        source_property: &str,
+        target_property: &str,
+        function: DistanceFunction,
+        threshold: f64,
+    ) -> Self {
+        self.comparisons.push(compare(
+            property(source_property),
+            property(target_property),
+            function,
+            threshold,
+        ));
+        self
+    }
+
+    /// Adds an arbitrary similarity operator.
+    pub fn operator(mut self, operator: SimilarityOperator) -> Self {
+        self.comparisons.push(operator);
+        self
+    }
+
+    /// Builds the rule.  A single comparison becomes the root directly; zero
+    /// comparisons produce the empty rule.
+    pub fn build(self) -> LinkageRule {
+        match self.comparisons.len() {
+            0 => LinkageRule::empty(),
+            1 if self.function.is_none() => {
+                LinkageRule::new(self.comparisons.into_iter().next().expect("one comparison"))
+            }
+            _ => LinkageRule::new(aggregation(
+                self.function.unwrap_or(AggregationFunction::WeightedMean),
+                self.comparisons,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::{EntityBuilder, EntityPair};
+
+    #[test]
+    fn builder_produces_single_comparison_rules() {
+        let rule = RuleBuilder::new()
+            .compare_property("label", DistanceFunction::Levenshtein, 1.0)
+            .build();
+        assert_eq!(rule.operator_count(), 3);
+        assert_eq!(rule.stats().aggregations, 0);
+    }
+
+    #[test]
+    fn builder_produces_aggregated_rules() {
+        let rule = RuleBuilder::new()
+            .aggregate_with(AggregationFunction::Min)
+            .compare_property("label", DistanceFunction::Levenshtein, 1.0)
+            .compare_properties("date", "released", DistanceFunction::Date, 31.0)
+            .build();
+        assert_eq!(rule.stats().comparisons, 2);
+        assert_eq!(rule.stats().aggregations, 1);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_rule() {
+        assert!(RuleBuilder::new().build().is_empty());
+    }
+
+    #[test]
+    fn built_rule_evaluates() {
+        let rule = RuleBuilder::new()
+            .aggregate_with(AggregationFunction::Min)
+            .compare_property("label", DistanceFunction::Levenshtein, 2.0)
+            .build();
+        let a = EntityBuilder::new("a").value("label", "Casablanca").build_with_own_schema();
+        let b = EntityBuilder::new("b").value("label", "casablanca").build_with_own_schema();
+        assert!(rule.is_link(&EntityPair::new(&a, &b)));
+    }
+
+    #[test]
+    fn free_function_builders_compose() {
+        let op = aggregation(
+            AggregationFunction::Max,
+            vec![compare(
+                transform(TransformFunction::Tokenize, vec![property("title")]),
+                property("name"),
+                DistanceFunction::Jaccard,
+                0.4,
+            )],
+        );
+        let rule: LinkageRule = op.into();
+        assert!(rule.stats().uses_transformations);
+    }
+}

@@ -1,0 +1,509 @@
+//! The four linkage-rule operators and their evaluation semantics.
+
+use linkdisc_entity::{Entity, EntityPair};
+use linkdisc_similarity::DistanceFunction;
+use linkdisc_transform::TransformFunction;
+
+use crate::aggregation::AggregationFunction;
+
+/// A value operator: yields a discriminative value set for a single entity
+/// (the `V := [A ∪ B → Σ]` of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueOperator {
+    /// Retrieves the values of a property (Definition 5).
+    Property(PropertyOperator),
+    /// Transforms the values of child operators (Definition 6).
+    Transformation(TransformationOperator),
+}
+
+/// A property operator `v^p(p) = e ↦ e.p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyOperator {
+    /// The name of the property to retrieve.
+    pub property: String,
+}
+
+/// A transformation operator `v^t(~v, f^t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformationOperator {
+    /// The transformation function applied to the child value sets.
+    pub function: TransformFunction,
+    /// Child value operators; transformations may be nested into chains.
+    pub inputs: Vec<ValueOperator>,
+}
+
+impl ValueOperator {
+    /// Creates a property operator.
+    pub fn property(name: impl Into<String>) -> Self {
+        ValueOperator::Property(PropertyOperator {
+            property: name.into(),
+        })
+    }
+
+    /// Creates a transformation operator.
+    pub fn transformation(function: TransformFunction, inputs: Vec<ValueOperator>) -> Self {
+        ValueOperator::Transformation(TransformationOperator { function, inputs })
+    }
+
+    /// Evaluates this value operator on an entity, yielding a value set.
+    pub fn evaluate(&self, entity: &Entity) -> Vec<String> {
+        match self {
+            ValueOperator::Property(p) => entity.values(&p.property).to_vec(),
+            ValueOperator::Transformation(t) => {
+                let inputs: Vec<Vec<String>> =
+                    t.inputs.iter().map(|op| op.evaluate(entity)).collect();
+                t.function.apply(&inputs)
+            }
+        }
+    }
+
+    /// Total number of operators in this value subtree (properties count too).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            ValueOperator::Property(_) => 1,
+            ValueOperator::Transformation(t) => {
+                1 + t.inputs.iter().map(ValueOperator::operator_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of transformation operators in this value subtree.
+    pub fn transformation_count(&self) -> usize {
+        match self {
+            ValueOperator::Property(_) => 0,
+            ValueOperator::Transformation(t) => {
+                1 + t
+                    .inputs
+                    .iter()
+                    .map(ValueOperator::transformation_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// All property names referenced by this value subtree.
+    pub fn properties(&self) -> Vec<&str> {
+        match self {
+            ValueOperator::Property(p) => vec![p.property.as_str()],
+            ValueOperator::Transformation(t) => {
+                t.inputs.iter().flat_map(ValueOperator::properties).collect()
+            }
+        }
+    }
+
+    /// Maximum nesting depth of this value subtree (a bare property has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            ValueOperator::Property(_) => 1,
+            ValueOperator::Transformation(t) => {
+                1 + t.inputs.iter().map(ValueOperator::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Removes directly nested duplicate transformations (e.g.
+    /// `lowerCase(lowerCase(x))` becomes `lowerCase(x)`).  Transformation
+    /// crossover calls this to honour the paper's "duplicated transformations
+    /// are removed" step.
+    pub fn dedup_transformations(&mut self) {
+        if let ValueOperator::Transformation(t) = self {
+            for input in &mut t.inputs {
+                input.dedup_transformations();
+            }
+            // collapse a single child applying the same function
+            if t.inputs.len() == 1 {
+                if let ValueOperator::Transformation(child) = &t.inputs[0] {
+                    if child.function == t.function {
+                        let grandchildren = child.inputs.clone();
+                        t.inputs = grandchildren;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A similarity operator: assigns a score in `[0, 1]` to an entity pair
+/// (the `S := [A × B → [0, 1]]` of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimilarityOperator {
+    /// Compares two value operators with a distance measure (Definition 7).
+    Comparison(Comparison),
+    /// Aggregates several similarity operators (Definition 8).
+    Aggregation(Aggregation),
+}
+
+/// A comparison operator `s^c(v_a, v_b, f^d, θ)` with a weight used by
+/// enclosing weighted-mean aggregations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Value operator evaluated on the source entity.
+    pub source: ValueOperator,
+    /// Value operator evaluated on the target entity.
+    pub target: ValueOperator,
+    /// The distance measure.
+    pub function: DistanceFunction,
+    /// The distance threshold `θ`.
+    pub threshold: f64,
+    /// Weight used by an enclosing weighted-mean aggregation.
+    pub weight: u32,
+}
+
+/// An aggregation operator `s^a(~s, ~w, f^a)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregation {
+    /// The aggregation function.
+    pub function: AggregationFunction,
+    /// Weight used by an enclosing weighted-mean aggregation (aggregations may
+    /// be nested).
+    pub weight: u32,
+    /// Child similarity operators; the child weights form the `~w` vector.
+    pub operators: Vec<SimilarityOperator>,
+}
+
+impl SimilarityOperator {
+    /// Creates a comparison operator.
+    pub fn comparison(
+        source: ValueOperator,
+        target: ValueOperator,
+        function: DistanceFunction,
+        threshold: f64,
+    ) -> Self {
+        SimilarityOperator::Comparison(Comparison {
+            source,
+            target,
+            function,
+            threshold,
+            weight: 1,
+        })
+    }
+
+    /// Creates an aggregation operator.
+    pub fn aggregation(function: AggregationFunction, operators: Vec<SimilarityOperator>) -> Self {
+        SimilarityOperator::Aggregation(Aggregation {
+            function,
+            weight: 1,
+            operators,
+        })
+    }
+
+    /// The weight of this operator within an enclosing aggregation.
+    pub fn weight(&self) -> u32 {
+        match self {
+            SimilarityOperator::Comparison(c) => c.weight,
+            SimilarityOperator::Aggregation(a) => a.weight,
+        }
+    }
+
+    /// Sets the weight of this operator.
+    pub fn set_weight(&mut self, weight: u32) {
+        match self {
+            SimilarityOperator::Comparison(c) => c.weight = weight.max(1),
+            SimilarityOperator::Aggregation(a) => a.weight = weight.max(1),
+        }
+    }
+
+    /// Evaluates this similarity operator on an entity pair.
+    pub fn evaluate(&self, pair: &EntityPair<'_>) -> f64 {
+        match self {
+            SimilarityOperator::Comparison(c) => {
+                let source_values = c.source.evaluate(pair.source);
+                let target_values = c.target.evaluate(pair.target);
+                c.function
+                    .similarity(&source_values, &target_values, c.threshold)
+            }
+            SimilarityOperator::Aggregation(a) => {
+                let scores: Vec<f64> = a.operators.iter().map(|op| op.evaluate(pair)).collect();
+                let weights: Vec<u32> = a.operators.iter().map(SimilarityOperator::weight).collect();
+                a.function.evaluate(&scores, &weights)
+            }
+        }
+    }
+
+    /// Total number of operators in this subtree, counting property,
+    /// transformation, comparison and aggregation operators alike.  This is
+    /// the `operatorcount` of the parsimony pressure (Section 5.2).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            SimilarityOperator::Comparison(c) => {
+                1 + c.source.operator_count() + c.target.operator_count()
+            }
+            SimilarityOperator::Aggregation(a) => {
+                1 + a
+                    .operators
+                    .iter()
+                    .map(SimilarityOperator::operator_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of comparison operators in this subtree.
+    pub fn comparison_count(&self) -> usize {
+        match self {
+            SimilarityOperator::Comparison(_) => 1,
+            SimilarityOperator::Aggregation(a) => a
+                .operators
+                .iter()
+                .map(SimilarityOperator::comparison_count)
+                .sum(),
+        }
+    }
+
+    /// Number of aggregation operators in this subtree.
+    pub fn aggregation_count(&self) -> usize {
+        match self {
+            SimilarityOperator::Comparison(_) => 0,
+            SimilarityOperator::Aggregation(a) => {
+                1 + a
+                    .operators
+                    .iter()
+                    .map(SimilarityOperator::aggregation_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of transformation operators in this subtree.
+    pub fn transformation_count(&self) -> usize {
+        match self {
+            SimilarityOperator::Comparison(c) => {
+                c.source.transformation_count() + c.target.transformation_count()
+            }
+            SimilarityOperator::Aggregation(a) => a
+                .operators
+                .iter()
+                .map(SimilarityOperator::transformation_count)
+                .sum(),
+        }
+    }
+
+    /// Maximum depth of the similarity-operator tree (a bare comparison has
+    /// depth 1; value operators do not count).
+    pub fn depth(&self) -> usize {
+        match self {
+            SimilarityOperator::Comparison(_) => 1,
+            SimilarityOperator::Aggregation(a) => {
+                1 + a.operators.iter().map(SimilarityOperator::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// All property names referenced anywhere below this operator, as
+    /// `(source-side, target-side)` lists.
+    pub fn properties(&self) -> (Vec<&str>, Vec<&str>) {
+        match self {
+            SimilarityOperator::Comparison(c) => (c.source.properties(), c.target.properties()),
+            SimilarityOperator::Aggregation(a) => {
+                let mut source = Vec::new();
+                let mut target = Vec::new();
+                for op in &a.operators {
+                    let (s, t) = op.properties();
+                    source.extend(s);
+                    target.extend(t);
+                }
+                (source, target)
+            }
+        }
+    }
+
+    /// `true` if the tree contains at least one nested aggregation (i.e. the
+    /// rule is non-linear in the sense of Section 6.3).
+    pub fn has_nested_aggregation(&self) -> bool {
+        match self {
+            SimilarityOperator::Comparison(_) => false,
+            SimilarityOperator::Aggregation(a) => a
+                .operators
+                .iter()
+                .any(|op| matches!(op, SimilarityOperator::Aggregation(_))),
+        }
+    }
+
+    /// `true` if any value operator in the tree is a transformation.
+    pub fn has_transformations(&self) -> bool {
+        self.transformation_count() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::{EntityBuilder, EntityPair};
+
+    fn city_pair() -> (linkdisc_entity::Entity, linkdisc_entity::Entity) {
+        let a = EntityBuilder::new("a:berlin")
+            .value("label", "Berlin")
+            .value("point", "52.5200 13.4050")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b:berlin")
+            .value("rdfs:label", "berlin")
+            .value("coord", "52.5200 13.4050")
+            .build_with_own_schema();
+        (a, b)
+    }
+
+    fn figure2_rule() -> SimilarityOperator {
+        // The example rule of Figure 2: min(levenshtein(lowerCase(label), lowerCase(rdfs:label)) θ=1,
+        //                                   geographic(point, coord) θ=50)
+        SimilarityOperator::aggregation(
+            AggregationFunction::Min,
+            vec![
+                SimilarityOperator::comparison(
+                    ValueOperator::transformation(
+                        TransformFunction::LowerCase,
+                        vec![ValueOperator::property("label")],
+                    ),
+                    ValueOperator::transformation(
+                        TransformFunction::LowerCase,
+                        vec![ValueOperator::property("rdfs:label")],
+                    ),
+                    DistanceFunction::Levenshtein,
+                    1.0,
+                ),
+                SimilarityOperator::comparison(
+                    ValueOperator::property("point"),
+                    ValueOperator::property("coord"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn property_operator_retrieves_values() {
+        let (a, _) = city_pair();
+        let op = ValueOperator::property("label");
+        assert_eq!(op.evaluate(&a), vec!["Berlin".to_string()]);
+        assert!(ValueOperator::property("missing").evaluate(&a).is_empty());
+    }
+
+    #[test]
+    fn transformation_chains_are_applied_inside_out() {
+        let (a, _) = city_pair();
+        let op = ValueOperator::transformation(
+            TransformFunction::Tokenize,
+            vec![ValueOperator::transformation(
+                TransformFunction::LowerCase,
+                vec![ValueOperator::property("label")],
+            )],
+        );
+        assert_eq!(op.evaluate(&a), vec!["berlin".to_string()]);
+    }
+
+    #[test]
+    fn figure2_rule_matches_equal_cities() {
+        let (a, b) = city_pair();
+        let rule = figure2_rule();
+        let pair = EntityPair::new(&a, &b);
+        let score = rule.evaluate(&pair);
+        assert!(score >= 0.5, "score was {score}");
+    }
+
+    #[test]
+    fn figure2_rule_rejects_different_cities() {
+        let (a, _) = city_pair();
+        let other = EntityBuilder::new("b:paris")
+            .value("rdfs:label", "paris")
+            .value("coord", "48.8566 2.3522")
+            .build_with_own_schema();
+        let rule = figure2_rule();
+        let pair = EntityPair::new(&a, &other);
+        assert!(rule.evaluate(&pair) < 0.5);
+    }
+
+    #[test]
+    fn min_aggregation_requires_all_comparisons_to_match() {
+        // same label but far away coordinates -> min pulls the score to 0
+        let (a, _) = city_pair();
+        let impostor = EntityBuilder::new("b:fake")
+            .value("rdfs:label", "berlin")
+            .value("coord", "10.0 10.0")
+            .build_with_own_schema();
+        let rule = figure2_rule();
+        assert_eq!(rule.evaluate(&EntityPair::new(&a, &impostor)), 0.0);
+    }
+
+    #[test]
+    fn operator_counts() {
+        let rule = figure2_rule();
+        // 1 aggregation + 2 comparisons + 2 transformations + 4 properties = 9
+        assert_eq!(rule.operator_count(), 9);
+        assert_eq!(rule.comparison_count(), 2);
+        assert_eq!(rule.aggregation_count(), 1);
+        assert_eq!(rule.transformation_count(), 2);
+        assert_eq!(rule.depth(), 2);
+        assert!(!rule.has_nested_aggregation());
+        assert!(rule.has_transformations());
+    }
+
+    #[test]
+    fn properties_are_split_by_side() {
+        let rule = figure2_rule();
+        let (source, target) = rule.properties();
+        assert_eq!(source, vec!["label", "point"]);
+        assert_eq!(target, vec!["rdfs:label", "coord"]);
+    }
+
+    #[test]
+    fn nested_aggregations_are_detected() {
+        let nested = SimilarityOperator::aggregation(
+            AggregationFunction::Max,
+            vec![figure2_rule()],
+        );
+        assert!(nested.has_nested_aggregation());
+        assert_eq!(nested.depth(), 3);
+    }
+
+    #[test]
+    fn weights_are_clamped_to_at_least_one() {
+        let mut rule = figure2_rule();
+        rule.set_weight(0);
+        assert_eq!(rule.weight(), 1);
+        rule.set_weight(7);
+        assert_eq!(rule.weight(), 7);
+    }
+
+    #[test]
+    fn missing_values_give_zero_similarity() {
+        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
+        let b = EntityBuilder::new("b").value("other", "Berlin").build_with_own_schema();
+        let cmp = SimilarityOperator::comparison(
+            ValueOperator::property("label"),
+            ValueOperator::property("rdfs:label"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        );
+        assert_eq!(cmp.evaluate(&EntityPair::new(&a, &b)), 0.0);
+    }
+
+    #[test]
+    fn dedup_collapses_repeated_transformations() {
+        let mut op = ValueOperator::transformation(
+            TransformFunction::LowerCase,
+            vec![ValueOperator::transformation(
+                TransformFunction::LowerCase,
+                vec![ValueOperator::property("label")],
+            )],
+        );
+        op.dedup_transformations();
+        assert_eq!(op.transformation_count(), 1);
+        // different functions are kept
+        let mut chain = ValueOperator::transformation(
+            TransformFunction::Tokenize,
+            vec![ValueOperator::transformation(
+                TransformFunction::LowerCase,
+                vec![ValueOperator::property("label")],
+            )],
+        );
+        chain.dedup_transformations();
+        assert_eq!(chain.transformation_count(), 2);
+    }
+
+    #[test]
+    fn empty_aggregation_evaluates_to_zero() {
+        let empty = SimilarityOperator::aggregation(AggregationFunction::Min, vec![]);
+        let (a, b) = city_pair();
+        assert_eq!(empty.evaluate(&EntityPair::new(&a, &b)), 0.0);
+    }
+}

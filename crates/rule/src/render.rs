@@ -1,0 +1,143 @@
+//! ASCII tree rendering of linkage rules.
+//!
+//! The paper illustrates rules as operator trees (Figures 2, 7 and 8).  The
+//! experiment harness regenerates those figures by printing learned rules with
+//! [`render_rule`].
+
+use std::fmt::Write as _;
+
+use crate::operators::{SimilarityOperator, ValueOperator};
+use crate::rule::LinkageRule;
+
+/// Renders a rule as an indented ASCII tree.
+pub fn render_rule(rule: &LinkageRule) -> String {
+    match rule.root() {
+        None => "(empty rule)\n".to_string(),
+        Some(root) => {
+            let mut out = String::new();
+            render_similarity(root, "", true, true, &mut out);
+            out
+        }
+    }
+}
+
+fn render_similarity(
+    op: &SimilarityOperator,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let (connector, child_prefix) = branch(prefix, is_last, is_root);
+    match op {
+        SimilarityOperator::Comparison(c) => {
+            let _ = writeln!(
+                out,
+                "{connector}Comparison: {} (threshold {}, weight {})",
+                c.function.name(),
+                c.threshold,
+                c.weight
+            );
+            render_value(&c.source, &child_prefix, false, "source", out);
+            render_value(&c.target, &child_prefix, true, "target", out);
+        }
+        SimilarityOperator::Aggregation(a) => {
+            let _ = writeln!(
+                out,
+                "{connector}Aggregation: {} (weight {})",
+                a.function.name(),
+                a.weight
+            );
+            let count = a.operators.len();
+            for (i, child) in a.operators.iter().enumerate() {
+                render_similarity(child, &child_prefix, i + 1 == count, false, out);
+            }
+        }
+    }
+}
+
+fn render_value(op: &ValueOperator, prefix: &str, is_last: bool, role: &str, out: &mut String) {
+    let (connector, child_prefix) = branch(prefix, is_last, false);
+    match op {
+        ValueOperator::Property(p) => {
+            let _ = writeln!(out, "{connector}{role}: property \"{}\"", p.property);
+        }
+        ValueOperator::Transformation(t) => {
+            let _ = writeln!(out, "{connector}{role}: transform {}", t.function.name());
+            let count = t.inputs.len();
+            for (i, child) in t.inputs.iter().enumerate() {
+                render_value(child, &child_prefix, i + 1 == count, "input", out);
+            }
+        }
+    }
+}
+
+fn branch(prefix: &str, is_last: bool, is_root: bool) -> (String, String) {
+    if is_root {
+        (String::new(), String::new())
+    } else if is_last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::AggregationFunction;
+    use crate::builder::{aggregation, compare, property, transform};
+    use linkdisc_similarity::DistanceFunction;
+    use linkdisc_transform::TransformFunction;
+
+    #[test]
+    fn renders_empty_rule() {
+        assert_eq!(render_rule(&LinkageRule::empty()), "(empty rule)\n");
+    }
+
+    #[test]
+    fn renders_figure2_like_tree() {
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    property("rdfs:label"),
+                    DistanceFunction::Levenshtein,
+                    1.0,
+                ),
+                compare(
+                    property("point"),
+                    property("coord"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
+            ],
+        )
+        .into();
+        let text = render_rule(&rule);
+        assert!(text.starts_with("Aggregation: min"));
+        assert!(text.contains("Comparison: levenshtein (threshold 1, weight 1)"));
+        assert!(text.contains("source: transform lowerCase"));
+        assert!(text.contains("input: property \"label\""));
+        assert!(text.contains("target: property \"coord\""));
+        // every line after the root is indented with tree glyphs
+        for line in text.lines().skip(1) {
+            assert!(line.starts_with("├─") || line.starts_with("└─") || line.starts_with("│") || line.starts_with("   "));
+        }
+    }
+
+    #[test]
+    fn single_comparison_renders_without_aggregation() {
+        let rule: LinkageRule = compare(
+            property("title"),
+            property("title"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let text = render_rule(&rule);
+        assert!(text.starts_with("Comparison: levenshtein"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

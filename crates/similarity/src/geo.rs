@@ -1,0 +1,136 @@
+//! Geographic distance between two coordinate values.
+//!
+//! Values are parsed from the formats commonly found in Linked Data:
+//! `"52.52 13.40"`, `"52.52,13.40"` and WKT points `"POINT(13.40 52.52)"`
+//! (note that WKT uses longitude-first order).  The distance is the haversine
+//! great-circle distance in kilometres.
+
+/// Mean earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Parses a coordinate value into `(latitude, longitude)` degrees.
+pub fn parse_point(value: &str) -> Option<(f64, f64)> {
+    let trimmed = value.trim();
+    let upper = trimmed.to_uppercase();
+    if let Some(rest) = upper.strip_prefix("POINT") {
+        let inner = rest.trim().trim_start_matches('(').trim_end_matches(')');
+        let original_inner = &trimmed[trimmed.find('(')? + 1..trimmed.rfind(')')?];
+        let _ = inner;
+        let parts: Vec<&str> = original_inner.split_whitespace().collect();
+        if parts.len() == 2 {
+            let lon = parts[0].parse::<f64>().ok()?;
+            let lat = parts[1].parse::<f64>().ok()?;
+            return validate(lat, lon);
+        }
+        return None;
+    }
+    let parts: Vec<&str> = trimmed
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if parts.len() == 2 {
+        let lat = parts[0].parse::<f64>().ok()?;
+        let lon = parts[1].parse::<f64>().ok()?;
+        return validate(lat, lon);
+    }
+    None
+}
+
+fn validate(lat: f64, lon: f64) -> Option<(f64, f64)> {
+    if (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon) {
+        Some((lat, lon))
+    } else {
+        None
+    }
+}
+
+/// Haversine great-circle distance in kilometres between two coordinate pairs.
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().min(1.0).asin()
+}
+
+/// Geographic distance in kilometres between two coordinate strings.
+/// Unparseable values yield an infinite distance.
+pub fn geographic_distance(a: &str, b: &str) -> f64 {
+    match (parse_point(a), parse_point(b)) {
+        (Some(pa), Some(pb)) => haversine_km(pa, pb),
+        _ => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_space_and_comma_separated() {
+        assert_eq!(parse_point("52.52 13.40"), Some((52.52, 13.40)));
+        assert_eq!(parse_point("52.52,13.40"), Some((52.52, 13.40)));
+        assert_eq!(parse_point(" 52.52 , 13.40 "), Some((52.52, 13.40)));
+    }
+
+    #[test]
+    fn parses_wkt_points_lon_first() {
+        assert_eq!(parse_point("POINT(13.40 52.52)"), Some((52.52, 13.40)));
+        assert_eq!(parse_point("Point (13.40 52.52)"), Some((52.52, 13.40)));
+    }
+
+    #[test]
+    fn rejects_invalid_coordinates() {
+        assert_eq!(parse_point("abc"), None);
+        assert_eq!(parse_point("120.0 200.0"), None);
+        assert_eq!(parse_point("1 2 3"), None);
+        assert_eq!(parse_point(""), None);
+    }
+
+    #[test]
+    fn berlin_to_paris_is_about_878_km() {
+        let d = geographic_distance("52.5200 13.4050", "48.8566 2.3522");
+        assert!((d - 878.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn identical_points_have_zero_distance() {
+        assert_eq!(geographic_distance("52.5 13.4", "52.5 13.4"), 0.0);
+    }
+
+    #[test]
+    fn unparseable_points_are_infinite() {
+        assert!(geographic_distance("nowhere", "52.5 13.4").is_infinite());
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let d = haversine_km((0.0, 0.0), (0.0, 180.0));
+        assert!((d - std::f64::consts::PI * 6371.0).abs() < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn haversine_is_symmetric_and_nonnegative(
+            lat1 in -90.0f64..90.0, lon1 in -180.0f64..180.0,
+            lat2 in -90.0f64..90.0, lon2 in -180.0f64..180.0,
+        ) {
+            let d1 = haversine_km((lat1, lon1), (lat2, lon2));
+            let d2 = haversine_km((lat2, lon2), (lat1, lon1));
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-6);
+            // no two points on earth are farther apart than half the circumference
+            prop_assert!(d1 <= std::f64::consts::PI * 6371.0 + 1e-6);
+        }
+
+        #[test]
+        fn parse_round_trip(lat in -89.0f64..89.0, lon in -179.0f64..179.0) {
+            let text = format!("{lat} {lon}");
+            let parsed = parse_point(&text).unwrap();
+            prop_assert!((parsed.0 - lat).abs() < 1e-9);
+            prop_assert!((parsed.1 - lon).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Numeric distance: the absolute difference of two parsed numbers.
+
+/// Extracts the first parseable floating point number from a string.
+///
+/// Values in messy data sets often embed units ("42 km") or labels
+/// ("pop: 3,500,000"); this parser strips everything except digits, sign,
+/// decimal point and exponent characters from the first numeric run.
+pub fn parse_number(value: &str) -> Option<f64> {
+    let trimmed = value.trim();
+    if let Ok(v) = trimmed.parse::<f64>() {
+        return Some(v);
+    }
+    // fall back to scanning for the first number-looking run
+    let mut start = None;
+    let bytes: Vec<char> = trimmed.chars().collect();
+    for (i, c) in bytes.iter().enumerate() {
+        if c.is_ascii_digit() || *c == '-' || *c == '+' {
+            start = Some(i);
+            break;
+        }
+    }
+    let start = start?;
+    let mut end = start;
+    let mut seen_dot = false;
+    for (i, c) in bytes.iter().enumerate().skip(start) {
+        if c.is_ascii_digit() || (i == start && (*c == '-' || *c == '+')) {
+            end = i + 1;
+        } else if *c == '.' && !seen_dot {
+            seen_dot = true;
+            end = i + 1;
+        } else if *c == ',' {
+            // thousands separator: skip it but keep scanning
+            continue;
+        } else {
+            break;
+        }
+    }
+    let candidate: String = bytes[start..end]
+        .iter()
+        .filter(|c| **c != ',')
+        .collect();
+    candidate.parse::<f64>().ok()
+}
+
+/// The numeric difference `|a − b|` of Table 2.  Unparseable values yield an
+/// infinite distance (treated by the comparison operator as "no similarity").
+pub fn numeric_distance(a: &str, b: &str) -> f64 {
+    match (parse_number(a), parse_number(b)) {
+        (Some(x), Some(y)) => (x - y).abs(),
+        _ => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_number("42"), Some(42.0));
+        assert_eq!(parse_number("-3.5"), Some(-3.5));
+        assert_eq!(parse_number(" 7.25 "), Some(7.25));
+        assert_eq!(parse_number("1e3"), Some(1000.0));
+    }
+
+    #[test]
+    fn parses_embedded_numbers() {
+        assert_eq!(parse_number("1998."), Some(1998.0));
+        assert_eq!(parse_number("pop: 3,500,000 people"), Some(3_500_000.0));
+        assert_eq!(parse_number("42 km"), Some(42.0));
+    }
+
+    #[test]
+    fn rejects_non_numbers() {
+        assert_eq!(parse_number("hello"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("---"), None);
+    }
+
+    #[test]
+    fn distance_is_absolute_difference() {
+        assert_eq!(numeric_distance("10", "4"), 6.0);
+        assert_eq!(numeric_distance("4", "10"), 6.0);
+        assert_eq!(numeric_distance("3.5", "3.5"), 0.0);
+        assert!(numeric_distance("ten", "4").is_infinite());
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric_and_nonnegative(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let d1 = numeric_distance(&a.to_string(), &b.to_string());
+            let d2 = numeric_distance(&b.to_string(), &a.to_string());
+            prop_assert!((d1 - d2).abs() < 1e-9);
+            prop_assert!(d1 >= 0.0);
+        }
+
+        #[test]
+        fn identical_numbers_have_zero_distance(a in -1e6f64..1e6) {
+            prop_assert_eq!(numeric_distance(&a.to_string(), &a.to_string()), 0.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Character-based string distances: Levenshtein, Jaro and Jaro-Winkler.
+
+/// Levenshtein edit distance between two strings, computed over Unicode
+/// scalar values with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            let insertion = current[j] + 1;
+            let deletion = prev[j + 1] + 1;
+            current[j + 1] = substitution.min(insertion).min(deletion);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance normalised to `[0, 1]` by the longer string length.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]` (1 = identical).
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_match_flags = vec![false; a.len()];
+    for (i, ca) in a.iter().enumerate() {
+        let start = i.saturating_sub(match_window);
+        let end = (i + match_window + 1).min(b.len());
+        for j in start..end {
+            if !b_matched[j] && b[j] == *ca {
+                b_matched[j] = true;
+                a_match_flags[i] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // count transpositions
+    let matched_a: Vec<char> = a
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| a_match_flags[*i])
+        .map(|(_, c)| *c)
+        .collect();
+    let matched_b: Vec<char> = b
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| b_matched[*j])
+        .map(|(_, c)| *c)
+        .collect();
+    let transpositions = matched_a
+        .iter()
+        .zip(matched_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale of 0.1 and a maximum
+/// prefix length of 4.
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    let jaro = jaro_similarity(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (jaro + prefix * 0.1 * (1.0 - jaro)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("iPod", "IPOD"), 3);
+        assert_eq!(levenshtein("Berlin", "berlin"), 1);
+    }
+
+    #[test]
+    fn levenshtein_handles_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("Universität", "Universitat"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 1.0);
+        assert!((normalized_levenshtein("abcd", "abce") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro_similarity("MARTHA", "MARHTA") - 0.944444).abs() < 1e-4);
+        assert!((jaro_similarity("DIXON", "DICKSONX") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("a", ""), 0.0);
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro_winkler_similarity("MARTHA", "MARHTA") - 0.961111).abs() < 1e-4);
+        assert!((jaro_winkler_similarity("DWAYNE", "DUANE") - 0.84).abs() < 1e-2);
+        assert_eq!(jaro_winkler_similarity("same", "same"), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_is_symmetric(a in ".{0,20}", b in ".{0,20}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in ".{0,20}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn levenshtein_bounded_by_longer_string(a in ".{0,20}", b in ".{0,20}") {
+            let d = levenshtein(&a, &b);
+            prop_assert!(d <= a.chars().count().max(b.chars().count()));
+            let diff = (a.chars().count() as i64 - b.chars().count() as i64).unsigned_abs() as usize;
+            prop_assert!(d >= diff);
+        }
+
+        #[test]
+        fn levenshtein_triangle_inequality(a in ".{0,12}", b in ".{0,12}", c in ".{0,12}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn jaro_in_unit_interval_and_symmetric(a in ".{0,20}", b in ".{0,20}") {
+            let s = jaro_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - jaro_similarity(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaro_winkler_at_least_jaro(a in ".{0,20}", b in ".{0,20}") {
+            let jw = jaro_winkler_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!(jw + 1e-12 >= jaro_similarity(&a, &b));
+        }
+    }
+}

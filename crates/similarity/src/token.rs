@@ -1,0 +1,131 @@
+//! Token/set-based distances: Jaccard and Dice.
+//!
+//! These measures operate on the *value sets* directly.  In the linkage rules
+//! of the paper they are typically combined with a preceding `tokenize`
+//! transformation, so each value is a single token.
+
+use std::collections::HashSet;
+
+fn to_set(values: &[String]) -> HashSet<&str> {
+    values.iter().map(|s| s.as_str()).collect()
+}
+
+/// Jaccard distance between two value sets: `1 − |A ∩ B| / |A ∪ B|`.
+pub fn jaccard_distance(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let sa = to_set(a);
+    let sb = to_set(b);
+    let intersection = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    1.0 - intersection / union
+}
+
+/// Dice distance between two value sets: `1 − 2|A ∩ B| / (|A| + |B|)`.
+pub fn dice_distance(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let sa = to_set(a);
+    let sb = to_set(b);
+    let intersection = sa.intersection(&sb).count() as f64;
+    1.0 - 2.0 * intersection / (sa.len() + sb.len()) as f64
+}
+
+/// Jaccard distance between two *single* values interpreted as whitespace
+/// separated token bags (used when the measure is applied without a previous
+/// `tokenize` transformation).
+pub fn jaccard_distance_values(a: &str, b: &str) -> f64 {
+    let ta: Vec<String> = a.split_whitespace().map(|s| s.to_string()).collect();
+    let tb: Vec<String> = b.split_whitespace().map(|s| s.to_string()).collect();
+    jaccard_distance(&ta, &tb)
+}
+
+/// Dice distance between two single values interpreted as token bags.
+pub fn dice_distance_values(a: &str, b: &str) -> f64 {
+    let ta: Vec<String> = a.split_whitespace().map(|s| s.to_string()).collect();
+    let tb: Vec<String> = b.split_whitespace().map(|s| s.to_string()).collect();
+    dice_distance(&ta, &tb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vs(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard_distance(&vs(&["a", "b"]), &vs(&["a", "b"])), 0.0);
+        assert_eq!(jaccard_distance(&vs(&["a"]), &vs(&["b"])), 1.0);
+        // {a,b,c} vs {b,c,d}: intersection 2, union 4
+        assert!((jaccard_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        assert_eq!(
+            jaccard_distance(&vs(&["a", "a", "b"]), &vs(&["b", "a"])),
+            0.0
+        );
+    }
+
+    #[test]
+    fn jaccard_empty_sets() {
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance(&vs(&["a"]), &[]), 1.0);
+        assert_eq!(jaccard_distance(&[], &vs(&["a"])), 1.0);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        assert_eq!(dice_distance(&vs(&["a", "b"]), &vs(&["a", "b"])), 0.0);
+        assert_eq!(dice_distance(&vs(&["a"]), &vs(&["b"])), 1.0);
+        // {a,b,c} vs {b,c,d}: 2*2/(3+3) = 2/3 -> distance 1/3
+        assert!((dice_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_level_variants_tokenize_on_whitespace() {
+        assert_eq!(jaccard_distance_values("new york times", "times new york"), 0.0);
+        assert!(jaccard_distance_values("new york", "los angeles") > 0.99);
+        assert_eq!(dice_distance_values("a b", "b a"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_in_unit_interval_and_symmetric(
+            a in proptest::collection::vec("[a-c]{1,2}", 0..6),
+            b in proptest::collection::vec("[a-c]{1,2}", 0..6),
+        ) {
+            let d = jaccard_distance(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((d - jaccard_distance(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn dice_never_exceeds_jaccard(
+            a in proptest::collection::vec("[a-c]{1,2}", 1..6),
+            b in proptest::collection::vec("[a-c]{1,2}", 1..6),
+        ) {
+            // Dice similarity >= Jaccard similarity, hence Dice distance <= Jaccard distance.
+            prop_assert!(dice_distance(&a, &b) <= jaccard_distance(&a, &b) + 1e-12);
+        }
+
+        #[test]
+        fn identical_sets_have_zero_distance(a in proptest::collection::vec("[a-z]{1,3}", 0..6)) {
+            prop_assert_eq!(jaccard_distance(&a, &a), 0.0);
+            prop_assert_eq!(dice_distance(&a, &a), 0.0);
+        }
+    }
+}

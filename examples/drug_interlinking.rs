@@ -1,0 +1,64 @@
+//! Drug interlinking: the DBpediaDrugBank scenario of Table 12.
+//!
+//! DBpedia drug labels frequently need normalisation (URI prefixes,
+//! underscores, inconsistent case) before they match DrugBank names, and
+//! shared identifiers such as the CAS number are missing for many entities.
+//! The learned rule therefore has to combine several comparisons with
+//! transformation chains — this example prints the learned rule so the effect
+//! is visible, and contrasts the full representation against a restricted
+//! boolean one (no transformations).
+//!
+//! Run with `cargo run -p genlink-examples --release --bin drug_interlinking`.
+
+use genlink::{GenLink, RepresentationMode};
+use genlink_examples::{example_config, section};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_evaluation::evaluate_rule_on_links;
+use linkdisc_rule::render_rule;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    section("dataset");
+    let dataset = DatasetKind::DbpediaDrugBank.generate(0.1, 5);
+    let stats = dataset.statistics();
+    println!(
+        "{}: {} + {} entities, {} + {} properties (coverage {:.2} / {:.2})",
+        stats.name,
+        stats.source_entities,
+        stats.target_entities,
+        stats.source_properties,
+        stats.target_properties,
+        stats.source_coverage,
+        stats.target_coverage
+    );
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let (train, validation) = dataset.links.split_train_validation(0.5, &mut rng);
+
+    section("GenLink without transformations (boolean representation)");
+    let restricted = GenLink::new(example_config().with_representation(RepresentationMode::Boolean))
+        .learn(&dataset.source, &dataset.target, &train, 5);
+    let restricted_matrix =
+        evaluate_rule_on_links(&restricted.rule, &validation, &dataset.source, &dataset.target);
+    println!("validation: {restricted_matrix}");
+
+    section("GenLink with the full representation");
+    let outcome = GenLink::new(example_config()).learn(&dataset.source, &dataset.target, &train, 5);
+    let stats = outcome.rule.stats();
+    println!(
+        "learned rule: {} comparisons, {} transformations (the manually written rule of the paper uses 13 and 33)",
+        stats.comparisons, stats.transformations
+    );
+    println!("{}", render_rule(&outcome.rule));
+    let val_matrix =
+        evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    println!("validation: {val_matrix}");
+
+    section("summary");
+    println!(
+        "full representation F1 {:.3} vs. boolean-without-transformations F1 {:.3}",
+        val_matrix.f_measure(),
+        restricted_matrix.f_measure()
+    );
+}

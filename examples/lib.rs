@@ -1,0 +1,23 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples are deliberately small end-to-end programs against the public
+//! API: build (or generate) two data sources, learn a linkage rule with
+//! GenLink, inspect it, and execute it with the matching engine.
+
+use genlink::GenLinkConfig;
+
+/// A GenLink configuration sized so every example finishes in a few seconds on
+/// a laptop while still exercising the full algorithm (seeding, all crossover
+/// operators, parsimony pressure).
+pub fn example_config() -> GenLinkConfig {
+    let mut config = GenLinkConfig::fast();
+    config.gp.population_size = 100;
+    config.gp.max_iterations = 15;
+    config
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}

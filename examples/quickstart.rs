@@ -1,0 +1,86 @@
+//! Quickstart: learn a linkage rule for two tiny, schema-heterogeneous city
+//! data sets and apply it to find links.
+//!
+//! Run with `cargo run -p genlink-examples --release --bin quickstart`.
+
+use genlink::GenLink;
+use genlink_examples::{example_config, section};
+use linkdisc_entity::{DataSourceBuilder, ReferenceLinksBuilder};
+use linkdisc_evaluation::evaluate_rule_on_links;
+use linkdisc_matching::MatchingEngine;
+use linkdisc_rule::{print_rule, render_rule};
+
+fn main() {
+    // 1. Two data sources describing cities with different schemata: the
+    //    source uses `label`/`point`, the target `name`/`coord`, and the
+    //    target labels are lower case.
+    let source = DataSourceBuilder::new("cities-a", ["label", "point", "country"])
+        .entity("a:berlin", [("label", "Berlin"), ("point", "52.5200 13.4050"), ("country", "Germany")])
+        .unwrap()
+        .entity("a:paris", [("label", "Paris"), ("point", "48.8566 2.3522"), ("country", "France")])
+        .unwrap()
+        .entity("a:rome", [("label", "Rome"), ("point", "41.9028 12.4964"), ("country", "Italy")])
+        .unwrap()
+        .entity("a:vienna", [("label", "Vienna"), ("point", "48.2082 16.3738"), ("country", "Austria")])
+        .unwrap()
+        .entity("a:madrid", [("label", "Madrid"), ("point", "40.4168 -3.7038"), ("country", "Spain")])
+        .unwrap()
+        .entity("a:lisbon", [("label", "Lisbon"), ("point", "38.7223 -9.1393"), ("country", "Portugal")])
+        .unwrap()
+        .build();
+    let target = DataSourceBuilder::new("cities-b", ["name", "coord"])
+        .entity("b:berlin", [("name", "berlin"), ("coord", "52.5201 13.4049")])
+        .unwrap()
+        .entity("b:paris", [("name", "paris"), ("coord", "48.8570 2.3520")])
+        .unwrap()
+        .entity("b:rome", [("name", "roma"), ("coord", "41.9030 12.4960")])
+        .unwrap()
+        .entity("b:vienna", [("name", "wien vienna"), ("coord", "48.2080 16.3740")])
+        .unwrap()
+        .entity("b:madrid", [("name", "madrid"), ("coord", "40.4170 -3.7040")])
+        .unwrap()
+        .entity("b:lisbon", [("name", "lisbon"), ("coord", "38.7220 -9.1390")])
+        .unwrap()
+        .build();
+
+    // 2. Reference links: a handful of confirmed matches and non-matches.
+    let links = ReferenceLinksBuilder::new()
+        .positive("a:berlin", "b:berlin")
+        .positive("a:paris", "b:paris")
+        .positive("a:rome", "b:rome")
+        .positive("a:vienna", "b:vienna")
+        .positive("a:madrid", "b:madrid")
+        .positive("a:lisbon", "b:lisbon")
+        .negative("a:berlin", "b:paris")
+        .negative("a:paris", "b:rome")
+        .negative("a:rome", "b:berlin")
+        .negative("a:vienna", "b:madrid")
+        .negative("a:madrid", "b:lisbon")
+        .negative("a:lisbon", "b:vienna")
+        .build();
+
+    // 3. Learn a linkage rule.
+    section("learning");
+    let outcome = GenLink::new(example_config()).learn(&source, &target, &links, 42);
+    println!("learned rule after {} iterations:", outcome.iterations);
+    println!("{}", render_rule(&outcome.rule));
+    println!("DSL: {}", print_rule(&outcome.rule));
+
+    // 4. Evaluate it against the reference links.
+    section("evaluation");
+    let matrix = evaluate_rule_on_links(&outcome.rule, &links, &source, &target);
+    println!("confusion matrix on the reference links: {matrix}");
+
+    // 5. Execute the rule over the full data sources with the matching engine.
+    section("matching");
+    let report = MatchingEngine::new(outcome.rule.clone()).run(&source, &target);
+    for link in &report.links {
+        println!("{} <-> {} (score {:.2})", link.source, link.target, link.score);
+    }
+    println!(
+        "evaluated {} of {} possible pairs ({:.0}% pruned by blocking)",
+        report.evaluated_pairs,
+        report.cross_product,
+        report.reduction_ratio() * 100.0
+    );
+}

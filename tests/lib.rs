@@ -1,0 +1,1 @@
+//! Integration test crate: all tests live in `tests/tests/`.

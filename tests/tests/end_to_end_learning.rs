@@ -1,0 +1,125 @@
+//! End-to-end integration tests: dataset generation → learning → evaluation.
+
+use genlink::{CrossoverOperator, GenLink, GenLinkConfig, RepresentationMode, SeedingStrategy};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::ReferenceLinks;
+use linkdisc_evaluation::evaluate_rule_on_links;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_config() -> GenLinkConfig {
+    let mut config = GenLinkConfig::fast();
+    config.gp.population_size = 80;
+    config.gp.max_iterations = 12;
+    config
+}
+
+fn split(dataset: &linkdisc_datasets::Dataset, seed: u64) -> (ReferenceLinks, ReferenceLinks) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    dataset.links.split_train_validation(0.5, &mut rng)
+}
+
+#[test]
+fn learns_accurate_rules_on_the_restaurant_dataset() {
+    let dataset = DatasetKind::Restaurant.generate(0.4, 11);
+    let (train, validation) = split(&dataset, 11);
+    let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 11);
+    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    assert!(
+        matrix.f_measure() > 0.85,
+        "Restaurant validation F1 was {}",
+        matrix.f_measure()
+    );
+}
+
+#[test]
+fn learns_accurate_rules_on_the_cora_dataset() {
+    let dataset = DatasetKind::Cora.generate(0.06, 13);
+    let (train, validation) = split(&dataset, 13);
+    let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 13);
+    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    assert!(
+        matrix.f_measure() > 0.8,
+        "Cora validation F1 was {}",
+        matrix.f_measure()
+    );
+}
+
+#[test]
+fn learns_on_a_wide_sparse_linked_data_dataset() {
+    let dataset = DatasetKind::LinkedMdb.generate(0.6, 17);
+    let (train, validation) = split(&dataset, 17);
+    let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 17);
+    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    assert!(
+        matrix.f_measure() > 0.75,
+        "LinkedMDB validation F1 was {}",
+        matrix.f_measure()
+    );
+    // the learned rule only references properties that exist
+    let (source_props, target_props) = outcome.rule.root().unwrap().properties();
+    for p in source_props {
+        assert!(dataset.source.schema().contains(p));
+    }
+    for p in target_props {
+        assert!(dataset.target.schema().contains(p));
+    }
+}
+
+#[test]
+fn full_representation_beats_boolean_on_case_noisy_data() {
+    // the Cora-style generator injects case noise and abbreviations, so the
+    // transformation-free boolean representation should not be better than
+    // the full representation (the paper's Table 13 claim)
+    let dataset = DatasetKind::Cora.generate(0.05, 23);
+    let (train, validation) = split(&dataset, 23);
+    let full = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 23);
+    let boolean = GenLink::new(test_config().with_representation(RepresentationMode::Boolean))
+        .learn(&dataset.source, &dataset.target, &train, 23);
+    let full_f1 =
+        evaluate_rule_on_links(&full.rule, &validation, &dataset.source, &dataset.target).f_measure();
+    let boolean_f1 =
+        evaluate_rule_on_links(&boolean.rule, &validation, &dataset.source, &dataset.target).f_measure();
+    assert!(
+        full_f1 + 0.02 >= boolean_f1,
+        "full {full_f1} should not be clearly worse than boolean {boolean_f1}"
+    );
+}
+
+#[test]
+fn seeded_initial_population_is_better_on_many_property_data() {
+    let dataset = DatasetKind::LinkedMdb.generate(0.4, 29);
+    let mut config = test_config();
+    config.gp.max_iterations = 0;
+    let seeded = GenLink::new(config.clone().with_seeding(SeedingStrategy::Seeded))
+        .learn(&dataset.source, &dataset.target, &dataset.links, 29);
+    let random = GenLink::new(config.with_seeding(SeedingStrategy::Random))
+        .learn(&dataset.source, &dataset.target, &dataset.links, 29);
+    assert!(
+        seeded.initial_mean_f_measure > random.initial_mean_f_measure,
+        "seeded {} should beat random {}",
+        seeded.initial_mean_f_measure,
+        random.initial_mean_f_measure
+    );
+}
+
+#[test]
+fn specialized_operators_are_not_worse_than_subtree_crossover() {
+    let dataset = DatasetKind::Restaurant.generate(0.3, 31);
+    let (train, validation) = split(&dataset, 31);
+    let specialized = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 31);
+    let subtree = GenLink::new(
+        test_config().with_crossover_operators(CrossoverOperator::SUBTREE_ONLY.to_vec()),
+    )
+    .learn(&dataset.source, &dataset.target, &train, 31);
+    let specialized_f1 =
+        evaluate_rule_on_links(&specialized.rule, &validation, &dataset.source, &dataset.target)
+            .f_measure();
+    let subtree_f1 =
+        evaluate_rule_on_links(&subtree.rule, &validation, &dataset.source, &dataset.target)
+            .f_measure();
+    assert!(
+        specialized_f1 + 0.05 >= subtree_f1,
+        "specialized {specialized_f1} should not be clearly worse than subtree {subtree_f1}"
+    );
+}
