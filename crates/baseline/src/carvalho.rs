@@ -205,9 +205,23 @@ mod tests {
         for i in 0..n {
             let label = format!("record {i} alpha");
             let year = format!("{}", 1990 + (i % 20));
-            a = a.entity(format!("a{i}"), [("label", label.as_str()), ("year", year.as_str())]).unwrap();
-            let noisy = if rng.gen_bool(0.3) { label.to_uppercase() } else { label.clone() };
-            b = b.entity(format!("b{i}"), [("name", noisy.as_str()), ("released", year.as_str())]).unwrap();
+            a = a
+                .entity(
+                    format!("a{i}"),
+                    [("label", label.as_str()), ("year", year.as_str())],
+                )
+                .unwrap();
+            let noisy = if rng.gen_bool(0.3) {
+                label.to_uppercase()
+            } else {
+                label.clone()
+            };
+            b = b
+                .entity(
+                    format!("b{i}"),
+                    [("name", noisy.as_str()), ("released", year.as_str())],
+                )
+                .unwrap();
             positives.push(Link::new(format!("a{i}"), format!("b{i}")));
         }
         let links = ReferenceLinks::with_generated_negatives(positives, &mut rng);

@@ -30,8 +30,11 @@ impl AttributePair {
     pub fn similarity(&self, pair: &EntityPair<'_>) -> f64 {
         let source_values = pair.source.values(&self.source_property);
         let target_values = pair.target.values(&self.target_property);
-        self.function
-            .similarity(source_values, target_values, self.function.default_threshold())
+        self.function.similarity(
+            source_values,
+            target_values,
+            self.function.default_threshold(),
+        )
     }
 }
 
@@ -148,7 +151,11 @@ impl Expression {
 
     /// Replaces the `index`-th node (pre-order) with `replacement`.
     pub fn replace_node(&mut self, index: usize, replacement: Expression) -> bool {
-        fn walk(node: &mut Expression, remaining: &mut usize, replacement: Expression) -> Option<Expression> {
+        fn walk(
+            node: &mut Expression,
+            remaining: &mut usize,
+            replacement: Expression,
+        ) -> Option<Expression> {
             if *remaining == 0 {
                 *node = replacement;
                 return None;
@@ -187,12 +194,25 @@ impl Expression {
             Expression::Constant(value) => format!("{value}"),
             Expression::Evidence(index) => evidence
                 .get(*index)
-                .map(|e| format!("{}({},{})", e.function.name(), e.source_property, e.target_property))
+                .map(|e| {
+                    format!(
+                        "{}({},{})",
+                        e.function.name(),
+                        e.source_property,
+                        e.target_property
+                    )
+                })
                 .unwrap_or_else(|| format!("evidence#{index}")),
             Expression::Add(a, b) => format!("({} + {})", a.render(evidence), b.render(evidence)),
-            Expression::Subtract(a, b) => format!("({} - {})", a.render(evidence), b.render(evidence)),
-            Expression::Multiply(a, b) => format!("({} * {})", a.render(evidence), b.render(evidence)),
-            Expression::Divide(a, b) => format!("({} / {})", a.render(evidence), b.render(evidence)),
+            Expression::Subtract(a, b) => {
+                format!("({} - {})", a.render(evidence), b.render(evidence))
+            }
+            Expression::Multiply(a, b) => {
+                format!("({} * {})", a.render(evidence), b.render(evidence))
+            }
+            Expression::Divide(a, b) => {
+                format!("({} / {})", a.render(evidence), b.render(evidence))
+            }
             Expression::Exp(inner) => format!("exp({})", inner.render(evidence)),
         }
     }
@@ -209,7 +229,11 @@ impl Expression {
         let mut evidence = Vec::new();
         for source in source_properties {
             for target in target_properties {
-                for function in [DistanceFunction::Levenshtein, DistanceFunction::Jaro, DistanceFunction::Jaccard] {
+                for function in [
+                    DistanceFunction::Levenshtein,
+                    DistanceFunction::Jaro,
+                    DistanceFunction::Jaccard,
+                ] {
                     evidence.push(AttributePair {
                         source_property: source.clone(),
                         target_property: target.clone(),
@@ -249,21 +273,33 @@ mod tests {
 
     #[test]
     fn evidence_similarity_is_high_for_matching_values() {
-        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
-        let exact = EntityBuilder::new("b").value("name", "Berlin").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let exact = EntityBuilder::new("b")
+            .value("name", "Berlin")
+            .build_with_own_schema();
         assert_eq!(evidence()[0].similarity(&pair(&a, &exact)), 1.0);
-        let c = EntityBuilder::new("c").value("name", "a completely different value").build_with_own_schema();
+        let c = EntityBuilder::new("c")
+            .value("name", "a completely different value")
+            .build_with_own_schema();
         assert!(evidence()[0].similarity(&pair(&a, &c)) < 0.5);
         // unlike GenLink the baseline cannot normalise letter case, so a case
         // difference already costs similarity
-        let cased = EntityBuilder::new("d").value("name", "berlin").build_with_own_schema();
+        let cased = EntityBuilder::new("d")
+            .value("name", "berlin")
+            .build_with_own_schema();
         assert!(evidence()[0].similarity(&pair(&a, &cased)) < 1.0);
     }
 
     #[test]
     fn arithmetic_evaluation() {
-        let a = EntityBuilder::new("a").value("label", "x").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("name", "x").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "x")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("name", "x")
+            .build_with_own_schema();
         let p = pair(&a, &b);
         let e = evidence();
         let expression = Expression::Add(
@@ -343,10 +379,8 @@ mod tests {
 
     #[test]
     fn default_evidence_covers_the_cross_product() {
-        let evidence = Expression::default_evidence(
-            &["a".to_string(), "b".to_string()],
-            &["x".to_string()],
-        );
-        assert_eq!(evidence.len(), 2 * 1 * 3);
+        let evidence =
+            Expression::default_evidence(&["a".to_string(), "b".to_string()], &["x".to_string()]);
+        assert_eq!(evidence.len(), 2 * 3);
     }
 }

@@ -6,7 +6,10 @@ use linkdisc_transform::TransformFunction;
 /// A rule that links two entities when the lower-cased values of the given
 /// properties match exactly.  Used by the examples as the "naive" baseline a
 /// learned rule has to beat.
-pub fn exact_match_rule(source_property: &str, target_property: &str) -> linkdisc_rule::LinkageRule {
+pub fn exact_match_rule(
+    source_property: &str,
+    target_property: &str,
+) -> linkdisc_rule::LinkageRule {
     linkdisc_rule::compare(
         linkdisc_rule::transform(
             TransformFunction::LowerCase,
@@ -30,9 +33,15 @@ mod tests {
     #[test]
     fn exact_match_rule_links_case_variants() {
         let rule = exact_match_rule("label", "name");
-        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("name", "BERLIN").build_with_own_schema();
-        let c = EntityBuilder::new("c").value("name", "Paris").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("name", "BERLIN")
+            .build_with_own_schema();
+        let c = EntityBuilder::new("c")
+            .value("name", "Paris")
+            .build_with_own_schema();
         assert!(rule.is_link(&EntityPair::new(&a, &b)));
         assert!(!rule.is_link(&EntityPair::new(&a, &c)));
     }

@@ -22,9 +22,7 @@ fn bench_genlink_learning(c: &mut Criterion) {
         let dataset = kind.generate(0.08, 11);
         group.bench_function(format!("genlink/{}", kind.name()), |b| {
             let learner = GenLink::new(small_genlink_config());
-            b.iter(|| {
-                black_box(learner.learn(&dataset.source, &dataset.target, &dataset.links, 5))
-            })
+            b.iter(|| black_box(learner.learn(&dataset.source, &dataset.target, &dataset.links, 5)))
         });
     }
     let dataset = DatasetKind::Restaurant.generate(0.08, 11);

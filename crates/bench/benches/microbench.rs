@@ -13,12 +13,13 @@ use genlink::seeding::SeedingConfig;
 use genlink::{find_compatible_properties, CrossoverOperator, FitnessFunction, ParsimonyModel};
 use linkdisc_datasets::DatasetKind;
 use linkdisc_entity::{EntityPair, ResolvedReferenceLinks};
+use linkdisc_evaluation::{evaluate_compiled, evaluate_rule};
 use linkdisc_matching::MatchingEngine;
 use linkdisc_rule::{
-    aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
-    TransformFunction,
+    aggregation, compare, property, transform, AggregationFunction, CompiledRule, DistanceFunction,
+    LinkageRule, TransformFunction, ValueCache,
 };
-use linkdisc_similarity::{jaro_winkler_similarity, levenshtein};
+use linkdisc_similarity::{jaro_winkler_similarity, levenshtein, levenshtein_bounded};
 
 fn sample_rule() -> LinkageRule {
     aggregation(
@@ -30,7 +31,12 @@ fn sample_rule() -> LinkageRule {
                 DistanceFunction::Levenshtein,
                 2.0,
             ),
-            compare(property("year"), property("released"), DistanceFunction::Numeric, 1.0),
+            compare(
+                property("year"),
+                property("released"),
+                DistanceFunction::Numeric,
+                1.0,
+            ),
         ],
     )
     .into()
@@ -39,18 +45,35 @@ fn sample_rule() -> LinkageRule {
 fn bench_distances(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance");
     group.bench_function("levenshtein/short", |b| {
-        b.iter(|| levenshtein(black_box("learning linkage rules"), black_box("learning expressive rules")))
+        b.iter(|| {
+            levenshtein(
+                black_box("learning linkage rules"),
+                black_box("learning expressive rules"),
+            )
+        })
+    });
+    group.bench_function("levenshtein/banded", |b| {
+        b.iter(|| {
+            levenshtein_bounded(
+                black_box("learning linkage rules"),
+                black_box("learning expressive rules"),
+                black_box(2),
+            )
+        })
     });
     group.bench_function("jaro_winkler/short", |b| {
         b.iter(|| jaro_winkler_similarity(black_box("acetocillin"), black_box("acetocilin")))
     });
     group.bench_function("geographic", |b| {
         b.iter(|| {
-            DistanceFunction::Geographic.distance_values(black_box("52.52 13.40"), black_box("48.85 2.35"))
+            DistanceFunction::Geographic
+                .distance_values(black_box("52.52 13.40"), black_box("48.85 2.35"))
         })
     });
     group.bench_function("date", |b| {
-        b.iter(|| DistanceFunction::Date.distance_values(black_box("1998-05-20"), black_box("2004-11-02")))
+        b.iter(|| {
+            DistanceFunction::Date.distance_values(black_box("1998-05-20"), black_box("2004-11-02"))
+        })
     });
     group.finish();
 }
@@ -82,11 +105,30 @@ fn bench_rule_evaluation(c: &mut Criterion) {
         b.iter(|| black_box(rule.evaluate(black_box(&pair))))
     });
 
-    let resolved = ResolvedReferenceLinks::resolve(&dataset.links, &dataset.source, &dataset.target);
+    let resolved =
+        ResolvedReferenceLinks::resolve(&dataset.links, &dataset.source, &dataset.target);
     let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
     c.bench_function("fitness/mcc_over_training_links", |b| {
         b.iter(|| black_box(fitness.evaluate(black_box(&rule))))
     });
+
+    // compiled plan vs. tree-walking oracle over the same reference links
+    let compiled = CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+    let cache = ValueCache::new();
+    let mut group = c.benchmark_group("eval");
+    group.bench_function("tree_walk", |b| {
+        b.iter(|| black_box(evaluate_rule(black_box(&rule), black_box(&resolved))))
+    });
+    group.bench_function("compiled_cached", |b| {
+        b.iter(|| {
+            black_box(evaluate_compiled(
+                black_box(&compiled),
+                black_box(&resolved),
+                &cache,
+            ))
+        })
+    });
+    group.finish();
 }
 
 fn bench_seeding_and_crossover(c: &mut Criterion) {

@@ -14,7 +14,10 @@ fn main() {
         .collect();
     for &checkpoint in &checkpoints {
         println!("-- after {checkpoint} iterations --");
-        println!("{:<18} {:>16} {:>16}", "Dataset", "Subtree C.", "Our Approach");
+        println!(
+            "{:<18} {:>16} {:>16}",
+            "Dataset", "Subtree C.", "Our Approach"
+        );
         for kind in DatasetKind::ALL {
             let dataset = kind.generate(settings.scale, settings.seed);
             let mut cells = Vec::new();
@@ -22,7 +25,9 @@ fn main() {
                 CrossoverOperator::SUBTREE_ONLY.to_vec(),
                 CrossoverOperator::SPECIALIZED.to_vec(),
             ] {
-                let mut config = settings.genlink_config().with_crossover_operators(operators);
+                let mut config = settings
+                    .genlink_config()
+                    .with_crossover_operators(operators);
                 config.gp.max_iterations = checkpoint;
                 let result = learning_curve(&dataset, &config, &settings);
                 let row = result.rows.last().expect("at least one checkpoint");

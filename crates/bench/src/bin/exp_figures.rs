@@ -2,8 +2,8 @@
 //! the compatible-property discovery example (Figure 3) and before/after
 //! examples of the crossover operators (Figures 4-6).
 
-use genlink::{find_compatible_properties, CrossoverOperator};
 use genlink::seeding::SeedingConfig;
+use genlink::{find_compatible_properties, CrossoverOperator};
 use linkdisc_entity::{DataSourceBuilder, ReferenceLinksBuilder};
 use linkdisc_rule::{
     aggregation, compare, print_rule, property, render_rule, transform, AggregationFunction,
@@ -32,7 +32,12 @@ fn main() {
                 DistanceFunction::Levenshtein,
                 1.0,
             ),
-            compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+            compare(
+                property("point"),
+                property("coord"),
+                DistanceFunction::Geographic,
+                50.0,
+            ),
         ],
     )
     .into();
@@ -42,11 +47,25 @@ fn main() {
 
     println!("=== Figure 3: finding compatible properties ===");
     let source = DataSourceBuilder::new("A", ["label", "point", "population"])
-        .entity("a1", [("label", "Berlin"), ("point", "52.52 13.40"), ("population", "3500000")])
+        .entity(
+            "a1",
+            [
+                ("label", "Berlin"),
+                ("point", "52.52 13.40"),
+                ("population", "3500000"),
+            ],
+        )
         .unwrap()
         .build();
     let target = DataSourceBuilder::new("B", ["label", "coord", "founded"])
-        .entity("b1", [("label", "berlin"), ("coord", "52.52 13.40"), ("founded", "1237")])
+        .entity(
+            "b1",
+            [
+                ("label", "berlin"),
+                ("coord", "52.52 13.40"),
+                ("founded", "1237"),
+            ],
+        )
         .unwrap()
         .build();
     let links = ReferenceLinksBuilder::new().positive("a1", "b1").build();
@@ -68,7 +87,12 @@ fn main() {
                 DistanceFunction::Jaccard,
                 0.4,
             ),
-            compare(property("date"), property("released"), DistanceFunction::Date, 30.0),
+            compare(
+                property("date"),
+                property("released"),
+                DistanceFunction::Date,
+                30.0,
+            ),
         ],
     )
     .into();
@@ -84,15 +108,29 @@ fn main() {
                 DistanceFunction::Levenshtein,
                 2.0,
             ),
-            compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+            compare(
+                property("point"),
+                property("coord"),
+                DistanceFunction::Geographic,
+                50.0,
+            ),
         ],
     )
     .into();
     let mut rng = StdRng::seed_from_u64(7);
     for (figure, operator) in [
-        ("Figure 4: operators crossover", CrossoverOperator::Operators),
-        ("Figure 5: aggregation crossover", CrossoverOperator::Aggregation),
-        ("Figure 6: transformation crossover", CrossoverOperator::Transformation),
+        (
+            "Figure 4: operators crossover",
+            CrossoverOperator::Operators,
+        ),
+        (
+            "Figure 5: aggregation crossover",
+            CrossoverOperator::Aggregation,
+        ),
+        (
+            "Figure 6: transformation crossover",
+            CrossoverOperator::Transformation,
+        ),
     ] {
         println!("=== {figure} ===");
         println!("parent 1:\n{}", render_rule(&rule_a));

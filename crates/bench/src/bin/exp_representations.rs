@@ -31,6 +31,8 @@ fn main() {
         );
     }
     println!();
-    println!("expected shape (paper Table 13): Full >= Non-linear >= Linear/Boolean on every dataset,");
+    println!(
+        "expected shape (paper Table 13): Full >= Non-linear >= Linear/Boolean on every dataset,"
+    );
     println!("with the largest gains from transformations on the noisy Cora/Restaurant data.");
 }

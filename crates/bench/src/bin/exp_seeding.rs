@@ -33,7 +33,9 @@ fn main() {
         println!("{:<18} {:>16} {:>16}", kind.name(), cells[0], cells[1]);
     }
     println!();
-    println!("expected shape (paper Table 14): seeding matters little for the few-property datasets");
+    println!(
+        "expected shape (paper Table 14): seeding matters little for the few-property datasets"
+    );
     println!("(Cora, Restaurant) and improves the initial population considerably for the");
     println!("many-property Linked Data datasets (NYT, LinkedMDB, DBpediaDrugbank).");
 }

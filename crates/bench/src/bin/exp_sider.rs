@@ -9,7 +9,10 @@ fn main() {
         DatasetKind::SiderDrugBank,
         "Table 9: SiderDrugBank",
         false,
-        &[("ObjectCoref (OAEI 2010)", 0.464), ("RiMOM (OAEI 2010)", 0.504)],
+        &[
+            ("ObjectCoref (OAEI 2010)", 0.464),
+            ("RiMOM (OAEI 2010)", 0.504),
+        ],
         false,
     );
 }

@@ -69,7 +69,10 @@ impl ExperimentSettings {
     /// Reads the settings from the environment (see the type-level table).
     pub fn from_env() -> Self {
         let mut settings = ExperimentSettings::default();
-        if std::env::var("GENLINK_PAPER").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("GENLINK_PAPER")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             settings = ExperimentSettings {
                 scale: 1.0,
                 runs: 10,
@@ -148,6 +151,11 @@ pub struct CurveRow {
     pub training_f1: Summary,
     /// F-measure of the best rule on the validation links.
     pub validation_f1: Summary,
+    /// Cumulative fitness evaluations answered by the cross-generation
+    /// cache up to this iteration (evaluations saved).
+    pub evaluations_saved: Summary,
+    /// Cumulative fitness-cache hit rate up to this iteration.
+    pub cache_hit_rate: Summary,
 }
 
 /// The outcome of a learning-curve experiment.
@@ -173,7 +181,15 @@ pub fn learning_curve(
     settings: &ExperimentSettings,
 ) -> CurveResult {
     let checkpoints = settings.checkpoints();
-    let mut per_checkpoint: BTreeMap<usize, (Vec<f64>, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    #[derive(Default)]
+    struct CheckpointAccumulator {
+        seconds: Vec<f64>,
+        training: Vec<f64>,
+        validation: Vec<f64>,
+        saved: Vec<f64>,
+        hit_rate: Vec<f64>,
+    }
+    let mut per_checkpoint: BTreeMap<usize, CheckpointAccumulator> = BTreeMap::new();
     let mut best_rule = LinkageRule::empty();
     let mut best_validation = -1.0f64;
     let mut final_comparisons = Vec::new();
@@ -207,23 +223,37 @@ pub fn learning_curve(
                     let val_matrix =
                         evaluate_rule_on_links(rule, validation, &dataset.source, &dataset.target);
                     let entry = per_checkpoint.entry(stats.iteration).or_default();
-                    entry.0.push(stats.elapsed_seconds);
-                    entry.1.push(train_matrix.f_measure());
-                    entry.2.push(val_matrix.f_measure());
+                    entry.seconds.push(stats.elapsed_seconds);
+                    entry.training.push(train_matrix.f_measure());
+                    entry.validation.push(val_matrix.f_measure());
+                    let cache = stats.cache.unwrap_or_default();
+                    entry.saved.push(cache.fitness_hits as f64);
+                    entry.hit_rate.push(cache.fitness_hit_rate());
                 },
             );
             // when the run stops early, later checkpoints keep the final value
             let last_iteration = outcome.history.last().map(|s| s.iteration).unwrap_or(0);
-            let last_seconds = outcome.history.last().map(|s| s.elapsed_seconds).unwrap_or(0.0);
+            let last_seconds = outcome
+                .history
+                .last()
+                .map(|s| s.elapsed_seconds)
+                .unwrap_or(0.0);
+            let last_cache = outcome
+                .history
+                .last()
+                .and_then(|s| s.cache)
+                .unwrap_or_default();
             let final_train =
                 evaluate_rule_on_links(&outcome.rule, &train, &dataset.source, &dataset.target);
             let final_val =
                 evaluate_rule_on_links(&outcome.rule, validation, &dataset.source, &dataset.target);
             for &checkpoint in checkpoints.iter().filter(|&&c| c > last_iteration) {
                 let entry = per_checkpoint.entry(checkpoint).or_default();
-                entry.0.push(last_seconds);
-                entry.1.push(final_train.f_measure());
-                entry.2.push(final_val.f_measure());
+                entry.seconds.push(last_seconds);
+                entry.training.push(final_train.f_measure());
+                entry.validation.push(final_val.f_measure());
+                entry.saved.push(last_cache.fitness_hits as f64);
+                entry.hit_rate.push(last_cache.fitness_hit_rate());
             }
             if final_val.f_measure() > best_validation {
                 best_validation = final_val.f_measure();
@@ -237,11 +267,13 @@ pub fn learning_curve(
 
     let rows = per_checkpoint
         .into_iter()
-        .map(|(iteration, (seconds, train, validation))| CurveRow {
+        .map(|(iteration, acc)| CurveRow {
             iteration,
-            seconds: Summary::of(seconds),
-            training_f1: Summary::of(train),
-            validation_f1: Summary::of(validation),
+            seconds: Summary::of(acc.seconds),
+            training_f1: Summary::of(acc.training),
+            validation_f1: Summary::of(acc.validation),
+            evaluations_saved: Summary::of(acc.saved),
+            cache_hit_rate: Summary::of(acc.hit_rate),
         })
         .collect();
     CurveResult {
@@ -295,14 +327,19 @@ pub fn run_carvalho_baseline(
 /// Prints a learning-curve table in the shape of Tables 7–12.
 pub fn print_curve_table(title: &str, result: &CurveResult) {
     println!("{title}");
-    println!("{:<6} {:>16} {:>16} {:>16}", "Iter.", "Time in s (σ)", "Train. F1 (σ)", "Val. F1 (σ)");
+    println!(
+        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9}",
+        "Iter.", "Time in s (σ)", "Train. F1 (σ)", "Val. F1 (σ)", "Evals saved", "Hit rate"
+    );
     for row in &result.rows {
         println!(
-            "{:<6} {:>16} {:>16} {:>16}",
+            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9}",
             row.iteration,
             format!("{:.1} ({:.1})", row.seconds.mean, row.seconds.std_dev),
             row.training_f1.paper_format(),
-            row.validation_f1.paper_format()
+            row.validation_f1.paper_format(),
+            format!("{:.0}", row.evaluations_saved.mean),
+            format!("{:.0}%", row.cache_hit_rate.mean * 100.0)
         );
     }
     println!();
@@ -352,7 +389,8 @@ pub fn run_dataset_experiment(
     println!();
 
     if run_carvalho {
-        let (train, validation) = run_carvalho_baseline(&dataset, &settings.carvalho_config(), &settings);
+        let (train, validation) =
+            run_carvalho_baseline(&dataset, &settings.carvalho_config(), &settings);
         println!(
             "Carvalho-style GP baseline: Train. F1 = {}, Val. F1 = {}",
             train.paper_format(),
@@ -412,7 +450,10 @@ mod tests {
         // quality improves (or at least does not collapse) over iterations
         let first = result.rows.first().unwrap().training_f1.mean;
         let last = result.rows.last().unwrap().training_f1.mean;
-        assert!(last >= first - 0.05, "training F1 regressed from {first} to {last}");
+        assert!(
+            last >= first - 0.05,
+            "training F1 regressed from {first} to {last}"
+        );
         assert!(!result.best_rule.is_empty());
     }
 

@@ -57,10 +57,7 @@ pub fn select_queries(
         .iter()
         .filter_map(|link| {
             let pair = EntityPair::resolve(link, source, target)?;
-            let votes = committee
-                .iter()
-                .filter(|rule| rule.is_link(&pair))
-                .count();
+            let votes = committee.iter().filter(|rule| rule.is_link(&pair)).count();
             let agreement = votes as f64 / committee.len() as f64;
             Some(Query {
                 link: link.clone(),
@@ -97,7 +94,10 @@ pub fn candidate_pool(
     let mut pool = Vec::new();
     for source_entity in source.entities() {
         for target_entity in target.entities() {
-            let key = (source_entity.id().to_string(), target_entity.id().to_string());
+            let key = (
+                source_entity.id().to_string(),
+                target_entity.id().to_string(),
+            );
             if !known.contains(&key) {
                 pool.push(Link::new(key.0, key.1));
             }
@@ -135,8 +135,20 @@ mod tests {
         // they agree on exact matches and clear non-matches but disagree on
         // near matches such as alpha/alphx
         vec![
-            compare(property("label"), property("label"), DistanceFunction::Levenshtein, 0.5).into(),
-            compare(property("label"), property("label"), DistanceFunction::Levenshtein, 4.0).into(),
+            compare(
+                property("label"),
+                property("label"),
+                DistanceFunction::Levenshtein,
+                0.5,
+            )
+            .into(),
+            compare(
+                property("label"),
+                property("label"),
+                DistanceFunction::Levenshtein,
+                4.0,
+            )
+            .into(),
         ]
     }
 

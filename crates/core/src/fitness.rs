@@ -11,10 +11,12 @@
 //! positive/negative link sets; the parsimony pressure prevents rules from
 //! growing indefinitely (bloat).
 
-use linkdisc_entity::ResolvedReferenceLinks;
-use linkdisc_evaluation::{evaluate_rule, ConfusionMatrix};
+use std::sync::Arc;
+
+use linkdisc_entity::{ResolvedReferenceLinks, Schema};
+use linkdisc_evaluation::{evaluate_compiled, evaluate_rule, ConfusionMatrix};
 use linkdisc_gp::Evaluated;
-use linkdisc_rule::LinkageRule;
+use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache};
 
 /// How the size of a rule is penalised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,20 +61,59 @@ impl ParsimonyModel {
 
 /// The GenLink fitness function: MCC with parsimony pressure, plus the
 /// training F-measure used by the stop condition.
+///
+/// Rules are scored through the compiled evaluation plan: the rule is
+/// lowered once per evaluation ([`CompiledRule::compile`] is linear in the
+/// rule size) and every reference pair then runs the flat instruction list
+/// against a [`ValueCache`] shared across the whole learning run — so a
+/// transformation chain appearing anywhere in the population is computed at
+/// most once per entity per run.
 #[derive(Debug, Clone)]
 pub struct FitnessFunction<'a> {
     links: &'a ResolvedReferenceLinks<'a>,
     parsimony: ParsimonyModel,
+    schemas: Option<(Arc<Schema>, Arc<Schema>)>,
+    value_cache: Arc<ValueCache<'a>>,
 }
 
 impl<'a> FitnessFunction<'a> {
     /// Creates a fitness function over resolved training links.
     pub fn new(links: &'a ResolvedReferenceLinks<'a>, parsimony: ParsimonyModel) -> Self {
-        FitnessFunction { links, parsimony }
+        let schemas = links
+            .positive()
+            .first()
+            .or_else(|| links.negative().first())
+            .map(|pair| (pair.source.schema().clone(), pair.target.schema().clone()));
+        FitnessFunction {
+            links,
+            parsimony,
+            schemas,
+            value_cache: Arc::new(ValueCache::new()),
+        }
     }
 
-    /// The confusion matrix of a rule on the training links.
+    /// The value cache backing compiled evaluation (exposed so the problem
+    /// can report cache statistics per iteration).
+    pub fn value_cache(&self) -> &ValueCache<'a> {
+        &self.value_cache
+    }
+
+    /// The confusion matrix of a rule on the training links, via the
+    /// compiled fast path (falls back to the tree walk when the link set is
+    /// empty and no schema is known).
     pub fn confusion(&self, rule: &LinkageRule) -> ConfusionMatrix {
+        match &self.schemas {
+            Some((source_schema, target_schema)) => {
+                let compiled = CompiledRule::compile(rule, source_schema, target_schema);
+                evaluate_compiled(&compiled, self.links, &self.value_cache)
+            }
+            None => evaluate_rule(rule, self.links),
+        }
+    }
+
+    /// The confusion matrix via the tree-walking reference oracle (kept for
+    /// parity checks and debugging).
+    pub fn confusion_tree_walk(&self, rule: &LinkageRule) -> ConfusionMatrix {
         evaluate_rule(rule, self.links)
     }
 
@@ -98,9 +139,11 @@ impl<'a> FitnessFunction<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linkdisc_entity::{DataSourceBuilder, Link, ReferenceLinks, DataSource};
-    use linkdisc_rule::{aggregation, compare, property, transform, AggregationFunction,
-                        DistanceFunction, RuleBuilder, TransformFunction};
+    use linkdisc_entity::{DataSource, DataSourceBuilder, Link, ReferenceLinks};
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, AggregationFunction, DistanceFunction,
+        RuleBuilder, TransformFunction,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -110,8 +153,12 @@ mod tests {
         let mut positives = Vec::new();
         for i in 0..12 {
             let name = format!("entity number {i}");
-            a = a.entity(format!("a{i}"), [("label", name.as_str())]).unwrap();
-            b = b.entity(format!("b{i}"), [("label", name.to_uppercase().as_str())]).unwrap();
+            a = a
+                .entity(format!("a{i}"), [("label", name.as_str())])
+                .unwrap();
+            b = b
+                .entity(format!("b{i}"), [("label", name.to_uppercase().as_str())])
+                .unwrap();
             positives.push(Link::new(format!("a{i}"), format!("b{i}")));
         }
         let mut rng = StdRng::seed_from_u64(1);
@@ -156,10 +203,7 @@ mod tests {
         .into();
         let large: linkdisc_rule::LinkageRule = aggregation(
             AggregationFunction::Min,
-            vec![
-                small.root().unwrap().clone(),
-                small.root().unwrap().clone(),
-            ],
+            vec![small.root().unwrap().clone(), small.root().unwrap().clone()],
         )
         .into();
         let small_eval = fitness.evaluate(&small);
@@ -191,7 +235,10 @@ mod tests {
         )
         .into();
         let without = ParsimonyModel::default();
-        let with = ParsimonyModel { count_properties: true, ..ParsimonyModel::default() };
+        let with = ParsimonyModel {
+            count_properties: true,
+            ..ParsimonyModel::default()
+        };
         assert_eq!(without.counted_operators(&rule), 2);
         assert_eq!(with.counted_operators(&rule), 4);
         assert!((without.penalty_for(&rule) - 0.10).abs() < 1e-12);

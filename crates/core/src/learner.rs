@@ -202,7 +202,10 @@ mod tests {
             let title = format!("The Example Movie {i}");
             let year = format!("{}", 1960 + (i % 50));
             source = source
-                .entity(format!("a{i}"), [("title", title.as_str()), ("year", year.as_str())])
+                .entity(
+                    format!("a{i}"),
+                    [("title", title.as_str()), ("year", year.as_str())],
+                )
                 .unwrap();
             let noisy_title = if rng.gen_bool(0.5) {
                 title.to_uppercase()
@@ -265,13 +268,10 @@ mod tests {
     fn observer_reports_monotone_iterations() {
         let (source, target, links) = noisy_sources(15);
         let mut iterations = Vec::new();
-        let outcome = GenLink::new(fast_config()).learn_with_observer(
-            &source,
-            &target,
-            &links,
-            1,
-            |stats| iterations.push(stats.iteration),
-        );
+        let outcome =
+            GenLink::new(fast_config()).learn_with_observer(&source, &target, &links, 1, |stats| {
+                iterations.push(stats.iteration)
+            });
         assert_eq!(iterations.first(), Some(&0));
         assert!(iterations.windows(2).all(|w| w[1] == w[0] + 1));
         assert_eq!(iterations.len(), outcome.history.len());
@@ -309,5 +309,34 @@ mod tests {
             .compatible_pairs
             .iter()
             .any(|p| p.source_property == "title" && p.target_property == "name"));
+    }
+
+    #[test]
+    fn caches_save_evaluations_across_generations() {
+        let (source, target, links) = noisy_sources(20);
+        let mut config = fast_config();
+        // never stop early, so elitism re-submits the best rule every
+        // generation and the fitness cache must absorb it
+        config.gp.stop_f_measure = 2.0;
+        let outcome = GenLink::new(config).learn(&source, &target, &links, 9);
+        let last = outcome
+            .history
+            .last()
+            .and_then(|stats| stats.cache)
+            .expect("GenLink reports cache statistics");
+        assert!(
+            last.fitness_hits > 0,
+            "elites and duplicate offspring must hit the fitness cache: {last:?}"
+        );
+        assert!(last.fitness_misses > 0);
+        assert!(last.fitness_entries as u64 <= last.fitness_misses);
+        assert!(last.value_cache_entries > 0, "transform memo never filled");
+        // cumulative counters grow monotonically over the run
+        let mut previous_hits = 0;
+        for stats in &outcome.history {
+            let cache = stats.cache.expect("every iteration carries stats");
+            assert!(cache.fitness_hits >= previous_hits);
+            previous_hits = cache.fitness_hits;
+        }
     }
 }

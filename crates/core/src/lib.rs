@@ -51,9 +51,9 @@ pub mod learner;
 pub mod operators;
 pub mod problem;
 pub mod random;
-pub mod simplify;
 pub mod representation;
 pub mod seeding;
+pub mod simplify;
 
 pub use active::{candidate_pool, select_queries, Query};
 pub use config::{GenLinkConfig, SeedingStrategy};
@@ -66,6 +66,4 @@ pub use simplify::simplify_rule;
 
 // Re-export the building blocks users typically need alongside the learner.
 pub use linkdisc_gp::{GpConfig, IterationStats};
-pub use linkdisc_rule::{
-    AggregationFunction, DistanceFunction, LinkageRule, TransformFunction,
-};
+pub use linkdisc_rule::{AggregationFunction, DistanceFunction, LinkageRule, TransformFunction};

@@ -84,10 +84,19 @@ impl CrossoverOperator {
     /// The child is always derived from `first` (the paper's `r1`); `second`
     /// contributes genetic material.  Degenerate inputs (empty rules, missing
     /// node kinds) fall back to cloning `first`.
-    pub fn apply(&self, first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    pub fn apply(
+        &self,
+        first: &LinkageRule,
+        second: &LinkageRule,
+        rng: &mut StdRng,
+    ) -> LinkageRule {
         let (Some(_), Some(_)) = (first.root(), second.root()) else {
             // an empty parent contributes nothing; prefer the non-empty one
-            return if first.is_empty() { second.clone() } else { first.clone() };
+            return if first.is_empty() {
+                second.clone()
+            } else {
+                first.clone()
+            };
         };
         match self {
             CrossoverOperator::Function => function_crossover(first, second, rng),
@@ -219,7 +228,11 @@ fn operators_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdR
 // aggregation crossover (Algorithm 5)
 // ---------------------------------------------------------------------------
 
-fn aggregation_crossover(first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+fn aggregation_crossover(
+    first: &LinkageRule,
+    second: &LinkageRule,
+    rng: &mut StdRng,
+) -> LinkageRule {
     let mut child = first.clone();
     let second_root = second.root().expect("non-empty");
     let donor_count = second_root.similarity_node_count();
@@ -439,7 +452,9 @@ impl CollectValues for SimilarityOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linkdisc_rule::{aggregation, compare, property, transform, DistanceFunction, TransformFunction};
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, DistanceFunction, TransformFunction,
+    };
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
@@ -456,7 +471,12 @@ mod tests {
                     DistanceFunction::Levenshtein,
                     1.0,
                 ),
-                compare(property("date"), property("released"), DistanceFunction::Date, 30.0),
+                compare(
+                    property("date"),
+                    property("released"),
+                    DistanceFunction::Date,
+                    30.0,
+                ),
             ],
         )
         .into()
@@ -475,7 +495,12 @@ mod tests {
                     DistanceFunction::Jaccard,
                     0.4,
                 ),
-                compare(property("point"), property("coord"), DistanceFunction::Geographic, 50.0),
+                compare(
+                    property("point"),
+                    property("coord"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
             ],
         )
         .into()
@@ -559,7 +584,10 @@ mod tests {
                 saw_b_comparison = true;
             }
         }
-        assert!(saw_b_comparison, "operators crossover never imported a comparison from rule B");
+        assert!(
+            saw_b_comparison,
+            "operators crossover never imported a comparison from rule B"
+        );
     }
 
     #[test]
@@ -586,7 +614,10 @@ mod tests {
             let child = CrossoverOperator::Aggregation.apply(&rule_a(), &rule_b(), &mut rng);
             child.stats().depth > rule_a().stats().depth
         });
-        assert!(deepened, "aggregation crossover never built a deeper hierarchy");
+        assert!(
+            deepened,
+            "aggregation crossover never built a deeper hierarchy"
+        );
     }
 
     #[test]
@@ -626,8 +657,15 @@ mod tests {
 
     #[test]
     fn threshold_crossover_averages_thresholds() {
-        let a: LinkageRule = compare(property("x"), property("x"), DistanceFunction::Numeric, 10.0).into();
-        let b: LinkageRule = compare(property("y"), property("y"), DistanceFunction::Numeric, 2.0).into();
+        let a: LinkageRule = compare(
+            property("x"),
+            property("x"),
+            DistanceFunction::Numeric,
+            10.0,
+        )
+        .into();
+        let b: LinkageRule =
+            compare(property("y"), property("y"), DistanceFunction::Numeric, 2.0).into();
         let mut rng = rng(10);
         let child = CrossoverOperator::Threshold.apply(&a, &b, &mut rng);
         let threshold = child.root().unwrap().comparisons()[0].threshold;
@@ -639,7 +677,8 @@ mod tests {
         let mut heavy = compare(property("x"), property("x"), DistanceFunction::Numeric, 1.0);
         heavy.set_weight(9);
         let a: LinkageRule = heavy.into();
-        let b: LinkageRule = compare(property("y"), property("y"), DistanceFunction::Numeric, 1.0).into();
+        let b: LinkageRule =
+            compare(property("y"), property("y"), DistanceFunction::Numeric, 1.0).into();
         let mut rng = rng(11);
         let child = CrossoverOperator::Weight.apply(&a, &b, &mut rng);
         assert_eq!(child.root().unwrap().comparisons()[0].weight, 5);

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use linkdisc_gp::{Evaluated, Problem};
+use linkdisc_gp::{CacheStats, Evaluated, FitnessCache, Problem};
 use linkdisc_rule::LinkageRule;
 
 use crate::fitness::FitnessFunction;
@@ -13,11 +13,16 @@ use crate::random::RandomRuleGenerator;
 use crate::representation::RepresentationMode;
 
 /// The GenLink learning problem over one training link set.
+///
+/// Evaluations are memoized across generations in a [`FitnessCache`] keyed
+/// by the rule's canonical hash: elitism survivors and duplicate crossover
+/// offspring are scored exactly once per learning run.
 pub struct GenLinkProblem<'a> {
     fitness: FitnessFunction<'a>,
     generator: RandomRuleGenerator,
     crossover_operators: Vec<CrossoverOperator>,
     representation: RepresentationMode,
+    cache: FitnessCache<LinkageRule>,
 }
 
 impl<'a> GenLinkProblem<'a> {
@@ -37,6 +42,7 @@ impl<'a> GenLinkProblem<'a> {
             generator,
             crossover_operators,
             representation,
+            cache: FitnessCache::new(),
         }
     }
 
@@ -44,6 +50,11 @@ impl<'a> GenLinkProblem<'a> {
     /// inspects the initial population directly).
     pub fn generator(&self) -> &RandomRuleGenerator {
         &self.generator
+    }
+
+    /// The cross-generation fitness cache.
+    pub fn fitness_cache(&self) -> &FitnessCache<LinkageRule> {
+        &self.cache
     }
 }
 
@@ -54,7 +65,12 @@ impl Problem for GenLinkProblem<'_> {
         self.generator.generate(rng)
     }
 
-    fn crossover(&self, first: &LinkageRule, second: &LinkageRule, rng: &mut StdRng) -> LinkageRule {
+    fn crossover(
+        &self,
+        first: &LinkageRule,
+        second: &LinkageRule,
+        rng: &mut StdRng,
+    ) -> LinkageRule {
         let operator = self
             .crossover_operators
             .choose(rng)
@@ -67,7 +83,21 @@ impl Problem for GenLinkProblem<'_> {
     }
 
     fn evaluate(&self, genome: &LinkageRule) -> Evaluated {
-        self.fitness.evaluate(genome)
+        self.cache
+            .get_or_insert_with(genome.canonical_hash(), genome, || {
+                self.fitness.evaluate(genome)
+            })
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        let value_cache = self.fitness.value_cache();
+        Some(CacheStats {
+            fitness_hits: self.cache.hits(),
+            fitness_misses: self.cache.misses(),
+            fitness_entries: self.cache.len(),
+            value_cache_entries: value_cache.len(),
+            value_cache_hits: value_cache.hits(),
+        })
     }
 }
 
@@ -101,10 +131,7 @@ mod tests {
             .entity("b2", [("label", "completely different")])
             .unwrap()
             .build();
-        let links = ReferenceLinks::new(
-            vec![Link::new("a1", "b1")],
-            vec![Link::new("a1", "b2")],
-        );
+        let links = ReferenceLinks::new(vec![Link::new("a1", "b1")], vec![Link::new("a1", "b2")]);
         let resolved = ResolvedReferenceLinks::resolve(&links, &source, &target);
         let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
         let generator = RandomRuleGenerator::new(pairs(), RepresentationMode::Full);
@@ -142,7 +169,8 @@ mod tests {
             RepresentationMode::Boolean,
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let mut rules: Vec<LinkageRule> = (0..20).map(|_| problem.random_genome(&mut rng)).collect();
+        let mut rules: Vec<LinkageRule> =
+            (0..20).map(|_| problem.random_genome(&mut rng)).collect();
         for _ in 0..100 {
             let a = rules[rng.gen_range(0..rules.len())].clone();
             let b = rules[rng.gen_range(0..rules.len())].clone();

@@ -187,7 +187,10 @@ mod tests {
             let rule = generator.generate(&mut rng);
             let stats = rule.stats();
             assert!(!rule.is_empty());
-            assert!(stats.comparisons >= 1 && stats.comparisons <= 2, "{stats:?}");
+            assert!(
+                stats.comparisons >= 1 && stats.comparisons <= 2,
+                "{stats:?}"
+            );
             assert!(stats.aggregations <= 1);
             assert!(stats.depth <= 2);
         }

@@ -62,7 +62,10 @@ impl RepresentationMode {
 
     /// Whether aggregations may be nested.
     pub fn allows_nested_aggregations(&self) -> bool {
-        matches!(self, RepresentationMode::NonLinear | RepresentationMode::Full)
+        matches!(
+            self,
+            RepresentationMode::NonLinear | RepresentationMode::Full
+        )
     }
 
     /// The aggregation functions available under this representation.
@@ -147,10 +150,7 @@ fn collect_comparisons(aggregation: &Aggregation, out: &mut Vec<SimilarityOperat
     }
 }
 
-fn rewrite_aggregation_functions(
-    node: &mut SimilarityOperator,
-    allowed: &[AggregationFunction],
-) {
+fn rewrite_aggregation_functions(node: &mut SimilarityOperator, allowed: &[AggregationFunction]) {
     if let SimilarityOperator::Aggregation(aggregation) = node {
         if !allowed.contains(&aggregation.function) {
             aggregation.function = allowed[0];
@@ -164,7 +164,9 @@ fn rewrite_aggregation_functions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linkdisc_rule::{aggregation, compare, property, transform, DistanceFunction, TransformFunction};
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, DistanceFunction, TransformFunction,
+    };
 
     fn complex_rule() -> LinkageRule {
         aggregation(
@@ -179,8 +181,18 @@ mod tests {
                 aggregation(
                     AggregationFunction::Max,
                     vec![
-                        compare(property("date"), property("released"), DistanceFunction::Date, 30.0),
-                        compare(property("director"), property("director"), DistanceFunction::Jaccard, 0.5),
+                        compare(
+                            property("date"),
+                            property("released"),
+                            DistanceFunction::Date,
+                            30.0,
+                        ),
+                        compare(
+                            property("director"),
+                            property("director"),
+                            DistanceFunction::Jaccard,
+                            0.5,
+                        ),
                     ],
                 ),
             ],
@@ -207,12 +219,10 @@ mod tests {
         assert!(!stats.non_linear);
         assert_eq!(stats.comparisons, 3);
         // wmean is not a boolean aggregation; it must have been rewritten
-        assert!(rule
-            .root()
-            .unwrap()
-            .aggregations()
-            .iter()
-            .all(|a| matches!(a.function, AggregationFunction::Min | AggregationFunction::Max)));
+        assert!(rule.root().unwrap().aggregations().iter().all(|a| matches!(
+            a.function,
+            AggregationFunction::Min | AggregationFunction::Max
+        )));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! The experiment of Table 14 compares this seeding against fully random
 //! property selection; both strategies are available here.
 
-use linkdisc_entity::{DataSource, EntityPair, ReferenceLinks};
 use linkdisc_entity::normalized_tokens;
+use linkdisc_entity::{DataSource, EntityPair, ReferenceLinks};
 use linkdisc_similarity::DistanceFunction;
 
 /// A pair of properties that hold similar values, together with the distance
@@ -69,8 +69,10 @@ pub fn find_compatible_properties(
 ) -> Vec<CompatiblePair> {
     let source_properties = source.schema().properties();
     let target_properties = target.schema().properties();
-    let mut match_counts =
-        vec![vec![vec![0usize; config.functions.len()]; target_properties.len()]; source_properties.len()];
+    let mut match_counts = vec![
+        vec![vec![0usize; config.functions.len()]; target_properties.len()];
+        source_properties.len()
+    ];
     let mut inspected = 0usize;
 
     for link in links.positive().iter().take(config.max_links) {
@@ -184,7 +186,11 @@ mod tests {
         let target = DataSourceBuilder::new("B", ["label", "coord", "founded"])
             .entity(
                 "b1",
-                [("label", "berlin"), ("coord", "52.52 13.40"), ("founded", "1237")],
+                [
+                    ("label", "berlin"),
+                    ("coord", "52.52 13.40"),
+                    ("founded", "1237"),
+                ],
             )
             .unwrap()
             .build();
@@ -215,11 +221,9 @@ mod tests {
             max_links: 100,
         };
         let pairs = find_compatible_properties(&source, &target, &links, &config);
-        assert!(pairs
-            .iter()
-            .any(|p| p.source_property == "point"
-                && p.target_property == "coord"
-                && p.function == DistanceFunction::Geographic));
+        assert!(pairs.iter().any(|p| p.source_property == "point"
+            && p.target_property == "coord"
+            && p.function == DistanceFunction::Geographic));
     }
 
     #[test]

@@ -77,7 +77,10 @@ mod tests {
         let label = compare(
             transform(
                 TransformFunction::LowerCase,
-                vec![transform(TransformFunction::LowerCase, vec![property("label")])],
+                vec![transform(
+                    TransformFunction::LowerCase,
+                    vec![property("label")],
+                )],
             ),
             property("name"),
             DistanceFunction::Levenshtein,
@@ -146,7 +149,12 @@ mod tests {
     fn single_child_root_aggregation_is_collapsed() {
         let mut rule: LinkageRule = aggregation(
             AggregationFunction::WeightedMean,
-            vec![compare(property("a"), property("b"), DistanceFunction::Equality, 0.5)],
+            vec![compare(
+                property("a"),
+                property("b"),
+                DistanceFunction::Equality,
+                0.5,
+            )],
         )
         .into();
         simplify_rule(&mut rule);
@@ -159,7 +167,12 @@ mod tests {
         let mut rule: LinkageRule = aggregation(
             AggregationFunction::Max,
             vec![
-                compare(property("a"), property("b"), DistanceFunction::Equality, 0.5),
+                compare(
+                    property("a"),
+                    property("b"),
+                    DistanceFunction::Equality,
+                    0.5,
+                ),
                 compare(property("c"), property("d"), DistanceFunction::Numeric, 1.0),
             ],
         )
@@ -185,15 +198,33 @@ mod tests {
                 aggregation(
                     AggregationFunction::Min,
                     vec![
-                        compare(property("a"), property("b"), DistanceFunction::Equality, 0.5),
-                        compare(property("c"), property("d"), DistanceFunction::Equality, 0.5),
+                        compare(
+                            property("a"),
+                            property("b"),
+                            DistanceFunction::Equality,
+                            0.5,
+                        ),
+                        compare(
+                            property("c"),
+                            property("d"),
+                            DistanceFunction::Equality,
+                            0.5,
+                        ),
                     ],
                 ),
-                compare(property("e"), property("f"), DistanceFunction::Equality, 0.5),
+                compare(
+                    property("e"),
+                    property("f"),
+                    DistanceFunction::Equality,
+                    0.5,
+                ),
             ],
         )
         .into();
         simplify_rule(&mut rule);
-        assert!(rule.stats().non_linear, "nesting with different functions must survive");
+        assert!(
+            rule.stats().non_linear,
+            "nesting with different functions must survive"
+        );
     }
 }

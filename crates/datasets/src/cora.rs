@@ -118,8 +118,12 @@ mod tests {
         assert_eq!(stats.target_properties, 4);
         assert!(stats.source_entities > 200);
         // coverage around 0.8 like Table 6 (date is dropped ~30% of the time)
-        assert!((0.85..=1.0).contains(&stats.source_coverage) || (0.7..=0.95).contains(&stats.source_coverage),
-                "coverage {}", stats.source_coverage);
+        assert!(
+            (0.85..=1.0).contains(&stats.source_coverage)
+                || (0.7..=0.95).contains(&stats.source_coverage),
+            "coverage {}",
+            stats.source_coverage
+        );
     }
 
     #[test]

@@ -41,8 +41,10 @@ const DRUGBANK_FILLERS: usize = 74;
 /// Generates a DBpediaDrugBank-style dataset with `link_count` positive links.
 pub fn generate(link_count: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(6));
-    let mut source = source_with_fillers("dbpedia-drugs", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
-    let mut target = source_with_fillers("drugbank", &DRUGBANK_CORE, "drugbank:p", DRUGBANK_FILLERS);
+    let mut source =
+        source_with_fillers("dbpedia-drugs", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
+    let mut target =
+        source_with_fillers("drugbank", &DRUGBANK_CORE, "drugbank:p", DRUGBANK_FILLERS);
 
     let source_distractors = (link_count as f64 * 2.4).round() as usize;
     let target_distractors = (link_count as f64 * 2.4).round() as usize;
@@ -58,9 +60,18 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             _ => noise::case_noise(&drug.name, &mut rng),
         };
         row.set("rdfs:label", label);
-        row.set_opt("dbpedia:synonym", noise::maybe_drop(drug.synonym.clone(), 0.5, &mut rng));
-        row.set_opt("dbpedia:casNumber", noise::maybe_drop(drug.cas.clone(), 0.45, &mut rng));
-        row.set_opt("dbpedia:atcPrefix", noise::maybe_drop(drug.atc.clone(), 0.4, &mut rng));
+        row.set_opt(
+            "dbpedia:synonym",
+            noise::maybe_drop(drug.synonym.clone(), 0.5, &mut rng),
+        );
+        row.set_opt(
+            "dbpedia:casNumber",
+            noise::maybe_drop(drug.cas.clone(), 0.45, &mut rng),
+        );
+        row.set_opt(
+            "dbpedia:atcPrefix",
+            noise::maybe_drop(drug.atc.clone(), 0.4, &mut rng),
+        );
         row.set_opt(
             "dbpedia:wikiPageRedirect",
             noise::maybe_drop(text::to_dbpedia_uri(&drug.synonym), 0.3, &mut rng),
@@ -70,16 +81,29 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
 
         if i < link_count {
             let mut noisy = Row::new();
-            noisy.set("drugbank:genericName", noise::case_noise(&drug.name, &mut rng));
-            noisy.set("drugbank:synonym", noise::case_noise(&drug.synonym, &mut rng));
+            noisy.set(
+                "drugbank:genericName",
+                noise::case_noise(&drug.name, &mut rng),
+            );
+            noisy.set(
+                "drugbank:synonym",
+                noise::case_noise(&drug.synonym, &mut rng),
+            );
             noisy.set_opt(
                 "drugbank:casRegistryNumber",
                 noise::maybe_drop(drug.cas.clone(), 0.55, &mut rng),
             );
-            noisy.set_opt("drugbank:atcCode", noise::maybe_drop(drug.atc.clone(), 0.5, &mut rng));
+            noisy.set_opt(
+                "drugbank:atcCode",
+                noise::maybe_drop(drug.atc.clone(), 0.5, &mut rng),
+            );
             noisy.set_opt(
                 "drugbank:brandName",
-                noise::maybe_drop(format!("{}-{}", drug.name, rng.gen_range(10..99)), 0.4, &mut rng),
+                noise::maybe_drop(
+                    format!("{}-{}", drug.name, rng.gen_range(10..99)),
+                    0.4,
+                    &mut rng,
+                ),
             );
             fill_fillers(&mut noisy, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
             noisy.add_to(&mut target, &format!("b{i}"));
@@ -89,7 +113,10 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
         let drug = Drug::random(&mut rng);
         let mut row = Row::new();
         row.set("drugbank:genericName", drug.name);
-        row.set_opt("drugbank:casRegistryNumber", noise::maybe_drop(drug.cas, 0.55, &mut rng));
+        row.set_opt(
+            "drugbank:casRegistryNumber",
+            noise::maybe_drop(drug.cas, 0.55, &mut rng),
+        );
         fill_fillers(&mut row, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
         row.add_to(&mut target, &format!("d{i}"));
     }
@@ -112,13 +139,24 @@ struct Drug {
 
 impl Drug {
     fn random(rng: &mut StdRng) -> Self {
-        let name = format!("{} {}", text::drug_name(rng), text::pick(&["", "forte", "retard", "plus"], rng))
-            .trim()
-            .to_string();
+        let name = format!(
+            "{} {}",
+            text::drug_name(rng),
+            text::pick(&["", "forte", "retard", "plus"], rng)
+        )
+        .trim()
+        .to_string();
         Drug {
-            synonym: format!("{name} {}", text::pick(&["hydrochloride", "sodium", "dihydrate", "maleate"], rng)),
+            synonym: format!(
+                "{name} {}",
+                text::pick(&["hydrochloride", "sodium", "dihydrate", "maleate"], rng)
+            ),
             cas: text::cas_number(rng),
-            atc: format!("{}{:02}", text::pick(&["A", "B", "C", "D", "N"], rng), rng.gen_range(1..16)),
+            atc: format!(
+                "{}{:02}",
+                text::pick(&["A", "B", "C", "D", "N"], rng),
+                rng.gen_range(1..16)
+            ),
             name,
         }
     }
@@ -135,8 +173,16 @@ mod tests {
         let stats = dataset.statistics();
         assert_eq!(stats.source_properties, 110);
         assert_eq!(stats.target_properties, 79);
-        assert!((0.2..=0.4).contains(&stats.source_coverage), "{}", stats.source_coverage);
-        assert!((0.4..=0.6).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(
+            (0.2..=0.4).contains(&stats.source_coverage),
+            "{}",
+            stats.source_coverage
+        );
+        assert!(
+            (0.4..=0.6).contains(&stats.target_coverage),
+            "{}",
+            stats.target_coverage
+        );
         assert!(stats.source_entities > 3 * stats.positive_links);
         assert!(stats.target_entities > 3 * stats.positive_links);
     }

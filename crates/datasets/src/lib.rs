@@ -214,7 +214,11 @@ mod tests {
         let large = DatasetKind::Cora.generate(0.2, 1);
         assert!(large.links.positive().len() > 2 * small.links.positive().len());
         assert_eq!(
-            DatasetKind::Cora.generate_paper_size(1).links.positive().len(),
+            DatasetKind::Cora
+                .generate_paper_size(1)
+                .links
+                .positive()
+                .len(),
             1617
         );
     }
@@ -224,7 +228,14 @@ mod tests {
         let names: Vec<&str> = DatasetKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(
             names,
-            vec!["Cora", "Restaurant", "SiderDrugbank", "NYT", "LinkedMDB", "DBpediaDrugbank"]
+            vec![
+                "Cora",
+                "Restaurant",
+                "SiderDrugbank",
+                "NYT",
+                "LinkedMDB",
+                "DBpediaDrugbank"
+            ]
         );
     }
 }

@@ -16,9 +16,19 @@ use crate::util::{aligned_links, fill_fillers, source_with_fillers, Row};
 use crate::Dataset;
 
 /// Core properties of the LinkedMDB side.
-pub const LINKEDMDB_CORE: [&str; 4] = ["movie:title", "movie:initial_release_date", "movie:director", "movie:runtime"];
+pub const LINKEDMDB_CORE: [&str; 4] = [
+    "movie:title",
+    "movie:initial_release_date",
+    "movie:director",
+    "movie:runtime",
+];
 /// Core properties of the DBpedia side.
-pub const DBPEDIA_CORE: [&str; 4] = ["rdfs:label", "dbpedia:released", "dbpedia:director", "dbpedia:abstract"];
+pub const DBPEDIA_CORE: [&str; 4] = [
+    "rdfs:label",
+    "dbpedia:released",
+    "dbpedia:director",
+    "dbpedia:abstract",
+];
 
 const LINKEDMDB_FILLERS: usize = 96;
 const DBPEDIA_FILLERS: usize = 42;
@@ -26,8 +36,10 @@ const DBPEDIA_FILLERS: usize = 42;
 /// Generates a LinkedMDB-style dataset with `link_count` positive links.
 pub fn generate(link_count: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
-    let mut source = source_with_fillers("linkedmdb", &LINKEDMDB_CORE, "movie:p", LINKEDMDB_FILLERS);
-    let mut target = source_with_fillers("dbpedia-films", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
+    let mut source =
+        source_with_fillers("linkedmdb", &LINKEDMDB_CORE, "movie:p", LINKEDMDB_FILLERS);
+    let mut target =
+        source_with_fillers("dbpedia-films", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
 
     let distractors = link_count;
     let mut titles: Vec<String> = Vec::new();
@@ -42,15 +54,28 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             t
         };
         let year = rng.gen_range(1930..2012);
-        let release = format!("{year}-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..28));
+        let release = format!(
+            "{year}-{:02}-{:02}",
+            rng.gen_range(1..13),
+            rng.gen_range(1..28)
+        );
         let director = text::person_name(&mut rng);
         let runtime = rng.gen_range(70..210);
 
         let mut row = Row::new();
         row.set("movie:title", title.clone());
-        row.set_opt("movie:initial_release_date", noise::maybe_drop(release.clone(), 0.9, &mut rng));
-        row.set_opt("movie:director", noise::maybe_drop(director.clone(), 0.7, &mut rng));
-        row.set_opt("movie:runtime", noise::maybe_drop(runtime.to_string(), 0.5, &mut rng));
+        row.set_opt(
+            "movie:initial_release_date",
+            noise::maybe_drop(release.clone(), 0.9, &mut rng),
+        );
+        row.set_opt(
+            "movie:director",
+            noise::maybe_drop(director.clone(), 0.7, &mut rng),
+        );
+        row.set_opt(
+            "movie:runtime",
+            noise::maybe_drop(runtime.to_string(), 0.5, &mut rng),
+        );
         fill_fillers(&mut row, "movie:p", LINKEDMDB_FILLERS, 0.37, &mut rng);
         row.add_to(&mut source, &format!("a{i}"));
 
@@ -58,8 +83,15 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             let mut noisy = Row::new();
             noisy.set("rdfs:label", noise::case_noise(&title, &mut rng));
             // DBpedia sometimes only records the year
-            let target_release = if rng.gen_bool(0.3) { year.to_string() } else { release.clone() };
-            noisy.set_opt("dbpedia:released", noise::maybe_drop(target_release, 0.9, &mut rng));
+            let target_release = if rng.gen_bool(0.3) {
+                year.to_string()
+            } else {
+                release.clone()
+            };
+            noisy.set_opt(
+                "dbpedia:released",
+                noise::maybe_drop(target_release, 0.9, &mut rng),
+            );
             noisy.set_opt(
                 "dbpedia:director",
                 noise::maybe_drop(
@@ -70,7 +102,11 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             );
             noisy.set_opt(
                 "dbpedia:abstract",
-                noise::maybe_drop(format!("{title} is a film directed by {director}."), 0.4, &mut rng),
+                noise::maybe_drop(
+                    format!("{title} is a film directed by {director}."),
+                    0.4,
+                    &mut rng,
+                ),
             );
             fill_fillers(&mut noisy, "dbpedia:p", DBPEDIA_FILLERS, 0.36, &mut rng);
             noisy.add_to(&mut target, &format!("b{i}"));
@@ -98,8 +134,16 @@ mod tests {
         let stats = dataset.statistics();
         assert_eq!(stats.source_properties, 100);
         assert_eq!(stats.target_properties, 46);
-        assert!((0.3..=0.5).contains(&stats.source_coverage), "{}", stats.source_coverage);
-        assert!((0.3..=0.5).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(
+            (0.3..=0.5).contains(&stats.source_coverage),
+            "{}",
+            stats.source_coverage
+        );
+        assert!(
+            (0.3..=0.5).contains(&stats.target_coverage),
+            "{}",
+            stats.target_coverage
+        );
     }
 
     #[test]
@@ -114,7 +158,10 @@ mod tests {
                     .chars()
                     .take(4)
                     .collect::<String>();
-                years_by_title.entry(title.to_lowercase()).or_default().push(year);
+                years_by_title
+                    .entry(title.to_lowercase())
+                    .or_default()
+                    .push(year);
             }
         }
         let corner_cases = years_by_title
@@ -125,7 +172,10 @@ mod tests {
                 unique.len() > 1
             })
             .count();
-        assert!(corner_cases > 3, "only {corner_cases} same-title/different-year cases");
+        assert!(
+            corner_cases > 3,
+            "only {corner_cases} same-title/different-year cases"
+        );
     }
 
     #[test]
@@ -133,8 +183,16 @@ mod tests {
         let dataset = generate(60, 3);
         for link in dataset.links.positive().iter().take(30) {
             let pair = EntityPair::resolve(link, &dataset.source, &dataset.target).unwrap();
-            let a_title = pair.source.first_value("movie:title").unwrap().to_lowercase();
-            let b_title = pair.target.first_value("rdfs:label").unwrap().to_lowercase();
+            let a_title = pair
+                .source
+                .first_value("movie:title")
+                .unwrap()
+                .to_lowercase();
+            let b_title = pair
+                .target
+                .first_value("rdfs:label")
+                .unwrap()
+                .to_lowercase();
             assert_eq!(a_title, b_title);
             if let (Some(a_date), Some(b_date)) = (
                 pair.source.first_value("movie:initial_release_date"),

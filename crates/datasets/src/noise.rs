@@ -20,7 +20,9 @@ pub fn case_noise(value: &str, rng: &mut StdRng) -> String {
             .map(|w| {
                 let mut chars = w.chars();
                 match chars.next() {
-                    Some(first) => first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase(),
+                    Some(first) => {
+                        first.to_uppercase().collect::<String>() + &chars.as_str().to_lowercase()
+                    }
                     None => String::new(),
                 }
             })
@@ -81,7 +83,11 @@ pub fn maybe_abbreviate_given_name(name: &str, probability: f64, rng: &mut StdRn
     let mut parts = name.split_whitespace();
     match (parts.next(), parts.next()) {
         (Some(given), Some(family)) => {
-            let initial = given.chars().next().map(|c| c.to_uppercase().to_string()).unwrap_or_default();
+            let initial = given
+                .chars()
+                .next()
+                .map(|c| c.to_uppercase().to_string())
+                .unwrap_or_default();
             format!("{initial}. {family}")
         }
         _ => name.to_string(),

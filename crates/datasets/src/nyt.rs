@@ -19,7 +19,12 @@ use crate::Dataset;
 /// Core properties of the NYT side.
 pub const NYT_CORE: [&str; 4] = ["nyt:name", "nyt:latitude", "nyt:longitude", "nyt:geo"];
 /// Core properties of the DBpedia side.
-pub const DBPEDIA_CORE: [&str; 4] = ["rdfs:label", "georss:point", "dbpedia:country", "dbpedia:abstract"];
+pub const DBPEDIA_CORE: [&str; 4] = [
+    "rdfs:label",
+    "georss:point",
+    "dbpedia:country",
+    "dbpedia:abstract",
+];
 
 const NYT_FILLERS: usize = 34;
 const DBPEDIA_FILLERS: usize = 106;
@@ -28,7 +33,12 @@ const DBPEDIA_FILLERS: usize = 106;
 pub fn generate(link_count: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
     let mut source = source_with_fillers("nyt-locations", &NYT_CORE, "nyt:p", NYT_FILLERS);
-    let mut target = source_with_fillers("dbpedia-places", &DBPEDIA_CORE, "dbpedia:p", DBPEDIA_FILLERS);
+    let mut target = source_with_fillers(
+        "dbpedia-places",
+        &DBPEDIA_CORE,
+        "dbpedia:p",
+        DBPEDIA_FILLERS,
+    );
 
     let source_distractors = link_count * 2; // |A| ≈ 3 × |R+| in Table 5
     for i in 0..link_count + source_distractors {
@@ -54,7 +64,10 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
 
         if i < link_count {
             let mut noisy = Row::new();
-            noisy.set("rdfs:label", noise::case_noise(&place.dbpedia_label(&mut rng), &mut rng));
+            noisy.set(
+                "rdfs:label",
+                noise::case_noise(&place.dbpedia_label(&mut rng), &mut rng),
+            );
             noisy.set(
                 "georss:point",
                 noise::jitter_coordinates(place.latitude, place.longitude, 0.01, &mut rng),
@@ -118,7 +131,11 @@ impl Place {
     fn dbpedia_label(&self, rng: &mut StdRng) -> String {
         if rng.gen_bool(0.3) {
             // DBpedia labels often carry a disambiguation suffix
-            format!("{} ({})", self.name, text::capitalize(*text::pick(text::FAMILY_NAMES, rng)))
+            format!(
+                "{} ({})",
+                self.name,
+                text::capitalize(text::pick(text::FAMILY_NAMES, rng))
+            )
         } else {
             self.name.clone()
         }
@@ -136,8 +153,16 @@ mod tests {
         let stats = dataset.statistics();
         assert_eq!(stats.source_properties, 38);
         assert_eq!(stats.target_properties, 110);
-        assert!((0.15..=0.45).contains(&stats.source_coverage), "{}", stats.source_coverage);
-        assert!((0.1..=0.35).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(
+            (0.15..=0.45).contains(&stats.source_coverage),
+            "{}",
+            stats.source_coverage
+        );
+        assert!(
+            (0.1..=0.35).contains(&stats.target_coverage),
+            "{}",
+            stats.target_coverage
+        );
         assert!(stats.source_entities > 2 * stats.positive_links);
     }
 

@@ -31,7 +31,13 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
         let restaurant = Restaurant::random(&mut rng);
         let mut row = Row::new();
         row.set("name", restaurant.name.clone())
-            .set("address", format!("{} {} {}", restaurant.number, restaurant.street, restaurant.suffix))
+            .set(
+                "address",
+                format!(
+                    "{} {} {}",
+                    restaurant.number, restaurant.street, restaurant.suffix
+                ),
+            )
             .set("city", restaurant.city.clone())
             .set("phone", restaurant.phone.clone())
             .set("type", restaurant.cuisine.clone());
@@ -50,7 +56,10 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
                 ),
             )
             .set("city", noise::case_noise(&restaurant.city, &mut rng))
-            .set("phone", noise::phone_format_noise(&restaurant.phone, &mut rng))
+            .set(
+                "phone",
+                noise::phone_format_noise(&restaurant.phone, &mut rng),
+            )
             .set("type", restaurant.noisy_cuisine(&mut rng));
         noisy.add_to(&mut target, &format!("b{i}"));
     }
@@ -79,12 +88,16 @@ impl Restaurant {
     fn random(rng: &mut StdRng) -> Self {
         let (suffix, abbreviation) = *text::pick(text::STREET_SUFFIXES, rng);
         let (city, _, _) = *text::pick(text::CITIES, rng);
-        let owner = text::capitalize(*text::pick(text::FAMILY_NAMES, rng));
-        let style = text::capitalize(*text::pick(text::CUISINES, rng));
+        let owner = text::capitalize(text::pick(text::FAMILY_NAMES, rng));
+        let style = text::capitalize(text::pick(text::CUISINES, rng));
         Restaurant {
             name: format!("{owner}'s {style} Kitchen {}", rng.gen_range(1..500)),
             number: rng.gen_range(1..2000),
-            street: format!("{} {}", text::capitalize(*text::pick(text::FAMILY_NAMES, rng)), ""),
+            street: format!(
+                "{} {}",
+                text::capitalize(text::pick(text::FAMILY_NAMES, rng)),
+                ""
+            ),
             suffix: suffix.to_string(),
             suffix_abbreviation: abbreviation.to_string(),
             city: city.to_string(),

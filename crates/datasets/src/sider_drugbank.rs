@@ -16,7 +16,12 @@ use crate::util::{aligned_links, fill_fillers, source_with_fillers, Row};
 use crate::Dataset;
 
 /// Core properties of the Sider side.
-pub const SIDER_CORE: [&str; 4] = ["sider:drugName", "sider:synonym", "sider:casNumber", "sider:indication"];
+pub const SIDER_CORE: [&str; 4] = [
+    "sider:drugName",
+    "sider:synonym",
+    "sider:casNumber",
+    "sider:indication",
+];
 /// Core properties of the DrugBank side.
 pub const DRUGBANK_CORE: [&str; 4] = [
     "drugbank:genericName",
@@ -34,7 +39,8 @@ const DRUGBANK_FILLERS: usize = 75;
 pub fn generate(link_count: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(3));
     let mut source = source_with_fillers("sider", &SIDER_CORE, "sider:p", SIDER_FILLERS);
-    let mut target = source_with_fillers("drugbank", &DRUGBANK_CORE, "drugbank:p", DRUGBANK_FILLERS);
+    let mut target =
+        source_with_fillers("drugbank", &DRUGBANK_CORE, "drugbank:p", DRUGBANK_FILLERS);
 
     let source_distractors = link_count / 12;
     let target_distractors = link_count * 4; // DrugBank is ~5x larger than the link set
@@ -44,8 +50,14 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
         let mut row = Row::new();
         row.set("sider:drugName", drug.name.clone())
             .set("sider:synonym", drug.synonym.clone())
-            .set("sider:indication", format!("treatment of {}", text::pick(text::TOPIC_WORDS, &mut rng)));
-        row.set_opt("sider:casNumber", noise::maybe_drop(drug.cas.clone(), 0.8, &mut rng));
+            .set(
+                "sider:indication",
+                format!("treatment of {}", text::pick(text::TOPIC_WORDS, &mut rng)),
+            );
+        row.set_opt(
+            "sider:casNumber",
+            noise::maybe_drop(drug.cas.clone(), 0.8, &mut rng),
+        );
         fill_fillers(&mut row, "sider:p", SIDER_FILLERS, 0.95, &mut rng);
         row.add_to(&mut source, &format!("a{i}"));
 
@@ -53,10 +65,19 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             let mut noisy = Row::new();
             // DrugBank sometimes lists the name only among the synonyms
             if rng.gen_bool(0.75) {
-                noisy.set("drugbank:genericName", noise::case_noise(&drug.name, &mut rng));
-                noisy.set("drugbank:synonym", noise::case_noise(&drug.synonym, &mut rng));
+                noisy.set(
+                    "drugbank:genericName",
+                    noise::case_noise(&drug.name, &mut rng),
+                );
+                noisy.set(
+                    "drugbank:synonym",
+                    noise::case_noise(&drug.synonym, &mut rng),
+                );
             } else {
-                noisy.set("drugbank:genericName", noise::case_noise(&drug.synonym, &mut rng));
+                noisy.set(
+                    "drugbank:genericName",
+                    noise::case_noise(&drug.synonym, &mut rng),
+                );
                 noisy.set("drugbank:synonym", noise::case_noise(&drug.name, &mut rng));
             }
             noisy.set_opt(
@@ -65,7 +86,11 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
             );
             noisy.set_opt(
                 "drugbank:description",
-                noise::maybe_drop(format!("a {} compound", text::pick(text::TOPIC_WORDS, &mut rng)), 0.7, &mut rng),
+                noise::maybe_drop(
+                    format!("a {} compound", text::pick(text::TOPIC_WORDS, &mut rng)),
+                    0.7,
+                    &mut rng,
+                ),
             );
             fill_fillers(&mut noisy, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
             noisy.add_to(&mut target, &format!("b{i}"));
@@ -75,7 +100,10 @@ pub fn generate(link_count: usize, seed: u64) -> Dataset {
         let drug = Drug::random(&mut rng);
         let mut row = Row::new();
         row.set("drugbank:genericName", drug.name.clone());
-        row.set_opt("drugbank:casRegistryNumber", noise::maybe_drop(drug.cas, 0.6, &mut rng));
+        row.set_opt(
+            "drugbank:casRegistryNumber",
+            noise::maybe_drop(drug.cas, 0.6, &mut rng),
+        );
         fill_fillers(&mut row, "drugbank:p", DRUGBANK_FILLERS, 0.48, &mut rng);
         row.add_to(&mut target, &format!("d{i}"));
     }
@@ -98,7 +126,11 @@ struct Drug {
 impl Drug {
     fn random(rng: &mut StdRng) -> Self {
         let name = text::drug_name(rng);
-        let synonym = format!("{} {}", name, text::pick(&["hydrochloride", "sodium", "acetate", "citrate"], rng));
+        let synonym = format!(
+            "{} {}",
+            name,
+            text::pick(&["hydrochloride", "sodium", "acetate", "citrate"], rng)
+        );
         Drug {
             name,
             synonym,
@@ -120,7 +152,11 @@ mod tests {
         assert_eq!(stats.target_properties, 79);
         assert!(stats.target_entities > stats.positive_links * 3);
         // target coverage around 0.5
-        assert!((0.35..=0.65).contains(&stats.target_coverage), "{}", stats.target_coverage);
+        assert!(
+            (0.35..=0.65).contains(&stats.target_coverage),
+            "{}",
+            stats.target_coverage
+        );
         assert!(stats.source_coverage > 0.85);
     }
 

@@ -6,45 +6,188 @@ use rand::Rng;
 
 /// Title/topic words used for paper titles, movie titles and the like.
 pub const TOPIC_WORDS: &[&str] = &[
-    "learning", "adaptive", "distributed", "efficient", "scalable", "parallel", "incremental",
-    "probabilistic", "neural", "genetic", "relational", "semantic", "linked", "temporal",
-    "spatial", "robust", "approximate", "interactive", "declarative", "streaming", "federated",
-    "matching", "integration", "deduplication", "classification", "clustering", "indexing",
-    "optimization", "estimation", "discovery", "resolution", "alignment", "retrieval",
-    "networks", "databases", "systems", "models", "algorithms", "frameworks", "methods",
-    "queries", "graphs", "records", "entities", "ontologies", "schemas", "rules",
+    "learning",
+    "adaptive",
+    "distributed",
+    "efficient",
+    "scalable",
+    "parallel",
+    "incremental",
+    "probabilistic",
+    "neural",
+    "genetic",
+    "relational",
+    "semantic",
+    "linked",
+    "temporal",
+    "spatial",
+    "robust",
+    "approximate",
+    "interactive",
+    "declarative",
+    "streaming",
+    "federated",
+    "matching",
+    "integration",
+    "deduplication",
+    "classification",
+    "clustering",
+    "indexing",
+    "optimization",
+    "estimation",
+    "discovery",
+    "resolution",
+    "alignment",
+    "retrieval",
+    "networks",
+    "databases",
+    "systems",
+    "models",
+    "algorithms",
+    "frameworks",
+    "methods",
+    "queries",
+    "graphs",
+    "records",
+    "entities",
+    "ontologies",
+    "schemas",
+    "rules",
 ];
 
 /// Family names used for authors, directors and restaurant owners.
 pub const FAMILY_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
-    "rivera", "campbell", "mitchell", "carter", "roberts",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
 ];
 
 /// Given names.
 pub const GIVEN_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "christopher", "karen", "charles", "lisa", "daniel", "nancy", "matthew", "betty",
-    "anthony", "sandra", "mark", "margaret", "donald", "ashley", "steven", "kimberly", "andrew",
-    "emily", "paul", "donna", "joshua", "michelle",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "christopher",
+    "karen",
+    "charles",
+    "lisa",
+    "daniel",
+    "nancy",
+    "matthew",
+    "betty",
+    "anthony",
+    "sandra",
+    "mark",
+    "margaret",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "andrew",
+    "emily",
+    "paul",
+    "donna",
+    "joshua",
+    "michelle",
 ];
 
 /// Venue abbreviations used by the Cora-style generator.
 pub const VENUES: &[(&str, &str)] = &[
-    ("Proceedings of the International Conference on Very Large Data Bases", "VLDB"),
-    ("Proceedings of the ACM SIGMOD International Conference on Management of Data", "SIGMOD"),
-    ("Proceedings of the International Conference on Data Engineering", "ICDE"),
-    ("Proceedings of the International Conference on Machine Learning", "ICML"),
+    (
+        "Proceedings of the International Conference on Very Large Data Bases",
+        "VLDB",
+    ),
+    (
+        "Proceedings of the ACM SIGMOD International Conference on Management of Data",
+        "SIGMOD",
+    ),
+    (
+        "Proceedings of the International Conference on Data Engineering",
+        "ICDE",
+    ),
+    (
+        "Proceedings of the International Conference on Machine Learning",
+        "ICML",
+    ),
     ("Journal of Machine Learning Research", "JMLR"),
-    ("Proceedings of the AAAI Conference on Artificial Intelligence", "AAAI"),
-    ("Proceedings of the International World Wide Web Conference", "WWW"),
-    ("IEEE Transactions on Knowledge and Data Engineering", "TKDE"),
-    ("Proceedings of the International Semantic Web Conference", "ISWC"),
+    (
+        "Proceedings of the AAAI Conference on Artificial Intelligence",
+        "AAAI",
+    ),
+    (
+        "Proceedings of the International World Wide Web Conference",
+        "WWW",
+    ),
+    (
+        "IEEE Transactions on Knowledge and Data Engineering",
+        "TKDE",
+    ),
+    (
+        "Proceedings of the International Semantic Web Conference",
+        "ISWC",
+    ),
     ("Data and Knowledge Engineering", "DKE"),
 ];
 
@@ -83,14 +226,27 @@ pub const STREET_SUFFIXES: &[(&str, &str)] = &[
 
 /// Cuisine types for the Restaurant data set.
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "american", "chinese", "japanese", "mexican", "indian", "thai",
-    "mediterranean", "steakhouse", "seafood", "vegetarian", "bbq", "cafe", "delicatessen",
+    "italian",
+    "french",
+    "american",
+    "chinese",
+    "japanese",
+    "mexican",
+    "indian",
+    "thai",
+    "mediterranean",
+    "steakhouse",
+    "seafood",
+    "vegetarian",
+    "bbq",
+    "cafe",
+    "delicatessen",
 ];
 
 /// Drug name fragments for the pharmaceutical data sets.
 pub const DRUG_PREFIXES: &[&str] = &[
-    "aceto", "benzo", "carbo", "dexa", "ethyl", "fluoro", "gluco", "hydro", "iso", "keto",
-    "levo", "methyl", "nitro", "oxy", "pheno", "quino", "ribo", "sulfa", "tetra", "uro",
+    "aceto", "benzo", "carbo", "dexa", "ethyl", "fluoro", "gluco", "hydro", "iso", "keto", "levo",
+    "methyl", "nitro", "oxy", "pheno", "quino", "ribo", "sulfa", "tetra", "uro",
 ];
 
 /// Drug name suffixes.
@@ -108,7 +264,7 @@ pub fn pick<'a, T>(items: &'a [T], rng: &mut StdRng) -> &'a T {
 pub fn title(words: usize, rng: &mut StdRng) -> String {
     let mut parts = Vec::with_capacity(words);
     for _ in 0..words.max(1) {
-        parts.push(capitalize(*pick(TOPIC_WORDS, rng)));
+        parts.push(capitalize(pick(TOPIC_WORDS, rng)));
     }
     parts.join(" ")
 }
@@ -117,8 +273,8 @@ pub fn title(words: usize, rng: &mut StdRng) -> String {
 pub fn person_name(rng: &mut StdRng) -> String {
     format!(
         "{} {}",
-        capitalize(*pick(GIVEN_NAMES, rng)),
-        capitalize(*pick(FAMILY_NAMES, rng))
+        capitalize(pick(GIVEN_NAMES, rng)),
+        capitalize(pick(FAMILY_NAMES, rng))
     )
 }
 
@@ -152,8 +308,8 @@ pub fn phone_number(rng: &mut StdRng) -> String {
 }
 
 /// Upper-cases the first character of a word.
-pub fn capitalize(word: &str) -> String {
-    let mut chars = word.chars();
+pub fn capitalize(word: impl AsRef<str>) -> String {
+    let mut chars = word.as_ref().chars();
     match chars.next() {
         Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
         None => String::new(),

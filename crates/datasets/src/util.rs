@@ -23,7 +23,10 @@ impl Row {
 
     /// Sets a single-valued property.
     pub fn set(&mut self, property: &str, value: impl Into<String>) -> &mut Self {
-        self.values.entry(property.to_string()).or_default().push(value.into());
+        self.values
+            .entry(property.to_string())
+            .or_default()
+            .push(value.into());
         self
     }
 
@@ -108,7 +111,9 @@ mod tests {
     fn row_aligns_values_with_the_schema() {
         let mut source = source_with_fillers("test", &["label", "year"], "extra", 2);
         let mut row = Row::new();
-        row.set("year", "1999").set("label", "X").set("unknown", "dropped");
+        row.set("year", "1999")
+            .set("label", "X")
+            .set("unknown", "dropped");
         row.add_to(&mut source, "e1");
         let entity = source.get("e1").unwrap();
         assert_eq!(entity.first_value("label"), Some("X"));

@@ -46,10 +46,7 @@ impl Entity {
 
     /// All values of the property with the given index.
     pub fn values_at(&self, index: PropertyIndex) -> &[String] {
-        self.values
-            .get(index)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.values.get(index).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// All values of the named property (empty slice if the property is not
@@ -152,9 +149,7 @@ impl EntityBuilder {
 
     /// Builds an entity and a schema derived from the provided properties.
     pub fn build_with_own_schema(self) -> Entity {
-        let schema = Arc::new(Schema::new(
-            self.properties.iter().map(|(p, _)| p.clone()),
-        ));
+        let schema = Arc::new(Schema::new(self.properties.iter().map(|(p, _)| p.clone())));
         self.build(schema)
     }
 }

@@ -143,7 +143,8 @@ impl ReferenceLinks {
         let mut negative = self.negative.clone();
         positive.shuffle(rng);
         negative.shuffle(rng);
-        let mut result: Vec<ReferenceLinks> = (0..folds).map(|_| ReferenceLinks::default()).collect();
+        let mut result: Vec<ReferenceLinks> =
+            (0..folds).map(|_| ReferenceLinks::default()).collect();
         for (i, link) in positive.into_iter().enumerate() {
             result[i % folds].positive.push(link);
         }
@@ -228,7 +229,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn positives(n: usize) -> Vec<Link> {
-        (0..n).map(|i| Link::new(format!("a{i}"), format!("b{i}"))).collect()
+        (0..n)
+            .map(|i| Link::new(format!("a{i}"), format!("b{i}")))
+            .collect()
     }
 
     #[test]
@@ -250,7 +253,10 @@ mod tests {
         assert_eq!(links.negative().len(), 50);
         let positive_set: HashSet<_> = links.positive().iter().cloned().collect();
         for neg in links.negative() {
-            assert!(!positive_set.contains(neg), "negative {neg} collides with a positive link");
+            assert!(
+                !positive_set.contains(neg),
+                "negative {neg} collides with a positive link"
+            );
         }
         // no duplicate negatives
         let unique: HashSet<_> = links.negative().iter().cloned().collect();
@@ -313,7 +319,9 @@ mod tests {
             .build();
         let good = ReferenceLinksBuilder::new().positive("a1", "b1").build();
         assert!(good.validate(&source, &target).is_ok());
-        let bad = ReferenceLinksBuilder::new().positive("a1", "missing").build();
+        let bad = ReferenceLinksBuilder::new()
+            .positive("a1", "missing")
+            .build();
         assert!(bad.validate(&source, &target).is_err());
     }
 }

@@ -41,11 +41,7 @@ pub struct ResolvedReferenceLinks<'a> {
 impl<'a> ResolvedReferenceLinks<'a> {
     /// Resolves every link of `links` against the two data sources.  Links
     /// with missing endpoints are dropped (they cannot be evaluated).
-    pub fn resolve(
-        links: &ReferenceLinks,
-        source: &'a DataSource,
-        target: &'a DataSource,
-    ) -> Self {
+    pub fn resolve(links: &ReferenceLinks, source: &'a DataSource, target: &'a DataSource) -> Self {
         let positive = links
             .positive()
             .iter()

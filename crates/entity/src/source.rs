@@ -65,7 +65,11 @@ impl DataSource {
 
     /// Adds an entity built from aligned value sets.  Fails if the identifier
     /// is already present.
-    pub fn add(&mut self, id: impl Into<EntityId>, values: Vec<ValueSet>) -> Result<(), EntityError> {
+    pub fn add(
+        &mut self,
+        id: impl Into<EntityId>,
+        values: Vec<ValueSet>,
+    ) -> Result<(), EntityError> {
         let id = id.into();
         if self.by_id.contains_key(&id) {
             return Err(EntityError::DuplicateEntity(id));
@@ -79,7 +83,9 @@ impl DataSource {
     /// Adds an already-built entity, re-aligning it to this source's schema if
     /// it was built against a different one.
     pub fn add_entity(&mut self, entity: Entity) -> Result<(), EntityError> {
-        if Arc::ptr_eq(entity.schema(), &self.schema) || entity.schema().as_ref() == self.schema.as_ref() {
+        if Arc::ptr_eq(entity.schema(), &self.schema)
+            || entity.schema().as_ref() == self.schema.as_ref()
+        {
             let values = self
                 .schema
                 .properties()
@@ -107,11 +113,7 @@ impl DataSource {
         let mut set_counts = vec![0usize; self.schema.len()];
         for entity in &self.entities {
             for (i, count) in set_counts.iter_mut().enumerate() {
-                if entity
-                    .values_at(i)
-                    .iter()
-                    .any(|v| !v.trim().is_empty())
-                {
+                if entity.values_at(i).iter().any(|v| !v.trim().is_empty()) {
                     *count += 1;
                 }
             }
@@ -190,7 +192,14 @@ mod tests {
 
     fn sample() -> DataSource {
         DataSourceBuilder::new("cities", ["label", "point", "country"])
-            .entity("c1", [("label", "Berlin"), ("point", "52.5 13.4"), ("country", "DE")])
+            .entity(
+                "c1",
+                [
+                    ("label", "Berlin"),
+                    ("point", "52.5 13.4"),
+                    ("country", "DE"),
+                ],
+            )
             .unwrap()
             .entity("c2", [("label", "Paris"), ("point", "48.9 2.35")])
             .unwrap()
@@ -203,7 +212,10 @@ mod tests {
     fn source_indexes_entities_by_id() {
         let source = sample();
         assert_eq!(source.len(), 3);
-        assert_eq!(source.get("c2").unwrap().first_value("label"), Some("Paris"));
+        assert_eq!(
+            source.get("c2").unwrap().first_value("label"),
+            Some("Paris")
+        );
         assert!(source.get("missing").is_none());
         assert_eq!(source.at(0).unwrap().id(), "c1");
     }

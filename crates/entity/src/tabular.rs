@@ -12,8 +12,8 @@
 //! escape themselves.
 
 use crate::error::EntityError;
-use crate::source::DataSource;
 use crate::schema::Schema;
+use crate::source::DataSource;
 use crate::value::ValueSet;
 
 /// Parses a single delimited row honouring double quotes.
@@ -52,11 +52,7 @@ fn parse_row(line: &str, delimiter: char) -> Vec<String> {
 ///   the identifier column, the remaining columns become schema properties.
 /// * Every following line is one entity; empty cells produce empty value sets
 ///   and cells containing `|` produce multi-valued properties.
-pub fn parse_str(
-    name: &str,
-    text: &str,
-    delimiter: char,
-) -> Result<DataSource, EntityError> {
+pub fn parse_str(name: &str, text: &str, delimiter: char) -> Result<DataSource, EntityError> {
     let mut lines = text
         .lines()
         .enumerate()
@@ -158,8 +154,14 @@ mod tests {
     fn parses_header_and_rows() {
         let source = parse_str("cities", SAMPLE, ',').unwrap();
         assert_eq!(source.len(), 2);
-        assert_eq!(source.schema().properties(), &["label".to_string(), "point".to_string()]);
-        assert_eq!(source.get("c1").unwrap().first_value("point"), Some("52.5, 13.4"));
+        assert_eq!(
+            source.schema().properties(),
+            &["label".to_string(), "point".to_string()]
+        );
+        assert_eq!(
+            source.get("c1").unwrap().first_value("point"),
+            Some("52.5, 13.4")
+        );
         assert_eq!(source.get("c2").unwrap().values("label").len(), 2);
         assert!(source.get("c2").unwrap().values("point").is_empty());
     }
@@ -168,7 +170,10 @@ mod tests {
     fn quoted_quotes_are_unescaped() {
         let text = "id,label\nx,\"say \"\"hi\"\"\"\n";
         let source = parse_str("s", text, ',').unwrap();
-        assert_eq!(source.get("x").unwrap().first_value("label"), Some("say \"hi\""));
+        assert_eq!(
+            source.get("x").unwrap().first_value("label"),
+            Some("say \"hi\"")
+        );
     }
 
     #[test]

@@ -11,5 +11,7 @@ pub mod protocol;
 pub mod summary;
 
 pub use confusion::ConfusionMatrix;
-pub use protocol::{evaluate_rule, evaluate_rule_on_links, CrossValidation, FoldResult};
+pub use protocol::{
+    evaluate_compiled, evaluate_rule, evaluate_rule_on_links, CrossValidation, FoldResult,
+};
 pub use summary::Summary;

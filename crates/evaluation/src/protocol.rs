@@ -2,14 +2,16 @@
 //! repeated 2-fold cross validation of Section 6.1.
 
 use linkdisc_entity::{DataSource, ReferenceLinks, ResolvedReferenceLinks};
-use linkdisc_rule::LinkageRule;
+use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache, LINK_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::confusion::ConfusionMatrix;
 use crate::summary::Summary;
 
-/// Scores a rule against already-resolved reference links.
+/// Scores a rule against already-resolved reference links by walking the
+/// operator tree per pair.  This is the reference oracle; the learning loop
+/// runs [`evaluate_compiled`] instead.
 pub fn evaluate_rule(rule: &LinkageRule, links: &ResolvedReferenceLinks<'_>) -> ConfusionMatrix {
     let mut matrix = ConfusionMatrix::default();
     for pair in links.positive() {
@@ -17,6 +19,25 @@ pub fn evaluate_rule(rule: &LinkageRule, links: &ResolvedReferenceLinks<'_>) -> 
     }
     for pair in links.negative() {
         matrix.record_negative(rule.is_link(pair));
+    }
+    matrix
+}
+
+/// Scores a compiled evaluation plan against resolved reference links,
+/// memoizing transformation outputs per entity in `cache`.  Produces exactly
+/// the matrix of [`evaluate_rule`] on the original rule (scores are
+/// bit-identical).
+pub fn evaluate_compiled<'e>(
+    compiled: &CompiledRule,
+    links: &ResolvedReferenceLinks<'e>,
+    cache: &ValueCache<'e>,
+) -> ConfusionMatrix {
+    let mut matrix = ConfusionMatrix::default();
+    for pair in links.positive() {
+        matrix.record_positive(compiled.evaluate(pair, cache) >= LINK_THRESHOLD);
+    }
+    for pair in links.negative() {
+        matrix.record_negative(compiled.evaluate(pair, cache) >= LINK_THRESHOLD);
     }
     matrix
 }
@@ -111,7 +132,9 @@ impl CrossValidation {
                 });
             }
         }
-        CrossValidationResult { folds: fold_results }
+        CrossValidationResult {
+            folds: fold_results,
+        }
     }
 }
 
@@ -157,8 +180,12 @@ mod tests {
         let mut b = DataSourceBuilder::new("B", ["label"]);
         let mut positives = Vec::new();
         for i in 0..n {
-            a = a.entity(format!("a{i}"), [("label", format!("item {i}").as_str())]).unwrap();
-            b = b.entity(format!("b{i}"), [("label", format!("item {i}").as_str())]).unwrap();
+            a = a
+                .entity(format!("a{i}"), [("label", format!("item {i}").as_str())])
+                .unwrap();
+            b = b
+                .entity(format!("b{i}"), [("label", format!("item {i}").as_str())])
+                .unwrap();
             positives.push(Link::new(format!("a{i}"), format!("b{i}")));
         }
         let mut rng = StdRng::seed_from_u64(5);
@@ -209,7 +236,11 @@ mod tests {
     #[test]
     fn cross_validation_aggregates_runs_and_folds() {
         let (a, b, links) = paired_sources(16);
-        let cv = CrossValidation { folds: 2, runs: 3, seed: 1 };
+        let cv = CrossValidation {
+            folds: 2,
+            runs: 3,
+            seed: 1,
+        };
         let mut calls = 0;
         let result = cv.run(&a, &b, &links, |train, _seed| {
             calls += 1;

@@ -1,0 +1,242 @@
+//! Cross-generation fitness memoization.
+//!
+//! Elitism carries the best individuals into every following generation
+//! unchanged, and crossover frequently reproduces genomes that were already
+//! scored (identical parents, no-op recombinations, repeated subtree
+//! donations).  Fitness evaluation is deterministic, so those genomes never
+//! need to be re-evaluated: the [`FitnessCache`] memoizes `genome →
+//! Evaluated` across generations, keyed by a caller-provided canonical hash
+//! with full genome equality as the collision guard.
+//!
+//! The cache is sharded behind mutexes so the engine's parallel evaluation
+//! threads do not serialize on it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::population::Evaluated;
+
+const SHARDS: usize = 16;
+
+/// Genomes sharing one canonical hash, disambiguated by equality.
+type Bucket<G> = Vec<(G, Evaluated)>;
+
+/// Aggregate cache statistics, reported per iteration via
+/// [`crate::IterationStats`] so experiment harnesses can show
+/// evaluations-saved per generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Fitness evaluations answered from the cache.
+    pub fitness_hits: u64,
+    /// Fitness evaluations actually computed.
+    pub fitness_misses: u64,
+    /// Distinct genomes memoized.
+    pub fitness_entries: usize,
+    /// `(entity, value-chain)` entries memoized by the value cache, when the
+    /// problem reports one.
+    pub value_cache_entries: usize,
+    /// Value-cache hits, when the problem reports them.
+    pub value_cache_hits: u64,
+}
+
+impl CacheStats {
+    /// Fraction of fitness evaluations served from the cache (`0.0` before
+    /// any evaluation happened).
+    pub fn fitness_hit_rate(&self) -> f64 {
+        let total = self.fitness_hits + self.fitness_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fitness_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memo of genome evaluations surviving across generations.
+#[derive(Debug)]
+pub struct FitnessCache<G> {
+    shards: Vec<Mutex<HashMap<u64, Bucket<G>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<G> Default for FitnessCache<G> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<G> FitnessCache<G> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FitnessCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Bucket<G>>> {
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Number of memoized genomes.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("fitness cache poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Returns `true` if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluations answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations computed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every memoized evaluation and resets the counters.  Call this
+    /// when the fitness landscape changes (e.g. the training links are
+    /// extended by an active-learning query): memoized scores would
+    /// otherwise go stale.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("fitness cache poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<G: Clone + PartialEq> FitnessCache<G> {
+    /// The memoized evaluation of `genome`, if present.  `hash` must be a
+    /// canonical structural hash: equal genomes must hash equally; unequal
+    /// genomes sharing a hash are disambiguated by `PartialEq`.
+    pub fn get(&self, hash: u64, genome: &G) -> Option<Evaluated> {
+        let shard = self.shard(hash).lock().expect("fitness cache poisoned");
+        let found = shard
+            .get(&hash)
+            .and_then(|bucket| bucket.iter().find(|(g, _)| g == genome))
+            .map(|(_, evaluation)| *evaluation);
+        drop(shard);
+        match found {
+            Some(evaluation) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(evaluation)
+            }
+            None => None,
+        }
+    }
+
+    /// The memoized evaluation of `genome`, computing and memoizing it on a
+    /// miss.  `compute` runs outside the shard lock, so concurrent misses on
+    /// the same genome may both compute — evaluation is deterministic, so
+    /// either result is the same.
+    pub fn get_or_insert_with(
+        &self,
+        hash: u64,
+        genome: &G,
+        compute: impl FnOnce() -> Evaluated,
+    ) -> Evaluated {
+        if let Some(evaluation) = self.get(hash, genome) {
+            return evaluation;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let evaluation = compute();
+        let mut shard = self.shard(hash).lock().expect("fitness cache poisoned");
+        let bucket = shard.entry(hash).or_default();
+        if !bucket.iter().any(|(g, _)| g == genome) {
+            bucket.push((genome.clone(), evaluation));
+        }
+        evaluation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluated(fitness: f64) -> Evaluated {
+        Evaluated {
+            fitness,
+            f_measure: fitness,
+        }
+    }
+
+    #[test]
+    fn memoizes_and_counts_hits() {
+        let cache: FitnessCache<String> = FitnessCache::new();
+        let genome = "rule".to_string();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let result = cache.get_or_insert_with(7, &genome, || {
+                computed += 1;
+                evaluated(0.5)
+            });
+            assert_eq!(result.fitness, 0.5);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hash_collisions_are_disambiguated_by_equality() {
+        let cache: FitnessCache<String> = FitnessCache::new();
+        let a = "a".to_string();
+        let b = "b".to_string();
+        cache.get_or_insert_with(1, &a, || evaluated(0.1));
+        let result = cache.get_or_insert_with(1, &b, || evaluated(0.9));
+        assert_eq!(result.fitness, 0.9);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1, &a).unwrap().fitness, 0.1);
+        assert_eq!(cache.get(1, &b).unwrap().fitness, 0.9);
+    }
+
+    #[test]
+    fn clear_invalidates_every_entry() {
+        let cache: FitnessCache<u32> = FitnessCache::new();
+        for genome in 0..10u32 {
+            cache.get_or_insert_with(genome as u64, &genome, || evaluated(0.2));
+        }
+        assert_eq!(cache.len(), 10);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        // a fresh lookup recomputes instead of serving a stale value
+        let mut recomputed = false;
+        cache.get_or_insert_with(3, &3u32, || {
+            recomputed = true;
+            evaluated(0.8)
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = CacheStats {
+            fitness_hits: 3,
+            fitness_misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.fitness_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().fitness_hit_rate(), 0.0);
+    }
+}

@@ -26,6 +26,11 @@ pub struct IterationStats {
     /// Seconds elapsed since the start of the run (cumulative, like the
     /// "Time in s" column of the paper's tables).
     pub elapsed_seconds: f64,
+    /// Cumulative cache statistics of the problem's evaluation pipeline
+    /// (`None` for problems without caches).  The difference between two
+    /// consecutive iterations gives the evaluations saved in that
+    /// generation.
+    pub cache: Option<crate::CacheStats>,
 }
 
 /// The result of an evolution run.
@@ -109,7 +114,8 @@ impl<'a, P: Problem> Evolution<'a, P> {
             history.push(stats);
         }
         if !stopped_early {
-            stopped_early = self.reached_target(&population) && iterations < self.config.max_iterations;
+            stopped_early =
+                self.reached_target(&population) && iterations < self.config.max_iterations;
         }
 
         let best = population
@@ -148,6 +154,7 @@ impl<'a, P: Problem> Evolution<'a, P> {
                 .unwrap_or(0.0),
             mean_f_measure: population.mean_f_measure(),
             elapsed_seconds: start.elapsed().as_secs_f64(),
+            cache: self.problem.cache_stats(),
         }
     }
 
@@ -175,13 +182,7 @@ impl<'a, P: Problem> Evolution<'a, P> {
 
     /// Evaluates genomes in parallel, preserving their order.
     fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        };
+        let threads = crate::resolve_threads(self.config.threads);
         if threads <= 1 || genomes.len() < 2 * threads {
             return genomes
                 .into_iter()
@@ -192,16 +193,13 @@ impl<'a, P: Problem> Evolution<'a, P> {
                 .collect();
         }
         let chunk_size = genomes.len().div_ceil(threads);
-        let chunks: Vec<Vec<P::Genome>> = genomes
-            .chunks(chunk_size)
-            .map(|c| c.to_vec())
-            .collect();
+        let chunks: Vec<Vec<P::Genome>> = genomes.chunks(chunk_size).map(|c| c.to_vec()).collect();
         let mut results: Vec<Vec<Individual<P::Genome>>> = Vec::with_capacity(chunks.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         chunk
                             .into_iter()
                             .map(|g| {
@@ -215,8 +213,7 @@ impl<'a, P: Problem> Evolution<'a, P> {
             for handle in handles {
                 results.push(handle.join().expect("evaluation thread panicked"));
             }
-        })
-        .expect("evaluation scope panicked");
+        });
         results.into_iter().flatten().collect()
     }
 }
@@ -236,7 +233,9 @@ mod tests {
         type Genome = Vec<i32>;
 
         fn random_genome(&self, rng: &mut StdRng) -> Vec<i32> {
-            (0..self.target.len()).map(|_| rng.gen_range(0..10)).collect()
+            (0..self.target.len())
+                .map(|_| rng.gen_range(0..10))
+                .collect()
         }
 
         fn crossover(&self, a: &Vec<i32>, b: &Vec<i32>, rng: &mut StdRng) -> Vec<i32> {
@@ -268,7 +267,9 @@ mod tests {
 
     #[test]
     fn evolution_improves_fitness() {
-        let problem = TargetVector { target: vec![3, 7, 1, 9, 4] };
+        let problem = TargetVector {
+            target: vec![3, 7, 1, 9, 4],
+        };
         let config = GpConfig {
             population_size: 60,
             max_iterations: 30,
@@ -300,7 +301,9 @@ mod tests {
 
     #[test]
     fn observer_sees_every_iteration_starting_at_zero() {
-        let problem = TargetVector { target: vec![1, 2, 3] };
+        let problem = TargetVector {
+            target: vec![1, 2, 3],
+        };
         let config = GpConfig {
             population_size: 20,
             max_iterations: 5,
@@ -309,8 +312,8 @@ mod tests {
             ..GpConfig::default()
         };
         let mut seen = Vec::new();
-        let result = Evolution::new(&problem, config)
-            .run_with_observer(&mut rng(1), |stats, population| {
+        let result =
+            Evolution::new(&problem, config).run_with_observer(&mut rng(1), |stats, population| {
                 seen.push(stats.iteration);
                 assert_eq!(population.len(), 20);
             });
@@ -332,7 +335,10 @@ mod tests {
             threads: 1,
             ..GpConfig::default()
         };
-        let parallel = GpConfig { threads: 4, ..sequential };
+        let parallel = GpConfig {
+            threads: 4,
+            ..sequential
+        };
         let result_seq = Evolution::new(&problem, sequential).run(&mut rng(9));
         let result_par = Evolution::new(&problem, parallel).run(&mut rng(9));
         // evaluation is deterministic, so identical seeds must yield identical histories
@@ -345,7 +351,9 @@ mod tests {
 
     #[test]
     fn elitism_never_loses_the_best_individual() {
-        let problem = TargetVector { target: vec![4, 4, 4, 4] };
+        let problem = TargetVector {
+            target: vec![4, 4, 4, 4],
+        };
         let config = GpConfig {
             population_size: 30,
             max_iterations: 12,

@@ -17,15 +17,20 @@
 //! * [`IterationStats`] — per-iteration statistics used by the experiment
 //!   harness to regenerate the learning-curve tables (Tables 7–12).
 
+pub mod cache;
 pub mod evolution;
 pub mod population;
 pub mod selection;
 
+pub use cache::{CacheStats, FitnessCache};
 pub use evolution::{Evolution, EvolutionResult, IterationStats};
 pub use population::{Evaluated, Individual, Population};
 pub use selection::tournament_select;
 
 use rand::rngs::StdRng;
+
+// Re-exported so GP users keep one import for the engine's thread knob.
+pub use linkdisc_util::resolve_threads;
 
 /// A genetic-programming problem definition.
 ///
@@ -41,8 +46,12 @@ pub trait Problem: Sync {
 
     /// Recombines two genomes into a new one.  Implementations typically pick
     /// one of several crossover operators at random.
-    fn crossover(&self, first: &Self::Genome, second: &Self::Genome, rng: &mut StdRng)
-        -> Self::Genome;
+    fn crossover(
+        &self,
+        first: &Self::Genome,
+        second: &Self::Genome,
+        rng: &mut StdRng,
+    ) -> Self::Genome;
 
     /// Evaluates a genome, returning its fitness and its F-measure on the
     /// training links (the F-measure drives the stop condition).
@@ -53,6 +62,13 @@ pub trait Problem: Sync {
     /// generation itself (seeding, Section 5.1) rather than this method.
     fn initial_population(&self, size: usize, rng: &mut StdRng) -> Vec<Self::Genome> {
         (0..size).map(|_| self.random_genome(rng)).collect()
+    }
+
+    /// Cumulative cache statistics of the problem's evaluation pipeline, if
+    /// it maintains caches.  The engine snapshots this after every iteration
+    /// into [`IterationStats::cache`].
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
     }
 }
 

@@ -78,7 +78,11 @@ impl<G> Population<G> {
         if self.individuals.is_empty() {
             return 0.0;
         }
-        self.individuals.iter().map(Individual::fitness).sum::<f64>() / self.individuals.len() as f64
+        self.individuals
+            .iter()
+            .map(Individual::fitness)
+            .sum::<f64>()
+            / self.individuals.len() as f64
     }
 
     /// Mean F-measure of the population (reported by the seeding experiment,
@@ -111,9 +115,27 @@ mod tests {
 
     fn population() -> Population<&'static str> {
         Population::new(vec![
-            Individual::new("low", Evaluated { fitness: 0.1, f_measure: 0.9 }),
-            Individual::new("high", Evaluated { fitness: 0.8, f_measure: 0.7 }),
-            Individual::new("mid", Evaluated { fitness: 0.5, f_measure: 0.5 }),
+            Individual::new(
+                "low",
+                Evaluated {
+                    fitness: 0.1,
+                    f_measure: 0.9,
+                },
+            ),
+            Individual::new(
+                "high",
+                Evaluated {
+                    fitness: 0.8,
+                    f_measure: 0.7,
+                },
+            ),
+            Individual::new(
+                "mid",
+                Evaluated {
+                    fitness: 0.5,
+                    f_measure: 0.5,
+                },
+            ),
         ])
     }
 

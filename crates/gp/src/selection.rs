@@ -17,7 +17,10 @@ pub fn tournament_select<'a, G, R: Rng>(
     tournament_size: usize,
     rng: &mut R,
 ) -> &'a Individual<G> {
-    assert!(!population.is_empty(), "cannot select from an empty population");
+    assert!(
+        !population.is_empty(),
+        "cannot select from an empty population"
+    );
     let individuals = population.individuals();
     let mut best = &individuals[rng.gen_range(0..individuals.len())];
     for _ in 1..tournament_size.max(1) {
@@ -41,7 +44,15 @@ mod tests {
             fitnesses
                 .iter()
                 .enumerate()
-                .map(|(i, &f)| Individual::new(i, Evaluated { fitness: f, f_measure: f }))
+                .map(|(i, &f)| {
+                    Individual::new(
+                        i,
+                        Evaluated {
+                            fitness: f,
+                            f_measure: f,
+                        },
+                    )
+                })
                 .collect(),
         )
     }
@@ -59,9 +70,9 @@ mod tests {
     fn selection_prefers_fitter_individuals() {
         let population = population(&[0.1, 0.2, 0.3, 0.9, 0.4, 0.5]);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut wins = vec![0usize; 6];
+        let mut wins = [0usize; 6];
         for _ in 0..2000 {
-            wins[*&tournament_select(&population, 5, &mut rng).genome] += 1;
+            wins[tournament_select(&population, 5, &mut rng).genome] += 1;
         }
         // the fittest individual (index 3) must win by far the most tournaments
         let best_wins = wins[3];

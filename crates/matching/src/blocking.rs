@@ -119,7 +119,9 @@ mod tests {
         assert!(index.token_count() >= 3);
         let candidates = index.candidates_for_tokens(&["berlin".to_string()]);
         assert_eq!(candidates, vec![0, 2]);
-        assert!(index.candidates_for_tokens(&["unknown".to_string()]).is_empty());
+        assert!(index
+            .candidates_for_tokens(&["unknown".to_string()])
+            .is_empty());
     }
 
     #[test]

@@ -1,7 +1,14 @@
-//! The matching engine: candidate generation plus rule execution.
+//! The matching engine: candidate generation plus compiled rule execution.
+//!
+//! Rules are lowered to a [`CompiledRule`] once per run, so property lookups
+//! are index-based and transformation outputs are memoized per entity in a
+//! run-local [`ValueCache`] — a target entity surviving blocking for many
+//! source entities has its transform chains computed once, not once per
+//! candidate pair.
 
 use linkdisc_entity::{DataSource, EntityPair};
-use linkdisc_rule::{LinkageRule, LINK_THRESHOLD};
+use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_util::resolve_threads;
 
 use crate::blocking::BlockingIndex;
 
@@ -112,25 +119,25 @@ impl MatchingEngine {
             None
         };
 
-        let threads = if self.options.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.options.threads
-        };
+        let compiled = CompiledRule::compile(&self.rule, source.schema(), target.schema());
+        let cache = ValueCache::new();
+        let threads = resolve_threads(self.options.threads);
 
         let chunk_size = source.len().div_ceil(threads.max(1)).max(1);
-        let chunks: Vec<&[linkdisc_entity::Entity]> = source.entities().chunks(chunk_size).collect();
+        let chunks: Vec<&[linkdisc_entity::Entity]> =
+            source.entities().chunks(chunk_size).collect();
         let mut per_chunk: Vec<(Vec<ScoredLink>, usize)> = Vec::with_capacity(chunks.len());
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     let index = &index;
-                    let rule = &self.rule;
+                    let compiled = &compiled;
+                    let cache = &cache;
                     let source_properties = &source_properties;
                     let options = self.options;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut links = Vec::new();
                         let mut evaluated = 0usize;
                         for source_entity in chunk {
@@ -145,8 +152,10 @@ impl MatchingEngine {
                             let mut best: Option<ScoredLink> = None;
                             for target_entity in candidates {
                                 evaluated += 1;
-                                let score =
-                                    rule.evaluate(&EntityPair::new(source_entity, target_entity));
+                                let score = compiled.evaluate(
+                                    &EntityPair::new(source_entity, target_entity),
+                                    cache,
+                                );
                                 if score < LINK_THRESHOLD {
                                     continue;
                                 }
@@ -156,7 +165,7 @@ impl MatchingEngine {
                                     score,
                                 };
                                 if options.best_match_only {
-                                    if best.as_ref().map_or(true, |b| score > b.score) {
+                                    if best.as_ref().is_none_or(|b| score > b.score) {
                                         best = Some(link);
                                     }
                                 } else {
@@ -174,8 +183,7 @@ impl MatchingEngine {
             for handle in handles {
                 per_chunk.push(handle.join().expect("matching thread panicked"));
             }
-        })
-        .expect("matching scope panicked");
+        });
 
         let mut links = Vec::new();
         let mut evaluated_pairs = 0;
@@ -313,10 +321,16 @@ mod tests {
     fn single_threaded_and_parallel_runs_agree() {
         let (source, target) = sources();
         let sequential = MatchingEngine::new(rule())
-            .with_options(MatchingOptions { threads: 1, ..MatchingOptions::default() })
+            .with_options(MatchingOptions {
+                threads: 1,
+                ..MatchingOptions::default()
+            })
             .run(&source, &target);
         let parallel = MatchingEngine::new(rule())
-            .with_options(MatchingOptions { threads: 4, ..MatchingOptions::default() })
+            .with_options(MatchingOptions {
+                threads: 4,
+                ..MatchingOptions::default()
+            })
             .run(&source, &target);
         assert_eq!(sequential.links, parallel.links);
         assert_eq!(sequential.evaluated_pairs, parallel.evaluated_pairs);

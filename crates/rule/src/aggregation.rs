@@ -100,7 +100,9 @@ mod tests {
         // (2*0.4 + 1*1.0) / 3 = 0.6
         let scores = [0.4, 1.0];
         let weights = [2, 1];
-        assert!((AggregationFunction::WeightedMean.evaluate(&scores, &weights) - 0.6).abs() < 1e-12);
+        assert!(
+            (AggregationFunction::WeightedMean.evaluate(&scores, &weights) - 0.6).abs() < 1e-12
+        );
     }
 
     #[test]

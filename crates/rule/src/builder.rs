@@ -163,8 +163,12 @@ mod tests {
             .aggregate_with(AggregationFunction::Min)
             .compare_property("label", DistanceFunction::Levenshtein, 2.0)
             .build();
-        let a = EntityBuilder::new("a").value("label", "Casablanca").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("label", "casablanca").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Casablanca")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("label", "casablanca")
+            .build_with_own_schema();
         assert!(rule.is_link(&EntityPair::new(&a, &b)));
     }
 

@@ -1,0 +1,917 @@
+//! Compiled evaluation plans: the fast path for rule evaluation.
+//!
+//! [`LinkageRule::evaluate`] walks the operator tree for every entity pair,
+//! re-resolving property names against the schema, re-running identical
+//! transformation chains and allocating fresh `Vec<String>` buffers per
+//! operator per pair.  During learning the same rule is scored against every
+//! resolved reference pair, and GP populations are dominated by repeated
+//! subexpressions, so almost all of that work is redundant.
+//!
+//! A [`CompiledRule`] lowers the tree into a flat instruction list once:
+//!
+//! * property accesses are resolved to integer column indices against the
+//!   source/target schemas up front (with a by-name fallback for entities
+//!   carrying a different schema),
+//! * transformation chains are deduplicated by structural hash; their
+//!   outputs are memoized **per entity** in a shared [`ValueCache`], interned
+//!   as `Arc<[String]>` slices so repeated pair evaluations read borrowed
+//!   slices with zero per-pair allocation,
+//! * distance functions get threshold-aware fast paths: Levenshtein runs the
+//!   banded early-exit dynamic program within the comparison threshold, and
+//!   Jaccard/Dice read pre-built value sets cached next to the values.
+//!
+//! The tree-walking evaluator stays as the reference oracle: for every rule
+//! and pair, `CompiledRule::evaluate` returns **bit-identical** scores to
+//! `LinkageRule::evaluate` (enforced by the property-based parity test in
+//! `tests/tests/compiled_parity.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use linkdisc_entity::{Entity, EntityPair, PropertyIndex, Schema};
+use linkdisc_similarity::{
+    dice_distance_sets, jaccard_distance_sets, levenshtein_bounded, threshold_similarity,
+    DistanceFunction,
+};
+use linkdisc_transform::TransformFunction;
+
+use crate::aggregation::AggregationFunction;
+use crate::operators::{SimilarityOperator, ValueOperator};
+use crate::rule::LinkageRule;
+
+/// Index of a value slot within a [`CompiledRule`]'s slot table.
+type SlotId = usize;
+
+/// A compiled value operator.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A property access, resolved to a column index against the schema the
+    /// plan was compiled for.  `index` is `None` when the property does not
+    /// exist in that schema (the value set is empty then).
+    Property {
+        name: String,
+        index: Option<PropertyIndex>,
+    },
+    /// A transformation over other slots; outputs are memoized per entity.
+    Transform {
+        function: TransformFunction,
+        inputs: Vec<SlotId>,
+    },
+}
+
+/// One instruction of the flattened similarity tree (postorder).
+#[derive(Debug, Clone)]
+enum Instruction {
+    /// Score two value slots with a distance function.
+    Compare {
+        source: SlotId,
+        target: SlotId,
+        function: DistanceFunction,
+        threshold: f64,
+        weight: u32,
+    },
+    /// Pop `arity` child scores off the stack and combine them.
+    Aggregate {
+        function: AggregationFunction,
+        weight: u32,
+        arity: usize,
+    },
+}
+
+/// One side's slot table, deduplicating structurally identical value
+/// operators so a chain appearing under several comparisons is compiled (and
+/// later memoized) once.
+#[derive(Debug, Default)]
+struct SlotTable {
+    slots: Vec<Slot>,
+    hashes: Vec<u64>,
+    by_hash: HashMap<u64, SlotId>,
+}
+
+impl SlotTable {
+    fn intern(&mut self, operator: &ValueOperator, schema: &Schema) -> SlotId {
+        let hash = value_operator_hash(operator);
+        if let Some(&id) = self.by_hash.get(&hash) {
+            return id;
+        }
+        let slot = match operator {
+            ValueOperator::Property(p) => Slot::Property {
+                name: p.property.clone(),
+                index: schema.index_of(&p.property),
+            },
+            ValueOperator::Transformation(t) => {
+                let inputs = t
+                    .inputs
+                    .iter()
+                    .map(|input| self.intern(input, schema))
+                    .collect();
+                Slot::Transform {
+                    function: t.function,
+                    inputs,
+                }
+            }
+        };
+        let id = self.slots.len();
+        self.slots.push(slot);
+        self.hashes.push(hash);
+        self.by_hash.insert(hash, id);
+        id
+    }
+}
+
+/// A linkage rule lowered into a flat, schema-resolved evaluation plan.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    source_schema: Arc<Schema>,
+    target_schema: Arc<Schema>,
+    source_slots: Vec<Slot>,
+    source_hashes: Vec<u64>,
+    target_slots: Vec<Slot>,
+    target_hashes: Vec<u64>,
+    instructions: Vec<Instruction>,
+    rule_hash: u64,
+    max_stack: usize,
+}
+
+impl CompiledRule {
+    /// Compiles a rule against the schemas of the two data sources its
+    /// entities will come from.
+    pub fn compile(
+        rule: &LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+    ) -> Self {
+        let mut source_table = SlotTable::default();
+        let mut target_table = SlotTable::default();
+        let mut instructions = Vec::new();
+        if let Some(root) = rule.root() {
+            lower_similarity(
+                root,
+                source_schema,
+                target_schema,
+                &mut source_table,
+                &mut target_table,
+                &mut instructions,
+            );
+        }
+        let max_stack = max_stack_depth(&instructions);
+        CompiledRule {
+            source_schema: source_schema.clone(),
+            target_schema: target_schema.clone(),
+            source_slots: source_table.slots,
+            source_hashes: source_table.hashes,
+            target_slots: target_table.slots,
+            target_hashes: target_table.hashes,
+            instructions,
+            rule_hash: rule.canonical_hash(),
+            max_stack,
+        }
+    }
+
+    /// The canonical hash of the rule this plan was compiled from (the key
+    /// the fitness cache memoizes evaluations under).
+    pub fn rule_hash(&self) -> u64 {
+        self.rule_hash
+    }
+
+    /// Number of instructions in the plan (0 for the empty rule).
+    pub fn instruction_count(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Evaluates the plan on an entity pair, yielding the same similarity as
+    /// [`LinkageRule::evaluate`] on the original rule.
+    pub fn evaluate<'e>(&self, pair: &EntityPair<'e>, cache: &ValueCache<'e>) -> f64 {
+        if self.instructions.is_empty() {
+            return 0.0;
+        }
+        let mut stack: Vec<(f64, u32)> = Vec::with_capacity(self.max_stack);
+        for instruction in &self.instructions {
+            match instruction {
+                Instruction::Compare {
+                    source,
+                    target,
+                    function,
+                    threshold,
+                    weight,
+                } => {
+                    let score =
+                        self.comparison_score(*source, *target, *function, *threshold, pair, cache);
+                    stack.push((score, *weight));
+                }
+                Instruction::Aggregate {
+                    function,
+                    weight,
+                    arity,
+                } => {
+                    // `split_off` keeps the children in their original order,
+                    // so WeightedMean accumulates in exactly the tree-walk
+                    // order (bit-identical floating-point result).
+                    let children = stack.split_off(stack.len() - arity);
+                    let scores: Vec<f64> = children.iter().map(|c| c.0).collect();
+                    let weights: Vec<u32> = children.iter().map(|c| c.1).collect();
+                    stack.push((function.evaluate(&scores, &weights), *weight));
+                }
+            }
+        }
+        debug_assert_eq!(stack.len(), 1, "plan must reduce to a single score");
+        stack
+            .pop()
+            .map(|(score, _)| score)
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0)
+    }
+
+    fn comparison_score<'e>(
+        &self,
+        source: SlotId,
+        target: SlotId,
+        function: DistanceFunction,
+        threshold: f64,
+        pair: &EntityPair<'e>,
+        cache: &ValueCache<'e>,
+    ) -> f64 {
+        match function {
+            DistanceFunction::Jaccard | DistanceFunction::Dice => {
+                let a = self.slot_set(Side::Source, source, pair.source, cache);
+                let b = self.slot_set(Side::Target, target, pair.target, cache);
+                // the tree walk reports "unmeasurable" before ever reaching
+                // the set measure when either side is empty
+                if a.is_empty() || b.is_empty() {
+                    return 0.0;
+                }
+                let distance = match function {
+                    DistanceFunction::Jaccard => jaccard_distance_sets(&a, &b),
+                    _ => dice_distance_sets(&a, &b),
+                };
+                threshold_similarity(distance, threshold)
+            }
+            DistanceFunction::Levenshtein => {
+                let a = self.slot_values(Side::Source, source, pair.source, cache);
+                let b = self.slot_values(Side::Target, target, pair.target, cache);
+                levenshtein_similarity(&a, &b, threshold)
+            }
+            _ => {
+                let a = self.slot_values(Side::Source, source, pair.source, cache);
+                let b = self.slot_values(Side::Target, target, pair.target, cache);
+                function.similarity(&a, &b, threshold)
+            }
+        }
+    }
+
+    fn side(&self, side: Side) -> (&[Slot], &[u64], &Arc<Schema>) {
+        match side {
+            Side::Source => (&self.source_slots, &self.source_hashes, &self.source_schema),
+            Side::Target => (&self.target_slots, &self.target_hashes, &self.target_schema),
+        }
+    }
+
+    /// The values of a slot for one entity: a borrowed slice for property
+    /// slots, a memoized interned slice for transformation slots.
+    fn slot_values<'e>(
+        &self,
+        side: Side,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> ValuesRef<'e> {
+        let (slots, hashes, schema) = self.side(side);
+        match &slots[slot] {
+            Slot::Property { name, index } => {
+                let values = if Arc::ptr_eq(entity.schema(), schema) {
+                    match index {
+                        Some(index) => entity.values_at(*index),
+                        None => &[],
+                    }
+                } else {
+                    // the entity follows a different schema than the plan was
+                    // compiled for; fall back to by-name resolution
+                    entity.values(name)
+                };
+                ValuesRef::Borrowed(values)
+            }
+            Slot::Transform { .. } => {
+                ValuesRef::Interned(cache.values(entity, hashes[slot], || {
+                    self.compute_transform(side, slot, entity, cache)
+                }))
+            }
+        }
+    }
+
+    /// Computes a transformation slot's output for one entity (cache miss
+    /// path); the inputs themselves come through the cache.
+    fn compute_transform<'e>(
+        &self,
+        side: Side,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> Vec<String> {
+        let (slots, _, _) = self.side(side);
+        let Slot::Transform { function, inputs } = &slots[slot] else {
+            unreachable!("compute_transform is only called for transform slots");
+        };
+        let resolved: Vec<ValuesRef<'_>> = inputs
+            .iter()
+            .map(|&input| self.slot_values(side, input, entity, cache))
+            .collect();
+        let slices: Vec<&[String]> = resolved.iter().map(|v| v.as_slice()).collect();
+        function.apply_slices(&slices)
+    }
+
+    /// The value *set* of a slot for one entity (Jaccard/Dice fast path).
+    fn slot_set<'e>(
+        &self,
+        side: Side,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> Arc<HashSet<String>> {
+        let (_, hashes, _) = self.side(side);
+        cache.set(entity, hashes[slot], || {
+            self.slot_values(side, slot, entity, cache)
+                .as_slice()
+                .to_vec()
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Side {
+    Source,
+    Target,
+}
+
+/// Borrowed-or-interned values of a slot.
+enum ValuesRef<'e> {
+    Borrowed(&'e [String]),
+    Interned(Arc<[String]>),
+}
+
+impl ValuesRef<'_> {
+    fn as_slice(&self) -> &[String] {
+        match self {
+            ValuesRef::Borrowed(values) => values,
+            ValuesRef::Interned(values) => values,
+        }
+    }
+}
+
+impl std::ops::Deref for ValuesRef<'_> {
+    type Target = [String];
+
+    fn deref(&self) -> &[String] {
+        self.as_slice()
+    }
+}
+
+/// Levenshtein similarity with the banded early-exit fast path: the minimum
+/// cross-product distance only matters within the comparison threshold, so
+/// every string pair is probed with a band of `min(⌊θ⌋, current minimum)`.
+fn levenshtein_similarity(a: &[String], b: &[String], threshold: f64) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let max_band = if threshold >= 0.0 {
+        threshold.min(1e9).floor() as usize
+    } else {
+        0
+    };
+    let mut min = usize::MAX;
+    for va in a {
+        for vb in b {
+            let band = max_band.min(min);
+            if let Some(distance) = levenshtein_bounded(va, vb, band) {
+                if distance < min {
+                    min = distance;
+                }
+                if min == 0 {
+                    return threshold_similarity(0.0, threshold);
+                }
+            }
+        }
+    }
+    if min == usize::MAX {
+        // every pair exceeded the threshold band: similarity is 0 either way
+        0.0
+    } else {
+        threshold_similarity(min as f64, threshold)
+    }
+}
+
+fn lower_similarity(
+    operator: &SimilarityOperator,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source_table: &mut SlotTable,
+    target_table: &mut SlotTable,
+    instructions: &mut Vec<Instruction>,
+) {
+    match operator {
+        SimilarityOperator::Comparison(c) => {
+            let source = source_table.intern(&c.source, source_schema);
+            let target = target_table.intern(&c.target, target_schema);
+            instructions.push(Instruction::Compare {
+                source,
+                target,
+                function: c.function,
+                threshold: c.threshold,
+                weight: c.weight,
+            });
+        }
+        SimilarityOperator::Aggregation(a) => {
+            for child in &a.operators {
+                lower_similarity(
+                    child,
+                    source_schema,
+                    target_schema,
+                    source_table,
+                    target_table,
+                    instructions,
+                );
+            }
+            instructions.push(Instruction::Aggregate {
+                function: a.function,
+                weight: a.weight,
+                arity: a.operators.len(),
+            });
+        }
+    }
+}
+
+fn max_stack_depth(instructions: &[Instruction]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for instruction in instructions {
+        match instruction {
+            Instruction::Compare { .. } => depth += 1,
+            Instruction::Aggregate { arity, .. } => depth = depth - arity + 1,
+        }
+        max = max.max(depth);
+    }
+    max
+}
+
+/// Deterministic structural hash of a value operator (property names and
+/// transformation functions, independent of schema indices), shared by both
+/// sides so identical chains hit the same [`ValueCache`] entries.
+///
+/// Slot dedup and the value cache trust this 64-bit hash without an
+/// equality guard — a deliberate trade-off, unlike the fitness cache (which
+/// compares whole genomes on collision, cheap because genomes are already
+/// in hand).  Guarding here would mean storing and comparing operator trees
+/// on the per-pair hot path for a ~2⁻⁶⁴-per-chain-pair collision risk.
+fn value_operator_hash(operator: &ValueOperator) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    hash_value_operator(operator, &mut hasher);
+    hasher.finish()
+}
+
+fn hash_value_operator(operator: &ValueOperator, hasher: &mut impl Hasher) {
+    match operator {
+        ValueOperator::Property(p) => {
+            0u8.hash(hasher);
+            p.property.hash(hasher);
+        }
+        ValueOperator::Transformation(t) => {
+            1u8.hash(hasher);
+            t.function.hash(hasher);
+            t.inputs.len().hash(hasher);
+            for input in &t.inputs {
+                hash_value_operator(input, hasher);
+            }
+        }
+    }
+}
+
+fn hash_similarity_operator(operator: &SimilarityOperator, hasher: &mut impl Hasher) {
+    match operator {
+        SimilarityOperator::Comparison(c) => {
+            2u8.hash(hasher);
+            hash_value_operator(&c.source, hasher);
+            hash_value_operator(&c.target, hasher);
+            c.function.hash(hasher);
+            c.threshold.to_bits().hash(hasher);
+            c.weight.hash(hasher);
+        }
+        SimilarityOperator::Aggregation(a) => {
+            3u8.hash(hasher);
+            a.function.hash(hasher);
+            a.weight.hash(hasher);
+            a.operators.len().hash(hasher);
+            for child in &a.operators {
+                hash_similarity_operator(child, hasher);
+            }
+        }
+    }
+}
+
+impl LinkageRule {
+    /// A deterministic canonical hash of the full rule structure (operators,
+    /// functions, thresholds, weights).  Structurally equal rules hash
+    /// equally, which makes this the fitness-memoization key: elitism
+    /// survivors and duplicate crossover offspring share one entry.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        match self.root() {
+            Some(root) => {
+                1u8.hash(&mut hasher);
+                hash_similarity_operator(root, &mut hasher);
+            }
+            None => 0u8.hash(&mut hasher),
+        }
+        hasher.finish()
+    }
+}
+
+const VALUE_CACHE_SHARDS: usize = 16;
+
+/// Safety valve against unbounded growth: mutation keeps minting new
+/// transformation chains over a long run, and entries for chains that died
+/// out of the population are never individually evicted.  When a shard
+/// exceeds this entry count it is dropped wholesale — the cache is a pure
+/// memo, so eviction only costs recomputation, never changes a result.
+const VALUE_CACHE_SHARD_CAPACITY: usize = 65_536;
+
+/// One memoized value slot of one entity.
+#[derive(Debug, Clone)]
+struct CachedSlot {
+    values: Arc<[String]>,
+    /// Value set for Jaccard/Dice, built on first use.
+    set: Option<Arc<HashSet<String>>>,
+}
+
+/// Per-entity memo of transformation outputs (and value sets), shared across
+/// all rules evaluated against the same entities.
+///
+/// Keys are `(entity address, value-operator structural hash)`: the chain
+/// hash is schema-independent, so every rule in the population containing
+/// e.g. `lowerCase(tokenize(title))` reuses one computation per entity.  The
+/// lifetime parameter ties the cache to the entities it indexes, so stale
+/// addresses cannot be observed.
+///
+/// Sharded mutexes keep the cache cheap under the GP engine's parallel
+/// fitness evaluation.
+pub struct ValueCache<'e> {
+    shards: Vec<Mutex<HashMap<(usize, u64), CachedSlot>>>,
+    interner: Mutex<HashSet<Arc<[String]>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    _entities: PhantomData<fn(&'e Entity)>,
+}
+
+impl std::fmt::Debug for ValueCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ValueCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl Default for ValueCache<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'e> ValueCache<'e> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ValueCache {
+            shards: (0..VALUE_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            interner: Mutex::new(HashSet::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            _entities: PhantomData,
+        }
+    }
+
+    fn shard(&self, key: &(usize, u64)) -> &Mutex<HashMap<(usize, u64), CachedSlot>> {
+        let index = (key.0 ^ key.1 as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Interns a freshly computed value set, deduplicating identical contents
+    /// across entities (transformations frequently collapse distinct inputs
+    /// to the same output, e.g. lower-cased years).
+    fn intern_values(&self, values: Vec<String>) -> Arc<[String]> {
+        let mut interner = self.interner.lock().expect("interner poisoned");
+        if let Some(existing) = interner.get(values.as_slice()) {
+            return existing.clone();
+        }
+        if interner.len() >= VALUE_CACHE_SHARD_CAPACITY * VALUE_CACHE_SHARDS {
+            interner.clear();
+        }
+        let interned: Arc<[String]> = values.into();
+        interner.insert(interned.clone());
+        interned
+    }
+
+    /// The memoized values of `(entity, chain)`, computing them on first use.
+    pub fn values(
+        &self,
+        entity: &'e Entity,
+        chain_hash: u64,
+        compute: impl FnOnce() -> Vec<String>,
+    ) -> Arc<[String]> {
+        let key = (entity as *const Entity as usize, chain_hash);
+        if let Some(slot) = self
+            .shard(&key)
+            .lock()
+            .expect("value cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return slot.values.clone();
+        }
+        // computed outside the lock: `compute` may itself read the cache for
+        // nested chains, and holding the shard lock could deadlock
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let values = self.intern_values(compute());
+        let mut shard = self.shard(&key).lock().expect("value cache poisoned");
+        if shard.len() >= VALUE_CACHE_SHARD_CAPACITY {
+            shard.clear();
+        }
+        let slot = shard.entry(key).or_insert(CachedSlot {
+            values: values.clone(),
+            set: None,
+        });
+        slot.values.clone()
+    }
+
+    /// The memoized value *set* of `(entity, chain)` for set-based measures.
+    pub fn set(
+        &self,
+        entity: &'e Entity,
+        chain_hash: u64,
+        compute_values: impl FnOnce() -> Vec<String>,
+    ) -> Arc<HashSet<String>> {
+        let key = (entity as *const Entity as usize, chain_hash);
+        if let Some(slot) = self
+            .shard(&key)
+            .lock()
+            .expect("value cache poisoned")
+            .get(&key)
+        {
+            if let Some(set) = &slot.set {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return set.clone();
+            }
+        }
+        // no separate miss counter bump here: the values() call below counts
+        // the underlying lookup exactly once (hit if the values were already
+        // memoized by a non-set comparison, miss if the slot is cold)
+        let values = self.values(entity, chain_hash, compute_values);
+        let set: Arc<HashSet<String>> = Arc::new(values.iter().cloned().collect());
+        let mut shard = self.shard(&key).lock().expect("value cache poisoned");
+        if shard.len() >= VALUE_CACHE_SHARD_CAPACITY {
+            shard.clear();
+        }
+        let slot = shard.entry(key).or_insert(CachedSlot { values, set: None });
+        slot.set = Some(set.clone());
+        set
+    }
+
+    /// Number of `(entity, chain)` entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("value cache poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (computations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all memoized entries and statistics (e.g. when the underlying
+    /// entity collections change).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("value cache poisoned").clear();
+        }
+        self.interner.lock().expect("interner poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{aggregation, compare, property, transform};
+    use linkdisc_entity::EntityBuilder;
+
+    fn city_schema() -> Arc<Schema> {
+        Arc::new(Schema::new(["label", "point"]))
+    }
+
+    fn berlin(schema: &Arc<Schema>) -> Entity {
+        EntityBuilder::new("a:berlin")
+            .value("label", "Berlin")
+            .value("point", "52.52 13.40")
+            .build(schema.clone())
+    }
+
+    fn figure2_rule() -> LinkageRule {
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    DistanceFunction::Levenshtein,
+                    1.0,
+                ),
+                compare(
+                    property("point"),
+                    property("point"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
+            ],
+        )
+        .into()
+    }
+
+    #[test]
+    fn compiled_matches_tree_walk_on_figure2() {
+        let schema = city_schema();
+        let a = berlin(&schema);
+        let b = EntityBuilder::new("b:berlin")
+            .value("label", "BERLIN")
+            .value("point", "52.52 13.40")
+            .build(schema.clone());
+        let rule = figure2_rule();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let cache = ValueCache::new();
+        let pair = EntityPair::new(&a, &b);
+        assert_eq!(compiled.evaluate(&pair, &cache), rule.evaluate(&pair));
+        // second evaluation is served from the memo and stays identical
+        assert_eq!(compiled.evaluate(&pair, &cache), rule.evaluate(&pair));
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn empty_rule_compiles_to_an_empty_plan() {
+        let schema = city_schema();
+        let compiled = CompiledRule::compile(&LinkageRule::empty(), &schema, &schema);
+        assert_eq!(compiled.instruction_count(), 0);
+        let a = berlin(&schema);
+        let pair = EntityPair::new(&a, &a);
+        assert_eq!(compiled.evaluate(&pair, &ValueCache::new()), 0.0);
+    }
+
+    #[test]
+    fn duplicate_chains_share_one_slot_and_one_computation() {
+        let schema = city_schema();
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::Max,
+            vec![
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("label")]),
+                    property("label"),
+                    DistanceFunction::Equality,
+                    0.5,
+                ),
+            ],
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        // lowerCase(label) and label each appear once per side
+        assert_eq!(compiled.source_slots.len(), 2);
+        let a = berlin(&schema);
+        let b = berlin(&schema);
+        let cache = ValueCache::new();
+        let pair = EntityPair::new(&a, &b);
+        compiled.evaluate(&pair, &cache);
+        // one transform computation per entity, not per comparison
+        assert_eq!(cache.misses(), 2);
+        compiled.evaluate(&pair, &cache);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn unknown_properties_yield_zero_similarity() {
+        let schema = city_schema();
+        let rule: LinkageRule = compare(
+            property("missing"),
+            property("label"),
+            DistanceFunction::Levenshtein,
+            5.0,
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let a = berlin(&schema);
+        let pair = EntityPair::new(&a, &a);
+        assert_eq!(compiled.evaluate(&pair, &ValueCache::new()), 0.0);
+        assert_eq!(rule.evaluate(&pair), 0.0);
+    }
+
+    #[test]
+    fn foreign_schema_entities_fall_back_to_name_lookup() {
+        let schema = city_schema();
+        let rule: LinkageRule = compare(
+            property("label"),
+            property("label"),
+            DistanceFunction::Equality,
+            0.5,
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        // entity with its own schema, where "label" sits at a different index
+        let odd = EntityBuilder::new("odd")
+            .value("extra", "x")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let a = berlin(&schema);
+        let pair = EntityPair::new(&a, &odd);
+        assert_eq!(compiled.evaluate(&pair, &ValueCache::new()), 1.0);
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_structure_and_parameters() {
+        let base: LinkageRule = compare(
+            property("label"),
+            property("label"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        )
+        .into();
+        let other_threshold: LinkageRule = compare(
+            property("label"),
+            property("label"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let other_function: LinkageRule = compare(
+            property("label"),
+            property("label"),
+            DistanceFunction::Jaccard,
+            1.0,
+        )
+        .into();
+        assert_eq!(base.canonical_hash(), base.clone().canonical_hash());
+        assert_ne!(base.canonical_hash(), other_threshold.canonical_hash());
+        assert_ne!(base.canonical_hash(), other_function.canonical_hash());
+        assert_ne!(base.canonical_hash(), LinkageRule::empty().canonical_hash());
+    }
+
+    #[test]
+    fn value_cache_interns_identical_outputs() {
+        let schema = city_schema();
+        let rule: LinkageRule = compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            DistanceFunction::Equality,
+            0.5,
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        // two distinct entities with the same label: outputs are interned to
+        // one shared allocation
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build(schema.clone());
+        let b = EntityBuilder::new("b")
+            .value("label", "BERLIN")
+            .build(schema.clone());
+        let cache = ValueCache::new();
+        compiled.evaluate(&EntityPair::new(&a, &b), &cache);
+        assert_eq!(cache.len(), 2, "one entry per entity");
+        let va = cache.values(&a, compiled.source_hashes[1], || unreachable!("memoized"));
+        let vb = cache.values(&b, compiled.target_hashes[1], || unreachable!("memoized"));
+        assert!(
+            Arc::ptr_eq(&va, &vb),
+            "equal outputs share one interned slice"
+        );
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+    }
+}

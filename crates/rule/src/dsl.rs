@@ -274,7 +274,8 @@ impl Parser {
             let source = self.parse_value()?;
             let target = self.parse_value()?;
             self.expect_close()?;
-            let mut comparison = SimilarityOperator::comparison(source, target, function, threshold);
+            let mut comparison =
+                SimilarityOperator::comparison(source, target, function, threshold);
             comparison.set_weight(weight);
             Ok(comparison)
         } else if let Some(function) = AggregationFunction::from_name(&head) {
@@ -422,10 +423,15 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(parse_rule("").is_err());
-        assert!(parse_rule("(unknownAgg (compare levenshtein 1 (property \"a\") (property \"b\")))").is_err());
+        assert!(parse_rule(
+            "(unknownAgg (compare levenshtein 1 (property \"a\") (property \"b\")))"
+        )
+        .is_err());
         assert!(parse_rule("(compare levenshtein (property \"a\") (property \"b\"))").is_err());
         assert!(parse_rule("(compare levenshtein 1 (property \"a\"))").is_err());
-        assert!(parse_rule("(min (compare levenshtein 1 (property \"a\") (property \"b\")").is_err());
+        assert!(
+            parse_rule("(min (compare levenshtein 1 (property \"a\") (property \"b\")").is_err()
+        );
         assert!(parse_rule("(min) extra").is_err());
         assert!(parse_rule("(compare bogus 1 (property \"a\") (property \"b\"))").is_err());
         assert!(parse_rule("(min (tokenize (property \"a\")))").is_err());
@@ -435,7 +441,8 @@ mod tests {
 
     #[test]
     fn error_positions_point_into_the_input() {
-        let err = parse_rule("(min (compare nope 1 (property \"a\") (property \"b\")))").unwrap_err();
+        let err =
+            parse_rule("(min (compare nope 1 (property \"a\") (property \"b\")))").unwrap_err();
         assert!(err.position > 0);
         assert!(err.to_string().contains("nope"));
     }

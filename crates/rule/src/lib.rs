@@ -23,6 +23,7 @@
 
 pub mod aggregation;
 pub mod builder;
+pub mod compiled;
 pub mod dsl;
 pub mod navigate;
 pub mod operators;
@@ -32,6 +33,7 @@ pub mod stats;
 
 pub use aggregation::AggregationFunction;
 pub use builder::{aggregation, compare, property, transform, RuleBuilder};
+pub use compiled::{CompiledRule, ValueCache};
 pub use dsl::{parse_rule, print_rule, DslError};
 pub use operators::{
     Aggregation, Comparison, PropertyOperator, SimilarityOperator, TransformationOperator,

@@ -164,7 +164,11 @@ impl SimilarityOperator {
 
     /// Applies `f` to the `index`-th aggregation (pre-order).  Returns `true`
     /// if the aggregation existed.
-    pub fn with_aggregation_mut<F: FnOnce(&mut Aggregation)>(&mut self, index: usize, f: F) -> bool {
+    pub fn with_aggregation_mut<F: FnOnce(&mut Aggregation)>(
+        &mut self,
+        index: usize,
+        f: F,
+    ) -> bool {
         fn walk<F: FnOnce(&mut Aggregation)>(
             node: &mut SimilarityOperator,
             remaining: &mut usize,
@@ -338,10 +342,7 @@ impl ValueOperator {
         result
     }
 
-    pub(crate) fn collect_transformations<'a>(
-        &'a self,
-        out: &mut Vec<&'a TransformationOperator>,
-    ) {
+    pub(crate) fn collect_transformations<'a>(&'a self, out: &mut Vec<&'a TransformationOperator>) {
         if let ValueOperator::Transformation(t) = self {
             out.push(t);
             for child in &t.inputs {
@@ -407,15 +408,39 @@ mod tests {
     #[test]
     fn preorder_indexing_is_stable() {
         let tree = sample();
-        assert!(matches!(tree.similarity_node(0), Some(SimilarityOperator::Aggregation(_))));
-        assert!(matches!(tree.similarity_node(1), Some(SimilarityOperator::Comparison(_))));
-        assert!(matches!(tree.similarity_node(2), Some(SimilarityOperator::Aggregation(_))));
-        assert!(matches!(tree.similarity_node(3), Some(SimilarityOperator::Comparison(_))));
-        assert!(matches!(tree.similarity_node(4), Some(SimilarityOperator::Comparison(_))));
+        assert!(matches!(
+            tree.similarity_node(0),
+            Some(SimilarityOperator::Aggregation(_))
+        ));
+        assert!(matches!(
+            tree.similarity_node(1),
+            Some(SimilarityOperator::Comparison(_))
+        ));
+        assert!(matches!(
+            tree.similarity_node(2),
+            Some(SimilarityOperator::Aggregation(_))
+        ));
+        assert!(matches!(
+            tree.similarity_node(3),
+            Some(SimilarityOperator::Comparison(_))
+        ));
+        assert!(matches!(
+            tree.similarity_node(4),
+            Some(SimilarityOperator::Comparison(_))
+        ));
         assert!(tree.similarity_node(5).is_none());
-        assert_eq!(tree.comparison_at(0).unwrap().function, DistanceFunction::Levenshtein);
-        assert_eq!(tree.comparison_at(1).unwrap().function, DistanceFunction::Date);
-        assert_eq!(tree.comparison_at(2).unwrap().function, DistanceFunction::Jaccard);
+        assert_eq!(
+            tree.comparison_at(0).unwrap().function,
+            DistanceFunction::Levenshtein
+        );
+        assert_eq!(
+            tree.comparison_at(1).unwrap().function,
+            DistanceFunction::Date
+        );
+        assert_eq!(
+            tree.comparison_at(2).unwrap().function,
+            DistanceFunction::Jaccard
+        );
         assert!(tree.comparison_at(3).is_none());
     }
 
@@ -436,7 +461,10 @@ mod tests {
             tree.aggregation_node(1).unwrap().function,
             AggregationFunction::WeightedMean
         );
-        assert_eq!(tree.aggregation_node(0).unwrap().function, AggregationFunction::Min);
+        assert_eq!(
+            tree.aggregation_node(0).unwrap().function,
+            AggregationFunction::Min
+        );
         assert!(!tree.with_aggregation_mut(2, |_| {}));
     }
 
@@ -445,7 +473,10 @@ mod tests {
         let mut tree = sample();
         assert!(tree.with_transformation_mut(1, |t| t.function = TransformFunction::Stem));
         assert_eq!(tree.transformations()[1].function, TransformFunction::Stem);
-        assert_eq!(tree.transformations()[0].function, TransformFunction::LowerCase);
+        assert_eq!(
+            tree.transformations()[0].function,
+            TransformFunction::LowerCase
+        );
         assert!(!tree.with_transformation_mut(2, |_| {}));
     }
 

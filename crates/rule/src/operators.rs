@@ -62,7 +62,11 @@ impl ValueOperator {
         match self {
             ValueOperator::Property(_) => 1,
             ValueOperator::Transformation(t) => {
-                1 + t.inputs.iter().map(ValueOperator::operator_count).sum::<usize>()
+                1 + t
+                    .inputs
+                    .iter()
+                    .map(ValueOperator::operator_count)
+                    .sum::<usize>()
             }
         }
     }
@@ -85,9 +89,11 @@ impl ValueOperator {
     pub fn properties(&self) -> Vec<&str> {
         match self {
             ValueOperator::Property(p) => vec![p.property.as_str()],
-            ValueOperator::Transformation(t) => {
-                t.inputs.iter().flat_map(ValueOperator::properties).collect()
-            }
+            ValueOperator::Transformation(t) => t
+                .inputs
+                .iter()
+                .flat_map(ValueOperator::properties)
+                .collect(),
         }
     }
 
@@ -214,7 +220,8 @@ impl SimilarityOperator {
             }
             SimilarityOperator::Aggregation(a) => {
                 let scores: Vec<f64> = a.operators.iter().map(|op| op.evaluate(pair)).collect();
-                let weights: Vec<u32> = a.operators.iter().map(SimilarityOperator::weight).collect();
+                let weights: Vec<u32> =
+                    a.operators.iter().map(SimilarityOperator::weight).collect();
                 a.function.evaluate(&scores, &weights)
             }
         }
@@ -284,7 +291,12 @@ impl SimilarityOperator {
         match self {
             SimilarityOperator::Comparison(_) => 1,
             SimilarityOperator::Aggregation(a) => {
-                1 + a.operators.iter().map(SimilarityOperator::depth).max().unwrap_or(0)
+                1 + a
+                    .operators
+                    .iter()
+                    .map(SimilarityOperator::depth)
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -447,10 +459,8 @@ mod tests {
 
     #[test]
     fn nested_aggregations_are_detected() {
-        let nested = SimilarityOperator::aggregation(
-            AggregationFunction::Max,
-            vec![figure2_rule()],
-        );
+        let nested =
+            SimilarityOperator::aggregation(AggregationFunction::Max, vec![figure2_rule()]);
         assert!(nested.has_nested_aggregation());
         assert_eq!(nested.depth(), 3);
     }
@@ -466,8 +476,12 @@ mod tests {
 
     #[test]
     fn missing_values_give_zero_similarity() {
-        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("other", "Berlin").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("other", "Berlin")
+            .build_with_own_schema();
         let cmp = SimilarityOperator::comparison(
             ValueOperator::property("label"),
             ValueOperator::property("rdfs:label"),

@@ -123,7 +123,12 @@ mod tests {
         assert!(text.contains("target: property \"coord\""));
         // every line after the root is indented with tree glyphs
         for line in text.lines().skip(1) {
-            assert!(line.starts_with("├─") || line.starts_with("└─") || line.starts_with("│") || line.starts_with("   "));
+            assert!(
+                line.starts_with("├─")
+                    || line.starts_with("└─")
+                    || line.starts_with("│")
+                    || line.starts_with("   ")
+            );
         }
     }
 

@@ -71,7 +71,9 @@ impl LinkageRule {
     /// Total number of operators; the basis of the parsimony pressure
     /// `fitness = MCC − 0.05 · operatorcount` (Section 5.2).
     pub fn operator_count(&self) -> usize {
-        self.root.as_ref().map_or(0, SimilarityOperator::operator_count)
+        self.root
+            .as_ref()
+            .map_or(0, SimilarityOperator::operator_count)
     }
 
     /// Structural statistics of this rule.
@@ -106,8 +108,12 @@ mod tests {
     #[test]
     fn empty_rule_links_nothing() {
         let rule = LinkageRule::empty();
-        let a = EntityBuilder::new("a").value("label", "x").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("label", "x").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "x")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("label", "x")
+            .build_with_own_schema();
         assert!(rule.is_empty());
         assert_eq!(rule.evaluate(&EntityPair::new(&a, &b)), 0.0);
         assert!(!rule.is_link(&EntityPair::new(&a, &b)));
@@ -117,8 +123,12 @@ mod tests {
     #[test]
     fn exact_match_yields_full_similarity() {
         let rule = label_rule();
-        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("label", "Berlin").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("label", "Berlin")
+            .build_with_own_schema();
         assert_eq!(rule.evaluate(&EntityPair::new(&a, &b)), 1.0);
         assert!(rule.is_link(&EntityPair::new(&a, &b)));
     }
@@ -133,8 +143,12 @@ mod tests {
             DistanceFunction::Levenshtein,
             2.0,
         ));
-        let a = EntityBuilder::new("a").value("label", "Berlin").build_with_own_schema();
-        let b = EntityBuilder::new("b").value("label", "berlin").build_with_own_schema();
+        let a = EntityBuilder::new("a")
+            .value("label", "Berlin")
+            .build_with_own_schema();
+        let b = EntityBuilder::new("b")
+            .value("label", "berlin")
+            .build_with_own_schema();
         let pair = EntityPair::new(&a, &b);
         assert!((rule.evaluate(&pair) - 0.5).abs() < 1e-12);
         assert!(rule.is_link(&pair));
@@ -143,7 +157,9 @@ mod tests {
     #[test]
     fn replace_root_swaps_the_tree() {
         let mut rule = LinkageRule::empty();
-        assert!(rule.replace_root(label_rule().into_root().unwrap()).is_none());
+        assert!(rule
+            .replace_root(label_rule().into_root().unwrap())
+            .is_none());
         assert_eq!(rule.operator_count(), 3);
         let previous = rule.replace_root(SimilarityOperator::aggregation(
             AggregationFunction::Max,

@@ -55,12 +55,9 @@ fn days_in_month(year: i32, month: u32) -> u32 {
 pub fn parse_date(value: &str) -> Option<Date> {
     let trimmed = value.trim();
     // strip a time component, if any
-    let date_part = trimmed
-        .split(|c| c == 'T' || c == ' ')
-        .next()
-        .unwrap_or(trimmed);
+    let date_part = trimmed.split(['T', ' ']).next().unwrap_or(trimmed);
     let parts: Vec<&str> = date_part
-        .split(|c| c == '-' || c == '/')
+        .split(['-', '/'])
         .filter(|s| !s.is_empty())
         .collect();
     let (year, month, day) = match parts.len() {
@@ -108,22 +105,48 @@ mod tests {
     fn parses_iso_dates() {
         assert_eq!(
             parse_date("2012-08-01"),
-            Some(Date { year: 2012, month: 8, day: 1 })
+            Some(Date {
+                year: 2012,
+                month: 8,
+                day: 1
+            })
         );
         assert_eq!(
             parse_date("2012-08-01T12:30:00"),
-            Some(Date { year: 2012, month: 8, day: 1 })
+            Some(Date {
+                year: 2012,
+                month: 8,
+                day: 1
+            })
         );
         assert_eq!(
             parse_date("1998/05/20"),
-            Some(Date { year: 1998, month: 5, day: 20 })
+            Some(Date {
+                year: 1998,
+                month: 5,
+                day: 20
+            })
         );
     }
 
     #[test]
     fn parses_partial_dates() {
-        assert_eq!(parse_date("1998"), Some(Date { year: 1998, month: 1, day: 1 }));
-        assert_eq!(parse_date("1998-07"), Some(Date { year: 1998, month: 7, day: 1 }));
+        assert_eq!(
+            parse_date("1998"),
+            Some(Date {
+                year: 1998,
+                month: 1,
+                day: 1
+            })
+        );
+        assert_eq!(
+            parse_date("1998-07"),
+            Some(Date {
+                year: 1998,
+                month: 7,
+                day: 1
+            })
+        );
     }
 
     #[test]

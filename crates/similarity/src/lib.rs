@@ -23,8 +23,8 @@ pub mod token;
 pub use date::date_distance;
 pub use geo::{geographic_distance, parse_point};
 pub use numeric::numeric_distance;
-pub use string::{jaro_similarity, jaro_winkler_similarity, levenshtein};
-pub use token::{dice_distance, jaccard_distance};
+pub use string::{jaro_similarity, jaro_winkler_similarity, levenshtein, levenshtein_bounded};
+pub use token::{dice_distance, dice_distance_sets, jaccard_distance, jaccard_distance_sets};
 
 /// The distance functions available to linkage rules.
 ///

@@ -35,10 +35,7 @@ pub fn parse_number(value: &str) -> Option<f64> {
             break;
         }
     }
-    let candidate: String = bytes[start..end]
-        .iter()
-        .filter(|c| **c != ',')
-        .collect();
+    let candidate: String = bytes[start..end].iter().filter(|c| **c != ',').collect();
     candidate.parse::<f64>().ok()
 }
 

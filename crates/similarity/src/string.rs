@@ -26,6 +26,63 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Banded Levenshtein distance with early exit: returns `Some(d)` iff the
+/// edit distance is at most `bound`, and `None` as soon as it can prove the
+/// distance exceeds the bound.
+///
+/// Comparison operators discard any distance above their threshold `θ`
+/// (Definition 7 turns it into similarity `0`), so the evaluator only ever
+/// needs distances within the band `⌊θ⌋`.  The dynamic program therefore
+/// fills only the diagonal band of width `2·bound + 1` and abandons a row
+/// once every cell in it exceeds the bound — `O(bound · max(|a|, |b|))`
+/// instead of `O(|a| · |b|)`.  Within the band the values are exactly those
+/// of the full matrix, so `Some(d)` is always the true [`levenshtein`]
+/// distance.
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    if a.is_empty() {
+        return Some(b.len());
+    }
+    if b.is_empty() {
+        return Some(a.len());
+    }
+    // cells outside the band act as "already above the bound"
+    const OUTSIDE: usize = usize::MAX / 2;
+    let mut prev = vec![OUTSIDE; b.len() + 1];
+    let mut current = vec![OUTSIDE; b.len() + 1];
+    for (j, cell) in prev.iter_mut().enumerate().take(b.len().min(bound) + 1) {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        let low = i.saturating_sub(bound);
+        let high = (i + bound).min(b.len());
+        let mut row_min = OUTSIDE;
+        for j in low..=high {
+            let value = if j == 0 {
+                i
+            } else {
+                let substitution = prev[j - 1].saturating_add(usize::from(a[i - 1] != b[j - 1]));
+                let insertion = current[j - 1].saturating_add(1);
+                let deletion = prev[j].saturating_add(1);
+                substitution.min(insertion).min(deletion)
+            };
+            current[j] = value;
+            row_min = row_min.min(value);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut current);
+        current.fill(OUTSIDE);
+    }
+    let distance = prev[b.len()];
+    (distance <= bound).then_some(distance)
+}
+
 /// Levenshtein distance normalised to `[0, 1]` by the longer string length.
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
     let max_len = a.chars().count().max(b.chars().count());
@@ -147,10 +204,43 @@ mod tests {
         assert_eq!(jaro_winkler_similarity("same", "same"), 1.0);
     }
 
+    #[test]
+    fn bounded_levenshtein_known_values() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("same", "same", 0), Some(0));
+        assert_eq!(levenshtein_bounded("", "abc", 3), Some(3));
+        assert_eq!(levenshtein_bounded("", "abc", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "", 5), Some(3));
+        assert_eq!(levenshtein_bounded("Berlin", "berlin", 1), Some(1));
+        assert_eq!(levenshtein_bounded("a", "b", 0), None);
+    }
+
+    #[test]
+    fn bounded_levenshtein_length_difference_short_circuits() {
+        // strings whose lengths differ by more than the bound cannot match
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 3), None);
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 6), Some(6));
+    }
+
     proptest! {
         #[test]
         fn levenshtein_is_symmetric(a in ".{0,20}", b in ".{0,20}") {
             prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        /// Parity with the naive implementation: for every bound, the banded
+        /// version returns exactly the naive distance when it is within the
+        /// bound and `None` otherwise.
+        #[test]
+        fn bounded_levenshtein_matches_naive(a in ".{0,16}", b in ".{0,16}", bound in 0usize..20) {
+            let naive = levenshtein(&a, &b);
+            let banded = levenshtein_bounded(&a, &b, bound);
+            if naive <= bound {
+                prop_assert_eq!(banded, Some(naive), "a={:?} b={:?} bound={}", a, b, bound);
+            } else {
+                prop_assert_eq!(banded, None, "a={:?} b={:?} bound={} naive={}", a, b, bound, naive);
+            }
         }
 
         #[test]

@@ -39,6 +39,37 @@ pub fn dice_distance(a: &[String], b: &[String]) -> f64 {
     1.0 - 2.0 * intersection / (sa.len() + sb.len()) as f64
 }
 
+/// Jaccard distance between two pre-built value sets.
+///
+/// The compiled evaluator caches the `HashSet` per `(entity, value operator)`
+/// so repeated pair evaluations skip the set construction; the counts (and
+/// therefore the result) are exactly those of [`jaccard_distance`] on the
+/// underlying value slices.
+pub fn jaccard_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.iter().filter(|v| b.contains(*v)).count() as f64;
+    let union = (a.len() + b.len()) as f64 - intersection;
+    1.0 - intersection / union
+}
+
+/// Dice distance between two pre-built value sets (see
+/// [`jaccard_distance_sets`] for the caching rationale).
+pub fn dice_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.iter().filter(|v| b.contains(*v)).count() as f64;
+    1.0 - 2.0 * intersection / (a.len() + b.len()) as f64
+}
+
 /// Jaccard distance between two *single* values interpreted as whitespace
 /// separated token bags (used when the measure is applied without a previous
 /// `tokenize` transformation).
@@ -69,7 +100,9 @@ mod tests {
         assert_eq!(jaccard_distance(&vs(&["a", "b"]), &vs(&["a", "b"])), 0.0);
         assert_eq!(jaccard_distance(&vs(&["a"]), &vs(&["b"])), 1.0);
         // {a,b,c} vs {b,c,d}: intersection 2, union 4
-        assert!((jaccard_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 0.5).abs() < 1e-12);
+        assert!(
+            (jaccard_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 0.5).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -92,12 +125,17 @@ mod tests {
         assert_eq!(dice_distance(&vs(&["a", "b"]), &vs(&["a", "b"])), 0.0);
         assert_eq!(dice_distance(&vs(&["a"]), &vs(&["b"])), 1.0);
         // {a,b,c} vs {b,c,d}: 2*2/(3+3) = 2/3 -> distance 1/3
-        assert!((dice_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (dice_distance(&vs(&["a", "b", "c"]), &vs(&["b", "c", "d"])) - 1.0 / 3.0).abs() < 1e-12
+        );
     }
 
     #[test]
     fn value_level_variants_tokenize_on_whitespace() {
-        assert_eq!(jaccard_distance_values("new york times", "times new york"), 0.0);
+        assert_eq!(
+            jaccard_distance_values("new york times", "times new york"),
+            0.0
+        );
         assert!(jaccard_distance_values("new york", "los angeles") > 0.99);
         assert_eq!(dice_distance_values("a b", "b a"), 0.0);
     }

@@ -91,12 +91,20 @@ impl TransformFunction {
     /// Applies the transformation to the value sets produced by the child
     /// operators.
     pub fn apply(&self, inputs: &[Vec<String>]) -> Vec<String> {
+        let slices: Vec<&[String]> = inputs.iter().map(Vec::as_slice).collect();
+        self.apply_slices(&slices)
+    }
+
+    /// [`TransformFunction::apply`] over borrowed value sets; the compiled
+    /// evaluator feeds memoized `Arc<[String]>` slices through this without
+    /// cloning the inputs first.
+    pub fn apply_slices(&self, inputs: &[&[String]]) -> Vec<String> {
         match self {
             TransformFunction::Concatenate => concatenate(inputs),
             _ => {
                 let mut output = Vec::new();
                 for input in inputs {
-                    for value in input {
+                    for value in *input {
                         self.apply_value(value, &mut output);
                     }
                 }
@@ -130,9 +138,7 @@ impl TransformFunction {
                 let digits: String = value.chars().filter(|c| c.is_ascii_digit()).collect();
                 output.push(digits);
             }
-            TransformFunction::NormalizeSeparators => {
-                output.push(value.replace(['-', '_'], " "))
-            }
+            TransformFunction::NormalizeSeparators => output.push(value.replace(['-', '_'], " ")),
             TransformFunction::Concatenate => unreachable!("handled in apply"),
         }
     }
@@ -149,10 +155,7 @@ impl std::fmt::Display for TransformFunction {
 fn strip_uri_prefix(value: &str) -> String {
     let trimmed = value.trim();
     if trimmed.starts_with("http://") || trimmed.starts_with("https://") {
-        let local = trimmed
-            .rsplit(|c| c == '/' || c == '#')
-            .next()
-            .unwrap_or(trimmed);
+        let local = trimmed.rsplit(['/', '#']).next().unwrap_or(trimmed);
         local.replace('_', " ")
     } else {
         trimmed.to_string()
@@ -163,7 +166,9 @@ fn strip_uri_prefix(value: &str) -> String {
 /// conflate plural/singular and simple verb forms in noisy bibliographic data.
 fn stem(value: &str) -> String {
     let lower = value.to_lowercase();
-    let suffixes = ["ization", "ation", "ingly", "edly", "ings", "ing", "ies", "ed", "ly", "s"];
+    let suffixes = [
+        "ization", "ation", "ingly", "edly", "ings", "ing", "ies", "ed", "ly", "s",
+    ];
     for suffix in suffixes {
         if let Some(stripped) = lower.strip_suffix(suffix) {
             if stripped.chars().count() >= 3 {
@@ -180,12 +185,12 @@ fn stem(value: &str) -> String {
 /// the FOAF example of the paper: `firstName × lastName → "first last"`.
 /// Empty inputs are skipped so that a missing middle name does not erase the
 /// whole value.
-fn concatenate(inputs: &[Vec<String>]) -> Vec<String> {
-    let non_empty: Vec<&Vec<String>> = inputs.iter().filter(|i| !i.is_empty()).collect();
+fn concatenate(inputs: &[&[String]]) -> Vec<String> {
+    let non_empty: Vec<&[String]> = inputs.iter().copied().filter(|i| !i.is_empty()).collect();
     if non_empty.is_empty() {
         return Vec::new();
     }
-    let mut result: Vec<String> = non_empty[0].clone();
+    let mut result: Vec<String> = non_empty[0].to_vec();
     for input in &non_empty[1..] {
         let mut next = Vec::with_capacity(result.len() * input.len());
         for prefix in &result {
@@ -250,7 +255,9 @@ mod tests {
     fn concatenate_skips_empty_inputs() {
         let out = TransformFunction::Concatenate.apply(&[vs(&["Ada"]), vec![], vs(&["Lovelace"])]);
         assert_eq!(out, vs(&["Ada Lovelace"]));
-        assert!(TransformFunction::Concatenate.apply(&[vec![], vec![]]).is_empty());
+        assert!(TransformFunction::Concatenate
+            .apply(&[vec![], vec![]])
+            .is_empty());
     }
 
     #[test]
@@ -305,7 +312,8 @@ mod tests {
 
     #[test]
     fn chaining_lowercase_after_tokenize_matches_paper_normalisation() {
-        let tokens = TransformFunction::Tokenize.apply(&[vs(&["Learning Expressive Linkage-Rules"])]);
+        let tokens =
+            TransformFunction::Tokenize.apply(&[vs(&["Learning Expressive Linkage-Rules"])]);
         let lowered = TransformFunction::LowerCase.apply(&[tokens]);
         assert_eq!(lowered, vs(&["learning", "expressive", "linkage", "rules"]));
     }
@@ -313,8 +321,8 @@ mod tests {
     proptest! {
         #[test]
         fn lowercase_is_idempotent(values in proptest::collection::vec(".{0,12}", 0..5)) {
-            let once = TransformFunction::LowerCase.apply(&[values.clone()]);
-            let twice = TransformFunction::LowerCase.apply(&[once.clone()]);
+            let once = TransformFunction::LowerCase.apply(std::slice::from_ref(&values));
+            let twice = TransformFunction::LowerCase.apply(std::slice::from_ref(&once));
             prop_assert_eq!(once, twice);
         }
 
@@ -330,14 +338,14 @@ mod tests {
         #[test]
         fn tokenize_is_idempotent(values in proptest::collection::vec("[a-zA-Z0-9 ,.-]{0,16}", 0..5)) {
             let once = TransformFunction::Tokenize.apply(&[values]);
-            let twice = TransformFunction::Tokenize.apply(&[once.clone()]);
+            let twice = TransformFunction::Tokenize.apply(std::slice::from_ref(&once));
             prop_assert_eq!(once, twice);
         }
 
         #[test]
         fn single_input_transforms_never_panic(values in proptest::collection::vec(".{0,16}", 0..4)) {
             for f in TransformFunction::ALL {
-                let _ = f.apply(&[values.clone()]);
+                let _ = f.apply(std::slice::from_ref(&values));
             }
         }
 

@@ -1,0 +1,38 @@
+//! Small runtime helpers shared across otherwise-unrelated layers, so e.g.
+//! the matching engine does not have to depend on the GP crate to reuse a
+//! thread-count resolver.
+
+/// Resolves a thread-count configuration value: `0` means "use every
+/// available core", anything else is taken literally.  Shared by the GP
+/// engine and the matching engine so the `available_parallelism` fallback
+/// logic lives in exactly one place.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_pass_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        let resolved = resolve_threads(0);
+        assert!(resolved >= 1);
+        let expected = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(resolved, expected);
+    }
+}

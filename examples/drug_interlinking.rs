@@ -37,10 +37,16 @@ fn main() {
     let (train, validation) = dataset.links.split_train_validation(0.5, &mut rng);
 
     section("GenLink without transformations (boolean representation)");
-    let restricted = GenLink::new(example_config().with_representation(RepresentationMode::Boolean))
-        .learn(&dataset.source, &dataset.target, &train, 5);
-    let restricted_matrix =
-        evaluate_rule_on_links(&restricted.rule, &validation, &dataset.source, &dataset.target);
+    let restricted = GenLink::new(
+        example_config().with_representation(RepresentationMode::Boolean),
+    )
+    .learn(&dataset.source, &dataset.target, &train, 5);
+    let restricted_matrix = evaluate_rule_on_links(
+        &restricted.rule,
+        &validation,
+        &dataset.source,
+        &dataset.target,
+    );
     println!("validation: {restricted_matrix}");
 
     section("GenLink with the full representation");

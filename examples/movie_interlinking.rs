@@ -41,7 +41,8 @@ fn main() {
     println!("(titles are ambiguous, so precision suffers)");
 
     section("GenLink");
-    let outcome = GenLink::new(example_config()).learn(&dataset.source, &dataset.target, &train, 21);
+    let outcome =
+        GenLink::new(example_config()).learn(&dataset.source, &dataset.target, &train, 21);
     println!("learned rule ({} iterations):", outcome.iterations);
     println!("{}", render_rule(&outcome.rule));
     let val_matrix =

@@ -15,31 +15,85 @@ fn main() {
     //    source uses `label`/`point`, the target `name`/`coord`, and the
     //    target labels are lower case.
     let source = DataSourceBuilder::new("cities-a", ["label", "point", "country"])
-        .entity("a:berlin", [("label", "Berlin"), ("point", "52.5200 13.4050"), ("country", "Germany")])
+        .entity(
+            "a:berlin",
+            [
+                ("label", "Berlin"),
+                ("point", "52.5200 13.4050"),
+                ("country", "Germany"),
+            ],
+        )
         .unwrap()
-        .entity("a:paris", [("label", "Paris"), ("point", "48.8566 2.3522"), ("country", "France")])
+        .entity(
+            "a:paris",
+            [
+                ("label", "Paris"),
+                ("point", "48.8566 2.3522"),
+                ("country", "France"),
+            ],
+        )
         .unwrap()
-        .entity("a:rome", [("label", "Rome"), ("point", "41.9028 12.4964"), ("country", "Italy")])
+        .entity(
+            "a:rome",
+            [
+                ("label", "Rome"),
+                ("point", "41.9028 12.4964"),
+                ("country", "Italy"),
+            ],
+        )
         .unwrap()
-        .entity("a:vienna", [("label", "Vienna"), ("point", "48.2082 16.3738"), ("country", "Austria")])
+        .entity(
+            "a:vienna",
+            [
+                ("label", "Vienna"),
+                ("point", "48.2082 16.3738"),
+                ("country", "Austria"),
+            ],
+        )
         .unwrap()
-        .entity("a:madrid", [("label", "Madrid"), ("point", "40.4168 -3.7038"), ("country", "Spain")])
+        .entity(
+            "a:madrid",
+            [
+                ("label", "Madrid"),
+                ("point", "40.4168 -3.7038"),
+                ("country", "Spain"),
+            ],
+        )
         .unwrap()
-        .entity("a:lisbon", [("label", "Lisbon"), ("point", "38.7223 -9.1393"), ("country", "Portugal")])
+        .entity(
+            "a:lisbon",
+            [
+                ("label", "Lisbon"),
+                ("point", "38.7223 -9.1393"),
+                ("country", "Portugal"),
+            ],
+        )
         .unwrap()
         .build();
     let target = DataSourceBuilder::new("cities-b", ["name", "coord"])
-        .entity("b:berlin", [("name", "berlin"), ("coord", "52.5201 13.4049")])
+        .entity(
+            "b:berlin",
+            [("name", "berlin"), ("coord", "52.5201 13.4049")],
+        )
         .unwrap()
         .entity("b:paris", [("name", "paris"), ("coord", "48.8570 2.3520")])
         .unwrap()
         .entity("b:rome", [("name", "roma"), ("coord", "41.9030 12.4960")])
         .unwrap()
-        .entity("b:vienna", [("name", "wien vienna"), ("coord", "48.2080 16.3740")])
+        .entity(
+            "b:vienna",
+            [("name", "wien vienna"), ("coord", "48.2080 16.3740")],
+        )
         .unwrap()
-        .entity("b:madrid", [("name", "madrid"), ("coord", "40.4170 -3.7040")])
+        .entity(
+            "b:madrid",
+            [("name", "madrid"), ("coord", "40.4170 -3.7040")],
+        )
         .unwrap()
-        .entity("b:lisbon", [("name", "lisbon"), ("coord", "38.7220 -9.1390")])
+        .entity(
+            "b:lisbon",
+            [("name", "lisbon"), ("coord", "38.7220 -9.1390")],
+        )
         .unwrap()
         .build();
 
@@ -75,7 +129,10 @@ fn main() {
     section("matching");
     let report = MatchingEngine::new(outcome.rule.clone()).run(&source, &target);
     for link in &report.links {
-        println!("{} <-> {} (score {:.2})", link.source, link.target, link.score);
+        println!(
+            "{} <-> {} (score {:.2})",
+            link.source, link.target, link.score
+        );
     }
     println!(
         "evaluated {} of {} possible pairs ({:.0}% pruned by blocking)",

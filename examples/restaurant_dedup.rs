@@ -21,7 +21,11 @@ fn main() {
     let stats = dataset.statistics();
     println!(
         "{}: {} + {} entities, {} positive / {} negative reference links",
-        stats.name, stats.source_entities, stats.target_entities, stats.positive_links, stats.negative_links
+        stats.name,
+        stats.source_entities,
+        stats.target_entities,
+        stats.positive_links,
+        stats.negative_links
     );
 
     let mut rng = StdRng::seed_from_u64(7);
@@ -29,15 +33,18 @@ fn main() {
 
     section("baseline: exact name match (lower-cased)");
     let baseline = exact_match_rule("name", "name");
-    let baseline_matrix = evaluate_rule_on_links(&baseline, &validation, &dataset.source, &dataset.target);
+    let baseline_matrix =
+        evaluate_rule_on_links(&baseline, &validation, &dataset.source, &dataset.target);
     println!("validation: {baseline_matrix}");
 
     section("GenLink");
     let outcome = GenLink::new(example_config()).learn(&dataset.source, &dataset.target, &train, 7);
     println!("learned rule ({} iterations):", outcome.iterations);
     println!("{}", render_rule(&outcome.rule));
-    let train_matrix = evaluate_rule_on_links(&outcome.rule, &train, &dataset.source, &dataset.target);
-    let val_matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    let train_matrix =
+        evaluate_rule_on_links(&outcome.rule, &train, &dataset.source, &dataset.target);
+    let val_matrix =
+        evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
     println!("training:   {train_matrix}");
     println!("validation: {val_matrix}");
 

@@ -1,0 +1,238 @@
+//! Minimal vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides [`Criterion`], [`black_box`], benchmark groups and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.  Each benchmark is warmed
+//! up briefly, then timed in batches until a wall-clock budget is spent; the
+//! mean time per iteration is printed.  There is no statistical analysis or
+//! HTML report — the numbers are for tracking relative changes.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON object per
+//! benchmark (`{"name": ..., "ns_per_iter": ..., "iters": ...}`) to a file,
+//! which is how `BENCH_eval.json` style artifacts are produced.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher {
+            budget: self.measurement,
+            samples: self.sample_size,
+            measured: None,
+        };
+        body(&mut bencher);
+        let (ns_per_iter, iters) = bencher.measured.unwrap_or((0.0, 0));
+        println!("bench {name:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+        let result = BenchResult {
+            name,
+            ns_per_iter,
+            iters,
+        };
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                    result.name, result.ns_per_iter, result.iters
+                );
+            }
+        }
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for the following benchmarks.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, body);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times a closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    measured: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Benchmarks the closure: short warm-up, then `samples` timed batches
+    /// within the wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // warm-up: determine a batch size that takes roughly budget/samples
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) && warmup_iters < 1_000_000 {
+            black_box(body());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let batch_budget = self.budget.as_nanos() as f64 / self.samples.max(1) as f64;
+        let batch = ((batch_budget / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            if run_start.elapsed() > self.budget * 2 {
+                break;
+            }
+        }
+        self.measured = Some((total_ns / total_iters.max(1) as f64, total_iters));
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+    }
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut criterion = quick();
+        criterion.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(criterion.results().len(), 1);
+        assert!(criterion.results()[0].ns_per_iter > 0.0);
+        assert!(criterion.results()[0].iters > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(criterion.results()[0].name, "g/f");
+    }
+}

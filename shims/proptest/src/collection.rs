@@ -1,0 +1,33 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// A strategy producing vectors of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+/// Builds a vector strategy with lengths drawn from `size` (a `a..b` range,
+/// exclusive upper bound, matching proptest's `vec(strategy, range)`).
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy {
+        element,
+        min: size.start,
+        max_exclusive: size.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng().gen_range(self.min..self.max_exclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

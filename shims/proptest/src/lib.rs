@@ -1,0 +1,138 @@
+//! Minimal vendored subset of the `proptest` API.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, integer
+//! and float range strategies, a small regex-pattern string strategy
+//! (`.`/`[...]` atoms with `{m,n}` repetition) and [`collection::vec`].
+//!
+//! Each property runs `PROPTEST_CASES` cases (default 128) with an RNG
+//! seeded deterministically from the test name, so failures are
+//! reproducible.  There is no shrinking; the failing inputs are printed via
+//! the standard assertion message instead.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{PatternStrategy, Strategy, TestRng};
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Number of cases every property runs (`PROPTEST_CASES` overrides).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies [`cases`] times (or the
+/// count from a leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::TestRng::for_test(stringify!($name));
+                for proptest_case in 0..$config.cases {
+                    let _ = proptest_case;
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut proptest_rng = $crate::TestRng::for_test(stringify!($name));
+                for proptest_case in 0..$crate::cases() {
+                    let _ = proptest_case;
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property (no shrinking; plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_respects_length_and_class() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c]{1,2}", &mut rng);
+            assert!((1..=2).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let any = Strategy::sample(&".{0,5}", &mut rng);
+            assert!(any.chars().count() <= 5);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = Strategy::sample(&crate::collection::vec(0usize..5, 2..4), &mut rng);
+            assert!((2..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_runnable_tests(a in 0usize..10, b in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn class_with_literals_parses(s in "[a-zA-Z0-9 ,.-]{0,16}") {
+            for c in s.chars() {
+                prop_assert!(
+                    c.is_ascii_alphanumeric() || c == ' ' || c == ',' || c == '.' || c == '-',
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+}

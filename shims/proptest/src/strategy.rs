@@ -1,0 +1,222 @@
+//! Strategies: deterministic samplers for property inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving property tests, seeded from the test name so every run of
+/// a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from the test name (FNV-1a of the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// A sampler of values for one property input.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// One parsed atom of a string pattern.
+#[derive(Debug, Clone, PartialEq)]
+enum Atom {
+    /// `.` — any printable character.
+    Any,
+    /// `[...]` — ranges and literal characters.
+    Class(Vec<(char, char)>),
+}
+
+/// A piece of a pattern: an atom with a `{min,max}` repetition.
+#[derive(Debug, Clone, PartialEq)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled string pattern covering the `.`/`[...]`/`{m,n}` regex subset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStrategy {
+    pieces: Vec<Piece>,
+}
+
+/// Characters `.` samples from: printable ASCII plus a few non-ASCII code
+/// points so Unicode handling gets exercised.
+const ANY_EXTRAS: [char; 6] = ['é', 'ü', 'ß', 'Ω', '中', '€'];
+
+impl PatternStrategy {
+    /// Parses a pattern; panics on syntax outside the supported subset so a
+    /// typo in a test fails loudly.
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut class_chars: Vec<char> = Vec::new();
+                    for member in chars.by_ref() {
+                        if member == ']' {
+                            break;
+                        }
+                        class_chars.push(member);
+                    }
+                    let mut i = 0;
+                    while i < class_chars.len() {
+                        if i + 2 < class_chars.len() && class_chars[i + 1] == '-' {
+                            members.push((class_chars[i], class_chars[i + 2]));
+                            i += 3;
+                        } else {
+                            members.push((class_chars[i], class_chars[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        !members.is_empty(),
+                        "empty character class in pattern {pattern:?}"
+                    );
+                    Atom::Class(members)
+                }
+                other => Atom::Class(vec![(other, other)]),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for digit in chars.by_ref() {
+                    if digit == '}' {
+                        break;
+                    }
+                    spec.push(digit);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = spec
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        PatternStrategy { pieces }
+    }
+
+    fn sample_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => {
+                // mostly printable ASCII, occasionally beyond
+                if rng.rng().gen_bool(0.9) {
+                    rng.rng().gen_range(0x20u32..0x7f) as u8 as char
+                } else {
+                    ANY_EXTRAS[rng.rng().gen_range(0..ANY_EXTRAS.len())]
+                }
+            }
+            Atom::Class(members) => {
+                let (lo, hi) = members[rng.rng().gen_range(0..members.len())];
+                char::from_u32(rng.rng().gen_range(lo as u32..=hi as u32))
+                    .expect("class ranges stay within valid scalar values")
+            }
+        }
+    }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.rng().gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(Self::sample_char(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        PatternStrategy::parse(self).sample(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        PatternStrategy::parse(self).sample(rng)
+    }
+}

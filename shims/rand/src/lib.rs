@@ -1,0 +1,236 @@
+//! Minimal vendored subset of the `rand` crate API.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! exact surface the workspace uses: [`rngs::StdRng`], [`SeedableRng`],
+//! [`Rng::gen`], [`Rng::gen_bool`], [`Rng::gen_range`] and
+//! [`seq::SliceRandom`].  The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic per seed, but *not* stream-compatible with
+//! upstream rand's ChaCha12-based `StdRng`.
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of a type with a standard distribution (`f64` in
+    /// `[0, 1)`, uniform integers, fair `bool`).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        f64::sample_standard(self) < p
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable without parameters (the `Standard` distribution).
+pub trait SampleStandard {
+    /// Samples one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Types with uniform sampling over an interval.  Implemented per type;
+/// [`SampleRange`] stays generic over `T` so integer-literal ranges infer
+/// their type from the call site, exactly like upstream rand.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// A uniform value in `[low, high)` (`high` itself included when
+    /// `inclusive` is set).
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, low: $t, high: $t, inclusive: bool) -> $t {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from empty range");
+                let value = (rng.next_u64() as u128) % span;
+                (low as i128 + value as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: f64, high: f64, _inclusive: bool) -> f64 {
+        assert!(low <= high, "cannot sample from empty range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: f32, high: f32, _inclusive: bool) -> f32 {
+        assert!(low <= high, "cannot sample from empty range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=5u32);
+            assert!(w <= 5);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let neg = rng.gen_range(-10i32..-5);
+            assert!((-10..-5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 1000.0;
+        assert!((0.35..0.65).contains(&mean), "mean was {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&hits), "hits were {hits}");
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_the_slice() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let items = [1, 2, 3, 4, 5];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*items.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), items.len());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let mut shuffled = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        shuffled.shuffle(&mut rng);
+        let mut sorted = shuffled.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Slice sampling helpers, mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, SampleRange, SampleStandard};
+
+/// Why a weighted choice failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The slice was empty or all weights were zero/negative.
+    NoItem,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("no item with positive weight to choose from")
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// An element chosen with probability proportional to `weight`.
+    fn choose_weighted<R: Rng, F>(
+        &self,
+        rng: &mut R,
+        weight: F,
+    ) -> Result<&Self::Item, WeightedError>
+    where
+        F: Fn(&Self::Item) -> f64;
+
+    /// Shuffles the slice in place (Fisher-Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let index = (0..self.len()).sample_from(rng);
+            self.get(index)
+        }
+    }
+
+    fn choose_weighted<R: Rng, F>(&self, rng: &mut R, weight: F) -> Result<&T, WeightedError>
+    where
+        F: Fn(&T) -> f64,
+    {
+        let total: f64 = self.iter().map(|item| weight(item).max(0.0)).sum();
+        // NaN totals (a NaN weight) must also bail out, so compare explicitly
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(WeightedError::NoItem);
+        }
+        let mut remaining = f64::sample_standard(rng) * total;
+        for item in self {
+            remaining -= weight(item).max(0.0);
+            if remaining <= 0.0 {
+                return Ok(item);
+            }
+        }
+        self.last().ok_or(WeightedError::NoItem)
+    }
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_from(rng);
+            self.swap(i, j);
+        }
+    }
+}

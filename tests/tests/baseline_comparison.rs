@@ -19,13 +19,14 @@ fn genlink_is_competitive_with_the_carvalho_baseline_on_cora() {
     genlink_config.gp.max_iterations = 12;
     let genlink = GenLink::new(genlink_config).learn(&dataset.source, &dataset.target, &train, 41);
     let genlink_f1 =
-        evaluate_rule_on_links(&genlink.rule, &validation, &dataset.source, &dataset.target).f_measure();
+        evaluate_rule_on_links(&genlink.rule, &validation, &dataset.source, &dataset.target)
+            .f_measure();
 
     let mut carvalho_config = CarvalhoConfig::fast();
     carvalho_config.gp.population_size = 80;
     carvalho_config.gp.max_iterations = 12;
-    let carvalho = CarvalhoLearner::new(carvalho_config)
-        .learn(&dataset.source, &dataset.target, &train, 41);
+    let carvalho =
+        CarvalhoLearner::new(carvalho_config).learn(&dataset.source, &dataset.target, &train, 41);
     let carvalho_f1 = carvalho
         .evaluate_on_links(&validation, &dataset.source, &dataset.target)
         .f_measure();
@@ -53,9 +54,17 @@ fn both_learners_are_deterministic_under_a_fixed_seed() {
     let mut carvalho_config = CarvalhoConfig::fast();
     carvalho_config.gp.population_size = 40;
     carvalho_config.gp.max_iterations = 5;
-    let ca = CarvalhoLearner::new(carvalho_config.clone())
-        .learn(&dataset.source, &dataset.target, &dataset.links, 1);
-    let cb = CarvalhoLearner::new(carvalho_config)
-        .learn(&dataset.source, &dataset.target, &dataset.links, 1);
+    let ca = CarvalhoLearner::new(carvalho_config.clone()).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        1,
+    );
+    let cb = CarvalhoLearner::new(carvalho_config).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        1,
+    );
     assert_eq!(ca.expression, cb.expression);
 }

@@ -1,0 +1,142 @@
+//! Property-based parity: the compiled evaluation plan is bit-identical to
+//! the tree-walking reference oracle.
+//!
+//! Random rules (drawn from the same generator the GP search uses, plus
+//! crossover offspring for deeper trees) are evaluated on random entity
+//! pairs from a generated dataset; every score must match
+//! [`LinkageRule::evaluate`] exactly — not approximately — because the
+//! learner's selection decisions depend on exact fitness comparisons.
+
+use genlink::random::RandomRuleGenerator;
+use genlink::{CompatiblePair, CrossoverOperator, RepresentationMode};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::EntityPair;
+use linkdisc_evaluation::{evaluate_compiled, evaluate_rule};
+use linkdisc_rule::{CompiledRule, DistanceFunction, LinkageRule, ValueCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compatible pairs over the Cora schema (title/author/venue/date on both
+/// sides), giving the generator realistic properties to draw from.
+fn cora_pairs() -> Vec<CompatiblePair> {
+    let functions = [
+        DistanceFunction::Levenshtein,
+        DistanceFunction::Jaccard,
+        DistanceFunction::Numeric,
+        DistanceFunction::Date,
+        DistanceFunction::Dice,
+        DistanceFunction::Equality,
+    ];
+    ["title", "author", "venue", "date"]
+        .iter()
+        .enumerate()
+        .map(|(i, property)| CompatiblePair {
+            source_property: property.to_string(),
+            target_property: property.to_string(),
+            function: functions[i % functions.len()],
+            support: 0.5,
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_scores_match_tree_walk_on_1000_random_rule_pair_combinations() {
+    let dataset = DatasetKind::Cora.generate(0.1, 17);
+    let source_entities = dataset.source.entities();
+    let target_entities = dataset.target.entities();
+    assert!(!source_entities.is_empty() && !target_entities.is_empty());
+    let resolved = linkdisc_entity::ResolvedReferenceLinks::resolve(
+        &dataset.links,
+        &dataset.source,
+        &dataset.target,
+    );
+    let positives = resolved.positive();
+    assert!(!positives.is_empty());
+
+    let mut generator = RandomRuleGenerator::new(cora_pairs(), RepresentationMode::Full);
+    generator.transformation_probability = 0.6;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    let mut combinations = 0usize;
+    let mut nonzero_scores = 0usize;
+    let cache = ValueCache::new();
+    for rule_index in 0..60 {
+        // every third rule is a crossover offspring of two random rules, so
+        // the sample includes deeper trees than the generator alone produces
+        let rule: LinkageRule = if rule_index % 3 == 2 {
+            let a = generator.generate(&mut rng);
+            let b = generator.generate(&mut rng);
+            let operator =
+                CrossoverOperator::SPECIALIZED[rule_index % CrossoverOperator::SPECIALIZED.len()];
+            operator.apply(&a, &b, &mut rng)
+        } else {
+            generator.generate(&mut rng)
+        };
+        let compiled =
+            CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+        for pair_index in 0..20 {
+            // half the pairs are actual matches (resolved positive links),
+            // half are random cross-product pairs, so both the high- and
+            // low-similarity code paths are exercised
+            let pair = if pair_index % 2 == 0 {
+                positives[rng.gen_range(0..positives.len())]
+            } else {
+                EntityPair::new(
+                    &source_entities[rng.gen_range(0..source_entities.len())],
+                    &target_entities[rng.gen_range(0..target_entities.len())],
+                )
+            };
+            let tree_walk = rule.evaluate(&pair);
+            let fast = compiled.evaluate(&pair, &cache);
+            assert!(
+                tree_walk.to_bits() == fast.to_bits(),
+                "score mismatch for rule {rule:?} on ({}, {}): tree walk {tree_walk} vs compiled {fast}",
+                pair.source.id(),
+                pair.target.id(),
+            );
+            combinations += 1;
+            if tree_walk > 0.0 {
+                nonzero_scores += 1;
+            }
+        }
+    }
+    assert!(
+        combinations >= 1000,
+        "only {combinations} combinations exercised"
+    );
+    // the sample must exercise real similarity paths, not just all-zero rules
+    assert!(nonzero_scores > 50, "only {nonzero_scores} non-zero scores");
+    // transformation chains repeat across rules, so the shared cache must hit
+    assert!(cache.hits() > 0, "value cache never warmed up");
+    assert!(!cache.is_empty());
+}
+
+#[test]
+fn compiled_confusion_matrices_match_on_reference_links() {
+    let dataset = DatasetKind::Restaurant.generate(0.2, 5);
+    let resolved = linkdisc_entity::ResolvedReferenceLinks::resolve(
+        &dataset.links,
+        &dataset.source,
+        &dataset.target,
+    );
+    let mut generator = RandomRuleGenerator::new(
+        vec![CompatiblePair {
+            source_property: "name".into(),
+            target_property: "name".into(),
+            function: DistanceFunction::Levenshtein,
+            support: 1.0,
+        }],
+        RepresentationMode::Full,
+    );
+    generator.transformation_probability = 0.5;
+    let mut rng = StdRng::seed_from_u64(7);
+    let cache = ValueCache::new();
+    for _ in 0..25 {
+        let rule = generator.generate(&mut rng);
+        let compiled =
+            CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+        let oracle = evaluate_rule(&rule, &resolved);
+        let fast = evaluate_compiled(&compiled, &resolved, &cache);
+        assert_eq!(oracle, fast, "matrices diverged for {rule:?}");
+    }
+}

@@ -24,7 +24,8 @@ fn learns_accurate_rules_on_the_restaurant_dataset() {
     let dataset = DatasetKind::Restaurant.generate(0.4, 11);
     let (train, validation) = split(&dataset, 11);
     let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 11);
-    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    let matrix =
+        evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
     assert!(
         matrix.f_measure() > 0.85,
         "Restaurant validation F1 was {}",
@@ -37,7 +38,8 @@ fn learns_accurate_rules_on_the_cora_dataset() {
     let dataset = DatasetKind::Cora.generate(0.06, 13);
     let (train, validation) = split(&dataset, 13);
     let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 13);
-    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    let matrix =
+        evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
     assert!(
         matrix.f_measure() > 0.8,
         "Cora validation F1 was {}",
@@ -50,7 +52,8 @@ fn learns_on_a_wide_sparse_linked_data_dataset() {
     let dataset = DatasetKind::LinkedMdb.generate(0.6, 17);
     let (train, validation) = split(&dataset, 17);
     let outcome = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 17);
-    let matrix = evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
+    let matrix =
+        evaluate_rule_on_links(&outcome.rule, &validation, &dataset.source, &dataset.target);
     assert!(
         matrix.f_measure() > 0.75,
         "LinkedMDB validation F1 was {}",
@@ -76,10 +79,11 @@ fn full_representation_beats_boolean_on_case_noisy_data() {
     let full = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 23);
     let boolean = GenLink::new(test_config().with_representation(RepresentationMode::Boolean))
         .learn(&dataset.source, &dataset.target, &train, 23);
-    let full_f1 =
-        evaluate_rule_on_links(&full.rule, &validation, &dataset.source, &dataset.target).f_measure();
+    let full_f1 = evaluate_rule_on_links(&full.rule, &validation, &dataset.source, &dataset.target)
+        .f_measure();
     let boolean_f1 =
-        evaluate_rule_on_links(&boolean.rule, &validation, &dataset.source, &dataset.target).f_measure();
+        evaluate_rule_on_links(&boolean.rule, &validation, &dataset.source, &dataset.target)
+            .f_measure();
     assert!(
         full_f1 + 0.02 >= boolean_f1,
         "full {full_f1} should not be clearly worse than boolean {boolean_f1}"
@@ -91,10 +95,18 @@ fn seeded_initial_population_is_better_on_many_property_data() {
     let dataset = DatasetKind::LinkedMdb.generate(0.4, 29);
     let mut config = test_config();
     config.gp.max_iterations = 0;
-    let seeded = GenLink::new(config.clone().with_seeding(SeedingStrategy::Seeded))
-        .learn(&dataset.source, &dataset.target, &dataset.links, 29);
-    let random = GenLink::new(config.with_seeding(SeedingStrategy::Random))
-        .learn(&dataset.source, &dataset.target, &dataset.links, 29);
+    let seeded = GenLink::new(config.clone().with_seeding(SeedingStrategy::Seeded)).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        29,
+    );
+    let random = GenLink::new(config.with_seeding(SeedingStrategy::Random)).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        29,
+    );
     assert!(
         seeded.initial_mean_f_measure > random.initial_mean_f_measure,
         "seeded {} should beat random {}",
@@ -107,14 +119,19 @@ fn seeded_initial_population_is_better_on_many_property_data() {
 fn specialized_operators_are_not_worse_than_subtree_crossover() {
     let dataset = DatasetKind::Restaurant.generate(0.3, 31);
     let (train, validation) = split(&dataset, 31);
-    let specialized = GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 31);
+    let specialized =
+        GenLink::new(test_config()).learn(&dataset.source, &dataset.target, &train, 31);
     let subtree = GenLink::new(
         test_config().with_crossover_operators(CrossoverOperator::SUBTREE_ONLY.to_vec()),
     )
     .learn(&dataset.source, &dataset.target, &train, 31);
-    let specialized_f1 =
-        evaluate_rule_on_links(&specialized.rule, &validation, &dataset.source, &dataset.target)
-            .f_measure();
+    let specialized_f1 = evaluate_rule_on_links(
+        &specialized.rule,
+        &validation,
+        &dataset.source,
+        &dataset.target,
+    )
+    .f_measure();
     let subtree_f1 =
         evaluate_rule_on_links(&subtree.rule, &validation, &dataset.source, &dataset.target)
             .f_measure();

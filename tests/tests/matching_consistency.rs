@@ -4,7 +4,9 @@
 use linkdisc_datasets::DatasetKind;
 use linkdisc_entity::EntityPair;
 use linkdisc_matching::{MatchingEngine, MatchingOptions};
-use linkdisc_rule::{compare, property, transform, DistanceFunction, LinkageRule, TransformFunction};
+use linkdisc_rule::{
+    compare, property, transform, DistanceFunction, LinkageRule, TransformFunction,
+};
 use std::collections::HashSet;
 
 fn title_rule() -> LinkageRule {
@@ -32,7 +34,10 @@ fn engine_without_blocking_agrees_with_brute_force() {
     for source_entity in dataset.source.entities() {
         for target_entity in dataset.target.entities() {
             if rule.is_link(&EntityPair::new(source_entity, target_entity)) {
-                expected.insert((source_entity.id().to_string(), target_entity.id().to_string()));
+                expected.insert((
+                    source_entity.id().to_string(),
+                    target_entity.id().to_string(),
+                ));
             }
         }
     }
@@ -56,12 +61,22 @@ fn blocking_never_adds_links_and_keeps_exact_token_matches() {
     )
     .into();
     let full = MatchingEngine::new(rule.clone())
-        .with_options(MatchingOptions { use_blocking: false, ..MatchingOptions::default() })
+        .with_options(MatchingOptions {
+            use_blocking: false,
+            ..MatchingOptions::default()
+        })
         .run(&dataset.source, &dataset.target);
     let blocked = MatchingEngine::new(rule).run(&dataset.source, &dataset.target);
-    let full_set: HashSet<_> = full.links.iter().map(|l| (l.source.clone(), l.target.clone())).collect();
-    let blocked_set: HashSet<_> =
-        blocked.links.iter().map(|l| (l.source.clone(), l.target.clone())).collect();
+    let full_set: HashSet<_> = full
+        .links
+        .iter()
+        .map(|l| (l.source.clone(), l.target.clone()))
+        .collect();
+    let blocked_set: HashSet<_> = blocked
+        .links
+        .iter()
+        .map(|l| (l.source.clone(), l.target.clone()))
+        .collect();
     assert!(blocked_set.is_subset(&full_set));
     // near-exact name matches share tokens, so blocking loses nothing here
     assert_eq!(blocked_set, full_set);
@@ -93,7 +108,10 @@ fn engine_recovers_most_reference_links_with_a_good_rule() {
     )
     .into();
     let report = MatchingEngine::new(rule)
-        .with_options(MatchingOptions { best_match_only: true, ..MatchingOptions::default() })
+        .with_options(MatchingOptions {
+            best_match_only: true,
+            ..MatchingOptions::default()
+        })
         .run(&dataset.source, &dataset.target);
     let produced: HashSet<(String, String)> = report
         .links

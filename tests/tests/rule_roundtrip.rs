@@ -12,7 +12,8 @@ fn learned_rule(seed: u64) -> (linkdisc_datasets::Dataset, linkdisc_rule::Linkag
     let mut config = GenLinkConfig::fast();
     config.gp.population_size = 50;
     config.gp.max_iterations = 8;
-    let outcome = GenLink::new(config).learn(&dataset.source, &dataset.target, &dataset.links, seed);
+    let outcome =
+        GenLink::new(config).learn(&dataset.source, &dataset.target, &dataset.links, seed);
     (dataset, outcome.rule)
 }
 
