@@ -1,0 +1,302 @@
+//! Matching-engine benchmark: MultiBlock candidate generation versus the
+//! full cross product, with results emitted to `BENCH_matching.json`.
+//!
+//! Three workloads exercise the candidate pipeline end-to-end:
+//!
+//! 1. **cora** — a Cora-style bibliographic workload matched by a fuzzy
+//!    Levenshtein rule over lower-cased titles (typos: no exact string
+//!    equality to block on),
+//! 2. **restaurant** — a restaurant workload matched by a conjunction of
+//!    fuzzy name and normalised phone comparisons (exercises plan
+//!    intersection),
+//! 3. **restaurant-phone** — phone numbers compared through a `digitsOnly`
+//!    transform: a quarter of the true matches share *no* exact token
+//!    between their raw values, which the legacy token index provably
+//!    misses (reported as `token_index_missed_links`), while MultiBlock
+//!    keeps every one of them.
+//!
+//! Gates (CI fails when either is violated on any workload):
+//!
+//! * **recall == 1.0** — the indexed run must produce the identical link set
+//!   as the exhaustive run (losslessness),
+//! * **evaluated fraction < 0.30** — the indexed run must evaluate fewer
+//!   than 30% of the cross-product pairs (reduction ratio > 0.70).
+//!
+//! Environment: `GENLINK_BENCH_MATCH_OUT` (output path, default
+//! `BENCH_matching.json`).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use linkdisc_datasets::{Dataset, DatasetKind};
+use linkdisc_matching::{BlockingIndex, MatchingEngine, MatchingOptions};
+use linkdisc_rule::{
+    aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
+    TransformFunction,
+};
+
+const MAX_EVALUATED_FRACTION: f64 = 0.30;
+
+struct WorkloadResult {
+    name: &'static str,
+    cross_product: usize,
+    evaluated_pairs: usize,
+    evaluated_fraction: f64,
+    links: usize,
+    recall: f64,
+    token_index_missed_links: usize,
+    full_ms: f64,
+    blocked_ms: f64,
+}
+
+fn run_workload(name: &'static str, dataset: &Dataset, rule: LinkageRule) -> WorkloadResult {
+    println!("--- workload {name} ---");
+    println!(
+        "|A|={} |B|={} cross product={}",
+        dataset.source.len(),
+        dataset.target.len(),
+        dataset.source.len() * dataset.target.len()
+    );
+    println!("rule: {}", linkdisc_rule::print_rule(&rule));
+
+    let start = Instant::now();
+    let full = MatchingEngine::new(rule.clone())
+        .with_options(MatchingOptions {
+            use_blocking: false,
+            ..MatchingOptions::default()
+        })
+        .run(&dataset.source, &dataset.target);
+    let full_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let blocked = MatchingEngine::new(rule.clone()).run(&dataset.source, &dataset.target);
+    let blocked_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let full_set: HashSet<(&str, &str)> = full
+        .links
+        .iter()
+        .map(|l| (l.source.as_str(), l.target.as_str()))
+        .collect();
+    let blocked_set: HashSet<(&str, &str)> = blocked
+        .links
+        .iter()
+        .map(|l| (l.source.as_str(), l.target.as_str()))
+        .collect();
+    let recall = if full_set.is_empty() {
+        1.0
+    } else {
+        full_set.intersection(&blocked_set).count() as f64 / full_set.len() as f64
+    };
+    let spurious = blocked_set.difference(&full_set).count();
+    let evaluated_fraction = if blocked.cross_product == 0 {
+        0.0
+    } else {
+        blocked.evaluated_pairs as f64 / blocked.cross_product as f64
+    };
+
+    // how many true links the legacy token index would have pruned: a pair
+    // is missed when the target entity is not among the token candidates of
+    // the source entity on the rule's raw properties
+    let (source_properties, _) = rule
+        .root()
+        .map(|root| {
+            let (s, t) = root.properties();
+            (
+                s.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                t.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+            )
+        })
+        .unwrap_or_default();
+    let token_index = BlockingIndex::build(&dataset.target, &[]);
+    let position_of: HashMap<&str, usize> = dataset
+        .target
+        .entities()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id(), i))
+        .collect();
+    let token_index_missed_links = full
+        .links
+        .iter()
+        .filter(|link| {
+            let Some(source_entity) = dataset.source.get(&link.source) else {
+                return false;
+            };
+            let Some(&target_position) = position_of.get(link.target.as_str()) else {
+                return false;
+            };
+            !token_index
+                .candidates(source_entity, &source_properties)
+                .contains(&target_position)
+        })
+        .count();
+
+    println!(
+        "full:    {:>8} pairs evaluated, {:>5} links, {full_ms:>9.1} ms",
+        full.evaluated_pairs,
+        full.links.len()
+    );
+    println!(
+        "blocked: {:>8} pairs evaluated ({:.1}% of cross product), {:>5} links, {blocked_ms:>9.1} ms",
+        blocked.evaluated_pairs,
+        evaluated_fraction * 100.0,
+        blocked.links.len()
+    );
+    println!("recall vs full: {recall:.4} ({spurious} spurious links)");
+    println!("legacy token index would miss {token_index_missed_links} of the true links");
+    for stats in &blocked.comparison_stats {
+        println!(
+            "  block [{}]: {} blocks, {} postings, {}/{} entities indexed, {} candidates",
+            stats.label,
+            stats.blocks,
+            stats.postings,
+            stats.indexed_entities,
+            dataset.target.len(),
+            stats.candidates
+        );
+    }
+    println!();
+
+    WorkloadResult {
+        name,
+        cross_product: blocked.cross_product,
+        evaluated_pairs: blocked.evaluated_pairs,
+        evaluated_fraction,
+        links: blocked.links.len(),
+        recall,
+        token_index_missed_links,
+        full_ms,
+        blocked_ms,
+    }
+}
+
+fn cora_workload() -> (Dataset, LinkageRule) {
+    let dataset = DatasetKind::Cora.generate(0.25, 42);
+    // titles carry case noise plus up to one typo: lower-casing plus an edit
+    // budget of 1 (θ=3 at link threshold 0.5 → distance bound 1.5) matches
+    // every true pair without any exact-token anchor
+    let rule: LinkageRule = compare(
+        transform(TransformFunction::LowerCase, vec![property("title")]),
+        transform(TransformFunction::LowerCase, vec![property("title")]),
+        DistanceFunction::Levenshtein,
+        3.0,
+    )
+    .into();
+    (dataset, rule)
+}
+
+fn restaurant_workload() -> (Dataset, LinkageRule) {
+    let dataset = DatasetKind::Restaurant.generate(1.0, 42);
+    // conjunction of a fuzzy name comparison and a normalised phone
+    // comparison: the plan intersects both candidate sets
+    let rule: LinkageRule = aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+        ],
+    )
+    .into();
+    (dataset, rule)
+}
+
+fn restaurant_phone_workload() -> (Dataset, LinkageRule) {
+    let dataset = DatasetKind::Restaurant.generate(1.0, 7);
+    // phone numbers only, compared through digitsOnly: "310-246-1501" and
+    // "3102461501" share no exact token, so the legacy token index pruned
+    // these true matches — MultiBlock blocks on the *transformed* values
+    let rule: LinkageRule = compare(
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        DistanceFunction::Levenshtein,
+        1.0,
+    )
+    .into();
+    (dataset, rule)
+}
+
+fn main() {
+    let out_path = std::env::var("GENLINK_BENCH_MATCH_OUT")
+        .unwrap_or_else(|_| "BENCH_matching.json".to_string());
+    println!("=== MultiBlock matching benchmark ===\n");
+
+    let mut results = Vec::new();
+    let (dataset, rule) = cora_workload();
+    results.push(run_workload("cora", &dataset, rule));
+    let (dataset, rule) = restaurant_workload();
+    results.push(run_workload("restaurant", &dataset, rule));
+    let (dataset, rule) = restaurant_phone_workload();
+    results.push(run_workload("restaurant-phone", &dataset, rule));
+
+    let mut failures = Vec::new();
+    for result in &results {
+        if result.recall < 1.0 {
+            failures.push(format!(
+                "{}: recall {:.4} < 1.0 — MultiBlock lost true links",
+                result.name, result.recall
+            ));
+        }
+        if result.evaluated_fraction >= MAX_EVALUATED_FRACTION {
+            failures.push(format!(
+                "{}: evaluated {:.1}% of the cross product (gate: < {:.0}%)",
+                result.name,
+                result.evaluated_fraction * 100.0,
+                MAX_EVALUATED_FRACTION * 100.0
+            ));
+        }
+    }
+    // the phone workload exists to prove the old index was lossy; if the
+    // generator stops producing token-free matches the demonstration is dead
+    if let Some(phone) = results.iter().find(|r| r.name == "restaurant-phone") {
+        if phone.token_index_missed_links == 0 {
+            failures.push(
+                "restaurant-phone: token index missed 0 links — workload no longer demonstrates \
+                 token-blocking loss"
+                    .to_string(),
+            );
+        }
+    }
+
+    let workloads_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"cross_product\": {},\n      \"evaluated_pairs\": {},\n      \"evaluated_fraction\": {:.4},\n      \"reduction_ratio\": {:.4},\n      \"links\": {},\n      \"recall_vs_full\": {:.4},\n      \"token_index_missed_links\": {},\n      \"full_ms\": {:.1},\n      \"blocked_ms\": {:.1}\n    }}",
+                r.name,
+                r.cross_product,
+                r.evaluated_pairs,
+                r.evaluated_fraction,
+                1.0 - r.evaluated_fraction,
+                r.links,
+                r.recall,
+                r.token_index_missed_links,
+                r.full_ms,
+                r.blocked_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"max_evaluated_fraction_gate\": {MAX_EVALUATED_FRACTION},\n  \"recall_gate\": 1.0,\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        workloads_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark output");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all gates passed: recall == 1.0 and < 30% of the cross product evaluated");
+}

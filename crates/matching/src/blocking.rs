@@ -1,14 +1,15 @@
 //! Token blocking: an inverted index from normalised tokens to target
 //! entities.
 //!
-//! Evaluating a linkage rule over the full cross product `A × B` is quadratic;
-//! like most record-linkage systems the engine first restricts each source
-//! entity to *candidate* target entities that share at least one lower-cased
-//! token on one of the properties the rule actually compares.  Rules of the
-//! paper's representation always compare textual or numeric property values,
-//! so token blocking is lossless in practice for exact-token overlaps and a
-//! recall/efficiency trade-off otherwise (the engine can fall back to the full
-//! cross product).
+//! This is the *legacy* candidate generator: it restricts each source entity
+//! to target entities sharing at least one lower-cased token on the compared
+//! properties.  That is lossless for exact-token overlaps only — it silently
+//! drops Levenshtein pairs without a common token, every numeric/date/geo
+//! comparison and anything behind a transformation, which is why the
+//! [`MatchingEngine`](crate::MatchingEngine) now generates candidates from
+//! the rule-derived [`MultiBlockIndex`](crate::MultiBlockIndex) instead.
+//! The token index remains available as a standalone utility (e.g. for
+//! seeding heuristics that only need exact-token recall).
 
 use std::collections::{HashMap, HashSet};
 
@@ -63,16 +64,39 @@ impl BlockingIndex {
     }
 
     /// Returns the candidate target positions for a set of query tokens.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`BlockingIndex::candidates_for_tokens_into`]; repeated callers should
+    /// hold a [`BlockingScratch`] and call the `_into` variant instead.
     pub fn candidates_for_tokens(&self, tokens: &[String]) -> Vec<usize> {
-        let mut candidates = HashSet::new();
+        let mut scratch = BlockingScratch::default();
+        let mut result = Vec::new();
+        self.candidates_for_tokens_into(tokens, &mut scratch, &mut result);
+        result
+    }
+
+    /// Appends the sorted, duplicate-free candidate target positions for a
+    /// set of query tokens to `out` (cleared first).  The scratch's
+    /// epoch-stamped mark table replaces the per-query hash set, so a warm
+    /// caller allocates nothing.
+    pub fn candidates_for_tokens_into(
+        &self,
+        tokens: &[String],
+        scratch: &mut BlockingScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let epoch = scratch.next_epoch(self.indexed_entities);
         for token in tokens {
             if let Some(positions) = self.by_token.get(token) {
-                candidates.extend(positions.iter().copied());
+                for &position in positions {
+                    if scratch.marks.mark_first(position, epoch) {
+                        out.push(position);
+                    }
+                }
             }
         }
-        let mut result: Vec<usize> = candidates.into_iter().collect();
-        result.sort_unstable();
-        result
+        out.sort_unstable();
     }
 
     /// Returns the candidate target positions for a source entity: all target
@@ -93,6 +117,20 @@ impl BlockingIndex {
             }
         }
         self.candidates_for_tokens(&tokens)
+    }
+}
+
+/// Reusable query state for [`BlockingIndex`] lookups: a mark table stamped
+/// with a per-query epoch, avoiding a fresh hash set per query.
+#[derive(Debug, Clone, Default)]
+pub struct BlockingScratch {
+    marks: crate::scratch::EpochMarks,
+}
+
+impl BlockingScratch {
+    fn next_epoch(&mut self, indexed_entities: usize) -> u32 {
+        self.marks.ensure_capacity(indexed_entities);
+        self.marks.next_epoch()
     }
 }
 

@@ -1,16 +1,18 @@
 //! The matching engine: candidate generation plus compiled rule execution.
 //!
-//! Rules are lowered to a [`CompiledRule`] once per run, so property lookups
-//! are index-based and transformation outputs are memoized per entity in a
-//! run-local [`ValueCache`] — a target entity surviving blocking for many
-//! source entities has its transform chains computed once, not once per
-//! candidate pair.
+//! Rules are lowered twice before a run: into a [`CompiledRule`] for fast
+//! evaluation, and into an [`IndexingPlan`] (see `linkdisc_rule::indexing`)
+//! that drives lossless MultiBlock candidate generation.  Both share one
+//! run-local [`ValueCache`], so a transform chain computed while indexing a
+//! target entity is reused when the rule scores that entity's candidate
+//! pairs — and a target entity surviving blocking for many source entities
+//! has its chains computed once, not once per candidate pair.
 
 use linkdisc_entity::{DataSource, EntityPair};
-use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 use linkdisc_util::resolve_threads;
 
-use crate::blocking::BlockingIndex;
+use crate::multiblock::{CandidateScratch, MultiBlockIndex};
 
 /// A generated link with its similarity score.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,20 +21,24 @@ pub struct ScoredLink {
     pub source: String,
     /// Identifier of the target entity.
     pub target: String,
-    /// Similarity assigned by the linkage rule (≥ 0.5).
+    /// Similarity assigned by the linkage rule (≥ the link threshold).
     pub score: f64,
 }
 
 /// Options of a matching run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchingOptions {
-    /// Use the token blocking index (`true`) or evaluate the full cross
-    /// product (`false`).
+    /// Use rule-derived MultiBlock indexing (`true`) or evaluate the full
+    /// cross product (`false`).
     pub use_blocking: bool,
     /// Keep only the best-scoring link per source entity.
     pub best_match_only: bool,
     /// Number of worker threads (0 = all cores).
     pub threads: usize,
+    /// Similarity a pair must reach to be reported as a link (Definition 3
+    /// of the paper: 0.5).  Respected by both the indexed and the exhaustive
+    /// path; the indexing plan derives its distance bounds from it.
+    pub link_threshold: f64,
 }
 
 impl Default for MatchingOptions {
@@ -41,23 +47,44 @@ impl Default for MatchingOptions {
             use_blocking: true,
             best_match_only: false,
             threads: 0,
+            link_threshold: LINK_THRESHOLD,
         }
     }
+}
+
+/// Per-comparison blocking statistics of a matching run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonBlockStats {
+    /// Human-readable comparison description (measure, value chains, bound).
+    pub label: String,
+    /// Number of distinct block keys in the target index.
+    pub blocks: usize,
+    /// Total posting-list entries across all blocks.
+    pub postings: usize,
+    /// Target entities that emitted at least one block key.
+    pub indexed_entities: usize,
+    /// Candidates this comparison contributed across all source entities
+    /// (before intersection with sibling comparisons).
+    pub candidates: usize,
 }
 
 /// The result of a matching run.
 #[derive(Debug, Clone)]
 pub struct MatchingReport {
-    /// The generated links (score ≥ 0.5), sorted by source id then score.
+    /// The generated links (score ≥ link threshold), sorted by source id
+    /// then score.
     pub links: Vec<ScoredLink>,
     /// Number of candidate pairs the rule was evaluated on.
     pub evaluated_pairs: usize,
     /// Size of the full cross product, for comparison.
     pub cross_product: usize,
+    /// Blocking statistics, one entry per indexed comparison (empty when the
+    /// run was exhaustive — blocking disabled or the plan cannot prune).
+    pub comparison_stats: Vec<ComparisonBlockStats>,
 }
 
 impl MatchingReport {
-    /// The fraction of the cross product that was actually evaluated.
+    /// The fraction of the cross product that was *not* evaluated.
     pub fn reduction_ratio(&self) -> f64 {
         if self.cross_product == 0 {
             return 0.0;
@@ -96,67 +123,95 @@ impl MatchingEngine {
     /// Generates links between the two data sources.
     pub fn run(&self, source: &DataSource, target: &DataSource) -> MatchingReport {
         let cross_product = source.len() * target.len();
-        let (source_properties, target_properties) = match self.rule.root() {
-            Some(root) => {
-                let (s, t) = root.properties();
-                (
-                    s.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
-                    t.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
-                )
-            }
-            None => {
-                return MatchingReport {
-                    links: Vec::new(),
-                    evaluated_pairs: 0,
-                    cross_product,
-                }
-            }
+        let empty_report = |links: Vec<ScoredLink>| MatchingReport {
+            links,
+            evaluated_pairs: 0,
+            cross_product,
+            comparison_stats: Vec::new(),
         };
+        if self.rule.root().is_none() {
+            return empty_report(Vec::new());
+        }
 
+        let cache = ValueCache::new();
         let index = if self.options.use_blocking {
-            Some(BlockingIndex::build(target, &target_properties))
+            let plan = IndexingPlan::lower(
+                &self.rule,
+                source.schema(),
+                target.schema(),
+                self.options.link_threshold,
+            );
+            if plan.is_empty_result() {
+                // no pair can reach the link threshold; skip evaluation
+                return empty_report(Vec::new());
+            }
+            if plan.is_exhaustive() {
+                // the plan cannot prune — run the exhaustive path directly
+                None
+            } else {
+                Some(MultiBlockIndex::build(plan, target, &cache))
+            }
         } else {
             None
         };
 
         let compiled = CompiledRule::compile(&self.rule, source.schema(), target.schema());
-        let cache = ValueCache::new();
         let threads = resolve_threads(self.options.threads);
+        let leaf_count = index
+            .as_ref()
+            .map(|i| i.plan().comparisons().len())
+            .unwrap_or(0);
 
         let chunk_size = source.len().div_ceil(threads.max(1)).max(1);
         let chunks: Vec<&[linkdisc_entity::Entity]> =
             source.entities().chunks(chunk_size).collect();
-        let mut per_chunk: Vec<(Vec<ScoredLink>, usize)> = Vec::with_capacity(chunks.len());
+        let mut per_chunk: Vec<(Vec<ScoredLink>, usize, Vec<usize>)> =
+            Vec::with_capacity(chunks.len());
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    let index = &index;
+                    let index = index.as_ref();
                     let compiled = &compiled;
                     let cache = &cache;
-                    let source_properties = &source_properties;
                     let options = self.options;
                     scope.spawn(move || {
                         let mut links = Vec::new();
                         let mut evaluated = 0usize;
+                        let mut scratch = CandidateScratch::new();
+                        let mut leaf_candidates = vec![0usize; leaf_count];
+                        let mut all_positions: Vec<u32> = Vec::new();
                         for source_entity in chunk {
-                            let candidates: Vec<&linkdisc_entity::Entity> = match index {
-                                Some(index) => index
-                                    .candidates(source_entity, source_properties)
-                                    .into_iter()
-                                    .filter_map(|i| target.at(i))
-                                    .collect(),
-                                None => target.entities().iter().collect(),
+                            let candidates: &[u32] = match index {
+                                Some(index) => {
+                                    let buf = index.candidates(
+                                        source_entity,
+                                        cache,
+                                        &mut scratch,
+                                        &mut leaf_candidates,
+                                    );
+                                    all_positions = buf;
+                                    &all_positions
+                                }
+                                None => {
+                                    if all_positions.is_empty() {
+                                        all_positions.extend(0..target.len() as u32);
+                                    }
+                                    &all_positions
+                                }
                             };
                             let mut best: Option<ScoredLink> = None;
-                            for target_entity in candidates {
+                            for &position in candidates {
+                                let Some(target_entity) = target.at(position as usize) else {
+                                    continue;
+                                };
                                 evaluated += 1;
                                 let score = compiled.evaluate(
                                     &EntityPair::new(source_entity, target_entity),
                                     cache,
                                 );
-                                if score < LINK_THRESHOLD {
+                                if score < options.link_threshold {
                                     continue;
                                 }
                                 let link = ScoredLink {
@@ -175,8 +230,11 @@ impl MatchingEngine {
                             if let Some(best) = best {
                                 links.push(best);
                             }
+                            if index.is_some() {
+                                scratch.recycle(std::mem::take(&mut all_positions));
+                            }
                         }
-                        (links, evaluated)
+                        (links, evaluated, leaf_candidates)
                     })
                 })
                 .collect();
@@ -187,9 +245,13 @@ impl MatchingEngine {
 
         let mut links = Vec::new();
         let mut evaluated_pairs = 0;
-        for (chunk_links, evaluated) in per_chunk {
+        let mut leaf_candidates = vec![0usize; leaf_count];
+        for (chunk_links, evaluated, chunk_leaves) in per_chunk {
             links.extend(chunk_links);
             evaluated_pairs += evaluated;
+            for (total, chunk) in leaf_candidates.iter_mut().zip(chunk_leaves) {
+                *total += chunk;
+            }
         }
         links.sort_by(|a, b| {
             a.source
@@ -197,10 +259,28 @@ impl MatchingEngine {
                 .then_with(|| b.score.total_cmp(&a.score))
                 .then_with(|| a.target.cmp(&b.target))
         });
+        let comparison_stats = index
+            .as_ref()
+            .map(|index| {
+                index
+                    .build_stats()
+                    .into_iter()
+                    .zip(leaf_candidates)
+                    .map(|(stats, candidates)| ComparisonBlockStats {
+                        label: stats.label,
+                        blocks: stats.blocks,
+                        postings: stats.postings,
+                        indexed_entities: stats.indexed_entities,
+                        candidates,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         MatchingReport {
             links,
             evaluated_pairs,
             cross_product,
+            comparison_stats,
         }
     }
 }
@@ -268,6 +348,84 @@ mod tests {
         assert!(blocked.evaluated_pairs < full.evaluated_pairs);
         assert_eq!(blocked.links, full.links);
         assert!(blocked.reduction_ratio() > 0.0);
+        assert_eq!(blocked.comparison_stats.len(), 1);
+        assert!(blocked.comparison_stats[0].blocks > 0);
+        assert!(full.comparison_stats.is_empty());
+    }
+
+    #[test]
+    fn multiblock_keeps_fuzzy_matches_token_blocking_missed() {
+        // single-token values with a typo share no exact token: the old
+        // token index pruned this pair, MultiBlock must keep it
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "berlin")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlim")])
+            .unwrap()
+            .entity("b2", [("name", "faraway")])
+            .unwrap()
+            .build();
+        let fuzzy: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let blocked = MatchingEngine::new(fuzzy.clone()).run(&source, &target);
+        let full = MatchingEngine::new(fuzzy)
+            .with_options(MatchingOptions {
+                use_blocking: false,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(blocked.links, full.links);
+        assert_eq!(blocked.links.len(), 1);
+        assert_eq!(blocked.links[0].target, "b1");
+        assert!(blocked.evaluated_pairs < full.evaluated_pairs);
+    }
+
+    #[test]
+    fn link_threshold_is_respected_on_both_paths() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "berlin")])
+            .unwrap()
+            .build();
+        let target = DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlin")])
+            .unwrap()
+            .entity("b2", [("name", "berlXn")])
+            .unwrap()
+            .build();
+        let fuzzy: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        // at 0.5 both match (distances 0 and 1 → similarities 1.0 and 0.5);
+        // at 0.75 only the exact pair stays, on both paths
+        for use_blocking in [true, false] {
+            let lenient = MatchingEngine::new(fuzzy.clone())
+                .with_options(MatchingOptions {
+                    use_blocking,
+                    ..MatchingOptions::default()
+                })
+                .run(&source, &target);
+            assert_eq!(lenient.links.len(), 2, "blocking={use_blocking}");
+            let strict = MatchingEngine::new(fuzzy.clone())
+                .with_options(MatchingOptions {
+                    use_blocking,
+                    link_threshold: 0.75,
+                    ..MatchingOptions::default()
+                })
+                .run(&source, &target);
+            assert_eq!(strict.links.len(), 1, "blocking={use_blocking}");
+            assert_eq!(strict.links[0].target, "b1");
+        }
     }
 
     #[test]
@@ -289,24 +447,26 @@ mod tests {
             2.0,
         )
         .into();
-        // token blocking would prune the "berlim" candidate (no shared
-        // token), so this test evaluates the full cross product
-        let all = MatchingEngine::new(fuzzy_rule.clone())
-            .with_options(MatchingOptions {
-                use_blocking: false,
-                ..MatchingOptions::default()
-            })
-            .run(&source, &target);
-        assert_eq!(all.links.len(), 2);
-        let best = MatchingEngine::new(fuzzy_rule)
-            .with_options(MatchingOptions {
-                use_blocking: false,
-                best_match_only: true,
-                ..MatchingOptions::default()
-            })
-            .run(&source, &target);
-        assert_eq!(best.links.len(), 1);
-        assert_eq!(best.links[0].target, "b1");
+        // MultiBlock keeps the "berlim" candidate despite the missing shared
+        // token, so blocking and exhaustive agree here
+        for use_blocking in [true, false] {
+            let all = MatchingEngine::new(fuzzy_rule.clone())
+                .with_options(MatchingOptions {
+                    use_blocking,
+                    ..MatchingOptions::default()
+                })
+                .run(&source, &target);
+            assert_eq!(all.links.len(), 2, "blocking={use_blocking}");
+            let best = MatchingEngine::new(fuzzy_rule.clone())
+                .with_options(MatchingOptions {
+                    use_blocking,
+                    best_match_only: true,
+                    ..MatchingOptions::default()
+                })
+                .run(&source, &target);
+            assert_eq!(best.links.len(), 1, "blocking={use_blocking}");
+            assert_eq!(best.links[0].target, "b1");
+        }
     }
 
     #[test]
@@ -334,5 +494,6 @@ mod tests {
             .run(&source, &target);
         assert_eq!(sequential.links, parallel.links);
         assert_eq!(sequential.evaluated_pairs, parallel.evaluated_pairs);
+        assert_eq!(sequential.comparison_stats, parallel.comparison_stats);
     }
 }

@@ -1,20 +1,34 @@
 //! Matching engine: executes a linkage rule over two data sources.
 //!
 //! The GenLink paper learns rules from reference links; actually *generating*
-//! links over full data sources is handled by the Silk execution engine
-//! (Isele & Bizer, OM 2011).  This crate provides the equivalent machinery so
-//! learned rules can be applied end-to-end:
+//! links over full data sources is handled by the Silk execution engine with
+//! its MultiBlock index (Isele, Jentzsch & Bizer, OM 2011).  This crate
+//! provides the equivalent machinery so learned rules can be applied
+//! end-to-end:
 //!
-//! * [`BlockingIndex`] — a token-based inverted index over the target data
-//!   source that prunes the `|A| × |B|` cross product to candidate pairs that
-//!   share at least one normalised token on the properties the rule compares,
-//! * [`MatchingEngine`] — evaluates the rule on each candidate pair (in
-//!   parallel) and returns the scored links above the 0.5 threshold,
-//! * [`MatchingReport`] — links plus counters (candidates, comparisons) so
-//!   the pruning effectiveness can be inspected.
+//! * [`MultiBlockIndex`] — rule-derived, lossless candidate generation: the
+//!   rule is lowered to an `IndexingPlan` (see `linkdisc_rule::indexing`)
+//!   whose comparisons each contribute an overlap-guaranteed block index
+//!   over their *transformed* value chains, combined by the aggregation
+//!   semantics (`min` intersects, `max` unions, weighted means intersect
+//!   per-child bounds),
+//! * [`MatchingEngine`] — evaluates the compiled rule on each candidate pair
+//!   (in parallel) and returns the scored links above the configurable link
+//!   threshold; `use_blocking: false` falls back to the exhaustive cross
+//!   product,
+//! * [`MatchingReport`] — links plus counters and per-comparison block
+//!   statistics so pruning effectiveness can be inspected,
+//! * [`BlockingIndex`] — the legacy token-based index, kept as a standalone
+//!   utility (it is *lossy* for fuzzy, numeric, date and geographic
+//!   comparisons, which is why the engine no longer uses it).
 
 pub mod blocking;
 pub mod engine;
+pub mod multiblock;
+mod scratch;
 
-pub use blocking::BlockingIndex;
-pub use engine::{MatchingEngine, MatchingOptions, MatchingReport, ScoredLink};
+pub use blocking::{BlockingIndex, BlockingScratch};
+pub use engine::{
+    ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
+};
+pub use multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};

@@ -1,0 +1,439 @@
+//! MultiBlock candidate generation: executing an [`IndexingPlan`] over a
+//! target data source.
+//!
+//! The plan (lowered in `linkdisc-rule` from the rule tree) names the
+//! comparisons that can prune and how their candidate sets combine.  This
+//! module materialises one inverted index per indexed comparison — block key
+//! → target positions — and evaluates the plan's set algebra per source
+//! entity:
+//!
+//! * a **leaf** looks up the source entity's block keys and unions the
+//!   posting lists,
+//! * an **intersection** keeps positions present in every child set
+//!   (short-circuiting as soon as the running set is empty),
+//! * a **union** merges child sets.
+//!
+//! All per-query state lives in a [`CandidateScratch`] owned by the calling
+//! worker: block-key buffers, an epoch-stamped mark table replacing per-query
+//! hash sets, and a pool of position buffers — candidate generation performs
+//! no per-entity allocation once the scratch is warm.
+//!
+//! Transform chains are evaluated through the same [`ValueCache`] (and the
+//! same structural hashes) as rule evaluation, so a value normalised for
+//! indexing is computed once and reused when the rule scores the surviving
+//! candidates.
+
+use std::collections::HashMap;
+
+use linkdisc_entity::{DataSource, Entity};
+use linkdisc_rule::{IndexingPlan, PlanNode, ValueCache};
+use linkdisc_similarity::BlockKey;
+
+use crate::scratch::EpochMarks;
+
+/// Build-time statistics of one indexed comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafBuildStats {
+    /// Human-readable comparison description (from the plan).
+    pub label: String,
+    /// Number of distinct block keys.
+    pub blocks: usize,
+    /// Total posting-list entries (sum of block sizes).
+    pub postings: usize,
+    /// Target entities that emitted at least one key.  Entities without keys
+    /// (empty or unparseable value sets) can never satisfy this comparison.
+    pub indexed_entities: usize,
+}
+
+/// One comparison's inverted index: block key → positions in the target
+/// source, in ascending order.
+#[derive(Debug, Clone, Default)]
+struct LeafIndex {
+    by_key: HashMap<BlockKey, Vec<u32>>,
+    indexed_entities: usize,
+}
+
+/// A rule-derived multidimensional blocking index over a target data source.
+#[derive(Debug, Clone)]
+pub struct MultiBlockIndex {
+    plan: IndexingPlan,
+    leaves: Vec<LeafIndex>,
+    target_len: usize,
+}
+
+impl MultiBlockIndex {
+    /// Builds the per-comparison inverted indexes over the target source.
+    /// Transform outputs computed here are memoized in `cache` and reused by
+    /// subsequent rule evaluation.
+    pub fn build<'e>(
+        plan: IndexingPlan,
+        target: &'e DataSource,
+        cache: &ValueCache<'e>,
+    ) -> MultiBlockIndex {
+        let mut leaves: Vec<LeafIndex> = (0..plan.comparisons().len())
+            .map(|_| LeafIndex::default())
+            .collect();
+        let mut keys: Vec<BlockKey> = Vec::new();
+        for (position, entity) in target.entities().iter().enumerate() {
+            for (leaf, index) in plan.comparisons().iter().zip(&mut leaves) {
+                let values = leaf.target.values(entity, cache);
+                leaf.function
+                    .block_keys_into(values.as_slice(), leaf.bound, &mut keys);
+                if !keys.is_empty() {
+                    index.indexed_entities += 1;
+                }
+                for key in &keys {
+                    index.by_key.entry(*key).or_default().push(position as u32);
+                }
+            }
+        }
+        MultiBlockIndex {
+            plan,
+            leaves,
+            target_len: target.len(),
+        }
+    }
+
+    /// The plan this index executes.
+    pub fn plan(&self) -> &IndexingPlan {
+        &self.plan
+    }
+
+    /// Number of target entities the index covers.
+    pub fn target_len(&self) -> usize {
+        self.target_len
+    }
+
+    /// Build statistics, one entry per indexed comparison.
+    pub fn build_stats(&self) -> Vec<LeafBuildStats> {
+        self.plan
+            .comparisons()
+            .iter()
+            .zip(&self.leaves)
+            .map(|(leaf, index)| LeafBuildStats {
+                label: leaf.label.clone(),
+                blocks: index.by_key.len(),
+                postings: index.by_key.values().map(Vec::len).sum(),
+                indexed_entities: index.indexed_entities,
+            })
+            .collect()
+    }
+
+    /// Candidate target positions for one source entity, as a pooled buffer
+    /// (unsorted, duplicate-free).  Return it via
+    /// [`CandidateScratch::recycle`] when done.  `leaf_candidates` (one slot
+    /// per indexed comparison) accumulates how many candidates each leaf
+    /// contributed; pass an empty slice to skip accounting.
+    pub fn candidates<'e>(
+        &self,
+        source_entity: &'e Entity,
+        cache: &ValueCache<'e>,
+        scratch: &mut CandidateScratch,
+        leaf_candidates: &mut [usize],
+    ) -> Vec<u32> {
+        scratch.ensure_capacity(self.target_len);
+        match self.plan.root() {
+            PlanNode::All => {
+                let mut out = scratch.take_buf();
+                out.extend(0..self.target_len as u32);
+                out
+            }
+            PlanNode::Nothing => scratch.take_buf(),
+            node => self.eval(node, source_entity, cache, scratch, leaf_candidates),
+        }
+    }
+
+    /// Allocating convenience wrapper for tests and diagnostics: the sorted
+    /// candidate positions of one source entity.
+    pub fn candidate_positions<'e>(
+        &self,
+        source_entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> Vec<usize> {
+        let mut scratch = CandidateScratch::new();
+        let buf = self.candidates(source_entity, cache, &mut scratch, &mut []);
+        let mut positions: Vec<usize> = buf.iter().map(|&p| p as usize).collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    fn eval<'e>(
+        &self,
+        node: &PlanNode,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+        scratch: &mut CandidateScratch,
+        leaf_candidates: &mut [usize],
+    ) -> Vec<u32> {
+        match node {
+            // All/Nothing are confined to the root by plan simplification;
+            // handle them anyway so eval is total
+            PlanNode::All => {
+                let mut out = scratch.take_buf();
+                out.extend(0..self.target_len as u32);
+                out
+            }
+            PlanNode::Nothing => scratch.take_buf(),
+            PlanNode::Leaf(leaf) => {
+                let comparison = &self.plan.comparisons()[*leaf];
+                let values = comparison.source.values(entity, cache);
+                // the key buffer is taken out of the scratch (not borrowed)
+                // so the mark table stays mutable below
+                let mut keys = std::mem::take(&mut scratch.keys);
+                comparison
+                    .function
+                    .block_keys_into(values.as_slice(), comparison.bound, &mut keys);
+                let mut out = scratch.take_buf();
+                let epoch = scratch.marks.next_epoch();
+                let index = &self.leaves[*leaf];
+                for key in &keys {
+                    if let Some(positions) = index.by_key.get(key) {
+                        for &position in positions {
+                            if scratch.marks.mark_first(position as usize, epoch) {
+                                out.push(position);
+                            }
+                        }
+                    }
+                }
+                scratch.keys = keys;
+                if let Some(count) = leaf_candidates.get_mut(*leaf) {
+                    *count += out.len();
+                }
+                out
+            }
+            PlanNode::Union(children) => {
+                // concatenate first, dedupe once at the end: child evals bump
+                // the scratch epoch themselves, so marks set *between* child
+                // evals would be clobbered
+                let mut out = scratch.take_buf();
+                for child in children {
+                    let buf = self.eval(child, entity, cache, scratch, leaf_candidates);
+                    out.extend_from_slice(&buf);
+                    scratch.recycle(buf);
+                }
+                let epoch = scratch.marks.next_epoch();
+                out.retain(|&position| scratch.marks.mark_first(position as usize, epoch));
+                out
+            }
+            PlanNode::Intersect(children) => {
+                let mut iter = children.iter();
+                let first = iter.next().expect("intersections have children");
+                let mut out = self.eval(first, entity, cache, scratch, leaf_candidates);
+                for child in iter {
+                    if out.is_empty() {
+                        // the conjunction is already unsatisfiable; skip the
+                        // remaining children entirely
+                        break;
+                    }
+                    let buf = self.eval(child, entity, cache, scratch, leaf_candidates);
+                    let epoch = scratch.marks.next_epoch();
+                    for &position in &buf {
+                        scratch.marks.mark(position as usize, epoch);
+                    }
+                    out.retain(|&position| scratch.marks.is_marked(position as usize, epoch));
+                    scratch.recycle(buf);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Reusable per-worker state for candidate generation: key buffers, an
+/// epoch-stamped mark table (a hash-set replacement that needs no clearing),
+/// and a pool of position buffers.
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    keys: Vec<BlockKey>,
+    marks: EpochMarks,
+    pool: Vec<Vec<u32>>,
+}
+
+impl CandidateScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CandidateScratch::default()
+    }
+
+    /// Returns a pooled buffer to the scratch for reuse.
+    pub fn recycle(&mut self, mut buf: Vec<u32>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+
+    fn ensure_capacity(&mut self, target_len: usize) {
+        self.marks.ensure_capacity(target_len);
+    }
+
+    fn take_buf(&mut self) -> Vec<u32> {
+        self.pool.pop().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, AggregationFunction, DistanceFunction,
+        LinkageRule, TransformFunction,
+    };
+
+    fn target() -> DataSource {
+        DataSourceBuilder::new("B", ["name", "year"])
+            .entity("b0", [("name", "berlin"), ("year", "1237")])
+            .unwrap()
+            .entity("b1", [("name", "berlim"), ("year", "1237")])
+            .unwrap()
+            .entity("b2", [("name", "paris"), ("year", "0250")])
+            .unwrap()
+            .build()
+    }
+
+    fn source() -> DataSource {
+        DataSourceBuilder::new("A", ["name", "year"])
+            .entity("a0", [("name", "Berlin"), ("year", "1237")])
+            .unwrap()
+            .build()
+    }
+
+    fn plan(rule: &LinkageRule, source: &DataSource, target: &DataSource) -> IndexingPlan {
+        IndexingPlan::lower(rule, source.schema(), target.schema(), 0.5)
+    }
+
+    #[test]
+    fn fuzzy_single_token_pairs_are_candidates() {
+        // "berlin" vs "berlim" share no exact token — the pair the old token
+        // index provably missed
+        let rule: LinkageRule = compare(
+            transform(TransformFunction::LowerCase, vec![property("name")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let candidates = index.candidate_positions(&source.entities()[0], &cache);
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&1), "fuzzy match must be a candidate");
+        assert!(!candidates.contains(&2), "paris should be pruned");
+    }
+
+    #[test]
+    fn intersections_prune_harder_than_single_leaves() {
+        let name = compare(
+            transform(TransformFunction::LowerCase, vec![property("name")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        );
+        let year = compare(
+            property("year"),
+            property("year"),
+            DistanceFunction::Numeric,
+            2.0,
+        );
+        let conjunction: LinkageRule =
+            aggregation(AggregationFunction::Min, vec![name.clone(), year.clone()]).into();
+        let disjunction: LinkageRule =
+            aggregation(AggregationFunction::Max, vec![name, year]).into();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let intersected =
+            MultiBlockIndex::build(plan(&conjunction, &source, &target), &target, &cache);
+        let unioned = MultiBlockIndex::build(plan(&disjunction, &source, &target), &target, &cache);
+        let a0 = &source.entities()[0];
+        let from_intersection = intersected.candidate_positions(a0, &cache);
+        let from_union = unioned.candidate_positions(a0, &cache);
+        assert_eq!(from_intersection, vec![0, 1]);
+        assert_eq!(from_union, vec![0, 1]);
+        // every intersection candidate is also a union candidate
+        assert!(from_intersection.iter().all(|p| from_union.contains(p)));
+    }
+
+    #[test]
+    fn build_stats_describe_each_comparison() {
+        let rule: LinkageRule = compare(
+            property("year"),
+            property("year"),
+            DistanceFunction::Numeric,
+            2.0,
+        )
+        .into();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let stats = index.build_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].indexed_entities, 3);
+        assert!(stats[0].blocks > 0);
+        assert!(stats[0].postings >= stats[0].blocks);
+        assert!(stats[0].label.starts_with("numeric"));
+    }
+
+    #[test]
+    fn leaf_counts_accumulate_per_comparison() {
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    property("name"),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(
+                    property("year"),
+                    property("year"),
+                    DistanceFunction::Numeric,
+                    2.0,
+                ),
+            ],
+        )
+        .into();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let mut scratch = CandidateScratch::new();
+        let mut leaf_counts = vec![0usize; index.plan().comparisons().len()];
+        let buf = index.candidates(
+            &source.entities()[0],
+            &cache,
+            &mut scratch,
+            &mut leaf_counts,
+        );
+        scratch.recycle(buf);
+        // "Berlin" shares suffix bigrams with "berlin"/"berlim", and 1237
+        // shares a numeric bucket — both leaves contribute candidates
+        assert!(leaf_counts[0] > 0, "levenshtein leaf produced candidates");
+        assert!(leaf_counts[1] > 0, "numeric leaf produced candidates");
+    }
+
+    #[test]
+    fn exhaustive_and_empty_plans_degenerate_cleanly() {
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        // link threshold 0: every pair links, plan is All
+        let rule: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let all = IndexingPlan::lower(&rule, source.schema(), target.schema(), 0.0);
+        let index = MultiBlockIndex::build(all, &target, &cache);
+        assert_eq!(
+            index.candidate_positions(&source.entities()[0], &cache),
+            vec![0, 1, 2]
+        );
+        let nothing =
+            IndexingPlan::lower(&LinkageRule::empty(), source.schema(), target.schema(), 0.5);
+        let index = MultiBlockIndex::build(nothing, &target, &cache);
+        assert!(index
+            .candidate_positions(&source.entities()[0], &cache)
+            .is_empty());
+    }
+}

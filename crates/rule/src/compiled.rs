@@ -47,7 +47,7 @@ type SlotId = usize;
 
 /// A compiled value operator.
 #[derive(Debug, Clone)]
-enum Slot {
+pub(crate) enum Slot {
     /// A property access, resolved to a column index against the schema the
     /// plan was compiled for.  `index` is `None` when the property does not
     /// exist in that schema (the value set is empty then).
@@ -122,15 +122,140 @@ impl SlotTable {
     }
 }
 
+/// A schema-resolved table of value slots for one side of a rule, with the
+/// evaluation machinery (per-entity memoized transforms, value sets) shared
+/// between [`CompiledRule`] and [`CompiledChain`].
+#[derive(Debug, Clone)]
+pub(crate) struct SlotProgram {
+    pub(crate) schema: Arc<Schema>,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) hashes: Vec<u64>,
+}
+
+impl SlotProgram {
+    /// The values of a slot for one entity: a borrowed slice for property
+    /// slots, a memoized interned slice for transformation slots.
+    fn values<'e>(
+        &self,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> ValuesRef<'e> {
+        match &self.slots[slot] {
+            Slot::Property { name, index } => {
+                let values = if Arc::ptr_eq(entity.schema(), &self.schema) {
+                    match index {
+                        Some(index) => entity.values_at(*index),
+                        None => &[],
+                    }
+                } else {
+                    // the entity follows a different schema than the plan was
+                    // compiled for; fall back to by-name resolution
+                    entity.values(name)
+                };
+                ValuesRef::Borrowed(values)
+            }
+            Slot::Transform { .. } => {
+                ValuesRef::Interned(cache.values(entity, self.hashes[slot], || {
+                    self.compute_transform(slot, entity, cache)
+                }))
+            }
+        }
+    }
+
+    /// Computes a transformation slot's output for one entity (cache miss
+    /// path); the inputs themselves come through the cache.
+    fn compute_transform<'e>(
+        &self,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> Vec<String> {
+        let Slot::Transform { function, inputs } = &self.slots[slot] else {
+            unreachable!("compute_transform is only called for transform slots");
+        };
+        let resolved: Vec<ValuesRef<'_>> = inputs
+            .iter()
+            .map(|&input| self.values(input, entity, cache))
+            .collect();
+        let slices: Vec<&[String]> = resolved.iter().map(|v| v.as_slice()).collect();
+        function.apply_slices(&slices)
+    }
+
+    /// The value *set* of a slot for one entity (Jaccard/Dice fast path).
+    fn set<'e>(
+        &self,
+        slot: SlotId,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) -> Arc<HashSet<String>> {
+        cache.set(entity, self.hashes[slot], || {
+            self.values(slot, entity, cache).as_slice().to_vec()
+        })
+    }
+}
+
+/// A single compiled value-operator chain: the slot machinery of
+/// [`CompiledRule`] for one value operator against one schema.
+///
+/// The MultiBlock indexing pipeline uses this to apply transformation chains
+/// *before* computing block keys, so normalised values block exactly as they
+/// evaluate.  Chains are memoized in the same [`ValueCache`] under the same
+/// structural hashes as rule evaluation — building the index and evaluating
+/// the rule share one transform computation per entity.
+#[derive(Debug, Clone)]
+pub struct CompiledChain {
+    program: SlotProgram,
+    root: SlotId,
+}
+
+impl CompiledChain {
+    /// Compiles a value operator against the schema of the entities it will
+    /// be evaluated on.
+    pub fn compile(operator: &ValueOperator, schema: &Arc<Schema>) -> Self {
+        let mut table = SlotTable::default();
+        let root = table.intern(operator, schema);
+        CompiledChain {
+            program: SlotProgram {
+                schema: schema.clone(),
+                slots: table.slots,
+                hashes: table.hashes,
+            },
+            root,
+        }
+    }
+
+    /// The values of the chain for one entity (memoized in `cache` for
+    /// transformation chains).
+    pub fn values<'e>(&self, entity: &'e Entity, cache: &ValueCache<'e>) -> ChainValues<'e> {
+        ChainValues(self.program.values(self.root, entity, cache))
+    }
+}
+
+/// Borrowed-or-interned output of a [`CompiledChain`]; dereferences to the
+/// value slice.
+pub struct ChainValues<'e>(ValuesRef<'e>);
+
+impl ChainValues<'_> {
+    /// The values as a slice.
+    pub fn as_slice(&self) -> &[String] {
+        self.0.as_slice()
+    }
+}
+
+impl std::ops::Deref for ChainValues<'_> {
+    type Target = [String];
+
+    fn deref(&self) -> &[String] {
+        self.as_slice()
+    }
+}
+
 /// A linkage rule lowered into a flat, schema-resolved evaluation plan.
 #[derive(Debug, Clone)]
 pub struct CompiledRule {
-    source_schema: Arc<Schema>,
-    target_schema: Arc<Schema>,
-    source_slots: Vec<Slot>,
-    source_hashes: Vec<u64>,
-    target_slots: Vec<Slot>,
-    target_hashes: Vec<u64>,
+    source: SlotProgram,
+    target: SlotProgram,
     instructions: Vec<Instruction>,
     rule_hash: u64,
     max_stack: usize,
@@ -159,12 +284,16 @@ impl CompiledRule {
         }
         let max_stack = max_stack_depth(&instructions);
         CompiledRule {
-            source_schema: source_schema.clone(),
-            target_schema: target_schema.clone(),
-            source_slots: source_table.slots,
-            source_hashes: source_table.hashes,
-            target_slots: target_table.slots,
-            target_hashes: target_table.hashes,
+            source: SlotProgram {
+                schema: source_schema.clone(),
+                slots: source_table.slots,
+                hashes: source_table.hashes,
+            },
+            target: SlotProgram {
+                schema: target_schema.clone(),
+                slots: target_table.slots,
+                hashes: target_table.hashes,
+            },
             instructions,
             rule_hash: rule.canonical_hash(),
             max_stack,
@@ -236,8 +365,8 @@ impl CompiledRule {
     ) -> f64 {
         match function {
             DistanceFunction::Jaccard | DistanceFunction::Dice => {
-                let a = self.slot_set(Side::Source, source, pair.source, cache);
-                let b = self.slot_set(Side::Target, target, pair.target, cache);
+                let a = self.source.set(source, pair.source, cache);
+                let b = self.target.set(target, pair.target, cache);
                 // the tree walk reports "unmeasurable" before ever reaching
                 // the set measure when either side is empty
                 if a.is_empty() || b.is_empty() {
@@ -250,103 +379,21 @@ impl CompiledRule {
                 threshold_similarity(distance, threshold)
             }
             DistanceFunction::Levenshtein => {
-                let a = self.slot_values(Side::Source, source, pair.source, cache);
-                let b = self.slot_values(Side::Target, target, pair.target, cache);
+                let a = self.source.values(source, pair.source, cache);
+                let b = self.target.values(target, pair.target, cache);
                 levenshtein_similarity(&a, &b, threshold)
             }
             _ => {
-                let a = self.slot_values(Side::Source, source, pair.source, cache);
-                let b = self.slot_values(Side::Target, target, pair.target, cache);
+                let a = self.source.values(source, pair.source, cache);
+                let b = self.target.values(target, pair.target, cache);
                 function.similarity(&a, &b, threshold)
             }
         }
     }
-
-    fn side(&self, side: Side) -> (&[Slot], &[u64], &Arc<Schema>) {
-        match side {
-            Side::Source => (&self.source_slots, &self.source_hashes, &self.source_schema),
-            Side::Target => (&self.target_slots, &self.target_hashes, &self.target_schema),
-        }
-    }
-
-    /// The values of a slot for one entity: a borrowed slice for property
-    /// slots, a memoized interned slice for transformation slots.
-    fn slot_values<'e>(
-        &self,
-        side: Side,
-        slot: SlotId,
-        entity: &'e Entity,
-        cache: &ValueCache<'e>,
-    ) -> ValuesRef<'e> {
-        let (slots, hashes, schema) = self.side(side);
-        match &slots[slot] {
-            Slot::Property { name, index } => {
-                let values = if Arc::ptr_eq(entity.schema(), schema) {
-                    match index {
-                        Some(index) => entity.values_at(*index),
-                        None => &[],
-                    }
-                } else {
-                    // the entity follows a different schema than the plan was
-                    // compiled for; fall back to by-name resolution
-                    entity.values(name)
-                };
-                ValuesRef::Borrowed(values)
-            }
-            Slot::Transform { .. } => {
-                ValuesRef::Interned(cache.values(entity, hashes[slot], || {
-                    self.compute_transform(side, slot, entity, cache)
-                }))
-            }
-        }
-    }
-
-    /// Computes a transformation slot's output for one entity (cache miss
-    /// path); the inputs themselves come through the cache.
-    fn compute_transform<'e>(
-        &self,
-        side: Side,
-        slot: SlotId,
-        entity: &'e Entity,
-        cache: &ValueCache<'e>,
-    ) -> Vec<String> {
-        let (slots, _, _) = self.side(side);
-        let Slot::Transform { function, inputs } = &slots[slot] else {
-            unreachable!("compute_transform is only called for transform slots");
-        };
-        let resolved: Vec<ValuesRef<'_>> = inputs
-            .iter()
-            .map(|&input| self.slot_values(side, input, entity, cache))
-            .collect();
-        let slices: Vec<&[String]> = resolved.iter().map(|v| v.as_slice()).collect();
-        function.apply_slices(&slices)
-    }
-
-    /// The value *set* of a slot for one entity (Jaccard/Dice fast path).
-    fn slot_set<'e>(
-        &self,
-        side: Side,
-        slot: SlotId,
-        entity: &'e Entity,
-        cache: &ValueCache<'e>,
-    ) -> Arc<HashSet<String>> {
-        let (_, hashes, _) = self.side(side);
-        cache.set(entity, hashes[slot], || {
-            self.slot_values(side, slot, entity, cache)
-                .as_slice()
-                .to_vec()
-        })
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Side {
-    Source,
-    Target,
 }
 
 /// Borrowed-or-interned values of a slot.
-enum ValuesRef<'e> {
+pub(crate) enum ValuesRef<'e> {
     Borrowed(&'e [String]),
     Interned(Arc<[String]>),
 }
@@ -803,7 +850,7 @@ mod tests {
         .into();
         let compiled = CompiledRule::compile(&rule, &schema, &schema);
         // lowerCase(label) and label each appear once per side
-        assert_eq!(compiled.source_slots.len(), 2);
+        assert_eq!(compiled.source.slots.len(), 2);
         let a = berlin(&schema);
         let b = berlin(&schema);
         let cache = ValueCache::new();
@@ -904,8 +951,8 @@ mod tests {
         let cache = ValueCache::new();
         compiled.evaluate(&EntityPair::new(&a, &b), &cache);
         assert_eq!(cache.len(), 2, "one entry per entity");
-        let va = cache.values(&a, compiled.source_hashes[1], || unreachable!("memoized"));
-        let vb = cache.values(&b, compiled.target_hashes[1], || unreachable!("memoized"));
+        let va = cache.values(&a, compiled.source.hashes[1], || unreachable!("memoized"));
+        let vb = cache.values(&b, compiled.target.hashes[1], || unreachable!("memoized"));
         assert!(
             Arc::ptr_eq(&va, &vb),
             "equal outputs share one interned slice"

@@ -25,6 +25,7 @@ pub mod aggregation;
 pub mod builder;
 pub mod compiled;
 pub mod dsl;
+pub mod indexing;
 pub mod navigate;
 pub mod operators;
 pub mod render;
@@ -33,8 +34,9 @@ pub mod stats;
 
 pub use aggregation::AggregationFunction;
 pub use builder::{aggregation, compare, property, transform, RuleBuilder};
-pub use compiled::{CompiledRule, ValueCache};
+pub use compiled::{ChainValues, CompiledChain, CompiledRule, ValueCache};
 pub use dsl::{parse_rule, print_rule, DslError};
+pub use indexing::{IndexedComparison, IndexingPlan, PlanNode};
 pub use operators::{
     Aggregation, Comparison, PropertyOperator, SimilarityOperator, TransformationOperator,
     ValueOperator,

@@ -1,0 +1,621 @@
+//! MultiBlock key functions: overlap-guaranteed blocking per distance measure.
+//!
+//! Token blocking misses every pair whose values share no exact token —
+//! Levenshtein pairs with a typo in a single-token value, numeric, date and
+//! geographic comparisons, anything behind a transformation.  MultiBlock
+//! (Isele, Jentzsch & Bizer, OM 2011) instead derives the index from the
+//! *measure*: every [`DistanceFunction`] maps a value set to a set of
+//! [`BlockKey`]s at a given distance bound with the contract
+//!
+//! > **Overlap guarantee.** If `distance(A, B) ≤ bound` (finite), then
+//! > `block_keys(A, bound) ∩ block_keys(B, bound) ≠ ∅`.
+//!
+//! Candidate generation that only considers pairs sharing a key is therefore
+//! *lossless by construction*: it can only add false candidates (which the
+//! rule evaluation then rejects), never lose a true link.  Keys are 64-bit
+//! hashes, so a hash collision merges two blocks — more candidates, never
+//! fewer, which preserves the guarantee.
+//!
+//! Per-measure schemes (the lossless-by-construction arguments are spelled
+//! out in DESIGN.md, "Candidate generation"):
+//!
+//! * **Levenshtein** — an exact whole-value key when the edit budget
+//!   `d = ⌊bound⌋` is 0 (integer distances below 1 require equality);
+//!   otherwise positional padded q-grams (q shrinks as the budget grows)
+//!   with position buckets of width `d + 1` emitted with ±1 neighbour
+//!   overlap, plus a shared short-string key for values short enough that
+//!   `d` edits could destroy every gram (pigeonhole: `d` edits destroy at
+//!   most `q·d` of the `|s| + q − 1` padded grams).
+//! * **Jaro / Jaro-Winkler** — per-character keys: a similarity above zero
+//!   requires at least one common character, and `bound ≥ 1` admits every
+//!   pair (not prunable).
+//! * **Jaccard / Dice / Equality** — one key per distinct value (set
+//!   element); a distance below 1 requires a shared element.
+//! * **Numeric / Date** — interval buckets of width `bound` with ±1
+//!   neighbour overlap (two values within `bound` sit at most one bucket
+//!   apart; the extra neighbour absorbs floating-point rounding).
+//! * **Geographic** — the point is embedded on the sphere in 3-D (chord
+//!   length ≤ arc length, so a haversine bound is also a chord bound) and
+//!   bucketed per axis with width `bound`, emitting the 3³ neighbour cells.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::date::parse_date;
+use crate::geo::parse_point;
+use crate::numeric::parse_number;
+use crate::DistanceFunction;
+
+/// An opaque block key.  Keys only support equality: two value sets may end
+/// up in a common block, and pairs sharing no block are pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey(u64);
+
+impl BlockKey {
+    /// The raw 64-bit key (stable within a process run).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Builds a key from hashable parts, namespaced by a per-scheme tag so e.g.
+/// a Levenshtein bigram never collides with an equality value key by
+/// construction (only by 64-bit hash collision, which merely merges blocks).
+fn key<H: Hash>(tag: u8, parts: H) -> BlockKey {
+    let mut hasher = DefaultHasher::new();
+    tag.hash(&mut hasher);
+    parts.hash(&mut hasher);
+    BlockKey(hasher.finish())
+}
+
+const TAG_LEVENSHTEIN: u8 = 1;
+const TAG_LEVENSHTEIN_SHORT: u8 = 2;
+const TAG_LEVENSHTEIN_EXACT: u8 = 12;
+const TAG_CHARACTER: u8 = 3;
+const TAG_ELEMENT: u8 = 4;
+const TAG_EQUALITY: u8 = 5;
+const TAG_NUMERIC: u8 = 6;
+const TAG_NUMERIC_EXACT: u8 = 7;
+const TAG_DATE: u8 = 8;
+const TAG_DATE_EXACT: u8 = 9;
+const TAG_GEO: u8 = 10;
+const TAG_GEO_EXACT: u8 = 11;
+
+/// Start/end sentinels used to pad values before q-gram extraction; chosen
+/// from a Unicode noncharacter range so they cannot appear in real data (and
+/// if they did, blocks would only merge).
+const PAD_START: char = '\u{FDD0}';
+const PAD_END: char = '\u{FDD1}';
+
+/// Mean earth radius in kilometres (must match [`crate::geo`]).
+const EARTH_RADIUS_KM: f64 = 6371.0;
+
+impl DistanceFunction {
+    /// Returns `true` if this measure can prune candidate pairs at the given
+    /// distance bound.  Measures whose distance is capped at 1 (Jaccard,
+    /// Dice, Equality, Jaro, Jaro-Winkler) admit *every* pair once the bound
+    /// reaches 1, and no finite key set can rule anything out; callers must
+    /// treat such comparisons as matching all pairs.
+    pub fn can_prune(&self, bound: f64) -> bool {
+        if !bound.is_finite() {
+            return false;
+        }
+        match self {
+            DistanceFunction::Jaccard
+            | DistanceFunction::Dice
+            | DistanceFunction::Equality
+            | DistanceFunction::Jaro
+            | DistanceFunction::JaroWinkler => bound < 1.0,
+            DistanceFunction::Levenshtein
+            | DistanceFunction::Numeric
+            | DistanceFunction::Geographic
+            | DistanceFunction::Date => true,
+        }
+    }
+
+    /// Computes the block keys of a value set at a distance bound, appending
+    /// them (sorted, deduplicated) to `keys`.
+    ///
+    /// Must only be called when [`DistanceFunction::can_prune`] holds for the
+    /// bound.  An empty result means no value of the set can be within the
+    /// bound of anything (empty value set, or nothing parseable for the
+    /// numeric/date/geographic measures) — such entities are never candidates
+    /// through this comparison, which is exactly the evaluation semantics
+    /// (an empty value set yields similarity 0).
+    pub fn block_keys_into(&self, values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
+        keys.clear();
+        // Distances at exactly the bound must share a key; inflate the bound
+        // by one part in 10⁹ so bucket arithmetic on the boundary cannot be
+        // tipped over by floating-point rounding.
+        let bound = inflate(bound.max(0.0));
+        match self {
+            DistanceFunction::Levenshtein => levenshtein_keys(values, bound, keys),
+            DistanceFunction::Jaro | DistanceFunction::JaroWinkler => character_keys(values, keys),
+            DistanceFunction::Jaccard | DistanceFunction::Dice => {
+                element_keys(TAG_ELEMENT, values, keys)
+            }
+            DistanceFunction::Equality => element_keys(TAG_EQUALITY, values, keys),
+            DistanceFunction::Numeric => numeric_keys(values, bound, keys),
+            DistanceFunction::Date => date_keys(values, bound, keys),
+            DistanceFunction::Geographic => geographic_keys(values, bound, keys),
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`DistanceFunction::block_keys_into`].
+    pub fn block_keys(&self, values: &[String], bound: f64) -> Vec<BlockKey> {
+        let mut keys = Vec::new();
+        self.block_keys_into(values, bound, &mut keys);
+        keys
+    }
+}
+
+/// Inflates a bound by a relative epsilon (and keeps 0 exact: non-negative
+/// distances at bound 0 mean "exactly equal", where bucket arithmetic is
+/// already exact).
+fn inflate(bound: f64) -> f64 {
+    bound * (1.0 + 1e-9)
+}
+
+/// Levenshtein: positional padded q-grams + short-value fallback key, with
+/// the q-gram length adapted to the edit budget `d = ⌊bound⌋`.
+///
+/// * `d = 0` — the distance is an integer, so a bound below 1 admits only
+///   *identical* strings: one exact whole-value key (maximally selective).
+/// * `d ≥ 1` — values are padded with `q − 1` sentinels on each side, giving
+///   `|s| + q − 1` positional q-grams.  Each of the `e ≤ d` edits destroys
+///   at most `q` grams and shifts survivors by at most `e ≤ d` positions, so
+///   whenever `|s| + q − 1 > q·d` for either value, a shared gram survives
+///   within one bucket (width `d + 1`) of its original position and the ±1
+///   neighbour emission yields a common `(gram, bucket)` key.  Values short
+///   enough that every gram could be destroyed (`|s| ≤ q·(d − 1) + 1`)
+///   additionally emit a shared short-value key.
+///
+/// Small budgets use longer grams (q = 6 at d = 1, q = 3 at d = 2, q = 2
+/// beyond): the guarantee only needs `|s| > q·(d − 1) + 1`, and longer grams
+/// are exponentially more selective against unrelated values.
+fn levenshtein_keys(values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
+    let budget = bound.min(1e9).floor() as usize;
+    if budget == 0 {
+        for value in values {
+            keys.push(key(TAG_LEVENSHTEIN_EXACT, value.as_str()));
+        }
+        return;
+    }
+    let q = match budget {
+        1 => 6,
+        2 => 3,
+        _ => 2,
+    };
+    let short_cutoff = q * (budget - 1) + 1;
+    let bucket_width = (budget + 1) as i64;
+    let mut padded: Vec<char> = Vec::new();
+    for value in values {
+        padded.clear();
+        padded.extend(std::iter::repeat_n(PAD_START, q - 1));
+        padded.extend(value.chars());
+        if padded.len() - (q - 1) <= short_cutoff {
+            keys.push(key(TAG_LEVENSHTEIN_SHORT, budget));
+        }
+        padded.extend(std::iter::repeat_n(PAD_END, q - 1));
+        for (position, gram) in padded.windows(q).enumerate() {
+            let bucket = position as i64 / bucket_width;
+            for neighbour in bucket - 1..=bucket + 1 {
+                keys.push(key(TAG_LEVENSHTEIN, (gram, neighbour)));
+            }
+        }
+    }
+}
+
+/// Jaro / Jaro-Winkler: one key per distinct character.
+///
+/// Guarantee (`bound < 1`, checked by `can_prune`): a Jaro distance below 1
+/// means the similarity is positive, which requires at least one matched —
+/// hence common — character.  Jaro-Winkler similarity is zero whenever Jaro
+/// similarity is zero (a common prefix character would have been a Jaro
+/// match), so the same argument applies.  Two empty values have distance 0
+/// and share the empty-value key.
+fn character_keys(values: &[String], keys: &mut Vec<BlockKey>) {
+    for value in values {
+        if value.is_empty() {
+            keys.push(key(TAG_CHARACTER, u32::MAX));
+            continue;
+        }
+        for c in value.chars() {
+            keys.push(key(TAG_CHARACTER, c as u32));
+        }
+    }
+}
+
+/// Jaccard / Dice / Equality: one key per distinct value-set element.
+///
+/// Guarantee (`bound < 1`): a Jaccard or Dice distance below 1 requires a
+/// non-empty intersection of the two value sets; an equality distance of 0
+/// requires a shared value outright.
+fn element_keys(tag: u8, values: &[String], keys: &mut Vec<BlockKey>) {
+    for value in values {
+        keys.push(key(tag, value.as_str()));
+    }
+}
+
+/// Shared interval-bucket scheme for one-dimensional measures: buckets of
+/// width `bound` emitted with ±1 neighbour overlap.
+///
+/// Guarantee: `|x − y| ≤ bound` puts the two values at most one bucket
+/// apart, so the ±1 emission always leaves a shared `(tag, bucket)` key —
+/// with one bucket of slack for floating-point rounding of `x / bound`.
+fn bucket_keys(tag: u8, x: f64, width: f64, keys: &mut Vec<BlockKey>) {
+    // clamp to the exactly-representable integer range; saturated cells at
+    // the extremes merge blocks, which is harmless
+    let bucket = (x / width).floor().clamp(-9.0e15, 9.0e15) as i64;
+    for neighbour in bucket - 1..=bucket + 1 {
+        keys.push(key(tag, neighbour));
+    }
+}
+
+/// Numeric: interval buckets over the parsed value (exact-value keys when
+/// the bound is 0, i.e. only `|x − y| = 0` passes).
+fn numeric_keys(values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
+    for value in values {
+        let Some(x) = parse_number(value) else {
+            continue;
+        };
+        if !x.is_finite() {
+            continue;
+        }
+        if bound == 0.0 {
+            let canonical = if x == 0.0 { 0.0 } else { x };
+            keys.push(key(TAG_NUMERIC_EXACT, canonical.to_bits()));
+        } else {
+            bucket_keys(TAG_NUMERIC, x, bound, keys);
+        }
+    }
+}
+
+/// Date: interval buckets over the day number (the date distance is measured
+/// in days).
+fn date_keys(values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
+    for value in values {
+        let Some(date) = parse_date(value) else {
+            continue;
+        };
+        let days = date.days_from_epoch();
+        if bound == 0.0 {
+            keys.push(key(TAG_DATE_EXACT, days));
+        } else {
+            bucket_keys(TAG_DATE, days as f64, bound, keys);
+        }
+    }
+}
+
+/// Geographic: grid cells over the 3-D chord embedding of the point.
+///
+/// Guarantee: the straight-line (chord) distance between two points on the
+/// sphere never exceeds their great-circle distance, so a haversine bound of
+/// `b` km bounds every Cartesian coordinate difference by `b`.  Bucketing
+/// each axis with width `b` puts the two points at most one cell apart per
+/// axis, and emitting the 3³ neighbour cells guarantees a shared
+/// `(cx, cy, cz)` cell.  The embedding also handles the antimeridian and the
+/// poles natively (longitude ±180° maps to the same 3-D point).
+fn geographic_keys(values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
+    for value in values {
+        let Some((lat, lon)) = parse_point(value) else {
+            continue;
+        };
+        let (lat, lon) = (lat.to_radians(), lon.to_radians());
+        let x = EARTH_RADIUS_KM * lat.cos() * lon.cos();
+        let y = EARTH_RADIUS_KM * lat.cos() * lon.sin();
+        let z = EARTH_RADIUS_KM * lat.sin();
+        if bound == 0.0 {
+            keys.push(key(TAG_GEO_EXACT, (x.to_bits(), y.to_bits(), z.to_bits())));
+            continue;
+        }
+        let cell = |coordinate: f64| (coordinate / bound).floor().clamp(-9.0e15, 9.0e15) as i64;
+        let (cx, cy, cz) = (cell(x), cell(y), cell(z));
+        for nx in cx - 1..=cx + 1 {
+            for ny in cy - 1..=cy + 1 {
+                for nz in cz - 1..=cz + 1 {
+                    keys.push(key(TAG_GEO, (nx, ny, nz)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vs(values: &[&str]) -> Vec<String> {
+        values.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn overlap(f: DistanceFunction, a: &[String], b: &[String], bound: f64) -> bool {
+        let ka = f.block_keys(a, bound);
+        let kb = f.block_keys(b, bound);
+        ka.iter().any(|k| kb.binary_search(k).is_ok())
+    }
+
+    /// The shared contract: whenever the distance is within the bound, the
+    /// key sets overlap.
+    fn assert_guarantee(f: DistanceFunction, a: &[String], b: &[String], bound: f64) {
+        let distance = f.evaluate(a, b);
+        if distance.is_finite() && distance <= bound {
+            assert!(
+                overlap(f, a, b, bound),
+                "{f} keys of {a:?} and {b:?} do not overlap at bound {bound} (distance {distance})"
+            );
+        }
+    }
+
+    #[test]
+    fn can_prune_reflects_measure_ranges() {
+        for f in DistanceFunction::ALL {
+            assert!(f.can_prune(0.0), "{f} must prune at bound 0");
+            assert!(!f.can_prune(f64::INFINITY));
+        }
+        assert!(!DistanceFunction::Jaccard.can_prune(1.0));
+        assert!(!DistanceFunction::Jaro.can_prune(1.5));
+        assert!(DistanceFunction::Jaccard.can_prune(0.99));
+        assert!(DistanceFunction::Levenshtein.can_prune(100.0));
+        assert!(DistanceFunction::Geographic.can_prune(500.0));
+    }
+
+    #[test]
+    fn empty_value_sets_produce_no_keys() {
+        for f in DistanceFunction::ALL {
+            assert!(f.block_keys(&[], 1.0).is_empty(), "{f}");
+        }
+    }
+
+    #[test]
+    fn unparseable_values_produce_no_keys() {
+        for f in [
+            DistanceFunction::Numeric,
+            DistanceFunction::Date,
+            DistanceFunction::Geographic,
+        ] {
+            assert!(f.block_keys(&vs(&["not parseable"]), 5.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn levenshtein_single_token_typo_shares_a_key() {
+        // the pair the token index provably misses: single-token values with
+        // a typo share no exact token, but do share a bigram block
+        assert!(overlap(
+            DistanceFunction::Levenshtein,
+            &vs(&["bistro"]),
+            &vs(&["bstro"]),
+            1.0
+        ));
+        assert!(overlap(
+            DistanceFunction::Levenshtein,
+            &vs(&["berlin"]),
+            &vs(&["berlim"]),
+            2.0
+        ));
+    }
+
+    #[test]
+    fn levenshtein_short_values_fall_back_to_the_short_key() {
+        // "ab" vs "cd" are within edit distance 2 yet share no bigram
+        assert_guarantee(
+            DistanceFunction::Levenshtein,
+            &vs(&["ab"]),
+            &vs(&["cd"]),
+            2.0,
+        );
+        assert_guarantee(DistanceFunction::Levenshtein, &vs(&[""]), &vs(&["x"]), 1.0);
+    }
+
+    #[test]
+    fn numeric_boundary_distances_share_a_bucket() {
+        assert_guarantee(DistanceFunction::Numeric, &vs(&["10"]), &vs(&["12"]), 2.0);
+        assert_guarantee(DistanceFunction::Numeric, &vs(&["-1"]), &vs(&["1"]), 2.0);
+        assert_guarantee(DistanceFunction::Numeric, &vs(&["5"]), &vs(&["5"]), 0.0);
+        // beyond the bound pruning is *allowed* (not required) — far apart
+        // values must not share a bucket
+        assert!(!overlap(
+            DistanceFunction::Numeric,
+            &vs(&["0"]),
+            &vs(&["100"]),
+            2.0
+        ));
+    }
+
+    #[test]
+    fn date_buckets_respect_day_distance() {
+        assert_guarantee(
+            DistanceFunction::Date,
+            &vs(&["2001-01-01"]),
+            &vs(&["2001-02-01"]),
+            40.0,
+        );
+        assert!(!overlap(
+            DistanceFunction::Date,
+            &vs(&["1960"]),
+            &vs(&["2004"]),
+            400.0
+        ));
+    }
+
+    #[test]
+    fn geographic_cells_cover_nearby_points() {
+        // Berlin vs. Potsdam: ~27 km
+        assert_guarantee(
+            DistanceFunction::Geographic,
+            &vs(&["52.5200 13.4050"]),
+            &vs(&["52.3906 13.0645"]),
+            50.0,
+        );
+        // antimeridian: same physical location, opposite longitude signs
+        assert_guarantee(
+            DistanceFunction::Geographic,
+            &vs(&["10.0 180.0"]),
+            &vs(&["10.0 -180.0"]),
+            1.0,
+        );
+        assert!(!overlap(
+            DistanceFunction::Geographic,
+            &vs(&["52.52 13.40"]),
+            &vs(&["48.85 2.35"]),
+            50.0
+        ));
+    }
+
+    #[test]
+    fn equality_keys_are_exact_values() {
+        assert!(overlap(
+            DistanceFunction::Equality,
+            &vs(&["x", "y"]),
+            &vs(&["y"]),
+            0.5
+        ));
+        assert!(!overlap(
+            DistanceFunction::Equality,
+            &vs(&["x"]),
+            &vs(&["X"]),
+            0.5
+        ));
+    }
+
+    #[test]
+    fn jaro_empty_values_share_the_empty_key() {
+        assert_guarantee(DistanceFunction::Jaro, &vs(&[""]), &vs(&[""]), 0.5);
+    }
+
+    #[test]
+    fn multi_value_sets_take_the_union_of_keys() {
+        // min-over-cross-product semantics: one close pair of values suffices
+        assert_guarantee(
+            DistanceFunction::Levenshtein,
+            &vs(&["zzzzzz", "berlin"]),
+            &vs(&["qqqqqq", "berlim"]),
+            2.0,
+        );
+    }
+
+    proptest! {
+        /// Levenshtein guarantee over random pairs, including pairs generated
+        /// by applying few edits (so close pairs are actually sampled).
+        #[test]
+        fn levenshtein_guarantee_holds(
+            a in "[a-d]{0,14}",
+            b in "[a-d]{0,14}",
+            bound in 0.0f64..5.0,
+        ) {
+            assert_guarantee(DistanceFunction::Levenshtein, &[a], &[b], bound);
+        }
+
+        /// Close pairs specifically: mutate a base string with up to `d`
+        /// character edits so the within-bound region is densely sampled
+        /// across all q-gram regimes.
+        #[test]
+        fn levenshtein_guarantee_holds_for_edited_pairs(
+            base in "[a-e]{1,14}",
+            edits in proptest::collection::vec((0usize..14, "[a-e]"), 0..4),
+            bound in 0.9f64..4.5,
+        ) {
+            let mut edited: Vec<char> = base.chars().collect();
+            for (position, replacement) in &edits {
+                let c = replacement.chars().next().expect("one char");
+                match position {
+                    p if p % 3 == 0 && !edited.is_empty() => {
+                        let at = p % edited.len();
+                        edited.remove(at);
+                    }
+                    p if p % 3 == 1 => {
+                        let at = p % (edited.len() + 1);
+                        edited.insert(at, c);
+                    }
+                    p => {
+                        if !edited.is_empty() {
+                            let at = p % edited.len();
+                            edited[at] = c;
+                        }
+                    }
+                }
+            }
+            let b: String = edited.into_iter().collect();
+            assert_guarantee(DistanceFunction::Levenshtein, &[base], &[b], bound);
+        }
+
+        #[test]
+        fn jaro_guarantee_holds(a in "[a-d]{0,8}", b in "[a-d]{0,8}", bound in 0.0f64..0.95) {
+            assert_guarantee(
+                DistanceFunction::Jaro,
+                std::slice::from_ref(&a),
+                std::slice::from_ref(&b),
+                bound,
+            );
+            assert_guarantee(DistanceFunction::JaroWinkler, &[a], &[b], bound);
+        }
+
+        #[test]
+        fn set_measure_guarantee_holds(
+            a in proptest::collection::vec("[a-c]{1,2}", 0..5),
+            b in proptest::collection::vec("[a-c]{1,2}", 0..5),
+            bound in 0.0f64..0.95,
+        ) {
+            assert_guarantee(DistanceFunction::Jaccard, &a, &b, bound);
+            assert_guarantee(DistanceFunction::Dice, &a, &b, bound);
+            assert_guarantee(DistanceFunction::Equality, &a, &b, bound);
+        }
+
+        #[test]
+        fn numeric_guarantee_holds(
+            x in -1e4f64..1e4,
+            delta in -10.0f64..10.0,
+            bound in 0.0f64..10.0,
+        ) {
+            let a = vec![format!("{x}")];
+            let b = vec![format!("{}", x + delta)];
+            assert_guarantee(DistanceFunction::Numeric, &a, &b, bound);
+        }
+
+        #[test]
+        fn date_guarantee_holds(
+            y1 in 1950i32..2050, m1 in 1u32..13, d1 in 1u32..29,
+            y2 in 1950i32..2050, m2 in 1u32..13, d2 in 1u32..29,
+            bound in 0.0f64..5000.0,
+        ) {
+            let a = vec![format!("{y1:04}-{m1:02}-{d1:02}")];
+            let b = vec![format!("{y2:04}-{m2:02}-{d2:02}")];
+            assert_guarantee(DistanceFunction::Date, &a, &b, bound);
+        }
+
+        #[test]
+        fn geographic_guarantee_holds(
+            lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+            dlat in -0.5f64..0.5, dlon in -0.5f64..0.5,
+            bound in 0.1f64..120.0,
+        ) {
+            let a = vec![format!("{lat1} {lon1}")];
+            let b = vec![format!("{} {}", (lat1 + dlat).clamp(-90.0, 90.0),
+                                          (lon1 + dlon).clamp(-180.0, 180.0))];
+            assert_guarantee(DistanceFunction::Geographic, &a, &b, bound);
+        }
+
+        /// Keys are deterministic and deduplicated.
+        #[test]
+        fn keys_are_sorted_and_stable(values in proptest::collection::vec(".{0,8}", 0..4)) {
+            for f in DistanceFunction::ALL {
+                let bound = f.default_threshold() / 2.0;
+                if !f.can_prune(bound) {
+                    continue;
+                }
+                let first = f.block_keys(&values, bound);
+                let second = f.block_keys(&values, bound);
+                prop_assert_eq!(&first, &second);
+                let mut sorted = first.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(first, sorted);
+            }
+        }
+    }
+}

@@ -14,12 +14,14 @@
 //! involving an empty value set is unmeasurable (`f64::INFINITY`), which makes
 //! the comparison yield similarity `0`.
 
+pub mod blocking;
 pub mod date;
 pub mod geo;
 pub mod numeric;
 pub mod string;
 pub mod token;
 
+pub use blocking::BlockKey;
 pub use date::date_distance;
 pub use geo::{geographic_distance, parse_point};
 pub use numeric::numeric_distance;

@@ -1,0 +1,134 @@
+//! Property test: MultiBlock candidate generation is lossless.
+//!
+//! For random rules (drawn from the same generator the GP learner uses, so
+//! transforms, all distance measures and nested aggregations are exercised)
+//! over random noisy datasets:
+//!
+//! 1. the candidate set of every source entity is a **superset of its true
+//!    matches** under the rule (pairs the full cross product links are never
+//!    pruned), and
+//! 2. the engine's indexed run produces **exactly** the links of the
+//!    exhaustive run.
+
+use genlink::random::RandomRuleGenerator;
+use genlink::seeding::SeedingConfig;
+use genlink::{find_compatible_properties, RepresentationMode};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::EntityPair;
+use linkdisc_matching::{MatchingEngine, MatchingOptions, MultiBlockIndex};
+use linkdisc_rule::{IndexingPlan, LinkageRule, ValueCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_rules(kind: DatasetKind, scale: f64, seed: u64, count: usize) -> RuleWorkload {
+    let dataset = kind.generate(scale, seed);
+    let pairs = find_compatible_properties(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        &SeedingConfig::default(),
+    );
+    assert!(!pairs.is_empty(), "seeding found no compatible properties");
+    let generator = RandomRuleGenerator::new(pairs, RepresentationMode::Full);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(991));
+    let rules = (0..count).map(|_| generator.generate(&mut rng)).collect();
+    RuleWorkload { dataset, rules }
+}
+
+struct RuleWorkload {
+    dataset: linkdisc_datasets::Dataset,
+    rules: Vec<LinkageRule>,
+}
+
+/// Direct superset check against the index: every pair the rule links must
+/// survive candidate generation.
+fn assert_candidates_cover_links(workload: &RuleWorkload, link_threshold: f64) {
+    for rule in &workload.rules {
+        let plan = IndexingPlan::lower(
+            rule,
+            workload.dataset.source.schema(),
+            workload.dataset.target.schema(),
+            link_threshold,
+        );
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan, &workload.dataset.target, &cache);
+        for source_entity in workload.dataset.source.entities() {
+            let candidates = index.candidate_positions(source_entity, &cache);
+            for (position, target_entity) in workload.dataset.target.entities().iter().enumerate() {
+                let score = rule.evaluate(&EntityPair::new(source_entity, target_entity));
+                if score >= link_threshold {
+                    assert!(
+                        candidates.binary_search(&position).is_ok(),
+                        "true match {} -> {} (score {score:.4} ≥ {link_threshold}) was pruned \
+                         by rule {}",
+                        source_entity.id(),
+                        target_entity.id(),
+                        linkdisc_rule::print_rule(rule),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end check through the engine: indexed and exhaustive runs agree
+/// exactly (same links, same scores).
+fn assert_engine_paths_agree(workload: &RuleWorkload, link_threshold: f64) {
+    for rule in &workload.rules {
+        let blocked = MatchingEngine::new(rule.clone())
+            .with_options(MatchingOptions {
+                threads: 2,
+                link_threshold,
+                ..MatchingOptions::default()
+            })
+            .run(&workload.dataset.source, &workload.dataset.target);
+        let full = MatchingEngine::new(rule.clone())
+            .with_options(MatchingOptions {
+                use_blocking: false,
+                threads: 2,
+                link_threshold,
+                ..MatchingOptions::default()
+            })
+            .run(&workload.dataset.source, &workload.dataset.target);
+        assert_eq!(
+            blocked.links,
+            full.links,
+            "indexed and exhaustive links diverge for rule {}",
+            linkdisc_rule::print_rule(rule),
+        );
+        assert!(blocked.evaluated_pairs <= full.evaluated_pairs);
+    }
+}
+
+#[test]
+fn multiblock_candidates_cover_all_true_matches() {
+    for seed in 0..4 {
+        let workload = random_rules(DatasetKind::Restaurant, 0.08, seed, 6);
+        assert_candidates_cover_links(&workload, 0.5);
+    }
+    for seed in 0..2 {
+        let workload = random_rules(DatasetKind::Cora, 0.04, seed, 6);
+        assert_candidates_cover_links(&workload, 0.5);
+    }
+}
+
+#[test]
+fn indexed_and_exhaustive_links_are_identical() {
+    for seed in 0..4 {
+        let workload = random_rules(DatasetKind::Restaurant, 0.08, seed, 6);
+        assert_engine_paths_agree(&workload, 0.5);
+    }
+    for seed in 0..2 {
+        let workload = random_rules(DatasetKind::LinkedMdb, 0.05, seed, 4);
+        assert_engine_paths_agree(&workload, 0.5);
+    }
+}
+
+#[test]
+fn losslessness_holds_for_non_default_link_thresholds() {
+    let workload = random_rules(DatasetKind::Restaurant, 0.08, 11, 5);
+    for link_threshold in [0.3, 0.7, 0.9] {
+        assert_candidates_cover_links(&workload, link_threshold);
+        assert_engine_paths_agree(&workload, link_threshold);
+    }
+}
