@@ -1,0 +1,281 @@
+//! Serving-subsystem benchmark: sharded index build, single-entity query
+//! latency, hot-path allocation behaviour and streaming peak memory, with
+//! results emitted to `BENCH_serving.json`.
+//!
+//! Four measurements:
+//!
+//! 1. **Sharded build** — `MultiBlockIndex::build_slice` over the largest
+//!    workload (full-scale Cora, transform + q-gram keys), single-threaded
+//!    versus 4 workers, each run against a fresh `ValueCache` so every
+//!    build does the same work.  Gate (enforced only when the host has ≥ 4
+//!    cores, as CI does): **speedup ≥ 2x**.
+//! 2. **Query latency** — a `LinkService` over the restaurant conjunction
+//!    rule answering one `query` per source entity; mean/p50/p99 µs.
+//! 3. **Query allocations** — the `query_with` hot path on a transform-free
+//!    rule, counted with a wrapping global allocator in steady state.
+//!    Gate: **0 allocations per query** (candidate generation runs on
+//!    pooled scratch, the per-query cache constructs allocation-free, and
+//!    scoring reads borrowed value slices).
+//! 4. **Streaming peak memory** — the engine's chunked run versus the batch
+//!    run on Cora: identical links (gate) with only `chunk_size` target
+//!    entities resident at a time (the peak-memory proxy).
+//!
+//! Environment: `GENLINK_BENCH_SERVING_OUT` (output path, default
+//! `BENCH_serving.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use linkdisc_datasets::{Dataset, DatasetKind};
+use linkdisc_matching::{
+    CandidateScratch, LinkService, MatchingEngine, MatchingOptions, MultiBlockIndex, ServiceOptions,
+};
+use linkdisc_rule::{
+    aggregation, compare, property, transform, AggregationFunction, DistanceFunction, IndexingPlan,
+    LinkageRule, TransformFunction, ValueCache,
+};
+
+/// Passthrough allocator that counts allocations, so the zero-allocation
+/// claim of the serving hot path is *measured*, not asserted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const BUILD_SPEEDUP_GATE: f64 = 2.0;
+const BUILD_THREADS: usize = 4;
+const BUILD_REPETITIONS: usize = 3;
+const STREAM_CHUNK: usize = 256;
+
+fn cora_rule() -> LinkageRule {
+    compare(
+        transform(TransformFunction::LowerCase, vec![property("title")]),
+        transform(TransformFunction::LowerCase, vec![property("title")]),
+        DistanceFunction::Levenshtein,
+        3.0,
+    )
+    .into()
+}
+
+fn restaurant_rule() -> LinkageRule {
+    aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+        ],
+    )
+    .into()
+}
+
+/// Transform-free rule for the allocation measurement: raw property values
+/// are borrowed straight out of the entity, so a steady-state query touches
+/// no allocator at all.
+fn equality_rule() -> LinkageRule {
+    compare(
+        property("phone"),
+        property("phone"),
+        DistanceFunction::Equality,
+        0.5,
+    )
+    .into()
+}
+
+/// Best-of-N wall time of one index build with a fresh cache per run (a
+/// shared cache would hand later runs memoized transforms and undercount).
+fn build_ms(dataset: &Dataset, rule: &LinkageRule, threads: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..BUILD_REPETITIONS {
+        let cache = ValueCache::new();
+        let plan = IndexingPlan::lower(rule, dataset.source.schema(), dataset.target.schema(), 0.5);
+        let start = Instant::now();
+        let index = MultiBlockIndex::build_slice(plan, dataset.target.entities(), &cache, threads);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert!(index.target_len() == dataset.target.len());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let out_path = std::env::var("GENLINK_BENCH_SERVING_OUT")
+        .unwrap_or_else(|_| "BENCH_serving.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== serving benchmark ({cores} cores) ===\n");
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. sharded build ------------------------------------------------------
+    let cora = DatasetKind::Cora.generate(1.0, 42);
+    let rule = cora_rule();
+    println!(
+        "--- sharded index build (cora, |B|={} entities) ---",
+        cora.target.len()
+    );
+    let t1_ms = build_ms(&cora, &rule, 1);
+    let t4_ms = build_ms(&cora, &rule, BUILD_THREADS);
+    let speedup = t1_ms / t4_ms;
+    let build_gate_enforced = cores >= BUILD_THREADS;
+    println!("1 thread:  {t1_ms:9.1} ms (best of {BUILD_REPETITIONS})");
+    println!("{BUILD_THREADS} threads: {t4_ms:9.1} ms (best of {BUILD_REPETITIONS})");
+    println!(
+        "speedup: {speedup:.2}x (gate ≥ {BUILD_SPEEDUP_GATE}x, {})",
+        if build_gate_enforced {
+            "enforced"
+        } else {
+            "reported only — host has fewer than 4 cores"
+        }
+    );
+    if build_gate_enforced && speedup < BUILD_SPEEDUP_GATE {
+        failures.push(format!(
+            "sharded build speedup {speedup:.2}x < {BUILD_SPEEDUP_GATE}x on {BUILD_THREADS} threads"
+        ));
+    }
+    println!();
+
+    // 2. query latency ------------------------------------------------------
+    let restaurant = DatasetKind::Restaurant.generate(1.0, 42);
+    let service = LinkService::build(
+        restaurant_rule(),
+        restaurant.source.schema(),
+        &restaurant.target,
+        ServiceOptions::default(),
+    );
+    // warm caches and pools, then measure
+    for entity in restaurant.source.entities() {
+        service.query(entity);
+    }
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(restaurant.source.len());
+    let mut links_found = 0usize;
+    for entity in restaurant.source.entities() {
+        let start = Instant::now();
+        let links = service.query(entity);
+        latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        links_found += links.len();
+    }
+    latencies_us.sort_by(f64::total_cmp);
+    let mean_us = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
+    let p50_us = percentile(&latencies_us, 0.50);
+    let p99_us = percentile(&latencies_us, 0.99);
+    println!("--- single-entity query latency (restaurant conjunction) ---");
+    println!(
+        "{} queries over {} served entities: mean {mean_us:.1} µs, p50 {p50_us:.1} µs, \
+         p99 {p99_us:.1} µs, {links_found} links",
+        restaurant.source.len(),
+        service.len()
+    );
+    println!();
+
+    // 3. hot-path allocations ----------------------------------------------
+    let flat_service = LinkService::build(
+        equality_rule(),
+        restaurant.source.schema(),
+        &restaurant.target,
+        ServiceOptions::default(),
+    );
+    let mut scratch = CandidateScratch::new();
+    let mut hits: Vec<(u32, f64)> = Vec::new();
+    // two warm-up passes grow every pooled buffer to its steady-state size
+    for _ in 0..2 {
+        for entity in restaurant.source.entities() {
+            flat_service.query_with(entity, &mut scratch, &mut hits);
+        }
+    }
+    let queries = restaurant.source.len() as u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for entity in restaurant.source.entities() {
+        flat_service.query_with(entity, &mut scratch, &mut hits);
+    }
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let allocations_per_query = allocations as f64 / queries as f64;
+    println!("--- hot-path allocations (transform-free rule, steady state) ---");
+    println!("{queries} queries: {allocations} allocations ({allocations_per_query:.3} per query)");
+    if allocations != 0 {
+        failures.push(format!(
+            "hot query path allocated {allocations} times over {queries} queries (gate: 0)"
+        ));
+    }
+    println!();
+
+    // 4. streaming peak memory ---------------------------------------------
+    let batch = MatchingEngine::new(rule.clone()).run(&cora.source, &cora.target);
+    let streamed = MatchingEngine::new(rule)
+        .with_options(MatchingOptions {
+            chunk_size: STREAM_CHUNK,
+            ..MatchingOptions::default()
+        })
+        .run(&cora.source, &cora.target);
+    let links_match = streamed.links == batch.links;
+    let peak_fraction = streamed.peak_chunk_entities as f64 / streamed.target_entities as f64;
+    println!("--- streaming ingestion (cora, chunk size {STREAM_CHUNK}) ---");
+    println!(
+        "{} chunks, peak {} of {} target entities resident ({:.1}%), links match batch: \
+         {links_match}",
+        streamed.chunks,
+        streamed.peak_chunk_entities,
+        streamed.target_entities,
+        peak_fraction * 100.0
+    );
+    if !links_match {
+        failures.push("streamed links diverge from the batch run".to_string());
+    }
+    println!();
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match}\n  }}\n}}\n",
+        cora.target.len(),
+        restaurant.source.len(),
+        restaurant.target.len(),
+        streamed.chunks,
+        streamed.peak_chunk_entities,
+        streamed.target_entities,
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark output");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all serving gates passed");
+}

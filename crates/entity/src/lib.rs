@@ -15,6 +15,8 @@
 //! * [`DataSource`] — a named collection of entities sharing one schema,
 //! * [`ReferenceLinks`] — positive and negative reference links including the
 //!   negative-link generation scheme used in Section 6.1 of the paper,
+//! * [`StreamingSource`] — chunked access to sources too large to
+//!   materialise, with a zero-copy adapter for in-memory sources,
 //! * [`tabular`] — a tiny delimited-text loader so real data can be plugged in,
 //! * [`EntityPair`] — a borrowed pair `(a, b)` handed to linkage rules.
 //!
@@ -29,6 +31,7 @@ pub mod links;
 pub mod pair;
 pub mod schema;
 pub mod source;
+pub mod stream;
 pub mod tabular;
 pub mod value;
 
@@ -38,4 +41,5 @@ pub use links::{Link, ReferenceLinks, ReferenceLinksBuilder};
 pub use pair::{EntityPair, ResolvedReferenceLinks};
 pub use schema::{PropertyIndex, Schema};
 pub use source::{DataSource, DataSourceBuilder};
+pub use stream::{ChunkedVecStream, MaterializedStream, StreamingSource};
 pub use value::{normalized_tokens, ValueSet};

@@ -1,0 +1,216 @@
+//! Streaming data sources: chunked access to entity collections that need
+//! not be fully materialised in memory.
+//!
+//! [`DataSource`] holds every entity in RAM, which caps the target-source
+//! size a matching run can handle.  A [`StreamingSource`] instead hands out
+//! entities in bounded chunks: the matching engine builds its MultiBlock
+//! index per chunk, scores the chunk's candidates, and drops the chunk
+//! before requesting the next one — peak memory is one chunk, not the whole
+//! source.  Chunked matching is *exactly* equivalent to matching against the
+//! materialised source because the candidate-set algebra distributes over a
+//! partition of the target: every plan node restricted to a chunk equals the
+//! full node intersected with the chunk (see DESIGN.md, "Serving
+//! architecture").
+//!
+//! Chunks are [`Cow`] slices so a fully materialised source can stream
+//! *without copying*: [`MaterializedStream`] borrows windows straight out of
+//! the backing [`DataSource`], which is how the engine's batch entry point
+//! is a thin wrapper over the streaming one.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use crate::entity::Entity;
+use crate::schema::Schema;
+use crate::source::DataSource;
+
+/// A source of entities delivered in bounded chunks.
+///
+/// Implementations may materialise chunks lazily (parse a file segment,
+/// fetch a page from a store) or borrow them from an in-memory collection.
+/// The contract mirrors an iterator: [`StreamingSource::next_chunk`] returns
+/// `None` exactly once the source is exhausted, and every entity is
+/// delivered in exactly one chunk.  All entities must adhere to
+/// [`StreamingSource::schema`].
+pub trait StreamingSource {
+    /// The name of this source (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// The schema shared by every streamed entity.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// The next chunk, holding at most `max_entities` entities (`max_entities`
+    /// is a cap, not a promise — smaller chunks are fine).  Returns `None`
+    /// when the source is exhausted.  A borrowed `Cow` lets in-memory
+    /// sources stream without copying.
+    fn next_chunk(&mut self, max_entities: usize) -> Option<Cow<'_, [Entity]>>;
+
+    /// Total number of entities, when known up front.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streams a materialised [`DataSource`] by borrowing windows of its entity
+/// slice — the zero-copy adapter that turns the engine's batch path into a
+/// streaming run with one (or a few) borrowed chunks.
+#[derive(Debug)]
+pub struct MaterializedStream<'a> {
+    source: &'a DataSource,
+    cursor: usize,
+}
+
+impl<'a> MaterializedStream<'a> {
+    /// Creates a stream over the whole source.
+    pub fn new(source: &'a DataSource) -> Self {
+        MaterializedStream { source, cursor: 0 }
+    }
+
+    /// Entities not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.source.len() - self.cursor
+    }
+}
+
+impl StreamingSource for MaterializedStream<'_> {
+    fn name(&self) -> &str {
+        self.source.name()
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        self.source.schema()
+    }
+
+    fn next_chunk(&mut self, max_entities: usize) -> Option<Cow<'_, [Entity]>> {
+        if self.cursor >= self.source.len() {
+            return None;
+        }
+        let start = self.cursor;
+        let end = start
+            .saturating_add(max_entities.max(1))
+            .min(self.source.len());
+        self.cursor = end;
+        Some(Cow::Borrowed(&self.source.entities()[start..end]))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.source.len())
+    }
+}
+
+/// A streaming source over owned entity chunks, e.g. produced by a parser
+/// that reads one file segment at a time.  Mostly useful in tests and as a
+/// reference for implementing real lazily-loading sources.
+#[derive(Debug)]
+pub struct ChunkedVecStream {
+    name: String,
+    schema: Arc<Schema>,
+    chunks: std::vec::IntoIter<Vec<Entity>>,
+    remaining: usize,
+}
+
+impl ChunkedVecStream {
+    /// Creates a stream that yields the given chunks in order (each chunk is
+    /// delivered as-is, ignoring `max_entities` beyond the chunk boundary).
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, chunks: Vec<Vec<Entity>>) -> Self {
+        let remaining = chunks.iter().map(Vec::len).sum();
+        ChunkedVecStream {
+            name: name.into(),
+            schema,
+            chunks: chunks.into_iter(),
+            remaining,
+        }
+    }
+}
+
+impl StreamingSource for ChunkedVecStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn next_chunk(&mut self, _max_entities: usize) -> Option<Cow<'_, [Entity]>> {
+        let chunk = self.chunks.next()?;
+        self.remaining -= chunk.len();
+        Some(Cow::Owned(chunk))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DataSourceBuilder;
+
+    fn sample() -> DataSource {
+        DataSourceBuilder::new("cities", ["label"])
+            .entity("c1", [("label", "Berlin")])
+            .unwrap()
+            .entity("c2", [("label", "Paris")])
+            .unwrap()
+            .entity("c3", [("label", "Rome")])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn materialized_stream_covers_every_entity_once() {
+        let source = sample();
+        let mut stream = MaterializedStream::new(&source);
+        assert_eq!(stream.size_hint(), Some(3));
+        let mut seen = Vec::new();
+        while let Some(chunk) = stream.next_chunk(2) {
+            assert!(chunk.len() <= 2);
+            seen.extend(chunk.iter().map(|e| e.id().to_string()));
+        }
+        assert_eq!(seen, vec!["c1", "c2", "c3"]);
+        assert!(stream.next_chunk(2).is_none());
+    }
+
+    #[test]
+    fn mixed_chunk_caps_do_not_overflow() {
+        let source = sample();
+        let mut stream = MaterializedStream::new(&source);
+        assert_eq!(stream.next_chunk(2).unwrap().len(), 2);
+        // an unbounded request after a partial one must not overflow the
+        // cursor arithmetic
+        assert_eq!(stream.next_chunk(usize::MAX).unwrap().len(), 1);
+        assert!(stream.next_chunk(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn materialized_stream_borrows_whole_source_in_one_chunk() {
+        let source = sample();
+        let mut stream = MaterializedStream::new(&source);
+        let chunk = stream.next_chunk(usize::MAX).unwrap();
+        assert!(matches!(chunk, Cow::Borrowed(_)), "no copy expected");
+        assert_eq!(chunk.len(), 3);
+        drop(chunk);
+        assert!(stream.next_chunk(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn chunked_vec_stream_yields_prebuilt_chunks() {
+        let source = sample();
+        let entities = source.entities();
+        let mut stream = ChunkedVecStream::new(
+            "chunks",
+            source.schema().clone(),
+            vec![
+                vec![entities[0].clone(), entities[1].clone()],
+                vec![entities[2].clone()],
+            ],
+        );
+        assert_eq!(stream.size_hint(), Some(3));
+        assert_eq!(stream.next_chunk(100).unwrap().len(), 2);
+        assert_eq!(stream.size_hint(), Some(1));
+        assert_eq!(stream.next_chunk(100).unwrap().len(), 1);
+        assert!(stream.next_chunk(100).is_none());
+    }
+}

@@ -2,13 +2,29 @@
 //!
 //! Rules are lowered twice before a run: into a [`CompiledRule`] for fast
 //! evaluation, and into an [`IndexingPlan`] (see `linkdisc_rule::indexing`)
-//! that drives lossless MultiBlock candidate generation.  Both share one
-//! run-local [`ValueCache`], so a transform chain computed while indexing a
-//! target entity is reused when the rule scores that entity's candidate
-//! pairs — and a target entity surviving blocking for many source entities
-//! has its chains computed once, not once per candidate pair.
+//! that drives lossless MultiBlock candidate generation.
+//!
+//! The engine is built around a **streaming core**
+//! ([`MatchingEngine::run_stream`]): the target arrives in bounded chunks
+//! from a [`StreamingSource`], each chunk gets its own sharded
+//! [`MultiBlockIndex`] (built across `threads` workers), the chunk's
+//! candidates are scored, and the chunk is dropped before the next one is
+//! requested — peak memory is the source plus *one* chunk, never the whole
+//! target.  Chunking is exact, not approximate: the candidate-set algebra
+//! distributes over a partition of the target (`plan(chunk) = plan(full) ∩
+//! chunk` for every node, since intersections and unions restrict
+//! elementwise), so the links *and* the evaluated-pair count of a chunked
+//! run are identical to a one-shot run.  The batch entry point
+//! ([`MatchingEngine::run`]) is a thin wrapper that streams the materialised
+//! source as borrowed chunks.
+//!
+//! Caches are split by lifetime: one [`ValueCache`] for the source side
+//! lives for the whole run (a source chain is computed once, not once per
+//! chunk), and one per chunk memoizes the target side between index build
+//! and scoring — a transform chain computed while indexing a target entity
+//! is reused when the rule scores that entity's candidate pairs.
 
-use linkdisc_entity::{DataSource, EntityPair};
+use linkdisc_entity::{DataSource, Entity, MaterializedStream, StreamingSource};
 use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 use linkdisc_util::resolve_threads;
 
@@ -25,6 +41,16 @@ pub struct ScoredLink {
     pub score: f64,
 }
 
+impl ScoredLink {
+    /// Ordering used wherever one best link per source entity is kept:
+    /// higher score wins, ties break towards the smaller target identifier
+    /// so the winner does not depend on candidate evaluation order (which
+    /// differs between chunked and one-shot runs).
+    pub(crate) fn beats(&self, other: &ScoredLink) -> bool {
+        self.score > other.score || (self.score == other.score && self.target < other.target)
+    }
+}
+
 /// Options of a matching run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatchingOptions {
@@ -33,12 +59,17 @@ pub struct MatchingOptions {
     pub use_blocking: bool,
     /// Keep only the best-scoring link per source entity.
     pub best_match_only: bool,
-    /// Number of worker threads (0 = all cores).
+    /// Number of worker threads (0 = all cores); applies to both the sharded
+    /// index build and candidate scoring.
     pub threads: usize,
     /// Similarity a pair must reach to be reported as a link (Definition 3
     /// of the paper: 0.5).  Respected by both the indexed and the exhaustive
     /// path; the indexing plan derives its distance bounds from it.
     pub link_threshold: f64,
+    /// Maximum target entities processed (and resident) at a time when the
+    /// target is streamed; 0 means unbounded — the whole target in one
+    /// chunk.  Results are identical for every chunk size.
+    pub chunk_size: usize,
 }
 
 impl Default for MatchingOptions {
@@ -48,11 +79,14 @@ impl Default for MatchingOptions {
             best_match_only: false,
             threads: 0,
             link_threshold: LINK_THRESHOLD,
+            chunk_size: 0,
         }
     }
 }
 
-/// Per-comparison blocking statistics of a matching run.
+/// Per-comparison blocking statistics of a matching run.  On a chunked run
+/// the build-side numbers (blocks, postings, indexed entities) are summed
+/// over the per-chunk indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComparisonBlockStats {
     /// Human-readable comparison description (measure, value chains, bound).
@@ -78,6 +112,13 @@ pub struct MatchingReport {
     pub evaluated_pairs: usize,
     /// Size of the full cross product, for comparison.
     pub cross_product: usize,
+    /// Total target entities consumed from the (possibly streamed) target.
+    pub target_entities: usize,
+    /// Number of target chunks processed (1 for a batch run).
+    pub chunks: usize,
+    /// Largest number of target entities resident at once — the streaming
+    /// peak-memory proxy (equals `target_entities` for a batch run).
+    pub peak_chunk_entities: usize,
     /// Blocking statistics, one entry per indexed comparison (empty when the
     /// run was exhaustive — blocking disabled or the plan cannot prune).
     pub comparison_stats: Vec<ComparisonBlockStats>,
@@ -120,138 +161,174 @@ impl MatchingEngine {
         &self.rule
     }
 
-    /// Generates links between the two data sources.
+    /// Generates links between two materialised data sources — a thin
+    /// wrapper that streams the target as borrowed chunks through
+    /// [`MatchingEngine::run_stream`] (one whole-source chunk unless
+    /// [`MatchingOptions::chunk_size`] bounds it).
     pub fn run(&self, source: &DataSource, target: &DataSource) -> MatchingReport {
-        let cross_product = source.len() * target.len();
-        let empty_report = |links: Vec<ScoredLink>| MatchingReport {
-            links,
+        self.run_stream(source, &mut MaterializedStream::new(target))
+    }
+
+    /// Generates links between a materialised source and a *streamed*
+    /// target.  The target is consumed chunk by chunk (at most
+    /// [`MatchingOptions::chunk_size`] entities resident at a time); links,
+    /// evaluated-pair counts and per-leaf candidate counts are identical to
+    /// a batch run over the materialised equivalent.
+    pub fn run_stream(
+        &self,
+        source: &DataSource,
+        target: &mut dyn StreamingSource,
+    ) -> MatchingReport {
+        let chunk_cap = match self.options.chunk_size {
+            0 => usize::MAX,
+            cap => cap,
+        };
+        let empty_report = |target_entities: usize| MatchingReport {
+            links: Vec::new(),
             evaluated_pairs: 0,
-            cross_product,
+            cross_product: source.len() * target_entities,
+            target_entities,
+            chunks: 0,
+            peak_chunk_entities: 0,
             comparison_stats: Vec::new(),
         };
         if self.rule.root().is_none() {
-            return empty_report(Vec::new());
+            return empty_report(drain(target, chunk_cap));
         }
 
-        let cache = ValueCache::new();
-        let index = if self.options.use_blocking {
+        let indexed_plan = if self.options.use_blocking {
             let plan = IndexingPlan::lower(
                 &self.rule,
                 source.schema(),
                 target.schema(),
                 self.options.link_threshold,
-            );
+            )
+            .canonicalized();
             if plan.is_empty_result() {
                 // no pair can reach the link threshold; skip evaluation
-                return empty_report(Vec::new());
+                return empty_report(drain(target, chunk_cap));
             }
-            if plan.is_exhaustive() {
-                // the plan cannot prune — run the exhaustive path directly
-                None
-            } else {
-                Some(MultiBlockIndex::build(plan, target, &cache))
-            }
+            // an exhaustive plan cannot prune — fall through with no index
+            (!plan.is_exhaustive()).then(|| std::sync::Arc::new(plan))
         } else {
             None
         };
 
         let compiled = CompiledRule::compile(&self.rule, source.schema(), target.schema());
-        let threads = resolve_threads(self.options.threads);
-        let leaf_count = index
+        let threads = resolve_threads(self.options.threads).max(1);
+        let source_cache = ValueCache::new();
+        let leaf_count = indexed_plan
             .as_ref()
-            .map(|i| i.plan().comparisons().len())
+            .map(|plan| plan.comparisons().len())
             .unwrap_or(0);
 
-        let chunk_size = source.len().div_ceil(threads.max(1)).max(1);
-        let chunks: Vec<&[linkdisc_entity::Entity]> =
-            source.entities().chunks(chunk_size).collect();
-        let mut per_chunk: Vec<(Vec<ScoredLink>, usize, Vec<usize>)> =
-            Vec::with_capacity(chunks.len());
-
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let index = index.as_ref();
-                    let compiled = &compiled;
-                    let cache = &cache;
-                    let options = self.options;
-                    scope.spawn(move || {
-                        let mut links = Vec::new();
-                        let mut evaluated = 0usize;
-                        let mut scratch = CandidateScratch::new();
-                        let mut leaf_candidates = vec![0usize; leaf_count];
-                        let mut all_positions: Vec<u32> = Vec::new();
-                        for source_entity in chunk {
-                            let candidates: &[u32] = match index {
-                                Some(index) => {
-                                    let buf = index.candidates(
-                                        source_entity,
-                                        cache,
-                                        &mut scratch,
-                                        &mut leaf_candidates,
-                                    );
-                                    all_positions = buf;
-                                    &all_positions
-                                }
-                                None => {
-                                    if all_positions.is_empty() {
-                                        all_positions.extend(0..target.len() as u32);
-                                    }
-                                    &all_positions
-                                }
-                            };
-                            let mut best: Option<ScoredLink> = None;
-                            for &position in candidates {
-                                let Some(target_entity) = target.at(position as usize) else {
-                                    continue;
-                                };
-                                evaluated += 1;
-                                let score = compiled.evaluate(
-                                    &EntityPair::new(source_entity, target_entity),
-                                    cache,
-                                );
-                                if score < options.link_threshold {
-                                    continue;
-                                }
-                                let link = ScoredLink {
-                                    source: source_entity.id().to_string(),
-                                    target: target_entity.id().to_string(),
-                                    score,
-                                };
-                                if options.best_match_only {
-                                    if best.as_ref().is_none_or(|b| score > b.score) {
-                                        best = Some(link);
-                                    }
-                                } else {
-                                    links.push(link);
-                                }
-                            }
-                            if let Some(best) = best {
-                                links.push(best);
-                            }
-                            if index.is_some() {
-                                scratch.recycle(std::mem::take(&mut all_positions));
-                            }
-                        }
-                        (links, evaluated, leaf_candidates)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                per_chunk.push(handle.join().expect("matching thread panicked"));
-            }
-        });
-
-        let mut links = Vec::new();
-        let mut evaluated_pairs = 0;
+        let mut links: Vec<ScoredLink> = Vec::new();
+        let mut bests: Vec<Option<ScoredLink>> = if self.options.best_match_only {
+            vec![None; source.len()]
+        } else {
+            Vec::new()
+        };
+        let mut evaluated_pairs = 0usize;
         let mut leaf_candidates = vec![0usize; leaf_count];
-        for (chunk_links, evaluated, chunk_leaves) in per_chunk {
-            links.extend(chunk_links);
-            evaluated_pairs += evaluated;
-            for (total, chunk) in leaf_candidates.iter_mut().zip(chunk_leaves) {
-                *total += chunk;
+        let mut comparison_stats: Vec<ComparisonBlockStats> = indexed_plan
+            .as_ref()
+            .map(|plan| {
+                plan.comparisons()
+                    .iter()
+                    .map(|comparison| ComparisonBlockStats {
+                        label: comparison.label.clone(),
+                        blocks: 0,
+                        postings: 0,
+                        indexed_entities: 0,
+                        candidates: 0,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut target_entities = 0usize;
+        let mut chunks = 0usize;
+        let mut peak_chunk_entities = 0usize;
+
+        while let Some(chunk) = target.next_chunk(chunk_cap) {
+            let chunk: &[Entity] = &chunk;
+            target_entities += chunk.len();
+            if chunk.is_empty() {
+                continue;
             }
+            chunks += 1;
+            peak_chunk_entities = peak_chunk_entities.max(chunk.len());
+
+            let chunk_cache = ValueCache::new();
+            let index = indexed_plan.as_ref().map(|plan| {
+                MultiBlockIndex::build_slice(
+                    plan.clone(),
+                    chunk,
+                    &chunk_cache,
+                    self.options.threads,
+                )
+            });
+            if let (Some(index), false) = (&index, comparison_stats.is_empty()) {
+                for (total, stats) in comparison_stats.iter_mut().zip(index.build_stats()) {
+                    total.blocks += stats.blocks;
+                    total.postings += stats.postings;
+                    total.indexed_entities += stats.indexed_entities;
+                }
+            }
+
+            let worker_span = source.len().div_ceil(threads).max(1);
+            let mut per_worker: Vec<ChunkOutcome> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = source
+                    .entities()
+                    .chunks(worker_span)
+                    .enumerate()
+                    .map(|(worker, span)| {
+                        let base = worker * worker_span;
+                        let index = index.as_ref();
+                        let compiled = &compiled;
+                        let source_cache = &source_cache;
+                        let chunk_cache = &chunk_cache;
+                        let options = self.options;
+                        scope.spawn(move || {
+                            score_span(
+                                span,
+                                base,
+                                chunk,
+                                index,
+                                compiled,
+                                source_cache,
+                                chunk_cache,
+                                &options,
+                                leaf_count,
+                            )
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    per_worker.push(handle.join().expect("matching thread panicked"));
+                }
+            });
+
+            for outcome in per_worker {
+                evaluated_pairs += outcome.evaluated;
+                for (total, count) in leaf_candidates.iter_mut().zip(outcome.leaf_candidates) {
+                    *total += count;
+                }
+                if self.options.best_match_only {
+                    for (source_index, link) in outcome.bests {
+                        let slot = &mut bests[source_index];
+                        if slot.as_ref().is_none_or(|held| link.beats(held)) {
+                            *slot = Some(link);
+                        }
+                    }
+                } else {
+                    links.extend(outcome.links);
+                }
+            }
+        }
+
+        if self.options.best_match_only {
+            links = bests.into_iter().flatten().collect();
         }
         links.sort_by(|a, b| {
             a.source
@@ -259,36 +336,123 @@ impl MatchingEngine {
                 .then_with(|| b.score.total_cmp(&a.score))
                 .then_with(|| a.target.cmp(&b.target))
         });
-        let comparison_stats = index
-            .as_ref()
-            .map(|index| {
-                index
-                    .build_stats()
-                    .into_iter()
-                    .zip(leaf_candidates)
-                    .map(|(stats, candidates)| ComparisonBlockStats {
-                        label: stats.label,
-                        blocks: stats.blocks,
-                        postings: stats.postings,
-                        indexed_entities: stats.indexed_entities,
-                        candidates,
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
+        for (stats, candidates) in comparison_stats.iter_mut().zip(leaf_candidates) {
+            stats.candidates = candidates;
+        }
         MatchingReport {
             links,
             evaluated_pairs,
-            cross_product,
+            cross_product: source.len() * target_entities,
+            target_entities,
+            chunks,
+            peak_chunk_entities,
             comparison_stats,
         }
     }
 }
 
+/// What one worker produced for one (source span × target chunk) block.
+struct ChunkOutcome {
+    links: Vec<ScoredLink>,
+    /// Best link per source entity (global source index) when
+    /// `best_match_only` is set; merged across chunks by the caller.
+    bests: Vec<(usize, ScoredLink)>,
+    evaluated: usize,
+    leaf_candidates: Vec<usize>,
+}
+
+/// Scores one span of source entities against one target chunk.
+#[allow(clippy::too_many_arguments)]
+fn score_span<'s, 't>(
+    span: &'s [Entity],
+    base: usize,
+    chunk: &'t [Entity],
+    index: Option<&MultiBlockIndex>,
+    compiled: &CompiledRule,
+    source_cache: &ValueCache<'s>,
+    chunk_cache: &ValueCache<'t>,
+    options: &MatchingOptions,
+    leaf_count: usize,
+) -> ChunkOutcome {
+    let mut outcome = ChunkOutcome {
+        links: Vec::new(),
+        bests: Vec::new(),
+        evaluated: 0,
+        leaf_candidates: vec![0usize; leaf_count],
+    };
+    let mut scratch = CandidateScratch::new();
+    let mut candidate_buf: Vec<u32> = Vec::new();
+    for (offset, source_entity) in span.iter().enumerate() {
+        let candidates: &[Entity] = chunk;
+        let positions: Option<&[u32]> = match index {
+            Some(index) => {
+                candidate_buf = index.candidates(
+                    source_entity,
+                    source_cache,
+                    &mut scratch,
+                    &mut outcome.leaf_candidates,
+                );
+                Some(&candidate_buf)
+            }
+            None => None,
+        };
+        let mut best: Option<ScoredLink> = None;
+        let mut score_target = |target_entity: &'t Entity, outcome: &mut ChunkOutcome| {
+            outcome.evaluated += 1;
+            let score =
+                compiled.evaluate_two(source_entity, target_entity, source_cache, chunk_cache);
+            if score < options.link_threshold {
+                return;
+            }
+            let link = ScoredLink {
+                source: source_entity.id().to_string(),
+                target: target_entity.id().to_string(),
+                score,
+            };
+            if options.best_match_only {
+                if best.as_ref().is_none_or(|held| link.beats(held)) {
+                    best = Some(link);
+                }
+            } else {
+                outcome.links.push(link);
+            }
+        };
+        match positions {
+            Some(positions) => {
+                for &position in positions {
+                    score_target(&candidates[position as usize], &mut outcome);
+                }
+            }
+            None => {
+                for target_entity in candidates {
+                    score_target(target_entity, &mut outcome);
+                }
+            }
+        }
+        if let Some(best) = best {
+            outcome.bests.push((base + offset, best));
+        }
+        if index.is_some() {
+            scratch.recycle(std::mem::take(&mut candidate_buf));
+        }
+    }
+    outcome
+}
+
+/// Consumes the rest of a stream, returning how many entities it held (used
+/// by degenerate paths that still report the cross-product size).
+fn drain(target: &mut dyn StreamingSource, chunk_cap: usize) -> usize {
+    let mut total = 0;
+    while let Some(chunk) = target.next_chunk(chunk_cap) {
+        total += chunk.len();
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_entity::{ChunkedVecStream, DataSourceBuilder};
     use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
 
     fn sources() -> (DataSource, DataSource) {
@@ -332,6 +496,9 @@ mod tests {
             .collect();
         assert_eq!(pairs, vec![("a1", "b1"), ("a2", "b2")]);
         assert!(report.links.iter().all(|l| l.score >= 0.5));
+        assert_eq!(report.chunks, 1);
+        assert_eq!(report.target_entities, 3);
+        assert_eq!(report.peak_chunk_entities, 3);
     }
 
     #[test]
@@ -351,6 +518,48 @@ mod tests {
         assert_eq!(blocked.comparison_stats.len(), 1);
         assert!(blocked.comparison_stats[0].blocks > 0);
         assert!(full.comparison_stats.is_empty());
+    }
+
+    #[test]
+    fn chunked_runs_match_the_batch_run_exactly() {
+        let (source, target) = sources();
+        let batch = MatchingEngine::new(rule()).run(&source, &target);
+        for chunk_size in [1, 2, 3, 7] {
+            for use_blocking in [true, false] {
+                let chunked = MatchingEngine::new(rule())
+                    .with_options(MatchingOptions {
+                        chunk_size,
+                        use_blocking,
+                        ..MatchingOptions::default()
+                    })
+                    .run(&source, &target);
+                assert_eq!(chunked.links, batch.links, "chunk_size={chunk_size}");
+                if use_blocking {
+                    assert_eq!(chunked.evaluated_pairs, batch.evaluated_pairs);
+                }
+                assert_eq!(chunked.cross_product, batch.cross_product);
+                assert_eq!(chunked.target_entities, 3);
+                assert_eq!(chunked.chunks, target.len().div_ceil(chunk_size));
+                assert!(chunked.peak_chunk_entities <= chunk_size);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_target_never_needs_the_whole_source() {
+        let (source, target) = sources();
+        let batch = MatchingEngine::new(rule()).run(&source, &target);
+        // owned chunks, as a lazily-parsing source would produce them
+        let chunks = vec![
+            vec![target.entities()[0].clone()],
+            vec![target.entities()[1].clone(), target.entities()[2].clone()],
+        ];
+        let mut stream = ChunkedVecStream::new("B", target.schema().clone(), chunks);
+        let streamed = MatchingEngine::new(rule()).run_stream(&source, &mut stream);
+        assert_eq!(streamed.links, batch.links);
+        assert_eq!(streamed.evaluated_pairs, batch.evaluated_pairs);
+        assert_eq!(streamed.chunks, 2);
+        assert_eq!(streamed.peak_chunk_entities, 2);
     }
 
     #[test]
@@ -470,11 +679,50 @@ mod tests {
     }
 
     #[test]
+    fn best_match_only_is_chunking_invariant() {
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "berlin")])
+            .unwrap()
+            .build();
+        // two equally-scored targets: the tie must resolve identically no
+        // matter how the target is chunked
+        let target = DataSourceBuilder::new("B", ["name"])
+            .entity("b2", [("name", "berlim")])
+            .unwrap()
+            .entity("b1", [("name", "berlix")])
+            .unwrap()
+            .build();
+        let fuzzy: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let mut seen = Vec::new();
+        for chunk_size in [0, 1, 2] {
+            let best = MatchingEngine::new(fuzzy.clone())
+                .with_options(MatchingOptions {
+                    best_match_only: true,
+                    chunk_size,
+                    ..MatchingOptions::default()
+                })
+                .run(&source, &target);
+            assert_eq!(best.links.len(), 1, "chunk_size={chunk_size}");
+            seen.push(best.links[0].clone());
+        }
+        assert_eq!(seen[0], seen[1]);
+        assert_eq!(seen[1], seen[2]);
+        assert_eq!(seen[0].target, "b1", "ties break towards the smaller id");
+    }
+
+    #[test]
     fn empty_rule_produces_no_links() {
         let (source, target) = sources();
         let report = MatchingEngine::new(LinkageRule::empty()).run(&source, &target);
         assert!(report.links.is_empty());
         assert_eq!(report.evaluated_pairs, 0);
+        assert_eq!(report.cross_product, 9);
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!   per-child bounds),
 //! * [`MatchingEngine`] — evaluates the compiled rule on each candidate pair
 //!   (in parallel) and returns the scored links above the configurable link
-//!   threshold; `use_blocking: false` falls back to the exhaustive cross
-//!   product,
+//!   threshold; built around a streaming core (`run_stream`) that consumes
+//!   the target chunk by chunk with a sharded per-chunk index build, of
+//!   which the batch `run` is a zero-copy wrapper; `use_blocking: false`
+//!   falls back to the exhaustive cross product,
+//! * [`LinkService`] — the serving front-end: a long-lived, incrementally
+//!   maintained index (insert/remove/ingest) answering single-entity match
+//!   queries at interactive latency on an allocation-free candidate path,
 //! * [`MatchingReport`] — links plus counters and per-comparison block
 //!   statistics so pruning effectiveness can be inspected,
 //! * [`BlockingIndex`] — the legacy token-based index, kept as a standalone
@@ -26,9 +31,11 @@ pub mod blocking;
 pub mod engine;
 pub mod multiblock;
 mod scratch;
+pub mod service;
 
 pub use blocking::{BlockingIndex, BlockingScratch};
 pub use engine::{
     ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
 };
 pub use multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};
+pub use service::{LinkService, ServiceOptions};

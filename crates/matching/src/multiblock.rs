@@ -9,8 +9,10 @@
 //!
 //! * a **leaf** looks up the source entity's block keys and unions the
 //!   posting lists,
-//! * an **intersection** keeps positions present in every child set
-//!   (short-circuiting as soon as the running set is empty),
+//! * an **intersection** keeps positions present in every child set,
+//!   evaluating its children in ascending order of *estimated* candidate
+//!   count (derived from the live posting-list statistics) so the
+//!   short-circuit on an empty running set prunes as early as possible,
 //! * a **union** merges child sets.
 //!
 //! All per-query state lives in a [`CandidateScratch`] owned by the calling
@@ -18,16 +20,30 @@
 //! hash sets, and a pool of position buffers — candidate generation performs
 //! no per-entity allocation once the scratch is warm.
 //!
+//! The index is a *serving* structure, not a one-shot artifact:
+//!
+//! * [`MultiBlockIndex::build_slice`] builds the per-leaf indexes **sharded**
+//!   across worker threads (contiguous entity ranges whose per-key posting
+//!   lists merge by concatenation in range order, so the sharded result is
+//!   bit-identical to the sequential one),
+//! * [`MultiBlockIndex::insert`] and [`MultiBlockIndex::remove`] maintain it
+//!   **incrementally** per entity: posting lists stay sorted, emptied blocks
+//!   are dropped, and [`LeafBuildStats`] stay exact — an index reached
+//!   through any interleaving of builds, inserts and removes is structurally
+//!   identical to one built from the final entity set in one shot.
+//!
 //! Transform chains are evaluated through the same [`ValueCache`] (and the
 //! same structural hashes) as rule evaluation, so a value normalised for
 //! indexing is computed once and reused when the rule scores the surviving
 //! candidates.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use linkdisc_entity::{DataSource, Entity};
-use linkdisc_rule::{IndexingPlan, PlanNode, ValueCache};
+use linkdisc_rule::{IndexedComparison, IndexingPlan, PlanNode, ValueCache};
 use linkdisc_similarity::BlockKey;
+use linkdisc_util::resolve_threads;
 
 use crate::scratch::EpochMarks;
 
@@ -46,51 +62,198 @@ pub struct LeafBuildStats {
 }
 
 /// One comparison's inverted index: block key → positions in the target
-/// source, in ascending order.
+/// source, in ascending order.  `postings` and `postings_sq` (Σ len and
+/// Σ len² over posting lists) are maintained incrementally; they drive the
+/// selectivity estimates that order intersection children.
 #[derive(Debug, Clone, Default)]
 struct LeafIndex {
     by_key: HashMap<BlockKey, Vec<u32>>,
     indexed_entities: usize,
+    postings: usize,
+    postings_sq: f64,
+}
+
+impl LeafIndex {
+    /// Adds `position` to the posting list of `key`, keeping it sorted.
+    fn add(&mut self, key: BlockKey, position: u32) {
+        let list = self.by_key.entry(key).or_default();
+        match list.binary_search(&position) {
+            Err(at) => {
+                self.postings += 1;
+                self.postings_sq += 2.0 * list.len() as f64 + 1.0;
+                list.insert(at, position);
+            }
+            Ok(_) => debug_assert!(false, "position {position} indexed twice"),
+        }
+    }
+
+    /// Removes `position` from the posting list of `key`, dropping the block
+    /// when it empties (keeps the `blocks` statistic exact).
+    fn drop_posting(&mut self, key: BlockKey, position: u32) {
+        let Some(list) = self.by_key.get_mut(&key) else {
+            debug_assert!(false, "removing from a missing block");
+            return;
+        };
+        let Ok(at) = list.binary_search(&position) else {
+            debug_assert!(false, "removing a position that was never indexed");
+            return;
+        };
+        list.remove(at);
+        self.postings -= 1;
+        self.postings_sq -= 2.0 * list.len() as f64 + 1.0;
+        if list.is_empty() {
+            self.by_key.remove(&key);
+        }
+    }
+
+    /// Expected posting-list length seen by a random probe: `Σ len² / Σ len`.
+    /// Large blocks dominate both the probability of being probed and the
+    /// candidates they emit, which makes this a better selectivity proxy
+    /// than the plain mean.
+    fn estimated_candidates(&self) -> f64 {
+        if self.postings == 0 {
+            return 0.0;
+        }
+        self.postings_sq / self.postings as f64
+    }
+
+    /// Recomputes the incremental statistics from the map (after a sharded
+    /// merge).
+    fn refresh_estimates(&mut self) {
+        self.postings = self.by_key.values().map(Vec::len).sum();
+        self.postings_sq = self
+            .by_key
+            .values()
+            .map(|list| (list.len() * list.len()) as f64)
+            .sum();
+    }
 }
 
 /// A rule-derived multidimensional blocking index over a target data source.
 #[derive(Debug, Clone)]
 pub struct MultiBlockIndex {
-    plan: IndexingPlan,
+    /// Shared, immutable plan: chunked runs build one index per chunk from
+    /// the same plan, so cloning it per chunk would be pure overhead.
+    plan: Arc<IndexingPlan>,
     leaves: Vec<LeafIndex>,
     target_len: usize,
 }
 
 impl MultiBlockIndex {
-    /// Builds the per-comparison inverted indexes over the target source.
-    /// Transform outputs computed here are memoized in `cache` and reused by
-    /// subsequent rule evaluation.
-    pub fn build<'e>(
-        plan: IndexingPlan,
-        target: &'e DataSource,
-        cache: &ValueCache<'e>,
-    ) -> MultiBlockIndex {
-        let mut leaves: Vec<LeafIndex> = (0..plan.comparisons().len())
+    /// Creates an empty index for a plan; entities arrive through
+    /// [`MultiBlockIndex::insert`] (the streaming-ingestion entry point).
+    pub fn empty(plan: impl Into<Arc<IndexingPlan>>) -> MultiBlockIndex {
+        let plan = plan.into();
+        let leaves = (0..plan.comparisons().len())
             .map(|_| LeafIndex::default())
             .collect();
-        let mut keys: Vec<BlockKey> = Vec::new();
-        for (position, entity) in target.entities().iter().enumerate() {
-            for (leaf, index) in plan.comparisons().iter().zip(&mut leaves) {
-                let values = leaf.target.values(entity, cache);
-                leaf.function
-                    .block_keys_into(values.as_slice(), leaf.bound, &mut keys);
-                if !keys.is_empty() {
-                    index.indexed_entities += 1;
-                }
-                for key in &keys {
-                    index.by_key.entry(*key).or_default().push(position as u32);
-                }
-            }
-        }
         MultiBlockIndex {
             plan,
             leaves,
-            target_len: target.len(),
+            target_len: 0,
+        }
+    }
+
+    /// Builds the per-comparison inverted indexes over the target source,
+    /// sharded across all available cores.  Transform outputs computed here
+    /// are memoized in `cache` and reused by subsequent rule evaluation.
+    pub fn build<'e>(
+        plan: impl Into<Arc<IndexingPlan>>,
+        target: &'e DataSource,
+        cache: &ValueCache<'e>,
+    ) -> MultiBlockIndex {
+        MultiBlockIndex::build_slice(plan, target.entities(), cache, 0)
+    }
+
+    /// Builds the index over an entity slice (positions are slice indices),
+    /// sharded across `threads` workers (0 = all cores).
+    ///
+    /// Each worker indexes one contiguous entity range into private per-leaf
+    /// maps; the per-key posting lists of consecutive ranges concatenate
+    /// into ascending order, so the merged index is **identical** to a
+    /// sequential build — same blocks, same posting lists, same
+    /// [`LeafBuildStats`].
+    pub fn build_slice<'e>(
+        plan: impl Into<Arc<IndexingPlan>>,
+        entities: &'e [Entity],
+        cache: &ValueCache<'e>,
+        threads: usize,
+    ) -> MultiBlockIndex {
+        let threads = resolve_threads(threads).min(entities.len()).max(1);
+        let mut index = MultiBlockIndex::empty(plan);
+        index.target_len = entities.len();
+        if threads <= 1 {
+            build_range(&index.plan, entities, 0, &mut index.leaves, cache);
+        } else {
+            let shard_size = entities.len().div_ceil(threads);
+            let mut shards: Vec<Vec<LeafIndex>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = entities
+                    .chunks(shard_size)
+                    .enumerate()
+                    .map(|(shard, chunk)| {
+                        let plan = &index.plan;
+                        scope.spawn(move || {
+                            let mut leaves: Vec<LeafIndex> = (0..plan.comparisons().len())
+                                .map(|_| LeafIndex::default())
+                                .collect();
+                            let base = (shard * shard_size) as u32;
+                            build_range(plan, chunk, base, &mut leaves, cache);
+                            leaves
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    shards.push(handle.join().expect("index build thread panicked"));
+                }
+            });
+            // merge in range order: per-key lists are ascending within a
+            // shard and shard position ranges are disjoint and increasing,
+            // so concatenation keeps every posting list sorted
+            for shard in shards {
+                for (merged, partial) in index.leaves.iter_mut().zip(shard) {
+                    merged.indexed_entities += partial.indexed_entities;
+                    for (key, list) in partial.by_key {
+                        merged.by_key.entry(key).or_default().extend(list);
+                    }
+                }
+            }
+            for leaf in &mut index.leaves {
+                leaf.refresh_estimates();
+            }
+        }
+        index
+    }
+
+    /// Adds one entity at a target position.  The position must be fresh (or
+    /// previously [`MultiBlockIndex::remove`]d); statistics stay exact.
+    pub fn insert<'e>(&mut self, position: u32, entity: &'e Entity, cache: &ValueCache<'e>) {
+        self.target_len = self.target_len.max(position as usize + 1);
+        let mut keys: Vec<BlockKey> = Vec::new();
+        for (comparison, index) in self.plan.comparisons().iter().zip(&mut self.leaves) {
+            entity_keys(comparison, entity, cache, &mut keys);
+            if !keys.is_empty() {
+                index.indexed_entities += 1;
+            }
+            for &key in &keys {
+                index.add(key, position);
+            }
+        }
+    }
+
+    /// Removes the entity previously inserted at `position`.  The same
+    /// entity must be passed back: its block keys are recomputed (through
+    /// the shared cache, so usually memoized) to locate its postings.
+    pub fn remove<'e>(&mut self, position: u32, entity: &'e Entity, cache: &ValueCache<'e>) {
+        let mut keys: Vec<BlockKey> = Vec::new();
+        for (comparison, index) in self.plan.comparisons().iter().zip(&mut self.leaves) {
+            entity_keys(comparison, entity, cache, &mut keys);
+            if !keys.is_empty() {
+                index.indexed_entities -= 1;
+            }
+            for &key in &keys {
+                index.drop_posting(key, position);
+            }
         }
     }
 
@@ -99,7 +262,9 @@ impl MultiBlockIndex {
         &self.plan
     }
 
-    /// Number of target entities the index covers.
+    /// Number of target positions the index covers (the exclusive upper
+    /// bound of all inserted positions; removed positions are not reused
+    /// unless the caller reassigns them).
     pub fn target_len(&self) -> usize {
         self.target_len
     }
@@ -155,6 +320,22 @@ impl MultiBlockIndex {
         let mut positions: Vec<usize> = buf.iter().map(|&p| p as usize).collect();
         positions.sort_unstable();
         positions
+    }
+
+    /// Estimated candidate count of a plan node against the current index
+    /// contents: the probe-weighted mean block size for a leaf, the minimum
+    /// over an intersection's children, the sum over a union's.
+    fn estimate(&self, node: &PlanNode) -> f64 {
+        match node {
+            PlanNode::All => self.target_len as f64,
+            PlanNode::Nothing => 0.0,
+            PlanNode::Leaf(leaf) => self.leaves[*leaf].estimated_candidates(),
+            PlanNode::Intersect(children) => children
+                .iter()
+                .map(|c| self.estimate(c))
+                .fold(f64::INFINITY, f64::min),
+            PlanNode::Union(children) => children.iter().map(|c| self.estimate(c)).sum(),
+        }
     }
 
     fn eval<'e>(
@@ -216,10 +397,21 @@ impl MultiBlockIndex {
                 out
             }
             PlanNode::Intersect(children) => {
-                let mut iter = children.iter();
-                let first = iter.next().expect("intersections have children");
+                // evaluate the cheapest (estimated) child first: the running
+                // set can only shrink, and an early empty set short-circuits
+                // every remaining child
+                let mut order = scratch.take_order();
+                order.extend(
+                    children
+                        .iter()
+                        .enumerate()
+                        .map(|(at, child)| (self.estimate(child), at as u32)),
+                );
+                order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut ordered = order.iter().map(|&(_, at)| &children[at as usize]);
+                let first = ordered.next().expect("intersections have children");
                 let mut out = self.eval(first, entity, cache, scratch, leaf_candidates);
-                for child in iter {
+                for child in ordered {
                     if out.is_empty() {
                         // the conjunction is already unsatisfiable; skip the
                         // remaining children entirely
@@ -233,20 +425,59 @@ impl MultiBlockIndex {
                     out.retain(|&position| scratch.marks.is_marked(position as usize, epoch));
                     scratch.recycle(buf);
                 }
+                scratch.recycle_order(order);
                 out
             }
         }
     }
 }
 
+/// Indexes one contiguous entity range into per-leaf maps; `base` is the
+/// global position of the first entity.
+fn build_range<'e>(
+    plan: &IndexingPlan,
+    entities: &'e [Entity],
+    base: u32,
+    leaves: &mut [LeafIndex],
+    cache: &ValueCache<'e>,
+) {
+    let mut keys: Vec<BlockKey> = Vec::new();
+    for (offset, entity) in entities.iter().enumerate() {
+        let position = base + offset as u32;
+        for (comparison, index) in plan.comparisons().iter().zip(leaves.iter_mut()) {
+            entity_keys(comparison, entity, cache, &mut keys);
+            if !keys.is_empty() {
+                index.indexed_entities += 1;
+            }
+            for &key in &keys {
+                index.add(key, position);
+            }
+        }
+    }
+}
+
+/// The block keys of one entity under one indexed comparison (target side).
+fn entity_keys<'e>(
+    comparison: &IndexedComparison,
+    entity: &'e Entity,
+    cache: &ValueCache<'e>,
+    keys: &mut Vec<BlockKey>,
+) {
+    let values = comparison.target.values(entity, cache);
+    comparison
+        .function
+        .block_keys_into(values.as_slice(), comparison.bound, keys);
+}
+
 /// Reusable per-worker state for candidate generation: key buffers, an
 /// epoch-stamped mark table (a hash-set replacement that needs no clearing),
-/// and a pool of position buffers.
+/// and pools of position and child-ordering buffers.
 #[derive(Debug, Default)]
 pub struct CandidateScratch {
     keys: Vec<BlockKey>,
     marks: EpochMarks,
     pool: Vec<Vec<u32>>,
+    order_pool: Vec<Vec<(f64, u32)>>,
 }
 
 impl CandidateScratch {
@@ -267,6 +498,15 @@ impl CandidateScratch {
 
     fn take_buf(&mut self) -> Vec<u32> {
         self.pool.pop().unwrap_or_default()
+    }
+
+    fn take_order(&mut self) -> Vec<(f64, u32)> {
+        self.order_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_order(&mut self, mut order: Vec<(f64, u32)>) {
+        order.clear();
+        self.order_pool.push(order);
     }
 }
 
@@ -299,6 +539,27 @@ mod tests {
 
     fn plan(rule: &LinkageRule, source: &DataSource, target: &DataSource) -> IndexingPlan {
         IndexingPlan::lower(rule, source.schema(), target.schema(), 0.5)
+    }
+
+    fn name_year_rule() -> LinkageRule {
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    property("name"),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(
+                    property("year"),
+                    property("year"),
+                    DistanceFunction::Numeric,
+                    2.0,
+                ),
+            ],
+        )
+        .into()
     }
 
     #[test]
@@ -375,24 +636,7 @@ mod tests {
 
     #[test]
     fn leaf_counts_accumulate_per_comparison() {
-        let rule: LinkageRule = aggregation(
-            AggregationFunction::Min,
-            vec![
-                compare(
-                    property("name"),
-                    property("name"),
-                    DistanceFunction::Levenshtein,
-                    2.0,
-                ),
-                compare(
-                    property("year"),
-                    property("year"),
-                    DistanceFunction::Numeric,
-                    2.0,
-                ),
-            ],
-        )
-        .into();
+        let rule = name_year_rule();
         let (source, target) = (source(), target());
         let cache = ValueCache::new();
         let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
@@ -435,5 +679,138 @@ mod tests {
         assert!(index
             .candidate_positions(&source.entities()[0], &cache)
             .is_empty());
+    }
+
+    /// Structural equality of two indexes: same plan shape is assumed, the
+    /// leaf maps and statistics must match entry for entry.
+    fn assert_same_index(a: &MultiBlockIndex, b: &MultiBlockIndex) {
+        assert_eq!(a.target_len(), b.target_len());
+        assert_eq!(a.build_stats(), b.build_stats());
+        for (la, lb) in a.leaves.iter().zip(&b.leaves) {
+            assert_eq!(la.by_key, lb.by_key);
+            assert_eq!(la.postings, lb.postings);
+            assert_eq!(la.postings_sq, lb.postings_sq);
+        }
+    }
+
+    #[test]
+    fn sharded_build_is_identical_to_sequential() {
+        let rule = name_year_rule();
+        let (source, target) = (source(), target());
+        let p = plan(&rule, &source, &target);
+        let cache = ValueCache::new();
+        let sequential = MultiBlockIndex::build_slice(p.clone(), target.entities(), &cache, 1);
+        for threads in [2, 3, 8] {
+            let sharded =
+                MultiBlockIndex::build_slice(p.clone(), target.entities(), &cache, threads);
+            assert_same_index(&sequential, &sharded);
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_reproduce_the_batch_build() {
+        let rule = name_year_rule();
+        let (source, target) = (source(), target());
+        let p = plan(&rule, &source, &target);
+        let cache = ValueCache::new();
+        let batch = MultiBlockIndex::build_slice(p.clone(), target.entities(), &cache, 1);
+        let mut incremental = MultiBlockIndex::empty(p);
+        for (position, entity) in target.entities().iter().enumerate() {
+            incremental.insert(position as u32, entity, &cache);
+        }
+        assert_same_index(&batch, &incremental);
+    }
+
+    #[test]
+    fn remove_then_reinsert_restores_the_index_exactly() {
+        let rule = name_year_rule();
+        let (source, target) = (source(), target());
+        let p = plan(&rule, &source, &target);
+        let cache = ValueCache::new();
+        let reference = MultiBlockIndex::build_slice(p.clone(), target.entities(), &cache, 1);
+        let mut index = MultiBlockIndex::build_slice(p, target.entities(), &cache, 1);
+        // b0 ("berlin") is a0's only conjunction candidate: "Berlin" vs
+        // "berlim" is two edits apart, beyond the name bound of 1
+        let a0 = &source.entities()[0];
+        assert_eq!(index.candidate_positions(a0, &cache), vec![0]);
+        let b0 = &target.entities()[0];
+        index.remove(0, b0, &cache);
+        assert!(index.candidate_positions(a0, &cache).is_empty());
+        let stats = index.build_stats();
+        assert_eq!(stats[0].indexed_entities, 2);
+        index.insert(0, b0, &cache);
+        assert_same_index(&reference, &index);
+        assert_eq!(index.candidate_positions(a0, &cache), vec![0]);
+    }
+
+    #[test]
+    fn removing_the_last_entity_of_a_block_drops_the_block() {
+        let rule: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Equality,
+            0.5,
+        )
+        .into();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let mut index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let before = index.build_stats()[0].blocks;
+        index.remove(2, &target.entities()[2], &cache);
+        let after = index.build_stats();
+        assert_eq!(after[0].blocks, before - 1, "paris block must disappear");
+        assert_eq!(after[0].postings, 2);
+        assert_eq!(after[0].indexed_entities, 2);
+    }
+
+    #[test]
+    fn intersection_evaluates_the_most_selective_child_first() {
+        // the year leaf indexes nothing (no parseable values), so its
+        // estimate is 0 and ordering must probe it first — short-circuiting
+        // before the (large) name leaf is ever touched
+        let target = DataSourceBuilder::new("B", ["name", "year"])
+            .entity("b0", [("name", "berlin")])
+            .unwrap()
+            .entity("b1", [("name", "berlim")])
+            .unwrap()
+            .build();
+        let rule = name_year_rule();
+        let source = source();
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let mut scratch = CandidateScratch::new();
+        let mut leaf_counts = vec![0usize; index.plan().comparisons().len()];
+        let buf = index.candidates(
+            &source.entities()[0],
+            &cache,
+            &mut scratch,
+            &mut leaf_counts,
+        );
+        assert!(buf.is_empty());
+        scratch.recycle(buf);
+        assert_eq!(
+            leaf_counts,
+            vec![0, 0],
+            "the empty year leaf must short-circuit before the name leaf runs"
+        );
+    }
+
+    #[test]
+    fn estimates_track_posting_statistics() {
+        let rule = name_year_rule();
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        // the year leaf has one 2-entity bucket family and one 1-entity
+        // family: its probe-weighted estimate is strictly above 1
+        let year = index.estimate(&PlanNode::Leaf(1));
+        assert!(year > 1.0);
+        let intersect = index.estimate(&PlanNode::Intersect(vec![
+            PlanNode::Leaf(0),
+            PlanNode::Leaf(1),
+        ]));
+        assert!(intersect <= year);
+        let union = index.estimate(&PlanNode::Union(vec![PlanNode::Leaf(0), PlanNode::Leaf(1)]));
+        assert!(union >= year);
     }
 }

@@ -1,0 +1,477 @@
+//! `LinkService`: a long-lived, incrementally maintained serving front-end
+//! for one linkage rule.
+//!
+//! The [`crate::MatchingEngine`] answers "link these two sources" as a batch
+//! job; production traffic instead asks "which targets match *this one
+//! entity*, right now?" at interactive latency, against a target set that
+//! changes over time.  A [`LinkService`] holds everything such queries need,
+//! built once and reused across every query:
+//!
+//! * the **compiled rule** ([`CompiledRule`]) for fast pair scoring,
+//! * its **indexing plan** and the [`MultiBlockIndex`] executing it
+//!   (sharded build at construction, [`LinkService::insert`] /
+//!   [`LinkService::remove`] / [`LinkService::ingest`] afterwards),
+//! * a **shared [`ValueCache`]** memoizing the target side's transform
+//!   chains: a chain computed while indexing a target entity is reused every
+//!   time a query scores that entity, for the whole life of the service.
+//!
+//! # Lifetimes and soundness
+//!
+//! The service *borrows* its target entities (`LinkService<'t>`) instead of
+//! owning them.  This is what makes the long-lived shared cache sound: the
+//! cache memoizes per entity **address**, and because every entity the
+//! service ever sees outlives the service itself (`'t`), a removed entity's
+//! address can never be reused by a new allocation while its stale cache
+//! entries are still visible.  Callers keep the entity arena (usually a
+//! [`DataSource`], or chunk buffers for streamed ingestion) alive alongside
+//! the service.
+//!
+//! # Query path
+//!
+//! [`LinkService::query_with`] is the hot path: candidate generation runs on
+//! the caller's pooled [`CandidateScratch`] (no per-query allocation once
+//! warm), the per-query [`ValueCache`] for the query entity's own transform
+//! chains is allocation-free to construct, and results land in a reusable
+//! `(position, score)` buffer.  Transform-free rules serve queries without
+//! touching the allocator at all; rules with transforms allocate only the
+//! query entity's transformed values.  [`LinkService::query`] wraps this
+//! with identifier materialisation and score-descending order.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use linkdisc_entity::{DataSource, Entity, EntityError, Schema};
+use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
+
+use crate::engine::ScoredLink;
+use crate::multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};
+
+/// Construction options of a [`LinkService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceOptions {
+    /// Similarity a target must reach to be reported (Definition 3: 0.5).
+    pub link_threshold: f64,
+    /// Worker threads for the initial sharded index build (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            link_threshold: LINK_THRESHOLD,
+            threads: 0,
+        }
+    }
+}
+
+/// A serving index over a mutable set of target entities: answers
+/// single-entity match queries for one rule (see the module docs).
+pub struct LinkService<'t> {
+    rule: LinkageRule,
+    compiled: CompiledRule,
+    index: MultiBlockIndex,
+    /// Target entities by index position; `None` marks a removed slot
+    /// (reused by later inserts).
+    slots: Vec<Option<&'t Entity>>,
+    by_id: HashMap<String, u32>,
+    free: Vec<u32>,
+    cache: ValueCache<'t>,
+    link_threshold: f64,
+    scratch_pool: Mutex<Vec<CandidateScratch>>,
+}
+
+impl std::fmt::Debug for LinkService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkService")
+            .field("rule", &self.rule)
+            .field("entities", &self.len())
+            .field("link_threshold", &self.link_threshold)
+            .finish()
+    }
+}
+
+impl<'t> LinkService<'t> {
+    /// Creates a service with no target entities yet; populate it through
+    /// [`LinkService::ingest`] / [`LinkService::insert`] (streamed
+    /// construction).  `source_schema` is the schema of future *query*
+    /// entities.
+    pub fn empty(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+    ) -> Self {
+        let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
+            .canonicalized();
+        let compiled = CompiledRule::compile(&rule, source_schema, target_schema);
+        LinkService {
+            rule,
+            compiled,
+            index: MultiBlockIndex::empty(plan),
+            slots: Vec::new(),
+            by_id: HashMap::new(),
+            free: Vec::new(),
+            cache: ValueCache::new(),
+            link_threshold: options.link_threshold,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds a service over a materialised target source, sharding the
+    /// index build across [`ServiceOptions::threads`] workers.
+    pub fn build(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target: &'t DataSource,
+        options: ServiceOptions,
+    ) -> Self {
+        let plan = IndexingPlan::lower(
+            &rule,
+            source_schema,
+            target.schema(),
+            options.link_threshold,
+        )
+        .canonicalized();
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build_slice(plan, target.entities(), &cache, options.threads);
+        let compiled = CompiledRule::compile(&rule, source_schema, target.schema());
+        LinkService {
+            rule,
+            compiled,
+            index,
+            slots: target.entities().iter().map(Some).collect(),
+            by_id: target
+                .entities()
+                .iter()
+                .enumerate()
+                .map(|(position, entity)| (entity.id().to_string(), position as u32))
+                .collect(),
+            free: Vec::new(),
+            cache,
+            link_threshold: options.link_threshold,
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The rule this service executes.
+    pub fn rule(&self) -> &LinkageRule {
+        &self.rule
+    }
+
+    /// Number of live target entities.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` when no target entity is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Returns `true` if a target with this identifier is currently served.
+    pub fn contains(&self, id: &str) -> bool {
+        self.by_id.contains_key(id)
+    }
+
+    /// The target entity currently served at an index position.
+    pub fn at(&self, position: u32) -> Option<&'t Entity> {
+        self.slots.get(position as usize).copied().flatten()
+    }
+
+    /// Build statistics of the underlying index, one entry per indexed
+    /// comparison — exact at all times, including after inserts and removes.
+    pub fn stats(&self) -> Vec<LeafBuildStats> {
+        self.index.build_stats()
+    }
+
+    /// Adds one target entity, indexing it incrementally.  Returns its index
+    /// position; fails on a duplicate identifier.
+    pub fn insert(&mut self, entity: &'t Entity) -> Result<u32, EntityError> {
+        if self.by_id.contains_key(entity.id()) {
+            return Err(EntityError::DuplicateEntity(entity.id().to_string()));
+        }
+        let position = match self.free.pop() {
+            Some(position) => position,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[position as usize] = Some(entity);
+        self.by_id.insert(entity.id().to_string(), position);
+        self.index.insert(position, entity, &self.cache);
+        Ok(position)
+    }
+
+    /// Streamed ingestion: adds a chunk of target entities.  Equivalent to
+    /// inserting them one by one; the resulting index is structurally
+    /// identical to a batch build over the same final entity set.
+    pub fn ingest(&mut self, entities: &'t [Entity]) -> Result<usize, EntityError> {
+        for entity in entities {
+            self.insert(entity)?;
+        }
+        Ok(entities.len())
+    }
+
+    /// Removes a target entity by identifier, un-indexing its postings (the
+    /// slot is recycled by later inserts).  Returns `false` when the id is
+    /// not served.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let Some(position) = self.by_id.remove(id) else {
+            return false;
+        };
+        let entity = self.slots[position as usize]
+            .take()
+            .expect("a mapped identifier always has a live slot");
+        self.index.remove(position, entity, &self.cache);
+        self.free.push(position);
+        true
+    }
+
+    /// All targets matching one query entity (score ≥ the link threshold),
+    /// best first (ties towards the smaller identifier).  Convenience
+    /// wrapper over [`LinkService::query_with`] with a pooled scratch.
+    pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        let mut scratch = self.take_scratch();
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        self.query_with(source_entity, &mut scratch, &mut hits);
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        let mut links: Vec<ScoredLink> = hits
+            .into_iter()
+            .map(|(position, score)| ScoredLink {
+                source: source_entity.id().to_string(),
+                target: self.slots[position as usize]
+                    .expect("candidates only name live slots")
+                    .id()
+                    .to_string(),
+                score,
+            })
+            .collect();
+        links.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        links
+    }
+
+    /// The hot query path: candidate generation on the caller's scratch,
+    /// matches appended to `out` as `(index position, score)` pairs
+    /// (cleared first, unordered).  Resolve positions to entities via
+    /// [`LinkService::at`].  With warm buffers and a transform-free rule
+    /// this path performs no heap allocation.
+    pub fn query_with(
+        &self,
+        source_entity: &Entity,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        out.clear();
+        // per-query memo for the query entity's own transform chains; the
+        // target side reads the service-lifetime shared cache instead
+        let query_cache = ValueCache::new();
+        let buf = self
+            .index
+            .candidates(source_entity, &query_cache, scratch, &mut []);
+        for &position in &buf {
+            // an exhaustive (`All`) plan enumerates every position, so
+            // removed slots must be skipped here; leaf postings only ever
+            // name live slots
+            let Some(target_entity) = self.slots[position as usize] else {
+                continue;
+            };
+            let score =
+                self.compiled
+                    .evaluate_two(source_entity, target_entity, &query_cache, &self.cache);
+            if score >= self.link_threshold {
+                out.push((position, score));
+            }
+        }
+        scratch.recycle(buf);
+    }
+
+    fn take_scratch(&self) -> CandidateScratch {
+        self.scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatchingEngine;
+    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
+
+    fn source() -> DataSource {
+        DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "Berlin")])
+            .unwrap()
+            .entity("a2", [("label", "Paris")])
+            .unwrap()
+            .build()
+    }
+
+    fn target() -> DataSource {
+        DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlin")])
+            .unwrap()
+            .entity("b2", [("name", "paris")])
+            .unwrap()
+            .entity("b3", [("name", "berlim")])
+            .unwrap()
+            .build()
+    }
+
+    fn rule() -> LinkageRule {
+        compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into()
+    }
+
+    #[test]
+    fn queries_return_scored_targets_best_first() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let links = service.query(&source.entities()[0]);
+        let targets: Vec<&str> = links.iter().map(|l| l.target.as_str()).collect();
+        assert_eq!(targets, vec!["b1", "b3"], "berlin exact, berlim fuzzy");
+        assert!(links[0].score > links[1].score);
+        assert!(links.iter().all(|l| l.source == "a1"));
+    }
+
+    #[test]
+    fn service_agrees_with_the_batch_engine() {
+        let (source, target) = (source(), target());
+        let engine_links = MatchingEngine::new(rule()).run(&source, &target).links;
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let mut service_links: Vec<ScoredLink> = source
+            .entities()
+            .iter()
+            .flat_map(|entity| service.query(entity))
+            .collect();
+        service_links.sort_by(|a, b| {
+            a.source
+                .cmp(&b.source)
+                .then_with(|| b.score.total_cmp(&a.score))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        assert_eq!(service_links, engine_links);
+    }
+
+    #[test]
+    fn inserts_and_removes_are_served_immediately() {
+        let (source, target) = (source(), target());
+        let mut service = LinkService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            ServiceOptions::default(),
+        );
+        let a1 = &source.entities()[0];
+        assert!(service.query(a1).is_empty());
+
+        service.ingest(target.entities()).unwrap();
+        assert_eq!(service.len(), 3);
+        assert_eq!(service.query(a1).len(), 2);
+
+        assert!(service.remove("b1"));
+        assert!(!service.remove("b1"), "already gone");
+        let links = service.query(a1);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].target, "b3");
+
+        // slot reuse: a new entity takes the freed position and is found
+        let extra = DataSourceBuilder::new("B2", ["name"])
+            .entity("b9", [("name", "berlin!")])
+            .unwrap()
+            .build();
+        let position = service.insert(&extra.entities()[0]).unwrap();
+        assert_eq!(position, 0, "freed slot is recycled");
+        let targets: Vec<String> = service.query(a1).into_iter().map(|l| l.target).collect();
+        assert_eq!(targets, vec!["b3".to_string(), "b9".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let err = service.insert(&target.entities()[0]).unwrap_err();
+        assert!(matches!(err, EntityError::DuplicateEntity(id) if id == "b1"));
+    }
+
+    #[test]
+    fn incremental_service_matches_batch_built_service() {
+        let (source, target) = (source(), target());
+        let batch = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let mut incremental = LinkService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            ServiceOptions::default(),
+        );
+        // interleave chunked ingestion with a remove + reinsert
+        incremental.ingest(&target.entities()[..2]).unwrap();
+        incremental.remove("b2");
+        incremental.ingest(&target.entities()[2..]).unwrap();
+        incremental.insert(&target.entities()[1]).unwrap();
+        assert_eq!(incremental.len(), batch.len());
+        for entity in source.entities() {
+            let batch_links = batch.query(entity);
+            let incremental_links = incremental.query(entity);
+            assert_eq!(batch_links, incremental_links, "query {}", entity.id());
+        }
+    }
+
+    #[test]
+    fn exhaustive_rules_scan_live_slots_only() {
+        // Jaro at this threshold cannot prune: the plan is exhaustive and
+        // queries must scan live entities, skipping removed slots
+        let jaro: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Jaro,
+            2.0,
+        )
+        .into();
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(jaro, source.schema(), &target, ServiceOptions::default());
+        assert!(service.stats().is_empty(), "no indexable comparison");
+        let before = service.query(&source.entities()[1]);
+        assert!(before.iter().any(|l| l.target == "b2"));
+        service.remove("b2");
+        let after = service.query(&source.entities()[1]);
+        assert!(!after.iter().any(|l| l.target == "b2"));
+    }
+
+    #[test]
+    fn hot_path_reports_positions_resolvable_to_entities() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let mut scratch = CandidateScratch::new();
+        let mut hits = Vec::new();
+        service.query_with(&source.entities()[1], &mut scratch, &mut hits);
+        assert_eq!(hits.len(), 1);
+        let (position, score) = hits[0];
+        assert_eq!(service.at(position).unwrap().id(), "b2");
+        assert!(score >= 0.5);
+        // reusing the buffers clears previous results
+        service.query_with(&source.entities()[0], &mut scratch, &mut hits);
+        assert_eq!(hits.len(), 2);
+    }
+}

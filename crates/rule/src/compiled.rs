@@ -258,7 +258,6 @@ pub struct CompiledRule {
     target: SlotProgram,
     instructions: Vec<Instruction>,
     rule_hash: u64,
-    max_stack: usize,
 }
 
 impl CompiledRule {
@@ -282,7 +281,6 @@ impl CompiledRule {
                 &mut instructions,
             );
         }
-        let max_stack = max_stack_depth(&instructions);
         CompiledRule {
             source: SlotProgram {
                 schema: source_schema.clone(),
@@ -296,7 +294,6 @@ impl CompiledRule {
             },
             instructions,
             rule_hash: rule.canonical_hash(),
-            max_stack,
         }
     }
 
@@ -314,10 +311,62 @@ impl CompiledRule {
     /// Evaluates the plan on an entity pair, yielding the same similarity as
     /// [`LinkageRule::evaluate`] on the original rule.
     pub fn evaluate<'e>(&self, pair: &EntityPair<'e>, cache: &ValueCache<'e>) -> f64 {
+        self.evaluate_two(pair.source, pair.target, cache, cache)
+    }
+
+    /// Evaluates the plan on a `(source, target)` pair whose two sides are
+    /// memoized in *separate* caches with independent lifetimes.
+    ///
+    /// The streaming engine and the serving `LinkService` pair entities of
+    /// very different lifetimes: a long-lived source (or a long-lived target
+    /// index) against short-lived chunk or query entities.  A single
+    /// [`ValueCache`] would force both sides down to the shorter lifetime and
+    /// throw away the long side's memo; two caches keep each side memoized
+    /// for exactly as long as its entities live.  Scores are bit-identical
+    /// to [`CompiledRule::evaluate`] (the caches are pure memos).
+    pub fn evaluate_two<'s, 't>(
+        &self,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+    ) -> f64 {
         if self.instructions.is_empty() {
             return 0.0;
         }
-        let mut stack: Vec<(f64, u32)> = Vec::with_capacity(self.max_stack);
+        // evaluation scratch (score stack plus aggregation buffers) is
+        // reused across calls — evaluation never recurses into itself — so
+        // the per-pair hot path performs no allocation once warm
+        thread_local! {
+            static EVAL_SCRATCH: std::cell::RefCell<EvalScratch> =
+                const { std::cell::RefCell::new(EvalScratch::new()) };
+        }
+        EVAL_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            self.run_instructions(
+                source_entity,
+                target_entity,
+                source_cache,
+                target_cache,
+                &mut scratch,
+            )
+        })
+    }
+
+    fn run_instructions<'s, 't>(
+        &self,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+        scratch: &mut EvalScratch,
+    ) -> f64 {
+        let EvalScratch {
+            stack,
+            scores,
+            weights,
+        } = scratch;
+        stack.clear();
         for instruction in &self.instructions {
             match instruction {
                 Instruction::Compare {
@@ -327,8 +376,16 @@ impl CompiledRule {
                     threshold,
                     weight,
                 } => {
-                    let score =
-                        self.comparison_score(*source, *target, *function, *threshold, pair, cache);
+                    let score = self.comparison_score(
+                        *source,
+                        *target,
+                        *function,
+                        *threshold,
+                        source_entity,
+                        target_entity,
+                        source_cache,
+                        target_cache,
+                    );
                     stack.push((score, *weight));
                 }
                 Instruction::Aggregate {
@@ -336,13 +393,16 @@ impl CompiledRule {
                     weight,
                     arity,
                 } => {
-                    // `split_off` keeps the children in their original order,
-                    // so WeightedMean accumulates in exactly the tree-walk
-                    // order (bit-identical floating-point result).
-                    let children = stack.split_off(stack.len() - arity);
-                    let scores: Vec<f64> = children.iter().map(|c| c.0).collect();
-                    let weights: Vec<u32> = children.iter().map(|c| c.1).collect();
-                    stack.push((function.evaluate(&scores, &weights), *weight));
+                    // children are copied out in their original order, so
+                    // WeightedMean accumulates in exactly the tree-walk
+                    // order (bit-identical floating-point result)
+                    let at = stack.len() - arity;
+                    scores.clear();
+                    weights.clear();
+                    scores.extend(stack[at..].iter().map(|c| c.0));
+                    weights.extend(stack[at..].iter().map(|c| c.1));
+                    stack.truncate(at);
+                    stack.push((function.evaluate(scores, weights), *weight));
                 }
             }
         }
@@ -354,19 +414,22 @@ impl CompiledRule {
             .clamp(0.0, 1.0)
     }
 
-    fn comparison_score<'e>(
+    #[allow(clippy::too_many_arguments)]
+    fn comparison_score<'s, 't>(
         &self,
         source: SlotId,
         target: SlotId,
         function: DistanceFunction,
         threshold: f64,
-        pair: &EntityPair<'e>,
-        cache: &ValueCache<'e>,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
     ) -> f64 {
         match function {
             DistanceFunction::Jaccard | DistanceFunction::Dice => {
-                let a = self.source.set(source, pair.source, cache);
-                let b = self.target.set(target, pair.target, cache);
+                let a = self.source.set(source, source_entity, source_cache);
+                let b = self.target.set(target, target_entity, target_cache);
                 // the tree walk reports "unmeasurable" before ever reaching
                 // the set measure when either side is empty
                 if a.is_empty() || b.is_empty() {
@@ -379,15 +442,33 @@ impl CompiledRule {
                 threshold_similarity(distance, threshold)
             }
             DistanceFunction::Levenshtein => {
-                let a = self.source.values(source, pair.source, cache);
-                let b = self.target.values(target, pair.target, cache);
+                let a = self.source.values(source, source_entity, source_cache);
+                let b = self.target.values(target, target_entity, target_cache);
                 levenshtein_similarity(&a, &b, threshold)
             }
             _ => {
-                let a = self.source.values(source, pair.source, cache);
-                let b = self.target.values(target, pair.target, cache);
+                let a = self.source.values(source, source_entity, source_cache);
+                let b = self.target.values(target, target_entity, target_cache);
                 function.similarity(&a, &b, threshold)
             }
+        }
+    }
+}
+
+/// Reusable per-thread evaluation state of [`CompiledRule::evaluate_two`]:
+/// the instruction score stack and the aggregation score/weight buffers.
+struct EvalScratch {
+    stack: Vec<(f64, u32)>,
+    scores: Vec<f64>,
+    weights: Vec<u32>,
+}
+
+impl EvalScratch {
+    const fn new() -> Self {
+        EvalScratch {
+            stack: Vec::new(),
+            scores: Vec::new(),
+            weights: Vec::new(),
         }
     }
 }
@@ -487,19 +568,6 @@ fn lower_similarity(
             });
         }
     }
-}
-
-fn max_stack_depth(instructions: &[Instruction]) -> usize {
-    let mut depth = 0usize;
-    let mut max = 0usize;
-    for instruction in instructions {
-        match instruction {
-            Instruction::Compare { .. } => depth += 1,
-            Instruction::Aggregate { arity, .. } => depth = depth - arity + 1,
-        }
-        max = max.max(depth);
-    }
-    max
 }
 
 /// Deterministic structural hash of a value operator (property names and
@@ -603,7 +671,9 @@ struct CachedSlot {
 /// Sharded mutexes keep the cache cheap under the GP engine's parallel
 /// fitness evaluation.
 pub struct ValueCache<'e> {
-    shards: Vec<Mutex<HashMap<(usize, u64), CachedSlot>>>,
+    // an inline array (not a Vec) so `ValueCache::new` performs no heap
+    // allocation: the serving path builds one short-lived cache per query
+    shards: [Mutex<HashMap<(usize, u64), CachedSlot>>; VALUE_CACHE_SHARDS],
     interner: Mutex<HashSet<Arc<[String]>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -627,12 +697,11 @@ impl Default for ValueCache<'_> {
 }
 
 impl<'e> ValueCache<'e> {
-    /// Creates an empty cache.
+    /// Creates an empty cache.  Allocation-free: shards are inline and the
+    /// underlying maps allocate lazily on first insert.
     pub fn new() -> Self {
         ValueCache {
-            shards: (0..VALUE_CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             interner: Mutex::new(HashSet::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),

@@ -141,6 +141,18 @@ impl IndexingPlan {
         self.root == PlanNode::Nothing
     }
 
+    /// Drops comparisons the root can never reference.  A degenerate root
+    /// (`All` from a non-prunable branch of a union, or `Nothing`) leaves
+    /// already-lowered sibling comparisons in the table; executors that
+    /// index every comparison eagerly (the serving `LinkService`) would
+    /// otherwise build dead leaf indexes.
+    pub fn canonicalized(mut self) -> Self {
+        if matches!(self.root, PlanNode::All | PlanNode::Nothing) {
+            self.comparisons.clear();
+        }
+        self
+    }
+
     fn lower_operator(
         &mut self,
         operator: &SimilarityOperator,

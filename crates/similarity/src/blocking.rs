@@ -26,8 +26,15 @@
 //!   overlap, plus a shared short-string key for values short enough that
 //!   `d` edits could destroy every gram (pigeonhole: `d` edits destroy at
 //!   most `q·d` of the `|s| + q − 1` padded grams).
-//! * **Jaro / Jaro-Winkler** — per-character keys: a similarity above zero
-//!   requires at least one common character, and `bound ≥ 1` admits every
+//! * **Jaro / Jaro-Winkler** — a match-window-aware scheme for tight bounds
+//!   (see [`jaro_keys`]): a Jaro distance `d` forces the matched fraction of
+//!   *each* string to be at least `f = 1 − 3d` (each of the three Jaro terms
+//!   is at most 1), which in turn bounds the length ratio (`min ≥ f·max`,
+//!   keyed as log-scale length bands), confines the first matched character
+//!   to a prefix of each string, and confines its partner to a window-shifted
+//!   prefix of the other (keyed as bounded-position prefix characters).
+//!   Looser bounds fall back to plain per-character keys (a similarity above
+//!   zero requires at least one common character); `bound ≥ 1` admits every
 //!   pair (not prunable).
 //! * **Jaccard / Dice / Equality** — one key per distinct value (set
 //!   element); a distance below 1 requires a shared element.
@@ -80,6 +87,8 @@ const TAG_DATE: u8 = 8;
 const TAG_DATE_EXACT: u8 = 9;
 const TAG_GEO: u8 = 10;
 const TAG_GEO_EXACT: u8 = 11;
+const TAG_JARO_WINDOW: u8 = 13;
+const TAG_JARO_EXACT: u8 = 14;
 
 /// Start/end sentinels used to pad values before q-gram extraction; chosen
 /// from a Unicode noncharacter range so they cannot appear in real data (and
@@ -130,7 +139,11 @@ impl DistanceFunction {
         let bound = inflate(bound.max(0.0));
         match self {
             DistanceFunction::Levenshtein => levenshtein_keys(values, bound, keys),
-            DistanceFunction::Jaro | DistanceFunction::JaroWinkler => character_keys(values, keys),
+            DistanceFunction::Jaro => jaro_keys(values, bound, 1.0 - 3.0 * bound, keys),
+            // Winkler only boosts: sim_w ≤ sim_j + 0.4·(1 − sim_j), so a
+            // required sim_w ≥ s implies sim_j ≥ (s − 0.4)/0.6 and the Jaro
+            // matched fraction becomes f = 3·sim_j − 2 = 5s − 4 = 1 − 5·bound
+            DistanceFunction::JaroWinkler => jaro_keys(values, bound, 1.0 - 5.0 * bound, keys),
             DistanceFunction::Jaccard | DistanceFunction::Dice => {
                 element_keys(TAG_ELEMENT, values, keys)
             }
@@ -209,7 +222,75 @@ fn levenshtein_keys(values: &[String], bound: f64, keys: &mut Vec<BlockKey>) {
     }
 }
 
-/// Jaro / Jaro-Winkler: one key per distinct character.
+/// Jaro / Jaro-Winkler: match-window-aware keys for tight bounds, falling
+/// back to per-character keys when the bound is too loose to exploit the
+/// window structure.
+///
+/// `fraction` is the minimum matched fraction `f` each admissible pair must
+/// reach on *both* strings: a Jaro similarity `s = 1 − d` satisfies
+/// `3s = m/|a| + m/|b| + (m − t/2)/m`, and since the latter two terms are at
+/// most 1 each, `m/|a| ≥ 3s − 2` (symmetrically for `|b|`).  The caller
+/// derives `f` from the bound per measure (Jaro: `1 − 3·bound`; Jaro-Winkler
+/// through the prefix-boost inversion).  For `f ≤ 0` the matched-fraction
+/// argument is vacuous and the old any-shared-character scheme applies.
+///
+/// For `f > 0` every admissible pair obeys three window facts, each keyed:
+///
+/// 1. **Length bands** — `m ≤ min(|a|, |b|)` with `m ≥ f·|a|` and
+///    `m ≥ f·|b|` forces `min ≥ f·max`, i.e. the log-scale length classes
+///    `⌊ln|s| / ln(1/f)⌋` differ by at most 1; every key embeds the class
+///    (emitted for own class `ℓ` and `ℓ + 1`, so adjacent classes always
+///    share one and classes ≥ 2 apart never do).
+/// 2. **Prefix** — at most `(1 − f)·|a|` characters of `a` are unmatched, so
+///    the *first* matched character of `a` sits at index `i ≤ (1 − f)·|a|`.
+/// 3. **Bounded position** — its partner in `b` is the *same character* at
+///    index `j ≤ i + w` with the Jaro window `w = ⌊max/2⌋ − 1`, and
+///    `max ≤ |b|/f`, giving `j ≤ |b|·(1.5 − f)/f`.  Both `i` and `j` fall
+///    below the shared cutoff `K(|s|) = ⌊(1.5 − f)/f · |s|⌋ + 1`
+///    (`(1 − f) ≤ (1.5 − f)/f` for every `f < 1`), so emitting one key per
+///    distinct character in the first `K` characters guarantees the shared
+///    `(char, class)` key.  For `f ≤ 0.75` the cutoff covers the whole
+///    string and only the length bands prune.
+///
+/// A `bound` of 0 admits only identical strings (Jaro similarity 1 forces
+/// all characters matched in order), keyed exactly.  Two empty values have
+/// distance 0 and share the empty-value key; an empty value is never within
+/// a bound `< 1` of a non-empty one.
+fn jaro_keys(values: &[String], bound: f64, fraction: f64, keys: &mut Vec<BlockKey>) {
+    if bound == 0.0 {
+        for value in values {
+            keys.push(key(TAG_JARO_EXACT, value.as_str()));
+        }
+        return;
+    }
+    if fraction <= 0.0 {
+        character_keys(values, keys);
+        return;
+    }
+    // cap so the class base stays away from 1 (bound → 0 drives f → 1); a
+    // smaller f only widens bands and cutoffs, which is always sound
+    let fraction = fraction.min(0.98);
+    // widen the class base by 1e-9 so a pair sitting exactly on the
+    // `min = f·max` boundary cannot be split across 2 classes by rounding
+    let class_base = (1.0 / fraction).ln() * (1.0 + 1e-9);
+    let cutoff_ratio = (1.5 - fraction) / fraction;
+    for value in values {
+        let length = value.chars().count();
+        if length == 0 {
+            keys.push(key(TAG_CHARACTER, u32::MAX));
+            continue;
+        }
+        let class = ((length as f64).ln() / class_base).floor() as i64;
+        let cutoff = (((cutoff_ratio * length as f64) + 1e-6).floor() as usize + 1).min(length);
+        for c in value.chars().take(cutoff) {
+            keys.push(key(TAG_JARO_WINDOW, (c as u32, class)));
+            keys.push(key(TAG_JARO_WINDOW, (c as u32, class + 1)));
+        }
+    }
+}
+
+/// Jaro / Jaro-Winkler fallback for loose bounds: one key per distinct
+/// character.
 ///
 /// Guarantee (`bound < 1`, checked by `can_prune`): a Jaro distance below 1
 /// means the similarity is positive, which requires at least one matched —
@@ -486,6 +567,66 @@ mod tests {
     #[test]
     fn jaro_empty_values_share_the_empty_key() {
         assert_guarantee(DistanceFunction::Jaro, &vs(&[""]), &vs(&[""]), 0.5);
+        // the window scheme keeps the empty-key behaviour at tight bounds
+        assert_guarantee(DistanceFunction::Jaro, &vs(&[""]), &vs(&[""]), 0.1);
+        assert_guarantee(DistanceFunction::JaroWinkler, &vs(&[""]), &vs(&[""]), 0.05);
+    }
+
+    #[test]
+    fn jaro_window_scheme_keeps_close_pairs() {
+        // transposition + substitution variants stay within tight bounds and
+        // must share a window key
+        for (a, b, bound) in [
+            ("martha", "marhta", 0.1),
+            ("dixon", "dicksonx", 0.25),
+            ("restaurant", "restaurnat", 0.05),
+            ("jellyfish", "smellyfish", 0.1),
+        ] {
+            assert_guarantee(DistanceFunction::Jaro, &vs(&[a]), &vs(&[b]), bound);
+            assert_guarantee(DistanceFunction::JaroWinkler, &vs(&[a]), &vs(&[b]), bound);
+        }
+    }
+
+    #[test]
+    fn jaro_length_bands_prune_mismatched_lengths() {
+        // "abcdefghij" and "ab" share characters, so the old per-character
+        // scheme could never separate them; at bound 0.1 the matched
+        // fraction must be 0.7, which their 5x length ratio cannot reach
+        assert!(!overlap(
+            DistanceFunction::Jaro,
+            &vs(&["abcdefghij"]),
+            &vs(&["ab"]),
+            0.1
+        ));
+    }
+
+    #[test]
+    fn jaro_prefix_cutoff_prunes_late_only_overlap() {
+        // equal length, but the only shared character sits at the last
+        // position — far outside the admissible first-match prefix at a very
+        // tight bound (distance here is 0.6)
+        assert!(!overlap(
+            DistanceFunction::Jaro,
+            &vs(&["abcdefghij"]),
+            &vs(&["zzzzzzzzzj"]),
+            0.05
+        ));
+    }
+
+    #[test]
+    fn jaro_exact_bound_requires_identical_values() {
+        assert_guarantee(
+            DistanceFunction::Jaro,
+            &vs(&["berlin"]),
+            &vs(&["berlin"]),
+            0.0,
+        );
+        assert!(!overlap(
+            DistanceFunction::Jaro,
+            &vs(&["berlin"]),
+            &vs(&["berlim"]),
+            0.0
+        ));
     }
 
     #[test]
@@ -553,6 +694,41 @@ mod tests {
                 bound,
             );
             assert_guarantee(DistanceFunction::JaroWinkler, &[a], &[b], bound);
+        }
+
+        /// The window scheme specifically: close pairs produced by few edits
+        /// on a shared base, probed across the tight-bound regime where the
+        /// prefix/length-band keys are active (including the Jaro 1/3 and
+        /// Jaro-Winkler 1/5 scheme switchovers).
+        #[test]
+        fn jaro_window_guarantee_holds_for_edited_pairs(
+            base in "[a-e]{1,12}",
+            edits in proptest::collection::vec((0usize..12, "[a-e]"), 0..3),
+            bound in 0.0f64..0.4,
+        ) {
+            let mut edited: Vec<char> = base.chars().collect();
+            for (position, replacement) in &edits {
+                let c = replacement.chars().next().expect("one char");
+                match position {
+                    p if p % 3 == 0 && !edited.is_empty() => {
+                        let at = p % edited.len();
+                        edited.remove(at);
+                    }
+                    p if p % 3 == 1 => {
+                        let at = p % (edited.len() + 1);
+                        edited.insert(at, c);
+                    }
+                    p => {
+                        if !edited.is_empty() {
+                            let at = p % edited.len();
+                            edited[at] = c;
+                        }
+                    }
+                }
+            }
+            let b: String = edited.into_iter().collect();
+            assert_guarantee(DistanceFunction::Jaro, std::slice::from_ref(&base), std::slice::from_ref(&b), bound);
+            assert_guarantee(DistanceFunction::JaroWinkler, &[base], &[b], bound);
         }
 
         #[test]

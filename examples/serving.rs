@@ -1,0 +1,124 @@
+//! Serving demo: a long-lived `LinkService` answering single-entity match
+//! queries against a live-updating target set, plus the engine's streaming
+//! mode for targets that never fit in memory at once.
+//!
+//! Run with `cargo run --release -p genlink-examples --example serving`.
+
+use genlink_examples::section;
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::ChunkedVecStream;
+use linkdisc_matching::{LinkService, MatchingEngine, MatchingOptions, ServiceOptions};
+use linkdisc_rule::{
+    aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
+    TransformFunction,
+};
+
+fn rule() -> LinkageRule {
+    // name (fuzzy, lower-cased) AND phone (digits only): the conjunction the
+    // matching benchmark uses
+    aggregation(
+        AggregationFunction::Min,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+        ],
+    )
+    .into()
+}
+
+fn main() {
+    let dataset = DatasetKind::Restaurant.generate(0.5, 7);
+    println!(
+        "restaurant dataset: {} query entities, {} target entities",
+        dataset.source.len(),
+        dataset.target.len()
+    );
+
+    section("build a serving index (sharded across all cores)");
+    let mut service = LinkService::build(
+        rule(),
+        dataset.source.schema(),
+        &dataset.target,
+        ServiceOptions::default(),
+    );
+    for stats in service.stats() {
+        println!(
+            "indexed [{}]: {} blocks, {} postings, {} entities",
+            stats.label, stats.blocks, stats.postings, stats.indexed_entities
+        );
+    }
+
+    section("single-entity queries at interactive latency");
+    for entity in dataset.source.entities().iter().take(3) {
+        let links = service.query(entity);
+        let best = links
+            .first()
+            .map(|l| format!("{} (score {:.3})", l.target, l.score))
+            .unwrap_or_else(|| "no match".to_string());
+        println!(
+            "query {:28} -> {} match(es), best: {}",
+            entity.id(),
+            links.len(),
+            best
+        );
+    }
+
+    section("live updates: remove and re-insert a served entity");
+    let probe = &dataset.source.entities()[0];
+    let best_target = service.query(probe)[0].target.clone();
+    println!("best match of {}: {}", probe.id(), best_target);
+    service.remove(&best_target);
+    println!(
+        "after removing {}: {} match(es)",
+        best_target,
+        service.query(probe).len()
+    );
+    let restored = dataset
+        .target
+        .entities()
+        .iter()
+        .find(|e| e.id() == best_target)
+        .expect("the removed entity came from the target source");
+    service.insert(restored).unwrap();
+    println!(
+        "after re-inserting:  {} match(es) — served immediately",
+        service.query(probe).len()
+    );
+
+    section("streaming: match a target that never sits in memory at once");
+    let batch = MatchingEngine::new(rule()).run(&dataset.source, &dataset.target);
+    // a streaming source delivering owned chunks, as a lazy parser would;
+    // MatchingOptions::chunk_size does the same for materialised sources
+    let chunks: Vec<Vec<_>> = dataset
+        .target
+        .entities()
+        .chunks(64)
+        .map(|c| c.to_vec())
+        .collect();
+    let mut stream = ChunkedVecStream::new("restaurants", dataset.target.schema().clone(), chunks);
+    let streamed = MatchingEngine::new(rule())
+        .with_options(MatchingOptions {
+            chunk_size: 64,
+            ..MatchingOptions::default()
+        })
+        .run_stream(&dataset.source, &mut stream);
+    println!(
+        "streamed {} chunks, peak {} of {} target entities resident",
+        streamed.chunks, streamed.peak_chunk_entities, streamed.target_entities
+    );
+    println!(
+        "streamed links == batch links: {} ({} links)",
+        streamed.links == batch.links,
+        streamed.links.len()
+    );
+}
