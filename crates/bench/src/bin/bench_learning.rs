@@ -1,0 +1,207 @@
+//! Learning-subsystem benchmark: parallel GP learning with shared leaf
+//! indexes, with results emitted to `BENCH_learning.json`.
+//!
+//! The paper's headline numbers (Tables 7–12) are *learning-time* numbers,
+//! so this benchmark gates the learning path the way `bench_serving` gates
+//! the serving path.  Three measurements over a multi-comparison workload
+//! (the restaurant dataset, whose learned rules conjoin name/phone/address
+//! comparisons):
+//!
+//! 1. **Parallel speedup** — one full learning run at 1 thread versus 4
+//!    threads (fresh learner and caches per run; fixed iteration count so
+//!    both runs do identical work).  Gate (enforced only when the host has
+//!    ≥ 4 cores, as CI does): **speedup ≥ 2x**.
+//! 2. **Determinism** — the 1-thread and 4-thread runs must learn the
+//!    *same rule* with the *same iteration history* (always enforced; this
+//!    is the bit-identical-parallelism contract of the evolution loop).
+//! 3. **Leaf-index reuse** — the generation-scoped `SharedLeafIndexes`
+//!    cache must answer a positive fraction of leaf-index requests (always
+//!    enforced): a population's rules share comparison chains, so whole
+//!    per-comparison index builds are saved every generation.
+//!
+//! Also reported: wall-clock per generation at each thread count and the
+//! fitness-cache hit rate, for the learning-curve context.
+//!
+//! Environment: `GENLINK_BENCH_LEARNING_OUT` (output path, default
+//! `BENCH_learning.json`).
+
+use std::time::Instant;
+
+use genlink::{GenLink, GenLinkConfig, LearnOutcome};
+use linkdisc_datasets::DatasetKind;
+
+const SPEEDUP_GATE: f64 = 2.0;
+const PARALLEL_THREADS: usize = 4;
+const REPETITIONS: usize = 2;
+const ITERATIONS: usize = 6;
+const SEED: u64 = 42;
+
+fn config(threads: usize) -> GenLinkConfig {
+    let mut config = GenLinkConfig::paper();
+    config.gp.population_size = 150;
+    config.gp.max_iterations = ITERATIONS;
+    // fixed work: never stop early, so every run breeds and scores the same
+    // number of generations
+    config.gp.stop_f_measure = 2.0;
+    config.gp.threads = threads;
+    config
+}
+
+struct Measured {
+    outcome: LearnOutcome,
+    total_s: f64,
+    per_generation_ms: f64,
+}
+
+/// Best-of-N learning runs at one thread count (fresh learner and caches
+/// per run, so no run inherits another's memoized work).
+fn learn(dataset: &linkdisc_datasets::Dataset, threads: usize) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..REPETITIONS {
+        let learner = GenLink::new(config(threads));
+        let start = Instant::now();
+        let outcome = learner.learn(&dataset.source, &dataset.target, &dataset.links, SEED);
+        let total_s = start.elapsed().as_secs_f64();
+        let generations = outcome.history.len().saturating_sub(1).max(1);
+        let run = Measured {
+            per_generation_ms: outcome
+                .history
+                .last()
+                .map(|s| s.elapsed_seconds * 1e3 / generations as f64)
+                .unwrap_or(0.0),
+            outcome,
+            total_s,
+        };
+        if best.as_ref().is_none_or(|b| run.total_s < b.total_s) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+/// The thread-count-invariant fingerprint of a run: the learned rule and
+/// the semantic per-iteration statistics (times excluded).
+fn fingerprint(outcome: &LearnOutcome) -> (String, Vec<(u64, u64, u64, u64)>) {
+    (
+        format!("{:?}", outcome.rule),
+        outcome
+            .history
+            .iter()
+            .map(|s| {
+                (
+                    s.best_fitness.to_bits(),
+                    s.mean_fitness.to_bits(),
+                    s.best_f_measure.to_bits(),
+                    s.mean_f_measure.to_bits(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let out_path = std::env::var("GENLINK_BENCH_LEARNING_OUT")
+        .unwrap_or_else(|_| "BENCH_learning.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("=== learning benchmark ({cores} cores) ===\n");
+    let mut failures: Vec<String> = Vec::new();
+
+    let dataset = DatasetKind::Restaurant.generate(1.0, SEED);
+    let stats = dataset.statistics();
+    println!(
+        "workload: restaurant |A|={} |B|={} |R+|={} |R-|={}, population {}, {} iterations\n",
+        stats.source_entities,
+        stats.target_entities,
+        stats.positive_links,
+        stats.negative_links,
+        config(1).gp.population_size,
+        ITERATIONS
+    );
+
+    // 1. + 2. parallel speedup with a determinism gate ----------------------
+    let sequential = learn(&dataset, 1);
+    let parallel = learn(&dataset, PARALLEL_THREADS);
+    let speedup = sequential.total_s / parallel.total_s;
+    let speedup_enforced = cores >= PARALLEL_THREADS;
+    println!("--- parallel learning (best of {REPETITIONS}) ---");
+    println!(
+        "1 thread:  {:8.2} s total, {:7.1} ms/generation",
+        sequential.total_s, sequential.per_generation_ms
+    );
+    println!(
+        "{PARALLEL_THREADS} threads: {:8.2} s total, {:7.1} ms/generation",
+        parallel.total_s, parallel.per_generation_ms
+    );
+    println!(
+        "speedup: {speedup:.2}x (gate ≥ {SPEEDUP_GATE}x, {})",
+        if speedup_enforced {
+            "enforced"
+        } else {
+            "reported only — host has fewer than 4 cores"
+        }
+    );
+    if speedup_enforced && speedup < SPEEDUP_GATE {
+        failures.push(format!(
+            "parallel learning speedup {speedup:.2}x < {SPEEDUP_GATE}x on {PARALLEL_THREADS} threads"
+        ));
+    }
+    let identical = fingerprint(&sequential.outcome) == fingerprint(&parallel.outcome);
+    println!("bit-identical outcome across thread counts: {identical}");
+    if !identical {
+        failures.push("parallel run diverged from the sequential run".to_string());
+    }
+    println!();
+
+    // 3. leaf-index reuse ---------------------------------------------------
+    let cache = sequential
+        .outcome
+        .history
+        .last()
+        .and_then(|s| s.cache)
+        .unwrap_or_default();
+    let leaf_total = cache.leaf_reuse_hits + cache.leaf_reuse_misses;
+    let leaf_rate = cache.leaf_reuse_hit_rate();
+    println!("--- generation-scoped leaf-index reuse ---");
+    println!(
+        "{} leaf requests: {} hits, {} builds ({:.0}% reused); fitness cache {:.0}% hit rate",
+        leaf_total,
+        cache.leaf_reuse_hits,
+        cache.leaf_reuse_misses,
+        leaf_rate * 100.0,
+        cache.fitness_hit_rate() * 100.0
+    );
+    if cache.leaf_reuse_hits == 0 {
+        failures.push("no leaf index was ever reused on a multi-comparison workload".to_string());
+    }
+    println!();
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"workload\": {{\n    \"dataset\": \"restaurant\",\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"positive_links\": {},\n    \"negative_links\": {},\n    \"population\": {},\n    \"iterations\": {ITERATIONS}\n  }},\n  \"parallel_learning\": {{\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"per_generation_t1_ms\": {:.1},\n    \"per_generation_t{PARALLEL_THREADS}_ms\": {:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {SPEEDUP_GATE},\n    \"gate_enforced\": {speedup_enforced},\n    \"bit_identical\": {identical}\n  }},\n  \"leaf_reuse\": {{\n    \"requests\": {leaf_total},\n    \"hits\": {},\n    \"builds\": {},\n    \"hit_rate\": {leaf_rate:.4}\n  }},\n  \"fitness_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
+        stats.source_entities,
+        stats.target_entities,
+        stats.positive_links,
+        stats.negative_links,
+        config(1).gp.population_size,
+        sequential.total_s,
+        parallel.total_s,
+        sequential.per_generation_ms,
+        parallel.per_generation_ms,
+        cache.leaf_reuse_hits,
+        cache.leaf_reuse_misses,
+        cache.fitness_hits,
+        cache.fitness_misses,
+        cache.fitness_hit_rate(),
+    );
+    std::fs::write(&out_path, &json).expect("cannot write benchmark output");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("all learning gates passed");
+}

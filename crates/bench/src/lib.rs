@@ -156,6 +156,9 @@ pub struct CurveRow {
     pub evaluations_saved: Summary,
     /// Cumulative fitness-cache hit rate up to this iteration.
     pub cache_hit_rate: Summary,
+    /// Cumulative shared-leaf-index reuse rate up to this iteration (the
+    /// second caching layer: whole per-comparison index builds saved).
+    pub leaf_reuse_rate: Summary,
 }
 
 /// The outcome of a learning-curve experiment.
@@ -188,6 +191,7 @@ pub fn learning_curve(
         validation: Vec<f64>,
         saved: Vec<f64>,
         hit_rate: Vec<f64>,
+        leaf_reuse: Vec<f64>,
     }
     let mut per_checkpoint: BTreeMap<usize, CheckpointAccumulator> = BTreeMap::new();
     let mut best_rule = LinkageRule::empty();
@@ -229,6 +233,7 @@ pub fn learning_curve(
                     let cache = stats.cache.unwrap_or_default();
                     entry.saved.push(cache.fitness_hits as f64);
                     entry.hit_rate.push(cache.fitness_hit_rate());
+                    entry.leaf_reuse.push(cache.leaf_reuse_hit_rate());
                 },
             );
             // when the run stops early, later checkpoints keep the final value
@@ -254,6 +259,7 @@ pub fn learning_curve(
                 entry.validation.push(final_val.f_measure());
                 entry.saved.push(last_cache.fitness_hits as f64);
                 entry.hit_rate.push(last_cache.fitness_hit_rate());
+                entry.leaf_reuse.push(last_cache.leaf_reuse_hit_rate());
             }
             if final_val.f_measure() > best_validation {
                 best_validation = final_val.f_measure();
@@ -274,6 +280,7 @@ pub fn learning_curve(
             validation_f1: Summary::of(acc.validation),
             evaluations_saved: Summary::of(acc.saved),
             cache_hit_rate: Summary::of(acc.hit_rate),
+            leaf_reuse_rate: Summary::of(acc.leaf_reuse),
         })
         .collect();
     CurveResult {
@@ -328,18 +335,25 @@ pub fn run_carvalho_baseline(
 pub fn print_curve_table(title: &str, result: &CurveResult) {
     println!("{title}");
     println!(
-        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9}",
-        "Iter.", "Time in s (σ)", "Train. F1 (σ)", "Val. F1 (σ)", "Evals saved", "Hit rate"
+        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11}",
+        "Iter.",
+        "Time in s (σ)",
+        "Train. F1 (σ)",
+        "Val. F1 (σ)",
+        "Evals saved",
+        "Hit rate",
+        "Leaf reuse"
     );
     for row in &result.rows {
         println!(
-            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9}",
+            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11}",
             row.iteration,
             format!("{:.1} ({:.1})", row.seconds.mean, row.seconds.std_dev),
             row.training_f1.paper_format(),
             row.validation_f1.paper_format(),
             format!("{:.0}", row.evaluations_saved.mean),
-            format!("{:.0}%", row.cache_hit_rate.mean * 100.0)
+            format!("{:.0}%", row.cache_hit_rate.mean * 100.0),
+            format!("{:.0}%", row.leaf_reuse_rate.mean * 100.0)
         );
     }
     println!();

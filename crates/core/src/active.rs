@@ -13,8 +13,12 @@
 //! 3. have the expert label the returned pairs, add them to the reference
 //!    links, and re-learn.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use linkdisc_entity::{DataSource, EntityPair, Link};
-use linkdisc_rule::LinkageRule;
+use linkdisc_matching::{CandidateScratch, MultiBlockIndex, SharedLeafIndexes};
+use linkdisc_rule::{IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 
 /// An unlabelled candidate pair together with the committee's disagreement
 /// about it.
@@ -77,20 +81,15 @@ pub fn select_queries(
 
 /// Builds a pool of unlabelled candidate pairs by pairing every source entity
 /// with every target entity and dropping the pairs already covered by the
-/// reference links.  Intended for small data sets or for candidates that have
-/// already been pruned by the blocking index of `linkdisc-matching`.
+/// reference links.  Intended for small data sets; large sources should use
+/// [`indexed_candidate_pool`], which prunes through the committee's own
+/// MultiBlock indexes.
 pub fn candidate_pool(
     source: &DataSource,
     target: &DataSource,
     labelled: &linkdisc_entity::ReferenceLinks,
 ) -> Vec<Link> {
-    use std::collections::HashSet;
-    let known: HashSet<(String, String)> = labelled
-        .positive()
-        .iter()
-        .chain(labelled.negative())
-        .map(|l| (l.source.clone(), l.target.clone()))
-        .collect();
+    let known = known_pairs(labelled);
     let mut pool = Vec::new();
     for source_entity in source.entities() {
         for target_entity in target.entities() {
@@ -104,6 +103,91 @@ pub fn candidate_pool(
         }
     }
     pool
+}
+
+/// Builds the unlabelled candidate pool **through the committee's candidate
+/// indexes** instead of the full cross product: a pair enters the pool iff
+/// at least one committee rule's (lossless) MultiBlock candidate set admits
+/// it — any pair outside every rule's candidate set is linked by *no* rule,
+/// so the committee votes on it unanimously "no" with zero disagreement and
+/// it can never be worth a query.  Leaf indexes are drawn from `shared`, so
+/// committees sharing comparisons (they evolved from one population) index
+/// the target once per distinct `(chain, measure, bound bucket)` rather
+/// than once per rule.
+///
+/// Rules whose plan cannot prune make the whole pool degrade to
+/// [`candidate_pool`] — never worse, never lossy.  Memory is `O(|target|)`
+/// and work is proportional to the candidates the indexes emit, never to
+/// the cross product.  The result is deterministic: source entities in
+/// data-source order, each row's targets in data-source order.
+pub fn indexed_candidate_pool(
+    committee: &[LinkageRule],
+    source: &DataSource,
+    target: &DataSource,
+    labelled: &linkdisc_entity::ReferenceLinks,
+    shared: &SharedLeafIndexes,
+) -> Vec<Link> {
+    // lower every rule before building anything: one unprunable rule
+    // admits every pair, and no sibling index can shrink a union, so the
+    // fallback must be decided before any index work is spent
+    let mut plans: Vec<IndexingPlan> = Vec::new();
+    for rule in committee {
+        let plan = IndexingPlan::lower(rule, source.schema(), target.schema(), LINK_THRESHOLD)
+            .canonicalized();
+        if plan.is_empty_result() {
+            continue;
+        }
+        if plan.is_exhaustive() {
+            return candidate_pool(source, target, labelled);
+        }
+        plans.push(plan);
+    }
+    let targets: Vec<&linkdisc_entity::Entity> = target.entities().iter().collect();
+    let cache = ValueCache::new();
+    let indexes: Vec<MultiBlockIndex> = plans
+        .into_iter()
+        .map(|plan| MultiBlockIndex::build_shared(Arc::new(plan), &targets, &cache, shared))
+        .collect();
+    let known = known_pairs(labelled);
+    let mut pool = Vec::new();
+    let mut scratch = CandidateScratch::new();
+    let mut admitted = vec![false; target.len()];
+    let mut row_positions: Vec<u32> = Vec::new();
+    for source_entity in source.entities() {
+        for index in &indexes {
+            let candidates = index.candidates(source_entity, &cache, &mut scratch, &mut []);
+            for &position in &candidates {
+                if !admitted[position as usize] {
+                    admitted[position as usize] = true;
+                    row_positions.push(position);
+                }
+            }
+            scratch.recycle(candidates);
+        }
+        row_positions.sort_unstable();
+        for &position in &row_positions {
+            admitted[position as usize] = false;
+            let key = (
+                source_entity.id().to_string(),
+                targets[position as usize].id().to_string(),
+            );
+            if !known.contains(&key) {
+                pool.push(Link::new(key.0, key.1));
+            }
+        }
+        row_positions.clear();
+    }
+    pool
+}
+
+/// The `(source, target)` identifier pairs already labelled.
+fn known_pairs(labelled: &linkdisc_entity::ReferenceLinks) -> HashSet<(String, String)> {
+    labelled
+        .positive()
+        .iter()
+        .chain(labelled.negative())
+        .map(|l| (l.source.clone(), l.target.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -184,6 +268,51 @@ mod tests {
         assert_eq!(queries.len(), 1);
         assert!(select_queries(&[], &candidates, &source, &target, 5).is_empty());
         assert!(select_queries(&committee(), &candidates, &source, &target, 0).is_empty());
+    }
+
+    #[test]
+    fn indexed_pool_keeps_every_pair_any_rule_could_link() {
+        let (source, target) = sources();
+        let labelled = ReferenceLinksBuilder::new().positive("a1", "b1").build();
+        // the strict + lenient pair, plus a third rule whose derived bound
+        // falls into the lenient rule's Levenshtein budget bucket (θ 5.0 →
+        // bound 2.5, same ⌊bound⌋ = 2 as θ 4.0 → bound 2.0) so its leaf
+        // index is answered from the shared cache
+        let mut rules = committee();
+        rules.push(
+            compare(
+                property("label"),
+                property("label"),
+                DistanceFunction::Levenshtein,
+                5.0,
+            )
+            .into(),
+        );
+        let shared = SharedLeafIndexes::new();
+        let pool = indexed_candidate_pool(&rules, &source, &target, &labelled, &shared);
+        let full = candidate_pool(&source, &target, &labelled);
+        // the indexed pool is a subset of the cross product...
+        assert!(pool.iter().all(|link| full.contains(link)));
+        // ...that keeps every pair at least one committee rule links (the
+        // pairs a query could ever disagree about)
+        for link in &full {
+            let pair = EntityPair::resolve(link, &source, &target).unwrap();
+            if rules.iter().any(|rule| rule.is_link(&pair)) {
+                assert!(pool.contains(link), "lossless pool must keep {link:?}");
+            }
+        }
+        // the lenient rules (edit distance ≤ 4 / ≤ 5) admit alpha/alphx,
+        // while beta shares no q-gram block (nor the short-value key) with
+        // alphx under any committee rule
+        assert!(pool.contains(&Link::new("a1", "b2")));
+        assert!(
+            !pool.contains(&Link::new("a2", "b2")),
+            "beta vs alphx pruned"
+        );
+        // query selection over the indexed pool finds the same top query
+        let queries = select_queries(&rules, &pool, &source, &target, 1);
+        assert_eq!(queries[0].link, Link::new("a1", "b2"));
+        assert!(shared.stats().hits > 0, "{:?}", shared.stats());
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct GenLinkConfig {
     pub distance_functions: Vec<DistanceFunction>,
     /// Transformation functions available to the learner (Table 1).
     pub transform_functions: Vec<TransformFunction>,
+    /// Score rules through MultiBlock candidate indexes over the reference
+    /// pool, sharing leaf indexes across the rules of a generation (results
+    /// are identical either way; `false` forces every reference pair
+    /// through the evaluator).
+    pub indexed_fitness: bool,
 }
 
 impl Default for GenLinkConfig {
@@ -76,6 +81,7 @@ impl Default for GenLinkConfig {
             max_initial_comparisons: 2,
             distance_functions: DistanceFunction::PAPER.to_vec(),
             transform_functions: TransformFunction::PAPER.to_vec(),
+            indexed_fitness: true,
         }
     }
 }

@@ -11,12 +11,14 @@
 //! positive/negative link sets; the parsimony pressure prevents rules from
 //! growing indefinitely (bloat).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use linkdisc_entity::{ResolvedReferenceLinks, Schema};
+use linkdisc_entity::{Entity, ResolvedReferenceLinks, Schema};
 use linkdisc_evaluation::{evaluate_compiled, evaluate_rule, ConfusionMatrix};
 use linkdisc_gp::Evaluated;
-use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache};
+use linkdisc_matching::{CandidateScratch, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes};
+use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 
 /// How the size of a rule is penalised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +61,83 @@ impl ParsimonyModel {
     }
 }
 
+/// The reference-link pool arranged for index-accelerated scoring: the
+/// distinct target entities (the fixed "data source" every rule's candidate
+/// index is built over), the pairs grouped by source entity, and the
+/// generation-scoped [`SharedLeafIndexes`] cache the per-rule indexes draw
+/// their leaves from.
+#[derive(Debug)]
+struct IndexedPool<'a> {
+    /// Distinct target entities of the pool, in first-seen order; leaf
+    /// indexes map block keys to positions in this vector.
+    targets: Vec<&'a Entity>,
+    /// Pairs grouped by distinct source entity (one candidate query serves
+    /// every pair of a group).
+    groups: Vec<SourceGroup<'a>>,
+    /// Leaf indexes shared across the rules of one generation.
+    shared: SharedLeafIndexes,
+}
+
+#[derive(Debug)]
+struct SourceGroup<'a> {
+    source: &'a Entity,
+    /// `(position into targets, is a positive reference pair)` per pair.
+    pairs: Vec<(u32, bool)>,
+}
+
+impl<'a> IndexedPool<'a> {
+    fn build(links: &'a ResolvedReferenceLinks<'a>) -> Self {
+        let mut targets: Vec<&'a Entity> = Vec::new();
+        let mut target_positions: HashMap<usize, u32> = HashMap::new();
+        let mut groups: Vec<SourceGroup<'a>> = Vec::new();
+        let mut group_of: HashMap<usize, usize> = HashMap::new();
+        let mut add = |pair: &'a linkdisc_entity::EntityPair<'a>, positive: bool| {
+            let target_key = pair.target as *const Entity as usize;
+            let position = *target_positions.entry(target_key).or_insert_with(|| {
+                targets.push(pair.target);
+                (targets.len() - 1) as u32
+            });
+            let source_key = pair.source as *const Entity as usize;
+            let group = *group_of.entry(source_key).or_insert_with(|| {
+                groups.push(SourceGroup {
+                    source: pair.source,
+                    pairs: Vec::new(),
+                });
+                groups.len() - 1
+            });
+            groups[group].pairs.push((position, positive));
+        };
+        for pair in links.positive() {
+            add(pair, true);
+        }
+        for pair in links.negative() {
+            add(pair, false);
+        }
+        IndexedPool {
+            targets,
+            groups,
+            shared: SharedLeafIndexes::new(),
+        }
+    }
+}
+
+/// A rule lowered and indexed for scoring against the reference pool: built
+/// once (on one thread, so shared-leaf counters stay deterministic), then
+/// scored from any worker.
+#[derive(Debug)]
+pub struct PreparedRule {
+    /// The compiled evaluation plan; `None` only when no schema is known
+    /// (empty link set), where scoring falls back to the tree walk.
+    compiled: Option<CompiledRule>,
+    /// The candidate index over the pool's target entities, `None` when the
+    /// rule's plan cannot prune (evaluate every pair) — the index-free
+    /// fallback.
+    index: Option<MultiBlockIndex>,
+    /// `true` when the plan proves no pair can reach the link threshold:
+    /// skip evaluation entirely, every pair classifies negative.
+    nothing_links: bool,
+}
+
 /// The GenLink fitness function: MCC with parsimony pressure, plus the
 /// training F-measure used by the stop condition.
 ///
@@ -68,28 +147,57 @@ impl ParsimonyModel {
 /// against a [`ValueCache`] shared across the whole learning run — so a
 /// transformation chain appearing anywhere in the population is computed at
 /// most once per entity per run.
+///
+/// On top of the compiled path sits **index-accelerated scoring**: the
+/// rule's [`IndexingPlan`] (the same lossless candidate algebra the matching
+/// engine executes) is run over the pool's distinct target entities, and
+/// only pairs inside the candidate set are evaluated — every other pair is
+/// classified "no link" outright, which the overlap guarantee makes exact
+/// (a pair scoring ≥ the link threshold is always a candidate).  The
+/// per-comparison leaf indexes are drawn from a generation-scoped
+/// [`SharedLeafIndexes`] cache keyed by `(chain hash, measure, bound
+/// bucket)`, so the rules of a population stop re-deriving identical leaf
+/// indexes rule by rule.
 #[derive(Debug, Clone)]
 pub struct FitnessFunction<'a> {
     links: &'a ResolvedReferenceLinks<'a>,
     parsimony: ParsimonyModel,
     schemas: Option<(Arc<Schema>, Arc<Schema>)>,
     value_cache: Arc<ValueCache<'a>>,
+    /// The indexed pool arrangement; `None` disables index acceleration
+    /// (every pair is evaluated, the pre-PR-4 behaviour).
+    pool: Option<Arc<IndexedPool<'a>>>,
 }
 
 impl<'a> FitnessFunction<'a> {
-    /// Creates a fitness function over resolved training links.
+    /// Creates a fitness function over resolved training links, with
+    /// index-accelerated scoring enabled.
     pub fn new(links: &'a ResolvedReferenceLinks<'a>, parsimony: ParsimonyModel) -> Self {
         let schemas = links
             .positive()
             .first()
             .or_else(|| links.negative().first())
             .map(|pair| (pair.source.schema().clone(), pair.target.schema().clone()));
+        let pool = (!links.is_empty()).then(|| Arc::new(IndexedPool::build(links)));
         FitnessFunction {
             links,
             parsimony,
             schemas,
             value_cache: Arc::new(ValueCache::new()),
+            pool,
         }
+    }
+
+    /// Enables or disables index-accelerated scoring (the results are
+    /// identical either way; disabling only forces every pair through the
+    /// evaluator).
+    pub fn with_indexing(mut self, enabled: bool) -> Self {
+        if !enabled {
+            self.pool = None;
+        } else if self.pool.is_none() && !self.links.is_empty() {
+            self.pool = Some(Arc::new(IndexedPool::build(self.links)));
+        }
+        self
     }
 
     /// The value cache backing compiled evaluation (exposed so the problem
@@ -98,16 +206,232 @@ impl<'a> FitnessFunction<'a> {
         &self.value_cache
     }
 
+    /// Cumulative hit/miss statistics of the shared leaf-index cache
+    /// (`None` when index acceleration is off).
+    pub fn leaf_reuse_stats(&self) -> Option<LeafReuseStats> {
+        self.pool.as_ref().map(|pool| pool.shared.stats())
+    }
+
+    /// Marks a generation boundary: drops the cached leaf indexes so the
+    /// shared cache holds only the chains the *current* generation's rules
+    /// actually use (reuse within a generation is where the savings are —
+    /// a population shares chains heavily; chains that died out of the
+    /// population must not accumulate).  Counters survive.
+    pub fn begin_generation(&self) {
+        if let Some(pool) = &self.pool {
+            pool.shared.clear();
+        }
+    }
+
+    /// Lowers, compiles and indexes one rule against the pool.  Runs the
+    /// whole shared-leaf interaction, so calling it for a generation's rules
+    /// from a single thread makes the reuse counters deterministic; the
+    /// returned [`PreparedRule`] is then scored from any worker.
+    pub fn prepare(&self, rule: &LinkageRule) -> PreparedRule {
+        let Some((source_schema, target_schema)) = &self.schemas else {
+            return PreparedRule {
+                compiled: None,
+                index: None,
+                nothing_links: false,
+            };
+        };
+        let compiled = Some(CompiledRule::compile(rule, source_schema, target_schema));
+        let Some(pool) = &self.pool else {
+            return PreparedRule {
+                compiled,
+                index: None,
+                nothing_links: false,
+            };
+        };
+        let plan =
+            IndexingPlan::lower(rule, source_schema, target_schema, LINK_THRESHOLD).canonicalized();
+        if plan.is_empty_result() {
+            return PreparedRule {
+                compiled,
+                index: None,
+                nothing_links: true,
+            };
+        }
+        if plan.is_exhaustive() {
+            // the plan cannot prune anything: indexing would only add cost
+            return PreparedRule {
+                compiled,
+                index: None,
+                nothing_links: false,
+            };
+        }
+        let index =
+            MultiBlockIndex::build_shared(plan, &pool.targets, &self.value_cache, &pool.shared);
+        PreparedRule {
+            compiled,
+            index: Some(index),
+            nothing_links: false,
+        }
+    }
+
+    /// Prepares a whole generation's distinct rules:
+    ///
+    /// * plan lowering and rule compilation fan out over `threads` workers
+    ///   (pure per-rule work, ordered reduction),
+    /// * the shared-leaf cache resolves every leaf request **on the calling
+    ///   thread, in rule order** — so hit/miss counters are deterministic —
+    ///   while the missing leaf indexes themselves are built in parallel
+    ///   (see [`SharedLeafIndexes::ensure_plans`]),
+    /// * indexes are then assembled by pure lookup.
+    pub fn prepare_batch(&self, rules: &[&LinkageRule], threads: usize) -> Vec<PreparedRule> {
+        let Some((source_schema, target_schema)) = &self.schemas else {
+            return rules
+                .iter()
+                .map(|_| PreparedRule {
+                    compiled: None,
+                    index: None,
+                    nothing_links: false,
+                })
+                .collect();
+        };
+        let indexing = self.pool.is_some();
+        let lowered: Vec<(CompiledRule, Option<IndexingPlan>)> =
+            linkdisc_util::parallel_ordered_map(rules, threads, |rule| {
+                let compiled = CompiledRule::compile(rule, source_schema, target_schema);
+                let plan = indexing.then(|| {
+                    IndexingPlan::lower(rule, source_schema, target_schema, LINK_THRESHOLD)
+                        .canonicalized()
+                });
+                (compiled, plan)
+            });
+        let Some(pool) = &self.pool else {
+            return lowered
+                .into_iter()
+                .map(|(compiled, _)| PreparedRule {
+                    compiled: Some(compiled),
+                    index: None,
+                    nothing_links: false,
+                })
+                .collect();
+        };
+        let plans: Vec<&IndexingPlan> = lowered
+            .iter()
+            .filter_map(|(_, plan)| plan.as_ref())
+            .filter(|plan| !plan.is_empty_result() && !plan.is_exhaustive())
+            .collect();
+        pool.shared
+            .ensure_plans(&plans, &pool.targets, &self.value_cache, threads);
+        lowered
+            .into_iter()
+            .map(|(compiled, plan)| {
+                let plan = plan.expect("indexing enabled");
+                if plan.is_empty_result() {
+                    return PreparedRule {
+                        compiled: Some(compiled),
+                        index: None,
+                        nothing_links: true,
+                    };
+                }
+                if plan.is_exhaustive() {
+                    return PreparedRule {
+                        compiled: Some(compiled),
+                        index: None,
+                        nothing_links: false,
+                    };
+                }
+                let index = MultiBlockIndex::build_shared_prepared(
+                    plan,
+                    &pool.targets,
+                    &self.value_cache,
+                    &pool.shared,
+                );
+                PreparedRule {
+                    compiled: Some(compiled),
+                    index: Some(index),
+                    nothing_links: false,
+                }
+            })
+            .collect()
+    }
+
     /// The confusion matrix of a rule on the training links, via the
     /// compiled fast path (falls back to the tree walk when the link set is
     /// empty and no schema is known).
     pub fn confusion(&self, rule: &LinkageRule) -> ConfusionMatrix {
-        match &self.schemas {
-            Some((source_schema, target_schema)) => {
-                let compiled = CompiledRule::compile(rule, source_schema, target_schema);
-                evaluate_compiled(&compiled, self.links, &self.value_cache)
+        if self.schemas.is_none() {
+            return evaluate_rule(rule, self.links);
+        }
+        let prepared = self.prepare(rule);
+        self.confusion_prepared(&prepared)
+    }
+
+    /// The confusion matrix of an already-prepared rule.  Exact: candidate
+    /// generation is lossless at the link threshold, so a pair outside the
+    /// candidate set can never classify as a link.
+    fn confusion_prepared(&self, prepared: &PreparedRule) -> ConfusionMatrix {
+        if prepared.nothing_links {
+            let mut matrix = ConfusionMatrix::default();
+            for _ in self.links.positive() {
+                matrix.record_positive(false);
             }
-            None => evaluate_rule(rule, self.links),
+            for _ in self.links.negative() {
+                matrix.record_negative(false);
+            }
+            return matrix;
+        }
+        let compiled = prepared
+            .compiled
+            .as_ref()
+            .expect("prepared with a schema whenever links exist");
+        let (Some(index), Some(pool)) = (&prepared.index, &self.pool) else {
+            return evaluate_compiled(compiled, self.links, &self.value_cache);
+        };
+        let mut matrix = ConfusionMatrix::default();
+        let mut scratch = CandidateScratch::new();
+        let mut candidate_marks = vec![false; pool.targets.len()];
+        for group in &pool.groups {
+            let candidates =
+                index.candidates(group.source, &self.value_cache, &mut scratch, &mut []);
+            for &position in &candidates {
+                candidate_marks[position as usize] = true;
+            }
+            for &(position, positive) in &group.pairs {
+                let is_link = candidate_marks[position as usize] && {
+                    let target = pool.targets[position as usize];
+                    let score = compiled.evaluate_two(
+                        group.source,
+                        target,
+                        &self.value_cache,
+                        &self.value_cache,
+                    );
+                    score >= LINK_THRESHOLD
+                };
+                if positive {
+                    matrix.record_positive(is_link);
+                } else {
+                    matrix.record_negative(is_link);
+                }
+            }
+            for &position in &candidates {
+                candidate_marks[position as usize] = false;
+            }
+            scratch.recycle(candidates);
+        }
+        matrix
+    }
+
+    /// Evaluates a prepared rule (parallel-safe; see
+    /// [`FitnessFunction::prepare`]).
+    pub fn evaluate_prepared(&self, rule: &LinkageRule, prepared: &PreparedRule) -> Evaluated {
+        if rule.is_empty() {
+            return Evaluated {
+                fitness: -2.0,
+                f_measure: 0.0,
+            };
+        }
+        let matrix = if self.schemas.is_some() {
+            self.confusion_prepared(prepared)
+        } else {
+            evaluate_rule(rule, self.links)
+        };
+        Evaluated {
+            fitness: matrix.mcc() - self.parsimony.penalty_for(rule),
+            f_measure: matrix.f_measure(),
         }
     }
 

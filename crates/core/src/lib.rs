@@ -55,9 +55,9 @@ pub mod representation;
 pub mod seeding;
 pub mod simplify;
 
-pub use active::{candidate_pool, select_queries, Query};
+pub use active::{candidate_pool, indexed_candidate_pool, select_queries, Query};
 pub use config::{GenLinkConfig, SeedingStrategy};
-pub use fitness::{FitnessFunction, ParsimonyModel};
+pub use fitness::{FitnessFunction, ParsimonyModel, PreparedRule};
 pub use learner::{GenLink, LearnOutcome};
 pub use operators::CrossoverOperator;
 pub use representation::RepresentationMode;

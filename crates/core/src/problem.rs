@@ -1,11 +1,14 @@
 //! The [`linkdisc_gp::Problem`] implementation that ties together the random
 //! rule generator, the specialized crossover operators and the MCC fitness.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use linkdisc_gp::{CacheStats, Evaluated, FitnessCache, Problem};
 use linkdisc_rule::LinkageRule;
+use linkdisc_util::parallel_ordered_map;
 
 use crate::fitness::FitnessFunction;
 use crate::operators::CrossoverOperator;
@@ -89,14 +92,109 @@ impl Problem for GenLinkProblem<'_> {
             })
     }
 
+    /// Batched, generation-at-a-time evaluation:
+    ///
+    /// 1. **sequential** — the generation starts with a fresh shared-leaf
+    ///    scope; every genome is resolved against the cross-generation
+    ///    fitness cache and deduplicated, so each *distinct new* rule is
+    ///    prepared (compiled + plan lowered + leaf indexes drawn from the
+    ///    generation's [`linkdisc_matching::SharedLeafIndexes`]) exactly
+    ///    once, on one thread — which keeps every cache counter
+    ///    deterministic across thread counts;
+    /// 2. **parallel** — the prepared rules are scored against the
+    ///    reference pool on `threads` workers with an ordered reduction;
+    /// 3. **sequential** — results are memoized and fanned back out to the
+    ///    input order (duplicates count as fitness-cache hits, exactly as
+    ///    they would scoring one by one).
+    ///
+    /// Evaluation is a pure function of the genome, so the returned vector
+    /// is bit-identical at every thread count.
+    fn evaluate_batch(&self, genomes: &[LinkageRule], threads: usize) -> Vec<Evaluated> {
+        self.fitness.begin_generation();
+        /// Where genome `i` gets its evaluation from.
+        enum Source {
+            Cached(Evaluated),
+            /// Index into `distinct`; `first` marks the occurrence that
+            /// introduced the entry (later ones are cache hits).
+            Computed {
+                distinct: usize,
+                first: bool,
+            },
+        }
+        let mut distinct: Vec<(u64, &LinkageRule)> = Vec::new();
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut sources: Vec<Source> = Vec::with_capacity(genomes.len());
+        for genome in genomes {
+            let hash = genome.canonical_hash();
+            if let Some(evaluation) = self.cache.get(hash, genome) {
+                sources.push(Source::Cached(evaluation));
+                continue;
+            }
+            let bucket = by_hash.entry(hash).or_default();
+            match bucket.iter().find(|&&at| distinct[at].1 == genome).copied() {
+                Some(at) => sources.push(Source::Computed {
+                    distinct: at,
+                    first: false,
+                }),
+                None => {
+                    bucket.push(distinct.len());
+                    sources.push(Source::Computed {
+                        distinct: distinct.len(),
+                        first: true,
+                    });
+                    distinct.push((hash, genome));
+                }
+            }
+        }
+        // batch prepare: leaf-reuse accounting stays on this thread (in
+        // rule order), missing leaf builds and rule compilation fan out
+        let rules: Vec<&LinkageRule> = distinct.iter().map(|&(_, genome)| genome).collect();
+        let prepared = self.fitness.prepare_batch(&rules, threads);
+        // parallel scoring with ordered reduction
+        let inputs: Vec<usize> = (0..distinct.len()).collect();
+        let evaluations = parallel_ordered_map(&inputs, threads, |&at| {
+            self.fitness
+                .evaluate_prepared(distinct[at].1, &prepared[at])
+        });
+        // memoize (one miss per distinct rule, like the sequential path)
+        for ((hash, genome), &evaluation) in distinct.iter().zip(&evaluations) {
+            self.cache.get_or_insert_with(*hash, genome, || evaluation);
+        }
+        sources
+            .into_iter()
+            .enumerate()
+            .map(|(at, source)| match source {
+                Source::Cached(evaluation) => evaluation,
+                Source::Computed {
+                    distinct: entry,
+                    first,
+                } => {
+                    if first {
+                        evaluations[entry]
+                    } else {
+                        // an intra-batch duplicate is a cache hit, exactly
+                        // as when scoring one by one (hash reused from the
+                        // dedup pass)
+                        self.cache
+                            .get(distinct[entry].0, &genomes[at])
+                            .expect("memoized just above")
+                    }
+                }
+            })
+            .collect()
+    }
+
     fn cache_stats(&self) -> Option<CacheStats> {
         let value_cache = self.fitness.value_cache();
+        let leaf_reuse = self.fitness.leaf_reuse_stats().unwrap_or_default();
         Some(CacheStats {
             fitness_hits: self.cache.hits(),
             fitness_misses: self.cache.misses(),
             fitness_entries: self.cache.len(),
             value_cache_entries: value_cache.len(),
             value_cache_hits: value_cache.hits(),
+            leaf_reuse_hits: leaf_reuse.hits,
+            leaf_reuse_misses: leaf_reuse.misses,
         })
     }
 }
@@ -177,6 +275,125 @@ mod tests {
             let child = problem.crossover(&a, &b, &mut rng);
             assert!(RepresentationMode::Boolean.permits(&child), "{child:?}");
             rules.push(child);
+        }
+    }
+
+    /// A small two-source fixture with enough entities that leaf indexes
+    /// are worth building, plus rules sharing one comparison chain.
+    fn leaf_fixture() -> (
+        linkdisc_entity::DataSource,
+        linkdisc_entity::DataSource,
+        Vec<LinkageRule>,
+    ) {
+        let mut a = DataSourceBuilder::new("A", ["label"]);
+        let mut b = DataSourceBuilder::new("B", ["label"]);
+        for i in 0..8 {
+            a = a
+                .entity(format!("a{i}"), [("label", format!("entity {i}").as_str())])
+                .unwrap();
+            b = b
+                .entity(format!("b{i}"), [("label", format!("entity {i}").as_str())])
+                .unwrap();
+        }
+        let lev = |threshold: f64| -> LinkageRule {
+            linkdisc_rule::compare(
+                linkdisc_rule::property("label"),
+                linkdisc_rule::property("label"),
+                DistanceFunction::Levenshtein,
+                threshold,
+            )
+            .into()
+        };
+        // thresholds 2.0 and 3.0 derive bounds 1.0 and 1.5 — one Levenshtein
+        // budget bucket — while 6.0 (bound 3.0) needs its own leaf
+        (a.build(), b.build(), vec![lev(2.0), lev(3.0), lev(6.0)])
+    }
+
+    #[test]
+    fn batches_share_leaf_indexes_within_a_generation_and_invalidate_across() {
+        let (source, target, rules) = leaf_fixture();
+        let links = ReferenceLinks::new(
+            vec![Link::new("a0", "b0"), Link::new("a1", "b1")],
+            vec![Link::new("a0", "b2"), Link::new("a1", "b3")],
+        );
+        let resolved = ResolvedReferenceLinks::resolve(&links, &source, &target);
+        let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+        let generator = RandomRuleGenerator::new(pairs(), RepresentationMode::Full);
+        let problem = GenLinkProblem::new(
+            fitness,
+            generator,
+            CrossoverOperator::SPECIALIZED.to_vec(),
+            RepresentationMode::Full,
+        );
+
+        // generation 1: three rules, two sharing a leaf bucket
+        let batch: Vec<LinkageRule> = rules.clone();
+        let first = problem.evaluate_batch(&batch, 1);
+        let stats = problem.cache_stats().unwrap();
+        assert_eq!(stats.leaf_reuse_hits, 1, "θ 2.0 and θ 3.0 share one leaf");
+        assert_eq!(stats.leaf_reuse_misses, 2);
+
+        // generation 2: a *new* rule in the shared bucket must rebuild the
+        // leaf — the generation boundary invalidated the cache — while the
+        // repeated rules never reach leaf resolution (fitness-cache hits)
+        let mut next = rules.clone();
+        next.push(
+            linkdisc_rule::compare(
+                linkdisc_rule::property("label"),
+                linkdisc_rule::property("label"),
+                DistanceFunction::Levenshtein,
+                2.5, // bound 1.25: same bucket as θ 2.0/3.0
+            )
+            .into(),
+        );
+        let second = problem.evaluate_batch(&next, 1);
+        let stats = problem.cache_stats().unwrap();
+        assert_eq!(
+            stats.leaf_reuse_misses, 3,
+            "the cleared leaf is rebuilt once for the new rule"
+        );
+        assert_eq!(stats.leaf_reuse_hits, 1, "no stale cross-generation hit");
+        assert!(
+            stats.fitness_hits >= 3,
+            "repeated rules hit the fitness cache"
+        );
+
+        // batched evaluation equals one-by-one evaluation, and repeated
+        // genomes repeat their scores
+        for (rule, evaluation) in rules.iter().zip(&first) {
+            assert_eq!(problem.evaluate(rule), *evaluation);
+        }
+        assert_eq!(&second[..3], &first[..]);
+    }
+
+    #[test]
+    fn batch_results_are_thread_count_invariant_and_order_preserving() {
+        let (source, target, rules) = leaf_fixture();
+        let links = ReferenceLinks::new(
+            vec![Link::new("a0", "b0")],
+            vec![Link::new("a0", "b5"), Link::new("a2", "b7")],
+        );
+        let resolved = ResolvedReferenceLinks::resolve(&links, &source, &target);
+        // a batch with duplicates, in scrambled order
+        let mut batch = rules.clone();
+        batch.push(rules[0].clone());
+        batch.push(rules[2].clone());
+        let mut reference: Option<Vec<Evaluated>> = None;
+        for threads in [1, 2, 4] {
+            let fitness = FitnessFunction::new(&resolved, ParsimonyModel::default());
+            let problem = GenLinkProblem::new(
+                fitness,
+                RandomRuleGenerator::new(pairs(), RepresentationMode::Full),
+                CrossoverOperator::SPECIALIZED.to_vec(),
+                RepresentationMode::Full,
+            );
+            let result = problem.evaluate_batch(&batch, threads);
+            assert_eq!(result[0], result[3], "duplicates score identically");
+            assert_eq!(result[2], result[4]);
+            match &reference {
+                None => reference = Some(result),
+                Some(expected) => assert_eq!(expected, &result, "threads={threads}"),
+            }
         }
     }
 

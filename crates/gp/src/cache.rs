@@ -38,6 +38,11 @@ pub struct CacheStats {
     pub value_cache_entries: usize,
     /// Value-cache hits, when the problem reports them.
     pub value_cache_hits: u64,
+    /// Leaf-index builds answered by the generation-scoped shared-leaf
+    /// cache, when the problem evaluates through candidate indexes.
+    pub leaf_reuse_hits: u64,
+    /// Leaf indexes actually built.
+    pub leaf_reuse_misses: u64,
 }
 
 impl CacheStats {
@@ -49,6 +54,17 @@ impl CacheStats {
             0.0
         } else {
             self.fitness_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of leaf-index requests served from the shared-leaf cache
+    /// (`0.0` when the problem does not use leaf indexes).
+    pub fn leaf_reuse_hit_rate(&self) -> f64 {
+        let total = self.leaf_reuse_hits + self.leaf_reuse_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.leaf_reuse_hits as f64 / total as f64
         }
     }
 }

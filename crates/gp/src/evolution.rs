@@ -1,12 +1,27 @@
-//! The evolution loop (Algorithm 1 of the paper).
+//! The evolution loop (Algorithm 1 of the paper), parallel and
+//! deterministic.
+//!
+//! Both per-generation stages run on [`crate::resolve_threads`] workers and
+//! are **bit-identical across thread counts** — the same seed produces the
+//! same run at 1, 2 or 64 threads:
+//!
+//! * **Breeding** — each offspring is bred from its own RNG stream, seeded
+//!   by one `u64` drawn from the master RNG.  The per-offspring seeds depend
+//!   only on the master seed (never on scheduling), each stream's draws
+//!   (selection, operator choice, mutation coin) are confined to its
+//!   offspring, and the offspring are reduced in index order.
+//! * **Evaluation** — [`Problem::evaluate_batch`] scores the generation and
+//!   returns evaluations in genome order; evaluation takes no RNG, so
+//!   determinism only requires the problem's evaluation to be a pure
+//!   function of the genome (the GenLink problem's caches are pure memos).
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 use crate::population::{Individual, Population};
 use crate::selection::tournament_select;
-use crate::{GpConfig, Problem};
+use crate::{parallel_ordered_map, GpConfig, Problem};
 
 /// Per-iteration statistics, reported to observers and collected in the
 /// result history.  The experiment harness turns these into the
@@ -158,63 +173,54 @@ impl<'a, P: Problem> Evolution<'a, P> {
         }
     }
 
-    /// Breeds a full new generation (the inner `while` of Algorithm 1):
-    /// select two rules, select a crossover operator (inside
-    /// [`Problem::crossover`]), and with the mutation probability cross the
-    /// first parent with a random genome instead of the second parent
-    /// (headless-chicken mutation).
+    /// Breeds a full new generation (the inner `while` of Algorithm 1) in
+    /// parallel: per offspring, select two rules, select a crossover
+    /// operator (inside [`Problem::crossover`]), and with the mutation
+    /// probability cross the first parent with a random genome instead of
+    /// the second parent (headless-chicken mutation).
+    ///
+    /// Each offspring is bred from its **own RNG stream** seeded by one draw
+    /// from the master RNG (see the module docs), so the generation is a
+    /// pure function of the master seed regardless of how many workers breed
+    /// it, and the result vector is in offspring order.
     fn breed(&self, population: &Population<P::Genome>, rng: &mut StdRng) -> Vec<P::Genome> {
-        let mut offspring = Vec::with_capacity(self.config.population_size);
-        while offspring.len() < self.config.population_size {
-            let first = tournament_select(population, self.config.tournament_size, rng);
-            let second = tournament_select(population, self.config.tournament_size, rng);
-            let p: f64 = rng.gen();
-            let child = if p < self.config.mutation_probability {
-                let random = self.problem.random_genome(rng);
-                self.problem.crossover(&first.genome, &random, rng)
-            } else {
-                self.problem.crossover(&first.genome, &second.genome, rng)
-            };
-            offspring.push(child);
-        }
-        offspring
+        let seeds: Vec<u64> = (0..self.config.population_size)
+            .map(|_| rng.gen())
+            .collect();
+        parallel_ordered_map(&seeds, self.config.threads, |&seed| {
+            let mut stream = StdRng::seed_from_u64(seed);
+            self.breed_one(population, &mut stream)
+        })
     }
 
-    /// Evaluates genomes in parallel, preserving their order.
-    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
-        let threads = crate::resolve_threads(self.config.threads);
-        if threads <= 1 || genomes.len() < 2 * threads {
-            return genomes
-                .into_iter()
-                .map(|g| {
-                    let evaluation = self.problem.evaluate(&g);
-                    Individual::new(g, evaluation)
-                })
-                .collect();
+    /// Breeds one offspring from a dedicated RNG stream.
+    fn breed_one(&self, population: &Population<P::Genome>, rng: &mut StdRng) -> P::Genome {
+        let first = tournament_select(population, self.config.tournament_size, rng);
+        let second = tournament_select(population, self.config.tournament_size, rng);
+        let p: f64 = rng.gen();
+        if p < self.config.mutation_probability {
+            let random = self.problem.random_genome(rng);
+            self.problem.crossover(&first.genome, &random, rng)
+        } else {
+            self.problem.crossover(&first.genome, &second.genome, rng)
         }
-        let chunk_size = genomes.len().div_ceil(threads);
-        let chunks: Vec<Vec<P::Genome>> = genomes.chunks(chunk_size).map(|c| c.to_vec()).collect();
-        let mut results: Vec<Vec<Individual<P::Genome>>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .into_iter()
-                            .map(|g| {
-                                let evaluation = self.problem.evaluate(&g);
-                                Individual::new(g, evaluation)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for handle in handles {
-                results.push(handle.join().expect("evaluation thread panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+    }
+
+    /// Evaluates one generation through [`Problem::evaluate_batch`],
+    /// preserving genome order.
+    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
+        let evaluations = self.problem.evaluate_batch(&genomes, self.config.threads);
+        // a short vector would silently shrink the population via zip below
+        assert_eq!(
+            evaluations.len(),
+            genomes.len(),
+            "evaluate_batch must return one evaluation per genome"
+        );
+        genomes
+            .into_iter()
+            .zip(evaluations)
+            .map(|(genome, evaluation)| Individual::new(genome, evaluation))
+            .collect()
     }
 }
 
@@ -327,7 +333,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_evaluation_agree() {
+    fn parallel_and_sequential_runs_are_bit_identical() {
         let problem = TargetVector { target: vec![2; 8] };
         let sequential = GpConfig {
             population_size: 50,
@@ -335,17 +341,34 @@ mod tests {
             threads: 1,
             ..GpConfig::default()
         };
-        let parallel = GpConfig {
-            threads: 4,
-            ..sequential
-        };
         let result_seq = Evolution::new(&problem, sequential).run(&mut rng(9));
-        let result_par = Evolution::new(&problem, parallel).run(&mut rng(9));
-        // evaluation is deterministic, so identical seeds must yield identical histories
-        assert_eq!(result_seq.history.len(), result_par.history.len());
-        for (a, b) in result_seq.history.iter().zip(result_par.history.iter()) {
-            assert_eq!(a.best_fitness, b.best_fitness);
-            assert_eq!(a.mean_fitness, b.mean_fitness);
+        for threads in [2, 4, 7] {
+            let parallel = GpConfig {
+                threads,
+                ..sequential
+            };
+            let result_par = Evolution::new(&problem, parallel).run(&mut rng(9));
+            // per-offspring RNG streams + ordered reduction: breeding *and*
+            // evaluation are pure functions of the seed, so the entire run —
+            // every genome, every statistic — is thread-count invariant
+            assert_eq!(result_seq.history.len(), result_par.history.len());
+            for (a, b) in result_seq.history.iter().zip(result_par.history.iter()) {
+                assert_eq!(a.best_fitness, b.best_fitness, "threads={threads}");
+                assert_eq!(a.mean_fitness, b.mean_fitness, "threads={threads}");
+            }
+            assert_eq!(result_seq.best.genome, result_par.best.genome);
+            let genomes = |r: &EvolutionResult<Vec<i32>>| -> Vec<Vec<i32>> {
+                r.population
+                    .individuals()
+                    .iter()
+                    .map(|i| i.genome.clone())
+                    .collect()
+            };
+            assert_eq!(
+                genomes(&result_seq),
+                genomes(&result_par),
+                "threads={threads}"
+            );
         }
     }
 

@@ -29,8 +29,8 @@ pub use selection::tournament_select;
 
 use rand::rngs::StdRng;
 
-// Re-exported so GP users keep one import for the engine's thread knob.
-pub use linkdisc_util::resolve_threads;
+// Re-exported so GP users keep one import for the engine's thread knobs.
+pub use linkdisc_util::{parallel_ordered_map, resolve_threads};
 
 /// A genetic-programming problem definition.
 ///
@@ -56,6 +56,22 @@ pub trait Problem: Sync {
     /// Evaluates a genome, returning its fitness and its F-measure on the
     /// training links (the F-measure drives the stop condition).
     fn evaluate(&self, genome: &Self::Genome) -> Evaluated;
+
+    /// Evaluates one generation's genomes on up to `threads` workers
+    /// (0 = all cores), returning evaluations **in genome order**.
+    ///
+    /// The engine scores every generation through this entry point, so a
+    /// problem can amortise per-generation setup across the whole batch —
+    /// GenLink deduplicates genomes against its fitness cache, compiles the
+    /// distinct rules and shares generation-scoped leaf indexes before
+    /// fanning the actual scoring out.  Implementations must be
+    /// **deterministic and thread-count invariant**: the same genomes yield
+    /// the same evaluations at every `threads` value (evaluation takes no
+    /// RNG, so the default chunked map satisfies this for any deterministic
+    /// [`Problem::evaluate`]).
+    fn evaluate_batch(&self, genomes: &[Self::Genome], threads: usize) -> Vec<Evaluated> {
+        parallel_ordered_map(genomes, threads, |genome| self.evaluate(genome))
+    }
 
     /// Generates the initial population.  The default implementation calls
     /// [`Problem::random_genome`] `size` times; GenLink overrides the genome

@@ -37,5 +37,7 @@ pub use blocking::{BlockingIndex, BlockingScratch};
 pub use engine::{
     ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
 };
-pub use multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};
+pub use multiblock::{
+    CandidateScratch, LeafBuildStats, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes,
+};
 pub use service::{LinkService, ServiceOptions};

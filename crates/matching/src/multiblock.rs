@@ -37,12 +37,13 @@
 //! indexing is computed once and reused when the rule scores the surviving
 //! candidates.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use linkdisc_entity::{DataSource, Entity};
 use linkdisc_rule::{IndexedComparison, IndexingPlan, PlanNode, ValueCache};
-use linkdisc_similarity::BlockKey;
+use linkdisc_similarity::{BlockKey, DistanceFunction};
 use linkdisc_util::resolve_threads;
 
 use crate::scratch::EpochMarks;
@@ -65,15 +66,38 @@ pub struct LeafBuildStats {
 /// source, in ascending order.  `postings` and `postings_sq` (Σ len and
 /// Σ len² over posting lists) are maintained incrementally; they drive the
 /// selectivity estimates that order intersection children.
-#[derive(Debug, Clone, Default)]
+///
+/// `position_keys` is the transposed sidecar — position → its (sorted) block
+/// keys — powering the probe-only intersection tails: once an intersection's
+/// running candidate set is small, a remaining leaf child answers "does this
+/// position share a key with the query?" per candidate instead of
+/// materialising its full candidate set.  The sidecar roughly doubles a
+/// leaf's postings storage, so it is only maintained (`sidecar` flag) for
+/// leaves a probe can actually reach: direct `Intersect` children in the
+/// owning plan, and every *shared* leaf (any plan may reuse those).
+#[derive(Debug, Clone)]
 struct LeafIndex {
     by_key: HashMap<BlockKey, Vec<u32>>,
+    position_keys: HashMap<u32, Vec<BlockKey>>,
+    sidecar: bool,
     indexed_entities: usize,
     postings: usize,
     postings_sq: f64,
 }
 
 impl LeafIndex {
+    /// Creates an empty leaf, with or without the probe sidecar.
+    fn with_sidecar(sidecar: bool) -> Self {
+        LeafIndex {
+            by_key: HashMap::new(),
+            position_keys: HashMap::new(),
+            sidecar,
+            indexed_entities: 0,
+            postings: 0,
+            postings_sq: 0.0,
+        }
+    }
+
     /// Adds `position` to the posting list of `key`, keeping it sorted.
     fn add(&mut self, key: BlockKey, position: u32) {
         let list = self.by_key.entry(key).or_default();
@@ -82,6 +106,12 @@ impl LeafIndex {
                 self.postings += 1;
                 self.postings_sq += 2.0 * list.len() as f64 + 1.0;
                 list.insert(at, position);
+                if self.sidecar {
+                    let keys = self.position_keys.entry(position).or_default();
+                    if let Err(slot) = keys.binary_search(&key) {
+                        keys.insert(slot, key);
+                    }
+                }
             }
             Ok(_) => debug_assert!(false, "position {position} indexed twice"),
         }
@@ -104,6 +134,28 @@ impl LeafIndex {
         if list.is_empty() {
             self.by_key.remove(&key);
         }
+        if self.sidecar {
+            if let Some(keys) = self.position_keys.get_mut(&position) {
+                if let Ok(slot) = keys.binary_search(&key) {
+                    keys.remove(slot);
+                }
+                if keys.is_empty() {
+                    self.position_keys.remove(&position);
+                }
+            }
+        }
+    }
+
+    /// `true` if the position shares at least one block key with the
+    /// (sorted) query key set — i.e. the position would appear in this
+    /// leaf's materialised candidate set for those keys.
+    fn shares_key(&self, position: u32, sorted_query_keys: &[BlockKey]) -> bool {
+        self.position_keys.get(&position).is_some_and(|keys| {
+            // iterate the (typically short) per-position list and binary
+            // search the query side, which is sorted by `block_keys_into`
+            keys.iter()
+                .any(|key| sorted_query_keys.binary_search(key).is_ok())
+        })
     }
 
     /// Expected posting-list length seen by a random probe: `Σ len² / Σ len`.
@@ -130,12 +182,17 @@ impl LeafIndex {
 }
 
 /// A rule-derived multidimensional blocking index over a target data source.
+///
+/// Leaves are held behind `Arc` so structurally identical leaf indexes can
+/// be **shared across the indexes of different rules** (see
+/// [`SharedLeafIndexes`]); mutation goes through copy-on-write
+/// (`Arc::make_mut`), which is free while a leaf is unshared.
 #[derive(Debug, Clone)]
 pub struct MultiBlockIndex {
     /// Shared, immutable plan: chunked runs build one index per chunk from
     /// the same plan, so cloning it per chunk would be pure overhead.
     plan: Arc<IndexingPlan>,
-    leaves: Vec<LeafIndex>,
+    leaves: Vec<Arc<LeafIndex>>,
     target_len: usize,
 }
 
@@ -144,8 +201,9 @@ impl MultiBlockIndex {
     /// [`MultiBlockIndex::insert`] (the streaming-ingestion entry point).
     pub fn empty(plan: impl Into<Arc<IndexingPlan>>) -> MultiBlockIndex {
         let plan = plan.into();
-        let leaves = (0..plan.comparisons().len())
-            .map(|_| LeafIndex::default())
+        let leaves = probe_eligible_leaves(&plan)
+            .into_iter()
+            .map(|eligible| Arc::new(LeafIndex::with_sidecar(eligible)))
             .collect();
         MultiBlockIndex {
             plan,
@@ -180,10 +238,17 @@ impl MultiBlockIndex {
         threads: usize,
     ) -> MultiBlockIndex {
         let threads = resolve_threads(threads).min(entities.len()).max(1);
-        let mut index = MultiBlockIndex::empty(plan);
-        index.target_len = entities.len();
+        let plan = plan.into();
+        let eligible = probe_eligible_leaves(&plan);
+        let fresh_leaves = || -> Vec<LeafIndex> {
+            eligible
+                .iter()
+                .map(|&eligible| LeafIndex::with_sidecar(eligible))
+                .collect()
+        };
+        let mut leaves = fresh_leaves();
         if threads <= 1 {
-            build_range(&index.plan, entities, 0, &mut index.leaves, cache);
+            build_range(&plan, entities, 0, &mut leaves, cache);
         } else {
             let shard_size = entities.len().div_ceil(threads);
             let mut shards: Vec<Vec<LeafIndex>> = Vec::with_capacity(threads);
@@ -192,11 +257,10 @@ impl MultiBlockIndex {
                     .chunks(shard_size)
                     .enumerate()
                     .map(|(shard, chunk)| {
-                        let plan = &index.plan;
+                        let plan = &plan;
+                        let fresh_leaves = &fresh_leaves;
                         scope.spawn(move || {
-                            let mut leaves: Vec<LeafIndex> = (0..plan.comparisons().len())
-                                .map(|_| LeafIndex::default())
-                                .collect();
+                            let mut leaves = fresh_leaves();
                             let base = (shard * shard_size) as u32;
                             build_range(plan, chunk, base, &mut leaves, cache);
                             leaves
@@ -209,20 +273,77 @@ impl MultiBlockIndex {
             });
             // merge in range order: per-key lists are ascending within a
             // shard and shard position ranges are disjoint and increasing,
-            // so concatenation keeps every posting list sorted
+            // so concatenation keeps every posting list sorted (and the
+            // per-position key sidecars are disjoint outright)
             for shard in shards {
-                for (merged, partial) in index.leaves.iter_mut().zip(shard) {
+                for (merged, partial) in leaves.iter_mut().zip(shard) {
                     merged.indexed_entities += partial.indexed_entities;
                     for (key, list) in partial.by_key {
                         merged.by_key.entry(key).or_default().extend(list);
                     }
+                    merged.position_keys.extend(partial.position_keys);
                 }
             }
-            for leaf in &mut index.leaves {
+            for leaf in &mut leaves {
                 leaf.refresh_estimates();
             }
         }
-        index
+        MultiBlockIndex {
+            plan,
+            leaves: leaves.into_iter().map(Arc::new).collect(),
+            target_len: entities.len(),
+        }
+    }
+
+    /// Builds the index over *borrowed* target entities through a
+    /// [`SharedLeafIndexes`] cache: each comparison's leaf is looked up by
+    /// its `(chain hash, measure, bound bucket)` reuse key and only built —
+    /// once, then shared by every later rule hitting the same key — on a
+    /// miss.  This is the learning-time entry point: the rules of a GP
+    /// generation are evaluated against one fixed entity pool, and their
+    /// plans overwhelmingly share comparisons.
+    pub fn build_shared<'e>(
+        plan: impl Into<Arc<IndexingPlan>>,
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+        shared: &SharedLeafIndexes,
+    ) -> MultiBlockIndex {
+        shared.guard_pool(targets);
+        let plan = plan.into();
+        let leaves = plan
+            .comparisons()
+            .iter()
+            .map(|comparison| shared.leaf_for(comparison, targets, cache))
+            .collect();
+        MultiBlockIndex {
+            plan,
+            leaves,
+            target_len: targets.len(),
+        }
+    }
+
+    /// Like [`MultiBlockIndex::build_shared`], but without hit/miss
+    /// accounting: assembles the index from leaves already resolved (and
+    /// counted) by [`SharedLeafIndexes::ensure_plans`].  Safe to call from
+    /// any worker thread.
+    pub fn build_shared_prepared<'e>(
+        plan: impl Into<Arc<IndexingPlan>>,
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+        shared: &SharedLeafIndexes,
+    ) -> MultiBlockIndex {
+        shared.guard_pool(targets);
+        let plan = plan.into();
+        let leaves = plan
+            .comparisons()
+            .iter()
+            .map(|comparison| shared.leaf_uncounted(comparison, targets, cache))
+            .collect();
+        MultiBlockIndex {
+            plan,
+            leaves,
+            target_len: targets.len(),
+        }
     }
 
     /// Adds one entity at a target position.  The position must be fresh (or
@@ -232,6 +353,7 @@ impl MultiBlockIndex {
         let mut keys: Vec<BlockKey> = Vec::new();
         for (comparison, index) in self.plan.comparisons().iter().zip(&mut self.leaves) {
             entity_keys(comparison, entity, cache, &mut keys);
+            let index = Arc::make_mut(index);
             if !keys.is_empty() {
                 index.indexed_entities += 1;
             }
@@ -248,6 +370,7 @@ impl MultiBlockIndex {
         let mut keys: Vec<BlockKey> = Vec::new();
         for (comparison, index) in self.plan.comparisons().iter().zip(&mut self.leaves) {
             entity_keys(comparison, entity, cache, &mut keys);
+            let index = Arc::make_mut(index);
             if !keys.is_empty() {
                 index.indexed_entities -= 1;
             }
@@ -288,7 +411,9 @@ impl MultiBlockIndex {
     /// (unsorted, duplicate-free).  Return it via
     /// [`CandidateScratch::recycle`] when done.  `leaf_candidates` (one slot
     /// per indexed comparison) accumulates how many candidates each leaf
-    /// contributed; pass an empty slice to skip accounting.
+    /// contributed (for a leaf answered by the probe-only tail: how many
+    /// running candidates survived its probe); pass an empty slice to skip
+    /// accounting.
     pub fn candidates<'e>(
         &self,
         source_entity: &'e Entity,
@@ -417,6 +542,21 @@ impl MultiBlockIndex {
                         // remaining children entirely
                         break;
                     }
+                    // probe-only tail: once the running set is smaller than a
+                    // leaf child's estimated candidate count, probing each
+                    // survivor ("does this position share a key?") through
+                    // the per-position key sidecar beats materialising the
+                    // leaf's full set — e.g. a name leaf emitting ~150k
+                    // candidates the phone leaf already cut to a few hundred
+                    if let PlanNode::Leaf(leaf) = child {
+                        if self.leaves[*leaf].sidecar && (out.len() as f64) < self.estimate(child) {
+                            self.probe_leaf(*leaf, entity, cache, scratch, &mut out);
+                            if let Some(count) = leaf_candidates.get_mut(*leaf) {
+                                *count += out.len();
+                            }
+                            continue;
+                        }
+                    }
                     let buf = self.eval(child, entity, cache, scratch, leaf_candidates);
                     let epoch = scratch.marks.next_epoch();
                     for &position in &buf {
@@ -429,6 +569,32 @@ impl MultiBlockIndex {
                 out
             }
         }
+    }
+    /// Filters the running intersection set against one leaf **by probing**:
+    /// a position survives iff it shares a block key with the source
+    /// entity's keys for that comparison.  Exactly equivalent to
+    /// intersecting with the leaf's materialised candidate set (a position
+    /// is in that set iff some source key's posting list contains it, iff
+    /// the position's own key list intersects the source keys), but costs
+    /// `O(|running| · |keys per position| · log |source keys|)` instead of
+    /// scanning every posting list.
+    fn probe_leaf<'e>(
+        &self,
+        leaf: usize,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+        scratch: &mut CandidateScratch,
+        running: &mut Vec<u32>,
+    ) {
+        let comparison = &self.plan.comparisons()[leaf];
+        let values = comparison.source.values(entity, cache);
+        let mut keys = std::mem::take(&mut scratch.keys);
+        comparison
+            .function
+            .block_keys_into(values.as_slice(), comparison.bound, &mut keys);
+        let index = &self.leaves[leaf];
+        running.retain(|&position| index.shares_key(position, &keys));
+        scratch.keys = keys;
     }
 }
 
@@ -454,6 +620,265 @@ fn build_range<'e>(
             }
         }
     }
+}
+
+/// Aggregate statistics of a [`SharedLeafIndexes`] cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeafReuseStats {
+    /// Leaf indexes answered from the cache (a whole per-comparison index
+    /// build saved).
+    pub hits: u64,
+    /// Leaf indexes actually built.
+    pub misses: u64,
+    /// Leaf indexes currently cached.
+    pub entries: usize,
+}
+
+impl LeafReuseStats {
+    /// Fraction of leaf-index requests served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cache of per-comparison leaf indexes over **one fixed target entity
+/// pool**, shared across the rules of a GP generation.
+///
+/// Keyed by [`IndexedComparison::leaf_reuse_key`] — `(target chain hash,
+/// measure, bound bucket)` — under which two comparisons are guaranteed to
+/// index the pool identically, so every rule of a population whose plan
+/// contains e.g. `levenshtein(lowerCase(name)) d≤1` reuses one inverted
+/// index instead of rebuilding it per rule.  The cache is *scoped to one
+/// entity pool*: callers must [`SharedLeafIndexes::clear`] it (or use a
+/// fresh one) whenever the pool changes; the learning loop additionally
+/// clears it per generation so dead chains do not accumulate.  Hit/miss
+/// counters are cumulative across clears and feed the `leaf_reuse` columns
+/// of the learning statistics.
+#[derive(Debug, Default)]
+pub struct SharedLeafIndexes {
+    leaves: Mutex<HashMap<(u64, DistanceFunction, u64), Arc<LeafIndex>>>,
+    /// Identity of the target pool the cached leaves index — `(length,
+    /// hash of every entity address in order)`, recorded on first use.
+    /// Leaf keys carry no pool identity (positions are relative to one
+    /// `targets` slice), so reuse against a different — or merely
+    /// reordered — pool would silently produce wrong candidates; the stamp
+    /// turns that misuse into a panic.
+    pool_stamp: Mutex<Option<(usize, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedLeafIndexes {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SharedLeafIndexes::default()
+    }
+
+    /// Drops every cached leaf index (the generation boundary, or a pool
+    /// change — the pool identity is forgotten together with the leaves).
+    /// Counters are cumulative and survive.
+    pub fn clear(&self) {
+        self.leaves
+            .lock()
+            .expect("shared leaf cache poisoned")
+            .clear();
+        *self.pool_stamp.lock().expect("pool stamp poisoned") = None;
+    }
+
+    /// Records the pool on first use and rejects any later use against a
+    /// different pool (see `pool_stamp`).  Hashing every address keeps the
+    /// check exact for permutations and partial overlaps; the cost is one
+    /// pass over the pool per index assembly, dwarfed by the candidate
+    /// work that follows.
+    fn guard_pool(&self, targets: &[&Entity]) {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for entity in targets {
+            std::hash::Hash::hash(&(*entity as *const Entity as usize), &mut hasher);
+        }
+        let stamp = (targets.len(), std::hash::Hasher::finish(&hasher));
+        let mut held = self.pool_stamp.lock().expect("pool stamp poisoned");
+        match *held {
+            None => *held = Some(stamp),
+            Some(existing) => assert_eq!(
+                existing, stamp,
+                "SharedLeafIndexes reused across different target pools; \
+                 clear() it (or use a fresh cache) when the pool changes"
+            ),
+        }
+    }
+
+    /// Cumulative hit/miss counters and the current entry count.
+    pub fn stats(&self) -> LeafReuseStats {
+        LeafReuseStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .leaves
+                .lock()
+                .expect("shared leaf cache poisoned")
+                .len(),
+        }
+    }
+
+    /// Resolves the leaves of a whole generation's plans in one pass:
+    /// every `(plan, comparison)` request is counted — in plan order, on
+    /// the calling thread, so the counters are deterministic — and the
+    /// missing leaves are then **built in parallel** on `threads` workers
+    /// (each distinct key exactly once) and cached.  Afterwards,
+    /// [`MultiBlockIndex::build_shared_prepared`] assembles any of the
+    /// plans' indexes by pure lookup, from any thread, without touching the
+    /// counters.
+    pub fn ensure_plans<'e>(
+        &self,
+        plans: &[&IndexingPlan],
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+        threads: usize,
+    ) {
+        self.guard_pool(targets);
+        let mut pending: Vec<&IndexedComparison> = Vec::new();
+        let mut scheduled: HashSet<(u64, DistanceFunction, u64)> = HashSet::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        {
+            let cached = self.leaves.lock().expect("shared leaf cache poisoned");
+            for plan in plans {
+                for comparison in plan.comparisons() {
+                    let key = comparison.leaf_reuse_key();
+                    if cached.contains_key(&key) || scheduled.contains(&key) {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                        scheduled.insert(key);
+                        pending.push(comparison);
+                    }
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        if pending.is_empty() {
+            return;
+        }
+        let built = linkdisc_util::parallel_ordered_map(&pending, threads, |comparison| {
+            Arc::new(build_leaf(comparison, targets, cache))
+        });
+        let mut cached = self.leaves.lock().expect("shared leaf cache poisoned");
+        for (comparison, leaf) in pending.iter().zip(built) {
+            cached.entry(comparison.leaf_reuse_key()).or_insert(leaf);
+        }
+    }
+
+    /// The leaf index of one comparison over the pool, built on first use.
+    /// The build runs outside the lock, so concurrent misses on one key may
+    /// both build (either result is identical); callers that need
+    /// deterministic counters resolve all leaves from a single thread first
+    /// (or batch through [`SharedLeafIndexes::ensure_plans`]).
+    fn leaf_for<'e>(
+        &self,
+        comparison: &IndexedComparison,
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+    ) -> Arc<LeafIndex> {
+        let key = comparison.leaf_reuse_key();
+        if let Some(leaf) = self
+            .leaves
+            .lock()
+            .expect("shared leaf cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return leaf.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let leaf = Arc::new(build_leaf(comparison, targets, cache));
+        self.leaves
+            .lock()
+            .expect("shared leaf cache poisoned")
+            .entry(key)
+            .or_insert_with(|| leaf.clone())
+            .clone()
+    }
+
+    /// Uncounted lookup-or-build, for assembling indexes of plans already
+    /// accounted for by [`SharedLeafIndexes::ensure_plans`].
+    fn leaf_uncounted<'e>(
+        &self,
+        comparison: &IndexedComparison,
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+    ) -> Arc<LeafIndex> {
+        let key = comparison.leaf_reuse_key();
+        if let Some(leaf) = self
+            .leaves
+            .lock()
+            .expect("shared leaf cache poisoned")
+            .get(&key)
+        {
+            return leaf.clone();
+        }
+        let leaf = Arc::new(build_leaf(comparison, targets, cache));
+        self.leaves
+            .lock()
+            .expect("shared leaf cache poisoned")
+            .entry(key)
+            .or_insert_with(|| leaf.clone())
+            .clone()
+    }
+}
+
+/// Leaf indices the probe-only intersection tail can reach: the direct
+/// `Leaf` children of every `Intersect` node.  Only these leaves need the
+/// per-position key sidecar; all others skip its build and memory cost.
+fn probe_eligible_leaves(plan: &IndexingPlan) -> Vec<bool> {
+    fn walk(node: &PlanNode, eligible: &mut [bool]) {
+        match node {
+            PlanNode::Intersect(children) => {
+                for child in children {
+                    if let PlanNode::Leaf(leaf) = child {
+                        eligible[*leaf] = true;
+                    }
+                    walk(child, eligible);
+                }
+            }
+            PlanNode::Union(children) => {
+                for child in children {
+                    walk(child, eligible);
+                }
+            }
+            PlanNode::All | PlanNode::Nothing | PlanNode::Leaf(_) => {}
+        }
+    }
+    let mut eligible = vec![false; plan.comparisons().len()];
+    walk(plan.root(), &mut eligible);
+    eligible
+}
+
+/// Builds one comparison's leaf index over a borrowed target pool.  Shared
+/// leaves always carry the probe sidecar: the cache cannot know whether a
+/// later plan will reach the leaf through an intersection.
+fn build_leaf<'e>(
+    comparison: &IndexedComparison,
+    targets: &[&'e Entity],
+    cache: &ValueCache<'e>,
+) -> LeafIndex {
+    let mut leaf = LeafIndex::with_sidecar(true);
+    let mut keys: Vec<BlockKey> = Vec::new();
+    for (position, entity) in targets.iter().enumerate() {
+        entity_keys(comparison, entity, cache, &mut keys);
+        if !keys.is_empty() {
+            leaf.indexed_entities += 1;
+        }
+        for &key in &keys {
+            leaf.add(key, position as u32);
+        }
+    }
+    leaf
 }
 
 /// The block keys of one entity under one indexed comparison (target side).
@@ -793,6 +1218,147 @@ mod tests {
             vec![0, 0],
             "the empty year leaf must short-circuit before the name leaf runs"
         );
+    }
+
+    #[test]
+    fn shared_leaves_are_reused_across_rules_and_dropped_on_clear() {
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let shared = SharedLeafIndexes::new();
+        let targets: Vec<&linkdisc_entity::Entity> = target.entities().iter().collect();
+        // two different rules sharing the name comparison: the second build
+        // must hit the cached name leaf and only build the year leaf
+        let name_only: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let first = MultiBlockIndex::build_shared(
+            Arc::new(plan(&name_only, &source, &target)),
+            &targets,
+            &cache,
+            &shared,
+        );
+        assert_eq!(shared.stats().hits, 0);
+        assert_eq!(shared.stats().misses, 1);
+        let second = MultiBlockIndex::build_shared(
+            Arc::new(plan(&name_year_rule(), &source, &target)),
+            &targets,
+            &cache,
+            &shared,
+        );
+        let stats = shared.stats();
+        assert_eq!(stats.hits, 1, "the name leaf is reused");
+        assert_eq!(stats.misses, 2, "only the year leaf is new");
+        assert_eq!(stats.entries, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // the shared leaf is literally the same allocation
+        assert!(Arc::ptr_eq(&first.leaves[0], &second.leaves[0]));
+        // a bound in the same Levenshtein budget bucket also hits
+        let same_bucket: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            3.0, // bound 1.5, same ⌊bound⌋ = 1 bucket as threshold 2.0
+        )
+        .into();
+        MultiBlockIndex::build_shared(
+            Arc::new(plan(&same_bucket, &source, &target)),
+            &targets,
+            &cache,
+            &shared,
+        );
+        assert_eq!(shared.stats().hits, 2);
+        // clear() invalidates: the next generation rebuilds its leaves
+        shared.clear();
+        assert_eq!(shared.stats().entries, 0);
+        MultiBlockIndex::build_shared(
+            Arc::new(plan(&name_only, &source, &target)),
+            &targets,
+            &cache,
+            &shared,
+        );
+        let stats = shared.stats();
+        assert_eq!(stats.hits, 2, "cleared leaves cannot be hit");
+        assert_eq!(stats.misses, 3);
+        // a shared build produces exactly the slice build's candidates
+        let reference = MultiBlockIndex::build_slice(
+            plan(&name_year_rule(), &source, &target),
+            target.entities(),
+            &cache,
+            1,
+        );
+        for entity in source.entities() {
+            assert_eq!(
+                second.candidate_positions(entity, &cache),
+                reference.candidate_positions(entity, &cache)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different target pools")]
+    fn shared_leaves_reject_a_different_target_pool() {
+        let (source, target) = (source(), target());
+        let other = DataSourceBuilder::new("C", ["name", "year"])
+            .entity("c0", [("name", "rome"), ("year", "0021")])
+            .unwrap()
+            .build();
+        let cache = ValueCache::new();
+        let shared = SharedLeafIndexes::new();
+        let rule: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let targets: Vec<&linkdisc_entity::Entity> = target.entities().iter().collect();
+        MultiBlockIndex::build_shared(
+            Arc::new(plan(&rule, &source, &target)),
+            &targets,
+            &cache,
+            &shared,
+        );
+        // reusing the cache for another entity pool without clear() must
+        // panic instead of silently serving wrong positions
+        let other_targets: Vec<&linkdisc_entity::Entity> = other.entities().iter().collect();
+        MultiBlockIndex::build_shared(
+            Arc::new(plan(&rule, &source, &other)),
+            &other_targets,
+            &cache,
+            &shared,
+        );
+    }
+
+    #[test]
+    fn probe_only_tail_matches_materialised_intersection() {
+        // many targets share the name-leaf blocks, but only a few share the
+        // year bucket: after the (selective) year leaf runs, the running set
+        // is far below the name leaf's estimate and the probe tail engages
+        let mut builder = DataSourceBuilder::new("B", ["name", "year"]);
+        for i in 0..40 {
+            let year = if i < 3 { "1237" } else { "1900" };
+            builder = builder
+                .entity(format!("b{i}"), [("name", "berlin"), ("year", year)])
+                .unwrap();
+        }
+        let target = builder.build();
+        let rule = name_year_rule();
+        let source = source();
+        let cache = ValueCache::new();
+        let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let a0 = &source.entities()[0];
+        let candidates = index.candidate_positions(a0, &cache);
+        assert_eq!(candidates, vec![0, 1, 2], "only the 1237 entities survive");
+        // removing a probed entity updates the sidecar consistently
+        let mut index = index;
+        index.remove(1, &target.entities()[1], &cache);
+        assert_eq!(index.candidate_positions(a0, &cache), vec![0, 2]);
+        index.insert(1, &target.entities()[1], &cache);
+        assert_eq!(index.candidate_positions(a0, &cache), vec![0, 1, 2]);
     }
 
     #[test]

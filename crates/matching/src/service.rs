@@ -76,6 +76,11 @@ pub struct LinkService<'t> {
     by_id: HashMap<String, u32>,
     free: Vec<u32>,
     cache: ValueCache<'t>,
+    /// Every target-side chain hash the compiled rule can memoize under —
+    /// the `(entity, hash)` keys to evict when a target entity is removed,
+    /// so a long-lived service's cache tracks its *live* entity set instead
+    /// of everything it ever served.
+    target_chain_hashes: Vec<u64>,
     link_threshold: f64,
     scratch_pool: Mutex<Vec<CandidateScratch>>,
 }
@@ -104,6 +109,7 @@ impl<'t> LinkService<'t> {
         let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
             .canonicalized();
         let compiled = CompiledRule::compile(&rule, source_schema, target_schema);
+        let target_chain_hashes = evictable_hashes(&compiled);
         LinkService {
             rule,
             compiled,
@@ -112,6 +118,7 @@ impl<'t> LinkService<'t> {
             by_id: HashMap::new(),
             free: Vec::new(),
             cache: ValueCache::new(),
+            target_chain_hashes,
             link_threshold: options.link_threshold,
             scratch_pool: Mutex::new(Vec::new()),
         }
@@ -135,6 +142,7 @@ impl<'t> LinkService<'t> {
         let cache = ValueCache::new();
         let index = MultiBlockIndex::build_slice(plan, target.entities(), &cache, options.threads);
         let compiled = CompiledRule::compile(&rule, source_schema, target.schema());
+        let target_chain_hashes = evictable_hashes(&compiled);
         LinkService {
             rule,
             compiled,
@@ -148,6 +156,7 @@ impl<'t> LinkService<'t> {
                 .collect(),
             free: Vec::new(),
             cache,
+            target_chain_hashes,
             link_threshold: options.link_threshold,
             scratch_pool: Mutex::new(Vec::new()),
         }
@@ -214,8 +223,10 @@ impl<'t> LinkService<'t> {
     }
 
     /// Removes a target entity by identifier, un-indexing its postings (the
-    /// slot is recycled by later inserts).  Returns `false` when the id is
-    /// not served.
+    /// slot is recycled by later inserts) and evicting its memoized
+    /// transform chains from the shared value cache — a long-lived service
+    /// under entity churn holds cache entries for its live entities only.
+    /// Returns `false` when the id is not served.
     pub fn remove(&mut self, id: &str) -> bool {
         let Some(position) = self.by_id.remove(id) else {
             return false;
@@ -223,9 +234,19 @@ impl<'t> LinkService<'t> {
         let entity = self.slots[position as usize]
             .take()
             .expect("a mapped identifier always has a live slot");
+        // un-index first: locating the postings recomputes the entity's
+        // block keys through the cache entries about to be evicted
         self.index.remove(position, entity, &self.cache);
+        self.cache.evict(entity, &self.target_chain_hashes);
         self.free.push(position);
         true
+    }
+
+    /// Number of `(entity, chain)` entries currently memoized in the
+    /// service-lifetime value cache (observability for the eviction-on-
+    /// remove behaviour).
+    pub fn cached_chain_entries(&self) -> usize {
+        self.cache.len()
     }
 
     /// All targets matching one query entity (score ≥ the link threshold),
@@ -300,6 +321,18 @@ impl<'t> LinkService<'t> {
             .pop()
             .unwrap_or_default()
     }
+}
+
+/// The set of chain hashes whose `(entity, hash)` cache entries a removed
+/// target entity may own: every target-side slot of the compiled rule.  The
+/// indexing plan's chains are compiled from the same value operators
+/// (structural hashes are schema-independent), so the rule's target slots
+/// cover the plan's chains too.
+fn evictable_hashes(compiled: &CompiledRule) -> Vec<u64> {
+    let mut hashes = compiled.target_slot_hashes().to_vec();
+    hashes.sort_unstable();
+    hashes.dedup();
+    hashes
 }
 
 #[cfg(test)]
@@ -456,6 +489,46 @@ mod tests {
         service.remove("b2");
         let after = service.query(&source.entities()[1]);
         assert!(!after.iter().any(|l| l.target == "b2"));
+    }
+
+    #[test]
+    fn remove_evicts_the_entity_from_the_value_cache() {
+        let (source, target) = (source(), target());
+        // transform on the target side so indexing + scoring memoize one
+        // chain entry per served entity
+        let transformed: LinkageRule = compare(
+            property("label"),
+            transform(TransformFunction::LowerCase, vec![property("name")]),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let mut service = LinkService::build(
+            transformed,
+            source.schema(),
+            &target,
+            ServiceOptions::default(),
+        );
+        for entity in source.entities() {
+            service.query(entity);
+        }
+        let warm = service.cached_chain_entries();
+        assert_eq!(warm, 3, "one lowerCase(name) entry per served entity");
+        assert!(service.remove("b2"));
+        assert_eq!(
+            service.cached_chain_entries(),
+            warm - 1,
+            "the removed entity's chain memo is evicted"
+        );
+        // the survivors still serve correct results ("Berlin" is one edit
+        // from "berlin" but two from "berlim")
+        let links = service.query(&source.entities()[0]);
+        assert_eq!(links.len(), 1);
+        assert!(service.query(&source.entities()[1]).is_empty());
+        // re-inserting recomputes and re-memoizes the evicted chain
+        service.insert(&target.entities()[1]).unwrap();
+        service.query(&source.entities()[1]);
+        assert_eq!(service.cached_chain_entries(), warm);
     }
 
     #[test]

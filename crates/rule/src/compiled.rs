@@ -230,6 +230,21 @@ impl CompiledChain {
     pub fn values<'e>(&self, entity: &'e Entity, cache: &ValueCache<'e>) -> ChainValues<'e> {
         ChainValues(self.program.values(self.root, entity, cache))
     }
+
+    /// The structural hash of the chain's root value operator — the same
+    /// hash [`ValueCache`] memoizes the chain's outputs under, and the chain
+    /// component of the shared-leaf-index key: two compiled chains with
+    /// equal hashes compute identical values for every entity.
+    pub fn structural_hash(&self) -> u64 {
+        self.program.hashes[self.root]
+    }
+
+    /// The structural hashes of *every* slot of the chain (the root plus all
+    /// nested transformation inputs) — the full set of [`ValueCache`] keys
+    /// this chain can create for one entity.
+    pub fn slot_hashes(&self) -> &[u64] {
+        &self.program.hashes
+    }
 }
 
 /// Borrowed-or-interned output of a [`CompiledChain`]; dereferences to the
@@ -306,6 +321,14 @@ impl CompiledRule {
     /// Number of instructions in the plan (0 for the empty rule).
     pub fn instruction_count(&self) -> usize {
         self.instructions.len()
+    }
+
+    /// The structural hashes of every *target-side* value slot of the plan —
+    /// exactly the [`ValueCache`] keys evaluation can create for a target
+    /// entity.  A long-lived service evicts `(entity, hash)` pairs for these
+    /// hashes when a target entity is removed.
+    pub fn target_slot_hashes(&self) -> &[u64] {
+        &self.target.hashes
     }
 
     /// Evaluates the plan on an entity pair, yielding the same similarity as
@@ -818,6 +841,31 @@ impl<'e> ValueCache<'e> {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Evicts every memoized entry of one entity for the given chain hashes
+    /// (see [`CompiledRule::target_slot_hashes`]), returning how many entries
+    /// were dropped.  Long-lived owners — the serving `LinkService` — call
+    /// this when an entity is removed so the cache does not accumulate
+    /// entries for entities that will never be scored again.  The cache is a
+    /// pure memo, so eviction can never change a result, only cost a
+    /// recomputation if the same entity is re-inserted later.
+    pub fn evict(&self, entity: &'e Entity, chain_hashes: &[u64]) -> usize {
+        let address = entity as *const Entity as usize;
+        let mut dropped = 0;
+        for &hash in chain_hashes {
+            let key = (address, hash);
+            if self
+                .shard(&key)
+                .lock()
+                .expect("value cache poisoned")
+                .remove(&key)
+                .is_some()
+            {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Drops all memoized entries and statistics (e.g. when the underlying
     /// entity collections change).
     pub fn clear(&self) {
@@ -996,6 +1044,61 @@ mod tests {
         assert_ne!(base.canonical_hash(), other_threshold.canonical_hash());
         assert_ne!(base.canonical_hash(), other_function.canonical_hash());
         assert_ne!(base.canonical_hash(), LinkageRule::empty().canonical_hash());
+    }
+
+    #[test]
+    fn evict_drops_one_entity_without_touching_others() {
+        let schema = city_schema();
+        let rule: LinkageRule = compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let a = berlin(&schema);
+        let b = EntityBuilder::new("b")
+            .value("label", "Paris")
+            .build(schema.clone());
+        let cache = ValueCache::new();
+        compiled.evaluate(&EntityPair::new(&a, &b), &cache);
+        assert_eq!(cache.len(), 2);
+        let dropped = cache.evict(&b, compiled.target_slot_hashes());
+        assert_eq!(dropped, 1, "b's lowerCase(label) entry is evicted");
+        assert_eq!(cache.len(), 1);
+        // evicting again is a no-op; the other entity's memo survives
+        assert_eq!(cache.evict(&b, compiled.target_slot_hashes()), 0);
+        let mut recomputed = false;
+        cache.values(&b, compiled.target.hashes[1], || {
+            recomputed = true;
+            vec!["paris".to_string()]
+        });
+        assert!(recomputed, "evicted entry must recompute");
+        cache.values(&a, compiled.source.hashes[1], || {
+            unreachable!("a's memo must survive b's eviction")
+        });
+    }
+
+    #[test]
+    fn chain_hashes_are_structural_and_shared_with_the_rule() {
+        let schema = city_schema();
+        let chain = transform(TransformFunction::LowerCase, vec![property("label")]);
+        let ValueOperator::Transformation(_) = &chain else {
+            panic!("transform builder returns a transformation")
+        };
+        let compiled_chain = CompiledChain::compile(&chain, &schema);
+        assert_eq!(
+            compiled_chain.structural_hash(),
+            value_operator_hash(&chain),
+            "the chain hash is the root's structural hash"
+        );
+        assert!(compiled_chain
+            .slot_hashes()
+            .contains(&compiled_chain.structural_hash()));
+        // the same chain compiled twice (or inside a rule) hashes equally
+        let again = CompiledChain::compile(&chain, &schema);
+        assert_eq!(compiled_chain.structural_hash(), again.structural_hash());
     }
 
     #[test]

@@ -64,6 +64,26 @@ pub struct IndexedComparison {
     pub label: String,
 }
 
+impl IndexedComparison {
+    /// The identity of the *target-side leaf index* this comparison needs:
+    /// `(target chain hash, measure, bound bucket)`.  Two comparisons with
+    /// equal keys index any fixed target entity set identically — same
+    /// transformed values (structural chain hash), same key scheme (measure)
+    /// and same key derivation (the measure's
+    /// [`DistanceFunction::key_bound_bucket`] guarantees identical block
+    /// keys across the bucket) — so their inverted indexes are
+    /// interchangeable and can be shared across the rules of a generation.
+    /// The source side does not participate: it only affects probing, not
+    /// index contents.
+    pub fn leaf_reuse_key(&self) -> (u64, DistanceFunction, u64) {
+        (
+            self.target.structural_hash(),
+            self.function,
+            self.function.key_bound_bucket(self.bound),
+        )
+    }
+}
+
 /// A node of the candidate-generation plan.
 ///
 /// After lowering, `All` and `Nothing` only occur at the root —
@@ -451,6 +471,41 @@ mod tests {
             aggregation(AggregationFunction::Max, vec![lev(2.0), empty_min]).into();
         let plan = IndexingPlan::lower(&disjunction, &schema(), &schema(), 0.5);
         assert_eq!(*plan.root(), PlanNode::Leaf(0));
+    }
+
+    #[test]
+    fn leaf_reuse_keys_identify_interchangeable_target_indexes() {
+        let plan_for = |threshold: f64| {
+            let rule: LinkageRule = lev(threshold).into();
+            IndexingPlan::lower(&rule, &schema(), &schema(), 0.5)
+        };
+        // thresholds 2.0 and 3.0 derive bounds 1.0 and 1.5 — one Levenshtein
+        // edit-budget bucket — while 6.0 (bound 3.0) keys differently
+        let a = plan_for(2.0).comparisons()[0].leaf_reuse_key();
+        let b = plan_for(3.0).comparisons()[0].leaf_reuse_key();
+        let c = plan_for(6.0).comparisons()[0].leaf_reuse_key();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // a different target chain breaks sharing even at an equal bound
+        let other_chain: LinkageRule = compare(
+            property("label"),
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let plan = IndexingPlan::lower(&other_chain, &schema(), &schema(), 0.5);
+        assert_ne!(plan.comparisons()[0].leaf_reuse_key(), a);
+        // ... and so does a different measure over the same chain
+        let jaccard: LinkageRule = compare(
+            property("label"),
+            property("label"),
+            DistanceFunction::Jaccard,
+            0.5,
+        )
+        .into();
+        let plan = IndexingPlan::lower(&jaccard, &schema(), &schema(), 0.5);
+        assert_ne!(plan.comparisons()[0].leaf_reuse_key().1, a.1);
     }
 
     #[test]

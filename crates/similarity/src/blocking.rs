@@ -163,6 +163,71 @@ impl DistanceFunction {
         self.block_keys_into(values, bound, &mut keys);
         keys
     }
+
+    /// The canonical *bound bucket* of this measure at a distance bound: two
+    /// bounds in the same bucket are **guaranteed** to produce identical
+    /// [`DistanceFunction::block_keys_into`] output for every value set, so a
+    /// leaf index built at one bound can be shared by any comparison whose
+    /// bound falls into the same bucket (the key of
+    /// `SharedLeafIndexes` in `linkdisc-matching`).
+    ///
+    /// The bucket is as coarse as each key scheme allows:
+    ///
+    /// * **Levenshtein** keys depend only on the integer edit budget
+    ///   `⌊bound⌋` (it selects the q-gram length, the short-value cutoff and
+    ///   the position-bucket width), so the budget *is* the bucket — bounds
+    ///   1.2 and 1.8 share one leaf index.
+    /// * **Jaccard / Dice / Equality** keys ignore the bound entirely (one
+    ///   key per set element); every prunable bound shares one bucket.
+    /// * **Jaro / Jaro-Winkler** collapse to one bucket across the whole
+    ///   loose-bound regime (the per-character fallback ignores the bound);
+    ///   tight bounds key continuously through the matched fraction.
+    /// * **Numeric / Date / Geographic** buckets are continuous in the bound
+    ///   (it is the interval/cell width), so only bit-equal bounds share.
+    ///
+    /// Callers must only consult the bucket for bounds where
+    /// [`DistanceFunction::can_prune`] holds.
+    pub fn key_bound_bucket(&self, bound: f64) -> u64 {
+        // mirror the bound normalisation of `block_keys_into` exactly
+        let bound = inflate(bound.max(0.0));
+        match self {
+            DistanceFunction::Levenshtein => bound.min(1e9).floor() as u64,
+            DistanceFunction::Jaccard | DistanceFunction::Dice | DistanceFunction::Equality => {
+                BUCKET_UNIFORM
+            }
+            DistanceFunction::Jaro => jaro_bucket(bound, 1.0 - 3.0 * bound),
+            DistanceFunction::JaroWinkler => jaro_bucket(bound, 1.0 - 5.0 * bound),
+            DistanceFunction::Numeric | DistanceFunction::Date | DistanceFunction::Geographic => {
+                if bound == 0.0 {
+                    BUCKET_EXACT
+                } else {
+                    bound.to_bits()
+                }
+            }
+        }
+    }
+}
+
+/// Bound bucket of the exact-match schemes (`bound == 0`).  Cannot collide
+/// with `f64::to_bits` of a finite bound (the all-ones pattern is a NaN).
+const BUCKET_EXACT: u64 = u64::MAX;
+/// Bound bucket of bound-independent key schemes (also a NaN bit pattern).
+const BUCKET_UNIFORM: u64 = u64::MAX - 1;
+
+/// Bound bucket of the Jaro family: exact keys at bound 0, the
+/// bound-independent character fallback once the matched fraction is vacuous,
+/// and the continuous window regime in between (keys depend on the fraction,
+/// which is linear in the bound — bucket by its bits).
+fn jaro_bucket(bound: f64, fraction: f64) -> u64 {
+    if bound == 0.0 {
+        BUCKET_EXACT
+    } else if fraction <= 0.0 {
+        BUCKET_UNIFORM
+    } else {
+        // `jaro_keys` caps the fraction at 0.98, so everything above the cap
+        // keys identically
+        fraction.min(0.98).to_bits()
+    }
 }
 
 /// Inflates a bound by a relative epsilon (and keeps 0 exact: non-negative
@@ -430,6 +495,29 @@ mod tests {
                 "{f} keys of {a:?} and {b:?} do not overlap at bound {bound} (distance {distance})"
             );
         }
+    }
+
+    #[test]
+    fn bound_buckets_are_as_coarse_as_the_schemes_allow() {
+        // Levenshtein: the integer edit budget is the bucket
+        let lev = DistanceFunction::Levenshtein;
+        assert_eq!(lev.key_bound_bucket(1.2), lev.key_bound_bucket(1.8));
+        assert_ne!(lev.key_bound_bucket(1.8), lev.key_bound_bucket(2.2));
+        assert_eq!(lev.key_bound_bucket(0.0), lev.key_bound_bucket(0.9));
+        // set measures ignore the bound entirely
+        let jac = DistanceFunction::Jaccard;
+        assert_eq!(jac.key_bound_bucket(0.0), jac.key_bound_bucket(0.99));
+        // Jaro: one bucket across the loose-bound character fallback,
+        // distinct buckets in the tight window regime
+        let jaro = DistanceFunction::Jaro;
+        assert_eq!(jaro.key_bound_bucket(0.5), jaro.key_bound_bucket(0.9));
+        assert_ne!(jaro.key_bound_bucket(0.1), jaro.key_bound_bucket(0.2));
+        assert_ne!(jaro.key_bound_bucket(0.0), jaro.key_bound_bucket(0.1));
+        // continuous width schemes share only on bit-equal bounds
+        let num = DistanceFunction::Numeric;
+        assert_eq!(num.key_bound_bucket(2.0), num.key_bound_bucket(2.0));
+        assert_ne!(num.key_bound_bucket(2.0), num.key_bound_bucket(2.5));
+        assert_ne!(num.key_bound_bucket(0.0), num.key_bound_bucket(2.0));
     }
 
     #[test]
@@ -774,6 +862,28 @@ mod tests {
             let b = vec![format!("{} {}", (lat1 + dlat).clamp(-90.0, 90.0),
                                           (lon1 + dlon).clamp(-180.0, 180.0))];
             assert_guarantee(DistanceFunction::Geographic, &a, &b, bound);
+        }
+
+        /// The bound-bucket contract: bounds in the same bucket produce
+        /// identical key sets for every value set.
+        #[test]
+        fn same_bucket_bounds_produce_identical_keys(
+            values in proptest::collection::vec("[a-e0-9 .]{0,10}", 0..4),
+            a in 0.0f64..6.0,
+            b in 0.0f64..6.0,
+        ) {
+            for f in DistanceFunction::ALL {
+                if !f.can_prune(a) || !f.can_prune(b) {
+                    continue;
+                }
+                if f.key_bound_bucket(a) == f.key_bound_bucket(b) {
+                    prop_assert_eq!(
+                        f.block_keys(&values, a),
+                        f.block_keys(&values, b),
+                        "{} buckets {} and {} collide but keys differ", f, a, b
+                    );
+                }
+            }
         }
 
         /// Keys are deterministic and deduplicated.

@@ -16,6 +16,45 @@ pub fn resolve_threads(configured: usize) -> usize {
     }
 }
 
+/// Maps `f` over `items` on up to `threads` workers (0 = all cores),
+/// returning the results **in input order**.
+///
+/// The items are split into one contiguous chunk per worker, so the mapping
+/// of item to worker — and therefore the result order — is a pure function
+/// of `items.len()` and the resolved thread count, never of scheduling.
+/// Callers that need *bit-identical* results across thread counts only have
+/// to make `f` itself deterministic and free of cross-item state: the
+/// reduction here is ordered by construction.
+///
+/// Small inputs (fewer than two items per worker) are mapped inline to avoid
+/// paying thread spawns for no parallelism.
+pub fn parallel_ordered_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).max(1);
+    if threads <= 1 || items.len() < 2 * threads {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -34,5 +73,25 @@ mod tests {
             .map(|n| n.get())
             .unwrap_or(1);
         assert_eq!(resolved, expected);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                parallel_ordered_map(&items, threads, |&x| x * 3),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_tiny_and_empty_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_ordered_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_ordered_map(&[7u32], 4, |&x| x + 1), vec![8]);
     }
 }
