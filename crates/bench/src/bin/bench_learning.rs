@@ -18,6 +18,14 @@
 //!    cache must answer a positive fraction of leaf-index requests (always
 //!    enforced): a population's rules share comparison chains, so whole
 //!    per-comparison index builds are saved every generation.
+//! 4. **Cross-generation retention** — leaves whose chains recur across
+//!    generation boundaries (elites survive every generation) are retained
+//!    instead of rebuilt.  Gates (always enforced): reuse across
+//!    generations *rises* — it is zero in the first generation by
+//!    definition and must be positive both overall and in the final
+//!    generation (recurring elite chains are still being answered from
+//!    retained leaves when learning stops, where the old
+//!    clear-per-generation cache rebuilt every one of them).
 //!
 //! Also reported: wall-clock per generation at each thread count and the
 //! fitness-cache hit rate, for the learning-curve context.
@@ -177,8 +185,40 @@ fn main() {
     }
     println!();
 
+    // 4. cross-generation retention -----------------------------------------
+    // per-generation cross-generation hits from the cumulative counters:
+    // generation 1 cannot reuse across a boundary; every later generation
+    // should, because elite chains recur
+    let cumulative_cross: Vec<u64> = sequential
+        .outcome
+        .history
+        .iter()
+        .filter_map(|s| s.cache)
+        .map(|c| c.leaf_cross_generation_hits)
+        .collect();
+    let per_generation_cross: Vec<u64> = cumulative_cross.windows(2).map(|w| w[1] - w[0]).collect();
+    let first_cross = per_generation_cross.first().copied().unwrap_or(0);
+    let last_cross = per_generation_cross.last().copied().unwrap_or(0);
+    let cross_hits = cache.leaf_cross_generation_hits;
+    println!("--- cross-generation leaf retention ---");
+    println!(
+        "{cross_hits} cross-generation hits total; per generation: {per_generation_cross:?} \
+         (first full generation {first_cross}, final {last_cross})"
+    );
+    if cross_hits == 0 {
+        failures.push("no leaf survived a generation boundary (retention inactive)".to_string());
+    }
+    if last_cross == 0 {
+        failures.push(
+            "the final generation answered no request from a retained leaf — elite-driven \
+             reuse should persist across every boundary"
+                .to_string(),
+        );
+    }
+    println!();
+
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"workload\": {{\n    \"dataset\": \"restaurant\",\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"positive_links\": {},\n    \"negative_links\": {},\n    \"population\": {},\n    \"iterations\": {ITERATIONS}\n  }},\n  \"parallel_learning\": {{\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"per_generation_t1_ms\": {:.1},\n    \"per_generation_t{PARALLEL_THREADS}_ms\": {:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {SPEEDUP_GATE},\n    \"gate_enforced\": {speedup_enforced},\n    \"bit_identical\": {identical}\n  }},\n  \"leaf_reuse\": {{\n    \"requests\": {leaf_total},\n    \"hits\": {},\n    \"builds\": {},\n    \"hit_rate\": {leaf_rate:.4}\n  }},\n  \"fitness_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"workload\": {{\n    \"dataset\": \"restaurant\",\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"positive_links\": {},\n    \"negative_links\": {},\n    \"population\": {},\n    \"iterations\": {ITERATIONS}\n  }},\n  \"parallel_learning\": {{\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"per_generation_t1_ms\": {:.1},\n    \"per_generation_t{PARALLEL_THREADS}_ms\": {:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {SPEEDUP_GATE},\n    \"gate_enforced\": {speedup_enforced},\n    \"bit_identical\": {identical}\n  }},\n  \"leaf_reuse\": {{\n    \"requests\": {leaf_total},\n    \"hits\": {},\n    \"builds\": {},\n    \"hit_rate\": {leaf_rate:.4},\n    \"cross_generation_hits\": {cross_hits},\n    \"first_generation_cross_hits\": {first_cross},\n    \"final_generation_cross_hits\": {last_cross}\n  }},\n  \"fitness_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
         stats.source_entities,
         stats.target_entities,
         stats.positive_links,

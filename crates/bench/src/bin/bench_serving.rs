@@ -1,8 +1,9 @@
 //! Serving-subsystem benchmark: sharded index build, single-entity query
-//! latency, hot-path allocation behaviour and streaming peak memory, with
-//! results emitted to `BENCH_serving.json`.
+//! latency, hot-path allocation behaviour, streaming peak memory, concurrent
+//! reader/writer throughput and snapshot persistence, with results emitted
+//! to `BENCH_serving.json`.
 //!
-//! Four measurements:
+//! Measurements and gates:
 //!
 //! 1. **Sharded build** — `MultiBlockIndex::build_slice` over the largest
 //!    workload (full-scale Cora, transform + q-gram keys), single-threaded
@@ -13,38 +14,70 @@
 //!    rule answering one `query` per source entity; mean/p50/p99 µs.
 //! 3. **Query allocations** — the `query_with` hot path on a transform-free
 //!    rule, counted with a wrapping global allocator in steady state.
-//!    Gate: **0 allocations per query** (candidate generation runs on
-//!    pooled scratch, the per-query cache constructs allocation-free, and
-//!    scoring reads borrowed value slices).
+//!    Gate: **0 allocations per query**.
 //! 4. **Streaming peak memory** — the engine's chunked run versus the batch
 //!    run on Cora: identical links (gate) with only `chunk_size` target
-//!    entities resident at a time (the peak-memory proxy).
+//!    entities resident at a time; plus a byte-budgeted run
+//!    (`chunk_bytes`) reporting the realized peak-resident bytes.
+//! 5. **Concurrent serving** — reader-throughput scaling (aggregate
+//!    queries/s at 4 reader threads over 1; gate ≥ 2x when the host has
+//!    ≥ 4 cores) and a churn workload: reader threads querying while a
+//!    `ServiceWriter` alternates removes and re-inserts.  Gates (always):
+//!    **0 allocations per query on the reader threads during churn**
+//!    (counted by a thread-local allocator tally, so the writer's
+//!    allocations do not pollute the reader measurement) and reader
+//!    results matching the final state after the writer settles.
+//! 6. **Snapshot persistence** — `save_snapshot` / `restore` round-trip on
+//!    the Cora service: restore must be **bit-identical to the fresh
+//!    build** (stats and per-entity query results — gate) with save/load
+//!    wall times and the restore-vs-build speedup reported.
 //!
 //! Environment: `GENLINK_BENCH_SERVING_OUT` (output path, default
 //! `BENCH_serving.json`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use linkdisc_datasets::{Dataset, DatasetKind};
+use linkdisc_entity::Entity;
 use linkdisc_matching::{
-    CandidateScratch, LinkService, MatchingEngine, MatchingOptions, MultiBlockIndex, ServiceOptions,
+    CandidateScratch, LinkService, MatchingEngine, MatchingOptions, MultiBlockIndex,
+    ServiceOptions, ServiceReader,
 };
 use linkdisc_rule::{
     aggregation, compare, property, transform, AggregationFunction, DistanceFunction, IndexingPlan,
     LinkageRule, TransformFunction, ValueCache,
 };
 
-/// Passthrough allocator that counts allocations, so the zero-allocation
-/// claim of the serving hot path is *measured*, not asserted.
+/// Passthrough allocator that counts allocations — globally and per thread
+/// — so the zero-allocation claims of the serving hot path are *measured*,
+/// not asserted.  The thread-local tally lets the churn workload gate the
+/// reader threads while the writer allocates freely next to them.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Allocations performed by the current thread (`Cell<u64>` has no
+    /// destructor, so the thread-local stays accessible for the whole
+    /// thread lifetime, allocator callbacks included).
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_allocation() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    THREAD_ALLOCATIONS.with(|tally| tally.set(tally.get() + 1));
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_allocation();
         System.alloc(layout)
     }
 
@@ -53,7 +86,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_allocation();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -65,6 +98,11 @@ const BUILD_SPEEDUP_GATE: f64 = 2.0;
 const BUILD_THREADS: usize = 4;
 const BUILD_REPETITIONS: usize = 3;
 const STREAM_CHUNK: usize = 256;
+const STREAM_BYTE_BUDGET: usize = 256 * 1024;
+const READER_SCALING_GATE: f64 = 2.0;
+const READER_THREADS: usize = 4;
+const READER_PASSES: usize = 30;
+const CHURN_OPS: usize = 400;
 
 fn cora_rule() -> LinkageRule {
     compare(
@@ -97,7 +135,7 @@ fn restaurant_rule() -> LinkageRule {
     .into()
 }
 
-/// Transform-free rule for the allocation measurement: raw property values
+/// Transform-free rule for the allocation measurements: raw property values
 /// are borrowed straight out of the entity, so a steady-state query touches
 /// no allocator at all.
 fn equality_rule() -> LinkageRule {
@@ -132,6 +170,102 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[rank]
+}
+
+/// Aggregate reader throughput (queries/s): `threads` cloned readers each
+/// run `passes` full passes over the query entities.
+fn reader_throughput(reader: &ServiceReader, queries: &[Entity], threads: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let reader = reader.clone();
+            scope.spawn(move || {
+                let mut scratch = CandidateScratch::new();
+                let mut hits: Vec<(u32, f64)> = Vec::new();
+                for _ in 0..READER_PASSES {
+                    for entity in queries {
+                        reader.query_with(entity, &mut scratch, &mut hits);
+                    }
+                }
+            });
+        }
+    });
+    (threads * READER_PASSES * queries.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// What the churn workload measured.
+struct ChurnOutcome {
+    reader_queries: u64,
+    reader_allocations: u64,
+    writer_ops: usize,
+    writer_ops_per_s: f64,
+}
+
+/// Two reader threads query (hot path, thread-local allocation tally) while
+/// the writer alternates remove/re-insert over a rotating slice of served
+/// entities.  Returns reader totals and writer throughput.
+fn churn(dataset: &Dataset, rule: LinkageRule) -> ChurnOutcome {
+    let (mut writer, reader) = LinkService::build(
+        rule,
+        dataset.source.schema(),
+        &dataset.target,
+        ServiceOptions::default(),
+    )
+    .split();
+    let queries: Vec<Entity> = dataset.source.entities().to_vec();
+    let victims: Vec<Entity> = dataset.target.entities().iter().take(64).cloned().collect();
+    let stop = AtomicBool::new(false);
+    let total_queries = AtomicU64::new(0);
+    let total_allocations = AtomicU64::new(0);
+    let mut writer_ops = 0usize;
+    let mut writer_elapsed = 0.0f64;
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let reader = reader.clone();
+            let queries = &queries;
+            let stop = &stop;
+            let total_queries = &total_queries;
+            let total_allocations = &total_allocations;
+            scope.spawn(move || {
+                let mut scratch = CandidateScratch::new();
+                let mut hits: Vec<(u32, f64)> = Vec::new();
+                // warm every pooled buffer (and this thread's evaluation
+                // scratch) before counting
+                for _ in 0..2 {
+                    for entity in queries.iter() {
+                        reader.query_with(entity, &mut scratch, &mut hits);
+                    }
+                }
+                let before = thread_allocations();
+                let mut queries_run = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for entity in queries.iter() {
+                        reader.query_with(entity, &mut scratch, &mut hits);
+                        queries_run += 1;
+                    }
+                }
+                total_allocations.fetch_add(thread_allocations() - before, Ordering::Relaxed);
+                total_queries.fetch_add(queries_run, Ordering::Relaxed);
+            });
+        }
+        // churn: remove and re-insert a rotating victim; every op publishes
+        // a fresh epoch the readers pick up mid-flight
+        let start = Instant::now();
+        for op in 0..CHURN_OPS {
+            let victim = &victims[op % victims.len()];
+            assert!(writer.remove(victim.id()));
+            writer.insert(victim).unwrap();
+            writer_ops += 2;
+        }
+        writer_elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+    });
+    ChurnOutcome {
+        reader_queries: total_queries.load(Ordering::Relaxed),
+        reader_allocations: total_allocations.load(Ordering::Relaxed),
+        writer_ops,
+        writer_ops_per_s: writer_ops as f64 / writer_elapsed,
+    }
 }
 
 fn main() {
@@ -237,7 +371,7 @@ fn main() {
 
     // 4. streaming peak memory ---------------------------------------------
     let batch = MatchingEngine::new(rule.clone()).run(&cora.source, &cora.target);
-    let streamed = MatchingEngine::new(rule)
+    let streamed = MatchingEngine::new(rule.clone())
         .with_options(MatchingOptions {
             chunk_size: STREAM_CHUNK,
             ..MatchingOptions::default()
@@ -257,16 +391,134 @@ fn main() {
     if !links_match {
         failures.push("streamed links diverge from the batch run".to_string());
     }
+    // byte-budgeted chunking: residency tracks the budget, not an entity count
+    let budgeted = MatchingEngine::new(rule)
+        .with_options(MatchingOptions {
+            chunk_bytes: STREAM_BYTE_BUDGET,
+            ..MatchingOptions::default()
+        })
+        .run(&cora.source, &cora.target);
+    let budget_links_match = budgeted.links == batch.links;
+    println!(
+        "byte budget {} KiB: {} chunks, peak {} entities / {} KiB resident, links match batch: \
+         {budget_links_match}",
+        STREAM_BYTE_BUDGET / 1024,
+        budgeted.chunks,
+        budgeted.peak_chunk_entities,
+        budgeted.peak_chunk_bytes / 1024,
+    );
+    if !budget_links_match {
+        failures.push("byte-budgeted links diverge from the batch run".to_string());
+    }
+    println!();
+
+    // 5. concurrent serving -------------------------------------------------
+    println!("--- concurrent serving (restaurant conjunction) ---");
+    let (concurrent_writer, concurrent_reader) = LinkService::build(
+        restaurant_rule(),
+        restaurant.source.schema(),
+        &restaurant.target,
+        ServiceOptions::default(),
+    )
+    .split();
+    let queries_slice: Vec<Entity> = restaurant.source.entities().to_vec();
+    // warm the shared transform cache once so scaling measures query work,
+    // not first-touch memoization
+    reader_throughput(&concurrent_reader, &queries_slice, 1);
+    let tp1 = reader_throughput(&concurrent_reader, &queries_slice, 1);
+    let tp4 = reader_throughput(&concurrent_reader, &queries_slice, READER_THREADS);
+    let reader_scaling = tp4 / tp1;
+    let scaling_enforced = cores >= READER_THREADS;
+    drop(concurrent_writer);
+    println!(
+        "reader throughput: {:.0} q/s x1, {:.0} q/s x{READER_THREADS} ({reader_scaling:.2}x, \
+         gate ≥ {READER_SCALING_GATE}x, {})",
+        tp1,
+        tp4,
+        if scaling_enforced {
+            "enforced"
+        } else {
+            "reported only — host has fewer than 4 cores"
+        }
+    );
+    if scaling_enforced && reader_scaling < READER_SCALING_GATE {
+        failures.push(format!(
+            "reader throughput scaling {reader_scaling:.2}x < {READER_SCALING_GATE}x \
+             on {READER_THREADS} threads"
+        ));
+    }
+    let churned = churn(&restaurant, equality_rule());
+    let churn_allocations_per_query =
+        churned.reader_allocations as f64 / churned.reader_queries.max(1) as f64;
+    println!(
+        "churn: writer {:.0} ops/s over {} ops; readers ran {} queries with {} allocations \
+         ({churn_allocations_per_query:.4}/query, gate 0)",
+        churned.writer_ops_per_s,
+        churned.writer_ops,
+        churned.reader_queries,
+        churned.reader_allocations
+    );
+    if churned.reader_allocations != 0 {
+        failures.push(format!(
+            "reader hot path allocated {} times under writer churn (gate: 0)",
+            churned.reader_allocations
+        ));
+    }
+    println!();
+
+    // 6. snapshot persistence -----------------------------------------------
+    println!("--- snapshot persistence (cora) ---");
+    let build_start = Instant::now();
+    let cora_service = LinkService::build(
+        cora_rule(),
+        cora.source.schema(),
+        &cora.target,
+        ServiceOptions::default(),
+    );
+    let service_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let mut snapshot_bytes: Vec<u8> = Vec::new();
+    let save_start = Instant::now();
+    cora_service.save_snapshot(&mut snapshot_bytes).unwrap();
+    let save_ms = save_start.elapsed().as_secs_f64() * 1e3;
+    let restore_start = Instant::now();
+    let restored = LinkService::restore(cora_rule(), cora.source.schema(), &snapshot_bytes[..])
+        .expect("snapshot written moments ago restores");
+    let restore_ms = restore_start.elapsed().as_secs_f64() * 1e3;
+    let restore_speedup = service_build_ms / restore_ms;
+    let mut restore_identical = restored.stats() == cora_service.stats();
+    for entity in cora.source.entities() {
+        if restored.query(entity) != cora_service.query(entity) {
+            restore_identical = false;
+            break;
+        }
+    }
+    println!(
+        "build {service_build_ms:.1} ms, save {save_ms:.1} ms ({} KiB), restore {restore_ms:.1} \
+         ms ({restore_speedup:.1}x faster than build), restore identical to build: \
+         {restore_identical}",
+        snapshot_bytes.len() / 1024
+    );
+    if !restore_identical {
+        failures.push("restored service diverges from the fresh build".to_string());
+    }
     println!();
 
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }}\n}}\n",
         cora.target.len(),
         restaurant.source.len(),
         restaurant.target.len(),
         streamed.chunks,
         streamed.peak_chunk_entities,
         streamed.target_entities,
+        budgeted.chunks,
+        budgeted.peak_chunk_entities,
+        budgeted.peak_chunk_bytes,
+        churned.writer_ops,
+        churned.writer_ops_per_s,
+        churned.reader_queries,
+        churned.reader_allocations,
+        snapshot_bytes.len(),
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("wrote {out_path}");

@@ -212,14 +212,18 @@ impl<'a> FitnessFunction<'a> {
         self.pool.as_ref().map(|pool| pool.shared.stats())
     }
 
-    /// Marks a generation boundary: drops the cached leaf indexes so the
-    /// shared cache holds only the chains the *current* generation's rules
-    /// actually use (reuse within a generation is where the savings are —
-    /// a population shares chains heavily; chains that died out of the
-    /// population must not accumulate).  Counters survive.
+    /// Marks a generation boundary: retires the shared leaf cache.  Leaves
+    /// whose chains were requested in the generation just ended are
+    /// **retained** (elitism and selection make the best rules — and their
+    /// comparison chains — recur every generation, so those leaves would
+    /// otherwise be rebuilt each time), under the cache's capacity bound;
+    /// chains that died out of the population are dropped so mutation churn
+    /// cannot accumulate memory.  Sound because the reference pool is fixed
+    /// for the life of the learner (enforced by the cache's pool stamp).
+    /// Counters survive.
     pub fn begin_generation(&self) {
         if let Some(pool) = &self.pool {
-            pool.shared.clear();
+            pool.shared.retire();
         }
     }
 

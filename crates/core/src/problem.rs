@@ -195,6 +195,7 @@ impl Problem for GenLinkProblem<'_> {
             value_cache_hits: value_cache.hits(),
             leaf_reuse_hits: leaf_reuse.hits,
             leaf_reuse_misses: leaf_reuse.misses,
+            leaf_cross_generation_hits: leaf_reuse.cross_generation_hits,
         })
     }
 }
@@ -310,7 +311,7 @@ mod tests {
     }
 
     #[test]
-    fn batches_share_leaf_indexes_within_a_generation_and_invalidate_across() {
+    fn batches_share_leaf_indexes_within_and_across_generations() {
         let (source, target, rules) = leaf_fixture();
         let links = ReferenceLinks::new(
             vec![Link::new("a0", "b0"), Link::new("a1", "b1")],
@@ -333,9 +334,10 @@ mod tests {
         assert_eq!(stats.leaf_reuse_hits, 1, "θ 2.0 and θ 3.0 share one leaf");
         assert_eq!(stats.leaf_reuse_misses, 2);
 
-        // generation 2: a *new* rule in the shared bucket must rebuild the
-        // leaf — the generation boundary invalidated the cache — while the
-        // repeated rules never reach leaf resolution (fitness-cache hits)
+        // generation 2: a *new* rule in the shared bucket hits the leaf
+        // *retained* across the generation boundary (its chain recurred in
+        // generation 1), while the repeated rules never reach leaf
+        // resolution at all (fitness-cache hits)
         let mut next = rules.clone();
         next.push(
             linkdisc_rule::compare(
@@ -349,10 +351,14 @@ mod tests {
         let second = problem.evaluate_batch(&next, 1);
         let stats = problem.cache_stats().unwrap();
         assert_eq!(
-            stats.leaf_reuse_misses, 3,
-            "the cleared leaf is rebuilt once for the new rule"
+            stats.leaf_reuse_misses, 2,
+            "the retained leaf is not rebuilt for the new rule"
         );
-        assert_eq!(stats.leaf_reuse_hits, 1, "no stale cross-generation hit");
+        assert_eq!(stats.leaf_reuse_hits, 2);
+        assert_eq!(
+            stats.leaf_cross_generation_hits, 1,
+            "the new rule's hit crossed the generation boundary"
+        );
         assert!(
             stats.fitness_hits >= 3,
             "repeated rules hit the fitness cache"

@@ -14,11 +14,17 @@ pub type EntityId = String;
 /// Value sets are stored positionally, aligned with the entity's [`Schema`];
 /// missing properties simply hold an empty value set, which is how the
 /// *coverage* statistic of Table 6 of the paper is expressed.
+///
+/// Value sets are held as shared `Arc<[String]>` slices: entities clone
+/// cheaply (streamed chunks, store snapshots), and an owning
+/// [`crate::EntityStore`] can *intern* equal value sets so repeated values
+/// (years, cities, categorical columns) share one allocation across the
+/// whole store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Entity {
     id: EntityId,
     schema: Arc<Schema>,
-    values: Vec<ValueSet>,
+    values: Vec<Arc<[String]>>,
 }
 
 impl Entity {
@@ -27,6 +33,22 @@ impl Entity {
     /// longer vectors are truncated.
     pub fn new(id: impl Into<EntityId>, schema: Arc<Schema>, mut values: Vec<ValueSet>) -> Self {
         values.resize(schema.len(), ValueSet::new());
+        Entity {
+            id: id.into(),
+            schema,
+            values: values.into_iter().map(Arc::from).collect(),
+        }
+    }
+
+    /// Creates an entity from already-shared value slices (the
+    /// [`crate::EntityStore`] interning path).  `values` must be aligned
+    /// with the schema, one slice per property.
+    pub(crate) fn from_shared(
+        id: impl Into<EntityId>,
+        schema: Arc<Schema>,
+        mut values: Vec<Arc<[String]>>,
+    ) -> Self {
+        values.resize(schema.len(), Arc::from(Vec::new()));
         Entity {
             id: id.into(),
             schema,
@@ -46,7 +68,32 @@ impl Entity {
 
     /// All values of the property with the given index.
     pub fn values_at(&self, index: PropertyIndex) -> &[String] {
-        self.values.get(index).map(|v| v.as_slice()).unwrap_or(&[])
+        self.values.get(index).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    /// The shared value slice of a property, if the index is in range (used
+    /// by the [`crate::EntityStore`] interner to reuse allocations).
+    pub fn shared_values_at(&self, index: PropertyIndex) -> Option<&Arc<[String]>> {
+        self.values.get(index)
+    }
+
+    /// A cheap estimate of this entity's resident size in bytes: identifier
+    /// and value characters plus per-string and per-slice overheads.  Drives
+    /// byte-budgeted chunk sizing in the streaming engine; it is a proxy
+    /// (UTF-8 lengths, not allocator-rounded capacities), so budgets derived
+    /// from it are approximate by design.
+    pub fn approx_bytes(&self) -> usize {
+        const STRING_OVERHEAD: usize = std::mem::size_of::<String>();
+        const SLICE_OVERHEAD: usize = std::mem::size_of::<Arc<[String]>>() + 16;
+        let mut bytes = std::mem::size_of::<Entity>() + self.id.len();
+        for values in &self.values {
+            bytes += SLICE_OVERHEAD;
+            bytes += values
+                .iter()
+                .map(|v| v.len() + STRING_OVERHEAD)
+                .sum::<usize>();
+        }
+        bytes
     }
 
     /// All values of the named property (empty slice if the property is not
@@ -77,7 +124,7 @@ impl Entity {
             .properties()
             .iter()
             .zip(self.values.iter())
-            .map(|(p, v)| (p.as_str(), v.as_slice()))
+            .map(|(p, v)| (p.as_str(), &v[..]))
     }
 }
 

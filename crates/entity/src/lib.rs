@@ -17,6 +17,8 @@
 //!   negative-link generation scheme used in Section 6.1 of the paper,
 //! * [`StreamingSource`] — chunked access to sources too large to
 //!   materialise, with a zero-copy adapter for in-memory sources,
+//! * [`EntityStore`] — an owned, id-stable slot table with interned values
+//!   and cheap copy-on-write snapshots (the serving layer's entity owner),
 //! * [`tabular`] — a tiny delimited-text loader so real data can be plugged in,
 //! * [`EntityPair`] — a borrowed pair `(a, b)` handed to linkage rules.
 //!
@@ -31,6 +33,7 @@ pub mod links;
 pub mod pair;
 pub mod schema;
 pub mod source;
+pub mod store;
 pub mod stream;
 pub mod tabular;
 pub mod value;
@@ -41,5 +44,6 @@ pub use links::{Link, ReferenceLinks, ReferenceLinksBuilder};
 pub use pair::{EntityPair, ResolvedReferenceLinks};
 pub use schema::{PropertyIndex, Schema};
 pub use source::{DataSource, DataSourceBuilder};
+pub use store::{EntitySnapshot, EntityStore};
 pub use stream::{ChunkedVecStream, MaterializedStream, StreamingSource};
 pub use value::{normalized_tokens, ValueSet};

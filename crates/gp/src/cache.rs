@@ -43,6 +43,10 @@ pub struct CacheStats {
     pub leaf_reuse_hits: u64,
     /// Leaf indexes actually built.
     pub leaf_reuse_misses: u64,
+    /// The subset of `leaf_reuse_hits` answered by a leaf retained from an
+    /// *earlier* generation (recurring elite chains; 0 when retention is
+    /// off or no chain survived a generation boundary).
+    pub leaf_cross_generation_hits: u64,
 }
 
 impl CacheStats {

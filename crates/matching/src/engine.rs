@@ -68,9 +68,30 @@ pub struct MatchingOptions {
     pub link_threshold: f64,
     /// Maximum target entities processed (and resident) at a time when the
     /// target is streamed; 0 means unbounded — the whole target in one
-    /// chunk.  Results are identical for every chunk size.
+    /// chunk.  Results are identical for every chunk size.  When set, this
+    /// **overrides** [`MatchingOptions::chunk_bytes`].
     pub chunk_size: usize,
+    /// Byte budget for the resident target chunk (0 = disabled).  Chunks
+    /// are sized adaptively from [`Entity::approx_bytes`] over the entities
+    /// seen so far — conservatively, by the *largest* record seen, with
+    /// slow-start growth (a chunk at most doubles the entities delivered so
+    /// far) — so skewed record sizes yield predictable peak memory where a
+    /// fixed entity count would not: wide records shrink the cap, narrow
+    /// records grow it.  The budget is approximate by design: caps derive
+    /// from *past* sizes (the first chunk probes at
+    /// [`INITIAL_ADAPTIVE_CHUNK`] entities), so a chunk of records all
+    /// fatter than anything previously observed overshoots by their growth
+    /// factor — on a stream sorted small-to-large the divisor always lags
+    /// one chunk behind, so treat the budget as an order-of-magnitude
+    /// control there, not a ceiling.  Sizing never affects results, only
+    /// residency (observable as [`MatchingReport::peak_chunk_bytes`]).
+    pub chunk_bytes: usize,
 }
+
+/// Entities requested for the first chunk of a byte-budgeted run, before
+/// any per-entity size estimate exists (kept small: the probe chunk is the
+/// one chunk sized with no data at all).
+pub const INITIAL_ADAPTIVE_CHUNK: usize = 16;
 
 impl Default for MatchingOptions {
     fn default() -> Self {
@@ -80,6 +101,7 @@ impl Default for MatchingOptions {
             threads: 0,
             link_threshold: LINK_THRESHOLD,
             chunk_size: 0,
+            chunk_bytes: 0,
         }
     }
 }
@@ -119,6 +141,10 @@ pub struct MatchingReport {
     /// Largest number of target entities resident at once — the streaming
     /// peak-memory proxy (equals `target_entities` for a batch run).
     pub peak_chunk_entities: usize,
+    /// Largest estimated byte size ([`Entity::approx_bytes`]) of a resident
+    /// chunk — the realized peak for byte-budgeted chunking
+    /// ([`MatchingOptions::chunk_bytes`]); reported for every streamed run.
+    pub peak_chunk_bytes: usize,
     /// Blocking statistics, one entry per indexed comparison (empty when the
     /// run was exhaustive — blocking disabled or the plan cannot prune).
     pub comparison_stats: Vec<ComparisonBlockStats>,
@@ -179,10 +205,7 @@ impl MatchingEngine {
         source: &DataSource,
         target: &mut dyn StreamingSource,
     ) -> MatchingReport {
-        let chunk_cap = match self.options.chunk_size {
-            0 => usize::MAX,
-            cap => cap,
-        };
+        let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
         let empty_report = |target_entities: usize| MatchingReport {
             links: Vec::new(),
             evaluated_pairs: 0,
@@ -190,10 +213,11 @@ impl MatchingEngine {
             target_entities,
             chunks: 0,
             peak_chunk_entities: 0,
+            peak_chunk_bytes: 0,
             comparison_stats: Vec::new(),
         };
         if self.rule.root().is_none() {
-            return empty_report(drain(target, chunk_cap));
+            return empty_report(drain(target, &mut sizer));
         }
 
         let indexed_plan = if self.options.use_blocking {
@@ -206,7 +230,7 @@ impl MatchingEngine {
             .canonicalized();
             if plan.is_empty_result() {
                 // no pair can reach the link threshold; skip evaluation
-                return empty_report(drain(target, chunk_cap));
+                return empty_report(drain(target, &mut sizer));
             }
             // an exhaustive plan cannot prune — fall through with no index
             (!plan.is_exhaustive()).then(|| std::sync::Arc::new(plan))
@@ -248,8 +272,9 @@ impl MatchingEngine {
         let mut target_entities = 0usize;
         let mut chunks = 0usize;
         let mut peak_chunk_entities = 0usize;
+        let mut peak_chunk_bytes = 0usize;
 
-        while let Some(chunk) = target.next_chunk(chunk_cap) {
+        while let Some(chunk) = target.next_chunk(sizer.next_cap()) {
             let chunk: &[Entity] = &chunk;
             target_entities += chunk.len();
             if chunk.is_empty() {
@@ -257,6 +282,7 @@ impl MatchingEngine {
             }
             chunks += 1;
             peak_chunk_entities = peak_chunk_entities.max(chunk.len());
+            peak_chunk_bytes = peak_chunk_bytes.max(sizer.observe(chunk));
 
             let chunk_cache = ValueCache::new();
             let index = indexed_plan.as_ref().map(|plan| {
@@ -346,8 +372,71 @@ impl MatchingEngine {
             target_entities,
             chunks,
             peak_chunk_entities,
+            peak_chunk_bytes,
             comparison_stats,
         }
+    }
+}
+
+/// Derives per-chunk entity caps for `run_stream`: a fixed entity count
+/// when [`MatchingOptions::chunk_size`] is set, otherwise a byte budget
+/// ([`MatchingOptions::chunk_bytes`]) divided by the **largest** entity
+/// estimate seen so far (worst-case sizing, with slow-start growth),
+/// otherwise unbounded.  Also tracks the realized per-chunk byte sizes
+/// for [`MatchingReport::peak_chunk_bytes`].
+struct ChunkSizer {
+    fixed_entities: usize,
+    byte_budget: usize,
+    seen_entities: usize,
+    /// Largest single-entity estimate seen — the conservative divisor: a
+    /// chunk of `budget / max` entities stays within budget even if every
+    /// one of them is as fat as the fattest record so far.
+    max_entity_bytes: usize,
+}
+
+impl ChunkSizer {
+    fn new(fixed_entities: usize, byte_budget: usize) -> Self {
+        ChunkSizer {
+            fixed_entities,
+            byte_budget,
+            seen_entities: 0,
+            max_entity_bytes: 0,
+        }
+    }
+
+    /// `true` when caps derive from observed entity sizes (a byte budget is
+    /// set and no fixed entity count overrides it).
+    fn is_adaptive(&self) -> bool {
+        self.fixed_entities == 0 && self.byte_budget > 0
+    }
+
+    /// The entity cap to request for the next chunk.
+    fn next_cap(&self) -> usize {
+        if self.fixed_entities > 0 {
+            return self.fixed_entities;
+        }
+        if self.byte_budget == 0 {
+            return usize::MAX;
+        }
+        if self.seen_entities == 0 {
+            return INITIAL_ADAPTIVE_CHUNK;
+        }
+        let by_budget = self.byte_budget / self.max_entity_bytes.max(1);
+        // slow start: at most double the entities delivered so far, so one
+        // unrepresentative early chunk cannot license a huge follow-up
+        by_budget.min(2 * self.seen_entities).max(1)
+    }
+
+    /// Records a delivered chunk, returning its estimated byte size.
+    fn observe(&mut self, chunk: &[Entity]) -> usize {
+        let mut bytes = 0usize;
+        for entity in chunk {
+            let estimate = entity.approx_bytes();
+            bytes += estimate;
+            self.max_entity_bytes = self.max_entity_bytes.max(estimate);
+        }
+        self.seen_entities += chunk.len();
+        bytes
     }
 }
 
@@ -440,11 +529,16 @@ fn score_span<'s, 't>(
 }
 
 /// Consumes the rest of a stream, returning how many entities it held (used
-/// by degenerate paths that still report the cross-product size).
-fn drain(target: &mut dyn StreamingSource, chunk_cap: usize) -> usize {
+/// by degenerate paths that still report the cross-product size).  The
+/// sizer keeps observing delivered chunks so a byte-budgeted drain adapts
+/// past its probe cap instead of requesting 16 entities forever.
+fn drain(target: &mut dyn StreamingSource, sizer: &mut ChunkSizer) -> usize {
     let mut total = 0;
-    while let Some(chunk) = target.next_chunk(chunk_cap) {
+    while let Some(chunk) = target.next_chunk(sizer.next_cap()) {
         total += chunk.len();
+        if sizer.is_adaptive() {
+            sizer.observe(&chunk);
+        }
     }
     total
 }
@@ -714,6 +808,76 @@ mod tests {
         assert_eq!(seen[0], seen[1]);
         assert_eq!(seen[1], seen[2]);
         assert_eq!(seen[0].target, "b1", "ties break towards the smaller id");
+    }
+
+    #[test]
+    fn byte_budget_adapts_chunks_to_record_sizes() {
+        // skewed record sizes: a fixed entity count would make fat-heavy
+        // chunks ~30x heavier than thin ones; a byte budget keeps residency
+        // steady by shrinking the entity cap instead
+        let mut builder = DataSourceBuilder::new("B", ["name"]);
+        let fat = "x".repeat(4096);
+        for i in 0..64 {
+            let value = if i % 2 == 0 { "thin" } else { fat.as_str() };
+            builder = builder
+                .entity(format!("b{i:02}"), [("name", value)])
+                .unwrap();
+        }
+        let target = builder.build();
+        let source = DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "thin")])
+            .unwrap()
+            .build();
+        let rule: LinkageRule = compare(
+            property("label"),
+            property("name"),
+            DistanceFunction::Equality,
+            0.5,
+        )
+        .into();
+        let batch = MatchingEngine::new(rule.clone()).run(&source, &target);
+        let budget = 64 * 1024;
+        let budgeted = MatchingEngine::new(rule.clone())
+            .with_options(MatchingOptions {
+                chunk_bytes: budget,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(
+            budgeted.links, batch.links,
+            "chunking never changes results"
+        );
+        assert!(budgeted.chunks > 1, "the budget forces multiple chunks");
+        assert!(
+            budgeted.peak_chunk_entities < target.len(),
+            "never the whole target resident"
+        );
+        // this fixture interleaves fat and thin records, so every chunk's
+        // worst-case divisor has already seen a fat record and the peak
+        // stays within one record of the budget (a size-sorted stream
+        // would not enjoy this bound — see the chunk_bytes docs)
+        let fattest = target
+            .entities()
+            .iter()
+            .map(Entity::approx_bytes)
+            .max()
+            .unwrap();
+        assert!(
+            budgeted.peak_chunk_bytes <= budget + fattest,
+            "peak {} exceeds budget {budget} by more than one record ({fattest})",
+            budgeted.peak_chunk_bytes
+        );
+        // an explicit chunk_size overrides the byte budget
+        let overridden = MatchingEngine::new(rule)
+            .with_options(MatchingOptions {
+                chunk_bytes: budget,
+                chunk_size: 64,
+                ..MatchingOptions::default()
+            })
+            .run(&source, &target);
+        assert_eq!(overridden.chunks, 1, "chunk_size wins over chunk_bytes");
+        assert_eq!(overridden.peak_chunk_entities, 64);
+        assert!(overridden.peak_chunk_bytes > budget);
     }
 
     #[test]

@@ -18,9 +18,14 @@
 //!   the target chunk by chunk with a sharded per-chunk index build, of
 //!   which the batch `run` is a zero-copy wrapper; `use_blocking: false`
 //!   falls back to the exhaustive cross product,
-//! * [`LinkService`] — the serving front-end: a long-lived, incrementally
-//!   maintained index (insert/remove/ingest) answering single-entity match
-//!   queries at interactive latency on an allocation-free candidate path,
+//! * [`LinkService`] / [`ServiceWriter`] / [`ServiceReader`] — the serving
+//!   front-end: a long-lived index over an *owned* entity store
+//!   (insert/remove/ingest) answering single-entity match queries at
+//!   interactive latency on an allocation-free candidate path; the
+//!   writer/reader split publishes copy-on-write epochs so any number of
+//!   reader threads query consistent snapshots while one writer churns,
+//! * [`persist`] — versioned binary snapshots of the served state (entity
+//!   store + leaf maps), restoring bit-identically in O(read),
 //! * [`MatchingReport`] — links plus counters and per-comparison block
 //!   statistics so pruning effectiveness can be inspected,
 //! * [`BlockingIndex`] — the legacy token-based index, kept as a standalone
@@ -30,6 +35,7 @@
 pub mod blocking;
 pub mod engine;
 pub mod multiblock;
+pub mod persist;
 mod scratch;
 pub mod service;
 
@@ -40,4 +46,5 @@ pub use engine::{
 pub use multiblock::{
     CandidateScratch, LeafBuildStats, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes,
 };
-pub use service::{LinkService, ServiceOptions};
+pub use persist::{SnapshotError, SNAPSHOT_VERSION};
+pub use service::{LinkService, ServiceOptions, ServiceReader, ServiceWriter};

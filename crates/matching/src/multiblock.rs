@@ -76,18 +76,18 @@ pub struct LeafBuildStats {
 /// leaves a probe can actually reach: direct `Intersect` children in the
 /// owning plan, and every *shared* leaf (any plan may reuse those).
 #[derive(Debug, Clone)]
-struct LeafIndex {
-    by_key: HashMap<BlockKey, Vec<u32>>,
-    position_keys: HashMap<u32, Vec<BlockKey>>,
-    sidecar: bool,
-    indexed_entities: usize,
-    postings: usize,
-    postings_sq: f64,
+pub(crate) struct LeafIndex {
+    pub(crate) by_key: HashMap<BlockKey, Vec<u32>>,
+    pub(crate) position_keys: HashMap<u32, Vec<BlockKey>>,
+    pub(crate) sidecar: bool,
+    pub(crate) indexed_entities: usize,
+    pub(crate) postings: usize,
+    pub(crate) postings_sq: f64,
 }
 
 impl LeafIndex {
     /// Creates an empty leaf, with or without the probe sidecar.
-    fn with_sidecar(sidecar: bool) -> Self {
+    pub(crate) fn with_sidecar(sidecar: bool) -> Self {
         LeafIndex {
             by_key: HashMap::new(),
             position_keys: HashMap::new(),
@@ -170,14 +170,32 @@ impl LeafIndex {
     }
 
     /// Recomputes the incremental statistics from the map (after a sharded
-    /// merge).
-    fn refresh_estimates(&mut self) {
+    /// merge or a snapshot restore).
+    pub(crate) fn refresh_estimates(&mut self) {
         self.postings = self.by_key.values().map(Vec::len).sum();
         self.postings_sq = self
             .by_key
             .values()
             .map(|list| (list.len() * list.len()) as f64)
             .sum();
+    }
+
+    /// Rebuilds the per-position key sidecar from the posting lists (the
+    /// snapshot-restore path).  Produces exactly the sidecar an incremental
+    /// build maintains: each position's key list, sorted.
+    pub(crate) fn rebuild_sidecar(&mut self) {
+        self.position_keys.clear();
+        if !self.sidecar {
+            return;
+        }
+        for (&key, positions) in &self.by_key {
+            for &position in positions {
+                self.position_keys.entry(position).or_default().push(key);
+            }
+        }
+        for keys in self.position_keys.values_mut() {
+            keys.sort_unstable();
+        }
     }
 }
 
@@ -192,9 +210,26 @@ pub struct MultiBlockIndex {
     /// Shared, immutable plan: chunked runs build one index per chunk from
     /// the same plan, so cloning it per chunk would be pure overhead.
     plan: Arc<IndexingPlan>,
-    leaves: Vec<Arc<LeafIndex>>,
+    pub(crate) leaves: Vec<Arc<LeafIndex>>,
     target_len: usize,
 }
+
+/// Measured cost ratio between **probing** one running candidate through a
+/// leaf's per-position key sidecar and **scanning** one posting while
+/// materialising the leaf's candidate set.  A probe is a hash lookup plus
+/// binary searches over short key lists (~100 ns); a posting scan is a
+/// sequential read plus an epoch-mark store (~1.6 ns) — the
+/// `probe_cost_calibration` microbench (run `cargo test -p
+/// linkdisc-matching --release -- --ignored probe_cost`) measures the ratio
+/// at ≈60 on a q-gram-shaped leaf; the constant sits slightly below because
+/// probes early-exit on their first shared key while the measurement's
+/// candidates are miss-dominated.  The probe-only intersection tail
+/// therefore engages once `|running| · RATIO < estimated candidates`, not
+/// at the implicit 1:1 break-even the previous cutoff assumed (which made
+/// probing engage ~50x too eagerly).  The cutoff is a pure performance
+/// decision: both paths compute the identical candidate set (pinned by
+/// `probe_and_materialise_paths_agree`).
+pub(crate) const PROBE_COST_RATIO: f64 = 50.0;
 
 impl MultiBlockIndex {
     /// Creates an empty index for a plan; entities arrive through
@@ -224,20 +259,36 @@ impl MultiBlockIndex {
     }
 
     /// Builds the index over an entity slice (positions are slice indices),
-    /// sharded across `threads` workers (0 = all cores).
-    ///
-    /// Each worker indexes one contiguous entity range into private per-leaf
-    /// maps; the per-key posting lists of consecutive ranges concatenate
-    /// into ascending order, so the merged index is **identical** to a
-    /// sequential build — same blocks, same posting lists, same
-    /// [`LeafBuildStats`].
+    /// sharded across `threads` workers (0 = all cores) — a thin wrapper
+    /// collecting references into [`MultiBlockIndex::build_refs`].
     pub fn build_slice<'e>(
         plan: impl Into<Arc<IndexingPlan>>,
         entities: &'e [Entity],
         cache: &ValueCache<'e>,
         threads: usize,
     ) -> MultiBlockIndex {
-        let threads = resolve_threads(threads).min(entities.len()).max(1);
+        let refs: Vec<&'e Entity> = entities.iter().collect();
+        MultiBlockIndex::build_refs(plan, &refs, cache, threads)
+    }
+
+    /// Builds the index over borrowed entity *references* (positions are
+    /// indices into `targets`), sharded across `threads` workers — the
+    /// common core behind [`MultiBlockIndex::build_slice`] and owners that
+    /// keep entities behind `Arc` slots (the serving `EntityStore`).
+    ///
+    /// Each worker indexes one contiguous entity range into private per-leaf
+    /// maps; the per-key posting lists of consecutive ranges concatenate
+    /// into ascending order, so the merged index is **identical** to a
+    /// sequential build — same blocks, same posting lists, same
+    /// [`LeafBuildStats`] — and to inserting the entities one by one at
+    /// their positions.
+    pub fn build_refs<'e>(
+        plan: impl Into<Arc<IndexingPlan>>,
+        targets: &[&'e Entity],
+        cache: &ValueCache<'e>,
+        threads: usize,
+    ) -> MultiBlockIndex {
+        let threads = resolve_threads(threads).min(targets.len()).max(1);
         let plan = plan.into();
         let eligible = probe_eligible_leaves(&plan);
         let fresh_leaves = || -> Vec<LeafIndex> {
@@ -248,12 +299,12 @@ impl MultiBlockIndex {
         };
         let mut leaves = fresh_leaves();
         if threads <= 1 {
-            build_range(&plan, entities, 0, &mut leaves, cache);
+            build_ref_range(&plan, targets, 0, &mut leaves, cache);
         } else {
-            let shard_size = entities.len().div_ceil(threads);
+            let shard_size = targets.len().div_ceil(threads);
             let mut shards: Vec<Vec<LeafIndex>> = Vec::with_capacity(threads);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = entities
+                let handles: Vec<_> = targets
                     .chunks(shard_size)
                     .enumerate()
                     .map(|(shard, chunk)| {
@@ -262,7 +313,7 @@ impl MultiBlockIndex {
                         scope.spawn(move || {
                             let mut leaves = fresh_leaves();
                             let base = (shard * shard_size) as u32;
-                            build_range(plan, chunk, base, &mut leaves, cache);
+                            build_ref_range(plan, chunk, base, &mut leaves, cache);
                             leaves
                         })
                     })
@@ -271,27 +322,50 @@ impl MultiBlockIndex {
                     shards.push(handle.join().expect("index build thread panicked"));
                 }
             });
-            // merge in range order: per-key lists are ascending within a
-            // shard and shard position ranges are disjoint and increasing,
-            // so concatenation keeps every posting list sorted (and the
-            // per-position key sidecars are disjoint outright)
-            for shard in shards {
-                for (merged, partial) in leaves.iter_mut().zip(shard) {
-                    merged.indexed_entities += partial.indexed_entities;
-                    for (key, list) in partial.by_key {
-                        merged.by_key.entry(key).or_default().extend(list);
-                    }
-                    merged.position_keys.extend(partial.position_keys);
-                }
-            }
-            for leaf in &mut leaves {
-                leaf.refresh_estimates();
-            }
+            merge_shards(&mut leaves, shards);
         }
         MultiBlockIndex {
             plan,
             leaves: leaves.into_iter().map(Arc::new).collect(),
-            target_len: entities.len(),
+            target_len: targets.len(),
+        }
+    }
+
+    /// A clone with every probe sidecar stripped, so the probe-only
+    /// intersection tail can never engage — the reference for pinning that
+    /// the cutoff decision does not affect candidate sets.
+    #[cfg(test)]
+    pub(crate) fn without_sidecars(&self) -> MultiBlockIndex {
+        let leaves = self
+            .leaves
+            .iter()
+            .map(|leaf| {
+                let mut leaf = (**leaf).clone();
+                leaf.sidecar = false;
+                leaf.position_keys.clear();
+                Arc::new(leaf)
+            })
+            .collect();
+        MultiBlockIndex {
+            plan: self.plan.clone(),
+            leaves,
+            target_len: self.target_len,
+        }
+    }
+
+    /// Reassembles an index from restored parts (the snapshot codec).  The
+    /// caller guarantees the leaves match the plan's comparisons one for
+    /// one.
+    pub(crate) fn from_parts(
+        plan: Arc<IndexingPlan>,
+        leaves: Vec<Arc<LeafIndex>>,
+        target_len: usize,
+    ) -> MultiBlockIndex {
+        debug_assert_eq!(plan.comparisons().len(), leaves.len());
+        MultiBlockIndex {
+            plan,
+            leaves,
+            target_len,
         }
     }
 
@@ -542,14 +616,17 @@ impl MultiBlockIndex {
                         // remaining children entirely
                         break;
                     }
-                    // probe-only tail: once the running set is smaller than a
-                    // leaf child's estimated candidate count, probing each
-                    // survivor ("does this position share a key?") through
-                    // the per-position key sidecar beats materialising the
-                    // leaf's full set — e.g. a name leaf emitting ~150k
-                    // candidates the phone leaf already cut to a few hundred
+                    // probe-only tail: once probing every survivor ("does
+                    // this position share a key?") through the per-position
+                    // key sidecar is cheaper than materialising the leaf's
+                    // full candidate set — per-item probe cost is
+                    // PROBE_COST_RATIO posting scans — e.g. a name leaf
+                    // emitting ~150k candidates the phone leaf already cut
+                    // to a few hundred
                     if let PlanNode::Leaf(leaf) = child {
-                        if self.leaves[*leaf].sidecar && (out.len() as f64) < self.estimate(child) {
+                        if self.leaves[*leaf].sidecar
+                            && (out.len() as f64) * PROBE_COST_RATIO < self.estimate(child)
+                        {
                             self.probe_leaf(*leaf, entity, cache, scratch, &mut out);
                             if let Some(count) = leaf_candidates.get_mut(*leaf) {
                                 *count += out.len();
@@ -598,17 +675,36 @@ impl MultiBlockIndex {
     }
 }
 
-/// Indexes one contiguous entity range into per-leaf maps; `base` is the
-/// global position of the first entity.
-fn build_range<'e>(
+/// Merges per-shard partial leaves into `leaves` **in range order**: per-key
+/// posting lists are ascending within a shard and shard position ranges are
+/// disjoint and increasing, so concatenation keeps every posting list sorted
+/// (and the per-position key sidecars are disjoint outright).
+fn merge_shards(leaves: &mut [LeafIndex], shards: Vec<Vec<LeafIndex>>) {
+    for shard in shards {
+        for (merged, partial) in leaves.iter_mut().zip(shard) {
+            merged.indexed_entities += partial.indexed_entities;
+            for (key, list) in partial.by_key {
+                merged.by_key.entry(key).or_default().extend(list);
+            }
+            merged.position_keys.extend(partial.position_keys);
+        }
+    }
+    for leaf in leaves {
+        leaf.refresh_estimates();
+    }
+}
+
+/// Indexes one contiguous range of entity references into per-leaf maps;
+/// `base` is the global position of the first entity.
+fn build_ref_range<'e>(
     plan: &IndexingPlan,
-    entities: &'e [Entity],
+    targets: &[&'e Entity],
     base: u32,
     leaves: &mut [LeafIndex],
     cache: &ValueCache<'e>,
 ) {
     let mut keys: Vec<BlockKey> = Vec::new();
-    for (offset, entity) in entities.iter().enumerate() {
+    for (offset, &entity) in targets.iter().enumerate() {
         let position = base + offset as u32;
         for (comparison, index) in plan.comparisons().iter().zip(leaves.iter_mut()) {
             entity_keys(comparison, entity, cache, &mut keys);
@@ -630,6 +726,10 @@ pub struct LeafReuseStats {
     pub hits: u64,
     /// Leaf indexes actually built.
     pub misses: u64,
+    /// The subset of `hits` answered by a leaf *retained from an earlier
+    /// generation* (see [`SharedLeafIndexes::retire`]): recurring elite
+    /// chains hitting across generation boundaries.
+    pub cross_generation_hits: u64,
     /// Leaf indexes currently cached.
     pub entries: usize,
 }
@@ -646,8 +746,26 @@ impl LeafReuseStats {
     }
 }
 
+/// The cache key: [`IndexedComparison::leaf_reuse_key`].
+type LeafKey = (u64, DistanceFunction, u64);
+
+/// One cached leaf with its retention bookkeeping.
+#[derive(Debug)]
+struct CachedLeaf {
+    leaf: Arc<LeafIndex>,
+    /// Generation the leaf was built in (never updated — a hit on a leaf
+    /// with `built_generation < current` is a cross-generation hit).
+    built_generation: u64,
+    /// Generation of the most recent request; [`SharedLeafIndexes::retire`]
+    /// drops entries that were not requested in the generation just ended.
+    last_used_generation: u64,
+    /// Total requests answered by this entry (the retention priority).
+    uses: u64,
+}
+
 /// A cache of per-comparison leaf indexes over **one fixed target entity
-/// pool**, shared across the rules of a GP generation.
+/// pool**, shared across the rules of a GP generation — and, for keys that
+/// recur, **across generations**.
 ///
 /// Keyed by [`IndexedComparison::leaf_reuse_key`] — `(target chain hash,
 /// measure, bound bucket)` — under which two comparisons are guaranteed to
@@ -655,13 +773,21 @@ impl LeafReuseStats {
 /// contains e.g. `levenshtein(lowerCase(name)) d≤1` reuses one inverted
 /// index instead of rebuilding it per rule.  The cache is *scoped to one
 /// entity pool*: callers must [`SharedLeafIndexes::clear`] it (or use a
-/// fresh one) whenever the pool changes; the learning loop additionally
-/// clears it per generation so dead chains do not accumulate.  Hit/miss
-/// counters are cumulative across clears and feed the `leaf_reuse` columns
-/// of the learning statistics.
-#[derive(Debug, Default)]
+/// fresh one) whenever the pool changes.
+///
+/// Generation boundaries go through [`SharedLeafIndexes::retire`]: leaves
+/// whose key was requested in the ending generation **survive** (elitism
+/// and fitness-proportional selection make the best rules — and their
+/// comparison chains — recur every generation, so their leaves would
+/// otherwise be rebuilt each time), bounded by a retention capacity; dead
+/// chains are dropped so mutation churn cannot accumulate memory.  Hit/miss
+/// counters are cumulative across retirements and clears and feed the
+/// `leaf_reuse` columns of the learning statistics;
+/// [`LeafReuseStats::cross_generation_hits`] isolates the hits retention
+/// added.
+#[derive(Debug)]
 pub struct SharedLeafIndexes {
-    leaves: Mutex<HashMap<(u64, DistanceFunction, u64), Arc<LeafIndex>>>,
+    leaves: Mutex<HashMap<LeafKey, CachedLeaf>>,
     /// Identity of the target pool the cached leaves index — `(length,
     /// hash of every entity address in order)`, recorded on first use.
     /// Leaf keys carry no pool identity (positions are relative to one
@@ -669,25 +795,81 @@ pub struct SharedLeafIndexes {
     /// reordered — pool would silently produce wrong candidates; the stamp
     /// turns that misuse into a panic.
     pool_stamp: Mutex<Option<(usize, u64)>>,
+    /// Current generation number; bumped by [`SharedLeafIndexes::retire`].
+    generation: AtomicU64,
+    /// Maximum entries surviving a [`SharedLeafIndexes::retire`].
+    retain_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    cross_generation_hits: AtomicU64,
+}
+
+/// Default retention bound: generously above the distinct comparison chains
+/// of a paper-sized population (a few dozen), small against the pool index
+/// memory a learning run already holds.
+const DEFAULT_RETAIN_CAPACITY: usize = 256;
+
+impl Default for SharedLeafIndexes {
+    fn default() -> Self {
+        SharedLeafIndexes::new()
+    }
 }
 
 impl SharedLeafIndexes {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default retention capacity.
     pub fn new() -> Self {
-        SharedLeafIndexes::default()
+        SharedLeafIndexes::with_retention(DEFAULT_RETAIN_CAPACITY)
     }
 
-    /// Drops every cached leaf index (the generation boundary, or a pool
-    /// change — the pool identity is forgotten together with the leaves).
-    /// Counters are cumulative and survive.
+    /// Creates an empty cache retaining at most `capacity` leaves across a
+    /// [`SharedLeafIndexes::retire`] boundary (0 restores the old
+    /// clear-every-generation behaviour).
+    pub fn with_retention(capacity: usize) -> Self {
+        SharedLeafIndexes {
+            leaves: Mutex::new(HashMap::new()),
+            pool_stamp: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            retain_capacity: capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cross_generation_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops every cached leaf index (a pool change — the pool identity is
+    /// forgotten together with the leaves).  Counters are cumulative and
+    /// survive.
     pub fn clear(&self) {
         self.leaves
             .lock()
             .expect("shared leaf cache poisoned")
             .clear();
         *self.pool_stamp.lock().expect("pool stamp poisoned") = None;
+    }
+
+    /// Marks a generation boundary.  Leaves requested in the generation just
+    /// ended are retained (their chains recurred, or were just built for a
+    /// live rule); all others are dropped.  If more survive than the
+    /// retention capacity, the most-used entries win (ties break on the key,
+    /// so retirement is deterministic).  Counters are cumulative and
+    /// survive; the pool identity is kept — retained leaves stay valid
+    /// because retention is only sound against the *same* pool, which the
+    /// pool stamp continues to enforce.
+    pub fn retire(&self) {
+        let ending = self.generation.fetch_add(1, Ordering::Relaxed);
+        let mut cached = self.leaves.lock().expect("shared leaf cache poisoned");
+        cached.retain(|_, entry| entry.last_used_generation == ending);
+        if cached.len() > self.retain_capacity {
+            let mut order: Vec<(u64, LeafKey)> =
+                cached.iter().map(|(key, e)| (e.uses, *key)).collect();
+            order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            let keep: HashSet<LeafKey> = order
+                .into_iter()
+                .take(self.retain_capacity)
+                .map(|(_, key)| key)
+                .collect();
+            cached.retain(|key, _| keep.contains(key));
+        }
     }
 
     /// Records the pool on first use and rejects any later use against a
@@ -717,12 +899,22 @@ impl SharedLeafIndexes {
         LeafReuseStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            cross_generation_hits: self.cross_generation_hits.load(Ordering::Relaxed),
             entries: self
                 .leaves
                 .lock()
                 .expect("shared leaf cache poisoned")
                 .len(),
         }
+    }
+
+    /// Records one answered request on an entry (hit bookkeeping shared by
+    /// the lookup paths).  Returns whether the hit crossed a generation
+    /// boundary.
+    fn touch(entry: &mut CachedLeaf, generation: u64) -> bool {
+        entry.last_used_generation = generation;
+        entry.uses += 1;
+        entry.built_generation < generation
     }
 
     /// Resolves the leaves of a whole generation's plans in one pass:
@@ -741,20 +933,28 @@ impl SharedLeafIndexes {
         threads: usize,
     ) {
         self.guard_pool(targets);
+        let generation = self.generation.load(Ordering::Relaxed);
         let mut pending: Vec<&IndexedComparison> = Vec::new();
-        let mut scheduled: HashSet<(u64, DistanceFunction, u64)> = HashSet::new();
+        let mut scheduled: HashMap<LeafKey, u64> = HashMap::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut cross = 0u64;
         {
-            let cached = self.leaves.lock().expect("shared leaf cache poisoned");
+            let mut cached = self.leaves.lock().expect("shared leaf cache poisoned");
             for plan in plans {
                 for comparison in plan.comparisons() {
                     let key = comparison.leaf_reuse_key();
-                    if cached.contains_key(&key) || scheduled.contains(&key) {
+                    if let Some(entry) = cached.get_mut(&key) {
                         hits += 1;
+                        if SharedLeafIndexes::touch(entry, generation) {
+                            cross += 1;
+                        }
+                    } else if let Some(uses) = scheduled.get_mut(&key) {
+                        hits += 1;
+                        *uses += 1;
                     } else {
                         misses += 1;
-                        scheduled.insert(key);
+                        scheduled.insert(key, 1);
                         pending.push(comparison);
                     }
                 }
@@ -762,6 +962,8 @@ impl SharedLeafIndexes {
         }
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
+        self.cross_generation_hits
+            .fetch_add(cross, Ordering::Relaxed);
         if pending.is_empty() {
             return;
         }
@@ -770,7 +972,14 @@ impl SharedLeafIndexes {
         });
         let mut cached = self.leaves.lock().expect("shared leaf cache poisoned");
         for (comparison, leaf) in pending.iter().zip(built) {
-            cached.entry(comparison.leaf_reuse_key()).or_insert(leaf);
+            let key = comparison.leaf_reuse_key();
+            let uses = scheduled.get(&key).copied().unwrap_or(1);
+            cached.entry(key).or_insert(CachedLeaf {
+                leaf,
+                built_generation: generation,
+                last_used_generation: generation,
+                uses,
+            });
         }
     }
 
@@ -786,14 +995,18 @@ impl SharedLeafIndexes {
         cache: &ValueCache<'e>,
     ) -> Arc<LeafIndex> {
         let key = comparison.leaf_reuse_key();
-        if let Some(leaf) = self
+        let generation = self.generation.load(Ordering::Relaxed);
+        if let Some(entry) = self
             .leaves
             .lock()
             .expect("shared leaf cache poisoned")
-            .get(&key)
+            .get_mut(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return leaf.clone();
+            if SharedLeafIndexes::touch(entry, generation) {
+                self.cross_generation_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return entry.leaf.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let leaf = Arc::new(build_leaf(comparison, targets, cache));
@@ -801,7 +1014,13 @@ impl SharedLeafIndexes {
             .lock()
             .expect("shared leaf cache poisoned")
             .entry(key)
-            .or_insert_with(|| leaf.clone())
+            .or_insert_with(|| CachedLeaf {
+                leaf: leaf.clone(),
+                built_generation: generation,
+                last_used_generation: generation,
+                uses: 1,
+            })
+            .leaf
             .clone()
     }
 
@@ -814,20 +1033,27 @@ impl SharedLeafIndexes {
         cache: &ValueCache<'e>,
     ) -> Arc<LeafIndex> {
         let key = comparison.leaf_reuse_key();
-        if let Some(leaf) = self
+        let generation = self.generation.load(Ordering::Relaxed);
+        if let Some(entry) = self
             .leaves
             .lock()
             .expect("shared leaf cache poisoned")
             .get(&key)
         {
-            return leaf.clone();
+            return entry.leaf.clone();
         }
         let leaf = Arc::new(build_leaf(comparison, targets, cache));
         self.leaves
             .lock()
             .expect("shared leaf cache poisoned")
             .entry(key)
-            .or_insert_with(|| leaf.clone())
+            .or_insert_with(|| CachedLeaf {
+                leaf: leaf.clone(),
+                built_generation: generation,
+                last_used_generation: generation,
+                uses: 1,
+            })
+            .leaf
             .clone()
     }
 }
@@ -835,7 +1061,7 @@ impl SharedLeafIndexes {
 /// Leaf indices the probe-only intersection tail can reach: the direct
 /// `Leaf` children of every `Intersect` node.  Only these leaves need the
 /// per-position key sidecar; all others skip its build and memory cost.
-fn probe_eligible_leaves(plan: &IndexingPlan) -> Vec<bool> {
+pub(crate) fn probe_eligible_leaves(plan: &IndexingPlan) -> Vec<bool> {
     fn walk(node: &PlanNode, eligible: &mut [bool]) {
         match node {
             PlanNode::Intersect(children) => {
@@ -1299,6 +1525,64 @@ mod tests {
     }
 
     #[test]
+    fn retire_keeps_recurring_leaves_and_drops_dead_ones() {
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let shared = SharedLeafIndexes::new();
+        let targets: Vec<&linkdisc_entity::Entity> = target.entities().iter().collect();
+        let name_rule: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let year_rule: LinkageRule = compare(
+            property("year"),
+            property("year"),
+            DistanceFunction::Numeric,
+            2.0,
+        )
+        .into();
+        // generation 1 uses both chains
+        let name_plan = Arc::new(plan(&name_rule, &source, &target));
+        let year_plan = Arc::new(plan(&year_rule, &source, &target));
+        let first = MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        MultiBlockIndex::build_shared(year_plan, &targets, &cache, &shared);
+        assert_eq!(shared.stats().entries, 2);
+        assert_eq!(shared.stats().cross_generation_hits, 0);
+
+        // generation 2 only recurs the name chain: the year leaf dies at
+        // the next boundary, the name leaf is answered without a rebuild
+        shared.retire();
+        let second = MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        let stats = shared.stats();
+        assert_eq!(stats.misses, 2, "no rebuild after retirement");
+        assert_eq!(stats.cross_generation_hits, 1);
+        assert!(
+            Arc::ptr_eq(&first.leaves[0], &second.leaves[0]),
+            "the retained leaf is literally the same allocation"
+        );
+        shared.retire();
+        assert_eq!(
+            shared.stats().entries,
+            1,
+            "the unused year leaf is dropped at the boundary"
+        );
+
+        // a zero-capacity cache degenerates to the old clear-per-generation
+        // behaviour
+        let unretained = SharedLeafIndexes::with_retention(0);
+        MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &unretained);
+        unretained.retire();
+        assert_eq!(unretained.stats().entries, 0);
+        MultiBlockIndex::build_shared(name_plan, &targets, &cache, &unretained);
+        let stats = unretained.stats();
+        assert_eq!(stats.misses, 2, "every generation rebuilds at capacity 0");
+        assert_eq!(stats.cross_generation_hits, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "different target pools")]
     fn shared_leaves_reject_a_different_target_pool() {
         let (source, target) = (source(), target());
@@ -1333,24 +1617,37 @@ mod tests {
         );
     }
 
-    #[test]
-    fn probe_only_tail_matches_materialised_intersection() {
-        // many targets share the name-leaf blocks, but only a few share the
-        // year bucket: after the (selective) year leaf runs, the running set
-        // is far below the name leaf's estimate and the probe tail engages
+    /// A fixture whose conjunction engages the probe tail: hundreds of
+    /// targets share the name-leaf blocks (estimate ≫ running set ×
+    /// [`PROBE_COST_RATIO`]) while only three share the query's year
+    /// bucket.
+    fn probe_fixture() -> DataSource {
         let mut builder = DataSourceBuilder::new("B", ["name", "year"]);
-        for i in 0..40 {
+        for i in 0..400 {
             let year = if i < 3 { "1237" } else { "1900" };
             builder = builder
                 .entity(format!("b{i}"), [("name", "berlin"), ("year", year)])
                 .unwrap();
         }
-        let target = builder.build();
+        builder.build()
+    }
+
+    #[test]
+    fn probe_only_tail_matches_materialised_intersection() {
+        // many targets share the name-leaf blocks, but only a few share the
+        // year bucket: after the (selective) year leaf runs, the running set
+        // is far below the name leaf's estimate over the calibrated cost
+        // ratio and the probe tail engages
+        let target = probe_fixture();
         let rule = name_year_rule();
         let source = source();
         let cache = ValueCache::new();
         let index = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
         let a0 = &source.entities()[0];
+        assert!(
+            3.0 * PROBE_COST_RATIO < index.estimate(&PlanNode::Leaf(0)),
+            "fixture must actually reach the probe branch"
+        );
         let candidates = index.candidate_positions(a0, &cache);
         assert_eq!(candidates, vec![0, 1, 2], "only the 1237 entities survive");
         // removing a probed entity updates the sidecar consistently
@@ -1359,6 +1656,113 @@ mod tests {
         assert_eq!(index.candidate_positions(a0, &cache), vec![0, 2]);
         index.insert(1, &target.entities()[1], &cache);
         assert_eq!(index.candidate_positions(a0, &cache), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn probe_and_materialise_paths_agree() {
+        // the cutoff is a pure performance decision: whatever
+        // PROBE_COST_RATIO decides, both paths must produce the identical
+        // candidate set.  Force the materialise path by stripping the
+        // sidecars (the probe branch requires one) and compare.
+        let target = probe_fixture();
+        let rule = name_year_rule();
+        let source = source();
+        let cache = ValueCache::new();
+        let probing = MultiBlockIndex::build(plan(&rule, &source, &target), &target, &cache);
+        let materialising = probing.without_sidecars();
+        for entity in source.entities() {
+            assert_eq!(
+                probing.candidate_positions(entity, &cache),
+                materialising.candidate_positions(entity, &cache)
+            );
+        }
+        // also at the cutoff boundary itself: a query whose running set
+        // size sits exactly at estimate / RATIO must agree too (year 1900
+        // matches 397 targets, far beyond the probe cutoff)
+        let boundary = DataSourceBuilder::new("A", ["name", "year"])
+            .entity("a9", [("name", "berlin"), ("year", "1900")])
+            .unwrap()
+            .build();
+        let wide = &boundary.entities()[0];
+        assert_eq!(
+            probing.candidate_positions(wide, &cache),
+            materialising.candidate_positions(wide, &cache)
+        );
+    }
+
+    /// One-off calibration behind [`PROBE_COST_RATIO`]: measures the
+    /// per-item cost of the two ways an `Intersect` can apply a leaf —
+    /// scanning its posting lists into the mark table (materialise) versus
+    /// probing each running candidate through the key sidecar.  Run with
+    /// `cargo test -p linkdisc-matching --release -- --ignored probe_cost`
+    /// and transplant the printed ratio into the constant when key schemes
+    /// or data structures change materially.
+    #[test]
+    #[ignore = "one-off calibration; run explicitly in release mode"]
+    fn probe_cost_calibration() {
+        use std::time::Instant;
+        // a synthetic leaf shaped like a q-gram name leaf: 50k positions,
+        // ~8 keys per position, block sizes in the hundreds
+        let positions = 50_000u32;
+        let keys_per_position = 8u64;
+        let blocks = 1_000u64;
+        let mut leaf = LeafIndex::with_sidecar(true);
+        for position in 0..positions {
+            for i in 0..keys_per_position {
+                // deterministic pseudo-spread over the key space
+                let raw = (position as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(i * 0x517c_c1b7_2722_0a95)
+                    % blocks;
+                leaf.add(BlockKey::from_raw(raw), position);
+            }
+        }
+        let query_keys: Vec<BlockKey> = (0..keys_per_position).map(BlockKey::from_raw).collect();
+        let mut marks = EpochMarks::default();
+        marks.ensure_capacity(positions as usize);
+        let rounds = 200;
+
+        // materialise: scan every posting list of the query keys
+        let mut scanned = 0u64;
+        let mut out: Vec<u32> = Vec::new();
+        let scan_start = Instant::now();
+        for _ in 0..rounds {
+            out.clear();
+            let epoch = marks.next_epoch();
+            for key in &query_keys {
+                if let Some(list) = leaf.by_key.get(key) {
+                    for &position in list {
+                        scanned += 1;
+                        if marks.mark_first(position as usize, epoch) {
+                            out.push(position);
+                        }
+                    }
+                }
+            }
+        }
+        let scan_ns = scan_start.elapsed().as_nanos() as f64 / scanned as f64;
+
+        // probe: ask every candidate whether it shares a key
+        let candidates: Vec<u32> = (0..positions).step_by(7).collect();
+        let mut probed = 0u64;
+        let mut survivors = 0usize;
+        let probe_start = Instant::now();
+        for _ in 0..rounds {
+            for &position in &candidates {
+                probed += 1;
+                if leaf.shares_key(position, &query_keys) {
+                    survivors += 1;
+                }
+            }
+        }
+        let probe_ns = probe_start.elapsed().as_nanos() as f64 / probed as f64;
+
+        println!(
+            "posting scan: {scan_ns:.2} ns/item ({scanned} scans), probe: {probe_ns:.2} ns/item \
+             ({probed} probes, {survivors} survivors) -> measured ratio {:.2} \
+             (PROBE_COST_RATIO = {PROBE_COST_RATIO})",
+            probe_ns / scan_ns
+        );
     }
 
     #[test]

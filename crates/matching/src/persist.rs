@@ -1,0 +1,668 @@
+//! Snapshot persistence for the serving layer: dump a [`ServiceWriter`]'s
+//! entity store and leaf maps to a versioned binary stream and restore them
+//! without re-deriving a single block key — restart becomes O(read) instead
+//! of O(build).
+//!
+//! # Format (version 1, little-endian)
+//!
+//! ```text
+//! magic    "LINKDSNP"            8 bytes
+//! version  u32                   bump on any layout or key-scheme change
+//! payload                        checksummed:
+//!   rule hash       u64          LinkageRule::canonical_hash at save time
+//!   link threshold  f64
+//!   target schema   [string]     property names, in order
+//!   entity store
+//!     slot_len      u32
+//!     string table  [string]     every distinct value, first-use order
+//!     entities      [(position u32, id string, per property [table index u32])]
+//!     free list     [u32]        tombstoned slots, recycle order preserved
+//!   index
+//!     leaves        [(indexed_entities u32, blocks [(key u64, postings [u32])])]
+//!                                blocks sorted by raw key (deterministic file)
+//! checksum  u64                  FNV-1a over the payload
+//! ```
+//!
+//! The **string table** interns values on disk the way the
+//! [`linkdisc_entity::EntityStore`] interns them in memory: a column value
+//! repeated across ten thousand entities is written once.  Restore feeds
+//! entities back through the store, so the in-memory interning is
+//! re-established too.
+//!
+//! # What restore guarantees
+//!
+//! A restored service is **bit-identical to a fresh build** over the same
+//! entity set: same leaf maps (block keys, posting lists, statistics — the
+//! probe sidecar and the `Σlen`/`Σlen²` selectivity sums are recomputed
+//! deterministically from the posting lists), same slot positions and free
+//! list (so subsequent inserts recycle the same slots), and therefore
+//! bit-identical query results (property-tested over random rules ×
+//! datasets).  The shared value cache starts cold and refills lazily — it
+//! is a pure memo, so this affects latency, never results.
+//!
+//! # What a snapshot is *not*
+//!
+//! The rule itself is configuration, not data: restore takes the rule from
+//! the caller and **validates** it against the saved canonical hash (plus
+//! schema and leaf-count checks), failing with [`SnapshotError::Mismatch`]
+//! rather than serving wrong candidates.  Block keys are 64-bit hashes
+//! produced by the in-process key derivation; a snapshot is portable across
+//! runs of the same build but not across versions that change the key
+//! schemes — which is exactly what the format version guards.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use linkdisc_entity::{Entity, EntityStore, Schema, ValueSet};
+use linkdisc_rule::{IndexingPlan, LinkageRule};
+use linkdisc_similarity::BlockKey;
+
+use crate::multiblock::{probe_eligible_leaves, LeafIndex, MultiBlockIndex};
+use crate::service::{LinkService, ServiceOptions, ServiceWriter};
+
+/// Current snapshot format version (see the module docs).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"LINKDSNP";
+
+/// Caps guarding the reader against nonsense lengths in corrupt input.
+const MAX_STRING_BYTES: usize = 1 << 24;
+const MAX_COUNT: usize = 1 << 28;
+
+/// Caps a `Vec::with_capacity` request from an untrusted element count so a
+/// few corrupt length bytes cannot demand gigabytes up front; genuine large
+/// payloads just grow past the cap as elements actually parse (truncated
+/// input fails with "truncated payload" long before that).
+fn bounded_capacity<T>(count: usize) -> usize {
+    const MAX_PREALLOC_BYTES: usize = 1 << 20;
+    count.min(MAX_PREALLOC_BYTES / std::mem::size_of::<T>().max(1))
+}
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The bytes are not a well-formed snapshot (bad magic, truncated
+    /// payload, checksum mismatch, implausible length).
+    Corrupt(String),
+    /// The snapshot is well-formed but does not belong to the given rule /
+    /// schema / format version.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot i/o error: {err}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::Mismatch(why) => write!(f, "snapshot mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(err: io::Error) -> Self {
+        SnapshotError::Io(err)
+    }
+}
+
+/// FNV-1a, the payload checksum (fast, dependency-free, catches the
+/// truncation and bit-rot cases a restart must not silently absorb).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A writer that checksums everything passing through it.
+struct Sink<W: Write> {
+    out: W,
+    crc: Fnv,
+}
+
+impl<W: Write> Sink<W> {
+    fn new(out: W) -> Self {
+        Sink {
+            out,
+            crc: Fnv::new(),
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.crc.update(bytes);
+        self.out.write_all(bytes)
+    }
+
+    fn u32(&mut self, value: u32) -> io::Result<()> {
+        self.bytes(&value.to_le_bytes())
+    }
+
+    fn u64(&mut self, value: u64) -> io::Result<()> {
+        self.bytes(&value.to_le_bytes())
+    }
+
+    fn f64(&mut self, value: f64) -> io::Result<()> {
+        self.bytes(&value.to_le_bytes())
+    }
+
+    fn string(&mut self, value: &str) -> io::Result<()> {
+        self.u32(value.len() as u32)?;
+        self.bytes(value.as_bytes())
+    }
+}
+
+/// A reader that checksums everything passing through it.
+struct Tap<R: Read> {
+    input: R,
+    crc: Fnv,
+}
+
+impl<R: Read> Tap<R> {
+    fn new(input: R) -> Self {
+        Tap {
+            input,
+            crc: Fnv::new(),
+        }
+    }
+
+    fn bytes(&mut self, buf: &mut [u8]) -> Result<(), SnapshotError> {
+        self.input
+            .read_exact(buf)
+            .map_err(|_| SnapshotError::Corrupt("truncated payload".into()))?;
+        self.crc.update(buf);
+        Ok(())
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let mut buf = [0u8; 4];
+        self.bytes(&mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut buf = [0u8; 8];
+        self.bytes(&mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        let mut buf = [0u8; 8];
+        self.bytes(&mut buf)?;
+        Ok(f64::from_le_bytes(buf))
+    }
+
+    fn count(&mut self) -> Result<usize, SnapshotError> {
+        let count = self.u32()? as usize;
+        if count > MAX_COUNT {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible element count {count}"
+            )));
+        }
+        Ok(count)
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STRING_BYTES {
+            return Err(SnapshotError::Corrupt(format!(
+                "implausible string length {len}"
+            )));
+        }
+        let mut buf = vec![0u8; len];
+        self.bytes(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| SnapshotError::Corrupt("non-utf8 string".into()))
+    }
+}
+
+impl ServiceWriter {
+    /// Writes a versioned snapshot of the served state (entity store + leaf
+    /// maps) to `out`.  The writer is untouched; readers keep serving.
+    pub fn save_snapshot<W: Write>(&self, out: W) -> Result<(), SnapshotError> {
+        let mut sink = Sink::new(out);
+        sink.out.write_all(MAGIC)?;
+        sink.out.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+
+        let store = self.store();
+        let schema = store.schema();
+        let index = self.index();
+
+        sink.u64(self.rule().canonical_hash())?;
+        sink.f64(self.link_threshold())?;
+        sink.u32(schema.len() as u32)?;
+        for property in schema.properties() {
+            sink.string(property)?;
+        }
+
+        // entity store: a first pass assigns string-table slots in
+        // deterministic (position, property, value) order, a second writes
+        // the entities as table references
+        sink.u32(store.slot_len() as u32)?;
+        let mut table: Vec<&str> = Vec::new();
+        let mut slot_of: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        for (_, entity) in store.iter() {
+            for property_index in 0..schema.len() {
+                for value in entity.values_at(property_index) {
+                    slot_of.entry(value.as_str()).or_insert_with(|| {
+                        table.push(value);
+                        (table.len() - 1) as u32
+                    });
+                }
+            }
+        }
+        sink.u32(table.len() as u32)?;
+        for value in &table {
+            sink.string(value)?;
+        }
+        sink.u32(store.len() as u32)?;
+        for (position, entity) in store.iter() {
+            sink.u32(position)?;
+            sink.string(entity.id())?;
+            for property_index in 0..schema.len() {
+                let values = entity.values_at(property_index);
+                sink.u32(values.len() as u32)?;
+                for value in values {
+                    sink.u32(slot_of[value.as_str()])?;
+                }
+            }
+        }
+        sink.u32(store.free_slots().len() as u32)?;
+        for &position in store.free_slots() {
+            sink.u32(position)?;
+        }
+
+        // leaf maps, blocks sorted by raw key for a deterministic file
+        sink.u32(index.leaves.len() as u32)?;
+        for leaf in &index.leaves {
+            sink.u32(leaf.indexed_entities as u32)?;
+            let mut blocks: Vec<(&BlockKey, &Vec<u32>)> = leaf.by_key.iter().collect();
+            blocks.sort_unstable_by_key(|(key, _)| key.raw());
+            sink.u32(blocks.len() as u32)?;
+            for (key, postings) in blocks {
+                sink.u64(key.raw())?;
+                sink.u32(postings.len() as u32)?;
+                for &position in postings {
+                    sink.u32(position)?;
+                }
+            }
+        }
+
+        let checksum = sink.crc.0;
+        sink.out.write_all(&checksum.to_le_bytes())?;
+        sink.out.flush()?;
+        Ok(())
+    }
+
+    /// Restores a writer from a snapshot previously written by
+    /// [`ServiceWriter::save_snapshot`] for the *same rule* (validated
+    /// against the saved canonical hash).  The link threshold is taken from
+    /// the snapshot — the leaf maps were derived under it;
+    /// [`ServiceOptions::threads`] is irrelevant because nothing is
+    /// rebuilt.  The restored state is bit-identical to a fresh build over
+    /// the saved entities (see the module docs).
+    pub fn restore<R: Read>(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        input: R,
+    ) -> Result<ServiceWriter, SnapshotError> {
+        let mut tap = Tap::new(input);
+
+        let mut magic = [0u8; 8];
+        tap.input
+            .read_exact(&mut magic)
+            .map_err(|_| SnapshotError::Corrupt("missing magic".into()))?;
+        if &magic != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic".into()));
+        }
+        let mut version = [0u8; 4];
+        tap.input
+            .read_exact(&mut version)
+            .map_err(|_| SnapshotError::Corrupt("missing version".into()))?;
+        let version = u32::from_le_bytes(version);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            )));
+        }
+
+        let saved_rule_hash = tap.u64()?;
+        if saved_rule_hash != rule.canonical_hash() {
+            return Err(SnapshotError::Mismatch(
+                "snapshot was saved for a different rule".into(),
+            ));
+        }
+        let link_threshold = tap.f64()?;
+        let property_count = tap.count()?;
+        let mut properties = Vec::with_capacity(bounded_capacity::<String>(property_count));
+        for _ in 0..property_count {
+            properties.push(tap.string()?);
+        }
+        let target_schema = Arc::new(Schema::new(properties));
+
+        // entity store.  Every structural claim of the (untrusted) payload
+        // is validated *here*, with a SnapshotError — the EntityStore's own
+        // occupancy/free-list assertions guard programmer misuse and must
+        // never be reachable from corrupt bytes.
+        let slot_len = tap.count()?;
+        let table_len = tap.count()?;
+        let mut table = Vec::with_capacity(bounded_capacity::<String>(table_len));
+        for _ in 0..table_len {
+            table.push(tap.string()?);
+        }
+        let mut store = EntityStore::new(target_schema.clone());
+        let mut occupied = std::collections::HashSet::new();
+        let live = tap.count()?;
+        for _ in 0..live {
+            let position = tap.u32()?;
+            if position as usize >= slot_len {
+                return Err(SnapshotError::Corrupt(format!(
+                    "entity position {position} beyond slot table"
+                )));
+            }
+            if !occupied.insert(position) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "slot {position} holds two entities"
+                )));
+            }
+            let id = tap.string()?;
+            let mut values: Vec<ValueSet> = Vec::with_capacity(target_schema.len());
+            for _ in 0..target_schema.len() {
+                let count = tap.count()?;
+                let mut set = Vec::with_capacity(bounded_capacity::<String>(count));
+                for _ in 0..count {
+                    let slot = tap.u32()? as usize;
+                    let value = table.get(slot).ok_or_else(|| {
+                        SnapshotError::Corrupt(format!("string table index {slot} out of range"))
+                    })?;
+                    set.push(value.clone());
+                }
+                values.push(set);
+            }
+            let entity = Entity::new(id, target_schema.clone(), values);
+            store
+                .insert_at(position, &entity)
+                .map_err(|err| SnapshotError::Corrupt(format!("duplicate entity: {err}")))?;
+        }
+        let free_len = tap.count()?;
+        let mut free = Vec::with_capacity(bounded_capacity::<u32>(free_len));
+        for _ in 0..free_len {
+            let position = tap.u32()?;
+            if position as usize >= slot_len || !occupied.insert(position) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "free slot {position} is out of range, occupied, or listed twice"
+                )));
+            }
+            free.push(position);
+        }
+        if store.len() + free.len() != slot_len {
+            return Err(SnapshotError::Corrupt(
+                "live entities and free slots do not cover the slot table".into(),
+            ));
+        }
+        store.set_free_slots(free);
+
+        // leaf maps
+        let plan = Arc::new(
+            IndexingPlan::lower(&rule, source_schema, &target_schema, link_threshold)
+                .canonicalized(),
+        );
+        let eligible = probe_eligible_leaves(&plan);
+        let leaf_count = tap.count()?;
+        if leaf_count != plan.comparisons().len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot holds {leaf_count} leaf maps, the rule's plan expects {}",
+                plan.comparisons().len()
+            )));
+        }
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for &sidecar in eligible.iter().take(leaf_count) {
+            let mut leaf = LeafIndex::with_sidecar(sidecar);
+            leaf.indexed_entities = tap.count()?;
+            let blocks = tap.count()?;
+            for _ in 0..blocks {
+                let key = BlockKey::from_raw(tap.u64()?);
+                let postings_len = tap.count()?;
+                let mut postings = Vec::with_capacity(bounded_capacity::<u32>(postings_len));
+                let mut previous: Option<u32> = None;
+                for _ in 0..postings_len {
+                    let position = tap.u32()?;
+                    if position as usize >= slot_len || previous.is_some_and(|p| p >= position) {
+                        return Err(SnapshotError::Corrupt(
+                            "posting list not strictly ascending within the slot table".into(),
+                        ));
+                    }
+                    previous = Some(position);
+                    postings.push(position);
+                }
+                leaf.by_key.insert(key, postings);
+            }
+            leaf.refresh_estimates();
+            leaf.rebuild_sidecar();
+            leaves.push(Arc::new(leaf));
+        }
+
+        let computed = tap.crc.0;
+        let mut stored = [0u8; 8];
+        tap.input
+            .read_exact(&mut stored)
+            .map_err(|_| SnapshotError::Corrupt("missing checksum".into()))?;
+        if u64::from_le_bytes(stored) != computed {
+            return Err(SnapshotError::Corrupt("checksum mismatch".into()));
+        }
+
+        let index = MultiBlockIndex::from_parts(plan, leaves, slot_len);
+        Ok(ServiceWriter::from_restored(
+            rule,
+            source_schema,
+            &target_schema,
+            ServiceOptions {
+                link_threshold,
+                threads: 0,
+            },
+            store,
+            index,
+        ))
+    }
+}
+
+impl LinkService {
+    /// Writes a versioned snapshot of the served state — see
+    /// [`ServiceWriter::save_snapshot`].
+    pub fn save_snapshot<W: Write>(&self, out: W) -> Result<(), SnapshotError> {
+        self.writer().save_snapshot(out)
+    }
+
+    /// Restores a service from a snapshot — see [`ServiceWriter::restore`].
+    pub fn restore<R: Read>(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        input: R,
+    ) -> Result<LinkService, SnapshotError> {
+        Ok(ServiceWriter::restore(rule, source_schema, input)?.into_service())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceOptions;
+    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, AggregationFunction, DistanceFunction,
+        TransformFunction,
+    };
+
+    fn target() -> linkdisc_entity::DataSource {
+        DataSourceBuilder::new("B", ["name", "year"])
+            .entity("b0", [("name", "berlin"), ("year", "1237")])
+            .unwrap()
+            .entity("b1", [("name", "berlim"), ("year", "1237")])
+            .unwrap()
+            .entity("b2", [("name", "paris"), ("year", "0250")])
+            .unwrap()
+            .build()
+    }
+
+    fn source() -> linkdisc_entity::DataSource {
+        DataSourceBuilder::new("A", ["name", "year"])
+            .entity("a0", [("name", "Berlin"), ("year", "1237")])
+            .unwrap()
+            .entity("a1", [("name", "paris"), ("year", "0250")])
+            .unwrap()
+            .build()
+    }
+
+    fn rule() -> LinkageRule {
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    transform(TransformFunction::LowerCase, vec![property("name")]),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(
+                    property("year"),
+                    property("year"),
+                    DistanceFunction::Numeric,
+                    2.0,
+                ),
+            ],
+        )
+        .into()
+    }
+
+    fn snapshot_of(service: &LinkService) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        service.save_snapshot(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn round_trip_preserves_stats_queries_and_slot_discipline() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        service.remove("b1");
+        let bytes = snapshot_of(&service);
+        let restored = LinkService::restore(rule(), source.schema(), &bytes[..]).unwrap();
+        assert_eq!(restored.len(), service.len());
+        assert_eq!(restored.stats(), service.stats());
+        assert_eq!(restored.store().free_slots(), service.store().free_slots());
+        for entity in source.entities() {
+            assert_eq!(restored.query(entity), service.query(entity));
+        }
+        // subsequent mutations behave identically (same slot recycled)
+        let mut restored = restored;
+        let a = service.insert(&target.entities()[1]).unwrap();
+        let b = restored.insert(&target.entities()[1]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(restored.stats(), service.stats());
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        assert_eq!(snapshot_of(&service), snapshot_of(&service));
+        // a rebuilt service over the same data writes the same bytes
+        let again = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        assert_eq!(snapshot_of(&service), snapshot_of(&again));
+    }
+
+    #[test]
+    fn restore_rejects_the_wrong_rule() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let bytes = snapshot_of(&service);
+        let other: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            3.0,
+        )
+        .into();
+        let err = LinkService::restore(other, source.schema(), &bytes[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let bytes = snapshot_of(&service);
+        // truncation
+        let err =
+            LinkService::restore(rule(), source.schema(), &bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+        // any flipped byte must yield an error — via the checksum or an
+        // earlier structural check — and never a panic or wild allocation,
+        // wherever it lands (counts, positions, free list, table indices)
+        for at in (0..bytes.len()).step_by(7) {
+            for bit in [0x01, 0x80] {
+                let mut flipped = bytes.clone();
+                flipped[at] ^= bit;
+                assert!(
+                    LinkService::restore(rule(), source.schema(), &flipped[..]).is_err(),
+                    "flipping byte {at} (bit {bit:#x}) must not restore silently"
+                );
+            }
+        }
+        // bad magic
+        let mut wrong = bytes;
+        wrong[0] ^= 0xff;
+        let err = LinkService::restore(rule(), source.schema(), &wrong[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)));
+    }
+
+    #[test]
+    fn empty_and_exhaustive_services_round_trip() {
+        let (source, target) = (source(), target());
+        let empty = LinkService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            ServiceOptions::default(),
+        );
+        let restored =
+            LinkService::restore(rule(), source.schema(), &snapshot_of(&empty)[..]).unwrap();
+        assert!(restored.is_empty());
+        // an unprunable rule has no leaves — only the store round-trips
+        let jaro: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Jaro,
+            2.0,
+        )
+        .into();
+        let service = LinkService::build(
+            jaro.clone(),
+            source.schema(),
+            &target,
+            ServiceOptions::default(),
+        );
+        assert!(service.stats().is_empty());
+        let restored =
+            LinkService::restore(jaro, source.schema(), &snapshot_of(&service)[..]).unwrap();
+        assert_eq!(restored.len(), 3);
+        for entity in source.entities() {
+            assert_eq!(restored.query(entity), service.query(entity));
+        }
+    }
+}

@@ -1,52 +1,82 @@
-//! `LinkService`: a long-lived, incrementally maintained serving front-end
-//! for one linkage rule.
+//! The serving layer: a long-lived, concurrently readable and incrementally
+//! writable front-end for one linkage rule.
 //!
 //! The [`crate::MatchingEngine`] answers "link these two sources" as a batch
 //! job; production traffic instead asks "which targets match *this one
 //! entity*, right now?" at interactive latency, against a target set that
-//! changes over time.  A [`LinkService`] holds everything such queries need,
-//! built once and reused across every query:
+//! changes over time — while other threads keep querying.  The layer splits
+//! into three types:
 //!
-//! * the **compiled rule** ([`CompiledRule`]) for fast pair scoring,
-//! * its **indexing plan** and the [`MultiBlockIndex`] executing it
-//!   (sharded build at construction, [`LinkService::insert`] /
-//!   [`LinkService::remove`] / [`LinkService::ingest`] afterwards),
-//! * a **shared [`ValueCache`]** memoizing the target side's transform
-//!   chains: a chain computed while indexing a target entity is reused every
-//!   time a query scores that entity, for the whole life of the service.
+//! * [`ServiceWriter`] — owns the mutable state: an
+//!   [`EntityStore`] (owned entities, stable recycled `u32` slots, interned
+//!   values) and a working [`MultiBlockIndex`].  Every `insert` / `remove` /
+//!   `ingest` mutates the working state and **publishes a new epoch**: an
+//!   immutable `(index, entity snapshot)` pair behind an
+//!   [`EpochCell`] swap.  Publication is copy-on-write at two
+//!   granularities — index leaves are `Arc`ed (a mutation deep-copies only
+//!   the leaves it touches, and only while an epoch still shares them) and
+//!   the entity slot table is chunked (a mutation copies one chunk, a
+//!   snapshot clones the chunk spine).  Note the cost model this implies:
+//!   after *any* publication every leaf is epoch-shared, so the next
+//!   mutation's copy-on-write pays O(size of each leaf the entity's keys
+//!   touch) — per `insert`/`remove` when publishing per op, once per batch
+//!   under [`ServiceWriter::ingest`], which is the write-heavy path to
+//!   prefer on large served sets (coalescing single ops is a ROADMAP
+//!   follow-on).
+//! * [`ServiceReader`] — a cheaply cloneable query handle (one per thread).
+//!   Each query pins the current epoch (one atomic version check; a short
+//!   lock + `Arc` clone only when the writer actually published) and runs
+//!   entirely against that snapshot: candidate generation, slot resolution
+//!   and scoring all see one consistent state, no matter how the writer
+//!   churns meanwhile.  The hot path ([`ServiceReader::query_with`]) stays
+//!   **allocation-free** in the steady state.
+//! * [`LinkService`] — the single-threaded facade over a writer/reader pair,
+//!   preserving the original construct-ingest-query API; call
+//!   [`LinkService::split`] to move to concurrent operation.
 //!
-//! # Lifetimes and soundness
+//! # The shared value cache and why it stays sound
 //!
-//! The service *borrows* its target entities (`LinkService<'t>`) instead of
-//! owning them.  This is what makes the long-lived shared cache sound: the
-//! cache memoizes per entity **address**, and because every entity the
-//! service ever sees outlives the service itself (`'t`), a removed entity's
-//! address can never be reused by a new allocation while its stale cache
-//! entries are still visible.  Callers keep the entity arena (usually a
-//! [`DataSource`], or chunk buffers for streamed ingestion) alive alongside
-//! the service.
+//! All epochs share one [`PinnedValueCache`] memoizing target-side transform
+//! chains by entity *address*.  The address invariant (an address never
+//! serves a different entity while entries for it are visible) is upheld
+//! dynamically: entities are pinned by `Arc` (store + every epoch), the
+//! writer *evicts* an entity's entries on `remove`, and *defensively evicts*
+//! a fresh entity's address on `insert` before indexing it.  Readers may
+//! repopulate entries for entities of older epochs they still pin — harmless,
+//! because an address can only be recycled by the allocator after every
+//! epoch holding the old entity is gone, at which point no reader can write
+//! stale entries anymore and the writer's insert-time eviction has cleared
+//! any it left behind.  The writer additionally **warms** each inserted
+//! entity's chains so concurrent readers score from a hot cache.
 //!
-//! # Query path
+//! Entries a lagging reader re-memoized for a since-removed entity are
+//! orphaned until the allocator reuses that address for a stored entity
+//! (insert-time eviction) or the cache's per-shard capacity valve clears
+//! the shard — so under concurrent churn
+//! [`ServiceWriter::cached_chain_entries`] tracks the live set plus a
+//! *bounded* number of orphans, rather than the exact live set the old
+//! single-threaded service maintained (and the single-writer facade still
+//! maintains).
 //!
-//! [`LinkService::query_with`] is the hot path: candidate generation runs on
-//! the caller's pooled [`CandidateScratch`] (no per-query allocation once
-//! warm), the per-query [`ValueCache`] for the query entity's own transform
-//! chains is allocation-free to construct, and results land in a reusable
-//! `(position, score)` buffer.  Transform-free rules serve queries without
-//! touching the allocator at all; rules with transforms allocate only the
-//! query entity's transformed values.  [`LinkService::query`] wraps this
-//! with identifier materialisation and score-descending order.
+//! # Persistence
+//!
+//! [`crate::persist`] dumps the entity store and the leaf maps to a
+//! versioned binary snapshot and restores them without re-deriving a single
+//! block key — restart is O(read) instead of O(build), and the restored
+//! service is bit-identical to a fresh build (links, stats, query results).
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use linkdisc_entity::{DataSource, Entity, EntityError, Schema};
-use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_entity::{DataSource, Entity, EntityError, EntitySnapshot, EntityStore, Schema};
+use linkdisc_rule::{
+    CompiledRule, IndexingPlan, LinkageRule, PinnedValueCache, ValueCache, LINK_THRESHOLD,
+};
+use linkdisc_util::{EpochCell, EpochReader};
 
 use crate::engine::ScoredLink;
 use crate::multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};
 
-/// Construction options of a [`LinkService`].
+/// Construction options of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceOptions {
     /// Similarity a target must reach to be reported (Definition 3: 0.5).
@@ -64,42 +94,55 @@ impl Default for ServiceOptions {
     }
 }
 
-/// A serving index over a mutable set of target entities: answers
-/// single-entity match queries for one rule (see the module docs).
-pub struct LinkService<'t> {
+/// One published epoch: an immutable `(index, entities)` snapshot readers
+/// pin for the duration of a query.
+#[derive(Debug)]
+pub(crate) struct ServiceEpoch {
+    pub(crate) index: MultiBlockIndex,
+    pub(crate) entities: EntitySnapshot,
+}
+
+/// State shared between the writer and every reader.
+#[derive(Debug)]
+struct ServiceShared {
     rule: LinkageRule,
     compiled: CompiledRule,
-    index: MultiBlockIndex,
-    /// Target entities by index position; `None` marks a removed slot
-    /// (reused by later inserts).
-    slots: Vec<Option<&'t Entity>>,
-    by_id: HashMap<String, u32>,
-    free: Vec<u32>,
-    cache: ValueCache<'t>,
-    /// Every target-side chain hash the compiled rule can memoize under —
-    /// the `(entity, hash)` keys to evict when a target entity is removed,
-    /// so a long-lived service's cache tracks its *live* entity set instead
-    /// of everything it ever served.
-    target_chain_hashes: Vec<u64>,
+    /// Target-side transform memo, shared across all epochs (see the module
+    /// docs for the address-invariant argument).
+    cache: PinnedValueCache,
     link_threshold: f64,
+    epochs: Arc<EpochCell<ServiceEpoch>>,
     scratch_pool: Mutex<Vec<CandidateScratch>>,
 }
 
-impl std::fmt::Debug for LinkService<'_> {
+/// The single mutating owner of a serving index (see the module docs).
+pub struct ServiceWriter {
+    shared: Arc<ServiceShared>,
+    store: EntityStore,
+    /// The writer's working index.  Leaves are `Arc`-shared with published
+    /// epochs; `Arc::make_mut` inside insert/remove copies exactly the
+    /// leaves a mutation touches.
+    index: MultiBlockIndex,
+    /// Every target-side chain hash the compiled rule can memoize under —
+    /// the `(entity, hash)` keys to evict when a target entity is removed
+    /// (and to clear defensively when a slot's address gets a new tenant).
+    target_chain_hashes: Vec<u64>,
+}
+
+impl std::fmt::Debug for ServiceWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LinkService")
-            .field("rule", &self.rule)
+        f.debug_struct("ServiceWriter")
+            .field("rule", &self.shared.rule)
             .field("entities", &self.len())
-            .field("link_threshold", &self.link_threshold)
+            .field("epoch", &self.shared.epochs.version())
             .finish()
     }
 }
 
-impl<'t> LinkService<'t> {
-    /// Creates a service with no target entities yet; populate it through
-    /// [`LinkService::ingest`] / [`LinkService::insert`] (streamed
-    /// construction).  `source_schema` is the schema of future *query*
-    /// entities.
+impl ServiceWriter {
+    /// Creates a writer with no target entities yet; populate it through
+    /// [`ServiceWriter::ingest`] / [`ServiceWriter::insert`].
+    /// `source_schema` is the schema of future *query* entities.
     pub fn empty(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
@@ -108,28 +151,18 @@ impl<'t> LinkService<'t> {
     ) -> Self {
         let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
             .canonicalized();
-        let compiled = CompiledRule::compile(&rule, source_schema, target_schema);
-        let target_chain_hashes = evictable_hashes(&compiled);
-        LinkService {
-            rule,
-            compiled,
-            index: MultiBlockIndex::empty(plan),
-            slots: Vec::new(),
-            by_id: HashMap::new(),
-            free: Vec::new(),
-            cache: ValueCache::new(),
-            target_chain_hashes,
-            link_threshold: options.link_threshold,
-            scratch_pool: Mutex::new(Vec::new()),
-        }
+        let index = MultiBlockIndex::empty(plan);
+        let store = EntityStore::new(target_schema.clone());
+        ServiceWriter::assemble(rule, source_schema, target_schema, options, store, index)
     }
 
-    /// Builds a service over a materialised target source, sharding the
-    /// index build across [`ServiceOptions::threads`] workers.
+    /// Builds a writer over a materialised target source: entities are
+    /// copied into the owned store (values interned) and the index is built
+    /// sharded across [`ServiceOptions::threads`] workers.
     pub fn build(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
-        target: &'t DataSource,
+        target: &DataSource,
         options: ServiceOptions,
     ) -> Self {
         let plan = IndexingPlan::lower(
@@ -139,52 +172,122 @@ impl<'t> LinkService<'t> {
             options.link_threshold,
         )
         .canonicalized();
-        let cache = ValueCache::new();
-        let index = MultiBlockIndex::build_slice(plan, target.entities(), &cache, options.threads);
-        let compiled = CompiledRule::compile(&rule, source_schema, target.schema());
+        let store = EntityStore::from_entities(target.schema().clone(), target.entities())
+            .expect("a DataSource has unique entity ids");
+        let cache = PinnedValueCache::new();
+        let index = {
+            let targets: Vec<&Entity> = store.iter().map(|(_, entity)| entity.as_ref()).collect();
+            MultiBlockIndex::build_refs(Arc::new(plan), &targets, cache.scoped(), options.threads)
+        };
+        // the construction-time epoch (version 0) already carries the fully
+        // built state — no extra publication needed
+        ServiceWriter::assemble_with_cache(
+            rule,
+            source_schema,
+            target.schema(),
+            options,
+            store,
+            index,
+            cache,
+        )
+    }
+
+    /// Restores a writer from already-reconstructed parts (the snapshot
+    /// codec's entry point; the cache starts cold and refills lazily).
+    pub(crate) fn from_restored(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+        store: EntityStore,
+        index: MultiBlockIndex,
+    ) -> Self {
+        ServiceWriter::assemble(rule, source_schema, target_schema, options, store, index)
+    }
+
+    fn assemble(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+        store: EntityStore,
+        index: MultiBlockIndex,
+    ) -> Self {
+        ServiceWriter::assemble_with_cache(
+            rule,
+            source_schema,
+            target_schema,
+            options,
+            store,
+            index,
+            PinnedValueCache::new(),
+        )
+    }
+
+    fn assemble_with_cache(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+        store: EntityStore,
+        index: MultiBlockIndex,
+        cache: PinnedValueCache,
+    ) -> Self {
+        let compiled = CompiledRule::compile(&rule, source_schema, target_schema);
         let target_chain_hashes = evictable_hashes(&compiled);
-        LinkService {
+        let epoch = ServiceEpoch {
+            index: index.clone(),
+            entities: store.snapshot(),
+        };
+        let shared = Arc::new(ServiceShared {
             rule,
             compiled,
-            index,
-            slots: target.entities().iter().map(Some).collect(),
-            by_id: target
-                .entities()
-                .iter()
-                .enumerate()
-                .map(|(position, entity)| (entity.id().to_string(), position as u32))
-                .collect(),
-            free: Vec::new(),
             cache,
-            target_chain_hashes,
             link_threshold: options.link_threshold,
+            epochs: Arc::new(EpochCell::new(Arc::new(epoch))),
             scratch_pool: Mutex::new(Vec::new()),
+        });
+        ServiceWriter {
+            shared,
+            store,
+            index,
+            target_chain_hashes,
         }
     }
 
     /// The rule this service executes.
     pub fn rule(&self) -> &LinkageRule {
-        &self.rule
+        &self.shared.rule
     }
 
     /// Number of live target entities.
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.store.len()
     }
 
     /// Returns `true` when no target entity is indexed.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.store.is_empty()
     }
 
     /// Returns `true` if a target with this identifier is currently served.
     pub fn contains(&self, id: &str) -> bool {
-        self.by_id.contains_key(id)
+        self.store.contains(id)
     }
 
     /// The target entity currently served at an index position.
-    pub fn at(&self, position: u32) -> Option<&'t Entity> {
-        self.slots.get(position as usize).copied().flatten()
+    pub fn at(&self, position: u32) -> Option<Arc<Entity>> {
+        self.store.get(position).cloned()
+    }
+
+    /// The owned entity store (positions, free list, interning statistics).
+    pub fn store(&self) -> &EntityStore {
+        &self.store
+    }
+
+    /// The working index (exact at all times; the snapshot codec reads it).
+    pub(crate) fn index(&self) -> &MultiBlockIndex {
+        &self.index
     }
 
     /// Build statistics of the underlying index, one entry per indexed
@@ -193,70 +296,147 @@ impl<'t> LinkService<'t> {
         self.index.build_stats()
     }
 
-    /// Adds one target entity, indexing it incrementally.  Returns its index
-    /// position; fails on a duplicate identifier.
-    pub fn insert(&mut self, entity: &'t Entity) -> Result<u32, EntityError> {
-        if self.by_id.contains_key(entity.id()) {
-            return Err(EntityError::DuplicateEntity(entity.id().to_string()));
-        }
-        let position = match self.free.pop() {
-            Some(position) => position,
-            None => {
-                self.slots.push(None);
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.slots[position as usize] = Some(entity);
-        self.by_id.insert(entity.id().to_string(), position);
-        self.index.insert(position, entity, &self.cache);
-        Ok(position)
-    }
-
-    /// Streamed ingestion: adds a chunk of target entities.  Equivalent to
-    /// inserting them one by one; the resulting index is structurally
-    /// identical to a batch build over the same final entity set.
-    pub fn ingest(&mut self, entities: &'t [Entity]) -> Result<usize, EntityError> {
-        for entity in entities {
-            self.insert(entity)?;
-        }
-        Ok(entities.len())
-    }
-
-    /// Removes a target entity by identifier, un-indexing its postings (the
-    /// slot is recycled by later inserts) and evicting its memoized
-    /// transform chains from the shared value cache — a long-lived service
-    /// under entity churn holds cache entries for its live entities only.
-    /// Returns `false` when the id is not served.
-    pub fn remove(&mut self, id: &str) -> bool {
-        let Some(position) = self.by_id.remove(id) else {
-            return false;
-        };
-        let entity = self.slots[position as usize]
-            .take()
-            .expect("a mapped identifier always has a live slot");
-        // un-index first: locating the postings recomputes the entity's
-        // block keys through the cache entries about to be evicted
-        self.index.remove(position, entity, &self.cache);
-        self.cache.evict(entity, &self.target_chain_hashes);
-        self.free.push(position);
-        true
+    /// The version of the most recently published epoch.  Starts at 0 (the
+    /// construction-time epoch) and increases by exactly 1 per publication
+    /// (`insert` and `remove` publish once each, `ingest` once per call).
+    pub fn version(&self) -> u64 {
+        self.shared.epochs.version()
     }
 
     /// Number of `(entity, chain)` entries currently memoized in the
     /// service-lifetime value cache (observability for the eviction-on-
     /// remove behaviour).
     pub fn cached_chain_entries(&self) -> usize {
-        self.cache.len()
+        self.shared.cache.scoped().len()
+    }
+
+    /// A new reader over this writer's published epochs.  Cheap; create one
+    /// per querying thread (readers are `Send` but deliberately not `Sync`).
+    pub fn reader(&self) -> ServiceReader {
+        ServiceReader {
+            shared: self.shared.clone(),
+            epochs: EpochReader::new(self.shared.epochs.clone()),
+        }
+    }
+
+    /// Adds one target entity, indexing it incrementally, and publishes a
+    /// new epoch.  Returns the entity's index position; fails on a
+    /// duplicate identifier.
+    pub fn insert(&mut self, entity: &Entity) -> Result<u32, EntityError> {
+        let position = self.insert_unpublished(entity)?;
+        self.publish();
+        Ok(position)
+    }
+
+    /// Streamed ingestion: adds a chunk of target entities and publishes
+    /// **once**.  Equivalent to inserting them one by one — including on
+    /// failure: entities before the failing one stay served (and are
+    /// published before the error returns, so the working state never
+    /// diverges silently from what readers see).  Batching the publication
+    /// amortises the copy-on-write of touched index leaves over the whole
+    /// chunk.
+    pub fn ingest(&mut self, entities: &[Entity]) -> Result<usize, EntityError> {
+        for entity in entities {
+            if let Err(err) = self.insert_unpublished(entity) {
+                self.publish();
+                return Err(err);
+            }
+        }
+        self.publish();
+        Ok(entities.len())
+    }
+
+    /// Removes a target entity by identifier, un-indexing its postings (the
+    /// slot is recycled by later inserts), evicting its memoized transform
+    /// chains, and publishing a new epoch.  Returns `false` when the id is
+    /// not served.  Readers still pinning an older epoch keep scoring the
+    /// entity until they refresh — its `Arc` stays alive in those epochs.
+    pub fn remove(&mut self, id: &str) -> bool {
+        let Some((position, entity)) = self.store.remove(id) else {
+            return false;
+        };
+        let cache = self.shared.cache.scoped();
+        // un-index first: locating the postings recomputes the entity's
+        // block keys through the cache entries about to be evicted
+        self.index.remove(position, &entity, cache);
+        cache.evict(&entity, &self.target_chain_hashes);
+        self.publish();
+        true
+    }
+
+    fn insert_unpublished(&mut self, entity: &Entity) -> Result<u32, EntityError> {
+        let (position, stored) = self.store.insert(entity)?;
+        let cache = self.shared.cache.scoped();
+        // defensive eviction: if a reader repopulated entries for a
+        // *previous* tenant of this address after its remove-time eviction,
+        // clear them before the new entity computes (and memoizes) anything
+        cache.evict(&stored, &self.target_chain_hashes);
+        // warm the new entity's transform chains so concurrent readers
+        // score it from a hot cache
+        self.shared.compiled.warm_target(&stored, cache);
+        self.index.insert(position, &stored, cache);
+        Ok(position)
+    }
+
+    /// Publishes the current working state as a new immutable epoch.
+    fn publish(&mut self) {
+        self.shared.epochs.publish(Arc::new(ServiceEpoch {
+            index: self.index.clone(),
+            entities: self.store.snapshot(),
+        }));
+    }
+}
+
+/// A query handle over the epochs a [`ServiceWriter`] publishes (see the
+/// module docs).  Clone one per thread: `ServiceReader` is `Send` but not
+/// `Sync` — the epoch pin is cached without interior locking.
+#[derive(Debug, Clone)]
+pub struct ServiceReader {
+    shared: Arc<ServiceShared>,
+    epochs: EpochReader<ServiceEpoch>,
+}
+
+impl ServiceReader {
+    /// The rule this service executes.
+    pub fn rule(&self) -> &LinkageRule {
+        &self.shared.rule
+    }
+
+    /// Number of live target entities in the current epoch.
+    pub fn len(&self) -> usize {
+        self.epochs.pin().0.entities.len()
+    }
+
+    /// Returns `true` when the current epoch serves no entity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The version of the epoch a query issued now would run against.
+    pub fn version(&self) -> u64 {
+        self.epochs.pin().1
+    }
+
+    /// The target entity at an index position in the current epoch.
+    pub fn at(&self, position: u32) -> Option<Arc<Entity>> {
+        self.epochs.pin().0.entities.get(position).cloned()
+    }
+
+    /// Build statistics of the current epoch's index.
+    pub fn stats(&self) -> Vec<LeafBuildStats> {
+        self.epochs.pin().0.index.build_stats()
     }
 
     /// All targets matching one query entity (score ≥ the link threshold),
     /// best first (ties towards the smaller identifier).  Convenience
-    /// wrapper over [`LinkService::query_with`] with a pooled scratch.
+    /// wrapper over [`ServiceReader::query_with`] with a pooled scratch.
     pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        let (epoch, _) = self.epochs.pin();
         let mut scratch = self.take_scratch();
         let mut hits: Vec<(u32, f64)> = Vec::new();
-        self.query_with(source_entity, &mut scratch, &mut hits);
-        self.scratch_pool
+        self.query_epoch(&epoch, source_entity, &mut scratch, &mut hits);
+        self.shared
+            .scratch_pool
             .lock()
             .expect("scratch pool poisoned")
             .push(scratch);
@@ -264,8 +444,10 @@ impl<'t> LinkService<'t> {
             .into_iter()
             .map(|(position, score)| ScoredLink {
                 source: source_entity.id().to_string(),
-                target: self.slots[position as usize]
-                    .expect("candidates only name live slots")
+                target: epoch
+                    .entities
+                    .get(position)
+                    .expect("candidates only name live slots of their epoch")
                     .id()
                     .to_string(),
                 score,
@@ -281,11 +463,27 @@ impl<'t> LinkService<'t> {
 
     /// The hot query path: candidate generation on the caller's scratch,
     /// matches appended to `out` as `(index position, score)` pairs
-    /// (cleared first, unordered).  Resolve positions to entities via
-    /// [`LinkService::at`].  With warm buffers and a transform-free rule
-    /// this path performs no heap allocation.
+    /// (cleared first, unordered).  Returns the version of the epoch the
+    /// query ran against; resolve positions to entities via
+    /// [`ServiceReader::at`] *only while no publication intervened* (compare
+    /// versions), or use [`ServiceReader::query`] which resolves within one
+    /// pin.  With warm buffers and a transform-free rule this path performs
+    /// no heap allocation — concurrent writer churn included.
     pub fn query_with(
         &self,
+        source_entity: &Entity,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<(u32, f64)>,
+    ) -> u64 {
+        let (epoch, version) = self.epochs.pin();
+        self.query_epoch(&epoch, source_entity, scratch, out);
+        version
+    }
+
+    /// Runs one query against one pinned epoch.
+    fn query_epoch(
+        &self,
+        epoch: &ServiceEpoch,
         source_entity: &Entity,
         scratch: &mut CandidateScratch,
         out: &mut Vec<(u32, f64)>,
@@ -294,20 +492,24 @@ impl<'t> LinkService<'t> {
         // per-query memo for the query entity's own transform chains; the
         // target side reads the service-lifetime shared cache instead
         let query_cache = ValueCache::new();
-        let buf = self
+        let cache = self.shared.cache.scoped();
+        let buf = epoch
             .index
             .candidates(source_entity, &query_cache, scratch, &mut []);
         for &position in &buf {
             // an exhaustive (`All`) plan enumerates every position, so
-            // removed slots must be skipped here; leaf postings only ever
-            // name live slots
-            let Some(target_entity) = self.slots[position as usize] else {
+            // tombstoned slots must be skipped here; leaf postings only
+            // ever name slots live in their epoch
+            let Some(target_entity) = epoch.entities.get(position) else {
                 continue;
             };
-            let score =
-                self.compiled
-                    .evaluate_two(source_entity, target_entity, &query_cache, &self.cache);
-            if score >= self.link_threshold {
+            let score = self.shared.compiled.evaluate_two(
+                source_entity,
+                target_entity,
+                &query_cache,
+                cache,
+            );
+            if score >= self.shared.link_threshold {
                 out.push((position, score));
             }
         }
@@ -315,11 +517,161 @@ impl<'t> LinkService<'t> {
     }
 
     fn take_scratch(&self) -> CandidateScratch {
-        self.scratch_pool
+        self.shared
+            .scratch_pool
             .lock()
             .expect("scratch pool poisoned")
             .pop()
             .unwrap_or_default()
+    }
+}
+
+/// A serving index over a mutable set of owned target entities: the
+/// single-threaded facade over a [`ServiceWriter`] / [`ServiceReader`] pair,
+/// answering single-entity match queries for one rule (see the module
+/// docs).  Mutations publish immediately, so queries always see the latest
+/// write; [`LinkService::split`] yields the two halves for concurrent
+/// operation.
+#[derive(Debug)]
+pub struct LinkService {
+    writer: ServiceWriter,
+    reader: ServiceReader,
+}
+
+impl LinkService {
+    /// Creates a service with no target entities yet; populate it through
+    /// [`LinkService::ingest`] / [`LinkService::insert`] (streamed
+    /// construction).  `source_schema` is the schema of future *query*
+    /// entities.
+    pub fn empty(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+    ) -> Self {
+        ServiceWriter::empty(rule, source_schema, target_schema, options).into_service()
+    }
+
+    /// Builds a service over a materialised target source, copying the
+    /// entities into an owned store (the source may be dropped afterwards)
+    /// and sharding the index build across [`ServiceOptions::threads`]
+    /// workers.
+    pub fn build(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target: &DataSource,
+        options: ServiceOptions,
+    ) -> Self {
+        ServiceWriter::build(rule, source_schema, target, options).into_service()
+    }
+
+    /// Splits the service into its concurrent halves: a single writer and a
+    /// cloneable reader (spawn more via [`ServiceWriter::reader`] /
+    /// `Clone`).
+    pub fn split(self) -> (ServiceWriter, ServiceReader) {
+        (self.writer, self.reader)
+    }
+
+    /// The rule this service executes.
+    pub fn rule(&self) -> &LinkageRule {
+        self.writer.rule()
+    }
+
+    /// Number of live target entities.
+    pub fn len(&self) -> usize {
+        self.writer.len()
+    }
+
+    /// Returns `true` when no target entity is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.writer.is_empty()
+    }
+
+    /// Returns `true` if a target with this identifier is currently served.
+    pub fn contains(&self, id: &str) -> bool {
+        self.writer.contains(id)
+    }
+
+    /// The target entity currently served at an index position.
+    pub fn at(&self, position: u32) -> Option<Arc<Entity>> {
+        self.writer.at(position)
+    }
+
+    /// The owned entity store (positions, free list, interning statistics).
+    pub fn store(&self) -> &EntityStore {
+        self.writer.store()
+    }
+
+    /// The writer half, e.g. for saving a snapshot without splitting.
+    pub fn writer(&self) -> &ServiceWriter {
+        &self.writer
+    }
+
+    /// Build statistics of the underlying index, one entry per indexed
+    /// comparison — exact at all times, including after inserts and removes.
+    pub fn stats(&self) -> Vec<LeafBuildStats> {
+        self.writer.stats()
+    }
+
+    /// Adds one target entity, indexing it incrementally.  Returns its index
+    /// position; fails on a duplicate identifier.
+    pub fn insert(&mut self, entity: &Entity) -> Result<u32, EntityError> {
+        self.writer.insert(entity)
+    }
+
+    /// Streamed ingestion: adds a chunk of target entities.  Equivalent to
+    /// inserting them one by one; the resulting index is structurally
+    /// identical to a batch build over the same final entity set.
+    pub fn ingest(&mut self, entities: &[Entity]) -> Result<usize, EntityError> {
+        self.writer.ingest(entities)
+    }
+
+    /// Removes a target entity by identifier, un-indexing its postings (the
+    /// slot is recycled by later inserts) and evicting its memoized
+    /// transform chains from the shared value cache — a long-lived service
+    /// under entity churn holds cache entries for its live entities only.
+    /// Returns `false` when the id is not served.
+    pub fn remove(&mut self, id: &str) -> bool {
+        self.writer.remove(id)
+    }
+
+    /// Number of `(entity, chain)` entries currently memoized in the
+    /// service-lifetime value cache (observability for the eviction-on-
+    /// remove behaviour).
+    pub fn cached_chain_entries(&self) -> usize {
+        self.writer.cached_chain_entries()
+    }
+
+    /// All targets matching one query entity (score ≥ the link threshold),
+    /// best first (ties towards the smaller identifier).
+    pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        self.reader.query(source_entity)
+    }
+
+    /// The hot query path — see [`ServiceReader::query_with`].
+    pub fn query_with(
+        &self,
+        source_entity: &Entity,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<(u32, f64)>,
+    ) -> u64 {
+        self.reader.query_with(source_entity, scratch, out)
+    }
+}
+
+impl ServiceWriter {
+    pub(crate) fn into_service(self) -> LinkService {
+        let reader = self.reader();
+        LinkService {
+            writer: self,
+            reader,
+        }
+    }
+
+    /// The link threshold the plan and queries run under (persisted with
+    /// snapshots — the leaf maps are derived from it).
+    pub fn link_threshold(&self) -> f64 {
+        self.shared.link_threshold
     }
 }
 
@@ -405,6 +757,19 @@ mod tests {
     }
 
     #[test]
+    fn service_owns_its_entities() {
+        // the target source is dropped right after construction: the owned
+        // store keeps serving (the borrowed LinkService<'t> could not)
+        let source = source();
+        let service = {
+            let target = target();
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+        };
+        assert_eq!(service.len(), 3);
+        assert_eq!(service.query(&source.entities()[0]).len(), 2);
+    }
+
+    #[test]
     fn inserts_and_removes_are_served_immediately() {
         let (source, target) = (source(), target());
         let mut service = LinkService::empty(
@@ -435,6 +800,31 @@ mod tests {
         assert_eq!(position, 0, "freed slot is recycled");
         let targets: Vec<String> = service.query(a1).into_iter().map(|l| l.target).collect();
         assert_eq!(targets, vec!["b3".to_string(), "b9".to_string()]);
+    }
+
+    #[test]
+    fn failed_ingest_publishes_the_partial_batch() {
+        let (source, target) = (source(), target());
+        let (mut writer, reader) = LinkService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            ServiceOptions::default(),
+        )
+        .split();
+        // b2 duplicated mid-batch: b1 and b2 land, the error surfaces, and
+        // the partial state is published (one-by-one semantics)
+        let batch = vec![
+            target.entities()[0].clone(),
+            target.entities()[1].clone(),
+            target.entities()[1].clone(),
+            target.entities()[2].clone(),
+        ];
+        let err = writer.ingest(&batch).unwrap_err();
+        assert!(matches!(err, EntityError::DuplicateEntity(id) if id == "b2"));
+        assert_eq!(writer.len(), 2, "entities before the failure stay served");
+        assert_eq!(reader.len(), 2, "readers see the published partial batch");
+        assert_eq!(reader.query(&source.entities()[0]).len(), 1);
     }
 
     #[test]
@@ -472,7 +862,7 @@ mod tests {
     #[test]
     fn exhaustive_rules_scan_live_slots_only() {
         // Jaro at this threshold cannot prune: the plan is exhaustive and
-        // queries must scan live entities, skipping removed slots
+        // queries must scan live entities, skipping tombstoned slots
         let jaro: LinkageRule = compare(
             property("label"),
             property("name"),
@@ -525,10 +915,11 @@ mod tests {
         let links = service.query(&source.entities()[0]);
         assert_eq!(links.len(), 1);
         assert!(service.query(&source.entities()[1]).is_empty());
-        // re-inserting recomputes and re-memoizes the evicted chain
+        // re-inserting recomputes and re-memoizes the evicted chain (the
+        // writer warms inserted entities eagerly)
         service.insert(&target.entities()[1]).unwrap();
-        service.query(&source.entities()[1]);
         assert_eq!(service.cached_chain_entries(), warm);
+        assert_eq!(service.query(&source.entities()[1]).len(), 1);
     }
 
     #[test]
@@ -546,5 +937,69 @@ mod tests {
         // reusing the buffers clears previous results
         service.query_with(&source.entities()[0], &mut scratch, &mut hits);
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn readers_pin_an_epoch_per_query_and_see_writer_publications() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let (mut writer, reader) = service.split();
+        let a1 = &source.entities()[0];
+        assert_eq!(writer.version(), 0);
+        assert_eq!(reader.query(a1).len(), 2);
+
+        // a second reader spawned from the writer sees the same epoch
+        let other = writer.reader();
+        assert_eq!(other.version(), 0);
+
+        writer.remove("b1");
+        assert_eq!(writer.version(), 1);
+        // both readers refresh on their next query
+        assert_eq!(reader.query(a1).len(), 1);
+        assert_eq!(other.version(), 1);
+        let cloned = reader.clone();
+        assert_eq!(cloned.query(a1).len(), 1);
+
+        writer.insert(&target.entities()[0]).unwrap();
+        assert_eq!(reader.query(a1).len(), 2);
+        assert_eq!(reader.len(), 3);
+    }
+
+    #[test]
+    fn query_with_reports_the_epoch_version_it_ran_against() {
+        let (source, target) = (source(), target());
+        let (mut writer, reader) =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default()).split();
+        let mut scratch = CandidateScratch::new();
+        let mut hits = Vec::new();
+        let v0 = reader.query_with(&source.entities()[0], &mut scratch, &mut hits);
+        assert_eq!(v0, 0);
+        writer.remove("b3");
+        let v1 = reader.query_with(&source.entities()[0], &mut scratch, &mut hits);
+        assert_eq!(v1, 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn store_interns_repeated_value_sets() {
+        let mut builder = DataSourceBuilder::new("B", ["name"]);
+        for i in 0..10 {
+            builder = builder
+                .entity(format!("b{i}"), [("name", "duplicate")])
+                .unwrap();
+        }
+        let target = builder.build();
+        let service = LinkService::build(
+            rule(),
+            source().schema(),
+            &target,
+            ServiceOptions::default(),
+        );
+        assert_eq!(
+            service.store().interner_hits(),
+            9,
+            "nine of ten equal value sets reuse the first allocation"
+        );
     }
 }

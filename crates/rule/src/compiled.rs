@@ -331,6 +331,18 @@ impl CompiledRule {
         &self.target.hashes
     }
 
+    /// Pre-computes (and memoizes in `cache`) every target-side
+    /// transformation chain of the plan for one entity.  A serving writer
+    /// warms an entity on ingest so concurrent readers score it from a hot
+    /// cache instead of each paying the first-transform cost.
+    pub fn warm_target<'e>(&self, entity: &'e Entity, cache: &ValueCache<'e>) {
+        for slot in 0..self.target.slots.len() {
+            if matches!(self.target.slots[slot], Slot::Transform { .. }) {
+                self.target.values(slot, entity, cache);
+            }
+        }
+    }
+
     /// Evaluates the plan on an entity pair, yielding the same similarity as
     /// [`LinkageRule::evaluate`] on the original rule.
     pub fn evaluate<'e>(&self, pair: &EntityPair<'e>, cache: &ValueCache<'e>) -> f64 {
@@ -875,6 +887,70 @@ impl<'e> ValueCache<'e> {
         self.interner.lock().expect("interner poisoned").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`ValueCache`] whose entity-lifetime discipline is upheld by an
+/// **owner** at runtime instead of by the borrow checker.
+///
+/// `ValueCache<'e>` keys entries by entity *address* and relies on `'e` to
+/// guarantee that an address is never reused by a different entity while
+/// its entries are still visible.  That works when the cache demonstrably
+/// outlives nothing (`LinkService<'t>` used to borrow its entities), but an
+/// *owned* service stores entities behind `Arc<Entity>` inside itself — the
+/// cache and the entities live in the same struct, which no lifetime
+/// parameter can express.
+///
+/// `PinnedValueCache` carries the cache at an erased (`'static`) lifetime
+/// and hands out views at any shorter lifetime via
+/// [`PinnedValueCache::scoped`].  This is sound because the cache never
+/// stores borrowed data (entries are owned `Arc<[String]>` slices keyed by
+/// a raw address), **provided the owner maintains the address invariant**:
+///
+/// > Between inserting entries for an entity and evicting them (see
+/// > [`ValueCache::evict`]), the entity's address must stay allocated to
+/// > that same entity.
+///
+/// The serving layer upholds it by construction: entities are pinned by
+/// `Arc` (held by the store and by every published epoch), `remove` evicts
+/// before dropping its reference, and `insert` defensively evicts the new
+/// entity's address before indexing it — so even an entry re-created by a
+/// concurrent reader for a since-freed entity is cleared before the
+/// address can serve a different one (a reader can only score an entity
+/// while an epoch still pins it, so such re-creation cannot race with the
+/// address being reused).
+pub struct PinnedValueCache {
+    inner: ValueCache<'static>,
+}
+
+impl std::fmt::Debug for PinnedValueCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl Default for PinnedValueCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PinnedValueCache {
+    /// Creates an empty cache (allocation-free, like [`ValueCache::new`]).
+    pub fn new() -> Self {
+        PinnedValueCache {
+            inner: ValueCache::new(),
+        }
+    }
+
+    /// Views the cache at a caller-chosen entity lifetime.  See the type
+    /// docs for the invariant the owner must uphold.
+    pub fn scoped<'e>(&'e self) -> &'e ValueCache<'e> {
+        // Sound: ValueCache's layout is independent of its lifetime
+        // parameter (it only appears in PhantomData), and the cache holds no
+        // borrowed data — the parameter exists purely to enforce the address
+        // invariant, which the owner enforces dynamically instead.
+        unsafe { std::mem::transmute::<&ValueCache<'static>, &ValueCache<'e>>(&self.inner) }
     }
 }
 

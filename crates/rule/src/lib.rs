@@ -34,7 +34,7 @@ pub mod stats;
 
 pub use aggregation::AggregationFunction;
 pub use builder::{aggregation, compare, property, transform, RuleBuilder};
-pub use compiled::{ChainValues, CompiledChain, CompiledRule, ValueCache};
+pub use compiled::{ChainValues, CompiledChain, CompiledRule, PinnedValueCache, ValueCache};
 pub use dsl::{parse_rule, print_rule, DslError};
 pub use indexing::{IndexedComparison, IndexingPlan, PlanNode};
 pub use operators::{

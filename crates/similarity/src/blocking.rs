@@ -63,6 +63,13 @@ impl BlockKey {
     pub fn raw(&self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a key from its raw 64-bit form — the snapshot-restore path.
+    /// Only meaningful for values produced by [`BlockKey::raw`] under the
+    /// same key-derivation code (snapshots carry a format version for this).
+    pub fn from_raw(raw: u64) -> Self {
+        BlockKey(raw)
+    }
 }
 
 /// Builds a key from hashable parts, namespaced by a per-scheme tag so e.g.

@@ -33,7 +33,7 @@ pub use token::{dice_distance, dice_distance_sets, jaccard_distance, jaccard_dis
 /// The enum is the unit the genetic search recombines: *function crossover*
 /// swaps one `DistanceFunction` for another, so keeping it a small `Copy`
 /// value keeps crossover cheap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DistanceFunction {
     /// Character-level edit distance (Table 2: `levenshtein`).
     Levenshtein,

@@ -1,0 +1,185 @@
+//! A tiny single-writer / many-reader publication cell: the arc-swap
+//! primitive behind the copy-on-write serving epochs.
+//!
+//! A writer assembles an immutable snapshot (an *epoch*), wraps it in an
+//! [`Arc`] and [`EpochCell::publish`]es it; readers [`EpochCell::load`] the
+//! current epoch and hold the `Arc` for the duration of their operation, so
+//! every read runs against one consistent snapshot no matter how many
+//! publications happen meanwhile.  Dropped epochs are reclaimed by the `Arc`
+//! itself once the last reader lets go — no hazard pointers, no deferred
+//! reclamation lists.
+//!
+//! The design is seqlock-flavoured but blocking-free in the steady state:
+//! the cell carries a monotonically increasing **version** (one atomic load
+//! to read), and a reader that cached an `Arc` from a previous load only
+//! touches the slot mutex when the version actually moved.  A serving
+//! reader therefore pays one atomic load per query while the writer is
+//! idle, and one short uncontended lock + `Arc` clone per *epoch change* —
+//! never per query, and never an allocation (see [`EpochReader`]).
+//!
+//! The slot itself is a `Mutex<Arc<T>>` rather than a bare atomic pointer:
+//! a genuinely lock-free `Arc` swap needs hazard-pointer-style protection
+//! around the refcount increment (the pointer may be freed between load and
+//! bump), which is not worth the unsafe surface for a critical section of
+//! two pointer copies.  The mutex is held only for the clone/swap, so
+//! readers can stall each other for nanoseconds, not for query durations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A published, versioned `Arc<T>` slot (see the module docs).  `T` is the
+/// epoch payload: an immutable snapshot shared by all readers.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    /// Bumped *after* the slot is swapped, with `Release` ordering: a reader
+    /// observing version `v` and then locking the slot is guaranteed to see
+    /// an epoch at least as new as `v`'s.
+    version: AtomicU64,
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell holding an initial epoch (version 0).
+    pub fn new(initial: Arc<T>) -> Self {
+        EpochCell {
+            version: AtomicU64::new(0),
+            slot: Mutex::new(initial),
+        }
+    }
+
+    /// Publishes a new epoch, returning its version.  Safe to call from any
+    /// thread; concurrent publishers serialize on the slot (the serving
+    /// layer has a single writer by construction).
+    pub fn publish(&self, epoch: Arc<T>) -> u64 {
+        let mut slot = self.slot.lock().expect("epoch slot poisoned");
+        *slot = epoch;
+        // bump inside the lock so versions observed through `load` are
+        // monotone with the epochs they accompany
+        self.version.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The version of the most recently published epoch.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The current epoch and its version.
+    pub fn load(&self) -> (Arc<T>, u64) {
+        let slot = self.slot.lock().expect("epoch slot poisoned");
+        let epoch = slot.clone();
+        let version = self.version.load(Ordering::Acquire);
+        (epoch, version)
+    }
+}
+
+/// A reader-side cache over an [`EpochCell`]: holds the last loaded epoch
+/// and revalidates it with a single atomic load, refreshing (lock + `Arc`
+/// clone, no allocation) only when the writer actually published.
+///
+/// Deliberately **not** `Sync`: each reading thread owns its own
+/// `EpochReader` (they are cheap to create), so the steady-state path needs
+/// no interior locking at all.
+#[derive(Debug)]
+pub struct EpochReader<T> {
+    cell: Arc<EpochCell<T>>,
+    cached: std::cell::RefCell<(Arc<T>, u64)>,
+}
+
+impl<T> EpochReader<T> {
+    /// Creates a reader pinned to the cell's current epoch.
+    pub fn new(cell: Arc<EpochCell<T>>) -> Self {
+        let cached = cell.load();
+        EpochReader {
+            cell,
+            cached: std::cell::RefCell::new(cached),
+        }
+    }
+
+    /// The current epoch (refreshed if the writer published since the last
+    /// call) and its version.  The returned `Arc` pins the snapshot for as
+    /// long as the caller holds it.
+    pub fn pin(&self) -> (Arc<T>, u64) {
+        let mut cached = self.cached.borrow_mut();
+        if self.cell.version.load(Ordering::Acquire) != cached.1 {
+            *cached = self.cell.load();
+        }
+        (cached.0.clone(), cached.1)
+    }
+
+    /// The underlying cell (to spawn further readers from).
+    pub fn cell(&self) -> &Arc<EpochCell<T>> {
+        &self.cell
+    }
+}
+
+impl<T> Clone for EpochReader<T> {
+    fn clone(&self) -> Self {
+        EpochReader::new(self.cell.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_the_version_and_swaps_the_epoch() {
+        let cell = EpochCell::new(Arc::new(1u32));
+        assert_eq!(cell.version(), 0);
+        assert_eq!(*cell.load().0, 1);
+        let v = cell.publish(Arc::new(2));
+        assert_eq!(v, 1);
+        let (epoch, version) = cell.load();
+        assert_eq!((*epoch, version), (2, 1));
+    }
+
+    #[test]
+    fn readers_cache_until_the_version_moves() {
+        let cell = Arc::new(EpochCell::new(Arc::new(10u32)));
+        let reader = EpochReader::new(cell.clone());
+        let (first, v0) = reader.pin();
+        assert_eq!((*first, v0), (10, 0));
+        // the cached Arc is returned while nothing was published
+        assert!(Arc::ptr_eq(&reader.pin().0, &first));
+        cell.publish(Arc::new(11));
+        let (second, v1) = reader.pin();
+        assert_eq!((*second, v1), (11, 1));
+        // a clone starts from the *current* epoch, not the cached one
+        cell.publish(Arc::new(12));
+        assert_eq!(*reader.clone().pin().0, 12);
+    }
+
+    #[test]
+    fn concurrent_readers_always_observe_a_published_epoch() {
+        // the writer publishes (value, version-stamp) pairs that encode
+        // their own version; readers must never see a torn combination
+        let cell = Arc::new(EpochCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let cell = cell.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    let reader = EpochReader::new(cell);
+                    let mut last_version = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let (epoch, version) = reader.pin();
+                        let (value, stamp) = *epoch;
+                        assert_eq!(value, stamp, "epochs are internally consistent");
+                        // publish bumps the version inside the slot lock and
+                        // this test stamps epoch k with version k, so a pin
+                        // must never pair an epoch with a foreign version
+                        assert_eq!(stamp, version, "epoch and version are torn");
+                        assert!(version >= last_version, "versions went backwards");
+                        last_version = version;
+                    }
+                });
+            }
+            for publication in 1..=2_000u64 {
+                cell.publish(Arc::new((publication, publication)));
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(cell.version(), 2_000);
+    }
+}

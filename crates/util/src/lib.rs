@@ -2,6 +2,10 @@
 //! the matching engine does not have to depend on the GP crate to reuse a
 //! thread-count resolver.
 
+pub mod epoch;
+
+pub use epoch::{EpochCell, EpochReader};
+
 /// Resolves a thread-count configuration value: `0` means "use every
 /// available core", anything else is taken literally.  Shared by the GP
 /// engine and the matching engine so the `available_parallelism` fallback
