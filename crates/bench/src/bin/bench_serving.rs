@@ -31,6 +31,12 @@
 //!    the Cora service: restore must be **bit-identical to the fresh
 //!    build** (stats and per-entity query results — gate) with save/load
 //!    wall times and the restore-vs-build speedup reported.
+//! 7. **Crash recovery** — a `DurableService` over Cora acknowledges a
+//!    churn workload, "crashes" (is dropped), and is recovered from its
+//!    checkpoint plus write-ahead log tail.  Gates (always): **recovery
+//!    faster than a full rebuild** that re-derives the index and re-applies
+//!    the churn, and **recovered state identical to the rebuilt state**
+//!    (stats and per-entity query results).
 //!
 //! Environment: `GENLINK_BENCH_SERVING_OUT` (output path, default
 //! `BENCH_serving.json`).
@@ -43,8 +49,8 @@ use std::time::Instant;
 use linkdisc_datasets::{Dataset, DatasetKind};
 use linkdisc_entity::Entity;
 use linkdisc_matching::{
-    CandidateScratch, LinkService, MatchingEngine, MatchingOptions, MultiBlockIndex,
-    ServiceOptions, ServiceReader,
+    CandidateScratch, DurabilityOptions, DurableService, LinkService, MatchingEngine,
+    MatchingOptions, MultiBlockIndex, ServiceOptions, ServiceReader,
 };
 use linkdisc_rule::{
     aggregation, compare, property, transform, AggregationFunction, DistanceFunction, IndexingPlan,
@@ -103,6 +109,7 @@ const READER_SCALING_GATE: f64 = 2.0;
 const READER_THREADS: usize = 4;
 const READER_PASSES: usize = 30;
 const CHURN_OPS: usize = 400;
+const RECOVERY_CHURN: usize = 48;
 
 fn cora_rule() -> LinkageRule {
     compare(
@@ -211,6 +218,7 @@ fn churn(dataset: &Dataset, rule: LinkageRule) -> ChurnOutcome {
         &dataset.target,
         ServiceOptions::default(),
     )
+    .unwrap()
     .split();
     let queries: Vec<Entity> = dataset.source.entities().to_vec();
     let victims: Vec<Entity> = dataset.target.entities().iter().take(64).cloned().collect();
@@ -312,7 +320,8 @@ fn main() {
         restaurant.source.schema(),
         &restaurant.target,
         ServiceOptions::default(),
-    );
+    )
+    .unwrap();
     // warm caches and pools, then measure
     for entity in restaurant.source.entities() {
         service.query(entity);
@@ -344,7 +353,8 @@ fn main() {
         restaurant.source.schema(),
         &restaurant.target,
         ServiceOptions::default(),
-    );
+    )
+    .unwrap();
     let mut scratch = CandidateScratch::new();
     let mut hits: Vec<(u32, f64)> = Vec::new();
     // two warm-up passes grow every pooled buffer to its steady-state size
@@ -420,6 +430,7 @@ fn main() {
         &restaurant.target,
         ServiceOptions::default(),
     )
+    .unwrap()
     .split();
     let queries_slice: Vec<Entity> = restaurant.source.entities().to_vec();
     // warm the shared transform cache once so scaling measures query work,
@@ -474,7 +485,8 @@ fn main() {
         cora.source.schema(),
         &cora.target,
         ServiceOptions::default(),
-    );
+    )
+    .unwrap();
     let service_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
     let mut snapshot_bytes: Vec<u8> = Vec::new();
     let save_start = Instant::now();
@@ -503,8 +515,88 @@ fn main() {
     }
     println!();
 
+    // 7. crash recovery ------------------------------------------------------
+    println!("--- crash recovery (cora, write-ahead log replay) ---");
+    let recovery_dir =
+        std::env::temp_dir().join(format!("genlink-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    let mut durable = DurableService::create(
+        &recovery_dir,
+        cora_rule(),
+        cora.source.schema(),
+        &cora.target,
+        ServiceOptions::default(),
+        DurabilityOptions::default(),
+    )
+    .expect("fresh durable directory");
+    let recovery_victims: Vec<Entity> = cora.target.entities().iter().take(16).cloned().collect();
+    for op in 0..RECOVERY_CHURN {
+        let victim = &recovery_victims[op % recovery_victims.len()];
+        assert!(durable.remove(victim.id()).expect("logged remove"));
+        durable.insert(victim).expect("logged insert");
+    }
+    let acked_epochs = durable.seq();
+    let wal_bytes = durable.log_bytes();
+    drop(durable); // the crash: only fsynced bytes survive
+    let recover_start = Instant::now();
+    let (recovered, report) = DurableService::recover(
+        &recovery_dir,
+        cora_rule(),
+        cora.source.schema(),
+        DurabilityOptions::default(),
+    )
+    .expect("recovery restores the checkpoint and replays the log tail");
+    let recover_ms = recover_start.elapsed().as_secs_f64() * 1e3;
+    // the alternative a crash leaves without a log: re-derive the whole
+    // index from the dataset and re-apply the churn
+    let rebuild_start = Instant::now();
+    let mut rebuilt = LinkService::build(
+        cora_rule(),
+        cora.source.schema(),
+        &cora.target,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    for op in 0..RECOVERY_CHURN {
+        let victim = &recovery_victims[op % recovery_victims.len()];
+        assert!(rebuilt.remove(victim.id()));
+        rebuilt.insert(victim).unwrap();
+    }
+    let rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1e3;
+    let recovery_speedup = rebuild_ms / recover_ms;
+    let recovered_reader = recovered.reader();
+    let mut recovered_identical = recovered.writer().stats() == rebuilt.stats();
+    for entity in cora.source.entities() {
+        if recovered_reader.query(entity) != rebuilt.query(entity) {
+            recovered_identical = false;
+            break;
+        }
+    }
+    println!(
+        "{acked_epochs} acknowledged epochs ({} KiB log), recover {recover_ms:.1} ms \
+         (checkpoint gen {} + {} replayed), rebuild {rebuild_ms:.1} ms \
+         ({recovery_speedup:.1}x, gate > 1x), recovered identical to rebuilt: \
+         {recovered_identical}",
+        wal_bytes / 1024,
+        report.checkpoint_generation,
+        report.replayed_epochs
+    );
+    if recovery_speedup <= 1.0 {
+        failures.push(format!(
+            "log replay recovery ({recover_ms:.1} ms) is not faster than a full rebuild \
+             ({rebuild_ms:.1} ms)"
+        ));
+    }
+    if !recovered_identical {
+        failures.push("recovered service diverges from the sequential rebuild".to_string());
+    }
+    drop(recovered_reader);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&recovery_dir);
+    println!();
+
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }},\n  \"recovery\": {{\n    \"workload\": \"cora\",\n    \"acked_epochs\": {acked_epochs},\n    \"wal_bytes\": {wal_bytes},\n    \"checkpoint_generation\": {},\n    \"replayed_epochs\": {},\n    \"recover_ms\": {recover_ms:.1},\n    \"rebuild_ms\": {rebuild_ms:.1},\n    \"recovery_speedup_vs_rebuild\": {recovery_speedup:.1},\n    \"speedup_gate\": 1.0,\n    \"recovered_identical_to_rebuilt\": {recovered_identical}\n  }}\n}}\n",
         cora.target.len(),
         restaurant.source.len(),
         restaurant.target.len(),
@@ -519,6 +611,8 @@ fn main() {
         churned.reader_queries,
         churned.reader_allocations,
         snapshot_bytes.len(),
+        report.checkpoint_generation,
+        report.replayed_epochs,
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("wrote {out_path}");

@@ -1,0 +1,808 @@
+//! Crash-safe serving: a [`DurableService`] wraps a [`ServiceWriter`] so
+//! that every acknowledged mutation survives a crash, and restart costs
+//! O(churn since the last checkpoint), not O(store).
+//!
+//! # Write path
+//!
+//! Each `insert` / `remove` / `ingest` call:
+//!
+//! 1. validates (duplicate ids fail *before* anything is logged),
+//! 2. appends one delta record to the write-ahead log
+//!    ([`crate::wal`]) and `fsync`s it — one sync per epoch, so an ingest
+//!    batch pays a single sync (fsync-on-publish batching),
+//! 3. applies the mutation to the in-memory writer and publishes the
+//!    epoch readers see,
+//! 4. acknowledges.
+//!
+//! A crash before step 2 completes loses only the unacknowledged call; a
+//! crash after it loses nothing — recovery replays the record.  If a log
+//! write itself fails, the service **poisons** itself (every later call
+//! errors with [`DurableError::Poisoned`]): the in-memory state may be
+//! ahead of or behind the log, and only [`DurableService::recover`] can
+//! re-establish the invariant.
+//!
+//! # Checkpoints and compaction
+//!
+//! The snapshot codec ([`crate::persist`]) is the checkpoint format.  When
+//! the log outgrows [`DurabilityOptions::log_budget_bytes`], the service
+//! rolls it into a new checkpoint generation:
+//!
+//! ```text
+//! write checkpoint-<g+1>.snap.tmp, fsync      (full state, checksummed)
+//! create wal-<g+1>.log (header only), fsync   (base seq = mutations so far)
+//! fsync dir                                   (log file durable)
+//! rename .tmp -> checkpoint-<g+1>.snap        (atomic commit point)
+//! fsync dir                                   (rename durable)
+//! retire generations < g                      (keep <g> for fallback)
+//! ```
+//!
+//! The rename is the commit: a crash anywhere before it leaves generation
+//! `g` authoritative (a stray `.tmp` or an empty `wal-<g+1>` is ignored);
+//! a crash after it leaves `g+1` authoritative with an empty log.  The
+//! *previous* generation (checkpoint + its logs) is retained so a corrupt
+//! latest checkpoint can fall back one generation and replay forward.
+//!
+//! # Recovery
+//!
+//! [`DurableService::recover`] restores the newest readable checkpoint,
+//! replays every log generation from it forward (validating per-record
+//! checksums and sequence continuity), tolerates a torn final record
+//! (nothing past it was acknowledged), and then re-checkpoints into a
+//! fresh generation.  The recovered state is **bit-identical** to a
+//! sequential replay of the acknowledged epochs — same slots, free list,
+//! leaf maps and statistics — because checkpoint restore is bit-identical
+//! (PR 5's restore == rebuild property) and replay drives the exact same
+//! insert/remove code paths the original writer ran.  Unreadable
+//! acknowledged data is never silently dropped: it surfaces as a typed
+//! [`RecoveryError`] naming the salvageable prefix.
+
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use linkdisc_entity::{DataSource, Entity, EntityError, Schema};
+use linkdisc_rule::LinkageRule;
+use linkdisc_util::fail;
+
+use crate::persist::SnapshotError;
+use crate::service::{ServiceOptions, ServiceReader, ServiceWriter};
+use crate::wal::{
+    decode_wal, guarded_dir_sync, guarded_rename, guarded_sync, guarded_write, Delta, WalContents,
+    WalDamage, WalOp, WalWriter,
+};
+
+/// Tuning of the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Log size (bytes, header included) beyond which the next mutation
+    /// rolls the log into a fresh checkpoint generation.
+    pub log_budget_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            log_budget_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Why a durable mutation (or service creation) failed.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Invalid input data (e.g. a duplicate entity id) — the service state
+    /// and the log are untouched.
+    Entity(EntityError),
+    /// The checkpoint codec failed.
+    Snapshot(SnapshotError),
+    /// A log or filesystem operation failed; if it happened mid-mutation
+    /// the service is now poisoned.
+    Io(io::Error),
+    /// The directory already holds durable state — use
+    /// [`DurableService::recover`] instead of `create`.
+    AlreadyDurable(PathBuf),
+    /// A previous durable write failed, so the in-memory state can no
+    /// longer be trusted to match the log; recover from disk.
+    Poisoned,
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Entity(err) => write!(f, "invalid entity: {err}"),
+            DurableError::Snapshot(err) => write!(f, "checkpoint error: {err}"),
+            DurableError::Io(err) => write!(f, "durability i/o error: {err}"),
+            DurableError::AlreadyDurable(dir) => {
+                write!(f, "directory {} already holds durable state", dir.display())
+            }
+            DurableError::Poisoned => {
+                write!(f, "a durable write failed earlier; recover from disk")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<EntityError> for DurableError {
+    fn from(err: EntityError) -> Self {
+        DurableError::Entity(err)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(err: SnapshotError) -> Self {
+        DurableError::Snapshot(err)
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(err: io::Error) -> Self {
+        DurableError::Io(err)
+    }
+}
+
+/// Why recovery could not restore a directory, and what would be
+/// salvageable (see the module docs: acknowledged data is never silently
+/// dropped).
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The directory could not be read.
+    Io(io::Error),
+    /// No checkpoint file exists — the directory holds no durable state.
+    NoCheckpoint(PathBuf),
+    /// Every checkpoint generation failed to restore; `generation` and
+    /// `detail` describe the newest one.
+    CorruptCheckpoint { generation: u64, detail: String },
+    /// A log record that may have been acknowledged is unreadable.
+    /// `valid_epochs` epochs (on top of checkpoint `generation`) replay
+    /// cleanly before the damage — the salvageable prefix.
+    CorruptLog {
+        generation: u64,
+        valid_epochs: u64,
+        detail: String,
+    },
+    /// The on-disk state belongs to a different rule or format version.
+    Mismatch(String),
+    /// A decoded record could not be applied — the log and checkpoint
+    /// disagree structurally (e.g. inserting an id the checkpoint already
+    /// holds).
+    Replay { seq: u64, detail: String },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Io(err) => write!(f, "recovery i/o error: {err}"),
+            RecoveryError::NoCheckpoint(dir) => {
+                write!(f, "no checkpoint in {}", dir.display())
+            }
+            RecoveryError::CorruptCheckpoint { generation, detail } => {
+                write!(f, "checkpoint generation {generation} is corrupt: {detail}")
+            }
+            RecoveryError::CorruptLog {
+                generation,
+                valid_epochs,
+                detail,
+            } => write!(
+                f,
+                "log generation {generation} is corrupt after {valid_epochs} replayable \
+                 epoch(s): {detail}"
+            ),
+            RecoveryError::Mismatch(why) => write!(f, "recovery mismatch: {why}"),
+            RecoveryError::Replay { seq, detail } => {
+                write!(f, "cannot replay epoch {seq}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<io::Error> for RecoveryError {
+    fn from(err: io::Error) -> Self {
+        RecoveryError::Io(err)
+    }
+}
+
+/// What [`DurableService::recover`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint generation the recovered state is based on.
+    pub checkpoint_generation: u64,
+    /// Epochs replayed from the log tail on top of the checkpoint.
+    pub replayed_epochs: u64,
+    /// Bytes of torn (never-acknowledged) log tail that were tolerated.
+    pub torn_tail_bytes: u64,
+    /// How many newer checkpoint generations were skipped as unreadable
+    /// before one restored (0 in the common case).
+    pub fallback_generations: u64,
+}
+
+/// A crash-safe [`ServiceWriter`]: write-ahead logged, checkpointed,
+/// recoverable (see the module docs).
+pub struct DurableService {
+    writer: ServiceWriter,
+    wal: WalWriter,
+    dir: PathBuf,
+    generation: u64,
+    /// Oldest generation retained on disk (the fallback checkpoint).
+    keep_from: u64,
+    /// Mutations ever logged (across all generations).
+    seq: u64,
+    durability: DurabilityOptions,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for DurableService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableService")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("seq", &self.seq)
+            .field("entities", &self.writer.len())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+fn checkpoint_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{generation:08}.snap"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:08}.log"))
+}
+
+/// The durable files present in a directory.
+struct DirScan {
+    /// Generations with a committed checkpoint, ascending.
+    checkpoints: Vec<u64>,
+    /// Generations with a log file, ascending.
+    wals: Vec<u64>,
+    /// Stray `.tmp` files from an interrupted checkpoint write.
+    stray_tmp: Vec<PathBuf>,
+}
+
+impl DirScan {
+    fn max_generation(&self) -> Option<u64> {
+        self.checkpoints
+            .last()
+            .copied()
+            .max(self.wals.last().copied())
+    }
+}
+
+fn parse_generation(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    (rest.len() == 8).then(|| rest.parse().ok())?
+}
+
+fn scan_dir(dir: &Path) -> io::Result<DirScan> {
+    let mut scan = DirScan {
+        checkpoints: Vec::new(),
+        wals: Vec::new(),
+        stray_tmp: Vec::new(),
+    };
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            scan.stray_tmp.push(entry.path());
+        } else if let Some(generation) = parse_generation(name, "checkpoint-", ".snap") {
+            scan.checkpoints.push(generation);
+        } else if let Some(generation) = parse_generation(name, "wal-", ".log") {
+            scan.wals.push(generation);
+        }
+    }
+    scan.checkpoints.sort_unstable();
+    scan.wals.sort_unstable();
+    Ok(scan)
+}
+
+/// Writes checkpoint + fresh log for `generation` in crash-safe order (see
+/// the module docs) and returns the open log.
+fn write_generation(
+    dir: &Path,
+    writer: &ServiceWriter,
+    generation: u64,
+    seq: u64,
+) -> Result<WalWriter, DurableError> {
+    let tmp = dir.join(format!("checkpoint-{generation:08}.snap.tmp"));
+    let mut bytes = Vec::new();
+    writer.save_snapshot(&mut bytes)?;
+    let mut file = File::create(&tmp)?;
+    guarded_write("checkpoint.write", &mut file, &bytes)?;
+    guarded_sync("checkpoint.sync", &file)?;
+    drop(file);
+    let wal = WalWriter::create(
+        &wal_path(dir, generation),
+        writer.rule().canonical_hash(),
+        generation,
+        seq,
+    )?;
+    guarded_dir_sync("dir.sync", dir)?;
+    guarded_rename("checkpoint.rename", &tmp, &checkpoint_path(dir, generation))?;
+    guarded_dir_sync("dir.sync", dir)?;
+    Ok(wal)
+}
+
+/// Deletes every generation file below `keep_from` (and stray tmp files).
+/// Purely an act of hygiene: a crash part-way through leaves extra files
+/// recovery simply ignores or falls back over.
+fn retire(dir: &Path, keep_from: u64) -> io::Result<()> {
+    if fail::check("retire.remove").is_some() {
+        return Err(fail::injected("retire.remove"));
+    }
+    let scan = scan_dir(dir)?;
+    for path in scan.stray_tmp {
+        let _ = std::fs::remove_file(path);
+    }
+    for generation in scan.checkpoints {
+        if generation < keep_from {
+            let _ = std::fs::remove_file(checkpoint_path(dir, generation));
+        }
+    }
+    for generation in scan.wals {
+        if generation < keep_from {
+            let _ = std::fs::remove_file(wal_path(dir, generation));
+        }
+    }
+    Ok(())
+}
+
+/// The entity's value sets aligned to the target schema — exactly what the
+/// store will hold for it, so replaying the record reproduces the stored
+/// entity bit-identically.
+fn aligned_values(entity: &Entity, schema: &Schema) -> Vec<Vec<String>> {
+    let same = entity.schema().as_ref() == schema;
+    (0..schema.len())
+        .map(|index| {
+            if same {
+                entity.values_at(index).to_vec()
+            } else {
+                entity.values(&schema.properties()[index]).to_vec()
+            }
+        })
+        .collect()
+}
+
+impl DurableService {
+    /// Creates a durable service over a materialised target source: builds
+    /// the index, writes checkpoint generation 0 and opens its log.  Fails
+    /// with [`DurableError::AlreadyDurable`] if the directory already
+    /// holds durable state (use [`DurableService::recover`]).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target: &DataSource,
+        options: ServiceOptions,
+        durability: DurabilityOptions,
+    ) -> Result<DurableService, DurableError> {
+        let writer = ServiceWriter::build(rule, source_schema, target, options)?;
+        DurableService::initialise(dir.as_ref(), writer, durability)
+    }
+
+    /// Creates an empty durable service (populate through
+    /// [`DurableService::ingest`] / [`DurableService::insert`]).
+    pub fn create_empty(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        options: ServiceOptions,
+        durability: DurabilityOptions,
+    ) -> Result<DurableService, DurableError> {
+        let writer = ServiceWriter::empty(rule, source_schema, target_schema, options);
+        DurableService::initialise(dir.as_ref(), writer, durability)
+    }
+
+    fn initialise(
+        dir: &Path,
+        writer: ServiceWriter,
+        durability: DurabilityOptions,
+    ) -> Result<DurableService, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let scan = scan_dir(dir)?;
+        if !scan.checkpoints.is_empty() || !scan.wals.is_empty() {
+            return Err(DurableError::AlreadyDurable(dir.to_path_buf()));
+        }
+        let wal = write_generation(dir, &writer, 0, 0)?;
+        Ok(DurableService {
+            writer,
+            wal,
+            dir: dir.to_path_buf(),
+            generation: 0,
+            keep_from: 0,
+            seq: 0,
+            durability,
+            poisoned: false,
+        })
+    }
+
+    /// The wrapped writer (read-only access: stats, store, snapshots).
+    pub fn writer(&self) -> &ServiceWriter {
+        &self.writer
+    }
+
+    /// A new reader over the published epochs (see [`ServiceWriter::reader`]).
+    pub fn reader(&self) -> ServiceReader {
+        self.writer.reader()
+    }
+
+    /// Number of live target entities.
+    pub fn len(&self) -> usize {
+        self.writer.len()
+    }
+
+    /// Returns `true` when no target entity is served.
+    pub fn is_empty(&self) -> bool {
+        self.writer.is_empty()
+    }
+
+    /// Mutations acknowledged over the service's whole lifetime (the WAL
+    /// sequence number of the newest durable epoch).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Bytes in the current log (compaction triggers past the budget).
+    pub fn log_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The directory holding checkpoints and logs.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Returns `true` after a failed durable write: the in-memory state no
+    /// longer provably matches the log, and only recovery may continue.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn guard(&self) -> Result<(), DurableError> {
+        if self.poisoned {
+            return Err(DurableError::Poisoned);
+        }
+        Ok(())
+    }
+
+    /// Logs one delta durably (append + fsync); poisons the service on
+    /// failure.
+    fn log(&mut self, delta: &Delta<'_>) -> Result<(), DurableError> {
+        self.seq += 1;
+        let outcome = self
+            .wal
+            .append(self.seq, delta)
+            .and_then(|()| self.wal.sync());
+        if let Err(err) = outcome {
+            self.poisoned = true;
+            return Err(DurableError::Io(err));
+        }
+        Ok(())
+    }
+
+    /// Adds one target entity durably: logged and fsynced before the epoch
+    /// publishes and the position is acknowledged.
+    pub fn insert(&mut self, entity: &Entity) -> Result<u32, DurableError> {
+        self.guard()?;
+        if self.writer.contains(entity.id()) {
+            return Err(EntityError::DuplicateEntity(entity.id().to_string()).into());
+        }
+        let values = aligned_values(entity, self.writer.store().schema());
+        self.log(&Delta::Insert(entity.id(), &values))?;
+        let position = self
+            .writer
+            .insert_unpublished(entity)
+            .expect("id uniqueness was validated before logging");
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(position)
+    }
+
+    /// Removes a target entity durably.  Returns `Ok(false)` (logging
+    /// nothing) when the id is not served.
+    pub fn remove(&mut self, id: &str) -> Result<bool, DurableError> {
+        self.guard()?;
+        if !self.writer.contains(id) {
+            return Ok(false);
+        }
+        self.log(&Delta::Remove(id))?;
+        assert!(
+            self.writer.remove_unpublished(id),
+            "presence was validated before logging"
+        );
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(true)
+    }
+
+    /// Ingests a batch durably as **one atomic epoch**: one log record, one
+    /// fsync, one publication.  Unlike [`ServiceWriter::ingest`] (which
+    /// keeps the prefix of a failing batch), a duplicate id anywhere fails
+    /// the whole batch up front — nothing is logged, nothing applied:
+    /// atomicity is what makes a single log record sufficient.
+    pub fn ingest(&mut self, entities: &[Entity]) -> Result<usize, DurableError> {
+        self.guard()?;
+        let mut batch_ids = std::collections::HashSet::new();
+        for entity in entities {
+            if self.writer.contains(entity.id()) || !batch_ids.insert(entity.id()) {
+                return Err(EntityError::DuplicateEntity(entity.id().to_string()).into());
+            }
+        }
+        let schema = self.writer.store().schema().clone();
+        let batch: Vec<(String, Vec<Vec<String>>)> = entities
+            .iter()
+            .map(|entity| (entity.id().to_string(), aligned_values(entity, &schema)))
+            .collect();
+        self.log(&Delta::Ingest(&batch))?;
+        for entity in entities {
+            self.writer
+                .insert_unpublished(entity)
+                .expect("batch uniqueness was validated before logging");
+        }
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(entities.len())
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), DurableError> {
+        if self.wal.bytes() <= self.durability.log_budget_bytes {
+            return Ok(());
+        }
+        self.compact()
+    }
+
+    /// Rolls the log into a fresh checkpoint generation now (normally
+    /// triggered automatically by [`DurabilityOptions::log_budget_bytes`]).
+    /// The previous generation is retained as the corruption fallback.
+    pub fn compact(&mut self) -> Result<(), DurableError> {
+        self.guard()?;
+        let next = self.generation + 1;
+        let wal = match write_generation(&self.dir, &self.writer, next, self.seq) {
+            Ok(wal) => wal,
+            Err(err) => {
+                // the acknowledged state is still fully durable in the old
+                // generation, but this handle may have half-written files
+                // on disk — require recovery rather than guessing
+                self.poisoned = true;
+                return Err(err);
+            }
+        };
+        let previous = self.generation;
+        self.wal = wal;
+        self.generation = next;
+        self.keep_from = previous;
+        if let Err(err) = retire(&self.dir, self.keep_from) {
+            self.poisoned = true;
+            return Err(DurableError::Io(err));
+        }
+        Ok(())
+    }
+
+    /// Restores the newest readable checkpoint and replays the log tail;
+    /// see the module docs for the damage model.  On success the state is
+    /// bit-identical to a sequential replay of every acknowledged epoch,
+    /// re-checkpointed into a fresh generation.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        durability: DurabilityOptions,
+    ) -> Result<(DurableService, RecoveryReport), RecoveryError> {
+        let dir = dir.as_ref();
+        let scan = scan_dir(dir)?;
+        if scan.checkpoints.is_empty() {
+            return Err(RecoveryError::NoCheckpoint(dir.to_path_buf()));
+        }
+        let rule_hash = rule.canonical_hash();
+        let mut fallback_generations = 0u64;
+        let mut newest_failure: Option<(u64, String)> = None;
+        for &generation in scan.checkpoints.iter().rev() {
+            let snapshot = match std::fs::read(checkpoint_path(dir, generation)) {
+                Ok(bytes) => bytes,
+                Err(err) => {
+                    newest_failure.get_or_insert((generation, err.to_string()));
+                    fallback_generations += 1;
+                    continue;
+                }
+            };
+            let writer = match ServiceWriter::restore(rule.clone(), source_schema, &snapshot[..]) {
+                Ok(writer) => writer,
+                Err(SnapshotError::Mismatch(why)) => {
+                    // wrong rule / schema / format — a configuration error
+                    // an older generation cannot fix
+                    return Err(RecoveryError::Mismatch(why));
+                }
+                Err(err) => {
+                    newest_failure.get_or_insert((generation, err.to_string()));
+                    fallback_generations += 1;
+                    continue;
+                }
+            };
+            let (service, mut report) = DurableService::replay_and_reopen(
+                dir, writer, generation, rule_hash, &scan, durability,
+            )?;
+            report.fallback_generations = fallback_generations;
+            return Ok((service, report));
+        }
+        let (generation, detail) =
+            newest_failure.expect("at least one checkpoint attempt was made");
+        Err(RecoveryError::CorruptCheckpoint { generation, detail })
+    }
+
+    /// Replays every log generation `>= checkpoint_generation` onto a
+    /// restored writer, then re-checkpoints into a fresh generation.
+    fn replay_and_reopen(
+        dir: &Path,
+        mut writer: ServiceWriter,
+        checkpoint_generation: u64,
+        rule_hash: u64,
+        scan: &DirScan,
+        durability: DurabilityOptions,
+    ) -> Result<(DurableService, RecoveryReport), RecoveryError> {
+        let tail: Vec<u64> = scan
+            .wals
+            .iter()
+            .copied()
+            .filter(|&g| g >= checkpoint_generation)
+            .collect();
+        if tail.first() != Some(&checkpoint_generation) {
+            return Err(RecoveryError::CorruptLog {
+                generation: checkpoint_generation,
+                valid_epochs: 0,
+                detail: "the checkpoint's log file is missing".into(),
+            });
+        }
+        let mut seq: Option<u64> = None;
+        let mut replayed_epochs = 0u64;
+        let mut torn_tail_bytes = 0u64;
+        for &generation in &tail {
+            let bytes = std::fs::read(wal_path(dir, generation))?;
+            let contents: WalContents = match decode_wal(&bytes, rule_hash) {
+                Ok(contents) => contents,
+                // a log torn during creation never acknowledged anything
+                Err(WalDamage::TornHeader) => continue,
+                Err(WalDamage::Mismatch(why)) => return Err(RecoveryError::Mismatch(why)),
+                Err(WalDamage::Corrupt {
+                    valid_records,
+                    offset,
+                    detail,
+                }) => {
+                    return Err(RecoveryError::CorruptLog {
+                        generation,
+                        valid_epochs: replayed_epochs + valid_records,
+                        detail: format!("{detail} (at byte {offset})"),
+                    })
+                }
+            };
+            if contents.generation != generation {
+                return Err(RecoveryError::CorruptLog {
+                    generation,
+                    valid_epochs: replayed_epochs,
+                    detail: format!(
+                        "log file claims generation {} (misplaced file?)",
+                        contents.generation
+                    ),
+                });
+            }
+            if let Some(expected) = seq {
+                if contents.base_seq != expected {
+                    return Err(RecoveryError::CorruptLog {
+                        generation,
+                        valid_epochs: replayed_epochs,
+                        detail: format!(
+                            "log starts at sequence {} where {expected} was expected \
+                             (an intermediate log lost acknowledged epochs)",
+                            contents.base_seq
+                        ),
+                    });
+                }
+            } else {
+                seq = Some(contents.base_seq);
+            }
+            let schema = writer.store().schema().clone();
+            for record in &contents.records {
+                DurableService::apply_record(&mut writer, &schema, record)?;
+                replayed_epochs += 1;
+                seq = Some(record.seq);
+            }
+            torn_tail_bytes += contents.torn_tail_bytes;
+        }
+        writer.publish();
+
+        let seq = seq.unwrap_or(0);
+        let next = scan
+            .max_generation()
+            .expect("recover found at least one checkpoint")
+            + 1;
+        let wal = match write_generation(dir, &writer, next, seq) {
+            Ok(wal) => wal,
+            Err(DurableError::Io(err)) => return Err(RecoveryError::Io(err)),
+            Err(DurableError::Snapshot(err)) => {
+                return Err(RecoveryError::Io(io::Error::other(err.to_string())))
+            }
+            Err(err) => return Err(RecoveryError::Io(io::Error::other(err.to_string()))),
+        };
+        retire(dir, checkpoint_generation)?;
+        Ok((
+            DurableService {
+                writer,
+                wal,
+                dir: dir.to_path_buf(),
+                generation: next,
+                keep_from: checkpoint_generation,
+                seq,
+                durability,
+                poisoned: false,
+            },
+            RecoveryReport {
+                checkpoint_generation,
+                replayed_epochs,
+                torn_tail_bytes,
+                fallback_generations: 0,
+            },
+        ))
+    }
+
+    fn apply_record(
+        writer: &mut ServiceWriter,
+        schema: &Arc<Schema>,
+        record: &crate::wal::WalRecord,
+    ) -> Result<(), RecoveryError> {
+        let replay_entity = |record: &crate::wal::EntityRecord| -> Result<Entity, RecoveryError> {
+            if record.values.len() != schema.len() {
+                return Err(RecoveryError::Replay {
+                    seq: 0,
+                    detail: format!(
+                        "entity {} has {} value sets for a {}-property schema",
+                        record.id,
+                        record.values.len(),
+                        schema.len()
+                    ),
+                });
+            }
+            Ok(Entity::new(
+                record.id.clone(),
+                schema.clone(),
+                record.values.clone(),
+            ))
+        };
+        let fail = |detail: String| RecoveryError::Replay {
+            seq: record.seq,
+            detail,
+        };
+        match &record.op {
+            WalOp::Insert(entity) => {
+                let entity = replay_entity(entity)?;
+                writer
+                    .insert_unpublished(&entity)
+                    .map_err(|err| fail(err.to_string()))?;
+            }
+            WalOp::Remove(id) => {
+                if !writer.remove_unpublished(id) {
+                    return Err(fail(format!("entity {id} is not in the store")));
+                }
+            }
+            WalOp::Ingest(batch) => {
+                for entity in batch {
+                    let entity = replay_entity(entity)?;
+                    writer
+                        .insert_unpublished(&entity)
+                        .map_err(|err| fail(err.to_string()))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -33,13 +33,16 @@
 //!   comparisons, which is why the engine no longer uses it).
 
 pub mod blocking;
+pub mod durable;
 pub mod engine;
 pub mod multiblock;
 pub mod persist;
 mod scratch;
 pub mod service;
+mod wal;
 
 pub use blocking::{BlockingIndex, BlockingScratch};
+pub use durable::{DurabilityOptions, DurableError, DurableService, RecoveryError, RecoveryReport};
 pub use engine::{
     ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
 };

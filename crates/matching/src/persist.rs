@@ -111,19 +111,27 @@ impl From<io::Error> for SnapshotError {
 
 /// FNV-1a, the payload checksum (fast, dependency-free, catches the
 /// truncation and bit-rot cases a restart must not silently absorb).
+/// Shared with the write-ahead log codec (`crate::wal`).
 #[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &byte in bytes {
             self.0 ^= byte as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+
+    /// One-shot digest of a byte slice.
+    pub(crate) fn digest(bytes: &[u8]) -> u64 {
+        let mut crc = Fnv::new();
+        crc.update(bytes);
+        crc.0
     }
 }
 
@@ -221,8 +229,19 @@ impl<R: Read> Tap<R> {
                 "implausible string length {len}"
             )));
         }
-        let mut buf = vec![0u8; len];
-        self.bytes(&mut buf)?;
+        // fill in bounded chunks: a corrupt length field then costs at most
+        // one chunk of allocation before the truncated input refuses to
+        // deliver the promised bytes
+        const CHUNK: usize = 64 << 10;
+        let mut buf: Vec<u8> = Vec::with_capacity(len.min(CHUNK));
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            let start = buf.len();
+            buf.resize(start + take, 0);
+            self.bytes(&mut buf[start..])?;
+            remaining -= take;
+        }
         String::from_utf8(buf).map_err(|_| SnapshotError::Corrupt("non-utf8 string".into()))
     }
 }
@@ -555,7 +574,8 @@ mod tests {
     fn round_trip_preserves_stats_queries_and_slot_discipline() {
         let (source, target) = (source(), target());
         let mut service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         service.remove("b1");
         let bytes = snapshot_of(&service);
         let restored = LinkService::restore(rule(), source.schema(), &bytes[..]).unwrap();
@@ -577,10 +597,12 @@ mod tests {
     fn snapshots_are_deterministic() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         assert_eq!(snapshot_of(&service), snapshot_of(&service));
         // a rebuilt service over the same data writes the same bytes
-        let again = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let again = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+            .unwrap();
         assert_eq!(snapshot_of(&service), snapshot_of(&again));
     }
 
@@ -588,7 +610,8 @@ mod tests {
     fn restore_rejects_the_wrong_rule() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let bytes = snapshot_of(&service);
         let other: LinkageRule = compare(
             property("name"),
@@ -605,7 +628,8 @@ mod tests {
     fn corruption_is_detected() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let bytes = snapshot_of(&service);
         // truncation
         let err =
@@ -656,7 +680,8 @@ mod tests {
             source.schema(),
             &target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(service.stats().is_empty());
         let restored =
             LinkService::restore(jaro, source.schema(), &snapshot_of(&service)[..]).unwrap();

@@ -159,21 +159,48 @@ impl ServiceWriter {
     /// Builds a writer over a materialised target source: entities are
     /// copied into the owned store (values interned) and the index is built
     /// sharded across [`ServiceOptions::threads`] workers.
+    ///
+    /// A [`DataSource`] enforces id uniqueness on insertion, so building
+    /// from one cannot fail — the `Result` exists for callers feeding raw
+    /// entity slices through [`ServiceWriter::build_from_entities`].
     pub fn build(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
         target: &DataSource,
         options: ServiceOptions,
-    ) -> Self {
-        let plan = IndexingPlan::lower(
-            &rule,
+    ) -> Result<Self, EntityError> {
+        ServiceWriter::build_from_parts(
+            rule,
             source_schema,
             target.schema(),
-            options.link_threshold,
+            target.entities(),
+            options,
         )
-        .canonicalized();
-        let store = EntityStore::from_entities(target.schema().clone(), target.entities())
-            .expect("a DataSource has unique entity ids");
+    }
+
+    /// Builds a writer over a raw entity slice (no [`DataSource`]
+    /// pre-validation): a duplicate identifier in `target` surfaces as
+    /// [`EntityError::DuplicateEntity`] instead of panicking.
+    pub fn build_from_entities(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        target: &[Entity],
+        options: ServiceOptions,
+    ) -> Result<Self, EntityError> {
+        ServiceWriter::build_from_parts(rule, source_schema, target_schema, target, options)
+    }
+
+    fn build_from_parts(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        target: &[Entity],
+        options: ServiceOptions,
+    ) -> Result<Self, EntityError> {
+        let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
+            .canonicalized();
+        let store = EntityStore::from_entities(target_schema.clone(), target)?;
         let cache = PinnedValueCache::new();
         let index = {
             let targets: Vec<&Entity> = store.iter().map(|(_, entity)| entity.as_ref()).collect();
@@ -181,15 +208,15 @@ impl ServiceWriter {
         };
         // the construction-time epoch (version 0) already carries the fully
         // built state — no extra publication needed
-        ServiceWriter::assemble_with_cache(
+        Ok(ServiceWriter::assemble_with_cache(
             rule,
             source_schema,
-            target.schema(),
+            target_schema,
             options,
             store,
             index,
             cache,
-        )
+        ))
     }
 
     /// Restores a writer from already-reconstructed parts (the snapshot
@@ -352,6 +379,14 @@ impl ServiceWriter {
     /// not served.  Readers still pinning an older epoch keep scoring the
     /// entity until they refresh — its `Arc` stays alive in those epochs.
     pub fn remove(&mut self, id: &str) -> bool {
+        if !self.remove_unpublished(id) {
+            return false;
+        }
+        self.publish();
+        true
+    }
+
+    pub(crate) fn remove_unpublished(&mut self, id: &str) -> bool {
         let Some((position, entity)) = self.store.remove(id) else {
             return false;
         };
@@ -360,11 +395,10 @@ impl ServiceWriter {
         // block keys through the cache entries about to be evicted
         self.index.remove(position, &entity, cache);
         cache.evict(&entity, &self.target_chain_hashes);
-        self.publish();
         true
     }
 
-    fn insert_unpublished(&mut self, entity: &Entity) -> Result<u32, EntityError> {
+    pub(crate) fn insert_unpublished(&mut self, entity: &Entity) -> Result<u32, EntityError> {
         let (position, stored) = self.store.insert(entity)?;
         let cache = self.shared.cache.scoped();
         // defensive eviction: if a reader repopulated entries for a
@@ -379,7 +413,7 @@ impl ServiceWriter {
     }
 
     /// Publishes the current working state as a new immutable epoch.
-    fn publish(&mut self) {
+    pub(crate) fn publish(&mut self) {
         self.shared.epochs.publish(Arc::new(ServiceEpoch {
             index: self.index.clone(),
             entities: self.store.snapshot(),
@@ -435,10 +469,13 @@ impl ServiceReader {
         let mut scratch = self.take_scratch();
         let mut hits: Vec<(u32, f64)> = Vec::new();
         self.query_epoch(&epoch, source_entity, &mut scratch, &mut hits);
+        // a panic while a scratch was checked out poisons the pool; the
+        // buffers themselves are plain reusable allocations, so clear the
+        // poison rather than spreading the panic to every future query
         self.shared
             .scratch_pool
             .lock()
-            .expect("scratch pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(scratch);
         let mut links: Vec<ScoredLink> = hits
             .into_iter()
@@ -517,10 +554,13 @@ impl ServiceReader {
     }
 
     fn take_scratch(&self) -> CandidateScratch {
+        // recover rather than propagate a poisoned pool: pooled scratch is
+        // pure reusable allocation, and worst case we pop a buffer a
+        // panicking thread pushed half-recycled — `query_epoch` clears it
         self.shared
             .scratch_pool
             .lock()
-            .expect("scratch pool poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default()
     }
@@ -555,14 +595,15 @@ impl LinkService {
     /// Builds a service over a materialised target source, copying the
     /// entities into an owned store (the source may be dropped afterwards)
     /// and sharding the index build across [`ServiceOptions::threads`]
-    /// workers.
+    /// workers.  Fails on a duplicate target identifier (reachable when the
+    /// entities bypassed [`DataSource`]'s own uniqueness check).
     pub fn build(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
         target: &DataSource,
         options: ServiceOptions,
-    ) -> Self {
-        ServiceWriter::build(rule, source_schema, target, options).into_service()
+    ) -> Result<Self, EntityError> {
+        Ok(ServiceWriter::build(rule, source_schema, target, options)?.into_service())
     }
 
     /// Splits the service into its concurrent halves: a single writer and a
@@ -728,7 +769,8 @@ mod tests {
     fn queries_return_scored_targets_best_first() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let links = service.query(&source.entities()[0]);
         let targets: Vec<&str> = links.iter().map(|l| l.target.as_str()).collect();
         assert_eq!(targets, vec!["b1", "b3"], "berlin exact, berlim fuzzy");
@@ -741,7 +783,8 @@ mod tests {
         let (source, target) = (source(), target());
         let engine_links = MatchingEngine::new(rule()).run(&source, &target).links;
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let mut service_links: Vec<ScoredLink> = source
             .entities()
             .iter()
@@ -763,7 +806,7 @@ mod tests {
         let source = source();
         let service = {
             let target = target();
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default()).unwrap()
         };
         assert_eq!(service.len(), 3);
         assert_eq!(service.query(&source.entities()[0]).len(), 2);
@@ -831,7 +874,8 @@ mod tests {
     fn duplicate_ids_are_rejected() {
         let (source, target) = (source(), target());
         let mut service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let err = service.insert(&target.entities()[0]).unwrap_err();
         assert!(matches!(err, EntityError::DuplicateEntity(id) if id == "b1"));
     }
@@ -839,7 +883,8 @@ mod tests {
     #[test]
     fn incremental_service_matches_batch_built_service() {
         let (source, target) = (source(), target());
-        let batch = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+        let batch = LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+            .unwrap();
         let mut incremental = LinkService::empty(
             rule(),
             source.schema(),
@@ -872,7 +917,7 @@ mod tests {
         .into();
         let (source, target) = (source(), target());
         let mut service =
-            LinkService::build(jaro, source.schema(), &target, ServiceOptions::default());
+            LinkService::build(jaro, source.schema(), &target, ServiceOptions::default()).unwrap();
         assert!(service.stats().is_empty(), "no indexable comparison");
         let before = service.query(&source.entities()[1]);
         assert!(before.iter().any(|l| l.target == "b2"));
@@ -898,7 +943,8 @@ mod tests {
             source.schema(),
             &target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         for entity in source.entities() {
             service.query(entity);
         }
@@ -926,7 +972,8 @@ mod tests {
     fn hot_path_reports_positions_resolvable_to_entities() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let mut scratch = CandidateScratch::new();
         let mut hits = Vec::new();
         service.query_with(&source.entities()[1], &mut scratch, &mut hits);
@@ -943,7 +990,8 @@ mod tests {
     fn readers_pin_an_epoch_per_query_and_see_writer_publications() {
         let (source, target) = (source(), target());
         let service =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default());
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
         let (mut writer, reader) = service.split();
         let a1 = &source.entities()[0];
         assert_eq!(writer.version(), 0);
@@ -970,7 +1018,9 @@ mod tests {
     fn query_with_reports_the_epoch_version_it_ran_against() {
         let (source, target) = (source(), target());
         let (mut writer, reader) =
-            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default()).split();
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap()
+                .split();
         let mut scratch = CandidateScratch::new();
         let mut hits = Vec::new();
         let v0 = reader.query_with(&source.entities()[0], &mut scratch, &mut hits);
@@ -995,11 +1045,50 @@ mod tests {
             source().schema(),
             &target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(
             service.store().interner_hits(),
             9,
             "nine of ten equal value sets reuse the first allocation"
         );
+    }
+
+    #[test]
+    fn duplicate_target_ids_error_instead_of_panicking() {
+        let (source, target) = (source(), target());
+        let mut doubled: Vec<Entity> = target.entities().to_vec();
+        doubled.push(doubled[0].clone());
+        let err = ServiceWriter::build_from_entities(
+            rule(),
+            source.schema(),
+            target.schema(),
+            &doubled,
+            ServiceOptions::default(),
+        )
+        .expect_err("duplicate ids must be rejected");
+        assert!(matches!(err, EntityError::DuplicateEntity(ref id) if id == "b1"));
+    }
+
+    #[test]
+    fn queries_survive_a_poisoned_scratch_pool() {
+        let (source, target) = (source(), target());
+        let (writer, reader) =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap()
+                .split();
+        // seed the pool, then poison it: a thread panics mid-lock, the way
+        // a panicking query thread would
+        let _ = reader.query(&source.entities()[0]);
+        let shared = writer.reader();
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.shared.scratch_pool.lock().unwrap();
+            panic!("deliberate poison");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(writer.shared.scratch_pool.lock().is_err(), "pool poisoned");
+        // queries keep working: the pool recovers instead of propagating
+        let links = reader.query(&source.entities()[0]);
+        assert_eq!(links.len(), 2);
     }
 }

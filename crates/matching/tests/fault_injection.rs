@@ -1,0 +1,334 @@
+//! The deterministic fault-injection harness (ISSUE: kill the writer at
+//! *every* failpoint): enumerates each injection point hit by a scripted
+//! durable workload, re-runs the workload once per `(point, occurrence)`
+//! with that hit armed to fail — including torn (prefix-only) writes — and
+//! asserts that recovery never panics and never loses an acknowledged
+//! epoch.
+//!
+//! The oracle is bit-identical snapshot equality: after a kill at op `m`,
+//! the recovered state must equal the sequential replay of either the
+//! `m-1` acknowledged ops or (when the log record survived the crash) all
+//! `m` — both are supersets of everything acknowledged.  The run then
+//! finishes the script on the recovered service and must land on the same
+//! final state as an undisturbed run.
+//!
+//! Requires `--features failpoints`; the whole harness is one `#[test]`
+//! because the failpoint registry is process-global.
+#![cfg(feature = "failpoints")]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use linkdisc_entity::{Entity, Schema};
+use linkdisc_matching::{
+    DurabilityOptions, DurableService, RecoveryError, ServiceOptions, ServiceWriter,
+};
+use linkdisc_rule::{
+    compare, property, transform, DistanceFunction, LinkageRule, TransformFunction,
+};
+use linkdisc_util::fail;
+
+fn rule() -> LinkageRule {
+    compare(
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        DistanceFunction::Levenshtein,
+        2.0,
+    )
+    .into()
+}
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::new(["name", "phone"]))
+}
+
+/// Ten target entities with deliberately repeated names so the log's
+/// string interning is exercised.
+fn entities(schema: &Arc<Schema>) -> Vec<Entity> {
+    (0..10)
+        .map(|i| {
+            Entity::new(
+                format!("t{i}"),
+                schema.clone(),
+                vec![
+                    vec![format!("restaurant-{}", i % 3)],
+                    vec![format!("555-01{i:02}")],
+                ],
+            )
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Ingest(Vec<usize>),
+    Insert(usize),
+    Remove(usize),
+}
+
+/// The scripted workload: churn with re-inserted ids (slot recycling) and
+/// enough volume that the tiny log budget forces several compactions.
+fn script() -> Vec<Op> {
+    vec![
+        Op::Ingest(vec![0, 1, 2, 3]),
+        Op::Insert(4),
+        Op::Insert(5),
+        Op::Remove(1),
+        Op::Insert(6),
+        Op::Remove(0),
+        Op::Ingest(vec![7, 8]),
+        Op::Insert(9),
+        Op::Remove(4),
+        Op::Insert(0),
+        Op::Remove(7),
+        Op::Insert(1),
+    ]
+}
+
+fn apply_durable(
+    service: &mut DurableService,
+    pool: &[Entity],
+    op: &Op,
+) -> Result<(), linkdisc_matching::DurableError> {
+    match op {
+        Op::Ingest(batch) => {
+            let batch: Vec<Entity> = batch.iter().map(|&i| pool[i].clone()).collect();
+            service.ingest(&batch).map(|_| ())
+        }
+        Op::Insert(i) => service.insert(&pool[*i]).map(|_| ()),
+        Op::Remove(i) => service.remove(pool[*i].id()).map(|removed| {
+            assert!(removed, "the script only removes served ids");
+        }),
+    }
+}
+
+fn apply_shadow(writer: &mut ServiceWriter, pool: &[Entity], op: &Op) {
+    match op {
+        Op::Ingest(batch) => {
+            let batch: Vec<Entity> = batch.iter().map(|&i| pool[i].clone()).collect();
+            writer.ingest(&batch).unwrap();
+        }
+        Op::Insert(i) => {
+            writer.insert(&pool[*i]).unwrap();
+        }
+        Op::Remove(i) => {
+            assert!(writer.remove(pool[*i].id()));
+        }
+    }
+}
+
+fn snapshot(writer: &ServiceWriter) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    writer.save_snapshot(&mut bytes).unwrap();
+    bytes
+}
+
+/// Snapshot bytes of a fresh writer that applied the first `upto` ops —
+/// the sequential oracle the recovered state must match bit-identically.
+fn shadow_snapshots(pool: &[Entity], ops: &[Op]) -> Vec<Vec<u8>> {
+    let mut writer = ServiceWriter::empty(rule(), &schema(), &schema(), ServiceOptions::default());
+    let mut snapshots = vec![snapshot(&writer)];
+    for op in ops {
+        apply_shadow(&mut writer, pool, op);
+        snapshots.push(snapshot(&writer));
+    }
+    snapshots
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("linkdisc-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const BUDGET: DurabilityOptions = DurabilityOptions {
+    // tiny on purpose: the 12-op script then compacts several times, so
+    // checkpoint/rename/retire points are hit mid-workload, not just at
+    // creation
+    log_budget_bytes: 256,
+};
+
+/// One armed run: create, apply the script until the armed failpoint
+/// fires (if it ever does), recover, check the no-lost-epoch oracle,
+/// finish the script, check the final state.  Returns whether the armed
+/// point actually fired.
+fn run_armed(tag: &str, pool: &[Entity], ops: &[Op], oracle: &[Vec<u8>]) -> bool {
+    let dir = fresh_dir(tag);
+    let ctx = |what: &str| format!("[{tag}] {what}");
+
+    let mut service = match DurableService::create_empty(
+        &dir,
+        rule(),
+        &schema(),
+        &schema(),
+        ServiceOptions::default(),
+        BUDGET,
+    ) {
+        Ok(service) => Some(service),
+        Err(err) => {
+            // creation was killed: nothing was ever acknowledged, so both
+            // "no durable state" and "an empty generation 0" are sound
+            let fired = format!("{err}").contains("failpoint fired");
+            assert!(fired, "{}", ctx("create may only fail by injection"));
+            None
+        }
+    };
+
+    // apply ops until the armed failpoint fires (acked = ops that returned Ok)
+    let mut acked = 0usize;
+    let mut killed = service.is_none();
+    if let Some(service) = service.as_mut() {
+        for op in ops {
+            match apply_durable(service, pool, op) {
+                Ok(()) => acked += 1,
+                Err(err) => {
+                    assert!(
+                        format!("{err}").contains("failpoint fired"),
+                        "{}: {err}",
+                        ctx("ops may only fail by injection")
+                    );
+                    killed = true;
+                    break;
+                }
+            }
+        }
+    }
+    drop(service); // the "crash": only fsynced bytes count from here on
+
+    if !killed {
+        // the armed occurrence was never reached (occurrence counts shift a
+        // little between clean and armed runs); still verify the clean end
+        // state round-trips
+        let (recovered, _) =
+            DurableService::recover(&dir, rule(), &schema(), BUDGET).expect("clean recovery");
+        assert_eq!(
+            snapshot(recovered.writer()),
+            oracle[ops.len()],
+            "{}",
+            ctx("clean run must recover to the final sequential state")
+        );
+        return false;
+    }
+
+    // recover after the kill
+    let mut recovered = match DurableService::recover(&dir, rule(), &schema(), BUDGET) {
+        Ok((service, _report)) => service,
+        Err(RecoveryError::NoCheckpoint(_)) => {
+            assert_eq!(
+                acked,
+                0,
+                "{}",
+                ctx("no-durable-state is only sound when nothing was acknowledged")
+            );
+            return true;
+        }
+        Err(err) => panic!("{}: {err}", ctx("recovery failed")),
+    };
+
+    // the oracle: recovered state is the sequential replay of all acked
+    // ops, or of acked + the one in-flight op whose log record survived
+    let got = snapshot(recovered.writer());
+    let resume_from = if got == oracle[acked] {
+        acked
+    } else if acked < ops.len() && got == oracle[acked + 1] {
+        acked + 1
+    } else {
+        panic!(
+            "{}",
+            ctx(&format!(
+                "recovered state equals neither {acked} nor {} acked ops",
+                acked + 1
+            ))
+        );
+    };
+
+    // finish the script on the recovered service: it must behave exactly
+    // like an undisturbed writer from that state on
+    for op in &ops[resume_from..] {
+        apply_durable(&mut recovered, pool, op).expect("post-recovery ops run clean");
+    }
+    assert_eq!(
+        snapshot(recovered.writer()),
+        oracle[ops.len()],
+        "{}",
+        ctx("finished run must land on the sequential final state")
+    );
+
+    // ... and the finished state itself recovers (the second crash)
+    drop(recovered);
+    let (reopened, report) =
+        DurableService::recover(&dir, rule(), &schema(), BUDGET).expect("second recovery");
+    assert_eq!(
+        snapshot(reopened.writer()),
+        oracle[ops.len()],
+        "{}",
+        ctx("second recovery must reproduce the final state")
+    );
+    assert_eq!(report.fallback_generations, 0, "{}", ctx("no fallback"));
+    let _ = std::fs::remove_dir_all(&dir);
+    true
+}
+
+#[test]
+fn killing_the_writer_at_every_failpoint_loses_no_acknowledged_epoch() {
+    let schema = schema();
+    let pool = entities(&schema);
+    let ops = script();
+    let oracle = shadow_snapshots(&pool, &ops);
+
+    // pass 1 — clean run with the registry live but unarmed, to enumerate
+    // every (point, occurrence) the workload hits
+    fail::reset();
+    let clean = fresh_dir("clean");
+    {
+        let mut service = DurableService::create_empty(
+            &clean,
+            rule(),
+            &schema,
+            &schema,
+            ServiceOptions::default(),
+            BUDGET,
+        )
+        .expect("unarmed creation succeeds");
+        for op in &ops {
+            apply_durable(&mut service, &pool, op).expect("unarmed ops succeed");
+        }
+        assert_eq!(snapshot(service.writer()), oracle[ops.len()]);
+    }
+    let _ = std::fs::remove_dir_all(&clean);
+    let hits = fail::hit_counts();
+    assert!(
+        hits.len() >= 8,
+        "the workload must cross every injection point class, saw {hits:?}"
+    );
+
+    // pass 2 — one armed run per (point, occurrence, action)
+    let mut fired_runs = 0usize;
+    let mut armed_runs = 0usize;
+    for (point, count) in &hits {
+        let torn = point.ends_with(".write");
+        for occurrence in 0..*count {
+            let mut actions = vec![fail::FailAction::Error];
+            if torn {
+                // a prefix shorter than the 8-byte record header and one
+                // cutting into the payload
+                actions.push(fail::FailAction::TornWrite(3));
+                actions.push(fail::FailAction::TornWrite(21));
+            }
+            for (variant, action) in actions.into_iter().enumerate() {
+                fail::reset();
+                fail::configure(point, occurrence, action);
+                let tag = format!("{point}-{occurrence}-{variant}");
+                armed_runs += 1;
+                if run_armed(&tag, &pool, &ops, &oracle) {
+                    fired_runs += 1;
+                }
+                fail::reset();
+            }
+        }
+    }
+    assert!(
+        fired_runs * 2 >= armed_runs,
+        "most armed occurrences must actually fire ({fired_runs}/{armed_runs})"
+    );
+}

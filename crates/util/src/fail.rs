@@ -1,0 +1,142 @@
+//! A deterministic fault-injection (failpoint) registry, modeled on the
+//! tikv `fail` crate: named injection points sit around every write, fsync
+//! and rename of the durability paths, and a test harness arms them one at
+//! a time to simulate a crash at *exactly* that point.
+//!
+//! The registry is **feature-gated** behind `failpoints` and zero-cost when
+//! the feature is off: [`check`] compiles to an inlineable `None`, so the
+//! branch at every injection point folds away.  With the feature on, every
+//! [`check`] call records a hit for its point (so a harness can *enumerate*
+//! the points a workload passes through) and fires the configured
+//! [`FailAction`] when its countdown reaches zero.
+//!
+//! Injection points are process-global; tests that arm them must serialize
+//! (the kill-at-every-failpoint harness runs as one `#[test]`).
+
+use std::io;
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// The guarded operation fails without any side effect — the crash
+    /// happened *before* the write/fsync/rename.
+    Error,
+    /// A write performs only the first `n` bytes, then fails — a torn
+    /// write, the on-disk state a power loss mid-`write` leaves behind.
+    /// Non-write operations treat this like [`FailAction::Error`].
+    TornWrite(usize),
+}
+
+/// The `io::Error` an armed failpoint surfaces (callers propagate it like
+/// any other I/O failure; the harness recognizes it by message).
+pub fn injected(point: &str) -> io::Error {
+    io::Error::other(format!("failpoint fired: {point}"))
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    struct Armed {
+        /// Hits to let pass before firing.
+        remaining: usize,
+        action: FailAction,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        armed: HashMap<String, Armed>,
+        hits: HashMap<String, usize>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, Registry> {
+        registry().lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arms `point` to fire `action` on its `skip`-th hit from now
+    /// (0 = the very next hit).  Re-arming replaces the previous setting.
+    pub fn configure(point: &str, skip: usize, action: FailAction) {
+        lock().armed.insert(
+            point.to_string(),
+            Armed {
+                remaining: skip,
+                action,
+            },
+        );
+    }
+
+    /// Disarms every point and clears the hit counters.
+    pub fn reset() {
+        let mut registry = lock();
+        registry.armed.clear();
+        registry.hits.clear();
+    }
+
+    /// Every point hit since the last [`reset`], with its hit count —
+    /// the enumeration a kill-at-every-failpoint harness iterates.
+    pub fn hit_counts() -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = lock()
+            .hits
+            .iter()
+            .map(|(point, &count)| (point.clone(), count))
+            .collect();
+        counts.sort();
+        counts
+    }
+
+    /// Records a hit on `point`; returns the action to apply if the point
+    /// is armed and its countdown just expired (one-shot: firing disarms).
+    pub fn check(point: &str) -> Option<FailAction> {
+        let mut registry = lock();
+        *registry.hits.entry(point.to_string()).or_insert(0) += 1;
+        let armed = registry.armed.get_mut(point)?;
+        if armed.remaining > 0 {
+            armed.remaining -= 1;
+            return None;
+        }
+        let action = armed.action;
+        registry.armed.remove(point);
+        Some(action)
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{check, configure, hit_counts, reset};
+
+/// With the `failpoints` feature off, checks compile to a constant `None`
+/// and the whole injection branch folds away.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_point: &str) -> Option<FailAction> {
+    None
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_fire_once_after_their_countdown() {
+        reset();
+        configure("t.point", 2, FailAction::Error);
+        assert_eq!(check("t.point"), None);
+        assert_eq!(check("t.point"), None);
+        assert_eq!(check("t.point"), Some(FailAction::Error));
+        // one-shot: fired points disarm themselves
+        assert_eq!(check("t.point"), None);
+        assert_eq!(
+            hit_counts(),
+            vec![("t.point".to_string(), 4)],
+            "every check records a hit, armed or not"
+        );
+        reset();
+        assert!(hit_counts().is_empty());
+    }
+}

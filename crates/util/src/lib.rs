@@ -3,6 +3,7 @@
 //! thread-count resolver.
 
 pub mod epoch;
+pub mod fail;
 
 pub use epoch::{EpochCell, EpochReader};
 

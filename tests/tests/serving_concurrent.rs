@@ -136,6 +136,7 @@ fn concurrent_reads_always_equal_some_published_epoch() {
             &dataset.target,
             ServiceOptions::default(),
         )
+        .unwrap()
         .split();
         let mut scratch = CandidateScratch::new();
         let (version, results) = fingerprint(&reader, &probes, &mut scratch);
@@ -157,6 +158,7 @@ fn concurrent_reads_always_equal_some_published_epoch() {
         &dataset.target,
         ServiceOptions::default(),
     )
+    .unwrap()
     .split();
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -234,7 +236,8 @@ fn assert_restore_equals_rebuild(workload: &RuleWorkload, churn_seed: u64) {
             dataset.source.schema(),
             &dataset.target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         // churn before saving so tombstones and recycled slots are covered
         for &op in &churn_script(target.len(), 30, churn_seed) {
             match op {

@@ -102,7 +102,8 @@ fn assert_incremental_matches_batch_build(workload: &RuleWorkload, seed: u64) {
             source.schema(),
             target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         let mut service = LinkService::empty(
             rule.clone(),
             source.schema(),
@@ -166,7 +167,8 @@ fn assert_service_matches_engine(workload: &RuleWorkload) {
             source.schema(),
             target,
             ServiceOptions::default(),
-        );
+        )
+        .unwrap();
         let service_links = sort_links(
             source
                 .entities()
