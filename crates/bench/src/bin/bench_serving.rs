@@ -37,6 +37,18 @@
 //!    faster than a full rebuild** that re-derives the index and re-applies
 //!    the churn, and **recovered state identical to the rebuilt state**
 //!    (stats and per-entity query results).
+//! 8. **Sharded churn** — the same remove/re-insert workload against a
+//!    `ShardedService`: one writer thread per shard versus the single
+//!    unsharded writer, with reader threads merging per-shard epochs the
+//!    whole time.  Gates: **writer ops/s ≥ 2x with 4 shards** (enforced
+//!    only on a ≥ 4-core host; recorded otherwise), **0 allocations per
+//!    query on the reader threads under multi-shard churn** (always), and
+//!    **sharded query results equal to unsharded** on Restaurant and Cora
+//!    (always).
+//! 9. **Dual-side streaming** — `run_dual_stream` over Cora with both
+//!    sides chunked (block-nested-loop: the target re-streams once per
+//!    source chunk).  Gates (always): **links bit-equal to the batch run**
+//!    and **peak resident entities < 0.25x of source + target**.
 //!
 //! Environment: `GENLINK_BENCH_SERVING_OUT` (output path, default
 //! `BENCH_serving.json`).
@@ -47,10 +59,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use linkdisc_datasets::{Dataset, DatasetKind};
-use linkdisc_entity::Entity;
+use linkdisc_entity::{ChunkedSliceSource, ChunkedVecStream, Entity};
 use linkdisc_matching::{
     CandidateScratch, DurabilityOptions, DurableService, LinkService, MatchingEngine,
-    MatchingOptions, MultiBlockIndex, ServiceOptions, ServiceReader,
+    MatchingOptions, MultiBlockIndex, ServiceOptions, ServiceReader, ShardSlot, ShardedScratch,
+    ShardedService,
 };
 use linkdisc_rule::{
     aggregation, compare, property, transform, AggregationFunction, DistanceFunction, IndexingPlan,
@@ -110,6 +123,11 @@ const READER_THREADS: usize = 4;
 const READER_PASSES: usize = 30;
 const CHURN_OPS: usize = 400;
 const RECOVERY_CHURN: usize = 48;
+const SHARD_COUNT: usize = 4;
+const SHARDED_WRITER_GATE: f64 = 2.0;
+const SHARDED_CHURN_ROUNDS: usize = 8;
+const SHARDED_CHURN_VICTIMS: usize = 64;
+const DUAL_PEAK_GATE: f64 = 0.25;
 
 fn cora_rule() -> LinkageRule {
     compare(
@@ -274,6 +292,136 @@ fn churn(dataset: &Dataset, rule: LinkageRule) -> ChurnOutcome {
         writer_ops,
         writer_ops_per_s: writer_ops as f64 / writer_elapsed,
     }
+}
+
+/// What the sharded churn workload measured.
+struct ShardedChurnOutcome {
+    writer_ops: usize,
+    writer_ops_per_s: f64,
+    reader_queries: u64,
+    reader_allocations: u64,
+}
+
+/// The churn workload against a `ShardedService`: one writer thread per
+/// shard alternates remove/re-insert over the victims routed to it, while
+/// two reader threads merge per-shard epochs on the allocation-counted hot
+/// path.  Every shard count churns the identical victim set for the same
+/// number of rounds, so writer ops/s are comparable across shard counts.
+fn sharded_churn(dataset: &Dataset, rule: LinkageRule, shards: usize) -> ShardedChurnOutcome {
+    let service = ShardedService::build(
+        rule,
+        dataset.source.schema(),
+        &dataset.target,
+        shards,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    let router = service.router();
+    let queries: Vec<Entity> = dataset.source.entities().to_vec();
+    let victims: Vec<Entity> = dataset
+        .target
+        .entities()
+        .iter()
+        .take(SHARDED_CHURN_VICTIMS)
+        .cloned()
+        .collect();
+    let (writers, reader) = service.split();
+    let stop = AtomicBool::new(false);
+    let total_queries = AtomicU64::new(0);
+    let total_allocations = AtomicU64::new(0);
+    let mut writer_ops = 0usize;
+    let mut writer_elapsed = 0.0f64;
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let reader = reader.clone();
+            let queries = &queries;
+            let stop = &stop;
+            let total_queries = &total_queries;
+            let total_allocations = &total_allocations;
+            scope.spawn(move || {
+                let mut scratch = ShardedScratch::new();
+                let mut hits: Vec<(ShardSlot, f64)> = Vec::new();
+                // warm the per-shard scratches and the hit buffer before
+                // counting
+                for _ in 0..2 {
+                    for entity in queries.iter() {
+                        reader.query_with(entity, &mut scratch, &mut hits);
+                    }
+                }
+                let before = thread_allocations();
+                let mut queries_run = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for entity in queries.iter() {
+                        reader.query_with(entity, &mut scratch, &mut hits);
+                        queries_run += 1;
+                    }
+                }
+                total_allocations.fetch_add(thread_allocations() - before, Ordering::Relaxed);
+                total_queries.fetch_add(queries_run, Ordering::Relaxed);
+            });
+        }
+        // one writer thread per shard; disjoint routing means no
+        // coordination of any kind between them
+        let start = Instant::now();
+        let handles: Vec<_> = writers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut writer)| {
+                let mine: Vec<Entity> = victims
+                    .iter()
+                    .filter(|victim| router.route(victim.id()) == shard)
+                    .cloned()
+                    .collect();
+                scope.spawn(move || {
+                    let mut ops = 0usize;
+                    for _ in 0..SHARDED_CHURN_ROUNDS {
+                        for victim in &mine {
+                            assert!(writer.remove(victim.id()));
+                            writer.insert(victim).unwrap();
+                            ops += 2;
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        for handle in handles {
+            writer_ops += handle.join().unwrap();
+        }
+        writer_elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+    });
+    ShardedChurnOutcome {
+        writer_ops,
+        writer_ops_per_s: writer_ops as f64 / writer_elapsed,
+        reader_queries: total_queries.load(Ordering::Relaxed),
+        reader_allocations: total_allocations.load(Ordering::Relaxed),
+    }
+}
+
+/// True when a `ShardedService` over `shards` shards answers every source
+/// query identically to the unsharded service.
+fn sharded_equals_unsharded(dataset: &Dataset, rule: LinkageRule, shards: usize) -> bool {
+    let unsharded = LinkService::build(
+        rule.clone(),
+        dataset.source.schema(),
+        &dataset.target,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    let sharded = ShardedService::build(
+        rule,
+        dataset.source.schema(),
+        &dataset.target,
+        shards,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    dataset
+        .source
+        .entities()
+        .iter()
+        .all(|entity| sharded.query(entity) == unsharded.query(entity))
 }
 
 fn main() {
@@ -595,8 +743,118 @@ fn main() {
     let _ = std::fs::remove_dir_all(&recovery_dir);
     println!();
 
+    // 8. sharded churn --------------------------------------------------------
+    println!("--- sharded churn (restaurant, {SHARD_COUNT} shards) ---");
+    let unsharded_churn = sharded_churn(&restaurant, equality_rule(), 1);
+    let sharded_churned = sharded_churn(&restaurant, equality_rule(), SHARD_COUNT);
+    let writer_speedup = sharded_churned.writer_ops_per_s / unsharded_churn.writer_ops_per_s;
+    let sharded_gate_enforced = cores >= SHARD_COUNT;
+    println!(
+        "writer: {:.0} ops/s x1 shard, {:.0} ops/s x{SHARD_COUNT} shards over {} ops \
+         ({writer_speedup:.2}x, gate ≥ {SHARDED_WRITER_GATE}x, {})",
+        unsharded_churn.writer_ops_per_s,
+        sharded_churned.writer_ops_per_s,
+        sharded_churned.writer_ops,
+        if sharded_gate_enforced {
+            "enforced"
+        } else {
+            "reported only — host has fewer than 4 cores"
+        }
+    );
+    if sharded_gate_enforced && writer_speedup < SHARDED_WRITER_GATE {
+        failures.push(format!(
+            "sharded writer throughput {writer_speedup:.2}x < {SHARDED_WRITER_GATE}x \
+             with {SHARD_COUNT} shards"
+        ));
+    }
+    let sharded_allocations_per_query =
+        sharded_churned.reader_allocations as f64 / sharded_churned.reader_queries.max(1) as f64;
+    println!(
+        "readers merged {} queries across {SHARD_COUNT} epoch chains with {} allocations \
+         ({sharded_allocations_per_query:.4}/query, gate 0)",
+        sharded_churned.reader_queries, sharded_churned.reader_allocations
+    );
+    if sharded_churned.reader_allocations != 0 {
+        failures.push(format!(
+            "sharded reader hot path allocated {} times under multi-shard churn (gate: 0)",
+            sharded_churned.reader_allocations
+        ));
+    }
+    let restaurant_parity = sharded_equals_unsharded(&restaurant, restaurant_rule(), SHARD_COUNT);
+    let cora_parity = sharded_equals_unsharded(&cora, cora_rule(), SHARD_COUNT);
+    println!(
+        "sharded == unsharded query results: restaurant {restaurant_parity}, cora {cora_parity}"
+    );
+    if !restaurant_parity {
+        failures.push("sharded restaurant queries diverge from unsharded".to_string());
+    }
+    if !cora_parity {
+        failures.push("sharded cora queries diverge from unsharded".to_string());
+    }
+    println!();
+
+    // 9. dual-side streaming --------------------------------------------------
+    let dual_source_chunk = (cora.source.len() / 8).max(1);
+    let dual_target_chunk = (cora.target.len() / 8).max(1);
+    println!(
+        "--- dual-side streaming (cora, source chunk {dual_source_chunk}, target chunk \
+         {dual_target_chunk}) ---"
+    );
+    let mut dual_source = ChunkedVecStream::new(
+        "cora-queries",
+        cora.source.schema().clone(),
+        cora.source
+            .entities()
+            .chunks(dual_source_chunk)
+            .map(|chunk| chunk.to_vec())
+            .collect(),
+    );
+    let mut dual_target = ChunkedSliceSource::new(
+        "cora-targets",
+        cora.target.schema().clone(),
+        cora.target
+            .entities()
+            .chunks(dual_target_chunk)
+            .map(|chunk| chunk.to_vec())
+            .collect(),
+    );
+    let dual_start = Instant::now();
+    let dual = MatchingEngine::new(cora_rule())
+        .with_options(MatchingOptions {
+            chunk_size: dual_target_chunk,
+            source_chunk_size: dual_source_chunk,
+            ..MatchingOptions::default()
+        })
+        .run_dual_stream(&mut dual_source, &mut dual_target);
+    let dual_ms = dual_start.elapsed().as_secs_f64() * 1e3;
+    let dual_links_match = dual.links == batch.links;
+    let dual_peak = dual.peak_source_chunk_entities + dual.peak_chunk_entities;
+    let dual_total = dual.source_entities + dual.target_entities;
+    let dual_peak_fraction = dual_peak as f64 / dual_total as f64;
+    println!(
+        "{} source chunks x {} target passes in {dual_ms:.1} ms; peak resident {} + {} of \
+         {} + {} entities ({:.1}%, gate < {:.0}%), links match batch: {dual_links_match}",
+        dual.source_chunks,
+        dual.source_chunks,
+        dual.peak_source_chunk_entities,
+        dual.peak_chunk_entities,
+        dual.source_entities,
+        dual.target_entities,
+        dual_peak_fraction * 100.0,
+        DUAL_PEAK_GATE * 100.0
+    );
+    if !dual_links_match {
+        failures.push("dual-streamed links diverge from the batch run".to_string());
+    }
+    if dual_peak_fraction >= DUAL_PEAK_GATE {
+        failures.push(format!(
+            "dual-stream peak residency {dual_peak_fraction:.3} is not under {DUAL_PEAK_GATE}"
+        ));
+    }
+    println!();
+
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }},\n  \"recovery\": {{\n    \"workload\": \"cora\",\n    \"acked_epochs\": {acked_epochs},\n    \"wal_bytes\": {wal_bytes},\n    \"checkpoint_generation\": {},\n    \"replayed_epochs\": {},\n    \"recover_ms\": {recover_ms:.1},\n    \"rebuild_ms\": {rebuild_ms:.1},\n    \"recovery_speedup_vs_rebuild\": {recovery_speedup:.1},\n    \"speedup_gate\": 1.0,\n    \"recovered_identical_to_rebuilt\": {recovered_identical}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }},\n  \"recovery\": {{\n    \"workload\": \"cora\",\n    \"acked_epochs\": {acked_epochs},\n    \"wal_bytes\": {wal_bytes},\n    \"checkpoint_generation\": {},\n    \"replayed_epochs\": {},\n    \"recover_ms\": {recover_ms:.1},\n    \"rebuild_ms\": {rebuild_ms:.1},\n    \"recovery_speedup_vs_rebuild\": {recovery_speedup:.1},\n    \"speedup_gate\": 1.0,\n    \"recovered_identical_to_rebuilt\": {recovered_identical}\n  }},\n  \"sharded_churn\": {{\n    \"workload\": \"restaurant\",\n    \"rule\": \"equality(phone)\",\n    \"shards\": {SHARD_COUNT},\n    \"writer_ops\": {},\n    \"writer_ops_per_s_1_shard\": {:.0},\n    \"writer_ops_per_s_{SHARD_COUNT}_shards\": {:.0},\n    \"writer_speedup\": {writer_speedup:.2},\n    \"writer_speedup_gate\": {SHARDED_WRITER_GATE},\n    \"writer_gate_enforced\": {sharded_gate_enforced},\n    \"reader_queries\": {},\n    \"reader_allocations\": {},\n    \"reader_allocations_per_query\": {sharded_allocations_per_query:.4},\n    \"reader_allocation_gate\": 0,\n    \"sharded_equals_unsharded_restaurant\": {restaurant_parity},\n    \"sharded_equals_unsharded_cora\": {cora_parity}\n  }},\n  \"dual_stream\": {{\n    \"workload\": \"cora\",\n    \"source_chunk_size\": {dual_source_chunk},\n    \"target_chunk_size\": {dual_target_chunk},\n    \"source_chunks\": {},\n    \"peak_source_entities\": {},\n    \"peak_target_entities\": {},\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {dual_peak_fraction:.4},\n    \"peak_fraction_gate\": {DUAL_PEAK_GATE},\n    \"run_ms\": {dual_ms:.1},\n    \"links_match_batch\": {dual_links_match}\n  }}\n}}\n",
         cora.target.len(),
         restaurant.source.len(),
         restaurant.target.len(),
@@ -613,6 +871,16 @@ fn main() {
         snapshot_bytes.len(),
         report.checkpoint_generation,
         report.replayed_epochs,
+        sharded_churned.writer_ops,
+        unsharded_churn.writer_ops_per_s,
+        sharded_churned.writer_ops_per_s,
+        sharded_churned.reader_queries,
+        sharded_churned.reader_allocations,
+        dual.source_chunks,
+        dual.peak_source_chunk_entities,
+        dual.peak_chunk_entities,
+        dual.source_entities,
+        dual.target_entities,
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("wrote {out_path}");

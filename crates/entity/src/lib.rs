@@ -45,5 +45,7 @@ pub use pair::{EntityPair, ResolvedReferenceLinks};
 pub use schema::{PropertyIndex, Schema};
 pub use source::{DataSource, DataSourceBuilder};
 pub use store::{EntitySnapshot, EntityStore};
-pub use stream::{ChunkedVecStream, MaterializedStream, StreamingSource};
+pub use stream::{
+    ChunkedSliceSource, ChunkedVecStream, MaterializedStream, RestreamableSource, StreamingSource,
+};
 pub use value::{normalized_tokens, ValueSet};

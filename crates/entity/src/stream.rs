@@ -51,6 +51,163 @@ pub trait StreamingSource {
     }
 }
 
+impl<S: StreamingSource + ?Sized> StreamingSource for &mut S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        (**self).schema()
+    }
+
+    fn next_chunk(&mut self, max_entities: usize) -> Option<Cow<'_, [Entity]>> {
+        (**self).next_chunk(max_entities)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        (**self).size_hint()
+    }
+}
+
+/// A source that can be streamed **repeatedly**: every [`open`] starts a
+/// fresh pass delivering the same entities in the same order.
+///
+/// This is what dual-side streaming needs: matching a streamed source
+/// against a streamed target visits every (source chunk × target chunk)
+/// pair, so one side must be re-streamable — one full target pass per
+/// resident source chunk, with peak memory of one chunk per side.  A
+/// materialised [`DataSource`] re-streams for free (borrowed windows); a
+/// file-backed source would re-open the file.
+///
+/// [`open`]: RestreamableSource::open
+pub trait RestreamableSource {
+    /// The name of this source (diagnostics only).
+    fn name(&self) -> &str;
+
+    /// The schema shared by every streamed entity.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// Starts a fresh pass over the full entity set.  Passes must be
+    /// identical: same entities, same order.
+    fn open(&mut self) -> Box<dyn StreamingSource + '_>;
+
+    /// Total number of entities, when known up front.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl RestreamableSource for DataSource {
+    fn name(&self) -> &str {
+        DataSource::name(self)
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        DataSource::schema(self)
+    }
+
+    fn open(&mut self) -> Box<dyn StreamingSource + '_> {
+        Box::new(MaterializedStream::new(self))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.len())
+    }
+}
+
+impl RestreamableSource for &DataSource {
+    fn name(&self) -> &str {
+        DataSource::name(self)
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        DataSource::schema(self)
+    }
+
+    fn open(&mut self) -> Box<dyn StreamingSource + '_> {
+        Box::new(MaterializedStream::new(self))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.len())
+    }
+}
+
+/// A [`RestreamableSource`] over owned, pre-partitioned chunks: every pass
+/// borrows the same chunk list, so re-streaming allocates nothing.  The
+/// owned-chunk counterpart of re-streaming a [`DataSource`], e.g. for
+/// sources parsed once into segments.
+#[derive(Debug)]
+pub struct ChunkedSliceSource {
+    name: String,
+    schema: Arc<Schema>,
+    chunks: Vec<Vec<Entity>>,
+    total: usize,
+}
+
+impl ChunkedSliceSource {
+    /// Creates a re-streamable source that delivers the given chunks, in
+    /// order, on every pass (each chunk as-is, ignoring `max_entities`
+    /// beyond the chunk boundary).
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>, chunks: Vec<Vec<Entity>>) -> Self {
+        let total = chunks.iter().map(Vec::len).sum();
+        ChunkedSliceSource {
+            name: name.into(),
+            schema,
+            chunks,
+            total,
+        }
+    }
+}
+
+impl RestreamableSource for ChunkedSliceSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Box<dyn StreamingSource + '_> {
+        Box::new(ChunkedSlicePass {
+            source: self,
+            cursor: 0,
+        })
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.total)
+    }
+}
+
+/// One pass over a [`ChunkedSliceSource`], borrowing each stored chunk.
+#[derive(Debug)]
+struct ChunkedSlicePass<'a> {
+    source: &'a ChunkedSliceSource,
+    cursor: usize,
+}
+
+impl StreamingSource for ChunkedSlicePass<'_> {
+    fn name(&self) -> &str {
+        &self.source.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.source.schema
+    }
+
+    fn next_chunk(&mut self, _max_entities: usize) -> Option<Cow<'_, [Entity]>> {
+        let chunk = self.source.chunks.get(self.cursor)?;
+        self.cursor += 1;
+        Some(Cow::Borrowed(&chunk[..]))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.source.chunks[self.cursor..].iter().map(Vec::len).sum())
+    }
+}
+
 /// Streams a materialised [`DataSource`] by borrowing windows of its entity
 /// slice — the zero-copy adapter that turns the engine's batch path into a
 /// streaming run with one (or a few) borrowed chunks.

@@ -63,10 +63,11 @@ use std::sync::Arc;
 
 use linkdisc_entity::{DataSource, Entity, EntityError, Schema};
 use linkdisc_rule::LinkageRule;
-use linkdisc_util::fail;
+use linkdisc_util::{fail, parallel_ordered_map, parallel_ordered_map_mut};
 
 use crate::persist::SnapshotError;
 use crate::service::{ServiceOptions, ServiceReader, ServiceWriter};
+use crate::sharded::{ShardRouter, ShardSlot, ShardedReader};
 use crate::wal::{
     decode_wal, guarded_dir_sync, guarded_rename, guarded_sync, guarded_write, Delta, WalContents,
     WalDamage, WalOp, WalWriter,
@@ -802,6 +803,331 @@ impl DurableService {
                         .map_err(|err| fail(err.to_string()))?;
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// The subdirectory holding one shard's checkpoint/log generation chain.
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:03}"))
+}
+
+/// The `shard-NNN` subdirectories present under a sharded root, ascending.
+fn existing_shard_dirs(dir: &Path) -> io::Result<Vec<usize>> {
+    let mut shards = Vec::new();
+    if !dir.exists() {
+        return Ok(shards);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("shard-") else {
+            continue;
+        };
+        if rest.len() == 3 {
+            if let Ok(index) = rest.parse::<usize>() {
+                shards.push(index);
+            }
+        }
+    }
+    shards.sort_unstable();
+    Ok(shards)
+}
+
+/// A crash-safe sharded serving store: one independent [`DurableService`]
+/// per shard, each with its **own** checkpoint/WAL generation chain under
+/// `<dir>/shard-NNN/`, partitioned by the same [`ShardRouter`] the
+/// in-memory [`crate::ShardedService`] uses.
+///
+/// Shard independence is the point: shard writers append and compact their
+/// logs concurrently (no cross-shard lock, no shared fsync queue), and a
+/// crash — or a poisoned write — in one shard's WAL or compaction never
+/// touches another shard's acknowledged epochs: every other shard recovers
+/// exactly as if the failing shard did not exist.
+/// [`ShardedDurableService::recover`] recovers each shard in shard order
+/// and returns one [`RecoveryReport`] per shard.
+///
+/// Durability semantics within a shard are exactly [`DurableService`]'s
+/// (log + fsync before acknowledge, crash-safe compaction, poisoning).  A
+/// cross-shard [`ShardedDurableService::ingest`] is validated up-front and
+/// then applied **per-shard atomically** (one log record, one fsync, one
+/// publication per touched shard) — there is no cross-shard commit record,
+/// so a crash between shard fsyncs can persist some shards' sub-batches
+/// and not others'; each surviving sub-batch is intact.
+pub struct ShardedDurableService {
+    router: ShardRouter,
+    shards: Vec<DurableService>,
+    threads: usize,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for ShardedDurableService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDurableService")
+            .field("dir", &self.dir)
+            .field("shards", &self.router.shards())
+            .field("entities", &self.len())
+            .field("poisoned", &self.is_poisoned())
+            .finish()
+    }
+}
+
+impl ShardedDurableService {
+    /// Creates a sharded durable store over a materialised target source:
+    /// entities are partitioned by the router and every shard writes its
+    /// own checkpoint generation 0 and opens its own log.  Fails with
+    /// [`DurableError::AlreadyDurable`] if the directory already holds
+    /// shard state (use [`ShardedDurableService::recover`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target: &DataSource,
+        shards: usize,
+        options: ServiceOptions,
+        durability: DurabilityOptions,
+    ) -> Result<ShardedDurableService, DurableError> {
+        let router = ShardRouter::new(shards);
+        let mut parts: Vec<Vec<Entity>> = vec![Vec::new(); shards];
+        for entity in target.entities() {
+            parts[router.route(entity.id())].push(entity.clone());
+        }
+        ShardedDurableService::initialise_shards(
+            dir.as_ref(),
+            router,
+            options,
+            durability,
+            |index| {
+                ServiceWriter::build_from_entities(
+                    rule.clone(),
+                    source_schema,
+                    target.schema(),
+                    &parts[index],
+                    options,
+                )
+                .map_err(DurableError::from)
+            },
+        )
+    }
+
+    /// Creates an empty sharded durable store (populate through
+    /// [`ShardedDurableService::ingest`] / [`ShardedDurableService::insert`]).
+    pub fn create_empty(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        shards: usize,
+        options: ServiceOptions,
+        durability: DurabilityOptions,
+    ) -> Result<ShardedDurableService, DurableError> {
+        let router = ShardRouter::new(shards);
+        ShardedDurableService::initialise_shards(dir.as_ref(), router, options, durability, |_| {
+            Ok(ServiceWriter::empty(
+                rule.clone(),
+                source_schema,
+                target_schema,
+                options,
+            ))
+        })
+    }
+
+    fn initialise_shards(
+        dir: &Path,
+        router: ShardRouter,
+        options: ServiceOptions,
+        durability: DurabilityOptions,
+        mut build: impl FnMut(usize) -> Result<ServiceWriter, DurableError>,
+    ) -> Result<ShardedDurableService, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        if !existing_shard_dirs(dir)?.is_empty() {
+            return Err(DurableError::AlreadyDurable(dir.to_path_buf()));
+        }
+        let mut shards = Vec::with_capacity(router.shards());
+        for index in 0..router.shards() {
+            let writer = build(index)?;
+            shards.push(DurableService::initialise(
+                &shard_dir(dir, index),
+                writer,
+                durability,
+            )?);
+        }
+        Ok(ShardedDurableService {
+            router,
+            shards,
+            threads: options.threads,
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Recovers every shard under `<dir>/shard-NNN/` in shard order,
+    /// returning one [`RecoveryReport`] per shard.  The shard directories
+    /// must be contiguous from `shard-000`; a gap means a shard's entire
+    /// directory was lost, which (unlike a torn log tail) cannot be
+    /// distinguished from acknowledged-data loss and is reported as a
+    /// mismatch.  A failure inside one shard's chain surfaces that shard's
+    /// [`RecoveryError`]; the other shards' directories are untouched and
+    /// remain individually recoverable via [`DurableService::recover`] on
+    /// their subdirectory.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        durability: DurabilityOptions,
+    ) -> Result<(ShardedDurableService, Vec<RecoveryReport>), RecoveryError> {
+        let dir = dir.as_ref();
+        let found = existing_shard_dirs(dir)?;
+        if found.is_empty() {
+            return Err(RecoveryError::NoCheckpoint(dir.to_path_buf()));
+        }
+        for (expected, &actual) in found.iter().enumerate() {
+            if actual != expected {
+                return Err(RecoveryError::Mismatch(format!(
+                    "shard directories are not contiguous: found shard-{actual:03} where \
+                     shard-{expected:03} was expected"
+                )));
+            }
+        }
+        let mut shards = Vec::with_capacity(found.len());
+        let mut reports = Vec::with_capacity(found.len());
+        for index in 0..found.len() {
+            let (service, report) = DurableService::recover(
+                shard_dir(dir, index),
+                rule.clone(),
+                source_schema,
+                durability,
+            )?;
+            shards.push(service);
+            reports.push(report);
+        }
+        Ok((
+            ShardedDurableService {
+                router: ShardRouter::new(reports.len()),
+                shards,
+                threads: 0,
+                dir: dir.to_path_buf(),
+            },
+            reports,
+        ))
+    }
+
+    /// The router partitioning entity ids across shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The per-shard durable services, in shard order.
+    pub fn shards(&self) -> &[DurableService] {
+        &self.shards
+    }
+
+    /// One shard's durable service (e.g. to compact or inspect it alone).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut DurableService {
+        &mut self.shards[shard]
+    }
+
+    /// The root directory (shard chains live in `shard-NNN` below it).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total live target entities across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(DurableService::len).sum()
+    }
+
+    /// Returns `true` when no shard serves any entity.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(DurableService::is_empty)
+    }
+
+    /// Total mutations acknowledged across all shards.
+    pub fn seq(&self) -> u64 {
+        self.shards.iter().map(DurableService::seq).sum()
+    }
+
+    /// Returns `true` if **any** shard poisoned itself; the others keep
+    /// accepting writes (shard independence), but a poisoned shard only
+    /// recovers via [`ShardedDurableService::recover`].
+    pub fn is_poisoned(&self) -> bool {
+        self.shards.iter().any(DurableService::is_poisoned)
+    }
+
+    /// A sharded reader over every shard's published epochs.
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader::from_parts(
+            self.router,
+            self.shards
+                .iter()
+                .map(|shard| shard.writer().reader())
+                .collect(),
+        )
+    }
+
+    /// Adds one target entity durably to its routed shard.  Returns the
+    /// sharded slot; only that shard logs, fsyncs and publishes.
+    pub fn insert(&mut self, entity: &Entity) -> Result<ShardSlot, DurableError> {
+        let shard = self.router.route(entity.id());
+        let position = self.shards[shard].insert(entity)?;
+        Ok(ShardSlot {
+            shard: shard as u32,
+            position,
+        })
+    }
+
+    /// Removes a target entity durably from its routed shard.  Returns
+    /// `Ok(false)` (logging nothing) when the id is not served.
+    pub fn remove(&mut self, id: &str) -> Result<bool, DurableError> {
+        self.shards[self.router.route(id)].remove(id)
+    }
+
+    /// Ingests a batch durably across shards: routed in parallel, validated
+    /// **up-front** (a duplicate anywhere fails the whole call before
+    /// anything is logged), then applied with one worker per shard — each
+    /// touched shard appends one log record, fsyncs and publishes
+    /// independently, which is where the N-way write parallelism comes
+    /// from.  Per-shard atomic, not cross-shard atomic (see the type docs).
+    pub fn ingest(&mut self, entities: &[Entity]) -> Result<usize, DurableError> {
+        let router = self.router;
+        let routes =
+            parallel_ordered_map(entities, self.threads, |entity| router.route(entity.id()));
+        let mut batch_ids: std::collections::HashSet<&str> =
+            std::collections::HashSet::with_capacity(entities.len());
+        for (entity, &shard) in entities.iter().zip(&routes) {
+            if self.shards[shard].is_poisoned() {
+                return Err(DurableError::Poisoned);
+            }
+            if !batch_ids.insert(entity.id()) || self.shards[shard].writer().contains(entity.id()) {
+                return Err(EntityError::DuplicateEntity(entity.id().to_string()).into());
+            }
+        }
+        let mut per_shard: Vec<Vec<Entity>> = vec![Vec::new(); self.router.shards()];
+        for (entity, &shard) in entities.iter().zip(&routes) {
+            per_shard[shard].push(entity.clone());
+        }
+        let mut jobs: Vec<(&mut DurableService, Vec<Entity>)> =
+            self.shards.iter_mut().zip(per_shard).collect();
+        let results = parallel_ordered_map_mut(&mut jobs, self.threads, |_, (shard, batch)| {
+            if batch.is_empty() {
+                return Ok(0usize);
+            }
+            shard.ingest(batch)
+        });
+        let mut total = 0usize;
+        for result in results {
+            total += result?;
+        }
+        Ok(total)
+    }
+
+    /// Compacts every shard's log into a fresh checkpoint generation now
+    /// (each shard also self-compacts past its own log budget).
+    pub fn compact(&mut self) -> Result<(), DurableError> {
+        for shard in &mut self.shards {
+            shard.compact()?;
         }
         Ok(())
     }

@@ -10,7 +10,12 @@
 //! [`MultiBlockIndex`] (built across `threads` workers), the chunk's
 //! candidates are scored, and the chunk is dropped before the next one is
 //! requested — peak memory is the source plus *one* chunk, never the whole
-//! target.  Chunking is exact, not approximate: the candidate-set algebra
+//! target.  The source side streams too
+//! ([`MatchingEngine::run_dual_stream`]): with a re-streamable target
+//! ([`RestreamableSource`]) the core visits every (source chunk × target
+//! chunk) pair — one full target pass per resident source chunk — so peak
+//! memory drops to one chunk per *side*.  Chunking is exact, not
+//! approximate: the candidate-set algebra
 //! distributes over a partition of the target (`plan(chunk) = plan(full) ∩
 //! chunk` for every node, since intersections and unions restrict
 //! elementwise), so the links *and* the evaluated-pair count of a chunked
@@ -24,7 +29,12 @@
 //! and scoring — a transform chain computed while indexing a target entity
 //! is reused when the rule scores that entity's candidate pairs.
 
-use linkdisc_entity::{DataSource, Entity, MaterializedStream, StreamingSource};
+use linkdisc_entity::{
+    DataSource, Entity, MaterializedStream, RestreamableSource, StreamingSource,
+};
+use std::sync::Arc;
+
+use linkdisc_entity::Schema;
 use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 use linkdisc_util::resolve_threads;
 
@@ -86,6 +96,17 @@ pub struct MatchingOptions {
     /// control there, not a ceiling.  Sizing never affects results, only
     /// residency (observable as [`MatchingReport::peak_chunk_bytes`]).
     pub chunk_bytes: usize,
+    /// Maximum **source** entities resident at a time; 0 means the whole
+    /// source in one chunk.  Applies to [`MatchingEngine::run`] and
+    /// [`MatchingEngine::run_dual_stream`]: the source is consumed chunk by
+    /// chunk and the target is re-streamed once per source chunk, so peak
+    /// memory is one chunk per side.  Results are identical for every
+    /// source chunk size (best-match merging and the candidate-set algebra
+    /// both compose across source partitions), but the target index is
+    /// rebuilt once per source chunk — the usual streaming time/memory
+    /// trade.  [`MatchingEngine::run_stream`]'s target can only be streamed
+    /// once, so that entry point keeps the source in one chunk regardless.
+    pub source_chunk_size: usize,
 }
 
 /// Entities requested for the first chunk of a byte-budgeted run, before
@@ -102,6 +123,7 @@ impl Default for MatchingOptions {
             link_threshold: LINK_THRESHOLD,
             chunk_size: 0,
             chunk_bytes: 0,
+            source_chunk_size: 0,
         }
     }
 }
@@ -134,10 +156,23 @@ pub struct MatchingReport {
     pub evaluated_pairs: usize,
     /// Size of the full cross product, for comparison.
     pub cross_product: usize,
-    /// Total target entities consumed from the (possibly streamed) target.
+    /// Total source entities consumed from the (possibly streamed) source.
+    pub source_entities: usize,
+    /// Total target entities consumed from the (possibly streamed) target
+    /// (counted once, on the first pass, when the target is re-streamed).
     pub target_entities: usize,
-    /// Number of target chunks processed (1 for a batch run).
+    /// Number of source chunks processed (1 unless
+    /// [`MatchingOptions::source_chunk_size`] bounds the source).
+    pub source_chunks: usize,
+    /// Number of non-empty target chunks processed, summed over target
+    /// passes (1 for a batch run; on a dual-streamed run the target is
+    /// re-streamed once per source chunk, so this counts total index-build
+    /// work, not distinct target entities).
     pub chunks: usize,
+    /// Largest number of source entities resident at once — the
+    /// source-side streaming peak-memory proxy (equals `source_entities`
+    /// unless the source is chunked).
+    pub peak_source_chunk_entities: usize,
     /// Largest number of target entities resident at once — the streaming
     /// peak-memory proxy (equals `target_entities` for a batch run).
     pub peak_chunk_entities: usize,
@@ -188,11 +223,14 @@ impl MatchingEngine {
     }
 
     /// Generates links between two materialised data sources — a thin
-    /// wrapper that streams the target as borrowed chunks through
-    /// [`MatchingEngine::run_stream`] (one whole-source chunk unless
-    /// [`MatchingOptions::chunk_size`] bounds it).
+    /// wrapper over the streaming core that streams both sides as borrowed
+    /// chunks (one whole-source / whole-target chunk unless
+    /// [`MatchingOptions::source_chunk_size`] /
+    /// [`MatchingOptions::chunk_size`] bound them).
     pub fn run(&self, source: &DataSource, target: &DataSource) -> MatchingReport {
-        self.run_stream(source, &mut MaterializedStream::new(target))
+        let mut source_stream = MaterializedStream::new(source);
+        let mut target_ref: &DataSource = target;
+        self.run_core(&mut source_stream, &mut target_ref, self.source_cap())
     }
 
     /// Generates links between a materialised source and a *streamed*
@@ -200,58 +238,113 @@ impl MatchingEngine {
     /// [`MatchingOptions::chunk_size`] entities resident at a time); links,
     /// evaluated-pair counts and per-leaf candidate counts are identical to
     /// a batch run over the materialised equivalent.
+    ///
+    /// The target can only be streamed once, so the source stays resident
+    /// in one chunk regardless of [`MatchingOptions::source_chunk_size`];
+    /// use [`MatchingEngine::run_dual_stream`] with a
+    /// [`RestreamableSource`] target to bound both sides.
     pub fn run_stream(
         &self,
         source: &DataSource,
         target: &mut dyn StreamingSource,
     ) -> MatchingReport {
-        let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
-        let empty_report = |target_entities: usize| MatchingReport {
+        let mut wrapper = OneShotTarget {
+            name: target.name().to_string(),
+            schema: target.schema().clone(),
+            inner: Some(target),
+        };
+        let mut source_stream = MaterializedStream::new(source);
+        // one whole-source chunk => exactly one target pass => the
+        // single-use wrapper is opened at most once
+        self.run_core(&mut source_stream, &mut wrapper, usize::MAX)
+    }
+
+    /// Generates links with **both** sides streamed: the source arrives in
+    /// bounded chunks ([`MatchingOptions::source_chunk_size`]) and the
+    /// target is re-streamed once per resident source chunk, itself in
+    /// bounded chunks ([`MatchingOptions::chunk_size`] /
+    /// [`MatchingOptions::chunk_bytes`]) — peak memory is one source chunk
+    /// plus one target chunk.  Links are identical to the batch run over
+    /// the materialised equivalents: each source entity is delivered in
+    /// exactly one chunk (the [`StreamingSource`] contract), so per-chunk
+    /// best-match winners and candidate sets compose losslessly.
+    pub fn run_dual_stream(
+        &self,
+        source: &mut dyn StreamingSource,
+        target: &mut dyn RestreamableSource,
+    ) -> MatchingReport {
+        self.run_core(source, target, self.source_cap())
+    }
+
+    /// The per-chunk entity cap for the streamed source side.
+    fn source_cap(&self) -> usize {
+        if self.options.source_chunk_size == 0 {
+            usize::MAX
+        } else {
+            self.options.source_chunk_size
+        }
+    }
+
+    /// The streaming core behind every entry point: chunk × chunk over a
+    /// streamed source and a re-streamable target.
+    fn run_core(
+        &self,
+        source: &mut dyn StreamingSource,
+        target: &mut dyn RestreamableSource,
+        source_cap: usize,
+    ) -> MatchingReport {
+        let source_cap = source_cap.max(1);
+        let source_schema = source.schema().clone();
+        let target_schema = target.schema().clone();
+        let empty_report = |source_entities: usize, target_entities: usize| MatchingReport {
             links: Vec::new(),
             evaluated_pairs: 0,
-            cross_product: source.len() * target_entities,
+            cross_product: source_entities * target_entities,
+            source_entities,
             target_entities,
+            source_chunks: 0,
             chunks: 0,
+            peak_source_chunk_entities: 0,
             peak_chunk_entities: 0,
             peak_chunk_bytes: 0,
             comparison_stats: Vec::new(),
         };
         if self.rule.root().is_none() {
-            return empty_report(drain(target, &mut sizer));
+            let source_entities = drain_counting(source, source_cap);
+            let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
+            let target_entities = drain(&mut *target.open(), &mut sizer);
+            return empty_report(source_entities, target_entities);
         }
 
         let indexed_plan = if self.options.use_blocking {
             let plan = IndexingPlan::lower(
                 &self.rule,
-                source.schema(),
-                target.schema(),
+                &source_schema,
+                &target_schema,
                 self.options.link_threshold,
             )
             .canonicalized();
             if plan.is_empty_result() {
                 // no pair can reach the link threshold; skip evaluation
-                return empty_report(drain(target, &mut sizer));
+                let source_entities = drain_counting(source, source_cap);
+                let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
+                let target_entities = drain(&mut *target.open(), &mut sizer);
+                return empty_report(source_entities, target_entities);
             }
             // an exhaustive plan cannot prune — fall through with no index
-            (!plan.is_exhaustive()).then(|| std::sync::Arc::new(plan))
+            (!plan.is_exhaustive()).then(|| Arc::new(plan))
         } else {
             None
         };
 
-        let compiled = CompiledRule::compile(&self.rule, source.schema(), target.schema());
+        let compiled = CompiledRule::compile(&self.rule, &source_schema, &target_schema);
         let threads = resolve_threads(self.options.threads).max(1);
-        let source_cache = ValueCache::new();
         let leaf_count = indexed_plan
             .as_ref()
             .map(|plan| plan.comparisons().len())
             .unwrap_or(0);
 
         let mut links: Vec<ScoredLink> = Vec::new();
-        let mut bests: Vec<Option<ScoredLink>> = if self.options.best_match_only {
-            vec![None; source.len()]
-        } else {
-            Vec::new()
-        };
         let mut evaluated_pairs = 0usize;
         let mut leaf_candidates = vec![0usize; leaf_count];
         let mut comparison_stats: Vec<ComparisonBlockStats> = indexed_plan
@@ -269,93 +362,133 @@ impl MatchingEngine {
                     .collect()
             })
             .unwrap_or_default();
+        let mut source_entities = 0usize;
+        let mut source_chunks = 0usize;
+        let mut peak_source_chunk_entities = 0usize;
         let mut target_entities = 0usize;
         let mut chunks = 0usize;
         let mut peak_chunk_entities = 0usize;
         let mut peak_chunk_bytes = 0usize;
+        let mut first_pass = true;
 
-        while let Some(chunk) = target.next_chunk(sizer.next_cap()) {
-            let chunk: &[Entity] = &chunk;
-            target_entities += chunk.len();
-            if chunk.is_empty() {
+        while let Some(source_chunk) = source.next_chunk(source_cap) {
+            let source_chunk: &[Entity] = &source_chunk;
+            source_entities += source_chunk.len();
+            if source_chunk.is_empty() {
                 continue;
             }
-            chunks += 1;
-            peak_chunk_entities = peak_chunk_entities.max(chunk.len());
-            peak_chunk_bytes = peak_chunk_bytes.max(sizer.observe(chunk));
+            source_chunks += 1;
+            peak_source_chunk_entities = peak_source_chunk_entities.max(source_chunk.len());
 
-            let chunk_cache = ValueCache::new();
-            let index = indexed_plan.as_ref().map(|plan| {
-                MultiBlockIndex::build_slice(
-                    plan.clone(),
-                    chunk,
-                    &chunk_cache,
-                    self.options.threads,
-                )
-            });
-            if let (Some(index), false) = (&index, comparison_stats.is_empty()) {
-                for (total, stats) in comparison_stats.iter_mut().zip(index.build_stats()) {
-                    total.blocks += stats.blocks;
-                    total.postings += stats.postings;
-                    total.indexed_entities += stats.indexed_entities;
+            // the source cache lives for one source chunk (a source chain
+            // is computed once per target *pass*, which visits the whole
+            // target for exactly this chunk)
+            let source_cache = ValueCache::new();
+            // best-match slots are local to the source chunk: every source
+            // entity lives in exactly one chunk, so per-chunk winners are
+            // already global winners
+            let mut bests: Vec<Option<ScoredLink>> = if self.options.best_match_only {
+                vec![None; source_chunk.len()]
+            } else {
+                Vec::new()
+            };
+            // a fresh sizer per pass reproduces identical chunk boundaries
+            // on every target pass (same slow-start, same divisors)
+            let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
+            let mut pass = target.open();
+            while let Some(chunk) = pass.next_chunk(sizer.next_cap()) {
+                let chunk: &[Entity] = &chunk;
+                if first_pass {
+                    target_entities += chunk.len();
                 }
-            }
+                if chunk.is_empty() {
+                    continue;
+                }
+                chunks += 1;
+                peak_chunk_entities = peak_chunk_entities.max(chunk.len());
+                peak_chunk_bytes = peak_chunk_bytes.max(sizer.observe(chunk));
 
-            let worker_span = source.len().div_ceil(threads).max(1);
-            let mut per_worker: Vec<ChunkOutcome> = Vec::with_capacity(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = source
-                    .entities()
-                    .chunks(worker_span)
-                    .enumerate()
-                    .map(|(worker, span)| {
-                        let base = worker * worker_span;
-                        let index = index.as_ref();
-                        let compiled = &compiled;
-                        let source_cache = &source_cache;
-                        let chunk_cache = &chunk_cache;
-                        let options = self.options;
-                        scope.spawn(move || {
-                            score_span(
-                                span,
-                                base,
-                                chunk,
-                                index,
-                                compiled,
-                                source_cache,
-                                chunk_cache,
-                                &options,
-                                leaf_count,
-                            )
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    per_worker.push(handle.join().expect("matching thread panicked"));
-                }
-            });
-
-            for outcome in per_worker {
-                evaluated_pairs += outcome.evaluated;
-                for (total, count) in leaf_candidates.iter_mut().zip(outcome.leaf_candidates) {
-                    *total += count;
-                }
-                if self.options.best_match_only {
-                    for (source_index, link) in outcome.bests {
-                        let slot = &mut bests[source_index];
-                        if slot.as_ref().is_none_or(|held| link.beats(held)) {
-                            *slot = Some(link);
-                        }
+                let chunk_cache = ValueCache::new();
+                let index = indexed_plan.as_ref().map(|plan| {
+                    MultiBlockIndex::build_slice(
+                        plan.clone(),
+                        chunk,
+                        &chunk_cache,
+                        self.options.threads,
+                    )
+                });
+                if let (Some(index), false) = (&index, comparison_stats.is_empty()) {
+                    for (total, stats) in comparison_stats.iter_mut().zip(index.build_stats()) {
+                        total.blocks += stats.blocks;
+                        total.postings += stats.postings;
+                        total.indexed_entities += stats.indexed_entities;
                     }
-                } else {
-                    links.extend(outcome.links);
                 }
+
+                let worker_span = source_chunk.len().div_ceil(threads).max(1);
+                let mut per_worker: Vec<ChunkOutcome> = Vec::with_capacity(threads);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = source_chunk
+                        .chunks(worker_span)
+                        .enumerate()
+                        .map(|(worker, span)| {
+                            let base = worker * worker_span;
+                            let index = index.as_ref();
+                            let compiled = &compiled;
+                            let source_cache = &source_cache;
+                            let chunk_cache = &chunk_cache;
+                            let options = self.options;
+                            scope.spawn(move || {
+                                score_span(
+                                    span,
+                                    base,
+                                    chunk,
+                                    index,
+                                    compiled,
+                                    source_cache,
+                                    chunk_cache,
+                                    &options,
+                                    leaf_count,
+                                )
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        per_worker.push(handle.join().expect("matching thread panicked"));
+                    }
+                });
+
+                for outcome in per_worker {
+                    evaluated_pairs += outcome.evaluated;
+                    for (total, count) in leaf_candidates.iter_mut().zip(outcome.leaf_candidates) {
+                        *total += count;
+                    }
+                    if self.options.best_match_only {
+                        for (source_index, link) in outcome.bests {
+                            let slot = &mut bests[source_index];
+                            if slot.as_ref().is_none_or(|held| link.beats(held)) {
+                                *slot = Some(link);
+                            }
+                        }
+                    } else {
+                        links.extend(outcome.links);
+                    }
+                }
+            }
+            drop(pass);
+            first_pass = false;
+            if self.options.best_match_only {
+                links.extend(bests.into_iter().flatten());
             }
         }
 
-        if self.options.best_match_only {
-            links = bests.into_iter().flatten().collect();
+        if first_pass {
+            // no non-empty source chunk ever opened the target — still
+            // report the target size for the cross-product denominator
+            let mut sizer = ChunkSizer::new(self.options.chunk_size, self.options.chunk_bytes);
+            target_entities = drain(&mut *target.open(), &mut sizer);
         }
+
         links.sort_by(|a, b| {
             a.source
                 .cmp(&b.source)
@@ -368,14 +501,60 @@ impl MatchingEngine {
         MatchingReport {
             links,
             evaluated_pairs,
-            cross_product: source.len() * target_entities,
+            cross_product: source_entities * target_entities,
+            source_entities,
             target_entities,
+            source_chunks,
             chunks,
+            peak_source_chunk_entities,
             peak_chunk_entities,
             peak_chunk_bytes,
             comparison_stats,
         }
     }
+}
+
+/// Adapts a single-use [`StreamingSource`] target to the re-streamable
+/// interface [`MatchingEngine::run_core`] wants.  Sound only when the core
+/// opens the target once, i.e. when the source fits in one chunk — which
+/// [`MatchingEngine::run_stream`] guarantees by forcing an unbounded source
+/// cap.
+struct OneShotTarget<'a> {
+    name: String,
+    schema: Arc<Schema>,
+    inner: Option<&'a mut dyn StreamingSource>,
+}
+
+impl RestreamableSource for OneShotTarget<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Box<dyn StreamingSource + '_> {
+        let inner = self
+            .inner
+            .take()
+            .expect("single-use target stream opened twice");
+        Box::new(inner)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.as_ref().and_then(|inner| inner.size_hint())
+    }
+}
+
+/// Consumes a stream with a fixed request cap, returning its entity count
+/// (degenerate-path source drain).
+fn drain_counting(stream: &mut dyn StreamingSource, cap: usize) -> usize {
+    let mut total = 0;
+    while let Some(chunk) = stream.next_chunk(cap) {
+        total += chunk.len();
+    }
+    total
 }
 
 /// Derives per-chunk entity caps for `run_stream`: a fixed entity count
@@ -546,7 +725,7 @@ fn drain(target: &mut dyn StreamingSource, sizer: &mut ChunkSizer) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use linkdisc_entity::{ChunkedVecStream, DataSourceBuilder};
+    use linkdisc_entity::{ChunkedSliceSource, ChunkedVecStream, DataSourceBuilder};
     use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
 
     fn sources() -> (DataSource, DataSource) {
@@ -886,6 +1065,94 @@ mod tests {
         let report = MatchingEngine::new(LinkageRule::empty()).run(&source, &target);
         assert!(report.links.is_empty());
         assert_eq!(report.evaluated_pairs, 0);
+        assert_eq!(report.cross_product, 9);
+    }
+
+    #[test]
+    fn source_chunked_runs_match_the_batch_run_exactly() {
+        let (source, target) = sources();
+        let batch = MatchingEngine::new(rule()).run(&source, &target);
+        for source_chunk_size in [1, 2, 3, 7] {
+            for chunk_size in [0, 2] {
+                for best_match_only in [false, true] {
+                    let chunked = MatchingEngine::new(rule())
+                        .with_options(MatchingOptions {
+                            source_chunk_size,
+                            chunk_size,
+                            best_match_only,
+                            ..MatchingOptions::default()
+                        })
+                        .run(&source, &target);
+                    let expected = MatchingEngine::new(rule())
+                        .with_options(MatchingOptions {
+                            best_match_only,
+                            ..MatchingOptions::default()
+                        })
+                        .run(&source, &target);
+                    assert_eq!(
+                        chunked.links, expected.links,
+                        "source_chunk_size={source_chunk_size} chunk_size={chunk_size} \
+                         best_match_only={best_match_only}"
+                    );
+                    assert_eq!(chunked.evaluated_pairs, expected.evaluated_pairs);
+                    assert_eq!(chunked.cross_product, batch.cross_product);
+                    assert_eq!(chunked.source_entities, source.len());
+                    assert_eq!(chunked.target_entities, target.len());
+                    assert_eq!(
+                        chunked.source_chunks,
+                        source.len().div_ceil(source_chunk_size)
+                    );
+                    assert!(chunked.peak_source_chunk_entities <= source_chunk_size);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_stream_bounds_both_sides_and_matches_batch() {
+        let (source, target) = sources();
+        let batch = MatchingEngine::new(rule()).run(&source, &target);
+        let source_chunks = vec![
+            vec![source.entities()[0].clone()],
+            vec![source.entities()[1].clone(), source.entities()[2].clone()],
+        ];
+        let target_chunks = vec![
+            vec![target.entities()[0].clone(), target.entities()[1].clone()],
+            vec![target.entities()[2].clone()],
+        ];
+        let mut stream = ChunkedVecStream::new("A", source.schema().clone(), source_chunks);
+        let mut restream = ChunkedSliceSource::new("B", target.schema().clone(), target_chunks);
+        let report = MatchingEngine::new(rule()).run_dual_stream(&mut stream, &mut restream);
+        assert_eq!(report.links, batch.links);
+        assert_eq!(
+            report.evaluated_pairs, batch.evaluated_pairs,
+            "every pair is evaluated exactly once across passes"
+        );
+        assert_eq!(report.source_entities, 3);
+        assert_eq!(report.target_entities, 3, "counted on the first pass only");
+        assert_eq!(report.source_chunks, 2);
+        assert_eq!(report.chunks, 4, "two target chunks per source chunk");
+        assert_eq!(report.peak_source_chunk_entities, 2);
+        assert_eq!(report.peak_chunk_entities, 2);
+        assert_eq!(report.cross_product, batch.cross_product);
+    }
+
+    #[test]
+    fn dual_stream_empty_rule_still_counts_both_sides() {
+        let (source, target) = sources();
+        let mut stream = ChunkedVecStream::new(
+            "A",
+            source.schema().clone(),
+            vec![source.entities().to_vec()],
+        );
+        let mut restream = ChunkedSliceSource::new(
+            "B",
+            target.schema().clone(),
+            vec![target.entities().to_vec()],
+        );
+        let report =
+            MatchingEngine::new(LinkageRule::empty()).run_dual_stream(&mut stream, &mut restream);
+        assert!(report.links.is_empty());
         assert_eq!(report.cross_product, 9);
     }
 

@@ -24,6 +24,11 @@
 //!   interactive latency on an allocation-free candidate path; the
 //!   writer/reader split publishes copy-on-write epochs so any number of
 //!   reader threads query consistent snapshots while one writer churns,
+//! * [`ShardedService`] / [`ShardedReader`] — the serving layer partitioned
+//!   by an entity-id hash router ([`ShardRouter`]) into N independent
+//!   shards, each with its own index, epoch chain and (durably) WAL
+//!   generation chain: N-way parallel mutation with no cross-shard lock,
+//!   merged losslessly at query time,
 //! * [`persist`] — versioned binary snapshots of the served state (entity
 //!   store + leaf maps), restoring bit-identically in O(read),
 //! * [`MatchingReport`] — links plus counters and per-comparison block
@@ -39,10 +44,14 @@ pub mod multiblock;
 pub mod persist;
 mod scratch;
 pub mod service;
+pub mod sharded;
 mod wal;
 
 pub use blocking::{BlockingIndex, BlockingScratch};
-pub use durable::{DurabilityOptions, DurableError, DurableService, RecoveryError, RecoveryReport};
+pub use durable::{
+    DurabilityOptions, DurableError, DurableService, RecoveryError, RecoveryReport,
+    ShardedDurableService,
+};
 pub use engine::{
     ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
 };
@@ -51,3 +60,4 @@ pub use multiblock::{
 };
 pub use persist::{SnapshotError, SNAPSHOT_VERSION};
 pub use service::{LinkService, ServiceOptions, ServiceReader, ServiceWriter};
+pub use sharded::{ShardRouter, ShardSlot, ShardedReader, ShardedScratch, ShardedService};

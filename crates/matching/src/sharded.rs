@@ -1,0 +1,649 @@
+//! Sharded serving: N independent [`ServiceWriter`] shards behind one
+//! entity-id hash router — parallel mutation with no cross-shard lock.
+//!
+//! The single-writer serving layer (`crate::service`) serializes every
+//! mutation through one working index and one epoch cell.  Sharding
+//! partitions the served entity set by a stable hash of the entity id
+//! ([`ShardRouter`]): each shard owns its slots, its interner, its free
+//! list, its [`crate::MultiBlockIndex`] and its own epoch chain, so N
+//! writers mutate N shards concurrently and a reader pins one epoch *per
+//! shard*.  Nothing is shared between shards on the steady-state read or
+//! write path.
+//!
+//! # Why merge-at-query is lossless
+//!
+//! Every target entity lives in exactly one shard (the router is a pure
+//! function of the id), so per-shard candidate sets are disjoint and a
+//! query is answered by concatenating the per-shard hits and re-sorting
+//! with the same ordering the unsharded reader uses (score descending,
+//! ties towards the smaller target id).  No deduplication, no cross-shard
+//! reconciliation — `shards = N` returns byte-for-byte the links of
+//! `shards = 1`.
+//!
+//! # Consistency model
+//!
+//! Per-shard epochs are independent: a reader's pins across shards do not
+//! form a single global snapshot, but within a shard every query observes
+//! a fully published epoch and mutations become visible in acknowledgement
+//! order (the single-writer property holds per shard).  A batch
+//! [`ShardedService::ingest`] spanning shards is validated up-front and
+//! then applied per shard — each shard publishes its sub-batch atomically,
+//! but a reader may observe shard A's sub-batch before shard B's.
+//!
+//! With `shards = 1` the construction path, the snapshot bytes, the query
+//! results and the epoch versions are bit-identical to the unsharded
+//! [`ServiceWriter`] — sharding is strictly additive.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use linkdisc_entity::{DataSource, Entity, EntityError, Schema};
+use linkdisc_rule::LinkageRule;
+use linkdisc_util::{parallel_ordered_map, parallel_ordered_map_mut};
+
+use crate::engine::ScoredLink;
+use crate::multiblock::CandidateScratch;
+use crate::persist::Fnv;
+use crate::service::{ServiceOptions, ServiceReader, ServiceWriter};
+
+/// Routes entity ids to shards: a pure function of the id and the shard
+/// count, stable across inserts, removes and slot recycling (it never
+/// looks at positions, only at the id bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` partitions (at least 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded store needs at least one shard");
+        assert!(shards <= u32::MAX as usize, "shard count must fit in u32");
+        ShardRouter {
+            shards: shards as u32,
+        }
+    }
+
+    /// Number of shards this router partitions into.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning this entity id — always in `0..shards()`.
+    pub fn route(&self, id: &str) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (Fnv::digest(id.as_bytes()) % self.shards as u64) as usize
+    }
+}
+
+/// A sharded slot address: which shard, and the slot position within that
+/// shard's [`linkdisc_entity::EntityStore`].  The sharded analogue of the
+/// unsharded `u32` position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSlot {
+    /// The owning shard (an index into the shard list).
+    pub shard: u32,
+    /// The slot position within that shard.
+    pub position: u32,
+}
+
+/// A serving store partitioned into independent single-writer shards (see
+/// the module docs).  The facade owns every shard writer plus one sharded
+/// reader; call [`ShardedService::split`] for concurrent operation with
+/// one mutating thread per shard.
+pub struct ShardedService {
+    router: ShardRouter,
+    writers: Vec<ServiceWriter>,
+    reader: ShardedReader,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ShardedService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.router.shards())
+            .field("entities", &self.len())
+            .field("versions", &self.versions())
+            .finish()
+    }
+}
+
+impl ShardedService {
+    /// Creates a sharded service with no target entities yet.
+    pub fn empty(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target_schema: &Arc<Schema>,
+        shards: usize,
+        options: ServiceOptions,
+    ) -> Self {
+        let router = ShardRouter::new(shards);
+        let writers: Vec<ServiceWriter> = (0..shards)
+            .map(|_| ServiceWriter::empty(rule.clone(), source_schema, target_schema, options))
+            .collect();
+        ShardedService::assemble(router, writers, options.threads)
+    }
+
+    /// Builds a sharded service over a materialised target source: entities
+    /// are partitioned by the router (preserving source order within each
+    /// shard) and each shard builds its index independently.  With
+    /// `shards = 1` the partition is the identity and the single shard is
+    /// byte-identical to an unsharded [`ServiceWriter::build`].
+    pub fn build(
+        rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        target: &DataSource,
+        shards: usize,
+        options: ServiceOptions,
+    ) -> Result<Self, EntityError> {
+        let router = ShardRouter::new(shards);
+        let mut parts: Vec<Vec<Entity>> = vec![Vec::new(); shards];
+        for entity in target.entities() {
+            parts[router.route(entity.id())].push(entity.clone());
+        }
+        let writers = parts
+            .iter()
+            .map(|part| {
+                ServiceWriter::build_from_entities(
+                    rule.clone(),
+                    source_schema,
+                    target.schema(),
+                    part,
+                    options,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedService::assemble(router, writers, options.threads))
+    }
+
+    fn assemble(router: ShardRouter, writers: Vec<ServiceWriter>, threads: usize) -> Self {
+        let reader = ShardedReader {
+            router,
+            shards: writers.iter().map(ServiceWriter::reader).collect(),
+        };
+        ShardedService {
+            router,
+            writers,
+            reader,
+            threads,
+        }
+    }
+
+    /// The router partitioning entity ids across shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The shard writers, in shard order (e.g. for per-shard snapshots).
+    pub fn shards(&self) -> &[ServiceWriter] {
+        &self.writers
+    }
+
+    /// Per-shard epoch versions, in shard order.
+    pub fn versions(&self) -> Vec<u64> {
+        self.writers.iter().map(ServiceWriter::version).collect()
+    }
+
+    /// Total live target entities across all shards.
+    pub fn len(&self) -> usize {
+        self.writers.iter().map(ServiceWriter::len).sum()
+    }
+
+    /// Returns `true` when no shard serves any entity.
+    pub fn is_empty(&self) -> bool {
+        self.writers.iter().all(ServiceWriter::is_empty)
+    }
+
+    /// Returns `true` if a target with this identifier is currently served
+    /// (only its routed shard can hold it).
+    pub fn contains(&self, id: &str) -> bool {
+        self.writers[self.router.route(id)].contains(id)
+    }
+
+    /// The target entity currently served at a sharded slot.
+    pub fn at(&self, slot: ShardSlot) -> Option<Arc<Entity>> {
+        self.writers.get(slot.shard as usize)?.at(slot.position)
+    }
+
+    /// Adds one target entity to its routed shard, publishing a new epoch
+    /// on that shard only.  Returns the sharded slot; fails on a duplicate
+    /// identifier.
+    pub fn insert(&mut self, entity: &Entity) -> Result<ShardSlot, EntityError> {
+        let shard = self.router.route(entity.id());
+        let position = self.writers[shard].insert(entity)?;
+        Ok(ShardSlot {
+            shard: shard as u32,
+            position,
+        })
+    }
+
+    /// Removes a target entity from its routed shard (publishing on that
+    /// shard only).  Returns `false` when the id is not served.
+    pub fn remove(&mut self, id: &str) -> bool {
+        self.writers[self.router.route(id)].remove(id)
+    }
+
+    /// Batch ingestion across shards: the batch is routed (in parallel),
+    /// validated **up-front** — a duplicate id, within the batch or against
+    /// any shard, fails the whole call before a single entity is applied —
+    /// and then applied with one worker per shard, each shard inserting its
+    /// sub-batch and publishing exactly once.  Shards untouched by the
+    /// batch publish nothing (their epoch version is unchanged).
+    ///
+    /// Note the contrast with the unsharded [`ServiceWriter::ingest`],
+    /// which keeps the prefix before a mid-batch failure: per-shard
+    /// application is concurrent, so "the prefix" is not well defined
+    /// across shards — all-or-nothing validation is the sharded
+    /// equivalent.  Per-shard sub-batches are applied in batch order, so
+    /// with `shards = 1` a *valid* batch produces byte-identical state and
+    /// exactly one publication, same as the unsharded path.
+    pub fn ingest(&mut self, entities: &[Entity]) -> Result<usize, EntityError> {
+        let router = self.router;
+        let routes =
+            parallel_ordered_map(entities, self.threads, |entity| router.route(entity.id()));
+        let mut batch_ids: HashSet<&str> = HashSet::with_capacity(entities.len());
+        for (entity, &shard) in entities.iter().zip(&routes) {
+            if !batch_ids.insert(entity.id()) || self.writers[shard].contains(entity.id()) {
+                return Err(EntityError::DuplicateEntity(entity.id().to_string()));
+            }
+        }
+        let mut per_shard: Vec<Vec<&Entity>> = vec![Vec::new(); self.router.shards()];
+        for (entity, &shard) in entities.iter().zip(&routes) {
+            per_shard[shard].push(entity);
+        }
+        let mut jobs: Vec<(&mut ServiceWriter, Vec<&Entity>)> =
+            self.writers.iter_mut().zip(per_shard).collect();
+        let ingested = parallel_ordered_map_mut(&mut jobs, self.threads, |_, (writer, batch)| {
+            if batch.is_empty() {
+                return 0usize;
+            }
+            for entity in batch.iter() {
+                writer
+                    .insert_unpublished(entity)
+                    .expect("pre-validated batch cannot collide");
+            }
+            writer.publish();
+            batch.len()
+        });
+        Ok(ingested.into_iter().sum())
+    }
+
+    /// All targets matching one query entity across every shard, best
+    /// first — equal to the unsharded result (see the module docs).
+    pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        self.reader.query(source_entity)
+    }
+
+    /// The sharded hot query path — see [`ShardedReader::query_with`].
+    pub fn query_with(
+        &self,
+        source_entity: &Entity,
+        scratch: &mut ShardedScratch,
+        out: &mut Vec<(ShardSlot, f64)>,
+    ) {
+        self.reader.query_with(source_entity, scratch, out)
+    }
+
+    /// A new sharded reader over every shard's published epochs (one
+    /// per querying thread).
+    pub fn reader(&self) -> ShardedReader {
+        ShardedReader {
+            router: self.router,
+            shards: self.writers.iter().map(ServiceWriter::reader).collect(),
+        }
+    }
+
+    /// Splits the service into its concurrent halves: one writer per shard
+    /// (hand each to its own mutating thread) and a sharded reader.
+    pub fn split(self) -> (Vec<ServiceWriter>, ShardedReader) {
+        (self.writers, self.reader)
+    }
+}
+
+/// A query handle over every shard's epoch chain.  Clone one per thread
+/// (like [`ServiceReader`], it is `Send` but not `Sync`).  Each query pins
+/// one epoch per shard; per-shard results are disjoint by construction and
+/// merge by concatenation + re-sort.
+#[derive(Debug, Clone)]
+pub struct ShardedReader {
+    router: ShardRouter,
+    shards: Vec<ServiceReader>,
+}
+
+impl ShardedReader {
+    /// Reassembles a reader from per-shard readers in shard order (the
+    /// durable layer's entry point).
+    pub(crate) fn from_parts(router: ShardRouter, shards: Vec<ServiceReader>) -> Self {
+        assert_eq!(router.shards(), shards.len(), "one reader per shard");
+        ShardedReader { router, shards }
+    }
+
+    /// The router partitioning entity ids across shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Number of shards behind this reader.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The reader of one shard (e.g. for per-shard verification).
+    pub fn shard(&self, shard: usize) -> &ServiceReader {
+        &self.shards[shard]
+    }
+
+    /// Total live target entities across all shards' current epochs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ServiceReader::len).sum()
+    }
+
+    /// Returns `true` when every shard's current epoch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The target entity at a sharded slot in that shard's current epoch.
+    pub fn at(&self, slot: ShardSlot) -> Option<Arc<Entity>> {
+        self.shards.get(slot.shard as usize)?.at(slot.position)
+    }
+
+    /// All targets matching one query entity across every shard (score ≥
+    /// the link threshold), best first (ties towards the smaller
+    /// identifier) — the same ordering, and therefore the same result, as
+    /// the unsharded [`ServiceReader::query`].
+    pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        let mut links: Vec<ScoredLink> = Vec::new();
+        for shard in &self.shards {
+            links.extend(shard.query(source_entity));
+        }
+        links.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        links
+    }
+
+    /// The sharded hot query path: one [`ServiceReader::query_with`] per
+    /// shard on the caller's scratch, hits appended to `out` as
+    /// `(sharded slot, score)` pairs (cleared first, unordered).  The epoch
+    /// version each shard answered under is recorded in
+    /// [`ShardedScratch::versions`], in shard order.  With warm buffers
+    /// this path performs no heap allocation — multi-shard writer churn
+    /// included.
+    pub fn query_with(
+        &self,
+        source_entity: &Entity,
+        scratch: &mut ShardedScratch,
+        out: &mut Vec<(ShardSlot, f64)>,
+    ) {
+        scratch.ensure(self.shards.len());
+        out.clear();
+        for (shard, reader) in self.shards.iter().enumerate() {
+            let version = reader.query_with(
+                source_entity,
+                &mut scratch.per_shard[shard],
+                &mut scratch.hits,
+            );
+            scratch.versions[shard] = version;
+            for &(position, score) in scratch.hits.iter() {
+                out.push((
+                    ShardSlot {
+                        shard: shard as u32,
+                        position,
+                    },
+                    score,
+                ));
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`ShardedReader::query_with`]: one candidate
+/// scratch per shard, a shared hit buffer, and the per-shard epoch
+/// versions of the last query.  Allocates only while warming up (first
+/// query, or a query against more shards than seen before).
+#[derive(Debug, Default)]
+pub struct ShardedScratch {
+    per_shard: Vec<CandidateScratch>,
+    hits: Vec<(u32, f64)>,
+    versions: Vec<u64>,
+}
+
+impl ShardedScratch {
+    /// Fresh, cold buffers.
+    pub fn new() -> Self {
+        ShardedScratch::default()
+    }
+
+    /// The epoch version each shard answered under in the most recent
+    /// [`ShardedReader::query_with`], in shard order.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    fn ensure(&mut self, shards: usize) {
+        if self.per_shard.len() < shards {
+            self.per_shard
+                .resize_with(shards, CandidateScratch::default);
+        }
+        if self.versions.len() != shards {
+            self.versions.resize(shards, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linkdisc_entity::DataSourceBuilder;
+    use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
+
+    fn source() -> DataSource {
+        DataSourceBuilder::new("A", ["label"])
+            .entity("a1", [("label", "Berlin")])
+            .unwrap()
+            .entity("a2", [("label", "Paris")])
+            .unwrap()
+            .build()
+    }
+
+    fn target() -> DataSource {
+        DataSourceBuilder::new("B", ["name"])
+            .entity("b1", [("name", "berlin")])
+            .unwrap()
+            .entity("b2", [("name", "paris")])
+            .unwrap()
+            .entity("b3", [("name", "berlim")])
+            .unwrap()
+            .entity("b4", [("name", "rome")])
+            .unwrap()
+            .entity("b5", [("name", "parys")])
+            .unwrap()
+            .build()
+    }
+
+    fn rule() -> LinkageRule {
+        compare(
+            transform(TransformFunction::LowerCase, vec![property("label")]),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into()
+    }
+
+    #[test]
+    fn every_id_routes_to_exactly_one_stable_shard() {
+        for shards in [1, 2, 3, 8] {
+            let router = ShardRouter::new(shards);
+            for i in 0..200 {
+                let id = format!("entity-{i}");
+                let first = router.route(&id);
+                assert!(first < shards);
+                assert_eq!(router.route(&id), first, "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_queries_equal_unsharded_queries() {
+        let (source, target) = (source(), target());
+        let unsharded = ShardedService::build(
+            rule(),
+            source.schema(),
+            &target,
+            1,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        for shards in [2, 3, 5] {
+            let sharded = ShardedService::build(
+                rule(),
+                source.schema(),
+                &target,
+                shards,
+                ServiceOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(sharded.len(), unsharded.len());
+            for entity in source.entities() {
+                assert_eq!(
+                    sharded.query(entity),
+                    unsharded.query(entity),
+                    "shards={shards} query={}",
+                    entity.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_only_publish_on_the_routed_shard() {
+        let (source, target) = (source(), target());
+        let mut service = ShardedService::build(
+            rule(),
+            source.schema(),
+            &target,
+            3,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        let before = service.versions();
+        let routed = service.router().route("b1");
+        assert!(service.remove("b1"));
+        let after = service.versions();
+        for shard in 0..3 {
+            if shard == routed {
+                assert_eq!(after[shard], before[shard] + 1);
+            } else {
+                assert_eq!(after[shard], before[shard], "untouched shard republished");
+            }
+        }
+        assert!(!service.contains("b1"));
+    }
+
+    #[test]
+    fn sharded_ingest_is_atomic_and_matches_serial_inserts() {
+        let (source, target) = (source(), target());
+        let mut batched = ShardedService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            3,
+            ServiceOptions::default(),
+        );
+        let mut serial = ShardedService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            3,
+            ServiceOptions::default(),
+        );
+        assert_eq!(batched.ingest(target.entities()).unwrap(), 5);
+        for entity in target.entities() {
+            serial.insert(entity).unwrap();
+        }
+        for entity in source.entities() {
+            assert_eq!(batched.query(entity), serial.query(entity));
+        }
+
+        // a duplicate anywhere in the batch applies nothing at all
+        let versions = batched.versions();
+        let err = batched.ingest(&target.entities()[..2]).unwrap_err();
+        assert!(matches!(err, EntityError::DuplicateEntity(_)));
+        assert_eq!(batched.versions(), versions, "no shard published");
+        assert_eq!(batched.len(), 5);
+
+        let mut fresh = ShardedService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            3,
+            ServiceOptions::default(),
+        );
+        let mut doubled = target.entities().to_vec();
+        doubled.push(target.entities()[0].clone());
+        let err = fresh.ingest(&doubled).unwrap_err();
+        assert!(matches!(err, EntityError::DuplicateEntity(ref id) if id == "b1"));
+        assert!(fresh.is_empty(), "intra-batch duplicate applies nothing");
+        assert_eq!(fresh.versions(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn query_with_reports_slots_and_per_shard_versions() {
+        let (source, target) = (source(), target());
+        let mut service = ShardedService::build(
+            rule(),
+            source.schema(),
+            &target,
+            3,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        let mut scratch = ShardedScratch::new();
+        let mut hits = Vec::new();
+        service.query_with(&source.entities()[0], &mut scratch, &mut hits);
+        assert_eq!(scratch.versions(), &[0, 0, 0]);
+        assert_eq!(hits.len(), 2, "berlin exact, berlim fuzzy");
+        for &(slot, score) in &hits {
+            let entity = service.at(slot).expect("hit slots resolve");
+            assert!(score >= 0.5);
+            assert!(entity.id() == "b1" || entity.id() == "b3");
+        }
+        service.remove("b3");
+        service.query_with(&source.entities()[0], &mut scratch, &mut hits);
+        assert_eq!(hits.len(), 1);
+        let bumped = scratch
+            .versions()
+            .iter()
+            .filter(|&&version| version == 1)
+            .count();
+        assert_eq!(bumped, 1, "exactly the routed shard advanced");
+    }
+
+    #[test]
+    fn split_yields_per_shard_writers_that_feed_the_reader() {
+        let (source, target) = (source(), target());
+        let service = ShardedService::build(
+            rule(),
+            source.schema(),
+            &target,
+            2,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        let router = service.router();
+        let (mut writers, reader) = service.split();
+        assert_eq!(writers.len(), 2);
+        let before = reader.query(&source.entities()[1]);
+        assert!(before.iter().any(|l| l.target == "b2"));
+        let shard = router.route("b2");
+        assert!(writers[shard].remove("b2"));
+        let after = reader.query(&source.entities()[1]);
+        assert!(!after.iter().any(|l| l.target == "b2"));
+    }
+}

@@ -12,21 +12,31 @@
 //! finishes the script on the recovered service and must land on the same
 //! final state as an undisturbed run.
 //!
-//! Requires `--features failpoints`; the whole harness is one `#[test]`
-//! because the failpoint registry is process-global.
+//! A second harness does the same to a **sharded** durable store and
+//! additionally asserts shard isolation: a kill inside one shard's WAL or
+//! compaction leaves every other shard's chain individually recoverable,
+//! and the sharded recovery returns one `RecoveryReport` per shard.
+//!
+//! Requires `--features failpoints`; the failpoint registry is
+//! process-global, so the harnesses serialize on [`FAIL_REGISTRY`].
 #![cfg(feature = "failpoints")]
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use linkdisc_entity::{Entity, Schema};
 use linkdisc_matching::{
-    DurabilityOptions, DurableService, RecoveryError, ServiceOptions, ServiceWriter,
+    DurabilityOptions, DurableError, DurableService, RecoveryError, ServiceOptions, ServiceWriter,
+    ShardRouter, ShardedDurableService,
 };
 use linkdisc_rule::{
     compare, property, transform, DistanceFunction, LinkageRule, TransformFunction,
 };
 use linkdisc_util::fail;
+
+/// The failpoint registry is one per process: tests that arm it must not
+/// overlap.  Every `#[test]` in this file takes this lock first.
+static FAIL_REGISTRY: Mutex<()> = Mutex::new(());
 
 fn rule() -> LinkageRule {
     compare(
@@ -271,6 +281,7 @@ fn run_armed(tag: &str, pool: &[Entity], ops: &[Op], oracle: &[Vec<u8>]) -> bool
 
 #[test]
 fn killing_the_writer_at_every_failpoint_loses_no_acknowledged_epoch() {
+    let _registry = FAIL_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
     let schema = schema();
     let pool = entities(&schema);
     let ops = script();
@@ -325,6 +336,313 @@ fn killing_the_writer_at_every_failpoint_loses_no_acknowledged_epoch() {
                 }
                 fail::reset();
             }
+        }
+    }
+    assert!(
+        fired_runs * 2 >= armed_runs,
+        "most armed occurrences must actually fire ({fired_runs}/{armed_runs})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded harness: shard isolation under injected faults
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 2;
+
+/// Decomposes the global script into per-shard sub-op sequences, tagged
+/// with the global op index they came from.  An `Ingest` spanning shards
+/// contributes one sub-batch per touched shard (that is exactly how the
+/// sharded store applies it: one log record per touched shard).
+fn sharded_sub_ops(router: ShardRouter, pool: &[Entity], ops: &[Op]) -> Vec<Vec<(usize, Op)>> {
+    let mut per_shard: Vec<Vec<(usize, Op)>> = vec![Vec::new(); router.shards()];
+    for (global, op) in ops.iter().enumerate() {
+        match op {
+            Op::Ingest(batch) => {
+                let mut split: Vec<Vec<usize>> = vec![Vec::new(); router.shards()];
+                for &i in batch {
+                    split[router.route(pool[i].id())].push(i);
+                }
+                for (shard, sub) in split.into_iter().enumerate() {
+                    if !sub.is_empty() {
+                        per_shard[shard].push((global, Op::Ingest(sub)));
+                    }
+                }
+            }
+            Op::Insert(i) => {
+                per_shard[router.route(pool[*i].id())].push((global, op.clone()));
+            }
+            Op::Remove(i) => {
+                per_shard[router.route(pool[*i].id())].push((global, op.clone()));
+            }
+        }
+    }
+    per_shard
+}
+
+/// Per-shard sequential oracle: `snapshots[s][k]` is shard `s` after its
+/// first `k` sub-ops.
+fn sharded_shadow_snapshots(pool: &[Entity], sub_ops: &[Vec<(usize, Op)>]) -> Vec<Vec<Vec<u8>>> {
+    sub_ops
+        .iter()
+        .map(|ops| {
+            let mut writer =
+                ServiceWriter::empty(rule(), &schema(), &schema(), ServiceOptions::default());
+            let mut snapshots = vec![snapshot(&writer)];
+            for (_, op) in ops {
+                apply_shadow(&mut writer, pool, op);
+                snapshots.push(snapshot(&writer));
+            }
+            snapshots
+        })
+        .collect()
+}
+
+fn apply_sharded(
+    service: &mut ShardedDurableService,
+    pool: &[Entity],
+    op: &Op,
+) -> Result<(), DurableError> {
+    match op {
+        Op::Ingest(batch) => {
+            let batch: Vec<Entity> = batch.iter().map(|&i| pool[i].clone()).collect();
+            service.ingest(&batch).map(|_| ())
+        }
+        Op::Insert(i) => service.insert(&pool[*i]).map(|_| ()),
+        Op::Remove(i) => service.remove(pool[*i].id()).map(|removed| {
+            assert!(removed, "the script only removes served ids");
+        }),
+    }
+}
+
+/// Deterministic single-worker options: the armed occurrence index must
+/// land on the same hit in every run, so nothing may race.
+fn sharded_options() -> ServiceOptions {
+    ServiceOptions {
+        threads: 1,
+        ..ServiceOptions::default()
+    }
+}
+
+/// One armed sharded run.  Returns whether the armed point fired.
+fn run_armed_sharded(
+    tag: &str,
+    pool: &[Entity],
+    ops: &[Op],
+    sub_ops: &[Vec<(usize, Op)>],
+    oracle: &[Vec<Vec<u8>>],
+) -> bool {
+    let dir = fresh_dir(tag);
+    let ctx = |what: &str| format!("[{tag}] {what}");
+
+    let service = match ShardedDurableService::create_empty(
+        &dir,
+        rule(),
+        &schema(),
+        &schema(),
+        SHARDS,
+        sharded_options(),
+        BUDGET,
+    ) {
+        Ok(service) => Some(service),
+        Err(err) => {
+            let fired = format!("{err}").contains("failpoint fired");
+            assert!(fired, "{}", ctx("create may only fail by injection"));
+            // creation is per-shard, not atomic across shards: whatever
+            // shard directories exist must each recover to an empty shard
+            match ShardedDurableService::recover(&dir, rule(), &schema(), BUDGET) {
+                Ok((partial, reports)) => {
+                    assert_eq!(reports.len(), partial.shards().len());
+                    for shard in partial.shards() {
+                        assert!(shard.is_empty(), "{}", ctx("nothing was acknowledged"));
+                    }
+                }
+                Err(RecoveryError::NoCheckpoint(_)) => {}
+                Err(err) => panic!("{}: {err}", ctx("post-create-kill recovery failed")),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            return true;
+        }
+    };
+    let mut service = service.unwrap();
+
+    let mut acked = 0usize;
+    let mut killed = false;
+    for op in ops {
+        match apply_sharded(&mut service, pool, op) {
+            Ok(()) => acked += 1,
+            Err(err) => {
+                assert!(
+                    format!("{err}").contains("failpoint fired"),
+                    "{}: {err}",
+                    ctx("ops may only fail by injection")
+                );
+                killed = true;
+                break;
+            }
+        }
+    }
+    drop(service); // the crash
+
+    // isolation oracle, part 1: every shard's chain recovers on its own,
+    // whichever shard the kill landed in
+    let mut solo: Vec<Vec<u8>> = Vec::with_capacity(SHARDS);
+    for shard in 0..SHARDS {
+        let shard_path = dir.join(format!("shard-{shard:03}"));
+        let (recovered, _) = DurableService::recover(&shard_path, rule(), &schema(), BUDGET)
+            .unwrap_or_else(|err| {
+                panic!(
+                    "{}: {err}",
+                    ctx(&format!("shard {shard} must recover solo"))
+                )
+            });
+        solo.push(snapshot(recovered.writer()));
+    }
+
+    // part 2: the sharded recovery agrees with the solo recoveries and
+    // hands back one report per shard
+    let (mut recovered, reports) = ShardedDurableService::recover(&dir, rule(), &schema(), BUDGET)
+        .unwrap_or_else(|err| panic!("{}: {err}", ctx("sharded recovery failed")));
+    assert_eq!(reports.len(), SHARDS, "{}", ctx("one report per shard"));
+    for shard in 0..SHARDS {
+        assert_eq!(
+            snapshot(recovered.shards()[shard].writer()),
+            solo[shard],
+            "{}",
+            ctx(&format!(
+                "sharded and solo recovery of shard {shard} differ"
+            ))
+        );
+    }
+
+    // part 3: per-shard no-lost-epoch.  Ops `0..acked` were acknowledged;
+    // op `acked` (if any) died mid-flight, and each shard independently
+    // kept or lost its piece of it — sub-batches of one global ingest are
+    // separate per-shard log records, per-shard atomic only.
+    let mut resume: Vec<usize> = Vec::with_capacity(SHARDS);
+    for shard in 0..SHARDS {
+        let applied = sub_ops[shard]
+            .iter()
+            .take_while(|(global, _)| *global < acked)
+            .count();
+        let in_flight = killed
+            && sub_ops[shard]
+                .get(applied)
+                .is_some_and(|(global, _)| *global == acked);
+        let got = snapshot(recovered.shards()[shard].writer());
+        let landed = if got == oracle[shard][applied] {
+            applied
+        } else if in_flight && got == oracle[shard][applied + 1] {
+            applied + 1
+        } else {
+            panic!(
+                "{}",
+                ctx(&format!(
+                    "shard {shard} recovered to neither {applied} nor an \
+                     in-flight sub-op state"
+                ))
+            );
+        };
+        resume.push(landed);
+    }
+
+    // part 4: finish every shard's sub-script on the recovered store and
+    // land on the sequential final state, then survive a second crash
+    for shard in 0..SHARDS {
+        for (_, op) in &sub_ops[shard][resume[shard]..] {
+            apply_durable(recovered.shard_mut(shard), pool, op)
+                .expect("post-recovery ops run clean");
+        }
+        assert_eq!(
+            snapshot(recovered.shards()[shard].writer()),
+            oracle[shard][sub_ops[shard].len()],
+            "{}",
+            ctx(&format!(
+                "shard {shard} must finish on the sequential state"
+            ))
+        );
+    }
+    drop(recovered);
+    let (reopened, reports) =
+        ShardedDurableService::recover(&dir, rule(), &schema(), BUDGET).expect("second recovery");
+    assert_eq!(reports.len(), SHARDS);
+    for shard in 0..SHARDS {
+        assert_eq!(
+            snapshot(reopened.shards()[shard].writer()),
+            oracle[shard][sub_ops[shard].len()],
+            "{}",
+            ctx(&format!("second recovery of shard {shard} diverged"))
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    killed
+}
+
+#[test]
+fn killing_one_shard_at_every_failpoint_leaves_every_shard_recoverable() {
+    let _registry = FAIL_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let schema = schema();
+    let pool = entities(&schema);
+    let ops = script();
+    let router = ShardRouter::new(SHARDS);
+    let sub_ops = sharded_sub_ops(router, &pool, &ops);
+    for (shard, ops) in sub_ops.iter().enumerate() {
+        assert!(
+            !ops.is_empty(),
+            "the script must exercise shard {shard}, rebalance the pool"
+        );
+    }
+    let oracle = sharded_shadow_snapshots(&pool, &sub_ops);
+
+    // pass 1 — unarmed, to enumerate every (point, occurrence).  With one
+    // worker thread the application order is deterministic, so occurrence
+    // indices are reproducible across runs.
+    fail::reset();
+    let clean = fresh_dir("sharded-clean");
+    {
+        let mut service = ShardedDurableService::create_empty(
+            &clean,
+            rule(),
+            &schema,
+            &schema,
+            SHARDS,
+            sharded_options(),
+            BUDGET,
+        )
+        .expect("unarmed creation succeeds");
+        for op in &ops {
+            apply_sharded(&mut service, &pool, op).expect("unarmed ops succeed");
+        }
+        for shard in 0..SHARDS {
+            assert_eq!(
+                snapshot(service.shards()[shard].writer()),
+                oracle[shard][sub_ops[shard].len()]
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&clean);
+    let hits = fail::hit_counts();
+    assert!(
+        hits.len() >= 8,
+        "the sharded workload must cross every injection point class, saw {hits:?}"
+    );
+
+    // pass 2 — one armed Error run per (point, occurrence).  Torn-write
+    // actions are covered by the unsharded harness above: a shard's chain
+    // is byte-for-byte a `DurableService` chain, so the torn-tail recovery
+    // path is identical; what is new here is the cross-shard blast radius.
+    let mut fired_runs = 0usize;
+    let mut armed_runs = 0usize;
+    for (point, count) in &hits {
+        for occurrence in 0..*count {
+            fail::reset();
+            fail::configure(point, occurrence, fail::FailAction::Error);
+            let tag = format!("sharded-{point}-{occurrence}");
+            armed_runs += 1;
+            if run_armed_sharded(&tag, &pool, &ops, &sub_ops, &oracle) {
+                fired_runs += 1;
+            }
+            fail::reset();
         }
     }
     assert!(

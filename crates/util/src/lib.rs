@@ -60,6 +60,56 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// The mutable sibling of [`parallel_ordered_map`]: maps `f` over disjoint
+/// `&mut` items on up to `threads` workers (0 = all cores), returning the
+/// results **in input order**.  `f` also receives the item's index so a
+/// worker knows *which* disjoint partition it mutates.
+///
+/// The determinism contract is the same — one contiguous chunk per worker,
+/// ordered reduction — but the inline cutoff differs: callers hand this
+/// function one item per *shard* (e.g. per-shard ingest batches), so a
+/// handful of items is the common case and still worth spawning for, not a
+/// degenerate one.  Only trivial inputs (one item, or one thread) run
+/// inline.
+pub fn parallel_ordered_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).max(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(index, item)| f(index, item))
+            .collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(chunk_index, chunk)| {
+                let f = &f;
+                let base = chunk_index * chunk_size;
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(offset, item)| f(base + offset, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

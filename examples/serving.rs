@@ -1,9 +1,10 @@
 //! Serving demo: a long-lived `LinkService` answering single-entity match
 //! queries against a live-updating target set, concurrent reads under
-//! writer churn, snapshot persistence (save → restart → restore → query),
+//! writer churn, a sharded store with one writer thread per shard,
+//! snapshot persistence (save → restart → restore → query), per-shard
 //! crash safety (write-ahead logged mutations → crash → recover → query),
-//! plus the engine's streaming mode for targets that never fit in memory
-//! at once.
+//! plus the engine's streaming modes for inputs that never fit in memory
+//! at once — target-side only, or both sides.
 //!
 //! Run with `cargo run --release -p genlink-examples --example serving`.
 
@@ -11,7 +12,8 @@ use genlink_examples::section;
 use linkdisc_datasets::DatasetKind;
 use linkdisc_entity::ChunkedVecStream;
 use linkdisc_matching::{
-    DurabilityOptions, DurableService, LinkService, MatchingEngine, MatchingOptions, ServiceOptions,
+    DurabilityOptions, DurableService, LinkService, MatchingEngine, MatchingOptions,
+    ServiceOptions, ShardedDurableService, ShardedService,
 };
 use linkdisc_rule::{
     aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
@@ -136,6 +138,80 @@ fn main() {
         queries_run.load(std::sync::atomic::Ordering::Relaxed)
     );
 
+    section("sharded serving: one writer thread per shard, merged reads");
+    // the store partitions by an entity-id hash into 4 independent shards —
+    // own index, own epoch chain — so 4 threads mutate with no shared lock
+    let sharded = ShardedService::build(
+        rule(),
+        dataset.source.schema(),
+        &dataset.target,
+        4,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "4 shards serve {} entities; sharded == unsharded answers: {}",
+        sharded.len(),
+        dataset
+            .source
+            .entities()
+            .iter()
+            .take(16)
+            .all(|probe| sharded.query(probe) == reader.query(probe))
+    );
+    let router = sharded.router();
+    let (shard_writers, sharded_reader) = sharded.split();
+    let churn_victims: Vec<_> = dataset.target.entities().iter().take(32).cloned().collect();
+    let sharded_queries = std::sync::atomic::AtomicU64::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer_handles: Vec<_> = shard_writers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, mut writer)| {
+                // disjoint routing: each writer thread churns only the
+                // victims that hash to its shard
+                let victims: Vec<_> = churn_victims
+                    .iter()
+                    .filter(|v| router.route(v.id()) == shard)
+                    .cloned()
+                    .collect();
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        for victim in &victims {
+                            writer.remove(victim.id());
+                            writer.insert(victim).unwrap();
+                        }
+                    }
+                    writer.version()
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            let reader = sharded_reader.clone();
+            let (probes, stop, sharded_queries) = (&probes, &stop, &sharded_queries);
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for probe in probes {
+                        // each query pins one epoch *per shard*
+                        reader.query(probe);
+                        sharded_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        let epochs: u64 = writer_handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .sum();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "4 shard writers published {} epochs while readers answered {} queries",
+            epochs,
+            sharded_queries.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    });
+
     section("persistence: save -> restart -> restore -> query");
     let mut snapshot: Vec<u8> = Vec::new();
     writer.save_snapshot(&mut snapshot).unwrap();
@@ -202,6 +278,54 @@ fn main() {
     drop(recovered);
     let _ = std::fs::remove_dir_all(&durable_dir);
 
+    section("sharded durability: every shard keeps its own log chain");
+    let sharded_dir =
+        std::env::temp_dir().join(format!("genlink-serving-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+    let mut sharded_durable = ShardedDurableService::create(
+        &sharded_dir,
+        rule(),
+        dataset.source.schema(),
+        &dataset.target,
+        3,
+        ServiceOptions::default(),
+        DurabilityOptions::default(),
+    )
+    .expect("fresh durable directory");
+    // each mutation logs, fsyncs and publishes on its routed shard only —
+    // shard appends and compactions never wait on each other
+    for victim in dataset.target.entities().iter().take(6) {
+        sharded_durable.remove(victim.id()).unwrap();
+        sharded_durable.insert(victim).unwrap();
+    }
+    println!(
+        "acknowledged {} mutations across 3 shard chains under {} — crashing now",
+        sharded_durable.seq(),
+        sharded_dir.display()
+    );
+    drop(sharded_durable); // the crash
+
+    let (sharded_recovered, reports) = ShardedDurableService::recover(
+        &sharded_dir,
+        rule(),
+        dataset.source.schema(),
+        DurabilityOptions::default(),
+    )
+    .expect("per-shard recovery");
+    for (shard, report) in reports.iter().enumerate() {
+        println!(
+            "shard {shard}: checkpoint generation {} + {} replayed epoch(s)",
+            report.checkpoint_generation, report.replayed_epochs
+        );
+    }
+    println!(
+        "query {} -> {} match(es) — identical to the pre-crash state",
+        probe.id(),
+        sharded_recovered.reader().query(probe).len()
+    );
+    drop(sharded_recovered);
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+
     section("streaming: match a target that never sits in memory at once");
     let batch = MatchingEngine::new(rule()).run(&dataset.source, &dataset.target);
     // a streaming source delivering owned chunks, as a lazy parser would;
@@ -227,5 +351,50 @@ fn main() {
         "streamed links == batch links: {} ({} links)",
         streamed.links == batch.links,
         streamed.links.len()
+    );
+
+    section("dual streaming: neither side sits in memory at once");
+    // the source also arrives in chunks; the target is re-streamed once per
+    // source chunk (block-nested-loop), so peak residency is one chunk of
+    // each side
+    let source_chunks: Vec<Vec<_>> = dataset
+        .source
+        .entities()
+        .chunks(48)
+        .map(|c| c.to_vec())
+        .collect();
+    let mut source_stream =
+        ChunkedVecStream::new("queries", dataset.source.schema().clone(), source_chunks);
+    let target_chunks: Vec<Vec<_>> = dataset
+        .target
+        .entities()
+        .chunks(64)
+        .map(|c| c.to_vec())
+        .collect();
+    let mut target_passes = linkdisc_entity::ChunkedSliceSource::new(
+        "restaurants",
+        dataset.target.schema().clone(),
+        target_chunks,
+    );
+    let dual = MatchingEngine::new(rule())
+        .with_options(MatchingOptions {
+            chunk_size: 64,
+            source_chunk_size: 48,
+            ..MatchingOptions::default()
+        })
+        .run_dual_stream(&mut source_stream, &mut target_passes);
+    println!(
+        "{} source chunks x {} target passes; peak resident {} + {} of {} + {} entities",
+        dual.source_chunks,
+        dual.source_chunks,
+        dual.peak_source_chunk_entities,
+        dual.peak_chunk_entities,
+        dual.source_entities,
+        dual.target_entities
+    );
+    println!(
+        "dual-streamed links == batch links: {} ({} links)",
+        dual.links == batch.links,
+        dual.links.len()
     );
 }

@@ -11,6 +11,14 @@
 //!    Restaurant and Cora, a snapshot round-trip reproduces the service
 //!    bit-identically: stats, free-list discipline, every query result, and
 //!    equal behaviour under further mutation.
+//! 3. **Cross-shard linearizability replay** — one writer thread per shard
+//!    churns concurrently with reader threads querying through a
+//!    `ShardedReader`.  Routing is a pure function of the id, so each
+//!    shard's op subsequence (and hence its epoch chain) is identical to a
+//!    sequential replay; every observed per-shard `(version, result)` pair
+//!    must equal the sequentially recorded expectation, and each reader's
+//!    pinned version per shard never goes backwards — mutations become
+//!    visible in acknowledgement order within a shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -20,7 +28,10 @@ use genlink::seeding::SeedingConfig;
 use genlink::{find_compatible_properties, RepresentationMode};
 use linkdisc_datasets::DatasetKind;
 use linkdisc_entity::Entity;
-use linkdisc_matching::{CandidateScratch, LinkService, ServiceOptions, ServiceWriter};
+use linkdisc_matching::{
+    CandidateScratch, LinkService, ServiceOptions, ServiceWriter, ShardSlot, ShardedScratch,
+    ShardedService,
+};
 use linkdisc_rule::{
     aggregation, compare, property, transform, AggregationFunction, DistanceFunction, LinkageRule,
     TransformFunction,
@@ -202,6 +213,153 @@ fn concurrent_reads_always_equal_some_published_epoch() {
         stop.store(true, Ordering::Relaxed);
     });
     assert_eq!(writer.version(), script.len() as u64);
+}
+
+#[test]
+fn cross_shard_reads_always_equal_that_shards_published_epochs() {
+    const SHARDS: usize = 3;
+    let dataset = DatasetKind::Restaurant.generate(0.25, 9);
+    let rule = restaurant_rule();
+    let target = dataset.target.entities().to_vec();
+    let script = churn_script(target.len(), 120, 4242);
+    let probes: Vec<&Entity> = dataset.source.entities().iter().take(12).collect();
+    let op_index = |op: Op| match op {
+        Op::Remove(at) | Op::Insert(at) => at,
+    };
+
+    // pass 1 — sequential replay: per shard, record the expected per-probe
+    // fingerprint at every epoch version that shard will ever publish.
+    // Each op touches exactly one shard and bumps only that shard's version.
+    // per shard: epoch version -> per-probe (position, score bits) fingerprints
+    type EpochFingerprints = HashMap<u64, Vec<Vec<(u32, u64)>>>;
+    let mut expected: Vec<EpochFingerprints> = vec![HashMap::new(); SHARDS];
+    let router = {
+        let service = ShardedService::build(
+            rule.clone(),
+            dataset.source.schema(),
+            &dataset.target,
+            SHARDS,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        let router = service.router();
+        let (mut writers, reader) = service.split();
+        let mut scratch = CandidateScratch::new();
+        for (shard, slot) in expected.iter_mut().enumerate() {
+            let (version, results) = fingerprint(reader.shard(shard), &probes, &mut scratch);
+            assert_eq!(version, 0, "a fresh shard starts at version 0");
+            slot.insert(version, results);
+        }
+        for &op in &script {
+            let shard = router.route(target[op_index(op)].id());
+            apply(&mut writers[shard], &target, op);
+            let (version, results) = fingerprint(reader.shard(shard), &probes, &mut scratch);
+            assert_eq!(
+                version as usize,
+                expected[shard].len(),
+                "one publication per op on the routed shard"
+            );
+            expected[shard].insert(version, results);
+        }
+        router
+    };
+    assert_eq!(
+        expected.iter().map(HashMap::len).sum::<usize>(),
+        script.len() + SHARDS
+    );
+
+    // pass 2 — the same script with one writer thread per shard, racing
+    // reader threads.  Per-shard op subsequences are identical to pass 1
+    // (routing is a pure function of the id), so each shard steps through
+    // exactly the recorded epochs — in whatever global interleaving.
+    let service = ShardedService::build(
+        rule,
+        dataset.source.schema(),
+        &dataset.target,
+        SHARDS,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    let (writers, reader) = service.split();
+    let mut per_shard_ops: Vec<Vec<Op>> = vec![Vec::new(); SHARDS];
+    for &op in &script {
+        per_shard_ops[router.route(target[op_index(op)].id())].push(op);
+    }
+    let per_shard_counts: Vec<usize> = per_shard_ops.iter().map(Vec::len).collect();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for reader_index in 0..3 {
+            let reader = reader.clone();
+            let stop = &stop;
+            let expected = &expected;
+            let probes = &probes;
+            scope.spawn(move || {
+                let mut scratch = ShardedScratch::new();
+                let mut hits: Vec<(ShardSlot, f64)> = Vec::new();
+                let mut last_seen = [0u64; SHARDS];
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Relaxed) || observations == 0 {
+                    for (probe_at, probe) in probes.iter().enumerate() {
+                        reader.query_with(probe, &mut scratch, &mut hits);
+                        for shard in 0..SHARDS {
+                            let version = scratch.versions()[shard];
+                            assert!(
+                                version >= last_seen[shard],
+                                "reader {reader_index}: shard {shard} epoch went backwards \
+                                 ({} then {version})",
+                                last_seen[shard]
+                            );
+                            last_seen[shard] = version;
+                            let mut sorted: Vec<(u32, u64)> = hits
+                                .iter()
+                                .filter(|(slot, _)| slot.shard as usize == shard)
+                                .map(|&(slot, score)| (slot.position, score.to_bits()))
+                                .collect();
+                            sorted.sort_unstable();
+                            let epoch = expected[shard].get(&version).unwrap_or_else(|| {
+                                panic!(
+                                    "reader {reader_index} saw unpublished version {version} \
+                                     on shard {shard}"
+                                )
+                            });
+                            assert_eq!(
+                                sorted,
+                                epoch[probe_at],
+                                "reader {reader_index} diverged from shard {shard} \
+                                 epoch {version} on {}",
+                                probe.id()
+                            );
+                        }
+                        observations += 1;
+                    }
+                }
+            });
+        }
+        let writer_handles: Vec<_> = writers
+            .into_iter()
+            .zip(per_shard_ops)
+            .map(|(mut writer, ops)| {
+                let target = &target;
+                scope.spawn(move || {
+                    for &op in &ops {
+                        apply(&mut writer, target, op);
+                    }
+                    writer.version()
+                })
+            })
+            .collect();
+        let final_versions: Vec<u64> = writer_handles
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        for (shard, version) in final_versions.iter().enumerate() {
+            assert_eq!(
+                *version as usize, per_shard_counts[shard],
+                "shard {shard} must publish once per op"
+            );
+        }
+    });
 }
 
 struct RuleWorkload {
