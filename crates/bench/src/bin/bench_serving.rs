@@ -49,6 +49,12 @@
 //!    sides chunked (block-nested-loop: the target re-streams once per
 //!    source chunk).  Gates (always): **links bit-equal to the batch run**
 //!    and **peak resident entities < 0.25x of source + target**.
+//! 10. **Multi-rule serving** — a rule family registered onto one service
+//!     (shared leaf pool) versus one independent service per rule: leaf
+//!     share ratio, warm-registration time versus the per-rule rebuild, and
+//!     construction allocation footprint.  Gates (always): **leaf share >
+//!     0**, **warm registration faster than the rebuild**, and **multi-rule
+//!     answers equal to the independent services'**.
 //!
 //! Environment: `GENLINK_BENCH_SERVING_OUT` (output path, default
 //! `BENCH_serving.json`).
@@ -77,6 +83,10 @@ use linkdisc_rule::{
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative bytes handed out — a construction-cost proxy for the
+/// multi-rule workload (retained index structures dominate, so cumulative
+/// allocation tracks the footprint of what was built).
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// Allocations performed by the current thread (`Cell<u64>` has no
@@ -97,6 +107,7 @@ fn thread_allocations() -> u64 {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_allocation();
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -106,6 +117,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_allocation();
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -169,6 +181,53 @@ fn equality_rule() -> LinkageRule {
         property("phone"),
         DistanceFunction::Equality,
         0.5,
+    )
+    .into()
+}
+
+/// The multi-rule family: every comparison below also appears in
+/// `restaurant_rule`, so a warm registration onto a service already serving
+/// the conjunction re-uses pooled leaves instead of building indexes —
+/// exactly the structural overlap a GP population exhibits.
+fn name_only_rule() -> LinkageRule {
+    compare(
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        DistanceFunction::Levenshtein,
+        2.0,
+    )
+    .into()
+}
+
+fn phone_only_rule() -> LinkageRule {
+    compare(
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        DistanceFunction::Levenshtein,
+        1.0,
+    )
+    .into()
+}
+
+/// Disjunctive fallback (`Max` keeps each child's required similarity, so
+/// both children key the same leaves the conjunction built).
+fn fallback_rule() -> LinkageRule {
+    aggregation(
+        AggregationFunction::Max,
+        vec![
+            compare(
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                transform(TransformFunction::LowerCase, vec![property("name")]),
+                DistanceFunction::Levenshtein,
+                2.0,
+            ),
+            compare(
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+                DistanceFunction::Levenshtein,
+                1.0,
+            ),
+        ],
     )
     .into()
 }
@@ -853,8 +912,105 @@ fn main() {
     }
     println!();
 
+    // 10. multi-rule serving --------------------------------------------------
+    println!("--- multi-rule serving (restaurant, shared leaf pool) ---");
+    let registry: Vec<(&str, LinkageRule)> = vec![
+        ("name-only", name_only_rule()),
+        ("phone-only", phone_only_rule()),
+        ("fallback", fallback_rule()),
+    ];
+    // one store, one leaf pool: build under the conjunction, then register
+    // the family warm
+    let multi_bytes_before = BYTES_ALLOCATED.load(Ordering::Relaxed);
+    let mut multi = LinkService::build(
+        restaurant_rule(),
+        restaurant.source.schema(),
+        &restaurant.target,
+        ServiceOptions::default(),
+    )
+    .unwrap();
+    let warm_start = Instant::now();
+    for (name, rule) in &registry {
+        multi.register_rule(name, rule.clone()).unwrap();
+    }
+    let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    let multi_bytes = BYTES_ALLOCATED.load(Ordering::Relaxed) - multi_bytes_before;
+    let pool = multi.leaf_pool_stats();
+    let leaf_share = pool.hits as f64 / (pool.hits + pool.misses).max(1) as f64;
+    // the alternative: one whole service per rule (the base conjunction
+    // included), each building every leaf from scratch
+    let independent_bytes_before = BYTES_ALLOCATED.load(Ordering::Relaxed);
+    let cold_start = Instant::now();
+    let singles: Vec<LinkService> = std::iter::once(restaurant_rule())
+        .chain(registry.iter().map(|(_, rule)| rule.clone()))
+        .map(|rule| {
+            LinkService::build(
+                rule,
+                restaurant.source.schema(),
+                &restaurant.target,
+                ServiceOptions::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let independent_bytes = BYTES_ALLOCATED.load(Ordering::Relaxed) - independent_bytes_before;
+    // the per-rule rebuild the warm path replaces: everything but the base
+    let cold_register_ms = cold_ms * registry.len() as f64 / singles.len() as f64;
+    let bytes_ratio = multi_bytes as f64 / independent_bytes.max(1) as f64;
+    let mut multi_equals_singles = true;
+    for entity in restaurant.source.entities() {
+        if multi.query(entity) != singles[0].query(entity) {
+            multi_equals_singles = false;
+        }
+        for ((name, _), single) in registry.iter().zip(&singles[1..]) {
+            if multi.query_rule(name, entity) != Some(single.query(entity)) {
+                multi_equals_singles = false;
+            }
+        }
+    }
+    println!(
+        "{} rules over one store: {} pooled leaves serve {} plan slots \
+         ({} hits / {} misses, leaf share {:.0}%, gate > 0)",
+        multi.rule_count(),
+        pool.entries,
+        pool.refs,
+        pool.hits,
+        pool.misses,
+        leaf_share * 100.0
+    );
+    println!(
+        "warm registration of {} rules: {warm_ms:.2} ms vs {cold_register_ms:.1} ms \
+         rebuilding them as independent services ({:.1}x, gate: warm faster)",
+        registry.len(),
+        cold_register_ms / warm_ms.max(1e-6)
+    );
+    println!(
+        "construction footprint: {} KiB allocated for the multi-rule service vs {} KiB \
+         for {} independent services ({:.2}x)",
+        multi_bytes / 1024,
+        independent_bytes / 1024,
+        singles.len(),
+        bytes_ratio
+    );
+    println!("multi-rule answers equal independent single-rule answers: {multi_equals_singles}");
+    if pool.hits == 0 {
+        failures
+            .push("multi-rule registration shared no leaves (gate: leaf share > 0)".to_string());
+    }
+    if warm_ms >= cold_register_ms {
+        failures.push(format!(
+            "warm registration ({warm_ms:.2} ms) is not faster than rebuilding independent \
+             services ({cold_register_ms:.1} ms)"
+        ));
+    }
+    if !multi_equals_singles {
+        failures.push("multi-rule answers diverge from independent services".to_string());
+    }
+    println!();
+
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }},\n  \"recovery\": {{\n    \"workload\": \"cora\",\n    \"acked_epochs\": {acked_epochs},\n    \"wal_bytes\": {wal_bytes},\n    \"checkpoint_generation\": {},\n    \"replayed_epochs\": {},\n    \"recover_ms\": {recover_ms:.1},\n    \"rebuild_ms\": {rebuild_ms:.1},\n    \"recovery_speedup_vs_rebuild\": {recovery_speedup:.1},\n    \"speedup_gate\": 1.0,\n    \"recovered_identical_to_rebuilt\": {recovered_identical}\n  }},\n  \"sharded_churn\": {{\n    \"workload\": \"restaurant\",\n    \"rule\": \"equality(phone)\",\n    \"shards\": {SHARD_COUNT},\n    \"writer_ops\": {},\n    \"writer_ops_per_s_1_shard\": {:.0},\n    \"writer_ops_per_s_{SHARD_COUNT}_shards\": {:.0},\n    \"writer_speedup\": {writer_speedup:.2},\n    \"writer_speedup_gate\": {SHARDED_WRITER_GATE},\n    \"writer_gate_enforced\": {sharded_gate_enforced},\n    \"reader_queries\": {},\n    \"reader_allocations\": {},\n    \"reader_allocations_per_query\": {sharded_allocations_per_query:.4},\n    \"reader_allocation_gate\": 0,\n    \"sharded_equals_unsharded_restaurant\": {restaurant_parity},\n    \"sharded_equals_unsharded_cora\": {cora_parity}\n  }},\n  \"dual_stream\": {{\n    \"workload\": \"cora\",\n    \"source_chunk_size\": {dual_source_chunk},\n    \"target_chunk_size\": {dual_target_chunk},\n    \"source_chunks\": {},\n    \"peak_source_entities\": {},\n    \"peak_target_entities\": {},\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {dual_peak_fraction:.4},\n    \"peak_fraction_gate\": {DUAL_PEAK_GATE},\n    \"run_ms\": {dual_ms:.1},\n    \"links_match_batch\": {dual_links_match}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"sharded_build\": {{\n    \"workload\": \"cora\",\n    \"target_entities\": {},\n    \"build_t1_ms\": {t1_ms:.1},\n    \"build_t{BUILD_THREADS}_ms\": {t4_ms:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {BUILD_SPEEDUP_GATE},\n    \"gate_enforced\": {build_gate_enforced}\n  }},\n  \"query_latency\": {{\n    \"workload\": \"restaurant\",\n    \"queries\": {},\n    \"served_entities\": {},\n    \"mean_us\": {mean_us:.1},\n    \"p50_us\": {p50_us:.1},\n    \"p99_us\": {p99_us:.1},\n    \"links_found\": {links_found}\n  }},\n  \"query_allocations\": {{\n    \"rule\": \"equality(phone)\",\n    \"queries\": {queries},\n    \"allocations\": {allocations},\n    \"allocations_per_query\": {allocations_per_query:.4},\n    \"gate\": 0\n  }},\n  \"streaming\": {{\n    \"workload\": \"cora\",\n    \"chunk_size\": {STREAM_CHUNK},\n    \"chunks\": {},\n    \"peak_resident_target_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {peak_fraction:.4},\n    \"links_match_batch\": {links_match},\n    \"byte_budget\": {STREAM_BYTE_BUDGET},\n    \"byte_budget_chunks\": {},\n    \"byte_budget_peak_entities\": {},\n    \"byte_budget_peak_bytes\": {},\n    \"byte_budget_links_match\": {budget_links_match}\n  }},\n  \"concurrent\": {{\n    \"workload\": \"restaurant\",\n    \"reader_throughput_t1_qps\": {tp1:.0},\n    \"reader_throughput_t{READER_THREADS}_qps\": {tp4:.0},\n    \"reader_scaling\": {reader_scaling:.2},\n    \"reader_scaling_gate\": {READER_SCALING_GATE},\n    \"scaling_gate_enforced\": {scaling_enforced},\n    \"churn_writer_ops\": {},\n    \"churn_writer_ops_per_s\": {:.0},\n    \"churn_reader_queries\": {},\n    \"churn_reader_allocations\": {},\n    \"churn_allocations_per_query\": {churn_allocations_per_query:.4},\n    \"churn_allocation_gate\": 0\n  }},\n  \"snapshot\": {{\n    \"workload\": \"cora\",\n    \"service_build_ms\": {service_build_ms:.1},\n    \"save_ms\": {save_ms:.1},\n    \"restore_ms\": {restore_ms:.1},\n    \"restore_speedup_vs_build\": {restore_speedup:.1},\n    \"snapshot_bytes\": {},\n    \"restore_identical_to_build\": {restore_identical}\n  }},\n  \"recovery\": {{\n    \"workload\": \"cora\",\n    \"acked_epochs\": {acked_epochs},\n    \"wal_bytes\": {wal_bytes},\n    \"checkpoint_generation\": {},\n    \"replayed_epochs\": {},\n    \"recover_ms\": {recover_ms:.1},\n    \"rebuild_ms\": {rebuild_ms:.1},\n    \"recovery_speedup_vs_rebuild\": {recovery_speedup:.1},\n    \"speedup_gate\": 1.0,\n    \"recovered_identical_to_rebuilt\": {recovered_identical}\n  }},\n  \"sharded_churn\": {{\n    \"workload\": \"restaurant\",\n    \"rule\": \"equality(phone)\",\n    \"shards\": {SHARD_COUNT},\n    \"writer_ops\": {},\n    \"writer_ops_per_s_1_shard\": {:.0},\n    \"writer_ops_per_s_{SHARD_COUNT}_shards\": {:.0},\n    \"writer_speedup\": {writer_speedup:.2},\n    \"writer_speedup_gate\": {SHARDED_WRITER_GATE},\n    \"writer_gate_enforced\": {sharded_gate_enforced},\n    \"reader_queries\": {},\n    \"reader_allocations\": {},\n    \"reader_allocations_per_query\": {sharded_allocations_per_query:.4},\n    \"reader_allocation_gate\": 0,\n    \"sharded_equals_unsharded_restaurant\": {restaurant_parity},\n    \"sharded_equals_unsharded_cora\": {cora_parity}\n  }},\n  \"dual_stream\": {{\n    \"workload\": \"cora\",\n    \"source_chunk_size\": {dual_source_chunk},\n    \"target_chunk_size\": {dual_target_chunk},\n    \"source_chunks\": {},\n    \"peak_source_entities\": {},\n    \"peak_target_entities\": {},\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"peak_resident_fraction\": {dual_peak_fraction:.4},\n    \"peak_fraction_gate\": {DUAL_PEAK_GATE},\n    \"run_ms\": {dual_ms:.1},\n    \"links_match_batch\": {dual_links_match}\n  }},\n  \"multi_rule\": {{\n    \"workload\": \"restaurant\",\n    \"rules\": {},\n    \"leaf_pool_entries\": {},\n    \"leaf_pool_refs\": {},\n    \"leaf_pool_hits\": {},\n    \"leaf_pool_misses\": {},\n    \"leaf_share\": {leaf_share:.4},\n    \"leaf_share_gate\": \"> 0\",\n    \"warm_register_ms\": {warm_ms:.3},\n    \"cold_rebuild_ms\": {cold_register_ms:.3},\n    \"warm_speedup\": {:.1},\n    \"multi_service_alloc_bytes\": {multi_bytes},\n    \"independent_services_alloc_bytes\": {independent_bytes},\n    \"alloc_bytes_ratio\": {bytes_ratio:.3},\n    \"multi_equals_independent\": {multi_equals_singles}\n  }}\n}}\n",
         cora.target.len(),
         restaurant.source.len(),
         restaurant.target.len(),
@@ -881,6 +1037,12 @@ fn main() {
         dual.peak_chunk_entities,
         dual.source_entities,
         dual.target_entities,
+        multi.rule_count(),
+        pool.entries,
+        pool.refs,
+        pool.hits,
+        pool.misses,
+        cold_register_ms / warm_ms.max(1e-6),
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("wrote {out_path}");

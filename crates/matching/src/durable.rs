@@ -66,7 +66,7 @@ use linkdisc_rule::LinkageRule;
 use linkdisc_util::{fail, parallel_ordered_map, parallel_ordered_map_mut};
 
 use crate::persist::SnapshotError;
-use crate::service::{ServiceOptions, ServiceReader, ServiceWriter};
+use crate::service::{RegistryError, ServiceOptions, ServiceReader, ServiceWriter, DEFAULT_RULE};
 use crate::sharded::{ShardRouter, ShardSlot, ShardedReader};
 use crate::wal::{
     decode_wal, guarded_dir_sync, guarded_rename, guarded_sync, guarded_write, Delta, WalContents,
@@ -103,6 +103,9 @@ pub enum DurableError {
     /// The directory already holds durable state — use
     /// [`DurableService::recover`] instead of `create`.
     AlreadyDurable(PathBuf),
+    /// A rule-registry operation was invalid (duplicate name, unknown name,
+    /// last rule) — the service state and the log are untouched.
+    Registry(RegistryError),
     /// A previous durable write failed, so the in-memory state can no
     /// longer be trusted to match the log; recover from disk.
     Poisoned,
@@ -117,6 +120,7 @@ impl std::fmt::Display for DurableError {
             DurableError::AlreadyDurable(dir) => {
                 write!(f, "directory {} already holds durable state", dir.display())
             }
+            DurableError::Registry(err) => write!(f, "invalid registry operation: {err}"),
             DurableError::Poisoned => {
                 write!(f, "a durable write failed earlier; recover from disk")
             }
@@ -141,6 +145,12 @@ impl From<SnapshotError> for DurableError {
 impl From<io::Error> for DurableError {
     fn from(err: io::Error) -> Self {
         DurableError::Io(err)
+    }
+}
+
+impl From<RegistryError> for DurableError {
+    fn from(err: RegistryError) -> Self {
+        DurableError::Registry(err)
     }
 }
 
@@ -320,7 +330,7 @@ fn write_generation(
     drop(file);
     let wal = WalWriter::create(
         &wal_path(dir, generation),
-        writer.rule().canonical_hash(),
+        writer.registry_hash(),
         generation,
         seq,
     )?;
@@ -557,6 +567,61 @@ impl DurableService {
         Ok(entities.len())
     }
 
+    /// Registers a rule durably: the manifest record is logged and fsynced
+    /// *before* the registry changes and the epoch publishes, so a crash at
+    /// any instant recovers to either the pre- or post-registration rule
+    /// set — never a torn registry.  See
+    /// [`ServiceWriter::register_rule`] for the in-memory semantics (warm
+    /// registration builds only the missing pool leaves).
+    pub fn register_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), DurableError> {
+        self.guard()?;
+        if self.writer.has_rule(name) {
+            return Err(RegistryError::DuplicateRule(name.to_string()).into());
+        }
+        self.log(&Delta::Register(name, rule.canonical_hash()))?;
+        self.writer
+            .register_rule_unpublished(name, rule)
+            .expect("name uniqueness was validated before logging");
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Deregisters a rule durably (logged and fsynced before the registry
+    /// changes) — see [`ServiceWriter::deregister_rule`].
+    pub fn deregister_rule(&mut self, name: &str) -> Result<(), DurableError> {
+        self.guard()?;
+        if !self.writer.has_rule(name) {
+            return Err(RegistryError::UnknownRule(name.to_string()).into());
+        }
+        if self.writer.rule_count() == 1 {
+            return Err(RegistryError::LastRule.into());
+        }
+        self.log(&Delta::Deregister(name))?;
+        self.writer
+            .deregister_rule_unpublished(name)
+            .expect("presence and registry size were validated before logging");
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Hot-swaps a rule durably (logged and fsynced before the swap) — see
+    /// [`ServiceWriter::replace_rule`].
+    pub fn replace_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), DurableError> {
+        self.guard()?;
+        if !self.writer.has_rule(name) {
+            return Err(RegistryError::UnknownRule(name.to_string()).into());
+        }
+        self.log(&Delta::Replace(name, rule.canonical_hash()))?;
+        self.writer
+            .replace_rule_unpublished(name, rule)
+            .expect("presence was validated before logging");
+        self.writer.publish();
+        self.maybe_compact()?;
+        Ok(())
+    }
+
     fn maybe_compact(&mut self) -> Result<(), DurableError> {
         if self.wal.bytes() <= self.durability.log_budget_bytes {
             return Ok(());
@@ -591,13 +656,34 @@ impl DurableService {
         Ok(())
     }
 
-    /// Restores the newest readable checkpoint and replays the log tail;
-    /// see the module docs for the damage model.  On success the state is
-    /// bit-identical to a sequential replay of every acknowledged epoch,
-    /// re-checkpointed into a fresh generation.
+    /// Restores the newest readable checkpoint and replays the log tail for
+    /// a single-rule service — sugar for
+    /// [`DurableService::recover_with_rules`] with a one-entry catalog
+    /// under the default name.
     pub fn recover(
         dir: impl AsRef<Path>,
         rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        durability: DurabilityOptions,
+    ) -> Result<(DurableService, RecoveryReport), RecoveryError> {
+        DurableService::recover_with_rules(
+            dir,
+            &[(DEFAULT_RULE.to_string(), rule)],
+            source_schema,
+            durability,
+        )
+    }
+
+    /// Restores the newest readable checkpoint and replays the log tail;
+    /// see the module docs for the damage model.  The checkpoint's rule
+    /// manifest and any logged registry operations are resolved against
+    /// `catalog` (name → rule, hash-validated; unused catalog entries are
+    /// fine).  On success the state is bit-identical to a sequential
+    /// replay of every acknowledged epoch — registry operations included —
+    /// re-checkpointed into a fresh generation.
+    pub fn recover_with_rules(
+        dir: impl AsRef<Path>,
+        catalog: &[(String, LinkageRule)],
         source_schema: &Arc<Schema>,
         durability: DurabilityOptions,
     ) -> Result<(DurableService, RecoveryReport), RecoveryError> {
@@ -606,7 +692,6 @@ impl DurableService {
         if scan.checkpoints.is_empty() {
             return Err(RecoveryError::NoCheckpoint(dir.to_path_buf()));
         }
-        let rule_hash = rule.canonical_hash();
         let mut fallback_generations = 0u64;
         let mut newest_failure: Option<(u64, String)> = None;
         for &generation in scan.checkpoints.iter().rev() {
@@ -618,21 +703,22 @@ impl DurableService {
                     continue;
                 }
             };
-            let writer = match ServiceWriter::restore(rule.clone(), source_schema, &snapshot[..]) {
-                Ok(writer) => writer,
-                Err(SnapshotError::Mismatch(why)) => {
-                    // wrong rule / schema / format — a configuration error
-                    // an older generation cannot fix
-                    return Err(RecoveryError::Mismatch(why));
-                }
-                Err(err) => {
-                    newest_failure.get_or_insert((generation, err.to_string()));
-                    fallback_generations += 1;
-                    continue;
-                }
-            };
+            let writer =
+                match ServiceWriter::restore_with_rules(catalog, source_schema, &snapshot[..]) {
+                    Ok(writer) => writer,
+                    Err(SnapshotError::Mismatch(why)) => {
+                        // wrong rule / schema / format — a configuration
+                        // error an older generation cannot fix
+                        return Err(RecoveryError::Mismatch(why));
+                    }
+                    Err(err) => {
+                        newest_failure.get_or_insert((generation, err.to_string()));
+                        fallback_generations += 1;
+                        continue;
+                    }
+                };
             let (service, mut report) = DurableService::replay_and_reopen(
-                dir, writer, generation, rule_hash, &scan, durability,
+                dir, writer, generation, catalog, &scan, durability,
             )?;
             report.fallback_generations = fallback_generations;
             return Ok((service, report));
@@ -648,7 +734,7 @@ impl DurableService {
         dir: &Path,
         mut writer: ServiceWriter,
         checkpoint_generation: u64,
-        rule_hash: u64,
+        catalog: &[(String, LinkageRule)],
         scan: &DirScan,
         durability: DurabilityOptions,
     ) -> Result<(DurableService, RecoveryReport), RecoveryError> {
@@ -670,7 +756,11 @@ impl DurableService {
         let mut torn_tail_bytes = 0u64;
         for &generation in &tail {
             let bytes = std::fs::read(wal_path(dir, generation))?;
-            let contents: WalContents = match decode_wal(&bytes, rule_hash) {
+            // each log generation is stamped with the registry fingerprint
+            // at creation time; replayed manifest records change it, so the
+            // expectation is recomputed from the writer per generation
+            let expected_registry = writer.registry_hash();
+            let contents: WalContents = match decode_wal(&bytes, expected_registry) {
                 Ok(contents) => contents,
                 // a log torn during creation never acknowledged anything
                 Err(WalDamage::TornHeader) => continue,
@@ -714,7 +804,7 @@ impl DurableService {
             }
             let schema = writer.store().schema().clone();
             for record in &contents.records {
-                DurableService::apply_record(&mut writer, &schema, record)?;
+                DurableService::apply_record(&mut writer, &schema, catalog, record)?;
                 replayed_epochs += 1;
                 seq = Some(record.seq);
             }
@@ -759,6 +849,7 @@ impl DurableService {
     fn apply_record(
         writer: &mut ServiceWriter,
         schema: &Arc<Schema>,
+        catalog: &[(String, LinkageRule)],
         record: &crate::wal::WalRecord,
     ) -> Result<(), RecoveryError> {
         let replay_entity = |record: &crate::wal::EntityRecord| -> Result<Entity, RecoveryError> {
@@ -803,9 +894,42 @@ impl DurableService {
                         .map_err(|err| fail(err.to_string()))?;
                 }
             }
+            WalOp::Register { name, rule_hash } => {
+                let rule = lookup_rule(catalog, name, *rule_hash).map_err(&fail)?;
+                writer
+                    .register_rule_unpublished(name, rule.clone())
+                    .map_err(|err| fail(err.to_string()))?;
+            }
+            WalOp::Deregister(name) => {
+                writer
+                    .deregister_rule_unpublished(name)
+                    .map_err(|err| fail(err.to_string()))?;
+            }
+            WalOp::Replace { name, rule_hash } => {
+                let rule = lookup_rule(catalog, name, *rule_hash).map_err(&fail)?;
+                writer
+                    .replace_rule_unpublished(name, rule.clone())
+                    .map_err(|err| fail(err.to_string()))?;
+            }
         }
         Ok(())
     }
+}
+
+/// Resolves a logged registry operation against the recovery catalog.
+/// Resolution is by **canonical hash**, not by catalog name: a `Replace`
+/// re-binds a registry name to a different rule, so the same name can
+/// legitimately refer to different rules at different points of the log.
+fn lookup_rule<'a>(
+    catalog: &'a [(String, LinkageRule)],
+    name: &str,
+    rule_hash: u64,
+) -> Result<&'a LinkageRule, String> {
+    catalog
+        .iter()
+        .find(|(_, rule)| rule.canonical_hash() == rule_hash)
+        .map(|(_, rule)| rule)
+        .ok_or_else(|| format!("no catalog rule matches the hash the log recorded for \"{name}\""))
 }
 
 /// The subdirectory holding one shard's checkpoint/log generation chain.
@@ -978,6 +1102,28 @@ impl ShardedDurableService {
         source_schema: &Arc<Schema>,
         durability: DurabilityOptions,
     ) -> Result<(ShardedDurableService, Vec<RecoveryReport>), RecoveryError> {
+        ShardedDurableService::recover_with_rules(
+            dir,
+            &[(DEFAULT_RULE.to_string(), rule)],
+            source_schema,
+            durability,
+        )
+    }
+
+    /// Multi-rule [`ShardedDurableService::recover`]: each shard's
+    /// checkpoint manifest and logged registry operations are resolved
+    /// against `catalog`.  Registry operations go to shard 0 first, so a
+    /// crash mid-broadcast can leave trailing shards behind shard 0 —
+    /// recovery rolls them forward: shard 0's recovered registry is
+    /// authoritative and every other shard is converged to it (missing
+    /// rules registered, stale rules swapped, extras deregistered) before
+    /// the service is handed back.
+    pub fn recover_with_rules(
+        dir: impl AsRef<Path>,
+        catalog: &[(String, LinkageRule)],
+        source_schema: &Arc<Schema>,
+        durability: DurabilityOptions,
+    ) -> Result<(ShardedDurableService, Vec<RecoveryReport>), RecoveryError> {
         let dir = dir.as_ref();
         let found = existing_shard_dirs(dir)?;
         if found.is_empty() {
@@ -994,15 +1140,16 @@ impl ShardedDurableService {
         let mut shards = Vec::with_capacity(found.len());
         let mut reports = Vec::with_capacity(found.len());
         for index in 0..found.len() {
-            let (service, report) = DurableService::recover(
+            let (service, report) = DurableService::recover_with_rules(
                 shard_dir(dir, index),
-                rule.clone(),
+                catalog,
                 source_schema,
                 durability,
             )?;
             shards.push(service);
             reports.push(report);
         }
+        ShardedDurableService::converge_registries(&mut shards)?;
         Ok((
             ShardedDurableService {
                 router: ShardRouter::new(reports.len()),
@@ -1012,6 +1159,85 @@ impl ShardedDurableService {
             },
             reports,
         ))
+    }
+
+    /// Rolls every shard's registry forward to shard 0's (the broadcast
+    /// leader): registry operations are durably re-applied on the lagging
+    /// shard, in the order register-missing → swap-stale → drop-extra so
+    /// the registry is never emptied mid-convergence.
+    fn converge_registries(shards: &mut [DurableService]) -> Result<(), RecoveryError> {
+        let Some((leader, rest)) = shards.split_first_mut() else {
+            return Ok(());
+        };
+        let target: Vec<(String, LinkageRule)> = leader
+            .writer()
+            .rule_names()
+            .into_iter()
+            .map(|name| {
+                let rule = leader
+                    .writer()
+                    .named_rule(&name)
+                    .expect("rule_names lists registered rules")
+                    .clone();
+                (name, rule)
+            })
+            .collect();
+        let durable = |err: DurableError| RecoveryError::Replay {
+            seq: 0,
+            detail: format!("converging a lagging shard registry failed: {err}"),
+        };
+        for shard in rest {
+            for (name, rule) in &target {
+                if !shard.writer().has_rule(name) {
+                    shard.register_rule(name, rule.clone()).map_err(durable)?;
+                } else if shard
+                    .writer()
+                    .named_rule(name)
+                    .expect("presence was just checked")
+                    .canonical_hash()
+                    != rule.canonical_hash()
+                {
+                    shard.replace_rule(name, rule.clone()).map_err(durable)?;
+                }
+            }
+            let extras: Vec<String> = shard
+                .writer()
+                .rule_names()
+                .into_iter()
+                .filter(|name| !target.iter().any(|(kept, _)| kept == name))
+                .collect();
+            for name in extras {
+                shard.deregister_rule(&name).map_err(durable)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a rule on every shard durably, shard 0 first (shard 0's
+    /// registry is the authority recovery converges the others to, so a
+    /// crash mid-broadcast rolls forward, never back).  Shards log and
+    /// fsync independently; the rule serves everywhere once this returns.
+    pub fn register_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), DurableError> {
+        for shard in &mut self.shards {
+            shard.register_rule(name, rule.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Deregisters a rule from every shard durably, shard 0 first.
+    pub fn deregister_rule(&mut self, name: &str) -> Result<(), DurableError> {
+        for shard in &mut self.shards {
+            shard.deregister_rule(name)?;
+        }
+        Ok(())
+    }
+
+    /// Hot-swaps a rule on every shard durably, shard 0 first.
+    pub fn replace_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), DurableError> {
+        for shard in &mut self.shards {
+            shard.replace_rule(name, rule.clone())?;
+        }
+        Ok(())
     }
 
     /// The router partitioning entity ids across shards.

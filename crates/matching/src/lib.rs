@@ -23,7 +23,11 @@
 //!   (insert/remove/ingest) answering single-entity match queries at
 //!   interactive latency on an allocation-free candidate path; the
 //!   writer/reader split publishes copy-on-write epochs so any number of
-//!   reader threads query consistent snapshots while one writer churns,
+//!   reader threads query consistent snapshots while one writer churns.
+//!   The writer serves a whole *registry* of rules over the one store —
+//!   their indexes share leaves through a serving-side pool, registration
+//!   on a warm store builds only the missing leaves, and replacing a rule
+//!   is one epoch publication (a hot swap),
 //! * [`ShardedService`] / [`ShardedReader`] — the serving layer partitioned
 //!   by an entity-id hash router ([`ShardRouter`]) into N independent
 //!   shards, each with its own index, epoch chain and (durably) WAL
@@ -56,8 +60,12 @@ pub use engine::{
     ComparisonBlockStats, MatchingEngine, MatchingOptions, MatchingReport, ScoredLink,
 };
 pub use multiblock::{
-    CandidateScratch, LeafBuildStats, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes,
+    CandidateScratch, LeafBuildStats, LeafPoolStats, LeafReuseStats, MultiBlockIndex,
+    SharedLeafIndexes,
 };
 pub use persist::{SnapshotError, SNAPSHOT_VERSION};
-pub use service::{LinkService, ServiceOptions, ServiceReader, ServiceWriter};
+pub use service::{
+    CommitteeLink, LinkService, RegistryError, RuleServingStats, ServiceOptions, ServiceReader,
+    ServiceWriter, DEFAULT_RULE,
+};
 pub use sharded::{ShardRouter, ShardSlot, ShardedReader, ShardedScratch, ShardedService};

@@ -290,16 +290,30 @@ impl MultiBlockIndex {
     ) -> MultiBlockIndex {
         let threads = resolve_threads(threads).min(targets.len()).max(1);
         let plan = plan.into();
+        // Comparisons sharing a leaf reuse key index the targets
+        // identically, so each distinct key is built once and the result is
+        // Arc-shared by every slot that maps to it.  Duplicate slots stay
+        // safe under later insert/remove: `Arc::make_mut` un-shares the leaf
+        // on first mutation and each *distinct* leaf is mutated exactly once.
+        let (representatives, slot_of) = distinct_comparisons(&plan);
         let eligible = probe_eligible_leaves(&plan);
+        let mut sidecars = vec![false; representatives.len()];
+        for (slot, &at) in slot_of.iter().enumerate() {
+            sidecars[at] |= eligible[slot];
+        }
+        let comparisons: Vec<&IndexedComparison> = representatives
+            .iter()
+            .map(|&slot| &plan.comparisons()[slot])
+            .collect();
         let fresh_leaves = || -> Vec<LeafIndex> {
-            eligible
+            sidecars
                 .iter()
                 .map(|&eligible| LeafIndex::with_sidecar(eligible))
                 .collect()
         };
         let mut leaves = fresh_leaves();
         if threads <= 1 {
-            build_ref_range(&plan, targets, 0, &mut leaves, cache);
+            build_ref_range(&comparisons, targets, 0, &mut leaves, cache);
         } else {
             let shard_size = targets.len().div_ceil(threads);
             let mut shards: Vec<Vec<LeafIndex>> = Vec::with_capacity(threads);
@@ -308,12 +322,12 @@ impl MultiBlockIndex {
                     .chunks(shard_size)
                     .enumerate()
                     .map(|(shard, chunk)| {
-                        let plan = &plan;
+                        let comparisons = &comparisons;
                         let fresh_leaves = &fresh_leaves;
                         scope.spawn(move || {
                             let mut leaves = fresh_leaves();
                             let base = (shard * shard_size) as u32;
-                            build_ref_range(plan, chunk, base, &mut leaves, cache);
+                            build_ref_range(comparisons, chunk, base, &mut leaves, cache);
                             leaves
                         })
                     })
@@ -324,9 +338,10 @@ impl MultiBlockIndex {
             });
             merge_shards(&mut leaves, shards);
         }
+        let distinct: Vec<Arc<LeafIndex>> = leaves.into_iter().map(Arc::new).collect();
         MultiBlockIndex {
             plan,
-            leaves: leaves.into_iter().map(Arc::new).collect(),
+            leaves: slot_of.iter().map(|&at| distinct[at].clone()).collect(),
             target_len: targets.len(),
         }
     }
@@ -694,10 +709,11 @@ fn merge_shards(leaves: &mut [LeafIndex], shards: Vec<Vec<LeafIndex>>) {
     }
 }
 
-/// Indexes one contiguous range of entity references into per-leaf maps;
+/// Indexes one contiguous range of entity references into per-leaf maps —
+/// one leaf per *distinct* comparison (see [`distinct_comparisons`]);
 /// `base` is the global position of the first entity.
 fn build_ref_range<'e>(
-    plan: &IndexingPlan,
+    comparisons: &[&IndexedComparison],
     targets: &[&'e Entity],
     base: u32,
     leaves: &mut [LeafIndex],
@@ -706,7 +722,7 @@ fn build_ref_range<'e>(
     let mut keys: Vec<BlockKey> = Vec::new();
     for (offset, &entity) in targets.iter().enumerate() {
         let position = base + offset as u32;
-        for (comparison, index) in plan.comparisons().iter().zip(leaves.iter_mut()) {
+        for (&comparison, index) in comparisons.iter().zip(leaves.iter_mut()) {
             entity_keys(comparison, entity, cache, &mut keys);
             if !keys.is_empty() {
                 index.indexed_entities += 1;
@@ -716,6 +732,25 @@ fn build_ref_range<'e>(
             }
         }
     }
+}
+
+/// Groups a plan's comparison slots by [`IndexedComparison::leaf_reuse_key`]:
+/// returns the first slot of each distinct key (in slot order) and, per
+/// slot, the index of its distinct representative.
+pub(crate) fn distinct_comparisons(plan: &IndexingPlan) -> (Vec<usize>, Vec<usize>) {
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut slot_of = Vec::with_capacity(plan.comparisons().len());
+    let mut by_key: HashMap<LeafKey, usize> = HashMap::new();
+    for (slot, comparison) in plan.comparisons().iter().enumerate() {
+        let at = *by_key
+            .entry(comparison.leaf_reuse_key())
+            .or_insert_with(|| {
+                representatives.push(slot);
+                representatives.len() - 1
+            });
+        slot_of.push(at);
+    }
+    (representatives, slot_of)
 }
 
 /// Aggregate statistics of a [`SharedLeafIndexes`] cache.
@@ -747,7 +782,7 @@ impl LeafReuseStats {
 }
 
 /// The cache key: [`IndexedComparison::leaf_reuse_key`].
-type LeafKey = (u64, DistanceFunction, u64);
+pub(crate) type LeafKey = (u64, DistanceFunction, u64);
 
 /// One cached leaf with its retention bookkeeping.
 #[derive(Debug)]
@@ -1105,6 +1140,315 @@ fn build_leaf<'e>(
         }
     }
     leaf
+}
+
+/// Builds one comparison's leaf index over live `(position, entity)` pairs —
+/// the serving-side analogue of [`build_leaf`] for entity stores whose slot
+/// space has tombstone holes.  Pool leaves always carry the probe sidecar,
+/// for the same reason shared learning leaves do: a rule registered later
+/// may reach the leaf through an intersection.
+fn build_leaf_entries<'e>(
+    comparison: &IndexedComparison,
+    entries: &[(u32, &'e Entity)],
+    cache: &ValueCache<'e>,
+) -> LeafIndex {
+    let mut leaf = LeafIndex::with_sidecar(true);
+    let mut keys: Vec<BlockKey> = Vec::new();
+    for &(position, entity) in entries {
+        entity_keys(comparison, entity, cache, &mut keys);
+        if !keys.is_empty() {
+            leaf.indexed_entities += 1;
+        }
+        for &key in &keys {
+            leaf.add(key, position);
+        }
+    }
+    leaf
+}
+
+/// Aggregate statistics of a serving [`LeafPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeafPoolStats {
+    /// Plan slots whose leaf was already pooled when acquired (a whole
+    /// per-comparison index build saved).
+    pub hits: u64,
+    /// Leaf indexes actually built.
+    pub misses: u64,
+    /// Distinct leaves currently pooled.
+    pub entries: usize,
+    /// Plan slots (across every registered rule) referencing a pooled leaf.
+    /// The excess over `entries` is the per-mutation maintenance work
+    /// sharing saves.
+    pub refs: usize,
+}
+
+impl LeafPoolStats {
+    /// Fraction of leaf acquisitions answered without building a leaf —
+    /// the serving leaf-share ratio.
+    pub fn share_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One pooled serving leaf with its refcount bookkeeping.
+#[derive(Debug, Clone)]
+struct PooledLeaf {
+    leaf: Arc<LeafIndex>,
+    /// Plan slots (across all registered rules) referencing this leaf; the
+    /// leaf is dropped when the count reaches zero.
+    refs: usize,
+    /// A representative comparison for this reuse key.  Any comparison
+    /// sharing the key derives identical target-side block keys, which is
+    /// all that insert/remove maintenance needs.
+    comparison: IndexedComparison,
+}
+
+/// The serving-side leaf pool: one leaf index per distinct reuse key,
+/// Arc-shared by every registered rule's [`MultiBlockIndex`], maintained
+/// **once** per entity insert/remove instead of once per rule slot.
+///
+/// Unlike the learning-time [`SharedLeafIndexes`] — which is scoped to one
+/// immutable target pool and panics when the pool changes — the serving
+/// pool owns maintenance: [`LeafPool::insert_entity`] and
+/// [`LeafPool::remove_entity`] mutate each distinct leaf exactly once
+/// through `Arc::make_mut` (copy-on-write against pinned reader epochs),
+/// and the rules' per-slot views are reassembled from the pool's current
+/// leaves afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct LeafPool {
+    entries: HashMap<LeafKey, PooledLeaf>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LeafPool {
+    pub(crate) fn new() -> LeafPool {
+        LeafPool::default()
+    }
+
+    /// Acquires one plan's leaves, building the *missing* ones over the live
+    /// `(position, entity)` entries (sharded across `threads` workers) and
+    /// bumping refcounts.  Returns the per-slot leaves plus this
+    /// acquisition's `(hits, misses)` — a duplicate key within the plan
+    /// counts as a hit from its second slot on.
+    pub(crate) fn acquire_plan<'e>(
+        &mut self,
+        plan: &IndexingPlan,
+        entries: &[(u32, &'e Entity)],
+        cache: &ValueCache<'e>,
+        threads: usize,
+    ) -> (Vec<Arc<LeafIndex>>, u64, u64) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut pending: Vec<&IndexedComparison> = Vec::new();
+        let mut scheduled: HashSet<LeafKey> = HashSet::new();
+        for comparison in plan.comparisons() {
+            let key = comparison.leaf_reuse_key();
+            if self.entries.contains_key(&key) || scheduled.contains(&key) {
+                hits += 1;
+            } else {
+                misses += 1;
+                scheduled.insert(key);
+                pending.push(comparison);
+            }
+        }
+        if !pending.is_empty() {
+            let built = linkdisc_util::parallel_ordered_map(&pending, threads, |comparison| {
+                Arc::new(build_leaf_entries(comparison, entries, cache))
+            });
+            for (&comparison, leaf) in pending.iter().zip(built) {
+                self.entries.insert(
+                    comparison.leaf_reuse_key(),
+                    PooledLeaf {
+                        leaf,
+                        refs: 0,
+                        comparison: comparison.clone(),
+                    },
+                );
+            }
+        }
+        let leaves = plan
+            .comparisons()
+            .iter()
+            .map(|comparison| {
+                let entry = self
+                    .entries
+                    .get_mut(&comparison.leaf_reuse_key())
+                    .expect("every key was pooled or scheduled above");
+                entry.refs += 1;
+                entry.leaf.clone()
+            })
+            .collect();
+        self.hits += hits;
+        self.misses += misses;
+        (leaves, hits, misses)
+    }
+
+    /// Adopts an already-restored leaf (the snapshot codec) under the
+    /// comparison's key with a refcount of zero; the [`LeafPool::attach_plan`]
+    /// calls that follow establish the counts.
+    pub(crate) fn adopt(&mut self, comparison: &IndexedComparison, leaf: Arc<LeafIndex>) {
+        self.entries
+            .entry(comparison.leaf_reuse_key())
+            .or_insert(PooledLeaf {
+                leaf,
+                refs: 0,
+                comparison: comparison.clone(),
+            });
+    }
+
+    /// Seeds a **fresh** pool from a just-built index (the construction
+    /// path: the build itself stays sharded across entity ranges, which
+    /// `acquire_plan`'s per-leaf parallelism cannot match for few-leaf
+    /// plans).  Adopts each slot's leaf under its reuse key with a
+    /// refcount of one per referencing slot and returns the adoption's
+    /// `(hits, misses)` — a within-plan duplicate key counts as a hit from
+    /// its second slot on, exactly like `acquire_plan` accounts it.
+    pub(crate) fn adopt_index(&mut self, index: &MultiBlockIndex) -> (u64, u64) {
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (comparison, leaf) in index.plan.comparisons().iter().zip(&index.leaves) {
+            match self.entries.entry(comparison.leaf_reuse_key()) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    hits += 1;
+                    entry.get_mut().refs += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    misses += 1;
+                    slot.insert(PooledLeaf {
+                        leaf: leaf.clone(),
+                        refs: 1,
+                        comparison: comparison.clone(),
+                    });
+                }
+            }
+        }
+        self.hits += hits;
+        self.misses += misses;
+        (hits, misses)
+    }
+
+    /// Resolves one plan's leaves from already-pooled entries, bumping
+    /// refcounts; `None` when some key is missing (a corrupt snapshot — the
+    /// caller reports which).
+    pub(crate) fn attach_plan(&mut self, plan: &IndexingPlan) -> Option<Vec<Arc<LeafIndex>>> {
+        if plan
+            .comparisons()
+            .iter()
+            .any(|comparison| !self.entries.contains_key(&comparison.leaf_reuse_key()))
+        {
+            return None;
+        }
+        Some(
+            plan.comparisons()
+                .iter()
+                .map(|comparison| {
+                    let entry = self
+                        .entries
+                        .get_mut(&comparison.leaf_reuse_key())
+                        .expect("presence verified above");
+                    entry.refs += 1;
+                    entry.leaf.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// Releases one plan's references; a leaf is dropped when its refcount
+    /// reaches zero.
+    pub(crate) fn release_plan(&mut self, plan: &IndexingPlan) {
+        for comparison in plan.comparisons() {
+            let key = comparison.leaf_reuse_key();
+            let entry = self
+                .entries
+                .get_mut(&key)
+                .expect("released plan was never acquired");
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                self.entries.remove(&key);
+            }
+        }
+    }
+
+    /// Indexes one entity into every pooled leaf — once per distinct key,
+    /// which is the point of the pool.
+    pub(crate) fn insert_entity<'e>(
+        &mut self,
+        position: u32,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) {
+        let mut keys: Vec<BlockKey> = Vec::new();
+        for entry in self.entries.values_mut() {
+            entity_keys(&entry.comparison, entity, cache, &mut keys);
+            let leaf = Arc::make_mut(&mut entry.leaf);
+            if !keys.is_empty() {
+                leaf.indexed_entities += 1;
+            }
+            for &key in &keys {
+                leaf.add(key, position);
+            }
+        }
+    }
+
+    /// Un-indexes one entity from every pooled leaf.
+    pub(crate) fn remove_entity<'e>(
+        &mut self,
+        position: u32,
+        entity: &'e Entity,
+        cache: &ValueCache<'e>,
+    ) {
+        let mut keys: Vec<BlockKey> = Vec::new();
+        for entry in self.entries.values_mut() {
+            entity_keys(&entry.comparison, entity, cache, &mut keys);
+            let leaf = Arc::make_mut(&mut entry.leaf);
+            if !keys.is_empty() {
+                leaf.indexed_entities -= 1;
+            }
+            for &key in &keys {
+                leaf.drop_posting(key, position);
+            }
+        }
+    }
+
+    /// The current per-slot leaves of a registered plan, to reassemble a
+    /// rule's index view after pool maintenance.
+    pub(crate) fn leaves_for(&self, plan: &IndexingPlan) -> Vec<Arc<LeafIndex>> {
+        plan.comparisons()
+            .iter()
+            .map(|comparison| {
+                self.entries
+                    .get(&comparison.leaf_reuse_key())
+                    .expect("plan is registered in the pool")
+                    .leaf
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// The pool's distinct leaves in deterministic `(chain hash, measure
+    /// name, bucket)` order — the snapshot codec's serialization order.
+    pub(crate) fn sorted_entries(&self) -> Vec<(LeafKey, &Arc<LeafIndex>)> {
+        let mut entries: Vec<(LeafKey, &Arc<LeafIndex>)> = self
+            .entries
+            .iter()
+            .map(|(&key, entry)| (key, &entry.leaf))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| (a.0, a.1.name(), a.2).cmp(&(b.0, b.1.name(), b.2)));
+        entries
+    }
+
+    pub(crate) fn stats(&self) -> LeafPoolStats {
+        LeafPoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            refs: self.entries.values().map(|entry| entry.refs).sum(),
+        }
+    }
 }
 
 /// The block keys of one entity under one indexed comparison (target side).

@@ -1,15 +1,15 @@
 //! Snapshot persistence for the serving layer: dump a [`ServiceWriter`]'s
-//! entity store and leaf maps to a versioned binary stream and restore them
-//! without re-deriving a single block key — restart becomes O(read) instead
-//! of O(build).
+//! rule manifest, entity store and pooled leaf maps to a versioned binary
+//! stream and restore them without re-deriving a single block key — restart
+//! becomes O(read) instead of O(build).
 //!
-//! # Format (version 1, little-endian)
+//! # Format (version 2, little-endian)
 //!
 //! ```text
 //! magic    "LINKDSNP"            8 bytes
 //! version  u32                   bump on any layout or key-scheme change
 //! payload                        checksummed:
-//!   rule hash       u64          LinkageRule::canonical_hash at save time
+//!   rule manifest   [(name string, canonical hash u64)]   registration order
 //!   link threshold  f64
 //!   target schema   [string]     property names, in order
 //!   entity store
@@ -17,9 +17,12 @@
 //!     string table  [string]     every distinct value, first-use order
 //!     entities      [(position u32, id string, per property [table index u32])]
 //!     free list     [u32]        tombstoned slots, recycle order preserved
-//!   index
-//!     leaves        [(indexed_entities u32, blocks [(key u64, postings [u32])])]
-//!                                blocks sorted by raw key (deterministic file)
+//!   leaf pool
+//!     leaves        [(chain hash u64, measure name string, bound bucket u64,
+//!                     indexed_entities u32, blocks [(key u64, postings [u32])])]
+//!                                entries sorted by reuse key, blocks sorted by
+//!                                raw key (deterministic file); each leaf is
+//!                                written ONCE no matter how many rules share it
 //! checksum  u64                  FNV-1a over the payload
 //! ```
 //!
@@ -27,41 +30,51 @@
 //! [`linkdisc_entity::EntityStore`] interns them in memory: a column value
 //! repeated across ten thousand entities is written once.  Restore feeds
 //! entities back through the store, so the in-memory interning is
-//! re-established too.
+//! re-established too.  The **leaf pool** plays the same trick one level
+//! up: a leaf index shared by five registered rules appears once, under its
+//! `(chain hash, measure, bound bucket)` reuse key; restore re-attaches
+//! each rule's plan to the pooled leaves by key.
 //!
 //! # What restore guarantees
 //!
 //! A restored service is **bit-identical to a fresh build** over the same
-//! entity set: same leaf maps (block keys, posting lists, statistics — the
-//! probe sidecar and the `Σlen`/`Σlen²` selectivity sums are recomputed
-//! deterministically from the posting lists), same slot positions and free
-//! list (so subsequent inserts recycle the same slots), and therefore
-//! bit-identical query results (property-tested over random rules ×
-//! datasets).  The shared value cache starts cold and refills lazily — it
-//! is a pure memo, so this affects latency, never results.
+//! entity set and registrations: same leaf maps (block keys, posting lists,
+//! statistics — the probe sidecar and the `Σlen`/`Σlen²` selectivity sums
+//! are recomputed deterministically from the posting lists), same slot
+//! positions and free list (so subsequent inserts recycle the same slots),
+//! same registry order, and therefore bit-identical query results for every
+//! registered rule (property-tested over random rules × datasets).  The
+//! shared value cache starts cold and refills lazily — it is a pure memo,
+//! so this affects latency, never results.
 //!
 //! # What a snapshot is *not*
 //!
-//! The rule itself is configuration, not data: restore takes the rule from
-//! the caller and **validates** it against the saved canonical hash (plus
-//! schema and leaf-count checks), failing with [`SnapshotError::Mismatch`]
-//! rather than serving wrong candidates.  Block keys are 64-bit hashes
-//! produced by the in-process key derivation; a snapshot is portable across
-//! runs of the same build but not across versions that change the key
-//! schemes — which is exactly what the format version guards.
+//! The rules themselves are configuration, not data: restore takes a rule
+//! **catalog** from the caller and **resolves** every manifest entry
+//! against it by canonical hash — the manifest's names are registry slots,
+//! not lookup keys, since a hot swap re-binds a name to a new rule —
+//! failing with [`SnapshotError::Mismatch`] rather than serving wrong
+//! candidates.  Catalog entries the manifest does not use are ignored.  Block
+//! keys are 64-bit hashes produced by the in-process key derivation; a
+//! snapshot is portable across runs of the same build but not across
+//! versions that change the key schemes — which is exactly what the format
+//! version guards.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use linkdisc_entity::{Entity, EntityStore, Schema, ValueSet};
-use linkdisc_rule::{IndexingPlan, LinkageRule};
-use linkdisc_similarity::BlockKey;
+use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule};
+use linkdisc_similarity::{BlockKey, DistanceFunction};
 
-use crate::multiblock::{probe_eligible_leaves, LeafIndex, MultiBlockIndex};
-use crate::service::{LinkService, ServiceOptions, ServiceWriter};
+use crate::multiblock::{LeafIndex, LeafKey, LeafPool};
+use crate::service::{
+    LinkService, RegisteredRule, RuleCounters, ServiceOptions, ServiceWriter, DEFAULT_RULE,
+};
 
 /// Current snapshot format version (see the module docs).
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"LINKDSNP";
 
@@ -86,8 +99,8 @@ pub enum SnapshotError {
     /// The bytes are not a well-formed snapshot (bad magic, truncated
     /// payload, checksum mismatch, implausible length).
     Corrupt(String),
-    /// The snapshot is well-formed but does not belong to the given rule /
-    /// schema / format version.
+    /// The snapshot is well-formed but does not belong to the given rule
+    /// catalog / schema / format version.
     Mismatch(String),
 }
 
@@ -247,8 +260,9 @@ impl<R: Read> Tap<R> {
 }
 
 impl ServiceWriter {
-    /// Writes a versioned snapshot of the served state (entity store + leaf
-    /// maps) to `out`.  The writer is untouched; readers keep serving.
+    /// Writes a versioned snapshot of the served state (rule manifest +
+    /// entity store + pooled leaf maps, each shared leaf once) to `out`.
+    /// The writer is untouched; readers keep serving.
     pub fn save_snapshot<W: Write>(&self, out: W) -> Result<(), SnapshotError> {
         let mut sink = Sink::new(out);
         sink.out.write_all(MAGIC)?;
@@ -256,9 +270,15 @@ impl ServiceWriter {
 
         let store = self.store();
         let schema = store.schema();
-        let index = self.index();
 
-        sink.u64(self.rule().canonical_hash())?;
+        // rule manifest, registration order
+        let rules = self.registered_rules();
+        sink.u32(rules.len() as u32)?;
+        for rule in rules {
+            sink.string(&rule.name)?;
+            sink.u64(rule.rule.canonical_hash())?;
+        }
+
         sink.f64(self.link_threshold())?;
         sink.u32(schema.len() as u32)?;
         for property in schema.properties() {
@@ -270,7 +290,7 @@ impl ServiceWriter {
         // the entities as table references
         sink.u32(store.slot_len() as u32)?;
         let mut table: Vec<&str> = Vec::new();
-        let mut slot_of: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        let mut slot_of: HashMap<&str, u32> = HashMap::new();
         for (_, entity) in store.iter() {
             for property_index in 0..schema.len() {
                 for value in entity.values_at(property_index) {
@@ -302,9 +322,14 @@ impl ServiceWriter {
             sink.u32(position)?;
         }
 
-        // leaf maps, blocks sorted by raw key for a deterministic file
-        sink.u32(index.leaves.len() as u32)?;
-        for leaf in &index.leaves {
+        // the leaf pool: every distinct leaf once, under its reuse key, in
+        // deterministic key order; blocks sorted by raw key
+        let pooled = self.pool().sorted_entries();
+        sink.u32(pooled.len() as u32)?;
+        for ((chain_hash, function, bucket), leaf) in pooled {
+            sink.u64(chain_hash)?;
+            sink.string(function.name())?;
+            sink.u64(bucket)?;
             sink.u32(leaf.indexed_entities as u32)?;
             let mut blocks: Vec<(&BlockKey, &Vec<u32>)> = leaf.by_key.iter().collect();
             blocks.sort_unstable_by_key(|(key, _)| key.raw());
@@ -324,15 +349,30 @@ impl ServiceWriter {
         Ok(())
     }
 
-    /// Restores a writer from a snapshot previously written by
-    /// [`ServiceWriter::save_snapshot`] for the *same rule* (validated
-    /// against the saved canonical hash).  The link threshold is taken from
-    /// the snapshot — the leaf maps were derived under it;
-    /// [`ServiceOptions::threads`] is irrelevant because nothing is
-    /// rebuilt.  The restored state is bit-identical to a fresh build over
-    /// the saved entities (see the module docs).
+    /// Restores a single-rule writer from a snapshot — sugar for
+    /// [`ServiceWriter::restore_with_rules`] with a one-entry catalog under
+    /// the default name.
     pub fn restore<R: Read>(
         rule: LinkageRule,
+        source_schema: &Arc<Schema>,
+        input: R,
+    ) -> Result<ServiceWriter, SnapshotError> {
+        ServiceWriter::restore_with_rules(&[(DEFAULT_RULE.to_string(), rule)], source_schema, input)
+    }
+
+    /// Restores a writer from a snapshot previously written by
+    /// [`ServiceWriter::save_snapshot`], resolving the saved rule manifest
+    /// against a caller-provided `catalog` of `(name, rule)` pairs: every
+    /// manifest entry must resolve to a catalog rule with an equal
+    /// canonical hash ([`SnapshotError::Mismatch`] otherwise — the
+    /// manifest's own names are the registry slots); catalog entries the
+    /// manifest does not use are ignored.  The link threshold
+    /// is taken from the snapshot — the leaf maps were derived under it;
+    /// [`ServiceOptions::threads`] is irrelevant because nothing is
+    /// rebuilt.  The restored state is bit-identical to a fresh build over
+    /// the saved entities and registrations (see the module docs).
+    pub fn restore_with_rules<R: Read>(
+        catalog: &[(String, LinkageRule)],
         source_schema: &Arc<Schema>,
         input: R,
     ) -> Result<ServiceWriter, SnapshotError> {
@@ -356,12 +396,36 @@ impl ServiceWriter {
             )));
         }
 
-        let saved_rule_hash = tap.u64()?;
-        if saved_rule_hash != rule.canonical_hash() {
-            return Err(SnapshotError::Mismatch(
-                "snapshot was saved for a different rule".into(),
-            ));
+        // rule manifest, resolved against the catalog
+        let rule_count = tap.count()?;
+        if rule_count == 0 {
+            return Err(SnapshotError::Corrupt("empty rule manifest".into()));
         }
+        let mut manifest: Vec<(String, &LinkageRule)> =
+            Vec::with_capacity(bounded_capacity::<(String, &LinkageRule)>(rule_count));
+        for _ in 0..rule_count {
+            let name = tap.string()?;
+            let saved_hash = tap.u64()?;
+            if manifest.iter().any(|(seen, _)| *seen == name) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "rule {name:?} appears twice in the manifest"
+                )));
+            }
+            // resolve by canonical hash, not by catalog name: a replaced
+            // registry name legitimately binds to a different rule than an
+            // identically-named catalog entry
+            let rule = catalog
+                .iter()
+                .find(|(_, rule)| rule.canonical_hash() == saved_hash)
+                .map(|(_, rule)| rule)
+                .ok_or_else(|| {
+                    SnapshotError::Mismatch(format!(
+                        "no catalog rule matches the snapshot's rule {name:?}"
+                    ))
+                })?;
+            manifest.push((name, rule));
+        }
+
         let link_threshold = tap.f64()?;
         let property_count = tap.count()?;
         let mut properties = Vec::with_capacity(bounded_capacity::<String>(property_count));
@@ -432,22 +496,21 @@ impl ServiceWriter {
         }
         store.set_free_slots(free);
 
-        // leaf maps
-        let plan = Arc::new(
-            IndexingPlan::lower(&rule, source_schema, &target_schema, link_threshold)
-                .canonicalized(),
-        );
-        let eligible = probe_eligible_leaves(&plan);
-        let leaf_count = tap.count()?;
-        if leaf_count != plan.comparisons().len() {
-            return Err(SnapshotError::Mismatch(format!(
-                "snapshot holds {leaf_count} leaf maps, the rule's plan expects {}",
-                plan.comparisons().len()
-            )));
-        }
-        let mut leaves = Vec::with_capacity(leaf_count);
-        for &sidecar in eligible.iter().take(leaf_count) {
-            let mut leaf = LeafIndex::with_sidecar(sidecar);
+        // the leaf pool: each shared leaf once, under its reuse key.  Pool
+        // leaves always carry the probe sidecar (sound for any leaf —
+        // probing is results-equivalent to materialising; only the memory
+        // trade-off differs, and a shared leaf cannot know which plans will
+        // probe it).
+        let pooled_count = tap.count()?;
+        let mut pooled: HashMap<LeafKey, Arc<LeafIndex>> = HashMap::new();
+        for _ in 0..pooled_count {
+            let chain_hash = tap.u64()?;
+            let function_name = tap.string()?;
+            let function = DistanceFunction::from_name(&function_name).ok_or_else(|| {
+                SnapshotError::Corrupt(format!("unknown distance function {function_name:?}"))
+            })?;
+            let bucket = tap.u64()?;
+            let mut leaf = LeafIndex::with_sidecar(true);
             leaf.indexed_entities = tap.count()?;
             let blocks = tap.count()?;
             for _ in 0..blocks {
@@ -469,7 +532,14 @@ impl ServiceWriter {
             }
             leaf.refresh_estimates();
             leaf.rebuild_sidecar();
-            leaves.push(Arc::new(leaf));
+            if pooled
+                .insert((chain_hash, function, bucket), Arc::new(leaf))
+                .is_some()
+            {
+                return Err(SnapshotError::Corrupt(
+                    "two pooled leaves share one reuse key".into(),
+                ));
+            }
         }
 
         let computed = tap.crc.0;
@@ -481,17 +551,63 @@ impl ServiceWriter {
             return Err(SnapshotError::Corrupt("checksum mismatch".into()));
         }
 
-        let index = MultiBlockIndex::from_parts(plan, leaves, slot_len);
+        // attach every manifest rule's plan to the pooled leaves by reuse
+        // key, re-deriving the hit/miss accounting registration would have
+        // produced
+        let mut pool = LeafPool::new();
+        let mut referenced: std::collections::HashSet<LeafKey> = std::collections::HashSet::new();
+        let mut adopted: std::collections::HashSet<LeafKey> = std::collections::HashSet::new();
+        let mut rules: Vec<RegisteredRule> = Vec::with_capacity(manifest.len());
+        for (name, rule) in manifest {
+            let plan = Arc::new(
+                IndexingPlan::lower(rule, source_schema, &target_schema, link_threshold)
+                    .canonicalized(),
+            );
+            let compiled = Arc::new(CompiledRule::compile(rule, source_schema, &target_schema));
+            let (mut leaf_hits, mut leaf_misses) = (0u64, 0u64);
+            for comparison in plan.comparisons() {
+                let key = comparison.leaf_reuse_key();
+                let leaf = pooled.get(&key).ok_or_else(|| {
+                    SnapshotError::Corrupt(format!(
+                        "snapshot is missing a pooled leaf rule {name:?} requires"
+                    ))
+                })?;
+                pool.adopt(comparison, leaf.clone());
+                referenced.insert(key);
+                if adopted.insert(key) {
+                    leaf_misses += 1;
+                } else {
+                    leaf_hits += 1;
+                }
+            }
+            pool.attach_plan(&plan)
+                .expect("every key was adopted just above");
+            rules.push(RegisteredRule {
+                name: Arc::from(name.as_str()),
+                rule: Arc::new(rule.clone()),
+                compiled,
+                plan,
+                counters: Arc::new(RuleCounters::default()),
+                leaf_hits,
+                leaf_misses,
+                registered_epoch: 0,
+            });
+        }
+        if referenced.len() != pooled.len() {
+            return Err(SnapshotError::Corrupt(
+                "snapshot pools a leaf no registered rule references".into(),
+            ));
+        }
+
         Ok(ServiceWriter::from_restored(
-            rule,
             source_schema,
-            &target_schema,
             ServiceOptions {
                 link_threshold,
                 threads: 0,
             },
             store,
-            index,
+            pool,
+            rules,
         ))
     }
 }
@@ -503,13 +619,24 @@ impl LinkService {
         self.writer().save_snapshot(out)
     }
 
-    /// Restores a service from a snapshot — see [`ServiceWriter::restore`].
+    /// Restores a single-rule service from a snapshot — see
+    /// [`ServiceWriter::restore`].
     pub fn restore<R: Read>(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
         input: R,
     ) -> Result<LinkService, SnapshotError> {
         Ok(ServiceWriter::restore(rule, source_schema, input)?.into_service())
+    }
+
+    /// Restores a multi-rule service, resolving the saved manifest against
+    /// a rule catalog — see [`ServiceWriter::restore_with_rules`].
+    pub fn restore_with_rules<R: Read>(
+        catalog: &[(String, LinkageRule)],
+        source_schema: &Arc<Schema>,
+        input: R,
+    ) -> Result<LinkService, SnapshotError> {
+        Ok(ServiceWriter::restore_with_rules(catalog, source_schema, input)?.into_service())
     }
 }
 
@@ -552,6 +679,28 @@ mod tests {
                     property("name"),
                     DistanceFunction::Levenshtein,
                     2.0,
+                ),
+                compare(
+                    property("year"),
+                    property("year"),
+                    DistanceFunction::Numeric,
+                    2.0,
+                ),
+            ],
+        )
+        .into()
+    }
+
+    /// Shares the year leaf with `rule()`, adds a name leaf of its own.
+    fn other_rule() -> LinkageRule {
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    property("name"),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    1.0,
                 ),
                 compare(
                     property("year"),
@@ -607,6 +756,47 @@ mod tests {
     }
 
     #[test]
+    fn multi_rule_snapshots_round_trip_with_shared_leaves_written_once() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        service.register_rule("other", other_rule()).unwrap();
+        service.remove("b0");
+        let bytes = snapshot_of(&service);
+        let catalog = vec![
+            (DEFAULT_RULE.to_string(), rule()),
+            ("other".to_string(), other_rule()),
+        ];
+        let restored =
+            LinkService::restore_with_rules(&catalog, source.schema(), &bytes[..]).unwrap();
+        assert_eq!(restored.rule_names(), service.rule_names());
+        let before = service.leaf_pool_stats();
+        let after = restored.leaf_pool_stats();
+        assert_eq!(after.entries, before.entries, "shared leaves pooled once");
+        assert_eq!(after.refs, before.refs);
+        for entity in source.entities() {
+            assert_eq!(restored.query(entity), service.query(entity));
+            assert_eq!(
+                restored.query_rule("other", entity).unwrap(),
+                service.query_rule("other", entity).unwrap()
+            );
+        }
+        // catalog order does not matter, and extra catalog entries are
+        // simply unused
+        let shuffled = vec![
+            ("unused".to_string(), other_rule()),
+            ("other".to_string(), other_rule()),
+            (DEFAULT_RULE.to_string(), rule()),
+        ];
+        let again =
+            LinkService::restore_with_rules(&shuffled, source.schema(), &bytes[..]).unwrap();
+        assert_eq!(again.rule_names(), service.rule_names());
+        // determinism holds across save → restore → save
+        assert_eq!(snapshot_of(&restored), bytes);
+    }
+
+    #[test]
     fn restore_rejects_the_wrong_rule() {
         let (source, target) = (source(), target());
         let service =
@@ -621,6 +811,19 @@ mod tests {
         )
         .into();
         let err = LinkService::restore(other, source.schema(), &bytes[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_a_catalog_missing_a_manifest_rule() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        service.register_rule("other", other_rule()).unwrap();
+        let bytes = snapshot_of(&service);
+        // the catalog knows only the default rule; "other" cannot resolve
+        let err = LinkService::restore(rule(), source.schema(), &bytes[..]).unwrap_err();
         assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
     }
 

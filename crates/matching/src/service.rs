@@ -1,5 +1,6 @@
 //! The serving layer: a long-lived, concurrently readable and incrementally
-//! writable front-end for one linkage rule.
+//! writable front-end for a *registry* of linkage rules over one entity
+//! store.
 //!
 //! The [`crate::MatchingEngine`] answers "link these two sources" as a batch
 //! job; production traffic instead asks "which targets match *this one
@@ -9,10 +10,10 @@
 //!
 //! * [`ServiceWriter`] — owns the mutable state: an
 //!   [`EntityStore`] (owned entities, stable recycled `u32` slots, interned
-//!   values) and a working [`MultiBlockIndex`].  Every `insert` / `remove` /
-//!   `ingest` mutates the working state and **publishes a new epoch**: an
-//!   immutable `(index, entity snapshot)` pair behind an
-//!   [`EpochCell`] swap.  Publication is copy-on-write at two
+//!   values), a **rule registry** and a **leaf pool**.  Every `insert` /
+//!   `remove` / `ingest` mutates the working state and **publishes a new
+//!   epoch**: an immutable `(rules, indexes, entity snapshot)` tuple behind
+//!   an [`EpochCell`] swap.  Publication is copy-on-write at two
 //!   granularities — index leaves are `Arc`ed (a mutation deep-copies only
 //!   the leaves it touches, and only while an epoch still shares them) and
 //!   the entity slot table is chunked (a mutation copies one chunk, a
@@ -34,6 +35,29 @@
 //!   preserving the original construct-ingest-query API; call
 //!   [`LinkService::split`] to move to concurrent operation.
 //!
+//! # Multi-rule serving
+//!
+//! The registry serves many rules from **one** store, one interner and one
+//! epoch stream.  Per-comparison leaf indexes live in a serving-side
+//! [`crate::multiblock::LeafPool`] keyed by `(target chain hash, measure,
+//! bound bucket)` — the same reuse key learning's
+//! [`crate::SharedLeafIndexes`] proved sound — so a leaf is built once,
+//! `Arc`-shared by every rule whose plan contains the key, and maintained
+//! **once** per entity mutation instead of once per rule.
+//! [`ServiceWriter::register_rule`] on a warm store builds only the
+//! registering plan's *missing* leaves (no re-ingest, no interner rebuild);
+//! [`ServiceWriter::deregister_rule`] drops leaves whose refcount reaches
+//! zero; [`ServiceWriter::replace_rule`] acquires the replacement's leaves
+//! *before* releasing the old rule's, so shared leaves survive the swap.
+//! All three are just another epoch publication — a **hot rule swap**:
+//! readers pinning the previous epoch keep a consistent `(rules, leaves,
+//! snapshot)` view while new queries see the new registry, with zero
+//! downtime.  Readers select rules by name ([`ServiceReader::query_rule`])
+//! or fan one query across the whole registry
+//! ([`ServiceReader::query_committee`], the ensemble/query-by-committee
+//! path), and per-rule serving counters surface through
+//! [`ServiceReader::rule_stats`].
+//!
 //! # The shared value cache and why it stays sound
 //!
 //! All epochs share one [`PinnedValueCache`] memoizing target-side transform
@@ -47,7 +71,9 @@
 //! epoch holding the old entity is gone, at which point no reader can write
 //! stale entries anymore and the writer's insert-time eviction has cleared
 //! any it left behind.  The writer additionally **warms** each inserted
-//! entity's chains so concurrent readers score from a hot cache.
+//! entity's chains — for every registered rule — so concurrent readers
+//! score from a hot cache.  The evictable hash set is the union over the
+//! registry; deregistering a rule evicts the chains only it could memoize.
 //!
 //! Entries a lagging reader re-memoized for a since-removed entity are
 //! orphaned until the allocator reuses that address for a stored entity
@@ -60,11 +86,14 @@
 //!
 //! # Persistence
 //!
-//! [`crate::persist`] dumps the entity store and the leaf maps to a
-//! versioned binary snapshot and restores them without re-deriving a single
-//! block key — restart is O(read) instead of O(build), and the restored
-//! service is bit-identical to a fresh build (links, stats, query results).
+//! [`crate::persist`] dumps the rule manifest, the entity store and the
+//! pool's leaf maps (each shared leaf serialized once) to a versioned
+//! binary snapshot and restores them without re-deriving a single block
+//! key — restart is O(read) instead of O(build), and the restored service
+//! is bit-identical to a fresh build (links, stats, query results).
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use linkdisc_entity::{DataSource, Entity, EntityError, EntitySnapshot, EntityStore, Schema};
@@ -74,7 +103,13 @@ use linkdisc_rule::{
 use linkdisc_util::{EpochCell, EpochReader};
 
 use crate::engine::ScoredLink;
-use crate::multiblock::{CandidateScratch, LeafBuildStats, MultiBlockIndex};
+use crate::multiblock::{
+    CandidateScratch, LeafBuildStats, LeafPool, LeafPoolStats, MultiBlockIndex,
+};
+
+/// The name under which constructors register their rule; single-rule
+/// callers never need another.
+pub const DEFAULT_RULE: &str = "default";
 
 /// Construction options of the serving layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,19 +129,131 @@ impl Default for ServiceOptions {
     }
 }
 
-/// One published epoch: an immutable `(index, entities)` snapshot readers
+/// A registry-operation failure: rule names must be unique, targets of
+/// deregistration/replacement must exist, and a service always serves at
+/// least one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A rule with this name is already registered.
+    DuplicateRule(String),
+    /// No rule with this name is registered.
+    UnknownRule(String),
+    /// The last remaining rule cannot be deregistered.
+    LastRule,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateRule(name) => {
+                write!(f, "a rule named {name:?} is already registered")
+            }
+            RegistryError::UnknownRule(name) => write!(f, "no rule named {name:?} is registered"),
+            RegistryError::LastRule => write!(f, "the last registered rule cannot be deregistered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Per-rule serving statistics, the serving analogue of learning's
+/// `CacheStats`: cumulative query-side counters plus the leaf-pool
+/// accounting observed when the rule acquired its leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleServingStats {
+    /// The rule's registry name.
+    pub rule: String,
+    /// Queries answered for this rule (any reader, any epoch).
+    pub queries: u64,
+    /// Candidates its index generated across those queries.
+    pub candidates: u64,
+    /// Plan slots answered by an already-pooled leaf at acquisition.
+    pub leaf_hits: u64,
+    /// Leaves built for this rule at acquisition.
+    pub leaf_misses: u64,
+    /// Epoch version at registration (0 for construction-time rules).
+    pub registered_epoch: u64,
+}
+
+/// One merged committee answer: a target with the votes and mean score it
+/// collected across the registry (see [`ServiceReader::query_committee`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitteeLink {
+    /// Identifier of the query entity.
+    pub source: String,
+    /// Identifier of the matched target entity.
+    pub target: String,
+    /// Rules scoring the pair at or above the link threshold.
+    pub votes: usize,
+    /// Rules consulted (the registry size of the pinned epoch).
+    pub committee: usize,
+    /// Mean score over the voting rules.
+    pub mean_score: f64,
+}
+
+/// Cumulative query-side counters of one registered rule, shared (via
+/// `Arc`) between the writer's registry and every published epoch so that
+/// reader-side traffic is visible in [`ServiceWriter::rule_stats`] too.
+#[derive(Debug, Default)]
+pub(crate) struct RuleCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) candidates: AtomicU64,
+}
+
+/// One registry entry: the rule, its compiled form and lowered plan, and
+/// its serving bookkeeping.  The writer's registry holds **no** leaf
+/// references — a rule's per-slot index view is materialized from the leaf
+/// pool at publication, so pool maintenance between publications mutates
+/// leaves in place instead of re-triggering copy-on-write per operation.
+#[derive(Debug, Clone)]
+pub(crate) struct RegisteredRule {
+    pub(crate) name: Arc<str>,
+    pub(crate) rule: Arc<LinkageRule>,
+    pub(crate) compiled: Arc<CompiledRule>,
+    pub(crate) plan: Arc<IndexingPlan>,
+    pub(crate) counters: Arc<RuleCounters>,
+    /// Leaf-pool hits observed when this rule acquired its leaves — the
+    /// builds sharing saved at registration.
+    pub(crate) leaf_hits: u64,
+    /// Leaves actually built for this rule at acquisition.
+    pub(crate) leaf_misses: u64,
+    /// Epoch version at registration (0 for construction-time rules).
+    pub(crate) registered_epoch: u64,
+}
+
+impl RegisteredRule {
+    fn serving_stats(&self) -> RuleServingStats {
+        RuleServingStats {
+            rule: self.name.to_string(),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            candidates: self.counters.candidates.load(Ordering::Relaxed),
+            leaf_hits: self.leaf_hits,
+            leaf_misses: self.leaf_misses,
+            registered_epoch: self.registered_epoch,
+        }
+    }
+}
+
+/// One rule as published into an epoch: the registry entry plus its
+/// materialized index view over the pool leaves of that epoch.
+#[derive(Debug)]
+pub(crate) struct EpochRule {
+    pub(crate) registered: RegisteredRule,
+    pub(crate) index: MultiBlockIndex,
+}
+
+/// One published epoch: an immutable `(rules, entities)` snapshot readers
 /// pin for the duration of a query.
 #[derive(Debug)]
 pub(crate) struct ServiceEpoch {
-    pub(crate) index: MultiBlockIndex,
+    /// Registry order; slot 0 is the default rule.
+    pub(crate) rules: Vec<EpochRule>,
     pub(crate) entities: EntitySnapshot,
 }
 
 /// State shared between the writer and every reader.
 #[derive(Debug)]
 struct ServiceShared {
-    rule: LinkageRule,
-    compiled: CompiledRule,
     /// Target-side transform memo, shared across all epochs (see the module
     /// docs for the address-invariant argument).
     cache: PinnedValueCache,
@@ -119,20 +266,28 @@ struct ServiceShared {
 pub struct ServiceWriter {
     shared: Arc<ServiceShared>,
     store: EntityStore,
-    /// The writer's working index.  Leaves are `Arc`-shared with published
-    /// epochs; `Arc::make_mut` inside insert/remove copies exactly the
-    /// leaves a mutation touches.
-    index: MultiBlockIndex,
-    /// Every target-side chain hash the compiled rule can memoize under —
-    /// the `(entity, hash)` keys to evict when a target entity is removed
-    /// (and to clear defensively when a slot's address gets a new tenant).
+    /// The shared leaf pool: one leaf per distinct reuse key across the
+    /// whole registry, maintained once per entity mutation.
+    pool: LeafPool,
+    /// Registration order; slot 0 is the default rule.
+    rules: Vec<RegisteredRule>,
+    /// Schema of future *query* entities, kept for registering rules later.
+    source_schema: Arc<Schema>,
+    /// Worker threads for leaf builds (0 = all cores).
+    threads: usize,
+    /// Every target-side chain hash the registry's compiled rules can
+    /// memoize under — the `(entity, hash)` keys to evict when a target
+    /// entity is removed (and to clear defensively when a slot's address
+    /// gets a new tenant).  Maintained as the sorted union over the
+    /// registry.
     target_chain_hashes: Vec<u64>,
 }
 
 impl std::fmt::Debug for ServiceWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceWriter")
-            .field("rule", &self.shared.rule)
+            .field("rule", self.rule())
+            .field("rules", &self.rules.len())
             .field("entities", &self.len())
             .field("epoch", &self.shared.epochs.version())
             .finish()
@@ -149,11 +304,8 @@ impl ServiceWriter {
         target_schema: &Arc<Schema>,
         options: ServiceOptions,
     ) -> Self {
-        let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
-            .canonicalized();
-        let index = MultiBlockIndex::empty(plan);
         let store = EntityStore::new(target_schema.clone());
-        ServiceWriter::assemble(rule, source_schema, target_schema, options, store, index)
+        ServiceWriter::assemble(rule, source_schema, target_schema, options, store)
     }
 
     /// Builds a writer over a materialised target source: entities are
@@ -198,93 +350,217 @@ impl ServiceWriter {
         target: &[Entity],
         options: ServiceOptions,
     ) -> Result<Self, EntityError> {
-        let plan = IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
-            .canonicalized();
         let store = EntityStore::from_entities(target_schema.clone(), target)?;
-        let cache = PinnedValueCache::new();
-        let index = {
-            let targets: Vec<&Entity> = store.iter().map(|(_, entity)| entity.as_ref()).collect();
-            MultiBlockIndex::build_refs(Arc::new(plan), &targets, cache.scoped(), options.threads)
-        };
         // the construction-time epoch (version 0) already carries the fully
         // built state — no extra publication needed
-        Ok(ServiceWriter::assemble_with_cache(
+        Ok(ServiceWriter::assemble(
             rule,
             source_schema,
             target_schema,
             options,
             store,
-            index,
-            cache,
         ))
     }
 
-    /// Restores a writer from already-reconstructed parts (the snapshot
-    /// codec's entry point; the cache starts cold and refills lazily).
-    pub(crate) fn from_restored(
-        rule: LinkageRule,
-        source_schema: &Arc<Schema>,
-        target_schema: &Arc<Schema>,
-        options: ServiceOptions,
-        store: EntityStore,
-        index: MultiBlockIndex,
-    ) -> Self {
-        ServiceWriter::assemble(rule, source_schema, target_schema, options, store, index)
-    }
-
+    /// The common construction core: builds the default rule's index over
+    /// the store — sharded across entity ranges, exactly like the
+    /// single-rule service did — and seeds the leaf pool with its distinct
+    /// leaves.
     fn assemble(
         rule: LinkageRule,
         source_schema: &Arc<Schema>,
         target_schema: &Arc<Schema>,
         options: ServiceOptions,
         store: EntityStore,
-        index: MultiBlockIndex,
     ) -> Self {
-        ServiceWriter::assemble_with_cache(
-            rule,
+        let cache = PinnedValueCache::new();
+        let plan = Arc::new(
+            IndexingPlan::lower(&rule, source_schema, target_schema, options.link_threshold)
+                .canonicalized(),
+        );
+        let compiled = Arc::new(CompiledRule::compile(&rule, source_schema, target_schema));
+        let mut pool = LeafPool::new();
+        let (leaf_hits, leaf_misses) = {
+            let targets: Vec<&Entity> = store.iter().map(|(_, entity)| entity.as_ref()).collect();
+            let index = MultiBlockIndex::build_refs(
+                plan.clone(),
+                &targets,
+                cache.scoped(),
+                options.threads,
+            );
+            pool.adopt_index(&index)
+        };
+        let default = RegisteredRule {
+            name: Arc::from(DEFAULT_RULE),
+            rule: Arc::new(rule),
+            compiled,
+            plan,
+            counters: Arc::new(RuleCounters::default()),
+            leaf_hits,
+            leaf_misses,
+            registered_epoch: 0,
+        };
+        ServiceWriter::from_parts_with_cache(
             source_schema,
-            target_schema,
             options,
             store,
-            index,
+            pool,
+            vec![default],
+            cache,
+        )
+    }
+
+    /// Restores a writer from already-reconstructed parts (the snapshot
+    /// codec's entry point; the cache starts cold and refills lazily).
+    /// Pool refcounts must already account for every rule's plan.
+    pub(crate) fn from_restored(
+        source_schema: &Arc<Schema>,
+        options: ServiceOptions,
+        store: EntityStore,
+        pool: LeafPool,
+        rules: Vec<RegisteredRule>,
+    ) -> Self {
+        ServiceWriter::from_parts_with_cache(
+            source_schema,
+            options,
+            store,
+            pool,
+            rules,
             PinnedValueCache::new(),
         )
     }
 
-    fn assemble_with_cache(
-        rule: LinkageRule,
+    fn from_parts_with_cache(
         source_schema: &Arc<Schema>,
-        target_schema: &Arc<Schema>,
         options: ServiceOptions,
         store: EntityStore,
-        index: MultiBlockIndex,
+        pool: LeafPool,
+        rules: Vec<RegisteredRule>,
         cache: PinnedValueCache,
     ) -> Self {
-        let compiled = CompiledRule::compile(&rule, source_schema, target_schema);
-        let target_chain_hashes = evictable_hashes(&compiled);
-        let epoch = ServiceEpoch {
-            index: index.clone(),
-            entities: store.snapshot(),
-        };
-        let shared = Arc::new(ServiceShared {
-            rule,
-            compiled,
-            cache,
-            link_threshold: options.link_threshold,
-            epochs: Arc::new(EpochCell::new(Arc::new(epoch))),
-            scratch_pool: Mutex::new(Vec::new()),
-        });
-        ServiceWriter {
-            shared,
+        let target_chain_hashes = evictable_hashes(&rules);
+        let writer = ServiceWriter {
+            shared: Arc::new(ServiceShared {
+                cache,
+                link_threshold: options.link_threshold,
+                epochs: Arc::new(EpochCell::new(Arc::new(ServiceEpoch {
+                    rules: Vec::new(),
+                    entities: store.snapshot(),
+                }))),
+                scratch_pool: Mutex::new(Vec::new()),
+            }),
             store,
-            index,
+            pool,
+            rules,
+            source_schema: source_schema.clone(),
+            threads: options.threads,
             target_chain_hashes,
+        };
+        // replace the placeholder construction epoch in place: EpochCell
+        // starts at version 0 and `replace_current` does not bump it
+        writer
+            .shared
+            .epochs
+            .replace_current(Arc::new(writer.current_epoch()));
+        writer
+    }
+
+    /// The current working state as an epoch: every rule's index view
+    /// materialized from the pool (cheap `Arc` clones per leaf slot).
+    fn current_epoch(&self) -> ServiceEpoch {
+        let rules = self
+            .rules
+            .iter()
+            .map(|rule| EpochRule {
+                registered: rule.clone(),
+                index: self.index_view(rule),
+            })
+            .collect();
+        ServiceEpoch {
+            rules,
+            entities: self.store.snapshot(),
         }
     }
 
-    /// The rule this service executes.
+    /// One rule's per-slot index view over the pool's current leaves.
+    fn index_view(&self, rule: &RegisteredRule) -> MultiBlockIndex {
+        MultiBlockIndex::from_parts(
+            rule.plan.clone(),
+            self.pool.leaves_for(&rule.plan),
+            self.store.slot_len(),
+        )
+    }
+
+    /// The default rule this service executes (registry slot 0).
     pub fn rule(&self) -> &LinkageRule {
-        &self.shared.rule
+        self.rules[0].rule.as_ref()
+    }
+
+    /// The registered rule names, in registration order (slot 0 is the
+    /// default rule).
+    pub fn rule_names(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .map(|rule| rule.name.to_string())
+            .collect()
+    }
+
+    /// Returns `true` when a rule with this name is registered.
+    pub fn has_rule(&self, name: &str) -> bool {
+        self.rules.iter().any(|rule| rule.name.as_ref() == name)
+    }
+
+    /// The registered rule under a name.
+    pub fn named_rule(&self, name: &str) -> Option<&LinkageRule> {
+        self.rules
+            .iter()
+            .find(|rule| rule.name.as_ref() == name)
+            .map(|rule| rule.rule.as_ref())
+    }
+
+    /// Number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Per-rule serving statistics, in registration order.  Query counters
+    /// aggregate over every reader and epoch (the counter cells are shared
+    /// with published epochs).
+    pub fn rule_stats(&self) -> Vec<RuleServingStats> {
+        self.rules
+            .iter()
+            .map(RegisteredRule::serving_stats)
+            .collect()
+    }
+
+    /// Aggregate statistics of the serving leaf pool (hits, misses, pooled
+    /// leaves, references).
+    pub fn leaf_pool_stats(&self) -> LeafPoolStats {
+        self.pool.stats()
+    }
+
+    /// The writer's registry, in registration order (the snapshot codec
+    /// reads it).
+    pub(crate) fn registered_rules(&self) -> &[RegisteredRule] {
+        &self.rules
+    }
+
+    /// The serving leaf pool (the snapshot codec reads it).
+    pub(crate) fn pool(&self) -> &LeafPool {
+        &self.pool
+    }
+
+    /// A fingerprint of the whole registry — names and canonical rule
+    /// hashes in registration order.  Durable logs stamp their header with
+    /// it so recovery replays against the exact rule set that was serving.
+    pub(crate) fn registry_hash(&self) -> u64 {
+        let mut crc = crate::persist::Fnv::new();
+        for rule in &self.rules {
+            crc.update(rule.name.as_bytes());
+            crc.update(&[0xff]);
+            crc.update(&rule.rule.canonical_hash().to_le_bytes());
+        }
+        crc.0
     }
 
     /// Number of live target entities.
@@ -312,20 +588,16 @@ impl ServiceWriter {
         &self.store
     }
 
-    /// The working index (exact at all times; the snapshot codec reads it).
-    pub(crate) fn index(&self) -> &MultiBlockIndex {
-        &self.index
-    }
-
-    /// Build statistics of the underlying index, one entry per indexed
+    /// Build statistics of the default rule's index, one entry per indexed
     /// comparison — exact at all times, including after inserts and removes.
     pub fn stats(&self) -> Vec<LeafBuildStats> {
-        self.index.build_stats()
+        self.index_view(&self.rules[0]).build_stats()
     }
 
     /// The version of the most recently published epoch.  Starts at 0 (the
     /// construction-time epoch) and increases by exactly 1 per publication
-    /// (`insert` and `remove` publish once each, `ingest` once per call).
+    /// (`insert`, `remove` and the registry operations publish once each,
+    /// `ingest` once per call).
     pub fn version(&self) -> u64 {
         self.shared.epochs.version()
     }
@@ -386,6 +658,158 @@ impl ServiceWriter {
         true
     }
 
+    /// Registers a new rule under a fresh name and publishes: a warm
+    /// registration builds only the plan's leaves **missing** from the
+    /// pool — no re-ingest, no interner rebuild — and readers see the
+    /// extended registry from the next query on.
+    pub fn register_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        self.register_rule_unpublished(name, rule)?;
+        self.publish();
+        Ok(())
+    }
+
+    /// Deregisters a rule by name and publishes; pool leaves only it
+    /// referenced are dropped, and transform-chain memos only its compiled
+    /// form could own are evicted.  The last remaining rule cannot be
+    /// deregistered.
+    pub fn deregister_rule(&mut self, name: &str) -> Result<(), RegistryError> {
+        self.deregister_rule_unpublished(name)?;
+        self.publish();
+        Ok(())
+    }
+
+    /// Replaces the rule registered under `name` in one publication — the
+    /// hot swap: the replacement's leaves are acquired *before* the old
+    /// rule's are released, so leaves shared between the two survive, and
+    /// readers switch from old to new atomically at their next epoch pin.
+    pub fn replace_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        self.replace_rule_unpublished(name, rule)?;
+        self.publish();
+        Ok(())
+    }
+
+    pub(crate) fn register_rule_unpublished(
+        &mut self,
+        name: &str,
+        rule: LinkageRule,
+    ) -> Result<(), RegistryError> {
+        if self.has_rule(name) {
+            return Err(RegistryError::DuplicateRule(name.to_string()));
+        }
+        let (plan, compiled) = self.lower(&rule);
+        let (leaf_hits, leaf_misses) = self.acquire_missing(&plan);
+        self.rules.push(RegisteredRule {
+            name: Arc::from(name),
+            rule: Arc::new(rule),
+            compiled,
+            plan,
+            counters: Arc::new(RuleCounters::default()),
+            leaf_hits,
+            leaf_misses,
+            registered_epoch: self.shared.epochs.version() + 1,
+        });
+        self.refresh_chain_hashes();
+        Ok(())
+    }
+
+    pub(crate) fn deregister_rule_unpublished(&mut self, name: &str) -> Result<(), RegistryError> {
+        let at = self
+            .rules
+            .iter()
+            .position(|rule| rule.name.as_ref() == name)
+            .ok_or_else(|| RegistryError::UnknownRule(name.to_string()))?;
+        if self.rules.len() == 1 {
+            return Err(RegistryError::LastRule);
+        }
+        let removed = self.rules.remove(at);
+        self.pool.release_plan(&removed.plan);
+        self.refresh_chain_hashes();
+        Ok(())
+    }
+
+    pub(crate) fn replace_rule_unpublished(
+        &mut self,
+        name: &str,
+        rule: LinkageRule,
+    ) -> Result<(), RegistryError> {
+        let at = self
+            .rules
+            .iter()
+            .position(|registered| registered.name.as_ref() == name)
+            .ok_or_else(|| RegistryError::UnknownRule(name.to_string()))?;
+        let (plan, compiled) = self.lower(&rule);
+        // acquire before release: leaves shared between the outgoing and
+        // incoming rule keep a positive refcount throughout the swap
+        let (leaf_hits, leaf_misses) = self.acquire_missing(&plan);
+        let replacement = RegisteredRule {
+            name: self.rules[at].name.clone(),
+            rule: Arc::new(rule),
+            compiled,
+            plan,
+            counters: Arc::new(RuleCounters::default()),
+            leaf_hits,
+            leaf_misses,
+            registered_epoch: self.shared.epochs.version() + 1,
+        };
+        let old = std::mem::replace(&mut self.rules[at], replacement);
+        self.pool.release_plan(&old.plan);
+        self.refresh_chain_hashes();
+        Ok(())
+    }
+
+    /// Lowers and compiles a rule against the store's target schema.
+    fn lower(&self, rule: &LinkageRule) -> (Arc<IndexingPlan>, Arc<CompiledRule>) {
+        let target_schema = self.store.schema();
+        let plan = Arc::new(
+            IndexingPlan::lower(
+                rule,
+                &self.source_schema,
+                target_schema,
+                self.shared.link_threshold,
+            )
+            .canonicalized(),
+        );
+        let compiled = Arc::new(CompiledRule::compile(
+            rule,
+            &self.source_schema,
+            target_schema,
+        ));
+        (plan, compiled)
+    }
+
+    /// Acquires a plan's leaves from the pool, building only the missing
+    /// ones over the live store entries; returns the acquisition's
+    /// `(hits, misses)`.
+    fn acquire_missing(&mut self, plan: &IndexingPlan) -> (u64, u64) {
+        let entries: Vec<(u32, &Entity)> = self
+            .store
+            .iter()
+            .map(|(position, entity)| (position, entity.as_ref()))
+            .collect();
+        let (_leaves, hits, misses) =
+            self.pool
+                .acquire_plan(plan, &entries, self.shared.cache.scoped(), self.threads);
+        (hits, misses)
+    }
+
+    /// Recomputes the registry-wide evictable hash union and evicts the
+    /// chains that just became orphaned (hashes no rule can memoize under
+    /// anymore) for every stored entity.
+    fn refresh_chain_hashes(&mut self) {
+        let before = std::mem::take(&mut self.target_chain_hashes);
+        self.target_chain_hashes = evictable_hashes(&self.rules);
+        let orphaned: Vec<u64> = before
+            .into_iter()
+            .filter(|hash| self.target_chain_hashes.binary_search(hash).is_err())
+            .collect();
+        if !orphaned.is_empty() {
+            let cache = self.shared.cache.scoped();
+            for (_, entity) in self.store.iter() {
+                cache.evict(entity, &orphaned);
+            }
+        }
+    }
+
     pub(crate) fn remove_unpublished(&mut self, id: &str) -> bool {
         let Some((position, entity)) = self.store.remove(id) else {
             return false;
@@ -393,7 +817,7 @@ impl ServiceWriter {
         let cache = self.shared.cache.scoped();
         // un-index first: locating the postings recomputes the entity's
         // block keys through the cache entries about to be evicted
-        self.index.remove(position, &entity, cache);
+        self.pool.remove_entity(position, &entity, cache);
         cache.evict(&entity, &self.target_chain_hashes);
         true
     }
@@ -405,19 +829,18 @@ impl ServiceWriter {
         // *previous* tenant of this address after its remove-time eviction,
         // clear them before the new entity computes (and memoizes) anything
         cache.evict(&stored, &self.target_chain_hashes);
-        // warm the new entity's transform chains so concurrent readers
-        // score it from a hot cache
-        self.shared.compiled.warm_target(&stored, cache);
-        self.index.insert(position, &stored, cache);
+        // warm the new entity's transform chains — for every registered
+        // rule — so concurrent readers score it from a hot cache
+        for rule in &self.rules {
+            rule.compiled.warm_target(&stored, cache);
+        }
+        self.pool.insert_entity(position, &stored, cache);
         Ok(position)
     }
 
     /// Publishes the current working state as a new immutable epoch.
     pub(crate) fn publish(&mut self) {
-        self.shared.epochs.publish(Arc::new(ServiceEpoch {
-            index: self.index.clone(),
-            entities: self.store.snapshot(),
-        }));
+        self.shared.epochs.publish(Arc::new(self.current_epoch()));
     }
 }
 
@@ -431,9 +854,34 @@ pub struct ServiceReader {
 }
 
 impl ServiceReader {
-    /// The rule this service executes.
-    pub fn rule(&self) -> &LinkageRule {
-        &self.shared.rule
+    /// The default rule of the current epoch (registry slot 0).
+    pub fn rule(&self) -> Arc<LinkageRule> {
+        self.epochs.pin().0.rules[0].registered.rule.clone()
+    }
+
+    /// The registered rule names of the current epoch, in registration
+    /// order.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.epochs
+            .pin()
+            .0
+            .rules
+            .iter()
+            .map(|rule| rule.registered.name.to_string())
+            .collect()
+    }
+
+    /// Per-rule serving statistics of the current epoch, in registration
+    /// order (counter cells are shared with the writer, so totals include
+    /// every reader's traffic).
+    pub fn rule_stats(&self) -> Vec<RuleServingStats> {
+        self.epochs
+            .pin()
+            .0
+            .rules
+            .iter()
+            .map(|rule| rule.registered.serving_stats())
+            .collect()
     }
 
     /// Number of live target entities in the current epoch.
@@ -456,27 +904,105 @@ impl ServiceReader {
         self.epochs.pin().0.entities.get(position).cloned()
     }
 
-    /// Build statistics of the current epoch's index.
+    /// Build statistics of the current epoch's default-rule index.
     pub fn stats(&self) -> Vec<LeafBuildStats> {
-        self.epochs.pin().0.index.build_stats()
+        self.epochs.pin().0.rules[0].index.build_stats()
     }
 
-    /// All targets matching one query entity (score ≥ the link threshold),
-    /// best first (ties towards the smaller identifier).  Convenience
-    /// wrapper over [`ServiceReader::query_with`] with a pooled scratch.
+    /// All targets matching one query entity under the **default** rule
+    /// (score ≥ the link threshold), best first (ties towards the smaller
+    /// identifier).  Convenience wrapper over [`ServiceReader::query_with`]
+    /// with a pooled scratch.
     pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
+        let (epoch, _) = self.epochs.pin();
+        self.query_pinned(&epoch, &epoch.rules[0], source_entity)
+    }
+
+    /// All targets matching one query entity under the rule registered as
+    /// `name`; `None` when no such rule is registered in the pinned epoch.
+    pub fn query_rule(&self, name: &str, source_entity: &Entity) -> Option<Vec<ScoredLink>> {
+        let (epoch, _) = self.epochs.pin();
+        let rule = epoch
+            .rules
+            .iter()
+            .find(|rule| rule.registered.name.as_ref() == name)?;
+        Some(self.query_pinned(&epoch, rule, source_entity))
+    }
+
+    /// Fans one query across **every** registered rule of one pinned epoch
+    /// and merges the per-rule scores: each matched target reports how many
+    /// rules voted for it and their mean score, ordered by votes, then mean
+    /// score, then target id — the ensemble / query-by-committee path.
+    pub fn query_committee(&self, source_entity: &Entity) -> Vec<CommitteeLink> {
         let (epoch, _) = self.epochs.pin();
         let mut scratch = self.take_scratch();
         let mut hits: Vec<(u32, f64)> = Vec::new();
-        self.query_epoch(&epoch, source_entity, &mut scratch, &mut hits);
-        // a panic while a scratch was checked out poisons the pool; the
-        // buffers themselves are plain reusable allocations, so clear the
-        // poison rather than spreading the panic to every future query
-        self.shared
-            .scratch_pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(scratch);
+        let mut tally: HashMap<u32, (usize, f64)> = HashMap::new();
+        for rule in &epoch.rules {
+            self.query_epoch(rule, &epoch, source_entity, &mut scratch, &mut hits);
+            for &(position, score) in &hits {
+                let entry = tally.entry(position).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += score;
+            }
+        }
+        self.return_scratch(scratch);
+        let committee = epoch.rules.len();
+        let mut links: Vec<CommitteeLink> = tally
+            .into_iter()
+            .map(|(position, (votes, score_sum))| CommitteeLink {
+                source: source_entity.id().to_string(),
+                target: epoch
+                    .entities
+                    .get(position)
+                    .expect("candidates only name live slots of their epoch")
+                    .id()
+                    .to_string(),
+                votes,
+                committee,
+                mean_score: score_sum / votes as f64,
+            })
+            .collect();
+        links.sort_by(|a, b| {
+            b.votes
+                .cmp(&a.votes)
+                .then_with(|| b.mean_score.total_cmp(&a.mean_score))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        links
+    }
+
+    /// The hot query path (default rule): candidate generation on the
+    /// caller's scratch, matches appended to `out` as `(index position,
+    /// score)` pairs (cleared first, unordered).  Returns the version of
+    /// the epoch the query ran against; resolve positions to entities via
+    /// [`ServiceReader::at`] *only while no publication intervened* (compare
+    /// versions), or use [`ServiceReader::query`] which resolves within one
+    /// pin.  With warm buffers and a transform-free rule this path performs
+    /// no heap allocation — concurrent writer churn included.
+    pub fn query_with(
+        &self,
+        source_entity: &Entity,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<(u32, f64)>,
+    ) -> u64 {
+        let (epoch, version) = self.epochs.pin();
+        self.query_epoch(&epoch.rules[0], &epoch, source_entity, scratch, out);
+        version
+    }
+
+    /// Runs one rule's query within one pin and resolves positions to
+    /// scored links, best first.
+    fn query_pinned(
+        &self,
+        epoch: &ServiceEpoch,
+        rule: &EpochRule,
+        source_entity: &Entity,
+    ) -> Vec<ScoredLink> {
+        let mut scratch = self.take_scratch();
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        self.query_epoch(rule, epoch, source_entity, &mut scratch, &mut hits);
+        self.return_scratch(scratch);
         let mut links: Vec<ScoredLink> = hits
             .into_iter()
             .map(|(position, score)| ScoredLink {
@@ -498,28 +1024,10 @@ impl ServiceReader {
         links
     }
 
-    /// The hot query path: candidate generation on the caller's scratch,
-    /// matches appended to `out` as `(index position, score)` pairs
-    /// (cleared first, unordered).  Returns the version of the epoch the
-    /// query ran against; resolve positions to entities via
-    /// [`ServiceReader::at`] *only while no publication intervened* (compare
-    /// versions), or use [`ServiceReader::query`] which resolves within one
-    /// pin.  With warm buffers and a transform-free rule this path performs
-    /// no heap allocation — concurrent writer churn included.
-    pub fn query_with(
-        &self,
-        source_entity: &Entity,
-        scratch: &mut CandidateScratch,
-        out: &mut Vec<(u32, f64)>,
-    ) -> u64 {
-        let (epoch, version) = self.epochs.pin();
-        self.query_epoch(&epoch, source_entity, scratch, out);
-        version
-    }
-
-    /// Runs one query against one pinned epoch.
+    /// Runs one query against one rule of one pinned epoch.
     fn query_epoch(
         &self,
+        rule: &EpochRule,
         epoch: &ServiceEpoch,
         source_entity: &Entity,
         scratch: &mut CandidateScratch,
@@ -530,9 +1038,17 @@ impl ServiceReader {
         // target side reads the service-lifetime shared cache instead
         let query_cache = ValueCache::new();
         let cache = self.shared.cache.scoped();
-        let buf = epoch
+        let buf = rule
             .index
             .candidates(source_entity, &query_cache, scratch, &mut []);
+        rule.registered
+            .counters
+            .queries
+            .fetch_add(1, Ordering::Relaxed);
+        rule.registered
+            .counters
+            .candidates
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         for &position in &buf {
             // an exhaustive (`All`) plan enumerates every position, so
             // tombstoned slots must be skipped here; leaf postings only
@@ -540,7 +1056,7 @@ impl ServiceReader {
             let Some(target_entity) = epoch.entities.get(position) else {
                 continue;
             };
-            let score = self.shared.compiled.evaluate_two(
+            let score = rule.registered.compiled.evaluate_two(
                 source_entity,
                 target_entity,
                 &query_cache,
@@ -564,14 +1080,25 @@ impl ServiceReader {
             .pop()
             .unwrap_or_default()
     }
+
+    fn return_scratch(&self, scratch: CandidateScratch) {
+        // a panic while a scratch was checked out poisons the pool; the
+        // buffers themselves are plain reusable allocations, so clear the
+        // poison rather than spreading the panic to every future query
+        self.shared
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(scratch);
+    }
 }
 
 /// A serving index over a mutable set of owned target entities: the
 /// single-threaded facade over a [`ServiceWriter`] / [`ServiceReader`] pair,
-/// answering single-entity match queries for one rule (see the module
-/// docs).  Mutations publish immediately, so queries always see the latest
-/// write; [`LinkService::split`] yields the two halves for concurrent
-/// operation.
+/// answering single-entity match queries for a registry of rules (see the
+/// module docs).  Mutations publish immediately, so queries always see the
+/// latest write; [`LinkService::split`] yields the two halves for
+/// concurrent operation.
 #[derive(Debug)]
 pub struct LinkService {
     writer: ServiceWriter,
@@ -613,7 +1140,7 @@ impl LinkService {
         (self.writer, self.reader)
     }
 
-    /// The rule this service executes.
+    /// The default rule this service executes (registry slot 0).
     pub fn rule(&self) -> &LinkageRule {
         self.writer.rule()
     }
@@ -648,10 +1175,59 @@ impl LinkService {
         &self.writer
     }
 
-    /// Build statistics of the underlying index, one entry per indexed
+    /// Build statistics of the default rule's index, one entry per indexed
     /// comparison — exact at all times, including after inserts and removes.
     pub fn stats(&self) -> Vec<LeafBuildStats> {
         self.writer.stats()
+    }
+
+    /// Registers a new rule under a fresh name — see
+    /// [`ServiceWriter::register_rule`].
+    pub fn register_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        self.writer.register_rule(name, rule)
+    }
+
+    /// Deregisters a rule by name — see
+    /// [`ServiceWriter::deregister_rule`].
+    pub fn deregister_rule(&mut self, name: &str) -> Result<(), RegistryError> {
+        self.writer.deregister_rule(name)
+    }
+
+    /// Hot-swaps the rule registered under `name` — see
+    /// [`ServiceWriter::replace_rule`].
+    pub fn replace_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        self.writer.replace_rule(name, rule)
+    }
+
+    /// The registered rule names, in registration order.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.writer.rule_names()
+    }
+
+    /// Returns `true` when a rule with this name is registered.
+    pub fn has_rule(&self, name: &str) -> bool {
+        self.writer.has_rule(name)
+    }
+
+    /// The number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.writer.rule_count()
+    }
+
+    /// The published epoch version (each mutation or registry operation
+    /// publishes exactly one).
+    pub fn version(&self) -> u64 {
+        self.writer.version()
+    }
+
+    /// Per-rule serving statistics, in registration order.
+    pub fn rule_stats(&self) -> Vec<RuleServingStats> {
+        self.writer.rule_stats()
+    }
+
+    /// Aggregate statistics of the serving leaf pool.
+    pub fn leaf_pool_stats(&self) -> LeafPoolStats {
+        self.writer.leaf_pool_stats()
     }
 
     /// Adds one target entity, indexing it incrementally.  Returns its index
@@ -683,10 +1259,23 @@ impl LinkService {
         self.writer.cached_chain_entries()
     }
 
-    /// All targets matching one query entity (score ≥ the link threshold),
-    /// best first (ties towards the smaller identifier).
+    /// All targets matching one query entity under the default rule (score
+    /// ≥ the link threshold), best first (ties towards the smaller
+    /// identifier).
     pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
         self.reader.query(source_entity)
+    }
+
+    /// All targets matching one query entity under a named rule — see
+    /// [`ServiceReader::query_rule`].
+    pub fn query_rule(&self, name: &str, source_entity: &Entity) -> Option<Vec<ScoredLink>> {
+        self.reader.query_rule(name, source_entity)
+    }
+
+    /// One query fanned across the whole registry — see
+    /// [`ServiceReader::query_committee`].
+    pub fn query_committee(&self, source_entity: &Entity) -> Vec<CommitteeLink> {
+        self.reader.query_committee(source_entity)
     }
 
     /// The hot query path — see [`ServiceReader::query_with`].
@@ -709,7 +1298,7 @@ impl ServiceWriter {
         }
     }
 
-    /// The link threshold the plan and queries run under (persisted with
+    /// The link threshold the plans and queries run under (persisted with
     /// snapshots — the leaf maps are derived from it).
     pub fn link_threshold(&self) -> f64 {
         self.shared.link_threshold
@@ -717,12 +1306,16 @@ impl ServiceWriter {
 }
 
 /// The set of chain hashes whose `(entity, hash)` cache entries a removed
-/// target entity may own: every target-side slot of the compiled rule.  The
-/// indexing plan's chains are compiled from the same value operators
-/// (structural hashes are schema-independent), so the rule's target slots
-/// cover the plan's chains too.
-fn evictable_hashes(compiled: &CompiledRule) -> Vec<u64> {
-    let mut hashes = compiled.target_slot_hashes().to_vec();
+/// target entity may own: every target-side slot of every registered
+/// rule's compiled form, as a sorted deduplicated union.  The indexing
+/// plans' chains are compiled from the same value operators (structural
+/// hashes are schema-independent), so the rules' target slots cover the
+/// plans' chains too.
+fn evictable_hashes(rules: &[RegisteredRule]) -> Vec<u64> {
+    let mut hashes: Vec<u64> = rules
+        .iter()
+        .flat_map(|rule| rule.compiled.target_slot_hashes().iter().copied())
+        .collect();
     hashes.sort_unstable();
     hashes.dedup();
     hashes
@@ -733,7 +1326,10 @@ mod tests {
     use super::*;
     use crate::MatchingEngine;
     use linkdisc_entity::DataSourceBuilder;
-    use linkdisc_rule::{compare, property, transform, DistanceFunction, TransformFunction};
+    use linkdisc_rule::{
+        aggregation, compare, property, transform, AggregationFunction, DistanceFunction,
+        TransformFunction,
+    };
 
     fn source() -> DataSource {
         DataSourceBuilder::new("A", ["label"])
@@ -761,6 +1357,28 @@ mod tests {
             property("name"),
             DistanceFunction::Levenshtein,
             2.0,
+        )
+        .into()
+    }
+
+    /// A second rule tightening `rule()` with an extra exact-match arm.
+    /// Min-aggregation children lower at the rule's own required
+    /// similarity, so the Levenshtein comparison derives the *same* bound
+    /// (and leaf reuse key) as `rule()`'s — its leaf is pooled, not
+    /// rebuilt — while the equality arm needs one leaf of its own.
+    fn tighter_rule() -> LinkageRule {
+        let chain = || transform(TransformFunction::LowerCase, vec![property("label")]);
+        aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    chain(),
+                    property("name"),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(chain(), property("name"), DistanceFunction::Equality, 0.5),
+            ],
         )
         .into()
     }
@@ -1090,5 +1708,244 @@ mod tests {
         // queries keep working: the pool recovers instead of propagating
         let links = reader.query(&source.entities()[0]);
         assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn warm_registration_shares_pooled_leaves() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        let cold = service.leaf_pool_stats();
+        assert_eq!(cold.misses, 1, "the default rule built its one leaf");
+        assert_eq!(cold.entries, 1);
+
+        // the Levenshtein arm shares the pooled leaf; only the equality
+        // arm builds a leaf of its own
+        service.register_rule("tight", tighter_rule()).unwrap();
+        let warm = service.leaf_pool_stats();
+        assert_eq!(warm.hits, cold.hits + 1, "the shared leaf hit the pool");
+        assert_eq!(warm.misses, cold.misses + 1, "only the new leaf was built");
+        assert_eq!(warm.entries, 2);
+        assert_eq!(warm.refs, 3, "one leaf serves both rules");
+
+        // the registered rule answers through its own plan: "berlim" fails
+        // the exact-match arm of the min aggregation
+        let links = service.query_rule("tight", &source.entities()[0]).unwrap();
+        let targets: Vec<&str> = links.iter().map(|l| l.target.as_str()).collect();
+        assert_eq!(targets, vec!["b1"]);
+        // the default rule is untouched
+        assert_eq!(service.query(&source.entities()[0]).len(), 2);
+    }
+
+    #[test]
+    fn registered_rules_answer_like_independent_services() {
+        let (source, target) = (source(), target());
+        let mut multi =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        multi.register_rule("tight", tighter_rule()).unwrap();
+        let solo = LinkService::build(
+            tighter_rule(),
+            source.schema(),
+            &target,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        for entity in source.entities() {
+            assert_eq!(
+                multi.query_rule("tight", entity).unwrap(),
+                solo.query(entity),
+                "query {}",
+                entity.id()
+            );
+        }
+    }
+
+    #[test]
+    fn registry_mutations_follow_entity_churn() {
+        let (source, target) = (source(), target());
+        let mut service = LinkService::empty(
+            rule(),
+            source.schema(),
+            target.schema(),
+            ServiceOptions::default(),
+        );
+        service.ingest(&target.entities()[..2]).unwrap();
+        // warm registration over a store with history
+        service.register_rule("tight", tighter_rule()).unwrap();
+        service.remove("b1");
+        service.insert(&target.entities()[2]).unwrap();
+        service.insert(&target.entities()[0]).unwrap();
+        let solo = LinkService::build(
+            tighter_rule(),
+            source.schema(),
+            &target,
+            ServiceOptions::default(),
+        )
+        .unwrap();
+        for entity in source.entities() {
+            let mut expected = solo.query(entity);
+            // positions differ (churned slots), but ids and scores must not
+            let mut got = service.query_rule("tight", entity).unwrap();
+            expected.sort_by(|a, b| a.target.cmp(&b.target));
+            got.sort_by(|a, b| a.target.cmp(&b.target));
+            assert_eq!(got, expected, "query {}", entity.id());
+        }
+    }
+
+    #[test]
+    fn deregistering_drops_leaves_and_orphaned_cache_chains() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        // a rule with a *different* chain (no lowerCase) builds its own leaf
+        // and memoizes per-entity chain entries of its own
+        let other: LinkageRule = compare(
+            property("label"),
+            transform(TransformFunction::LowerCase, vec![property("name")]),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        service.register_rule("other", other).unwrap();
+        assert_eq!(service.leaf_pool_stats().entries, 2);
+        let warm = service.cached_chain_entries();
+        assert!(
+            warm >= 3,
+            "the new rule warmed its chains on registration? warm={warm}"
+        );
+
+        service.deregister_rule("other").unwrap();
+        let after = service.leaf_pool_stats();
+        assert_eq!(after.entries, 1, "refcount zero drops the leaf");
+        assert_eq!(after.refs, 1);
+        assert!(
+            service.cached_chain_entries() < warm,
+            "orphaned chain memos are evicted"
+        );
+        // the surviving rule still answers
+        assert_eq!(service.query(&source.entities()[0]).len(), 2);
+    }
+
+    #[test]
+    fn hot_swap_is_one_publication_and_readers_switch_atomically() {
+        let (source, target) = (source(), target());
+        let service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        let (mut writer, reader) = service.split();
+        let a1 = &source.entities()[0];
+        assert_eq!(reader.query(a1).len(), 2);
+        let version = writer.version();
+        writer.replace_rule(DEFAULT_RULE, tighter_rule()).unwrap();
+        assert_eq!(writer.version(), version + 1, "a swap is one publication");
+        let links = reader.query(a1);
+        assert_eq!(links.len(), 1, "the tight rule rejects the fuzzy match");
+        assert_eq!(links[0].target, "b1");
+        // the shared Levenshtein leaf survived the swap (acquired before
+        // the old plan released it); only the equality leaf was built
+        let stats = writer.leaf_pool_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn committee_queries_merge_per_rule_votes() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        service.register_rule("tight", tighter_rule()).unwrap();
+        let links = service.query_committee(&source.entities()[0]);
+        // b1 ("berlin"): both rules vote.  b3 ("berlim"): only the loose
+        // default rule votes.
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].target, "b1");
+        assert_eq!(links[0].votes, 2);
+        assert_eq!(links[0].committee, 2);
+        assert_eq!(links[1].target, "b3");
+        assert_eq!(links[1].votes, 1);
+        assert!(links[0].mean_score > links[1].mean_score);
+    }
+
+    #[test]
+    fn per_rule_stats_count_queries_and_candidates() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        service.register_rule("tight", tighter_rule()).unwrap();
+        service.query(&source.entities()[0]);
+        service.query_rule("tight", &source.entities()[0]).unwrap();
+        service.query_committee(&source.entities()[1]);
+        let stats = service.rule_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].rule, DEFAULT_RULE);
+        assert_eq!(stats[0].queries, 2, "direct + committee");
+        assert_eq!(stats[1].rule, "tight");
+        assert_eq!(stats[1].queries, 2, "query_rule + committee");
+        assert!(stats[0].candidates >= stats[0].queries);
+        assert_eq!(stats[0].registered_epoch, 0, "construction-time rule");
+        assert_eq!(stats[1].registered_epoch, 1, "registered in epoch 1");
+        assert_eq!(stats[1].leaf_hits, 1, "the Levenshtein leaf was pooled");
+        assert_eq!(stats[1].leaf_misses, 1, "the equality leaf was built");
+    }
+
+    #[test]
+    fn registry_errors_are_reported() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        assert_eq!(
+            service.register_rule(DEFAULT_RULE, tighter_rule()),
+            Err(RegistryError::DuplicateRule(DEFAULT_RULE.to_string()))
+        );
+        assert_eq!(
+            service.deregister_rule("ghost"),
+            Err(RegistryError::UnknownRule("ghost".to_string()))
+        );
+        assert_eq!(
+            service.replace_rule("ghost", tighter_rule()),
+            Err(RegistryError::UnknownRule("ghost".to_string()))
+        );
+        assert_eq!(
+            service.deregister_rule(DEFAULT_RULE),
+            Err(RegistryError::LastRule)
+        );
+        // failed operations publish nothing
+        assert_eq!(service.writer().version(), 0);
+    }
+
+    #[test]
+    fn register_deregister_reregister_restores_equivalent_state() {
+        let (source, target) = (source(), target());
+        let mut service =
+            LinkService::build(rule(), source.schema(), &target, ServiceOptions::default())
+                .unwrap();
+        let baseline: Vec<_> = source
+            .entities()
+            .iter()
+            .map(|entity| service.query(entity))
+            .collect();
+        service.register_rule("tight", tighter_rule()).unwrap();
+        let registered: Vec<_> = source
+            .entities()
+            .iter()
+            .map(|entity| service.query_rule("tight", entity).unwrap())
+            .collect();
+        service.deregister_rule("tight").unwrap();
+        assert!(service.query_rule("tight", &source.entities()[0]).is_none());
+        assert_eq!(service.leaf_pool_stats().entries, 1);
+        service.register_rule("tight", tighter_rule()).unwrap();
+        for (entity, expected) in source.entities().iter().zip(&registered) {
+            assert_eq!(&service.query_rule("tight", entity).unwrap(), expected);
+        }
+        for (entity, expected) in source.entities().iter().zip(&baseline) {
+            assert_eq!(&service.query(entity), expected, "default rule unaffected");
+        }
     }
 }

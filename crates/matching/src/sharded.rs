@@ -44,7 +44,9 @@ use linkdisc_util::{parallel_ordered_map, parallel_ordered_map_mut};
 use crate::engine::ScoredLink;
 use crate::multiblock::CandidateScratch;
 use crate::persist::Fnv;
-use crate::service::{ServiceOptions, ServiceReader, ServiceWriter};
+use crate::service::{
+    CommitteeLink, RegistryError, RuleServingStats, ServiceOptions, ServiceReader, ServiceWriter,
+};
 
 /// Routes entity ids to shards: a pure function of the id and the shard
 /// count, stable across inserts, removes and slot recycling (it never
@@ -270,10 +272,63 @@ impl ShardedService {
         Ok(ingested.into_iter().sum())
     }
 
+    /// Registers a rule on every shard, shard 0 first; each shard acquires
+    /// its missing pool leaves and publishes once.  Shard registries are
+    /// kept identical, so a registry error on any shard (checked on shard 0
+    /// before anything mutates) fails the whole call cleanly.
+    pub fn register_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        for writer in &mut self.writers {
+            writer.register_rule(name, rule.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Deregisters a rule from every shard, shard 0 first — see
+    /// [`ServiceWriter::deregister_rule`].
+    pub fn deregister_rule(&mut self, name: &str) -> Result<(), RegistryError> {
+        for writer in &mut self.writers {
+            writer.deregister_rule(name)?;
+        }
+        Ok(())
+    }
+
+    /// Hot-swaps the rule registered under `name` on every shard, shard 0
+    /// first — see [`ServiceWriter::replace_rule`].
+    pub fn replace_rule(&mut self, name: &str, rule: LinkageRule) -> Result<(), RegistryError> {
+        for writer in &mut self.writers {
+            writer.replace_rule(name, rule.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The registered rule names, in registration order (identical on
+    /// every shard).
+    pub fn rule_names(&self) -> Vec<String> {
+        self.writers[0].rule_names()
+    }
+
+    /// Per-rule serving statistics aggregated across shards — see
+    /// [`ShardedReader::rule_stats`].
+    pub fn rule_stats(&self) -> Vec<RuleServingStats> {
+        self.reader.rule_stats()
+    }
+
     /// All targets matching one query entity across every shard, best
     /// first — equal to the unsharded result (see the module docs).
     pub fn query(&self, source_entity: &Entity) -> Vec<ScoredLink> {
         self.reader.query(source_entity)
+    }
+
+    /// One named rule's view of the query across every shard — see
+    /// [`ShardedReader::query_rule`].
+    pub fn query_rule(&self, name: &str, source_entity: &Entity) -> Option<Vec<ScoredLink>> {
+        self.reader.query_rule(name, source_entity)
+    }
+
+    /// One query fanned across the whole registry on every shard — see
+    /// [`ShardedReader::query_committee`].
+    pub fn query_committee(&self, source_entity: &Entity) -> Vec<CommitteeLink> {
+        self.reader.query_committee(source_entity)
     }
 
     /// The sharded hot query path — see [`ShardedReader::query_with`].
@@ -362,6 +417,75 @@ impl ShardedReader {
         links.sort_by(|a, b| {
             b.score
                 .total_cmp(&a.score)
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        links
+    }
+
+    /// The registered rule names, in registration order (identical on
+    /// every shard).
+    pub fn rule_names(&self) -> Vec<String> {
+        self.shards[0].rule_names()
+    }
+
+    /// Per-rule serving statistics aggregated across shards: counters are
+    /// summed by rule name; the registration epoch reported is shard 0's
+    /// (per-shard epoch chains advance independently).
+    pub fn rule_stats(&self) -> Vec<RuleServingStats> {
+        let mut merged = self.shards[0].rule_stats();
+        for shard in &self.shards[1..] {
+            for stats in shard.rule_stats() {
+                if let Some(entry) = merged.iter_mut().find(|entry| entry.rule == stats.rule) {
+                    entry.queries += stats.queries;
+                    entry.candidates += stats.candidates;
+                    entry.leaf_hits += stats.leaf_hits;
+                    entry.leaf_misses += stats.leaf_misses;
+                }
+            }
+        }
+        merged
+    }
+
+    /// One named rule's view of the query across every shard, merged like
+    /// [`ShardedReader::query`].  Returns `None` when no shard's pinned
+    /// epoch serves a rule under `name` (rule registries are identical
+    /// across shards, so all-shards and any-shard agree in steady state;
+    /// mid-broadcast a shard that has not yet published the rule simply
+    /// contributes nothing).
+    pub fn query_rule(&self, name: &str, source_entity: &Entity) -> Option<Vec<ScoredLink>> {
+        let mut links: Vec<ScoredLink> = Vec::new();
+        let mut served = false;
+        for shard in &self.shards {
+            if let Some(hits) = shard.query_rule(name, source_entity) {
+                served = true;
+                links.extend(hits);
+            }
+        }
+        if !served {
+            return None;
+        }
+        links.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        Some(links)
+    }
+
+    /// One query fanned across every registered rule on every shard.
+    /// Per-shard committee results cover disjoint targets (the router is a
+    /// pure function of the id), so the merge is concatenation plus the
+    /// unsharded ordering: votes descending, then mean score descending,
+    /// then the smaller target id.
+    pub fn query_committee(&self, source_entity: &Entity) -> Vec<CommitteeLink> {
+        let mut links: Vec<CommitteeLink> = Vec::new();
+        for shard in &self.shards {
+            links.extend(shard.query_committee(source_entity));
+        }
+        links.sort_by(|a, b| {
+            b.votes
+                .cmp(&a.votes)
+                .then_with(|| b.mean_score.total_cmp(&a.mean_score))
                 .then_with(|| a.target.cmp(&b.target))
         });
         links

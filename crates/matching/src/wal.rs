@@ -3,13 +3,13 @@
 //! published, so a crash at any instant loses at most the single mutation
 //! that was never acknowledged.
 //!
-//! # Format (version 1, little-endian)
+//! # Format (version 2, little-endian)
 //!
 //! ```text
 //! header
 //!   magic       "LINKDWAL"      8 bytes
 //!   version     u32             bump on any layout change
-//!   rule hash   u64             LinkageRule::canonical_hash
+//!   registry    u64             ServiceWriter::registry_hash at log creation
 //!   generation  u64             pairs the log with checkpoint-<generation>
 //!   base seq    u64             mutations already folded into the checkpoint
 //!   header crc  u64             FNV-1a over version..base seq
@@ -21,6 +21,14 @@
 //!   payload                     seq u64, op u8, string-table delta, body
 //!   crc         u64             FNV-1a over the payload
 //! ```
+//!
+//! Version 2 adds the **rule-manifest records** (`Register`, `Deregister`,
+//! `Replace`): registry operations are logged like entity mutations, as
+//! `(rule name, canonical rule hash)` — the rules themselves are
+//! configuration and live in the recovery catalog, so the log only needs to
+//! identify them.  The header's registry hash fingerprints the rule set at
+//! log creation; a manifest record *changes* the expected fingerprint of
+//! every later log, which recovery tracks as it replays.
 //!
 //! **String interning, the persist codec's trick applied per log:** each
 //! record carries only the strings the log has not seen yet; values are
@@ -54,7 +62,7 @@ use linkdisc_util::fail;
 use crate::persist::Fnv;
 
 /// Current log format version (see the module docs).
-pub const WAL_VERSION: u32 = 1;
+pub const WAL_VERSION: u32 = 2;
 
 const WAL_MAGIC: &[u8; 8] = b"LINKDWAL";
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
@@ -117,6 +125,12 @@ pub(crate) enum Delta<'a> {
     Remove(&'a str),
     /// Ingest a batch in one epoch: `[(id, aligned values)]`.
     Ingest(&'a [(String, Vec<Vec<String>>)]),
+    /// Register a rule: `(name, canonical rule hash)`.
+    Register(&'a str, u64),
+    /// Deregister a rule by name.
+    Deregister(&'a str),
+    /// Hot-swap the rule under a name: `(name, new canonical rule hash)`.
+    Replace(&'a str, u64),
 }
 
 /// The append half of the log (see the module docs).
@@ -133,7 +147,7 @@ impl WalWriter {
     /// file itself durable.
     pub(crate) fn create(
         path: &Path,
-        rule_hash: u64,
+        registry_hash: u64,
         generation: u64,
         base_seq: u64,
     ) -> io::Result<WalWriter> {
@@ -141,7 +155,7 @@ impl WalWriter {
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&WAL_VERSION.to_le_bytes());
-        header.extend_from_slice(&rule_hash.to_le_bytes());
+        header.extend_from_slice(&registry_hash.to_le_bytes());
         header.extend_from_slice(&generation.to_le_bytes());
         header.extend_from_slice(&base_seq.to_le_bytes());
         let crc = Fnv::digest(&header[8..]);
@@ -184,6 +198,20 @@ impl WalWriter {
                 for (id, values) in batch.iter() {
                     encode_entity(&mut self.interned, &mut news, id, values, &mut body);
                 }
+            }
+            Delta::Register(name, rule_hash) => {
+                body.push(3);
+                refer(&mut self.interned, &mut news, name, &mut body);
+                body.extend_from_slice(&rule_hash.to_le_bytes());
+            }
+            Delta::Deregister(name) => {
+                body.push(4);
+                refer(&mut self.interned, &mut news, name, &mut body);
+            }
+            Delta::Replace(name, rule_hash) => {
+                body.push(5);
+                refer(&mut self.interned, &mut news, name, &mut body);
+                body.extend_from_slice(&rule_hash.to_le_bytes());
             }
         }
 
@@ -264,6 +292,9 @@ pub(crate) enum WalOp {
     Insert(EntityRecord),
     Remove(String),
     Ingest(Vec<EntityRecord>),
+    Register { name: String, rule_hash: u64 },
+    Deregister(String),
+    Replace { name: String, rule_hash: u64 },
 }
 
 /// An entity as the log stores it: identifier plus values aligned to the
@@ -303,9 +334,14 @@ pub(crate) enum WalDamage {
     },
 }
 
-/// Decodes a whole log file read into memory.  `expected_rule_hash`
-/// validates provenance; sequence numbers must run `base_seq+1..`.
-pub(crate) fn decode_wal(bytes: &[u8], expected_rule_hash: u64) -> Result<WalContents, WalDamage> {
+/// Decodes a whole log file read into memory.  `expected_registry_hash`
+/// validates provenance — the registry fingerprint the log's writer was
+/// serving when the log was created; sequence numbers must run
+/// `base_seq+1..`.
+pub(crate) fn decode_wal(
+    bytes: &[u8],
+    expected_registry_hash: u64,
+) -> Result<WalContents, WalDamage> {
     if bytes.len() < HEADER_LEN {
         return Err(WalDamage::TornHeader);
     }
@@ -326,10 +362,10 @@ pub(crate) fn decode_wal(bytes: &[u8], expected_rule_hash: u64) -> Result<WalCon
             "log version {version}, this build reads {WAL_VERSION}"
         )));
     }
-    let rule_hash = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    if rule_hash != expected_rule_hash {
+    let registry_hash = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if registry_hash != expected_registry_hash {
         return Err(WalDamage::Mismatch(
-            "log was written for a different rule".into(),
+            "log was written for a different rule registry".into(),
         ));
     }
     let generation = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
@@ -469,6 +505,15 @@ fn decode_record(payload: &[u8], table: &mut Vec<String>) -> Result<WalRecord, S
             }
             WalOp::Ingest(batch)
         }
+        3 => WalOp::Register {
+            name: refer(&mut cursor)?,
+            rule_hash: cursor.u64()?,
+        },
+        4 => WalOp::Deregister(refer(&mut cursor)?),
+        5 => WalOp::Replace {
+            name: refer(&mut cursor)?,
+            rule_hash: cursor.u64()?,
+        },
         other => return Err(format!("unknown op tag {other}")),
     };
     if cursor.remaining() != 0 {
@@ -573,6 +618,44 @@ mod tests {
         // though three records reference them
         let haystack = bytes.windows(6).filter(|w| w == b"berlin").count();
         assert_eq!(haystack, 1, "repeated values are written once per log");
+    }
+
+    #[test]
+    fn registry_records_round_trip_and_share_the_string_table() {
+        let path = temp_path("registry");
+        let mut writer = WalWriter::create(&path, 77, 0, 0).unwrap();
+        writer
+            .append(1, &Delta::Register("ensemble", 0xabcd))
+            .unwrap();
+        writer
+            .append(2, &Delta::Insert("b9", &[vec!["berlin".into()], vec![]]))
+            .unwrap();
+        writer
+            .append(3, &Delta::Replace("ensemble", 0xef01))
+            .unwrap();
+        writer.append(4, &Delta::Deregister("ensemble")).unwrap();
+        writer.sync().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let contents = decode_wal(&bytes, 77).unwrap();
+        assert_eq!(contents.records.len(), 4);
+        assert_eq!(
+            contents.records[0].op,
+            WalOp::Register {
+                name: "ensemble".into(),
+                rule_hash: 0xabcd
+            }
+        );
+        assert_eq!(
+            contents.records[2].op,
+            WalOp::Replace {
+                name: "ensemble".into(),
+                rule_hash: 0xef01
+            }
+        );
+        assert_eq!(contents.records[3].op, WalOp::Deregister("ensemble".into()));
+        // the rule name is interned like any other string: one raw copy
+        let copies = bytes.windows(8).filter(|w| w == b"ensemble").count();
+        assert_eq!(copies, 1, "rule names are written once per log");
     }
 
     #[test]

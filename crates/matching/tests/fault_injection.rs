@@ -48,6 +48,40 @@ fn rule() -> LinkageRule {
     .into()
 }
 
+/// The rules the registry workload serves; index 0 is the construction
+/// default.  `1` shares no leaf with `0` (untransformed chain), `2` runs on
+/// the other property — registering and dropping them churns the leaf pool
+/// as well as the manifest.
+fn rules_pool() -> Vec<LinkageRule> {
+    vec![
+        rule(),
+        compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        )
+        .into(),
+        compare(
+            property("phone"),
+            property("phone"),
+            DistanceFunction::Levenshtein,
+            1.0,
+        )
+        .into(),
+    ]
+}
+
+/// Recovery catalog naming every rule the workloads ever serve (manifest
+/// entries resolve against it by canonical hash).
+fn catalog() -> Vec<(String, LinkageRule)> {
+    rules_pool()
+        .into_iter()
+        .enumerate()
+        .map(|(i, rule)| (format!("rule-{i}"), rule))
+        .collect()
+}
+
 fn schema() -> Arc<Schema> {
     Arc::new(Schema::new(["name", "phone"]))
 }
@@ -74,6 +108,11 @@ enum Op {
     Ingest(Vec<usize>),
     Insert(usize),
     Remove(usize),
+    /// Register `rules_pool()[i]` under a name (a rule-manifest log record).
+    Register(&'static str, usize),
+    /// Hot-swap the rule under a name for `rules_pool()[i]`.
+    Replace(&'static str, usize),
+    Deregister(&'static str),
 }
 
 /// The scripted workload: churn with re-inserted ids (slot recycling) and
@@ -109,6 +148,9 @@ fn apply_durable(
         Op::Remove(i) => service.remove(pool[*i].id()).map(|removed| {
             assert!(removed, "the script only removes served ids");
         }),
+        Op::Register(name, i) => service.register_rule(name, rules_pool()[*i].clone()),
+        Op::Replace(name, i) => service.replace_rule(name, rules_pool()[*i].clone()),
+        Op::Deregister(name) => service.deregister_rule(name),
     }
 }
 
@@ -124,6 +166,11 @@ fn apply_shadow(writer: &mut ServiceWriter, pool: &[Entity], op: &Op) {
         Op::Remove(i) => {
             assert!(writer.remove(pool[*i].id()));
         }
+        Op::Register(name, i) => writer
+            .register_rule(name, rules_pool()[*i].clone())
+            .unwrap(),
+        Op::Replace(name, i) => writer.replace_rule(name, rules_pool()[*i].clone()).unwrap(),
+        Op::Deregister(name) => writer.deregister_rule(name).unwrap(),
     }
 }
 
@@ -210,7 +257,8 @@ fn run_armed(tag: &str, pool: &[Entity], ops: &[Op], oracle: &[Vec<u8>]) -> bool
         // little between clean and armed runs); still verify the clean end
         // state round-trips
         let (recovered, _) =
-            DurableService::recover(&dir, rule(), &schema(), BUDGET).expect("clean recovery");
+            DurableService::recover_with_rules(&dir, &catalog(), &schema(), BUDGET)
+                .expect("clean recovery");
         assert_eq!(
             snapshot(recovered.writer()),
             oracle[ops.len()],
@@ -221,19 +269,20 @@ fn run_armed(tag: &str, pool: &[Entity], ops: &[Op], oracle: &[Vec<u8>]) -> bool
     }
 
     // recover after the kill
-    let mut recovered = match DurableService::recover(&dir, rule(), &schema(), BUDGET) {
-        Ok((service, _report)) => service,
-        Err(RecoveryError::NoCheckpoint(_)) => {
-            assert_eq!(
-                acked,
-                0,
-                "{}",
-                ctx("no-durable-state is only sound when nothing was acknowledged")
-            );
-            return true;
-        }
-        Err(err) => panic!("{}: {err}", ctx("recovery failed")),
-    };
+    let mut recovered =
+        match DurableService::recover_with_rules(&dir, &catalog(), &schema(), BUDGET) {
+            Ok((service, _report)) => service,
+            Err(RecoveryError::NoCheckpoint(_)) => {
+                assert_eq!(
+                    acked,
+                    0,
+                    "{}",
+                    ctx("no-durable-state is only sound when nothing was acknowledged")
+                );
+                return true;
+            }
+            Err(err) => panic!("{}: {err}", ctx("recovery failed")),
+        };
 
     // the oracle: recovered state is the sequential replay of all acked
     // ops, or of acked + the one in-flight op whose log record survived
@@ -267,7 +316,8 @@ fn run_armed(tag: &str, pool: &[Entity], ops: &[Op], oracle: &[Vec<u8>]) -> bool
     // ... and the finished state itself recovers (the second crash)
     drop(recovered);
     let (reopened, report) =
-        DurableService::recover(&dir, rule(), &schema(), BUDGET).expect("second recovery");
+        DurableService::recover_with_rules(&dir, &catalog(), &schema(), BUDGET)
+            .expect("second recovery");
     assert_eq!(
         snapshot(reopened.writer()),
         oracle[ops.len()],
@@ -344,6 +394,96 @@ fn killing_the_writer_at_every_failpoint_loses_no_acknowledged_epoch() {
     );
 }
 
+/// The registry workload: interleaves entity churn with rule-manifest log
+/// records (register / hot-swap / deregister), including re-registering a
+/// name that was dropped — so a kill can land between a manifest append
+/// and its fsync, between publish and compaction, or inside a checkpoint
+/// that serializes a multi-rule manifest.
+fn registry_script() -> Vec<Op> {
+    vec![
+        Op::Ingest(vec![0, 1, 2, 3]),
+        Op::Register("tight", 1),
+        Op::Insert(4),
+        Op::Remove(1),
+        Op::Register("phone", 2),
+        Op::Insert(5),
+        Op::Replace("tight", 2),
+        Op::Remove(0),
+        Op::Deregister("phone"),
+        Op::Insert(6),
+        Op::Deregister("tight"),
+        Op::Register("tight", 1),
+        Op::Insert(0),
+    ]
+}
+
+/// Satellite: crash-consistency of the rule manifest.  A kill anywhere in
+/// the registration path (validate → log+fsync → apply → publish) must
+/// recover to the pre- or post-registration rule set, never a torn one —
+/// `run_armed`'s bit-identical snapshot oracle covers the manifest because
+/// snapshots serialize it alongside the entity store.
+#[test]
+fn killing_the_writer_during_registry_churn_never_tears_the_manifest() {
+    let _registry = FAIL_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let schema = schema();
+    let pool = entities(&schema);
+    let ops = registry_script();
+    let oracle = shadow_snapshots(&pool, &ops);
+
+    // pass 1 — unarmed enumeration of every (point, occurrence)
+    fail::reset();
+    let clean = fresh_dir("registry-clean");
+    {
+        let mut service = DurableService::create_empty(
+            &clean,
+            rule(),
+            &schema,
+            &schema,
+            ServiceOptions::default(),
+            BUDGET,
+        )
+        .expect("unarmed creation succeeds");
+        for op in &ops {
+            apply_durable(&mut service, &pool, op).expect("unarmed ops succeed");
+        }
+        assert_eq!(snapshot(service.writer()), oracle[ops.len()]);
+    }
+    let _ = std::fs::remove_dir_all(&clean);
+    let hits = fail::hit_counts();
+    assert!(
+        hits.len() >= 8,
+        "the registry workload must cross every injection point class, saw {hits:?}"
+    );
+
+    // pass 2 — one armed run per (point, occurrence, action)
+    let mut fired_runs = 0usize;
+    let mut armed_runs = 0usize;
+    for (point, count) in &hits {
+        let torn = point.ends_with(".write");
+        for occurrence in 0..*count {
+            let mut actions = vec![fail::FailAction::Error];
+            if torn {
+                actions.push(fail::FailAction::TornWrite(3));
+                actions.push(fail::FailAction::TornWrite(21));
+            }
+            for (variant, action) in actions.into_iter().enumerate() {
+                fail::reset();
+                fail::configure(point, occurrence, action);
+                let tag = format!("registry-{point}-{occurrence}-{variant}");
+                armed_runs += 1;
+                if run_armed(&tag, &pool, &ops, &oracle) {
+                    fired_runs += 1;
+                }
+                fail::reset();
+            }
+        }
+    }
+    assert!(
+        fired_runs * 2 >= armed_runs,
+        "most armed occurrences must actually fire ({fired_runs}/{armed_runs})"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Sharded harness: shard isolation under injected faults
 // ---------------------------------------------------------------------------
@@ -374,6 +514,9 @@ fn sharded_sub_ops(router: ShardRouter, pool: &[Entity], ops: &[Op]) -> Vec<Vec<
             }
             Op::Remove(i) => {
                 per_shard[router.route(pool[*i].id())].push((global, op.clone()));
+            }
+            Op::Register(..) | Op::Replace(..) | Op::Deregister(..) => {
+                unreachable!("the sharded script has no registry ops")
             }
         }
     }
@@ -412,6 +555,9 @@ fn apply_sharded(
         Op::Remove(i) => service.remove(pool[*i].id()).map(|removed| {
             assert!(removed, "the script only removes served ids");
         }),
+        Op::Register(name, i) => service.register_rule(name, rules_pool()[*i].clone()),
+        Op::Replace(name, i) => service.replace_rule(name, rules_pool()[*i].clone()),
+        Op::Deregister(name) => service.deregister_rule(name),
     }
 }
 
@@ -649,4 +795,67 @@ fn killing_one_shard_at_every_failpoint_leaves_every_shard_recoverable() {
         fired_runs * 2 >= armed_runs,
         "most armed occurrences must actually fire ({fired_runs}/{armed_runs})"
     );
+}
+
+/// A crash between per-shard registry broadcasts leaves shards with
+/// different manifests on disk.  Recovery must roll every lagging shard
+/// forward to the leader (shard 0, which the broadcast hits first), so the
+/// recovered store serves one coherent rule set.
+#[test]
+fn sharded_recovery_converges_diverged_shard_registries() {
+    let _registry = FAIL_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    fail::reset();
+    let schema = schema();
+    let pool = entities(&schema);
+    let dir = fresh_dir("registry-converge");
+
+    {
+        let mut service = ShardedDurableService::create_empty(
+            &dir,
+            rule(),
+            &schema,
+            &schema,
+            SHARDS,
+            sharded_options(),
+            BUDGET,
+        )
+        .expect("creation succeeds");
+        apply_sharded(&mut service, &pool, &Op::Ingest(vec![0, 1, 2, 3])).unwrap();
+        // simulate a crash mid-broadcast: the registration reached shard 0's
+        // log but never the other shards'
+        service
+            .shard_mut(0)
+            .register_rule("tight", rules_pool()[1].clone())
+            .expect("shard-0 registration succeeds");
+        assert!(!service.shards()[1].writer().has_rule("tight"));
+    }
+
+    let (recovered, reports) =
+        ShardedDurableService::recover_with_rules(&dir, &catalog(), &schema, BUDGET)
+            .expect("recovery converges the registries");
+    assert_eq!(reports.len(), SHARDS);
+    for shard in recovered.shards() {
+        assert_eq!(
+            shard.writer().rule_names(),
+            recovered.shards()[0].writer().rule_names(),
+            "every shard serves the leader's rule set"
+        );
+        assert!(shard.writer().has_rule("tight"));
+        assert_eq!(
+            shard.writer().named_rule("tight").unwrap().canonical_hash(),
+            rules_pool()[1].canonical_hash(),
+            "the converged rule is the one shard 0 logged"
+        );
+    }
+
+    // convergence itself must be durable: reopening without further writes
+    // reproduces the converged manifests
+    drop(recovered);
+    let (reopened, _) =
+        ShardedDurableService::recover_with_rules(&dir, &catalog(), &schema, BUDGET)
+            .expect("second recovery");
+    for shard in reopened.shards() {
+        assert!(shard.writer().has_rule("tight"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -58,6 +58,17 @@ impl<T> EpochCell<T> {
         self.version.fetch_add(1, Ordering::Release) + 1
     }
 
+    /// Replaces the current epoch **without** bumping the version — for
+    /// construction-time staging, where the initial epoch passed to
+    /// [`EpochCell::new`] is a placeholder filled in before any reader
+    /// exists.  Readers that already pinned version `v` will not refresh
+    /// (the version did not move), so this must never be used once the
+    /// cell is shared.
+    pub fn replace_current(&self, epoch: Arc<T>) {
+        let mut slot = self.slot.lock().expect("epoch slot poisoned");
+        *slot = epoch;
+    }
+
     /// The version of the most recently published epoch.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)

@@ -43,6 +43,43 @@ fn rule() -> LinkageRule {
     .into()
 }
 
+/// A looser name-only rule — its single comparison is byte-identical to the
+/// conjunction's first operand, so registering it builds **no** new leaf
+/// index: the leaf pool already holds one for that (chain, measure, bound).
+fn name_only() -> LinkageRule {
+    compare(
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        DistanceFunction::Levenshtein,
+        2.0,
+    )
+    .into()
+}
+
+/// A stricter name rule (edit distance 1 instead of 2): hot-swapped in for
+/// `name_only` below.  The tighter bound keys a *different* leaf, so the
+/// swap builds one leaf and publishes one epoch.
+fn name_strict() -> LinkageRule {
+    compare(
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        transform(TransformFunction::LowerCase, vec![property("name")]),
+        DistanceFunction::Levenshtein,
+        1.0,
+    )
+    .into()
+}
+
+/// A phone-only rule sharing the conjunction's second leaf.
+fn phone_only() -> LinkageRule {
+    compare(
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        transform(TransformFunction::DigitsOnly, vec![property("phone")]),
+        DistanceFunction::Levenshtein,
+        1.0,
+    )
+    .into()
+}
+
 fn main() {
     let dataset = DatasetKind::Restaurant.generate(0.5, 7);
     println!(
@@ -101,6 +138,74 @@ fn main() {
     println!(
         "after re-inserting:  {} match(es) — served immediately",
         service.query(probe).len()
+    );
+
+    section("multi-rule serving: one store, shared leaf indexes");
+    // warm registration: both new rules re-use leaves the conjunction
+    // already built, so each registration is one epoch publish, not an
+    // index rebuild
+    let before = service.leaf_pool_stats();
+    service.register_rule("name-only", name_only()).unwrap();
+    service.register_rule("phone-only", phone_only()).unwrap();
+    let after = service.leaf_pool_stats();
+    println!(
+        "registered 2 rules warm: {} leaf re-use(s), {} new leaf build(s); \
+         {} pooled leaves now serve {} plan slots across {} rules",
+        after.hits - before.hits,
+        after.misses - before.misses,
+        after.entries,
+        after.refs,
+        service.rule_count()
+    );
+    for entity in dataset.source.entities().iter().take(2) {
+        println!(
+            "query {:28} -> conjunction {}, name-only {}, phone-only {} match(es)",
+            entity.id(),
+            service.query(entity).len(),
+            service.query_rule("name-only", entity).unwrap().len(),
+            service.query_rule("phone-only", entity).unwrap().len(),
+        );
+    }
+
+    // query-by-committee: one pinned epoch, every registered rule votes
+    let committee = service.query_committee(probe);
+    if let Some(best) = committee.first() {
+        println!(
+            "committee on {}: best {} with {}/{} votes (mean score {:.3})",
+            probe.id(),
+            best.target,
+            best.votes,
+            best.committee,
+            best.mean_score
+        );
+    }
+
+    // hot swap: replace the name rule with a stricter variant — readers
+    // switch atomically at the next epoch pin, mid-flight queries finish
+    // on the epoch they pinned
+    let version_before = service.version();
+    service.replace_rule("name-only", name_strict()).unwrap();
+    println!(
+        "hot-swapped name-only (edit distance 2 -> 1): one publish \
+         (epoch {} -> {}), queries now return {} match(es) for {}",
+        version_before,
+        service.version(),
+        service.query_rule("name-only", probe).unwrap().len(),
+        probe.id()
+    );
+    for stats in service.rule_stats() {
+        println!(
+            "rule {:12} queries {:3}, candidates {:4}, leaf hits/misses {}/{}",
+            stats.rule, stats.queries, stats.candidates, stats.leaf_hits, stats.leaf_misses
+        );
+    }
+    // deregistering drops leaf references; leaves held by nobody else are
+    // freed (the conjunction still holds the shared phone leaf)
+    service.deregister_rule("phone-only").unwrap();
+    println!(
+        "deregistered phone-only: {} pooled leaves, {} plan slots remain",
+        service.leaf_pool_stats().entries,
+        service.leaf_pool_stats().refs
     );
 
     section("concurrent serving: readers query while the writer churns");
@@ -221,11 +326,20 @@ fn main() {
         writer.len()
     );
     drop(writer); // "restart": the whole service is gone
-    let restored = LinkService::restore(rule(), dataset.source.schema(), &snapshot[..])
-        .expect("snapshot restores under the same rule");
+                  // the snapshot carries a rule manifest (name + canonical hash per
+                  // registered rule); restore resolves it against a catalog by hash, so
+                  // catalog order and naming are free
+    let catalog = vec![
+        ("conjunction".to_string(), rule()),
+        ("name-strict".to_string(), name_strict()),
+    ];
+    let restored =
+        LinkService::restore_with_rules(&catalog, dataset.source.schema(), &snapshot[..])
+            .expect("snapshot restores under a catalog naming every registered rule");
     println!(
-        "restored {} entities without re-deriving a single block key",
-        restored.len()
+        "restored {} entities serving {} rules without re-deriving a single block key",
+        restored.len(),
+        restored.rule_count()
     );
     println!(
         "query {} -> {} match(es), same as before the restart",
