@@ -26,6 +26,15 @@
 //!    generation (recurring elite chains are still being answered from
 //!    retained leaves when learning stops, where the old
 //!    clear-per-generation cache rebuilt every one of them).
+//! 5. **Steady-state pipeline** — the asynchronous pipeline spends the same
+//!    evaluation budget as the generational loop.  Gates: the pipeline is
+//!    deterministic across evaluator counts (always enforced); its training
+//!    F1 lands within 0.05 of the generational run's (always enforced —
+//!    quality at equal budget); its evaluation throughput reaches ≥ 1.5x
+//!    the generational loop's (enforced only on hosts with ≥ 4 cores,
+//!    where the barrier-free schedule can actually overlap work).
+//!    Reported either way: evaluations/s, worker utilization and the
+//!    per-phase (compile / index / score / idle) seconds.
 //!
 //! Also reported: wall-clock per generation at each thread count and the
 //! fitness-cache hit rate, for the learning-curve context.
@@ -39,6 +48,8 @@ use genlink::{GenLink, GenLinkConfig, LearnOutcome};
 use linkdisc_datasets::DatasetKind;
 
 const SPEEDUP_GATE: f64 = 2.0;
+const PIPELINE_THROUGHPUT_GATE: f64 = 1.5;
+const QUALITY_TOLERANCE: f64 = 0.05;
 const PARALLEL_THREADS: usize = 4;
 const REPETITIONS: usize = 2;
 const ITERATIONS: usize = 6;
@@ -61,12 +72,12 @@ struct Measured {
     per_generation_ms: f64,
 }
 
-/// Best-of-N learning runs at one thread count (fresh learner and caches
+/// Best-of-N learning runs of one configuration (fresh learner and caches
 /// per run, so no run inherits another's memoized work).
-fn learn(dataset: &linkdisc_datasets::Dataset, threads: usize) -> Measured {
+fn learn(dataset: &linkdisc_datasets::Dataset, configuration: GenLinkConfig) -> Measured {
     let mut best: Option<Measured> = None;
     for _ in 0..REPETITIONS {
-        let learner = GenLink::new(config(threads));
+        let learner = GenLink::new(configuration.clone());
         let start = Instant::now();
         let outcome = learner.learn(&dataset.source, &dataset.target, &dataset.links, SEED);
         let total_s = start.elapsed().as_secs_f64();
@@ -129,8 +140,8 @@ fn main() {
     );
 
     // 1. + 2. parallel speedup with a determinism gate ----------------------
-    let sequential = learn(&dataset, 1);
-    let parallel = learn(&dataset, PARALLEL_THREADS);
+    let sequential = learn(&dataset, config(1));
+    let parallel = learn(&dataset, config(PARALLEL_THREADS));
     let speedup = sequential.total_s / parallel.total_s;
     let speedup_enforced = cores >= PARALLEL_THREADS;
     println!("--- parallel learning (best of {REPETITIONS}) ---");
@@ -217,8 +228,77 @@ fn main() {
     }
     println!();
 
+    // 5. steady-state pipeline ----------------------------------------------
+    let steady_seq = learn(&dataset, config(1).steady_state());
+    let steady_par = learn(&dataset, config(PARALLEL_THREADS).steady_state());
+    let steady_identical = fingerprint(&steady_seq.outcome) == fingerprint(&steady_par.outcome);
+    let report = steady_par
+        .outcome
+        .pipeline
+        .expect("steady-state runs report throughput");
+    let budget = config(1).gp.population_size * ITERATIONS;
+    // generational throughput over the same budget at the same thread count
+    let generational_eps = budget as f64 / parallel.total_s;
+    let steady_eps = budget as f64 / steady_par.total_s;
+    let throughput_ratio = steady_eps / generational_eps;
+    let throughput_enforced = cores >= PARALLEL_THREADS;
+    let generational_f1 = sequential.outcome.training.f_measure();
+    let steady_f1 = steady_seq.outcome.training.f_measure();
+    let quality_gap = (generational_f1 - steady_f1).abs();
+    let phases = steady_par
+        .outcome
+        .history
+        .last()
+        .and_then(|s| s.phases)
+        .unwrap_or_default();
+    println!("--- steady-state pipeline (same {budget}-evaluation budget) ---");
+    println!(
+        "1 evaluator:  {:8.2} s total;  {PARALLEL_THREADS} evaluators: {:8.2} s total",
+        steady_seq.total_s, steady_par.total_s
+    );
+    println!(
+        "pipeline: {:.0} evals/s, {:.0}% worker utilization; phases: \
+         compile {:.2}s, index {:.2}s, score {:.2}s, idle {:.2}s",
+        report.evaluations_per_second(),
+        report.utilization() * 100.0,
+        phases.compile_s,
+        phases.index_s,
+        phases.score_s,
+        phases.idle_s
+    );
+    println!("deterministic across evaluator counts: {steady_identical}");
+    if !steady_identical {
+        failures.push("steady-state run diverged across evaluator counts".to_string());
+    }
+    println!(
+        "throughput vs generational: {throughput_ratio:.2}x \
+         (gate ≥ {PIPELINE_THROUGHPUT_GATE}x, {})",
+        if throughput_enforced {
+            "enforced"
+        } else {
+            "reported only — host has fewer than 4 cores"
+        }
+    );
+    if throughput_enforced && throughput_ratio < PIPELINE_THROUGHPUT_GATE {
+        failures.push(format!(
+            "steady-state throughput {throughput_ratio:.2}x < {PIPELINE_THROUGHPUT_GATE}x \
+             the generational loop's"
+        ));
+    }
+    println!(
+        "quality at budget: generational F1 {generational_f1:.3}, steady-state F1 {steady_f1:.3} \
+         (gap {quality_gap:.3}, gate ≤ {QUALITY_TOLERANCE})"
+    );
+    if quality_gap > QUALITY_TOLERANCE {
+        failures.push(format!(
+            "steady-state training F1 {steady_f1:.3} strayed more than {QUALITY_TOLERANCE} \
+             from the generational {generational_f1:.3} at the same budget"
+        ));
+    }
+    println!();
+
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"workload\": {{\n    \"dataset\": \"restaurant\",\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"positive_links\": {},\n    \"negative_links\": {},\n    \"population\": {},\n    \"iterations\": {ITERATIONS}\n  }},\n  \"parallel_learning\": {{\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"per_generation_t1_ms\": {:.1},\n    \"per_generation_t{PARALLEL_THREADS}_ms\": {:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {SPEEDUP_GATE},\n    \"gate_enforced\": {speedup_enforced},\n    \"bit_identical\": {identical}\n  }},\n  \"leaf_reuse\": {{\n    \"requests\": {leaf_total},\n    \"hits\": {},\n    \"builds\": {},\n    \"hit_rate\": {leaf_rate:.4},\n    \"cross_generation_hits\": {cross_hits},\n    \"first_generation_cross_hits\": {first_cross},\n    \"final_generation_cross_hits\": {last_cross}\n  }},\n  \"fitness_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"workload\": {{\n    \"dataset\": \"restaurant\",\n    \"source_entities\": {},\n    \"target_entities\": {},\n    \"positive_links\": {},\n    \"negative_links\": {},\n    \"population\": {},\n    \"iterations\": {ITERATIONS}\n  }},\n  \"parallel_learning\": {{\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"per_generation_t1_ms\": {:.1},\n    \"per_generation_t{PARALLEL_THREADS}_ms\": {:.1},\n    \"speedup\": {speedup:.2},\n    \"speedup_gate\": {SPEEDUP_GATE},\n    \"gate_enforced\": {speedup_enforced},\n    \"bit_identical\": {identical}\n  }},\n  \"leaf_reuse\": {{\n    \"requests\": {leaf_total},\n    \"hits\": {},\n    \"builds\": {},\n    \"hit_rate\": {leaf_rate:.4},\n    \"cross_generation_hits\": {cross_hits},\n    \"first_generation_cross_hits\": {first_cross},\n    \"final_generation_cross_hits\": {last_cross}\n  }},\n  \"fitness_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"steady_state\": {{\n    \"budget_evaluations\": {budget},\n    \"learn_t1_s\": {:.3},\n    \"learn_t{PARALLEL_THREADS}_s\": {:.3},\n    \"evaluations_per_second\": {:.1},\n    \"worker_utilization\": {:.4},\n    \"phase_compile_s\": {:.3},\n    \"phase_index_s\": {:.3},\n    \"phase_score_s\": {:.3},\n    \"phase_idle_s\": {:.3},\n    \"deterministic\": {steady_identical},\n    \"throughput_vs_generational\": {throughput_ratio:.2},\n    \"throughput_gate\": {PIPELINE_THROUGHPUT_GATE},\n    \"throughput_gate_enforced\": {throughput_enforced},\n    \"generational_f1\": {generational_f1:.4},\n    \"steady_state_f1\": {steady_f1:.4},\n    \"quality_gap\": {quality_gap:.4},\n    \"quality_tolerance\": {QUALITY_TOLERANCE}\n  }}\n}}\n",
         stats.source_entities,
         stats.target_entities,
         stats.positive_links,
@@ -233,6 +313,14 @@ fn main() {
         cache.fitness_hits,
         cache.fitness_misses,
         cache.fitness_hit_rate(),
+        steady_seq.total_s,
+        steady_par.total_s,
+        report.evaluations_per_second(),
+        report.utilization(),
+        phases.compile_s,
+        phases.index_s,
+        phases.score_s,
+        phases.idle_s,
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("wrote {out_path}");

@@ -159,6 +159,12 @@ pub struct CurveRow {
     /// Cumulative shared-leaf-index reuse rate up to this iteration (the
     /// second caching layer: whole per-comparison index builds saved).
     pub leaf_reuse_rate: Summary,
+    /// Cumulative seconds spent compiling rules (plan + instruction list).
+    pub compile_s: Summary,
+    /// Cumulative seconds spent building candidate leaf indexes.
+    pub index_s: Summary,
+    /// Cumulative seconds spent scoring prepared rules.
+    pub score_s: Summary,
 }
 
 /// The outcome of a learning-curve experiment.
@@ -192,6 +198,9 @@ pub fn learning_curve(
         saved: Vec<f64>,
         hit_rate: Vec<f64>,
         leaf_reuse: Vec<f64>,
+        compile: Vec<f64>,
+        index: Vec<f64>,
+        score: Vec<f64>,
     }
     let mut per_checkpoint: BTreeMap<usize, CheckpointAccumulator> = BTreeMap::new();
     let mut best_rule = LinkageRule::empty();
@@ -234,6 +243,10 @@ pub fn learning_curve(
                     entry.saved.push(cache.fitness_hits as f64);
                     entry.hit_rate.push(cache.fitness_hit_rate());
                     entry.leaf_reuse.push(cache.leaf_reuse_hit_rate());
+                    let phases = stats.phases.unwrap_or_default();
+                    entry.compile.push(phases.compile_s);
+                    entry.index.push(phases.index_s);
+                    entry.score.push(phases.score_s);
                 },
             );
             // when the run stops early, later checkpoints keep the final value
@@ -248,6 +261,11 @@ pub fn learning_curve(
                 .last()
                 .and_then(|s| s.cache)
                 .unwrap_or_default();
+            let last_phases = outcome
+                .history
+                .last()
+                .and_then(|s| s.phases)
+                .unwrap_or_default();
             let final_train =
                 evaluate_rule_on_links(&outcome.rule, &train, &dataset.source, &dataset.target);
             let final_val =
@@ -260,6 +278,9 @@ pub fn learning_curve(
                 entry.saved.push(last_cache.fitness_hits as f64);
                 entry.hit_rate.push(last_cache.fitness_hit_rate());
                 entry.leaf_reuse.push(last_cache.leaf_reuse_hit_rate());
+                entry.compile.push(last_phases.compile_s);
+                entry.index.push(last_phases.index_s);
+                entry.score.push(last_phases.score_s);
             }
             if final_val.f_measure() > best_validation {
                 best_validation = final_val.f_measure();
@@ -281,6 +302,9 @@ pub fn learning_curve(
             evaluations_saved: Summary::of(acc.saved),
             cache_hit_rate: Summary::of(acc.hit_rate),
             leaf_reuse_rate: Summary::of(acc.leaf_reuse),
+            compile_s: Summary::of(acc.compile),
+            index_s: Summary::of(acc.index),
+            score_s: Summary::of(acc.score),
         })
         .collect();
     CurveResult {
@@ -331,29 +355,36 @@ pub fn run_carvalho_baseline(
     (Summary::of(train_scores), Summary::of(validation_scores))
 }
 
-/// Prints a learning-curve table in the shape of Tables 7–12.
+/// Prints a learning-curve table in the shape of Tables 7–12, extended with
+/// the cumulative per-phase cost split (compile / index / score seconds).
 pub fn print_curve_table(title: &str, result: &CurveResult) {
     println!("{title}");
     println!(
-        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11}",
+        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8}",
         "Iter.",
         "Time in s (σ)",
         "Train. F1 (σ)",
         "Val. F1 (σ)",
         "Evals saved",
         "Hit rate",
-        "Leaf reuse"
+        "Leaf reuse",
+        "Compile",
+        "Index",
+        "Score"
     );
     for row in &result.rows {
         println!(
-            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11}",
+            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8}",
             row.iteration,
             format!("{:.1} ({:.1})", row.seconds.mean, row.seconds.std_dev),
             row.training_f1.paper_format(),
             row.validation_f1.paper_format(),
             format!("{:.0}", row.evaluations_saved.mean),
             format!("{:.0}%", row.cache_hit_rate.mean * 100.0),
-            format!("{:.0}%", row.leaf_reuse_rate.mean * 100.0)
+            format!("{:.0}%", row.leaf_reuse_rate.mean * 100.0),
+            format!("{:.2}s", row.compile_s.mean),
+            format!("{:.2}s", row.index_s.mean),
+            format!("{:.2}s", row.score_s.mean)
         );
     }
     println!();
@@ -469,6 +500,12 @@ mod tests {
             "training F1 regressed from {first} to {last}"
         );
         assert!(!result.best_rule.is_empty());
+        // the phase split attributes where the learning time went
+        let final_row = result.rows.last().unwrap();
+        assert!(
+            final_row.score_s.mean > 0.0,
+            "phase timers must attribute scoring cost"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Configuration of the GenLink learner.
 
-use linkdisc_gp::GpConfig;
+use linkdisc_gp::{GpConfig, Replacement};
 use linkdisc_similarity::DistanceFunction;
 use linkdisc_transform::TransformFunction;
 
@@ -28,6 +28,73 @@ impl SeedingStrategy {
             SeedingStrategy::Seeded => "Seeded",
             SeedingStrategy::Random => "Random",
         }
+    }
+}
+
+/// How the learner schedules breeding and evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LearningMode {
+    /// The generational loop of Algorithm 1: breed a full generation, score
+    /// it as one batch, repeat.  This is the paper's algorithm and the
+    /// bit-exact reference.
+    #[default]
+    Generational,
+    /// The asynchronous steady-state pipeline: offspring are bred one at a
+    /// time, scored by a pool of evaluator workers and folded back under a
+    /// replacement rule, with no generation barrier.  Deterministic at any
+    /// evaluator count.  Spends the same evaluation budget as the
+    /// generational loop (`population_size * max_iterations`) unless
+    /// overridden.
+    SteadyState(SteadyStateConfig),
+}
+
+/// Knobs of the steady-state pipeline (`0` always means "derive a default").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteadyStateConfig {
+    /// Offspring in flight before a result must be folded back (0 = derived,
+    /// see `linkdisc_gp::PipelineConfig::lookahead`).
+    pub lookahead: usize,
+    /// Folds per statistics window (0 = population size, the moral
+    /// equivalent of a generation).
+    pub window: usize,
+    /// Total evaluation budget (0 = `population_size * max_iterations`, the
+    /// generational loop's budget — which keeps quality comparisons fair).
+    pub evaluations: usize,
+    /// How the offspring's victim is chosen (default: reverse tournament of
+    /// the GP tournament size).
+    pub replacement: Option<Replacement>,
+    /// Number of island subpopulations (1 = one panmictic population).
+    pub islands: usize,
+    /// Evaluations per island between migrations (0 = derived per-island
+    /// population size).
+    pub migration_interval: usize,
+    /// Individuals copied along the ring at each migration.
+    pub migrants: usize,
+}
+
+impl Default for SteadyStateConfig {
+    fn default() -> Self {
+        SteadyStateConfig {
+            lookahead: 0,
+            window: 0,
+            evaluations: 0,
+            replacement: None,
+            islands: 1,
+            migration_interval: 0,
+            migrants: 2,
+        }
+    }
+}
+
+impl SteadyStateConfig {
+    /// Checks the steady-state knobs for consistency against the GP
+    /// parameters; panics with a clear message on nonsensical values.
+    pub fn validate(&self, gp: &GpConfig) {
+        assert!(self.islands > 0, "at least one island is required");
+        assert!(
+            gp.population_size.is_multiple_of(self.islands),
+            "population size must split evenly across islands"
+        );
     }
 }
 
@@ -66,6 +133,10 @@ pub struct GenLinkConfig {
     /// are identical either way; `false` forces every reference pair
     /// through the evaluator).
     pub indexed_fitness: bool,
+    /// How breeding and evaluation are scheduled: the paper's generational
+    /// loop (the default) or the asynchronous steady-state pipeline.  Both
+    /// are deterministic; the generational loop is the bit-exact reference.
+    pub mode: LearningMode,
 }
 
 impl Default for GenLinkConfig {
@@ -82,6 +153,7 @@ impl Default for GenLinkConfig {
             distance_functions: DistanceFunction::PAPER.to_vec(),
             transform_functions: TransformFunction::PAPER.to_vec(),
             indexed_fitness: true,
+            mode: LearningMode::default(),
         }
     }
 }
@@ -123,6 +195,18 @@ impl GenLinkConfig {
         self
     }
 
+    /// Switches the learner to the steady-state pipeline with default knobs.
+    pub fn steady_state(mut self) -> Self {
+        self.mode = LearningMode::SteadyState(SteadyStateConfig::default());
+        self
+    }
+
+    /// Selects the learning mode explicitly.
+    pub fn with_mode(mut self, mode: LearningMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Checks the configuration for consistency; panics with a clear message
     /// on nonsensical values.  Called by the learner.
     pub fn validate(&self) {
@@ -143,6 +227,9 @@ impl GenLinkConfig {
             !self.distance_functions.is_empty(),
             "at least one distance function is required"
         );
+        if let LearningMode::SteadyState(steady) = &self.mode {
+            steady.validate(&self.gp);
+        }
     }
 }
 
@@ -189,5 +276,24 @@ mod tests {
     fn seeding_strategy_names() {
         assert_eq!(SeedingStrategy::Seeded.name(), "Seeded");
         assert_eq!(SeedingStrategy::Random.name(), "Random");
+    }
+
+    #[test]
+    fn steady_state_mode_validates() {
+        let config = GenLinkConfig::fast().steady_state();
+        assert!(matches!(config.mode, LearningMode::SteadyState(_)));
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn uneven_island_split_is_rejected() {
+        let mut config = GenLinkConfig::fast();
+        config.gp.population_size = 81;
+        config.mode = LearningMode::SteadyState(SteadyStateConfig {
+            islands: 4,
+            ..SteadyStateConfig::default()
+        });
+        config.validate();
     }
 }

@@ -13,10 +13,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use linkdisc_entity::{Entity, ResolvedReferenceLinks, Schema};
 use linkdisc_evaluation::{evaluate_compiled, evaluate_rule, ConfusionMatrix};
-use linkdisc_gp::Evaluated;
+use linkdisc_gp::{Evaluated, PhaseAccumulator, PhaseTimers};
 use linkdisc_matching::{CandidateScratch, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes};
 use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
 
@@ -167,6 +168,10 @@ pub struct FitnessFunction<'a> {
     /// The indexed pool arrangement; `None` disables index acceleration
     /// (every pair is evaluated, the pre-PR-4 behaviour).
     pool: Option<Arc<IndexedPool<'a>>>,
+    /// Per-phase busy time: compile (rule compilation + plan lowering),
+    /// index (leaf resolution and index assembly), score (confusion-matrix
+    /// evaluation).  Thread-safe — workers add durations concurrently.
+    timers: Arc<PhaseAccumulator>,
 }
 
 impl<'a> FitnessFunction<'a> {
@@ -185,6 +190,7 @@ impl<'a> FitnessFunction<'a> {
             schemas,
             value_cache: Arc::new(ValueCache::new()),
             pool,
+            timers: Arc::new(PhaseAccumulator::new()),
         }
     }
 
@@ -210,6 +216,25 @@ impl<'a> FitnessFunction<'a> {
     /// (`None` when index acceleration is off).
     pub fn leaf_reuse_stats(&self) -> Option<LeafReuseStats> {
         self.pool.as_ref().map(|pool| pool.shared.stats())
+    }
+
+    /// Cumulative per-phase busy time of compilation, indexing and scoring
+    /// (summed across every thread that worked in the phase).
+    pub fn phase_timers(&self) -> PhaseTimers {
+        self.timers.snapshot()
+    }
+
+    /// Enables request-count-based retirement of the shared leaf cache:
+    /// after every `requests` leaf lookups, unused leaves are dropped — the
+    /// steady-state substitute for the per-generation
+    /// [`FitnessFunction::begin_generation`] boundary, bounding cache growth
+    /// without a breeding barrier (0 disables; no-op when index acceleration
+    /// is off).  See
+    /// [`linkdisc_matching::SharedLeafIndexes::auto_retire_after`].
+    pub fn auto_retire_leaves(&self, requests: u64) {
+        if let Some(pool) = &self.pool {
+            pool.shared.auto_retire_after(requests);
+        }
     }
 
     /// Marks a generation boundary: retires the shared leaf cache.  Leaves
@@ -239,8 +264,10 @@ impl<'a> FitnessFunction<'a> {
                 nothing_links: false,
             };
         };
+        let compile_timer = Instant::now();
         let compiled = Some(CompiledRule::compile(rule, source_schema, target_schema));
         let Some(pool) = &self.pool else {
+            self.timers.add_compile(compile_timer.elapsed());
             return PreparedRule {
                 compiled,
                 index: None,
@@ -249,6 +276,7 @@ impl<'a> FitnessFunction<'a> {
         };
         let plan =
             IndexingPlan::lower(rule, source_schema, target_schema, LINK_THRESHOLD).canonicalized();
+        self.timers.add_compile(compile_timer.elapsed());
         if plan.is_empty_result() {
             return PreparedRule {
                 compiled,
@@ -264,8 +292,10 @@ impl<'a> FitnessFunction<'a> {
                 nothing_links: false,
             };
         }
+        let index_timer = Instant::now();
         let index =
             MultiBlockIndex::build_shared(plan, &pool.targets, &self.value_cache, &pool.shared);
+        self.timers.add_index(index_timer.elapsed());
         PreparedRule {
             compiled,
             index: Some(index),
@@ -296,11 +326,15 @@ impl<'a> FitnessFunction<'a> {
         let indexing = self.pool.is_some();
         let lowered: Vec<(CompiledRule, Option<IndexingPlan>)> =
             linkdisc_util::parallel_ordered_map(rules, threads, |rule| {
+                // timed inside the fan-out so compile time sums busy
+                // seconds across workers
+                let compile_timer = Instant::now();
                 let compiled = CompiledRule::compile(rule, source_schema, target_schema);
                 let plan = indexing.then(|| {
                     IndexingPlan::lower(rule, source_schema, target_schema, LINK_THRESHOLD)
                         .canonicalized()
                 });
+                self.timers.add_compile(compile_timer.elapsed());
                 (compiled, plan)
             });
         let Some(pool) = &self.pool else {
@@ -313,6 +347,7 @@ impl<'a> FitnessFunction<'a> {
                 })
                 .collect();
         };
+        let index_timer = Instant::now();
         let plans: Vec<&IndexingPlan> = lowered
             .iter()
             .filter_map(|(_, plan)| plan.as_ref())
@@ -320,6 +355,7 @@ impl<'a> FitnessFunction<'a> {
             .collect();
         pool.shared
             .ensure_plans(&plans, &pool.targets, &self.value_cache, threads);
+        self.timers.add_index(index_timer.elapsed());
         lowered
             .into_iter()
             .map(|(compiled, plan)| {
@@ -428,11 +464,13 @@ impl<'a> FitnessFunction<'a> {
                 f_measure: 0.0,
             };
         }
+        let score_timer = Instant::now();
         let matrix = if self.schemas.is_some() {
             self.confusion_prepared(prepared)
         } else {
             evaluate_rule(rule, self.links)
         };
+        self.timers.add_score(score_timer.elapsed());
         Evaluated {
             fitness: matrix.mcc() - self.parsimony.penalty_for(rule),
             f_measure: matrix.f_measure(),
@@ -456,7 +494,15 @@ impl<'a> FitnessFunction<'a> {
                 f_measure: 0.0,
             };
         }
+        if self.schemas.is_some() {
+            // prepare + score so each phase lands in its timer — the path
+            // the steady-state evaluator workers take per genome
+            let prepared = self.prepare(rule);
+            return self.evaluate_prepared(rule, &prepared);
+        }
+        let score_timer = Instant::now();
         let matrix = self.confusion(rule);
+        self.timers.add_score(score_timer.elapsed());
         Evaluated {
             fitness: matrix.mcc() - self.parsimony.penalty_for(rule),
             f_measure: matrix.f_measure(),

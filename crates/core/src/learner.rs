@@ -5,10 +5,13 @@ use rand::SeedableRng;
 
 use linkdisc_entity::{DataSource, ReferenceLinks, ResolvedReferenceLinks};
 use linkdisc_evaluation::ConfusionMatrix;
-use linkdisc_gp::{Evolution, IterationStats, Population};
+use linkdisc_gp::{
+    run_islands_with_observer, Evolution, IslandConfig, IterationStats, MigrationRecord, Pipeline,
+    PipelineConfig, PipelineReport, Population,
+};
 use linkdisc_rule::LinkageRule;
 
-use crate::config::{GenLinkConfig, SeedingStrategy};
+use crate::config::{GenLinkConfig, LearningMode, SeedingStrategy, SteadyStateConfig};
 use crate::fitness::FitnessFunction;
 use crate::problem::GenLinkProblem;
 use crate::random::RandomRuleGenerator;
@@ -34,6 +37,11 @@ pub struct LearnOutcome {
     pub training: ConfusionMatrix,
     /// The compatible property pairs the initial population was built from.
     pub compatible_pairs: Vec<CompatiblePair>,
+    /// Throughput report of the steady-state pipeline (`None` when the
+    /// generational loop ran).
+    pub pipeline: Option<PipelineReport>,
+    /// Every island migration, in schedule order (empty without islands).
+    pub migrations: Vec<MigrationRecord>,
 }
 
 /// The GenLink learning algorithm.
@@ -128,15 +136,42 @@ impl GenLink {
             self.config.crossover_operators.clone(),
             self.config.representation,
         );
-        let evolution = Evolution::new(&problem, self.config.gp);
         let mut rng = StdRng::seed_from_u64(seed);
-        let result =
-            evolution.run_with_observer(&mut rng, |stats, population: &Population<LinkageRule>| {
-                match population.best() {
-                    Some(best) => observer(stats, &best.genome),
-                    None => observer(stats, &LinkageRule::empty()),
+        let observe = |stats: &IterationStats, population: &Population<LinkageRule>| {
+            match population.best() {
+                Some(best) => observer(stats, &best.genome),
+                None => observer(stats, &LinkageRule::empty()),
+            }
+        };
+        let (result, report, migrations) = match &self.config.mode {
+            LearningMode::Generational => {
+                let evolution = Evolution::new(&problem, self.config.gp);
+                let result = evolution.run_with_observer(&mut rng, observe);
+                (result, None, Vec::new())
+            }
+            LearningMode::SteadyState(steady) => {
+                let pipeline_config = steady_state_config(&self.config, steady);
+                if steady.islands > 1 {
+                    let islands = IslandConfig {
+                        islands: steady.islands,
+                        migration_interval: steady.migration_interval,
+                        migrants: steady.migrants,
+                    };
+                    let outcome = run_islands_with_observer(
+                        &problem,
+                        pipeline_config,
+                        islands,
+                        &mut rng,
+                        observe,
+                    );
+                    (outcome.result, Some(outcome.report), outcome.migrations)
+                } else {
+                    let pipeline = Pipeline::new(&problem, pipeline_config);
+                    let outcome = pipeline.run_with_observer(&mut rng, observe);
+                    (outcome.result, Some(outcome.report), Vec::new())
                 }
-            });
+            }
+        };
 
         let rule = result.best.genome.clone();
         LearnOutcome {
@@ -151,6 +186,8 @@ impl GenLink {
             stopped_early: result.stopped_early,
             history: result.history,
             compatible_pairs,
+            pipeline: report,
+            migrations,
         }
     }
 
@@ -181,6 +218,26 @@ impl GenLink {
             }
         }
     }
+}
+
+/// The steady-state pipeline configuration: the generational parameters and
+/// budget (`population_size * max_iterations`), with any explicit overrides
+/// from the steady-state knobs applied on top.
+fn steady_state_config(config: &GenLinkConfig, steady: &SteadyStateConfig) -> PipelineConfig {
+    let mut pipeline = PipelineConfig::from_gp(&config.gp);
+    if steady.lookahead > 0 {
+        pipeline.lookahead = steady.lookahead;
+    }
+    if steady.window > 0 {
+        pipeline.window = steady.window;
+    }
+    if steady.evaluations > 0 {
+        pipeline.evaluations = steady.evaluations;
+    }
+    if let Some(replacement) = steady.replacement {
+        pipeline.replacement = replacement;
+    }
+    pipeline
 }
 
 #[cfg(test)]
@@ -348,6 +405,75 @@ mod tests {
             assert!(cache.leaf_reuse_hits >= previous_leaf_hits);
             previous_hits = cache.fitness_hits;
             previous_leaf_hits = cache.leaf_reuse_hits;
+        }
+    }
+
+    #[test]
+    fn steady_state_mode_learns_and_reports_throughput() {
+        let (source, target, links) = noisy_sources(25);
+        let mut config = fast_config().steady_state();
+        // never stop early so the pipeline spends its whole budget
+        config.gp.stop_f_measure = 2.0;
+        config.gp.max_iterations = 8;
+        let outcome = GenLink::new(config).learn(&source, &target, &links, 17);
+        assert!(
+            outcome.training.f_measure() > 0.9,
+            "steady-state training F1 was {}",
+            outcome.training.f_measure()
+        );
+        let report = outcome.pipeline.expect("steady state reports throughput");
+        assert!(report.evaluations > 0);
+        assert!(report.evaluations_per_second() > 0.0);
+        assert!(outcome.migrations.is_empty());
+        // window snapshots carry the per-phase timers
+        let phases = outcome
+            .history
+            .last()
+            .and_then(|stats| stats.phases)
+            .expect("GenLink reports phase timers");
+        assert!(phases.score_s > 0.0);
+    }
+
+    #[test]
+    fn steady_state_mode_is_reproducible_and_evaluator_invariant() {
+        let (source, target, links) = noisy_sources(20);
+        let mut config = fast_config().steady_state();
+        config.gp.max_iterations = 8;
+        let one = GenLink::new(config.clone()).learn(&source, &target, &links, 23);
+        config.gp.threads = 3;
+        let three = GenLink::new(config).learn(&source, &target, &links, 23);
+        assert_eq!(one.rule, three.rule);
+        assert_eq!(one.history.len(), three.history.len());
+        for (a, b) in one.history.iter().zip(&three.history) {
+            assert_eq!(a.best_fitness, b.best_fitness);
+            assert_eq!(a.mean_fitness, b.mean_fitness);
+        }
+    }
+
+    #[test]
+    fn island_mode_logs_a_deterministic_migrant_sequence() {
+        let (source, target, links) = noisy_sources(20);
+        let mut config = fast_config();
+        config.gp.max_iterations = 8;
+        config.mode = LearningMode::SteadyState(SteadyStateConfig {
+            islands: 4,
+            migrants: 1,
+            ..SteadyStateConfig::default()
+        });
+        let learner = GenLink::new(config.clone());
+        let first = learner.learn(&source, &target, &links, 29);
+        config.gp.threads = 2;
+        let second = GenLink::new(config).learn(&source, &target, &links, 29);
+        assert_eq!(first.rule, second.rule);
+        assert_eq!(first.migrations, second.migrations);
+        if !first.stopped_early {
+            assert!(
+                !first.migrations.is_empty(),
+                "a full island run must migrate"
+            );
+        }
+        for record in &first.migrations {
+            assert_eq!(record.to, (record.from + 1) % 4);
         }
     }
 

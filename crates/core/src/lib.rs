@@ -56,7 +56,7 @@ pub mod seeding;
 pub mod simplify;
 
 pub use active::{candidate_pool, indexed_candidate_pool, select_queries, Query};
-pub use config::{GenLinkConfig, SeedingStrategy};
+pub use config::{GenLinkConfig, LearningMode, SeedingStrategy, SteadyStateConfig};
 pub use fitness::{FitnessFunction, ParsimonyModel, PreparedRule};
 pub use learner::{GenLink, LearnOutcome};
 pub use operators::CrossoverOperator;
@@ -65,5 +65,7 @@ pub use seeding::{find_compatible_properties, CompatiblePair};
 pub use simplify::simplify_rule;
 
 // Re-export the building blocks users typically need alongside the learner.
-pub use linkdisc_gp::{GpConfig, IterationStats};
+pub use linkdisc_gp::{
+    GpConfig, IterationStats, MigrationRecord, PhaseTimers, PipelineReport, Replacement,
+};
 pub use linkdisc_rule::{AggregationFunction, DistanceFunction, LinkageRule, TransformFunction};

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use linkdisc_gp::{CacheStats, Evaluated, FitnessCache, Problem};
+use linkdisc_gp::{CacheStats, Evaluated, FitnessCache, PhaseTimers, Problem};
 use linkdisc_rule::LinkageRule;
 use linkdisc_util::parallel_ordered_map;
 
@@ -197,6 +197,18 @@ impl Problem for GenLinkProblem<'_> {
             leaf_reuse_misses: leaf_reuse.misses,
             leaf_cross_generation_hits: leaf_reuse.cross_generation_hits,
         })
+    }
+
+    fn phase_timers(&self) -> Option<PhaseTimers> {
+        Some(self.fitness.phase_timers())
+    }
+
+    /// Steady-state window boundary: retire the shared leaf cache exactly as
+    /// a generation boundary would.  Window boundaries fall at deterministic
+    /// fold counts, so the retirement schedule — like everything else in the
+    /// pipeline — is a pure function of the seed.
+    fn on_window(&self) {
+        self.fitness.begin_generation();
     }
 }
 

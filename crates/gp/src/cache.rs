@@ -8,12 +8,18 @@
 //! Evaluated` across generations, keyed by a caller-provided canonical hash
 //! with full genome equality as the collision guard.
 //!
-//! The cache is sharded behind mutexes so the engine's parallel evaluation
-//! threads do not serialize on it.
+//! The cache is sharded, and each shard sits behind a reader/writer lock:
+//! lookups — the overwhelmingly common operation once the cache has warmed
+//! up, and the *only* operation a steady-state evaluator pool performs on a
+//! hit — take a shared read lock, so concurrent evaluator threads never
+//! serialize on hits.  Writes (memoizing a freshly computed evaluation) take
+//! the shard's write lock briefly; the computation itself always runs
+//! outside every lock.  Hit/miss counters are atomics and count exactly one
+//! of hit or miss per request regardless of interleaving.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use crate::population::Evaluated;
 
@@ -73,10 +79,12 @@ impl CacheStats {
     }
 }
 
-/// A memo of genome evaluations surviving across generations.
+/// A memo of genome evaluations surviving across generations.  Safe to
+/// share across evaluator threads: reads take a shard's read lock, so
+/// concurrent hits proceed in parallel.
 #[derive(Debug)]
 pub struct FitnessCache<G> {
-    shards: Vec<Mutex<HashMap<u64, Bucket<G>>>>,
+    shards: Vec<RwLock<HashMap<u64, Bucket<G>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -91,13 +99,13 @@ impl<G> FitnessCache<G> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         FitnessCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, Bucket<G>>> {
+    fn shard(&self, hash: u64) -> &RwLock<HashMap<u64, Bucket<G>>> {
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
@@ -106,7 +114,7 @@ impl<G> FitnessCache<G> {
         self.shards
             .iter()
             .map(|s| {
-                s.lock()
+                s.read()
                     .expect("fitness cache poisoned")
                     .values()
                     .map(Vec::len)
@@ -136,7 +144,7 @@ impl<G> FitnessCache<G> {
     /// otherwise go stale.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("fitness cache poisoned").clear();
+            shard.write().expect("fitness cache poisoned").clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -146,9 +154,10 @@ impl<G> FitnessCache<G> {
 impl<G: Clone + PartialEq> FitnessCache<G> {
     /// The memoized evaluation of `genome`, if present.  `hash` must be a
     /// canonical structural hash: equal genomes must hash equally; unequal
-    /// genomes sharing a hash are disambiguated by `PartialEq`.
+    /// genomes sharing a hash are disambiguated by `PartialEq`.  Takes only
+    /// the shard's read lock, so concurrent lookups never contend.
     pub fn get(&self, hash: u64, genome: &G) -> Option<Evaluated> {
-        let shard = self.shard(hash).lock().expect("fitness cache poisoned");
+        let shard = self.shard(hash).read().expect("fitness cache poisoned");
         let found = shard
             .get(&hash)
             .and_then(|bucket| bucket.iter().find(|(g, _)| g == genome))
@@ -164,9 +173,10 @@ impl<G: Clone + PartialEq> FitnessCache<G> {
     }
 
     /// The memoized evaluation of `genome`, computing and memoizing it on a
-    /// miss.  `compute` runs outside the shard lock, so concurrent misses on
+    /// miss.  `compute` runs outside every lock, so concurrent misses on
     /// the same genome may both compute — evaluation is deterministic, so
-    /// either result is the same.
+    /// either result is the same, and the first writer's entry wins (the
+    /// second insert observes it and backs off, keeping `len` exact).
     pub fn get_or_insert_with(
         &self,
         hash: u64,
@@ -178,7 +188,7 @@ impl<G: Clone + PartialEq> FitnessCache<G> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let evaluation = compute();
-        let mut shard = self.shard(hash).lock().expect("fitness cache poisoned");
+        let mut shard = self.shard(hash).write().expect("fitness cache poisoned");
         let bucket = shard.entry(hash).or_default();
         if !bucket.iter().any(|(g, _)| g == genome) {
             bucket.push((genome.clone(), evaluation));
@@ -247,6 +257,60 @@ mod tests {
             evaluated(0.8)
         });
         assert!(recomputed);
+    }
+
+    /// The steady-state evaluator pool hammers one shared cache from many
+    /// threads at once.  Under contention the counters must stay coherent —
+    /// every request increments exactly one of hits/misses — lookups must
+    /// always return the value the genome was first memoized with, and the
+    /// entry count must equal the distinct genomes (racing double-computes
+    /// are allowed, duplicate *entries* are not).
+    #[test]
+    fn concurrent_evaluators_preserve_counters_and_values() {
+        let cache: FitnessCache<u32> = FitnessCache::new();
+        const THREADS: usize = 8;
+        const OPS: usize = 400;
+        const GENOMES: u32 = 37; // deliberately fewer than total ops: heavy reuse
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for op in 0..OPS {
+                        // spread threads over the genome space in different
+                        // orders so reads and writes genuinely interleave
+                        let genome = ((op * (thread + 1)) as u32) % GENOMES;
+                        // one bucket per 4 genomes: collisions exercised too
+                        let hash = (genome / 4) as u64;
+                        let result = cache.get_or_insert_with(hash, &genome, || {
+                            evaluated(genome as f64 / GENOMES as f64)
+                        });
+                        assert_eq!(
+                            result.fitness,
+                            genome as f64 / GENOMES as f64,
+                            "a lookup must never observe another genome's value"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            (THREADS * OPS) as u64,
+            "every request counts as exactly one hit or one miss"
+        );
+        assert_eq!(
+            cache.len(),
+            GENOMES as usize,
+            "racing double-computes must not duplicate entries"
+        );
+        assert!(cache.misses() >= GENOMES as u64);
+        // sequential re-reads are all hits and all correct
+        let hits_before = cache.hits();
+        for genome in 0..GENOMES {
+            let result = cache.get((genome / 4) as u64, &genome).expect("memoized");
+            assert_eq!(result.fitness, genome as f64 / GENOMES as f64);
+        }
+        assert_eq!(cache.hits(), hits_before + GENOMES as u64);
     }
 
     #[test]

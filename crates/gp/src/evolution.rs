@@ -17,11 +17,93 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::population::{Individual, Population};
-use crate::selection::tournament_select;
+use crate::selection::tournament_select_slice;
 use crate::{parallel_ordered_map, GpConfig, Problem};
+
+/// Cumulative per-phase wall time of the evaluation pipeline, in seconds.
+///
+/// Compile / index / score are **busy** seconds summed across every thread
+/// that worked in the phase (they can exceed the run's wall clock on
+/// multi-core); idle is the time evaluator workers spent blocked waiting for
+/// work (always `0.0` in generational mode, whose workers live only for the
+/// span of a fan-out).  The difference between two consecutive iterations'
+/// timers attributes that generation's cost to its phases — turning the old
+/// single opaque speedup number into per-stage evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTimers {
+    /// Seconds spent lowering and compiling rules (plan + instruction list).
+    pub compile_s: f64,
+    /// Seconds spent resolving and building candidate leaf indexes.
+    pub index_s: f64,
+    /// Seconds spent scoring prepared genomes against the reference pool.
+    pub score_s: f64,
+    /// Seconds evaluator workers spent blocked waiting for work (steady-state
+    /// pipeline only).
+    pub idle_s: f64,
+}
+
+impl PhaseTimers {
+    /// Total accounted busy seconds (idle excluded).
+    pub fn busy_s(&self) -> f64 {
+        self.compile_s + self.index_s + self.score_s
+    }
+}
+
+/// Thread-safe accumulator behind [`PhaseTimers`]: phases are recorded as
+/// atomic nanosecond counters so any number of evaluator workers can add
+/// durations without a lock.
+#[derive(Debug, Default)]
+pub struct PhaseAccumulator {
+    compile_ns: AtomicU64,
+    index_ns: AtomicU64,
+    score_ns: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+impl PhaseAccumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds time spent compiling/lowering rules.
+    pub fn add_compile(&self, elapsed: Duration) {
+        self.compile_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time spent building/resolving leaf indexes.
+    pub fn add_index(&self, elapsed: Duration) {
+        self.index_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time spent scoring genomes.
+    pub fn add_score(&self, elapsed: Duration) {
+        self.score_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds time a worker spent blocked waiting for work.
+    pub fn add_idle(&self, elapsed: Duration) {
+        self.idle_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The cumulative timers as seconds.
+    pub fn snapshot(&self) -> PhaseTimers {
+        PhaseTimers {
+            compile_s: self.compile_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            index_s: self.index_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            score_s: self.score_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            idle_s: self.idle_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
 
 /// Per-iteration statistics, reported to observers and collected in the
 /// result history.  The experiment harness turns these into the
@@ -46,6 +128,11 @@ pub struct IterationStats {
     /// consecutive iterations gives the evaluations saved in that
     /// generation.
     pub cache: Option<crate::CacheStats>,
+    /// Cumulative per-phase timers of the problem's evaluation pipeline
+    /// (`None` for problems that do not time their phases).  The difference
+    /// between two consecutive iterations attributes that generation's cost
+    /// to compile / index / score / idle.
+    pub phases: Option<PhaseTimers>,
 }
 
 /// The result of an evolution run.
@@ -170,6 +257,7 @@ impl<'a, P: Problem> Evolution<'a, P> {
             mean_f_measure: population.mean_f_measure(),
             elapsed_seconds: start.elapsed().as_secs_f64(),
             cache: self.problem.cache_stats(),
+            phases: self.problem.phase_timers(),
         }
     }
 
@@ -195,15 +283,13 @@ impl<'a, P: Problem> Evolution<'a, P> {
 
     /// Breeds one offspring from a dedicated RNG stream.
     fn breed_one(&self, population: &Population<P::Genome>, rng: &mut StdRng) -> P::Genome {
-        let first = tournament_select(population, self.config.tournament_size, rng);
-        let second = tournament_select(population, self.config.tournament_size, rng);
-        let p: f64 = rng.gen();
-        if p < self.config.mutation_probability {
-            let random = self.problem.random_genome(rng);
-            self.problem.crossover(&first.genome, &random, rng)
-        } else {
-            self.problem.crossover(&first.genome, &second.genome, rng)
-        }
+        breed_offspring(
+            self.problem,
+            population.individuals(),
+            self.config.tournament_size,
+            self.config.mutation_probability,
+            rng,
+        )
     }
 
     /// Evaluates one generation through [`Problem::evaluate_batch`],
@@ -221,6 +307,35 @@ impl<'a, P: Problem> Evolution<'a, P> {
             .zip(evaluations)
             .map(|(genome, evaluation)| Individual::new(genome, evaluation))
             .collect()
+    }
+}
+
+/// Breeds one offspring from a window of evaluated individuals: select two
+/// parents by tournament, and with the mutation probability cross the first
+/// parent with a random genome instead of the second parent
+/// (headless-chicken mutation, Section 5.2 of the paper).
+///
+/// This is the single breeding kernel shared by the generational engine
+/// (whose window is always the whole population) and the steady-state
+/// pipeline (whose window is the live population with a bounded lag).  The
+/// draw sequence — two tournaments, one coin, then the crossover's own draws
+/// — is part of the determinism contract: both engines produce identical
+/// offspring from identical windows and RNG streams.
+pub fn breed_offspring<P: Problem>(
+    problem: &P,
+    window: &[Individual<P::Genome>],
+    tournament_size: usize,
+    mutation_probability: f64,
+    rng: &mut StdRng,
+) -> P::Genome {
+    let first = tournament_select_slice(window, tournament_size, rng);
+    let second = tournament_select_slice(window, tournament_size, rng);
+    let p: f64 = rng.gen();
+    if p < mutation_probability {
+        let random = problem.random_genome(rng);
+        problem.crossover(&first.genome, &random, rng)
+    } else {
+        problem.crossover(&first.genome, &second.genome, rng)
     }
 }
 

@@ -1,0 +1,539 @@
+//! Island subpopulations with deterministic ring migration.
+//!
+//! A single panmictic population converges on one basin; the island model
+//! (coarse-grained parallel GP) splits the population into independently
+//! evolving subpopulations that exchange their best individuals on a fixed
+//! schedule, trading a little mixing for diversity — and buying another
+//! axis of parallelism: islands evolve concurrently, each with its own
+//! steady-state pipeline.
+//!
+//! # Determinism
+//!
+//! The migration schedule is deterministic by construction, so a fixed seed
+//! produces an identical migrant sequence at any evaluator count:
+//!
+//! * Each island owns its own RNG stream, seeded by one draw from the master
+//!   RNG before any evaluation happens; an island's trajectory is a pure
+//!   function of its seed (the steady-state pipeline is bit-identical at any
+//!   evaluator count — see [`crate::pipeline`]).
+//! * Time is divided into **epochs** of a fixed number of evaluations per
+//!   island.  Epochs are a barrier: every island finishes its epoch before
+//!   any migration happens (the islands themselves run concurrently via the
+//!   ordered parallel map, whose reduction order is fixed).
+//! * After each epoch (except the last), the ring migration copies the top
+//!   `migrants` of island `i` — by fitness descending, ties to the lower
+//!   index — over the worst `migrants` of island `(i + 1) % n`, victims
+//!   chosen from the *pre-migration* snapshot so the order in which edges
+//!   are processed cannot matter.
+//!
+//! Every migrant is logged as a [`MigrationRecord`]; the determinism test
+//! asserts the full log is identical across evaluator counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+use linkdisc_util::parallel_ordered_map_mut;
+
+use crate::evolution::PhaseAccumulator;
+use crate::pipeline::{Pipeline, PipelineConfig, PipelineReport};
+use crate::population::{Individual, Population};
+use crate::{resolve_threads, EvolutionResult, IterationStats, Problem};
+
+/// Parameters of the island model, layered on a [`PipelineConfig`] whose
+/// `population_size` and `evaluations` are **totals** split evenly across
+/// the islands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IslandConfig {
+    /// Number of islands (1 = plain steady-state, no migration).
+    pub islands: usize,
+    /// Evaluations per island per epoch; migration runs between epochs.
+    /// `0` derives the per-island population size (one "generation" worth of
+    /// evaluations between migrations).
+    pub migration_interval: usize,
+    /// Individuals copied along each ring edge per migration (clamped to the
+    /// island size; 0 disables migration).
+    pub migrants: usize,
+}
+
+impl Default for IslandConfig {
+    fn default() -> Self {
+        IslandConfig {
+            islands: 4,
+            migration_interval: 0,
+            migrants: 2,
+        }
+    }
+}
+
+impl IslandConfig {
+    /// Validates the configuration, panicking with a clear message on
+    /// nonsensical parameters.
+    pub fn validate(&self) {
+        assert!(self.islands > 0, "islands must be positive");
+    }
+}
+
+/// One logged migration: at the end of `epoch`, an individual of `fitness`
+/// moved from island `from` to island `to`.  The full log is a pure function
+/// of the seed — the island determinism test compares logs across evaluator
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationRecord {
+    /// Epoch after which the migration happened (1-based).
+    pub epoch: usize,
+    /// Source island.
+    pub from: usize,
+    /// Destination island.
+    pub to: usize,
+    /// Fitness of the migrating individual.
+    pub fitness: f64,
+}
+
+/// The island run's quality result, migration log and throughput report.
+#[derive(Debug, Clone)]
+pub struct IslandOutcome<G> {
+    /// The evolution result over the **merged** final population; history
+    /// entries are epoch snapshots of the merged population.
+    pub result: EvolutionResult<G>,
+    /// Every migration that happened, in schedule order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Aggregate throughput across all islands (`evaluators` is the summed
+    /// worker count; `wall_s` includes the initial populations' evaluation).
+    pub report: PipelineReport,
+}
+
+struct IslandState<G> {
+    population: Population<G>,
+    rng: StdRng,
+    folds: usize,
+    evaluations: usize,
+    stopped: bool,
+}
+
+/// Runs steady-state evolution on `islands.islands` subpopulations with ring
+/// migration every `islands.migration_interval` evaluations per island.
+///
+/// `config.population_size` and `config.evaluations` are totals: each island
+/// gets `population_size / islands` individuals (must divide evenly) and
+/// `evaluations / islands` of the budget.  Islands evolve concurrently; a
+/// fixed seed produces an identical migrant sequence and final population at
+/// any evaluator count.
+pub fn run_islands<P: Problem>(
+    problem: &P,
+    config: PipelineConfig,
+    islands: IslandConfig,
+    rng: &mut StdRng,
+) -> IslandOutcome<P::Genome> {
+    run_islands_with_observer(problem, config, islands, rng, |_, _| {})
+}
+
+/// Like [`run_islands`], but invokes `observer` with the merged-population
+/// statistics after the initial populations have been evaluated (epoch 0) and
+/// after every completed epoch.
+pub fn run_islands_with_observer<P: Problem, F>(
+    problem: &P,
+    config: PipelineConfig,
+    islands: IslandConfig,
+    rng: &mut StdRng,
+    mut observer: F,
+) -> IslandOutcome<P::Genome>
+where
+    F: FnMut(&IterationStats, &Population<P::Genome>),
+{
+    config.validate();
+    islands.validate();
+    let n = islands.islands;
+    assert!(
+        config.population_size.is_multiple_of(n),
+        "population size must split evenly across islands"
+    );
+    let per_island = config.population_size / n;
+    let per_island_budget = config.evaluations / n;
+    assert!(
+        per_island_budget > 0,
+        "evaluation budget must cover every island"
+    );
+    let interval = if islands.migration_interval == 0 {
+        per_island
+    } else {
+        islands.migration_interval
+    };
+    let migrants = islands.migrants.min(per_island);
+
+    let island_config = PipelineConfig {
+        population_size: per_island,
+        evaluations: per_island_budget,
+        ..config
+    };
+    let pipeline = Pipeline::new(problem, island_config);
+    let start = Instant::now();
+    let timers = PhaseAccumulator::new();
+
+    // every island's RNG stream is seeded before any evaluation happens, so
+    // the seeds depend only on the master seed
+    let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    let mut states: Vec<IslandState<P::Genome>> = seeds
+        .into_iter()
+        .map(|seed| {
+            let mut island_rng = StdRng::seed_from_u64(seed);
+            let genomes = problem.initial_population(per_island, &mut island_rng);
+            let evaluations = problem.evaluate_batch(&genomes, config.evaluators);
+            assert_eq!(
+                evaluations.len(),
+                genomes.len(),
+                "evaluate_batch must return one evaluation per genome"
+            );
+            IslandState {
+                population: Population::new(
+                    genomes
+                        .into_iter()
+                        .zip(evaluations)
+                        .map(|(genome, evaluation)| Individual::new(genome, evaluation))
+                        .collect(),
+                ),
+                rng: island_rng,
+                folds: 0,
+                evaluations: 0,
+                stopped: false,
+            }
+        })
+        .collect();
+
+    let mut history: Vec<IterationStats> = Vec::new();
+    {
+        let population = merged(&states);
+        let stats = pipeline.stats(0, &population, &start, &timers);
+        observer(&stats, &population);
+        history.push(stats);
+    }
+    let mut migrations: Vec<MigrationRecord> = Vec::new();
+    let mut stopped = states
+        .iter()
+        .any(|state| pipeline.reached_target(&state.population));
+    let mut epoch = 0usize;
+    let mut remaining = per_island_budget;
+    while !stopped && remaining > 0 {
+        epoch += 1;
+        let step = remaining.min(interval);
+        // epoch barrier: all islands advance concurrently, then migrate
+        parallel_ordered_map_mut(&mut states, n, |_, state| {
+            let outcome = pipeline.advance(
+                &mut state.population,
+                &mut state.rng,
+                step,
+                &timers,
+                state.folds,
+                |population| pipeline.reached_target(population),
+            );
+            state.folds += outcome.folds;
+            state.evaluations += outcome.evaluations;
+            state.stopped = outcome.stopped;
+        });
+        remaining -= step;
+        stopped = states.iter().any(|state| state.stopped);
+        if !stopped && remaining > 0 && n > 1 && migrants > 0 {
+            migrate(&mut states, epoch, migrants, &mut migrations);
+        }
+        let population = merged(&states);
+        let stats = pipeline.stats(epoch, &population, &start, &timers);
+        observer(&stats, &population);
+        history.push(stats);
+    }
+
+    let population = merged(&states);
+    let best = population
+        .best()
+        .cloned()
+        .expect("population is never empty");
+    let own = timers.snapshot();
+    IslandOutcome {
+        result: EvolutionResult {
+            best,
+            population,
+            history,
+            iterations: epoch,
+            stopped_early: stopped,
+        },
+        migrations,
+        report: PipelineReport {
+            evaluations: states.iter().map(|state| state.evaluations).sum(),
+            wall_s: start.elapsed().as_secs_f64(),
+            busy_s: own.busy_s(),
+            idle_s: own.idle_s,
+            evaluators: resolve_threads(config.evaluators).max(1) * n,
+        },
+    }
+}
+
+fn merged<G: Clone>(states: &[IslandState<G>]) -> Population<G> {
+    Population::new(
+        states
+            .iter()
+            .flat_map(|state| state.population.individuals().iter().cloned())
+            .collect(),
+    )
+}
+
+/// Ring migration from pre-migration snapshots: the top `migrants` of island
+/// `i` replace the worst `migrants` of island `(i + 1) % n`.  Emigrant sets
+/// and victim slots are both chosen before any replacement happens, so the
+/// edge processing order cannot influence the result.
+fn migrate<G: Clone>(
+    states: &mut [IslandState<G>],
+    epoch: usize,
+    migrants: usize,
+    log: &mut Vec<MigrationRecord>,
+) {
+    let n = states.len();
+    let emigrants: Vec<Vec<Individual<G>>> = states
+        .iter()
+        .map(|state| {
+            let mut ranked: Vec<usize> = (0..state.population.len()).collect();
+            // fitness descending, ties to the lower index
+            ranked.sort_by(|&a, &b| {
+                let individuals = state.population.individuals();
+                individuals[b]
+                    .fitness()
+                    .total_cmp(&individuals[a].fitness())
+                    .then(a.cmp(&b))
+            });
+            ranked
+                .into_iter()
+                .take(migrants)
+                .map(|index| state.population.individuals()[index].clone())
+                .collect()
+        })
+        .collect();
+    let victims: Vec<Vec<usize>> = states
+        .iter()
+        .map(|state| {
+            let mut ranked: Vec<usize> = (0..state.population.len()).collect();
+            // fitness ascending, ties to the lower index
+            ranked.sort_by(|&a, &b| {
+                let individuals = state.population.individuals();
+                individuals[a]
+                    .fitness()
+                    .total_cmp(&individuals[b].fitness())
+                    .then(a.cmp(&b))
+            });
+            ranked.truncate(migrants);
+            ranked
+        })
+        .collect();
+    for (from, outbound) in emigrants.iter().enumerate() {
+        let to = (from + 1) % n;
+        for (migrant, &victim) in outbound.iter().zip(&victims[to]) {
+            log.push(MigrationRecord {
+                epoch,
+                from,
+                to,
+                fitness: migrant.fitness(),
+            });
+            states[to].population.replace(victim, migrant.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Replacement;
+    use crate::population::Evaluated;
+
+    struct TargetVector {
+        target: Vec<i32>,
+    }
+
+    impl Problem for TargetVector {
+        type Genome = Vec<i32>;
+
+        fn random_genome(&self, rng: &mut StdRng) -> Vec<i32> {
+            (0..self.target.len())
+                .map(|_| rng.gen_range(0..10))
+                .collect()
+        }
+
+        fn crossover(&self, a: &Vec<i32>, b: &Vec<i32>, rng: &mut StdRng) -> Vec<i32> {
+            a.iter()
+                .zip(b.iter())
+                .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+                .collect()
+        }
+
+        fn evaluate(&self, genome: &Vec<i32>) -> Evaluated {
+            let distance: i32 = genome
+                .iter()
+                .zip(self.target.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            let max_distance = (10 * self.target.len()) as f64;
+            let quality = 1.0 - distance as f64 / max_distance;
+            Evaluated {
+                fitness: quality,
+                f_measure: if distance == 0 { 1.0 } else { quality },
+            }
+        }
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn config(population: usize, evaluations: usize, evaluators: usize) -> PipelineConfig {
+        PipelineConfig {
+            population_size: population,
+            evaluations,
+            tournament_size: 5,
+            mutation_probability: 0.25,
+            stop_f_measure: 2.0,
+            replacement: Replacement::WorstOfTournament(5),
+            lookahead: 0,
+            window: 0,
+            evaluators,
+        }
+    }
+
+    #[test]
+    fn islands_improve_fitness_and_log_migrations() {
+        let problem = TargetVector {
+            target: vec![3, 7, 1, 9],
+        };
+        let islands = IslandConfig {
+            islands: 4,
+            migration_interval: 0,
+            migrants: 2,
+        };
+        let outcome = run_islands(&problem, config(48, 48 * 20, 1), islands, &mut rng(11));
+        let initial = outcome.result.history.first().unwrap().best_fitness;
+        let final_ = outcome.result.history.last().unwrap().best_fitness;
+        assert!(final_ >= initial);
+        assert!(final_ > 0.9, "final fitness was {final_}");
+        assert_eq!(outcome.result.population.len(), 48);
+        assert!(
+            !outcome.migrations.is_empty(),
+            "migrations must happen between epochs"
+        );
+        // the ring is honoured: every migration goes one hop clockwise
+        for record in &outcome.migrations {
+            assert_eq!(record.to, (record.from + 1) % 4);
+        }
+        assert_eq!(outcome.report.evaluations, 48 * 20);
+    }
+
+    #[test]
+    fn migrant_sequence_is_identical_across_evaluator_counts() {
+        let problem = TargetVector { target: vec![2; 6] };
+        let islands = IslandConfig {
+            islands: 3,
+            migration_interval: 30,
+            migrants: 2,
+        };
+        let reference = run_islands(&problem, config(30, 900, 1), islands, &mut rng(9));
+        assert!(!reference.migrations.is_empty());
+        for evaluators in [2, 4] {
+            let outcome = run_islands(&problem, config(30, 900, evaluators), islands, &mut rng(9));
+            assert_eq!(
+                reference.migrations, outcome.migrations,
+                "evaluators={evaluators}"
+            );
+            assert_eq!(reference.result.best.genome, outcome.result.best.genome);
+            let genomes = |r: &EvolutionResult<Vec<i32>>| -> Vec<Vec<i32>> {
+                r.population
+                    .individuals()
+                    .iter()
+                    .map(|i| i.genome.clone())
+                    .collect()
+            };
+            assert_eq!(
+                genomes(&reference.result),
+                genomes(&outcome.result),
+                "evaluators={evaluators}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_single_island_never_migrates() {
+        let problem = TargetVector { target: vec![5; 3] };
+        let islands = IslandConfig {
+            islands: 1,
+            migration_interval: 0,
+            migrants: 2,
+        };
+        let outcome = run_islands(&problem, config(20, 400, 1), islands, &mut rng(4));
+        assert!(outcome.migrations.is_empty());
+        assert_eq!(outcome.result.population.len(), 20);
+    }
+
+    #[test]
+    fn migration_copies_the_best_over_the_worst() {
+        fn island(fitnesses: &[f64]) -> IslandState<usize> {
+            IslandState {
+                population: Population::new(
+                    fitnesses
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &f)| {
+                            Individual::new(
+                                i,
+                                Evaluated {
+                                    fitness: f,
+                                    f_measure: f,
+                                },
+                            )
+                        })
+                        .collect(),
+                ),
+                rng: rng(0),
+                folds: 0,
+                evaluations: 0,
+                stopped: false,
+            }
+        }
+        let mut states = vec![island(&[0.9, 0.1, 0.5]), island(&[0.2, 0.8, 0.3])];
+        let mut log = Vec::new();
+        migrate(&mut states, 1, 1, &mut log);
+        // island 0's best (fitness 0.9, genome 0) displaced island 1's worst
+        // (fitness 0.2 at index 0); island 1's best (0.8, genome 1) displaced
+        // island 0's worst (0.1 at index 1)
+        assert_eq!(
+            log,
+            vec![
+                MigrationRecord {
+                    epoch: 1,
+                    from: 0,
+                    to: 1,
+                    fitness: 0.9
+                },
+                MigrationRecord {
+                    epoch: 1,
+                    from: 1,
+                    to: 0,
+                    fitness: 0.8
+                },
+            ]
+        );
+        let fitnesses = |state: &IslandState<usize>| -> Vec<f64> {
+            state
+                .population
+                .individuals()
+                .iter()
+                .map(Individual::fitness)
+                .collect()
+        };
+        assert_eq!(fitnesses(&states[0]), vec![0.9, 0.8, 0.5]);
+        assert_eq!(fitnesses(&states[1]), vec![0.9, 0.8, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split evenly")]
+    fn uneven_split_is_rejected() {
+        let problem = TargetVector { target: vec![1] };
+        let islands = IslandConfig {
+            islands: 3,
+            ..IslandConfig::default()
+        };
+        let _ = run_islands(&problem, config(20, 400, 1), islands, &mut rng(0));
+    }
+}

@@ -19,13 +19,19 @@
 
 pub mod cache;
 pub mod evolution;
+pub mod island;
+pub mod pipeline;
 pub mod population;
 pub mod selection;
 
 pub use cache::{CacheStats, FitnessCache};
-pub use evolution::{Evolution, EvolutionResult, IterationStats};
+pub use evolution::{Evolution, EvolutionResult, IterationStats, PhaseAccumulator, PhaseTimers};
+pub use island::{
+    run_islands, run_islands_with_observer, IslandConfig, IslandOutcome, MigrationRecord,
+};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, Replacement};
 pub use population::{Evaluated, Individual, Population};
-pub use selection::tournament_select;
+pub use selection::{reverse_tournament_select, tournament_select, tournament_select_slice};
 
 use rand::rngs::StdRng;
 
@@ -86,6 +92,20 @@ pub trait Problem: Sync {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// Cumulative per-phase timers of the problem's evaluation pipeline, if
+    /// it times its phases.  The engine snapshots this after every iteration
+    /// (or steady-state window) into [`IterationStats::phases`].
+    fn phase_timers(&self) -> Option<PhaseTimers> {
+        None
+    }
+
+    /// Steady-state window boundary hook: the pipeline calls this after every
+    /// window of folds (a deterministic count, the steady-state analogue of a
+    /// generation boundary).  Problems that scope resources to generations —
+    /// GenLink retires unused shared leaf indexes here — get their boundary
+    /// back without a breeding barrier.  The default does nothing.
+    fn on_window(&self) {}
 }
 
 /// The parameters of the genetic search (Table 4 of the paper).

@@ -47,6 +47,19 @@ impl<G> Population<G> {
         &self.individuals
     }
 
+    /// All individuals, mutably.  The steady-state collector folds scored
+    /// offspring into the live population in place rather than rebuilding it
+    /// per generation.
+    pub fn individuals_mut(&mut self) -> &mut [Individual<G>] {
+        &mut self.individuals
+    }
+
+    /// Replaces the individual at `index`, returning the displaced one.
+    /// Panics if `index` is out of bounds.
+    pub fn replace(&mut self, index: usize, individual: Individual<G>) -> Individual<G> {
+        std::mem::replace(&mut self.individuals[index], individual)
+    }
+
     /// Number of individuals.
     pub fn len(&self) -> usize {
         self.individuals.len()

@@ -17,11 +17,30 @@ pub fn tournament_select<'a, G, R: Rng>(
     tournament_size: usize,
     rng: &mut R,
 ) -> &'a Individual<G> {
+    tournament_select_slice(population.individuals(), tournament_size, rng)
+}
+
+/// Tournament selection over a bare slice of individuals — the **windowed**
+/// form the steady-state pipeline breeds from.
+///
+/// A generational tournament always sees a whole, barrier-synchronised
+/// population.  The steady-state breeder instead tournaments over whatever
+/// window of evaluated individuals it currently holds: the live population
+/// with a bounded lag (offspring still in flight through the evaluators have
+/// not been folded in yet).  Selection itself is indifferent — it draws
+/// uniformly from the slice it is given — so both modes share this one
+/// implementation.
+///
+/// Panics if the slice is empty.
+pub fn tournament_select_slice<'a, G, R: Rng>(
+    individuals: &'a [Individual<G>],
+    tournament_size: usize,
+    rng: &mut R,
+) -> &'a Individual<G> {
     assert!(
-        !population.is_empty(),
+        !individuals.is_empty(),
         "cannot select from an empty population"
     );
-    let individuals = population.individuals();
     let mut best = &individuals[rng.gen_range(0..individuals.len())];
     for _ in 1..tournament_size.max(1) {
         let candidate = &individuals[rng.gen_range(0..individuals.len())];
@@ -30,6 +49,32 @@ pub fn tournament_select<'a, G, R: Rng>(
         }
     }
     best
+}
+
+/// Selects the **victim** of a replacement tournament: `tournament_size`
+/// individuals are drawn uniformly with replacement and the *least* fit of
+/// them loses, returning its index into the slice.  This is the replacement
+/// counterpart of [`tournament_select_slice`] — the steady-state collector
+/// uses it to decide which member an incoming offspring displaces.
+///
+/// Panics if the slice is empty.
+pub fn reverse_tournament_select<G, R: Rng>(
+    individuals: &[Individual<G>],
+    tournament_size: usize,
+    rng: &mut R,
+) -> usize {
+    assert!(
+        !individuals.is_empty(),
+        "cannot select from an empty population"
+    );
+    let mut worst = rng.gen_range(0..individuals.len());
+    for _ in 1..tournament_size.max(1) {
+        let candidate = rng.gen_range(0..individuals.len());
+        if individuals[candidate].fitness() < individuals[worst].fitness() {
+            worst = candidate;
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -105,5 +150,39 @@ mod tests {
         let population: Population<usize> = Population::new(vec![]);
         let mut rng = StdRng::seed_from_u64(0);
         tournament_select(&population, 5, &mut rng);
+    }
+
+    #[test]
+    fn windowed_selection_only_sees_the_window() {
+        let population = population(&[0.1, 0.2, 0.3, 0.9, 0.4, 0.5]);
+        let mut rng = StdRng::seed_from_u64(5);
+        // a window excluding the fittest individual can never select it
+        let window = &population.individuals()[..3];
+        for _ in 0..200 {
+            let selected = tournament_select_slice(window, 4, &mut rng);
+            assert!(selected.genome < 3, "selected outside the window");
+        }
+    }
+
+    #[test]
+    fn reverse_tournament_prefers_the_weakest() {
+        let population = population(&[0.1, 0.2, 0.3, 0.9, 0.4, 0.5]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut losses = [0usize; 6];
+        for _ in 0..2000 {
+            losses[reverse_tournament_select(population.individuals(), 5, &mut rng)] += 1;
+        }
+        // the weakest individual (index 0) must lose by far the most
+        for (i, &l) in losses.iter().enumerate() {
+            if i != 0 {
+                assert!(
+                    losses[0] > l,
+                    "index 0 lost {}, index {i} lost {l}",
+                    losses[0]
+                );
+            }
+        }
+        // and the fittest should essentially never be the victim
+        assert!(losses[3] < 20);
     }
 }

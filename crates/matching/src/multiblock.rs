@@ -834,6 +834,12 @@ pub struct SharedLeafIndexes {
     generation: AtomicU64,
     /// Maximum entries surviving a [`SharedLeafIndexes::retire`].
     retain_capacity: usize,
+    /// Counted requests between self-triggered retirements (0 = off); see
+    /// [`SharedLeafIndexes::auto_retire_after`].
+    auto_retire_every: AtomicU64,
+    /// Counted requests since construction, driving the auto-retire
+    /// schedule.
+    request_count: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     cross_generation_hits: AtomicU64,
@@ -865,9 +871,45 @@ impl SharedLeafIndexes {
             pool_stamp: Mutex::new(None),
             generation: AtomicU64::new(0),
             retain_capacity: capacity,
+            auto_retire_every: AtomicU64::new(0),
+            request_count: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             cross_generation_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables **request-count-based retirement**: after every `requests`
+    /// counted leaf requests, the cache [`SharedLeafIndexes::retire`]s
+    /// itself (`0` disables, the default).
+    ///
+    /// Generational evolution has a natural place to call `retire()` — the
+    /// generation barrier.  Steady-state evolution has no barrier, so
+    /// without this the "used since the last boundary" liveness signal
+    /// never fires and dead chains accumulate until the capacity eviction.
+    /// A request window restores the bound: the window is the moral
+    /// equivalent of a generation's worth of lookups.  Retiring is safe at
+    /// any moment — in-flight indexes hold `Arc` clones of their leaves, so
+    /// a retired leaf stays alive until its last user drops it; a dropped
+    /// entry is rebuilt on next use.  With concurrent evaluators the
+    /// *timing* of the self-retire depends on request interleaving, which
+    /// can only affect which leaves are rebuilt (hit/miss counters), never
+    /// any candidate result.
+    pub fn auto_retire_after(&self, requests: u64) {
+        self.auto_retire_every.store(requests, Ordering::Relaxed);
+        self.request_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Advances the auto-retire schedule by `count` counted requests,
+    /// retiring when the window boundary is crossed.
+    fn note_requests(&self, count: u64) {
+        let every = self.auto_retire_every.load(Ordering::Relaxed);
+        if every == 0 || count == 0 {
+            return;
+        }
+        let before = self.request_count.fetch_add(count, Ordering::Relaxed);
+        if before / every != (before + count) / every {
+            self.retire();
         }
     }
 
@@ -999,6 +1041,7 @@ impl SharedLeafIndexes {
         self.misses.fetch_add(misses, Ordering::Relaxed);
         self.cross_generation_hits
             .fetch_add(cross, Ordering::Relaxed);
+        self.note_requests(hits + misses);
         if pending.is_empty() {
             return;
         }
@@ -1030,6 +1073,7 @@ impl SharedLeafIndexes {
         cache: &ValueCache<'e>,
     ) -> Arc<LeafIndex> {
         let key = comparison.leaf_reuse_key();
+        self.note_requests(1);
         let generation = self.generation.load(Ordering::Relaxed);
         if let Some(entry) = self
             .leaves
@@ -1924,6 +1968,65 @@ mod tests {
         let stats = unretained.stats();
         assert_eq!(stats.misses, 2, "every generation rebuilds at capacity 0");
         assert_eq!(stats.cross_generation_hits, 0);
+    }
+
+    /// Steady-state evolution has no generation barrier to call `retire()`
+    /// from; a request window must bound the cache instead.  Every two
+    /// counted requests here cross an auto-retire boundary: leaves whose
+    /// chains keep recurring survive the self-retires, a chain that stops
+    /// being requested is dropped at the next boundary after its last use,
+    /// and retained leaves are still served without a rebuild.
+    #[test]
+    fn auto_retire_bounds_steady_state_growth() {
+        let (source, target) = (source(), target());
+        let cache = ValueCache::new();
+        let shared = SharedLeafIndexes::new();
+        shared.auto_retire_after(2);
+        let targets: Vec<&linkdisc_entity::Entity> = target.entities().iter().collect();
+        let name_rule: LinkageRule = compare(
+            property("name"),
+            property("name"),
+            DistanceFunction::Levenshtein,
+            2.0,
+        )
+        .into();
+        let year_rule: LinkageRule = compare(
+            property("year"),
+            property("year"),
+            DistanceFunction::Numeric,
+            2.0,
+        )
+        .into();
+        let name_plan = Arc::new(plan(&name_rule, &source, &target));
+        let year_plan = Arc::new(plan(&year_rule, &source, &target));
+        // a steady stream of single-leaf builds: name, year, name, year
+        let first = MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        MultiBlockIndex::build_shared(year_plan.clone(), &targets, &cache, &shared);
+        MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        MultiBlockIndex::build_shared(year_plan, &targets, &cache, &shared);
+        // both chains recur across every self-retire, so neither is rebuilt
+        assert_eq!(shared.stats().entries, 2);
+        assert_eq!(
+            shared.stats().misses,
+            2,
+            "recurring chains are never rebuilt"
+        );
+        // the year chain stops being requested: only name requests from now
+        // on.  The year leaf was touched in the current window, so it
+        // survives one boundary and is dropped at the one after (two full
+        // name-only windows = four requests).
+        let last = MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        for _ in 0..3 {
+            MultiBlockIndex::build_shared(name_plan.clone(), &targets, &cache, &shared);
+        }
+        assert_eq!(
+            shared.stats().entries,
+            1,
+            "the dead year chain is dropped without any retire() call"
+        );
+        assert_eq!(shared.stats().misses, 2, "the live name chain survived");
+        // retained leaves are literally the same allocation throughout
+        assert!(Arc::ptr_eq(&first.leaves[0], &last.leaves[0]));
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! A bounded multi-producer/multi-consumer channel.
+//!
+//! `std::sync::mpsc` receivers cannot be cloned, so a pool of worker threads
+//! cannot pull jobs from one without wrapping the receiver in a mutex of its
+//! own.  This module provides the small primitive the steady-state evolution
+//! pipeline (and any future worker pool) actually needs: a **bounded** queue
+//! with any number of senders and receivers, blocking sends (backpressure)
+//! and blocking receives, and clean close semantics — `recv` returns `None`
+//! once every sender is gone and the queue has drained, `send` fails once
+//! every receiver is gone.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condition variables
+//! (not-empty / not-full).  That is deliberately boring: the pipeline moves
+//! whole genomes per message, so the per-message cost of a mutex is noise
+//! against the evaluation work each message triggers.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Creates a bounded channel with room for `capacity` queued items.
+/// `capacity` must be positive: a zero-capacity rendezvous channel is not
+/// supported (the pipeline always wants queueing between stages).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// The error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The sending half; clone for more producers.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half; clone for more consumers (each item is delivered to
+/// exactly one of them).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues one item, blocking while the channel is full.  Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            if state.queue.len() < self.inner.capacity {
+                state.queue.push_back(item);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues one item, blocking while the channel is empty.  Returns
+    /// `None` once every sender has been dropped and the queue has drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // wake blocked receivers so they observe the close
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // wake blocked senders so they observe the close
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_flow_in_fifo_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_receive_frees_a_slot() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first item is received
+            3u32
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_are_gone() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn every_item_is_delivered_to_exactly_one_consumer() {
+        let (tx, rx) = bounded::<u64>(8);
+        let n: u64 = 1000;
+        let workers = 4;
+        let mut sums = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Some(item) = rx.recv() {
+                            sum += item;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            for handle in handles {
+                sums.push(handle.join().unwrap());
+            }
+        });
+        assert_eq!(sums.iter().sum::<u64>(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn receivers_drain_the_queue_after_close() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "closed stays closed");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u32>(0);
+    }
+}

@@ -2,6 +2,7 @@
 //! the matching engine does not have to depend on the GP crate to reuse a
 //! thread-count resolver.
 
+pub mod channel;
 pub mod epoch;
 pub mod fail;
 

@@ -8,7 +8,7 @@
 //! through the GenLink learner on a real dataset, across sequential (1),
 //! parallel (2, 4) and oversubscribed (host cores + 3) configurations.
 
-use genlink::{GenLink, GenLinkConfig, LearnOutcome};
+use genlink::{GenLink, GenLinkConfig, LearnOutcome, LearningMode, SteadyStateConfig};
 use linkdisc_datasets::DatasetKind;
 
 fn parity_config(threads: usize) -> GenLinkConfig {
@@ -86,6 +86,87 @@ fn learning_is_bit_identical_across_thread_counts() {
                 );
                 assert_eq!(expected.2, print.2);
                 assert_eq!(expected.3, print.3);
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_learning_is_bit_identical_across_evaluator_counts() {
+    // same contract as the generational loop, but for the asynchronous
+    // pipeline: the coordinator's strict breed/fold schedule makes the
+    // trajectory a pure function of the seed at any evaluator count
+    let dataset = DatasetKind::Restaurant.generate(0.25, 7);
+    let oversubscribed = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        + 3;
+    let mut reference = None;
+    for threads in [1, 2, 4, oversubscribed] {
+        let config = parity_config(threads).steady_state();
+        let outcome =
+            GenLink::new(config).learn(&dataset.source, &dataset.target, &dataset.links, 42);
+        assert_eq!(
+            outcome.history.len(),
+            9,
+            "window 0 plus 8 full windows at {threads} evaluators"
+        );
+        assert!(
+            outcome.pipeline.is_some(),
+            "steady-state runs report throughput"
+        );
+        let print = fingerprint(&outcome);
+        match &reference {
+            None => reference = Some(print),
+            Some(expected) => {
+                assert_eq!(
+                    expected.0, print.0,
+                    "learned rule diverged at {threads} evaluators"
+                );
+                assert_eq!(
+                    expected.1, print.1,
+                    "window history diverged at {threads} evaluators"
+                );
+                assert_eq!(expected.2, print.2);
+                assert_eq!(expected.3, print.3);
+            }
+        }
+    }
+}
+
+#[test]
+fn island_migrant_sequence_is_identical_across_evaluator_counts() {
+    let dataset = DatasetKind::Restaurant.generate(0.2, 11);
+    let mut reference = None;
+    for threads in [1, 3] {
+        let mut config = parity_config(threads);
+        config.mode = LearningMode::SteadyState(SteadyStateConfig {
+            islands: 4,
+            migrants: 1,
+            ..SteadyStateConfig::default()
+        });
+        let outcome =
+            GenLink::new(config).learn(&dataset.source, &dataset.target, &dataset.links, 13);
+        assert!(
+            !outcome.migrations.is_empty(),
+            "a full island run must migrate"
+        );
+        // the ring topology is honoured on every logged migration
+        for record in &outcome.migrations {
+            assert_eq!(record.to, (record.from + 1) % 4);
+        }
+        let print = (fingerprint(&outcome), outcome.migrations.clone());
+        match &reference {
+            None => reference = Some(print),
+            Some(expected) => {
+                assert_eq!(
+                    expected.1, print.1,
+                    "migrant sequence diverged at {threads} evaluators"
+                );
+                assert_eq!(
+                    expected.0, print.0,
+                    "outcome diverged at {threads} evaluators"
+                );
             }
         }
     }

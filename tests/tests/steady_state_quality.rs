@@ -1,0 +1,113 @@
+//! Quality-at-budget: the asynchronous steady-state pipeline must match the
+//! generational loop's learning quality when both spend the same evaluation
+//! budget (`population_size * max_iterations`).
+//!
+//! The two schedules walk different trajectories through the search space —
+//! the pipeline folds offspring back one at a time under a replacement rule
+//! instead of swapping whole generations — so the learned rules differ, but
+//! the *quality* must not: on the record-linkage benchmarks the training F1
+//! of the steady-state run lands within a small tolerance of (or above) the
+//! generational run's.  Replacement is implicitly elitist (an offspring only
+//! displaces a victim it does not undercut), so the best fitness can never
+//! regress within a run either.
+
+use genlink::{GenLink, GenLinkConfig};
+use linkdisc_datasets::{Dataset, DatasetKind};
+
+/// |F1(generational) - F1(steady-state)| allowed at equal budget.
+const TOLERANCE: f64 = 0.05;
+
+fn budget_config(steady: bool) -> GenLinkConfig {
+    let mut config = GenLinkConfig::fast();
+    config.gp.population_size = 60;
+    config.gp.max_iterations = 10;
+    // fixed budget: never stop early, so both schedules spend exactly
+    // population_size * max_iterations evaluations
+    config.gp.stop_f_measure = 2.0;
+    config.gp.threads = 1;
+    if steady {
+        config = config.steady_state();
+    }
+    config
+}
+
+fn compare_on(dataset: &Dataset, seed: u64) {
+    let generational = GenLink::new(budget_config(false)).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        seed,
+    );
+    let steady = GenLink::new(budget_config(true)).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        seed,
+    );
+
+    let generational_f1 = generational.training.f_measure();
+    let steady_f1 = steady.training.f_measure();
+    assert!(
+        steady_f1 >= generational_f1 - TOLERANCE,
+        "steady-state F1 {steady_f1:.3} fell more than {TOLERANCE} below the \
+         generational {generational_f1:.3} at the same budget"
+    );
+
+    // both spent the same budget: the pipeline reports its evaluation count,
+    // the generational loop its iteration count
+    let report = steady.pipeline.expect("steady state reports throughput");
+    let budget = budget_config(false).gp.population_size * budget_config(false).gp.max_iterations;
+    assert_eq!(report.evaluations, budget);
+    assert_eq!(generational.iterations, 10);
+
+    // within the steady-state run, the best fitness never regresses across
+    // windows (replacement is implicitly elitist)
+    let mut previous = f64::NEG_INFINITY;
+    for stats in &steady.history {
+        assert!(
+            stats.best_fitness >= previous,
+            "best fitness regressed from {previous} to {} in window {}",
+            stats.best_fitness,
+            stats.iteration
+        );
+        previous = stats.best_fitness;
+    }
+}
+
+#[test]
+fn steady_state_matches_generational_quality_on_restaurant() {
+    let dataset = DatasetKind::Restaurant.generate(0.25, 7);
+    compare_on(&dataset, 42);
+}
+
+#[test]
+fn steady_state_matches_generational_quality_on_cora() {
+    let dataset = DatasetKind::Cora.generate(0.15, 7);
+    compare_on(&dataset, 42);
+}
+
+#[test]
+fn island_mode_matches_generational_quality_on_restaurant() {
+    let dataset = DatasetKind::Restaurant.generate(0.25, 7);
+    let generational = GenLink::new(budget_config(false)).learn(
+        &dataset.source,
+        &dataset.target,
+        &dataset.links,
+        21,
+    );
+    let mut config = budget_config(true);
+    config.mode = genlink::LearningMode::SteadyState(genlink::SteadyStateConfig {
+        islands: 4,
+        migrants: 2,
+        ..genlink::SteadyStateConfig::default()
+    });
+    let islands = GenLink::new(config).learn(&dataset.source, &dataset.target, &dataset.links, 21);
+    let generational_f1 = generational.training.f_measure();
+    let island_f1 = islands.training.f_measure();
+    assert!(
+        island_f1 >= generational_f1 - TOLERANCE,
+        "island F1 {island_f1:.3} fell more than {TOLERANCE} below the \
+         generational {generational_f1:.3} at the same budget"
+    );
+    assert!(!islands.migrations.is_empty());
+}
