@@ -15,22 +15,79 @@
 //!    population is rescored several times, as elitism and duplicate
 //!    offspring do during learning).
 //!
+//! The **kernels** workload benchmarks the similarity kernels and the
+//! score-bounded evaluator directly:
+//!
+//! * bit-parallel Levenshtein vs the banded-DP reference on Cora titles
+//!   (gate: ≥ 3×, parity always),
+//! * sorted-token-id Jaccard/Dice vs the `HashSet` reference on Cora title
+//!   token sets (gate: ≥ 2×, parity always),
+//! * short-circuit rate of the bounded evaluator under a rule *learned* on
+//!   the Restaurant dataset, over the full cross product (gate: > 20% of
+//!   comparisons skipped, classification parity always),
+//! * steady-state allocation count of the bounded evaluation sweep, measured
+//!   by a counting global allocator (gate: exactly 0 after warm-up).
+//!
 //! Environment: `GENLINK_BENCH_RULES` (population size, default 120),
 //! `GENLINK_BENCH_ROUNDS` (rescoring rounds for the fitness-cache pipeline,
 //! default 3), `GENLINK_BENCH_OUT` (output path, default `BENCH_eval.json`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::time::Instant;
 
 use genlink::random::RandomRuleGenerator;
 use genlink::seeding::SeedingConfig;
-use genlink::{find_compatible_properties, RepresentationMode};
+use genlink::{find_compatible_properties, GenLink, GenLinkConfig, RepresentationMode};
 use linkdisc_datasets::DatasetKind;
-use linkdisc_entity::ResolvedReferenceLinks;
+use linkdisc_entity::{EntityPair, ResolvedReferenceLinks};
 use linkdisc_evaluation::{evaluate_compiled, evaluate_rule, ConfusionMatrix};
 use linkdisc_gp::FitnessCache;
-use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache};
+use linkdisc_rule::{CompiledRule, EvalStats, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_similarity::{
+    dice_ids, jaccard_distance, jaccard_ids, levenshtein_bounded, levenshtein_bounded_reference,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Passthrough allocator counting per-thread allocations, so the
+/// zero-allocation claim of the bounded evaluation hot path is *measured*,
+/// not asserted (same technique as `bench_serving`).
+struct CountingAllocator;
+
+thread_local! {
+    /// `Cell<u64>` has no destructor, so the thread-local stays usable from
+    /// allocator callbacks for the whole thread lifetime.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|tally| tally.set(tally.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCATIONS.with(|tally| tally.set(tally.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const LEVENSHTEIN_SPEEDUP_GATE: f64 = 3.0;
+const TOKEN_SPEEDUP_GATE: f64 = 2.0;
+const SKIP_RATE_GATE: f64 = 0.20;
+const KERNEL_ROUNDS: usize = 5;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -123,6 +180,244 @@ fn main() {
     }
     let fully_cached_ns = start.elapsed().as_nanos() as f64 / rounds as f64;
 
+    // ---- kernels workload ----------------------------------------------
+    println!("\n=== similarity kernels & short-circuit evaluation ===");
+
+    // Cora titles: realistic medium-length strings for the edit-distance
+    // kernel and realistic token sets for the merge kernel
+    let titles: Vec<&str> = dataset
+        .source
+        .entities()
+        .iter()
+        .chain(dataset.target.entities().iter())
+        .filter_map(|entity| entity.first_value("title"))
+        .collect();
+    assert!(titles.len() > 100, "Cora workload lost its titles");
+    let mut kernel_rng = StdRng::seed_from_u64(99);
+    let title_pairs: Vec<(&str, &str)> = (0..2000)
+        .map(|_| {
+            (
+                titles[kernel_rng.gen_range(0..titles.len())],
+                titles[kernel_rng.gen_range(0..titles.len())],
+            )
+        })
+        .collect();
+    const LEV_BOUND: usize = 10;
+
+    // parity before timing: the kernel must agree with the banded-DP
+    // reference on every sampled pair
+    for &(a, b) in &title_pairs {
+        assert_eq!(
+            levenshtein_bounded(a, b, LEV_BOUND),
+            levenshtein_bounded_reference(a, b, LEV_BOUND),
+            "Levenshtein kernel diverged on ({a:?}, {b:?})"
+        );
+    }
+
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    for _ in 0..KERNEL_ROUNDS {
+        for &(a, b) in &title_pairs {
+            checksum += levenshtein_bounded_reference(
+                std::hint::black_box(a),
+                std::hint::black_box(b),
+                LEV_BOUND,
+            )
+            .unwrap_or(LEV_BOUND + 1);
+        }
+    }
+    let lev_reference_ns = start.elapsed().as_nanos() as f64 / KERNEL_ROUNDS as f64;
+
+    let start = Instant::now();
+    let mut kernel_checksum = 0usize;
+    for _ in 0..KERNEL_ROUNDS {
+        for &(a, b) in &title_pairs {
+            kernel_checksum +=
+                levenshtein_bounded(std::hint::black_box(a), std::hint::black_box(b), LEV_BOUND)
+                    .unwrap_or(LEV_BOUND + 1);
+        }
+    }
+    let lev_kernel_ns = start.elapsed().as_nanos() as f64 / KERNEL_ROUNDS as f64;
+    assert_eq!(checksum, kernel_checksum, "checksums diverged");
+    let lev_speedup = lev_reference_ns / lev_kernel_ns;
+    println!(
+        "levenshtein (bound {LEV_BOUND}): banded DP {:>8.0} ns/pair, bit-parallel {:>6.0} ns/pair, speedup {lev_speedup:.2}x",
+        lev_reference_ns / title_pairs.len() as f64,
+        lev_kernel_ns / title_pairs.len() as f64,
+    );
+
+    // token sets: whitespace tokens of the same titles, interned to sorted
+    // u32 ids exactly like the ValueCache does for the compiled plan
+    let token_sets: Vec<Vec<String>> = titles
+        .iter()
+        .map(|title| title.split_whitespace().map(str::to_string).collect())
+        .collect();
+    let mut intern: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let id_sets: Vec<Vec<u32>> = token_sets
+        .iter()
+        .map(|tokens| {
+            let mut ids: Vec<u32> = tokens
+                .iter()
+                .map(|token| {
+                    let next = intern.len() as u32;
+                    *intern.entry(token.as_str()).or_insert(next)
+                })
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .collect();
+    let set_pairs: Vec<(usize, usize)> = (0..2000)
+        .map(|_| {
+            (
+                kernel_rng.gen_range(0..token_sets.len()),
+                kernel_rng.gen_range(0..token_sets.len()),
+            )
+        })
+        .collect();
+
+    for &(i, j) in &set_pairs {
+        assert_eq!(
+            jaccard_distance(&token_sets[i], &token_sets[j]).to_bits(),
+            jaccard_ids(&id_sets[i], &id_sets[j]).to_bits(),
+            "Jaccard kernel diverged on pair ({i}, {j})"
+        );
+    }
+
+    let start = Instant::now();
+    let mut token_checksum = 0.0f64;
+    for _ in 0..KERNEL_ROUNDS {
+        for &(i, j) in &set_pairs {
+            token_checksum += jaccard_distance(
+                std::hint::black_box(&token_sets[i]),
+                std::hint::black_box(&token_sets[j]),
+            );
+        }
+    }
+    let token_reference_ns = start.elapsed().as_nanos() as f64 / KERNEL_ROUNDS as f64;
+
+    let start = Instant::now();
+    let mut token_kernel_checksum = 0.0f64;
+    for _ in 0..KERNEL_ROUNDS {
+        for &(i, j) in &set_pairs {
+            token_kernel_checksum += jaccard_ids(
+                std::hint::black_box(&id_sets[i]),
+                std::hint::black_box(&id_sets[j]),
+            );
+            // dice rides along for parity (its merge is the same kernel)
+            debug_assert!((0.0..=1.0).contains(&dice_ids(&id_sets[i], &id_sets[j])));
+        }
+    }
+    let token_kernel_ns = start.elapsed().as_nanos() as f64 / KERNEL_ROUNDS as f64;
+    assert_eq!(
+        token_checksum.to_bits(),
+        token_kernel_checksum.to_bits(),
+        "token checksums diverged"
+    );
+    let token_speedup = token_reference_ns / token_kernel_ns;
+    println!(
+        "jaccard: HashSet reference {:>6.0} ns/pair, sorted-id merge {:>6.0} ns/pair, speedup {token_speedup:.2}x",
+        token_reference_ns / set_pairs.len() as f64,
+        token_kernel_ns / set_pairs.len() as f64,
+    );
+
+    // short-circuit rate over *learned* Restaurant rules: run a GP learning
+    // session and read the fitness path's cumulative short-circuit counters
+    // — every rule the learner scored (initial random population, crossover
+    // offspring, converged elites) counts.  Indexing is disabled so the
+    // numbers measure the bounded evaluator alone, with every reference
+    // pair evaluated rather than pre-pruned by the candidate index, and the
+    // initial population may draw up to 4 comparisons so the rule mix
+    // reflects the multi-comparison rules of the paper's Figure 7.  The
+    // whole run is seeded, so the gate value is deterministic.
+    let restaurant = DatasetKind::Restaurant.generate(0.2, 3);
+    let mut learn_config = GenLinkConfig::paper();
+    learn_config.gp.population_size = 200;
+    learn_config.gp.max_iterations = 6;
+    learn_config.gp.threads = 1;
+    learn_config.indexed_fitness = false;
+    learn_config.max_initial_comparisons = 4;
+    let learner = GenLink::new(learn_config);
+    let outcome = learner.learn(
+        &restaurant.source,
+        &restaurant.target,
+        &restaurant.links,
+        42,
+    );
+    let learn_eval = outcome
+        .history
+        .last()
+        .and_then(|stats| stats.eval)
+        .expect("the GenLink problem reports eval counters");
+    let skip_rate = learn_eval.skip_rate();
+    println!(
+        "learning-run short-circuit: {} pairs, {} comparisons evaluated, {} skipped ({:.0}% skip rate), kernel fast path {} / fallback {}",
+        learn_eval.pairs,
+        learn_eval.comparisons_evaluated,
+        learn_eval.comparisons_skipped,
+        skip_rate * 100.0,
+        learn_eval.kernel_fast_path,
+        learn_eval.kernel_fallback,
+    );
+
+    // classification parity of the learned rule over the full cross product
+    let learned = CompiledRule::compile(
+        &outcome.rule,
+        restaurant.source.schema(),
+        restaurant.target.schema(),
+    );
+    println!(
+        "learned Restaurant rule: {} comparisons",
+        learned.comparison_count()
+    );
+    let restaurant_cache = ValueCache::new();
+    let mut eval_stats = EvalStats::default();
+    for source in restaurant.source.entities() {
+        for target in restaurant.target.entities() {
+            let pair = EntityPair::new(source, target);
+            let exhaustive = learned.evaluate(&pair, &restaurant_cache);
+            let bounded = learned.evaluate_bounded_two_stats(
+                source,
+                target,
+                &restaurant_cache,
+                &restaurant_cache,
+                LINK_THRESHOLD,
+                &mut eval_stats,
+            );
+            assert_eq!(
+                exhaustive >= LINK_THRESHOLD,
+                bounded >= LINK_THRESHOLD,
+                "bounded evaluation changed a classification"
+            );
+            if bounded >= LINK_THRESHOLD {
+                assert_eq!(exhaustive.to_bits(), bounded.to_bits());
+            }
+        }
+    }
+
+    // steady-state allocations: the caches are warm after the sweep above,
+    // so a second sweep must not allocate at all
+    let alloc_before = thread_allocations();
+    let mut steady_stats = EvalStats::default();
+    for source in restaurant.source.entities() {
+        for target in restaurant.target.entities() {
+            learned.evaluate_bounded_two_stats(
+                source,
+                target,
+                &restaurant_cache,
+                &restaurant_cache,
+                LINK_THRESHOLD,
+                &mut steady_stats,
+            );
+        }
+    }
+    let steady_state_allocations = thread_allocations() - alloc_before;
+    println!(
+        "steady-state sweep: {} pairs, {} heap allocations",
+        steady_stats.pairs, steady_state_allocations
+    );
+
     let compiled_speedup = tree_walk_ns / compiled_ns;
     let fully_cached_speedup = tree_walk_ns / fully_cached_ns;
     let per_pair = resolved.len() as f64 * rule_count as f64;
@@ -151,13 +446,17 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"workload\": \"cora-synthetic\",\n  \"rules\": {rule_count},\n  \"rounds\": {rounds},\n  \"resolved_pairs\": {pairs},\n  \"tree_walk_ns_per_round\": {tree_walk_ns:.0},\n  \"compiled_ns_per_round\": {compiled_ns:.0},\n  \"compiled_fitness_cache_ns_per_round\": {fully_cached_ns:.0},\n  \"compiled_speedup\": {compiled_speedup:.2},\n  \"compiled_fitness_cache_speedup\": {fully_cached_speedup:.2},\n  \"value_cache_entries\": {vc_entries},\n  \"value_cache_hits\": {vc_hits},\n  \"value_cache_misses\": {vc_misses},\n  \"fitness_cache_entries\": {fc_entries},\n  \"fitness_cache_hits\": {fc_hits}\n}}\n",
+        "{{\n  \"workload\": \"cora-synthetic\",\n  \"rules\": {rule_count},\n  \"rounds\": {rounds},\n  \"resolved_pairs\": {pairs},\n  \"tree_walk_ns_per_round\": {tree_walk_ns:.0},\n  \"compiled_ns_per_round\": {compiled_ns:.0},\n  \"compiled_fitness_cache_ns_per_round\": {fully_cached_ns:.0},\n  \"compiled_speedup\": {compiled_speedup:.2},\n  \"compiled_fitness_cache_speedup\": {fully_cached_speedup:.2},\n  \"value_cache_entries\": {vc_entries},\n  \"value_cache_hits\": {vc_hits},\n  \"value_cache_misses\": {vc_misses},\n  \"fitness_cache_entries\": {fc_entries},\n  \"fitness_cache_hits\": {fc_hits},\n  \"kernels\": {{\n    \"levenshtein_reference_ns_per_round\": {lev_reference_ns:.0},\n    \"levenshtein_kernel_ns_per_round\": {lev_kernel_ns:.0},\n    \"levenshtein_speedup\": {lev_speedup:.2},\n    \"token_reference_ns_per_round\": {token_reference_ns:.0},\n    \"token_kernel_ns_per_round\": {token_kernel_ns:.0},\n    \"token_speedup\": {token_speedup:.2},\n    \"learned_rule_comparisons\": {learned_comparisons},\n    \"short_circuit_pairs\": {sc_pairs},\n    \"comparisons_evaluated\": {sc_evaluated},\n    \"comparisons_skipped\": {sc_skipped},\n    \"skip_rate\": {skip_rate:.3},\n    \"steady_state_allocations\": {steady_state_allocations}\n  }}\n}}\n",
         pairs = resolved.len(),
         vc_entries = value_cache.len(),
         vc_hits = value_cache.hits(),
         vc_misses = value_cache.misses(),
         fc_entries = fitness_cache.len(),
         fc_hits = fitness_cache.hits(),
+        learned_comparisons = learned.comparison_count(),
+        sc_pairs = learn_eval.pairs,
+        sc_evaluated = learn_eval.comparisons_evaluated,
+        sc_skipped = learn_eval.comparisons_skipped,
     );
     std::fs::write(&out_path, &json).expect("cannot write benchmark output");
     println!("\nwrote {out_path}");
@@ -172,6 +471,36 @@ fn main() {
         eprintln!(
             "FAIL: compiled+cached speedup {fully_cached_speedup:.2}x is below the 3x target"
         );
+        std::process::exit(1);
+    }
+    let mut failed = false;
+    if lev_speedup < LEVENSHTEIN_SPEEDUP_GATE {
+        eprintln!(
+            "FAIL: Levenshtein kernel speedup {lev_speedup:.2}x is below the {LEVENSHTEIN_SPEEDUP_GATE}x gate"
+        );
+        failed = true;
+    }
+    if token_speedup < TOKEN_SPEEDUP_GATE {
+        eprintln!(
+            "FAIL: token kernel speedup {token_speedup:.2}x is below the {TOKEN_SPEEDUP_GATE}x gate"
+        );
+        failed = true;
+    }
+    if skip_rate <= SKIP_RATE_GATE {
+        eprintln!(
+            "FAIL: short-circuit skip rate {:.0}% is below the {:.0}% gate",
+            skip_rate * 100.0,
+            SKIP_RATE_GATE * 100.0
+        );
+        failed = true;
+    }
+    if steady_state_allocations != 0 {
+        eprintln!(
+            "FAIL: {steady_state_allocations} heap allocations in the steady-state bounded sweep"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

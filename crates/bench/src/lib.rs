@@ -165,6 +165,9 @@ pub struct CurveRow {
     pub index_s: Summary,
     /// Cumulative seconds spent scoring prepared rules.
     pub score_s: Summary,
+    /// Cumulative fraction of comparisons the score-bounded evaluator
+    /// skipped (short-circuit rate of the lazy evaluation path).
+    pub skip_rate: Summary,
 }
 
 /// The outcome of a learning-curve experiment.
@@ -201,6 +204,7 @@ pub fn learning_curve(
         compile: Vec<f64>,
         index: Vec<f64>,
         score: Vec<f64>,
+        skipped: Vec<f64>,
     }
     let mut per_checkpoint: BTreeMap<usize, CheckpointAccumulator> = BTreeMap::new();
     let mut best_rule = LinkageRule::empty();
@@ -247,6 +251,9 @@ pub fn learning_curve(
                     entry.compile.push(phases.compile_s);
                     entry.index.push(phases.index_s);
                     entry.score.push(phases.score_s);
+                    entry
+                        .skipped
+                        .push(stats.eval.map(|e| e.skip_rate()).unwrap_or(0.0));
                 },
             );
             // when the run stops early, later checkpoints keep the final value
@@ -266,6 +273,12 @@ pub fn learning_curve(
                 .last()
                 .and_then(|s| s.phases)
                 .unwrap_or_default();
+            let last_skip = outcome
+                .history
+                .last()
+                .and_then(|s| s.eval)
+                .map(|e| e.skip_rate())
+                .unwrap_or(0.0);
             let final_train =
                 evaluate_rule_on_links(&outcome.rule, &train, &dataset.source, &dataset.target);
             let final_val =
@@ -281,6 +294,7 @@ pub fn learning_curve(
                 entry.compile.push(last_phases.compile_s);
                 entry.index.push(last_phases.index_s);
                 entry.score.push(last_phases.score_s);
+                entry.skipped.push(last_skip);
             }
             if final_val.f_measure() > best_validation {
                 best_validation = final_val.f_measure();
@@ -305,6 +319,7 @@ pub fn learning_curve(
             compile_s: Summary::of(acc.compile),
             index_s: Summary::of(acc.index),
             score_s: Summary::of(acc.score),
+            skip_rate: Summary::of(acc.skipped),
         })
         .collect();
     CurveResult {
@@ -360,7 +375,7 @@ pub fn run_carvalho_baseline(
 pub fn print_curve_table(title: &str, result: &CurveResult) {
     println!("{title}");
     println!(
-        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8}",
+        "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
         "Iter.",
         "Time in s (σ)",
         "Train. F1 (σ)",
@@ -370,11 +385,12 @@ pub fn print_curve_table(title: &str, result: &CurveResult) {
         "Leaf reuse",
         "Compile",
         "Index",
-        "Score"
+        "Score",
+        "Skipped"
     );
     for row in &result.rows {
         println!(
-            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8}",
+            "{:<6} {:>16} {:>16} {:>16} {:>12} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8}",
             row.iteration,
             format!("{:.1} ({:.1})", row.seconds.mean, row.seconds.std_dev),
             row.training_f1.paper_format(),
@@ -384,7 +400,8 @@ pub fn print_curve_table(title: &str, result: &CurveResult) {
             format!("{:.0}%", row.leaf_reuse_rate.mean * 100.0),
             format!("{:.2}s", row.compile_s.mean),
             format!("{:.2}s", row.index_s.mean),
-            format!("{:.2}s", row.score_s.mean)
+            format!("{:.2}s", row.score_s.mean),
+            format!("{:.0}%", row.skip_rate.mean * 100.0)
         );
     }
     println!();

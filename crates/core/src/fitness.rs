@@ -16,10 +16,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use linkdisc_entity::{Entity, ResolvedReferenceLinks, Schema};
-use linkdisc_evaluation::{evaluate_compiled, evaluate_rule, ConfusionMatrix};
+use linkdisc_evaluation::{evaluate_compiled_stats, evaluate_rule, ConfusionMatrix};
 use linkdisc_gp::{Evaluated, PhaseAccumulator, PhaseTimers};
 use linkdisc_matching::{CandidateScratch, LeafReuseStats, MultiBlockIndex, SharedLeafIndexes};
-use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_rule::{
+    CompiledRule, EvalStats, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD,
+};
+use linkdisc_similarity::KernelCounters;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How the size of a rule is penalised.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,6 +176,46 @@ pub struct FitnessFunction<'a> {
     /// index (leaf resolution and index assembly), score (confusion-matrix
     /// evaluation).  Thread-safe — workers add durations concurrently.
     timers: Arc<PhaseAccumulator>,
+    /// Cumulative short-circuit counters of the bounded evaluator across
+    /// every scored pair of the run.  Thread-safe — workers flush one
+    /// batched add per confusion matrix, not one per pair.
+    eval_stats: Arc<SharedEvalStats>,
+    /// Process-wide kernel counters at construction time, so
+    /// [`FitnessFunction::kernel_delta`] reports dispatches attributable to
+    /// this run (approximately — concurrent runs in the same process bleed
+    /// into each other's deltas).
+    kernels_baseline: KernelCounters,
+}
+
+/// Atomic accumulation cell for [`EvalStats`], shared across scoring
+/// workers.
+#[derive(Debug, Default)]
+struct SharedEvalStats {
+    pairs: AtomicU64,
+    pairs_short_circuited: AtomicU64,
+    comparisons_evaluated: AtomicU64,
+    comparisons_skipped: AtomicU64,
+}
+
+impl SharedEvalStats {
+    fn record(&self, eval: &EvalStats) {
+        self.pairs.fetch_add(eval.pairs, Ordering::Relaxed);
+        self.pairs_short_circuited
+            .fetch_add(eval.pairs_short_circuited, Ordering::Relaxed);
+        self.comparisons_evaluated
+            .fetch_add(eval.comparisons_evaluated, Ordering::Relaxed);
+        self.comparisons_skipped
+            .fetch_add(eval.comparisons_skipped, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EvalStats {
+        EvalStats {
+            pairs: self.pairs.load(Ordering::Relaxed),
+            pairs_short_circuited: self.pairs_short_circuited.load(Ordering::Relaxed),
+            comparisons_evaluated: self.comparisons_evaluated.load(Ordering::Relaxed),
+            comparisons_skipped: self.comparisons_skipped.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl<'a> FitnessFunction<'a> {
@@ -191,6 +235,8 @@ impl<'a> FitnessFunction<'a> {
             value_cache: Arc::new(ValueCache::new()),
             pool,
             timers: Arc::new(PhaseAccumulator::new()),
+            eval_stats: Arc::new(SharedEvalStats::default()),
+            kernels_baseline: KernelCounters::snapshot(),
         }
     }
 
@@ -222,6 +268,20 @@ impl<'a> FitnessFunction<'a> {
     /// (summed across every thread that worked in the phase).
     pub fn phase_timers(&self) -> PhaseTimers {
         self.timers.snapshot()
+    }
+
+    /// Cumulative short-circuit counters of the bounded evaluator over every
+    /// pair this fitness function has scored.
+    pub fn eval_stats(&self) -> EvalStats {
+        self.eval_stats.snapshot()
+    }
+
+    /// Kernel dispatch counters since this fitness function was constructed.
+    /// Process-wide delta: concurrent learners in the same process bleed into
+    /// each other's counts, so treat the numbers as diagnostics, not an
+    /// audit.
+    pub fn kernel_delta(&self) -> KernelCounters {
+        KernelCounters::snapshot().since(&self.kernels_baseline)
     }
 
     /// Enables request-count-based retirement of the shared leaf cache:
@@ -419,9 +479,14 @@ impl<'a> FitnessFunction<'a> {
             .as_ref()
             .expect("prepared with a schema whenever links exist");
         let (Some(index), Some(pool)) = (&prepared.index, &self.pool) else {
-            return evaluate_compiled(compiled, self.links, &self.value_cache);
+            let mut eval = EvalStats::default();
+            let matrix =
+                evaluate_compiled_stats(compiled, self.links, &self.value_cache, &mut eval);
+            self.eval_stats.record(&eval);
+            return matrix;
         };
         let mut matrix = ConfusionMatrix::default();
+        let mut eval = EvalStats::default();
         let mut scratch = CandidateScratch::new();
         let mut candidate_marks = vec![false; pool.targets.len()];
         for group in &pool.groups {
@@ -433,11 +498,13 @@ impl<'a> FitnessFunction<'a> {
             for &(position, positive) in &group.pairs {
                 let is_link = candidate_marks[position as usize] && {
                     let target = pool.targets[position as usize];
-                    let score = compiled.evaluate_two(
+                    let score = compiled.evaluate_bounded_two_stats(
                         group.source,
                         target,
                         &self.value_cache,
                         &self.value_cache,
+                        LINK_THRESHOLD,
+                        &mut eval,
                     );
                     score >= LINK_THRESHOLD
                 };
@@ -452,6 +519,7 @@ impl<'a> FitnessFunction<'a> {
             }
             scratch.recycle(candidates);
         }
+        self.eval_stats.record(&eval);
         matrix
     }
 

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
-use linkdisc_gp::{CacheStats, Evaluated, FitnessCache, PhaseTimers, Problem};
+use linkdisc_gp::{CacheStats, EvalCounters, Evaluated, FitnessCache, PhaseTimers, Problem};
 use linkdisc_rule::LinkageRule;
 use linkdisc_util::parallel_ordered_map;
 
@@ -201,6 +201,19 @@ impl Problem for GenLinkProblem<'_> {
 
     fn phase_timers(&self) -> Option<PhaseTimers> {
         Some(self.fitness.phase_timers())
+    }
+
+    fn eval_counters(&self) -> Option<EvalCounters> {
+        let eval = self.fitness.eval_stats();
+        let kernels = self.fitness.kernel_delta();
+        Some(EvalCounters {
+            pairs: eval.pairs,
+            pairs_short_circuited: eval.pairs_short_circuited,
+            comparisons_evaluated: eval.comparisons_evaluated,
+            comparisons_skipped: eval.comparisons_skipped,
+            kernel_fast_path: kernels.fast_path_hits(),
+            kernel_fallback: kernels.fallback_hits(),
+        })
     }
 
     /// Steady-state window boundary: retire the shared leaf cache exactly as

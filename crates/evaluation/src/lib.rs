@@ -12,6 +12,7 @@ pub mod summary;
 
 pub use confusion::ConfusionMatrix;
 pub use protocol::{
-    evaluate_compiled, evaluate_rule, evaluate_rule_on_links, CrossValidation, FoldResult,
+    evaluate_compiled, evaluate_compiled_stats, evaluate_rule, evaluate_rule_on_links,
+    CrossValidation, FoldResult,
 };
 pub use summary::Summary;

@@ -2,7 +2,7 @@
 //! repeated 2-fold cross validation of Section 6.1.
 
 use linkdisc_entity::{DataSource, ReferenceLinks, ResolvedReferenceLinks};
-use linkdisc_rule::{CompiledRule, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_rule::{CompiledRule, EvalStats, LinkageRule, ValueCache, LINK_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,19 +25,51 @@ pub fn evaluate_rule(rule: &LinkageRule, links: &ResolvedReferenceLinks<'_>) -> 
 
 /// Scores a compiled evaluation plan against resolved reference links,
 /// memoizing transformation outputs per entity in `cache`.  Produces exactly
-/// the matrix of [`evaluate_rule`] on the original rule (scores are
-/// bit-identical).
+/// the matrix of [`evaluate_rule`] on the original rule.
 pub fn evaluate_compiled<'e>(
     compiled: &CompiledRule,
     links: &ResolvedReferenceLinks<'e>,
     cache: &ValueCache<'e>,
 ) -> ConfusionMatrix {
+    let mut stats = EvalStats::default();
+    evaluate_compiled_stats(compiled, links, cache, &mut stats)
+}
+
+/// [`evaluate_compiled`] accumulating short-circuit counters into `stats`.
+///
+/// Pairs run through the score-bounded evaluator against the link threshold:
+/// only the classification is consumed here, and the bounded contract makes
+/// `score ≥ threshold` agree bit-for-bit with exhaustive evaluation, so the
+/// matrix is identical to [`evaluate_rule`]'s while most non-links stop at
+/// their first decisive comparison.
+pub fn evaluate_compiled_stats<'e>(
+    compiled: &CompiledRule,
+    links: &ResolvedReferenceLinks<'e>,
+    cache: &ValueCache<'e>,
+    stats: &mut EvalStats,
+) -> ConfusionMatrix {
     let mut matrix = ConfusionMatrix::default();
     for pair in links.positive() {
-        matrix.record_positive(compiled.evaluate(pair, cache) >= LINK_THRESHOLD);
+        let score = compiled.evaluate_bounded_two_stats(
+            pair.source,
+            pair.target,
+            cache,
+            cache,
+            LINK_THRESHOLD,
+            stats,
+        );
+        matrix.record_positive(score >= LINK_THRESHOLD);
     }
     for pair in links.negative() {
-        matrix.record_negative(compiled.evaluate(pair, cache) >= LINK_THRESHOLD);
+        let score = compiled.evaluate_bounded_two_stats(
+            pair.source,
+            pair.target,
+            cache,
+            cache,
+            LINK_THRESHOLD,
+            stats,
+        );
+        matrix.record_negative(score >= LINK_THRESHOLD);
     }
     matrix
 }

@@ -105,6 +105,39 @@ impl PhaseAccumulator {
     }
 }
 
+/// Cumulative evaluation-path counters of a problem: score-bounded
+/// short-circuiting plus similarity-kernel dispatch.  Like
+/// [`crate::CacheStats`], values are cumulative over the run — the delta of
+/// two consecutive iterations attributes work to one generation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// Entity pairs scored through the bounded evaluator.
+    pub pairs: u64,
+    /// The subset of `pairs` that stopped before visiting every comparison.
+    pub pairs_short_circuited: u64,
+    /// Comparison operators actually evaluated.
+    pub comparisons_evaluated: u64,
+    /// Comparison operators skipped by score-bounded short-circuiting.
+    pub comparisons_skipped: u64,
+    /// Similarity-kernel calls answered by a fast path (bit-parallel
+    /// Levenshtein, byte Jaro, sorted-id token merge).
+    pub kernel_fast_path: u64,
+    /// Similarity-kernel calls that fell back to a reference implementation.
+    pub kernel_fallback: u64,
+}
+
+impl EvalCounters {
+    /// Fraction of comparison operators skipped (`0.0` before any pair).
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.comparisons_evaluated + self.comparisons_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.comparisons_skipped as f64 / total as f64
+        }
+    }
+}
+
 /// Per-iteration statistics, reported to observers and collected in the
 /// result history.  The experiment harness turns these into the
 /// learning-curve tables (Tables 7–12 of the paper).
@@ -133,6 +166,9 @@ pub struct IterationStats {
     /// between two consecutive iterations attributes that generation's cost
     /// to compile / index / score / idle.
     pub phases: Option<PhaseTimers>,
+    /// Cumulative short-circuit and kernel-dispatch counters of the
+    /// problem's evaluation pipeline (`None` for problems without them).
+    pub eval: Option<EvalCounters>,
 }
 
 /// The result of an evolution run.
@@ -258,6 +294,7 @@ impl<'a, P: Problem> Evolution<'a, P> {
             elapsed_seconds: start.elapsed().as_secs_f64(),
             cache: self.problem.cache_stats(),
             phases: self.problem.phase_timers(),
+            eval: self.problem.eval_counters(),
         }
     }
 

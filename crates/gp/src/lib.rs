@@ -25,7 +25,9 @@ pub mod population;
 pub mod selection;
 
 pub use cache::{CacheStats, FitnessCache};
-pub use evolution::{Evolution, EvolutionResult, IterationStats, PhaseAccumulator, PhaseTimers};
+pub use evolution::{
+    EvalCounters, Evolution, EvolutionResult, IterationStats, PhaseAccumulator, PhaseTimers,
+};
 pub use island::{
     run_islands, run_islands_with_observer, IslandConfig, IslandOutcome, MigrationRecord,
 };
@@ -97,6 +99,13 @@ pub trait Problem: Sync {
     /// it times its phases.  The engine snapshots this after every iteration
     /// (or steady-state window) into [`IterationStats::phases`].
     fn phase_timers(&self) -> Option<PhaseTimers> {
+        None
+    }
+
+    /// Cumulative short-circuit and kernel-dispatch counters of the
+    /// problem's evaluation pipeline, if it tracks them.  The engine
+    /// snapshots this after every iteration into [`IterationStats::eval`].
+    fn eval_counters(&self) -> Option<EvalCounters> {
         None
     }
 

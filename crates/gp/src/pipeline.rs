@@ -533,6 +533,7 @@ impl<'a, P: Problem> Pipeline<'a, P> {
             elapsed_seconds: start.elapsed().as_secs_f64(),
             cache: self.problem.cache_stats(),
             phases,
+            eval: self.problem.eval_counters(),
         }
     }
 }

@@ -35,7 +35,10 @@ use linkdisc_entity::{
 use std::sync::Arc;
 
 use linkdisc_entity::Schema;
-use linkdisc_rule::{CompiledRule, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD};
+use linkdisc_rule::{
+    CompiledRule, EvalStats, IndexingPlan, LinkageRule, ValueCache, LINK_THRESHOLD,
+};
+use linkdisc_similarity::KernelCounters;
 use linkdisc_util::resolve_threads;
 
 use crate::multiblock::{CandidateScratch, MultiBlockIndex};
@@ -183,6 +186,15 @@ pub struct MatchingReport {
     /// Blocking statistics, one entry per indexed comparison (empty when the
     /// run was exhaustive — blocking disabled or the plan cannot prune).
     pub comparison_stats: Vec<ComparisonBlockStats>,
+    /// Short-circuit counters of the bounded evaluator, summed over all
+    /// workers: how many of the evaluated pairs stopped early and how many
+    /// comparison operators that skipped.
+    pub eval_stats: EvalStats,
+    /// Similarity-kernel dispatch counters for this run (fast path vs
+    /// fallback).  Deltas of process-wide counters, so concurrent matching
+    /// runs in the same process bleed into each other's numbers — fine for
+    /// the diagnostics these feed.
+    pub kernels: KernelCounters,
 }
 
 impl MatchingReport {
@@ -192,6 +204,12 @@ impl MatchingReport {
             return 0.0;
         }
         1.0 - self.evaluated_pairs as f64 / self.cross_product as f64
+    }
+
+    /// Fraction of comparison operators skipped by short-circuiting across
+    /// the evaluated pairs.
+    pub fn skip_rate(&self) -> f64 {
+        self.eval_stats.skip_rate()
     }
 }
 
@@ -308,6 +326,8 @@ impl MatchingEngine {
             peak_chunk_entities: 0,
             peak_chunk_bytes: 0,
             comparison_stats: Vec::new(),
+            eval_stats: EvalStats::default(),
+            kernels: KernelCounters::default(),
         };
         if self.rule.root().is_none() {
             let source_entities = drain_counting(source, source_cap);
@@ -344,8 +364,10 @@ impl MatchingEngine {
             .map(|plan| plan.comparisons().len())
             .unwrap_or(0);
 
+        let kernels_before = KernelCounters::snapshot();
         let mut links: Vec<ScoredLink> = Vec::new();
         let mut evaluated_pairs = 0usize;
+        let mut eval_stats = EvalStats::default();
         let mut leaf_candidates = vec![0usize; leaf_count];
         let mut comparison_stats: Vec<ComparisonBlockStats> = indexed_plan
             .as_ref()
@@ -460,6 +482,7 @@ impl MatchingEngine {
 
                 for outcome in per_worker {
                     evaluated_pairs += outcome.evaluated;
+                    eval_stats.merge(&outcome.eval);
                     for (total, count) in leaf_candidates.iter_mut().zip(outcome.leaf_candidates) {
                         *total += count;
                     }
@@ -510,6 +533,8 @@ impl MatchingEngine {
             peak_chunk_entities,
             peak_chunk_bytes,
             comparison_stats,
+            eval_stats,
+            kernels: KernelCounters::snapshot().since(&kernels_before),
         }
     }
 }
@@ -626,6 +651,8 @@ struct ChunkOutcome {
     /// `best_match_only` is set; merged across chunks by the caller.
     bests: Vec<(usize, ScoredLink)>,
     evaluated: usize,
+    /// Short-circuit counters of the bounded evaluator for this block.
+    eval: EvalStats,
     leaf_candidates: Vec<usize>,
 }
 
@@ -646,6 +673,7 @@ fn score_span<'s, 't>(
         links: Vec::new(),
         bests: Vec::new(),
         evaluated: 0,
+        eval: EvalStats::default(),
         leaf_candidates: vec![0usize; leaf_count],
     };
     let mut scratch = CandidateScratch::new();
@@ -667,8 +695,18 @@ fn score_span<'s, 't>(
         let mut best: Option<ScoredLink> = None;
         let mut score_target = |target_entity: &'t Entity, outcome: &mut ChunkOutcome| {
             outcome.evaluated += 1;
-            let score =
-                compiled.evaluate_two(source_entity, target_entity, source_cache, chunk_cache);
+            // bounded evaluation: a score below the threshold is an upper
+            // bound (the pair provably cannot link — dropped right here);
+            // a score at or above it is bit-identical to the exhaustive
+            // evaluator, so emitted links are unchanged
+            let score = compiled.evaluate_bounded_two_stats(
+                source_entity,
+                target_entity,
+                source_cache,
+                chunk_cache,
+                options.link_threshold,
+                &mut outcome.eval,
+            );
             if score < options.link_threshold {
                 return;
             }

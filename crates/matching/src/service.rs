@@ -98,7 +98,8 @@ use std::sync::{Arc, Mutex};
 
 use linkdisc_entity::{DataSource, Entity, EntityError, EntitySnapshot, EntityStore, Schema};
 use linkdisc_rule::{
-    CompiledRule, IndexingPlan, LinkageRule, PinnedValueCache, ValueCache, LINK_THRESHOLD,
+    CompiledRule, EvalStats, IndexingPlan, LinkageRule, PinnedValueCache, ValueCache,
+    LINK_THRESHOLD,
 };
 use linkdisc_util::{EpochCell, EpochReader};
 
@@ -167,6 +168,13 @@ pub struct RuleServingStats {
     pub queries: u64,
     /// Candidates its index generated across those queries.
     pub candidates: u64,
+    /// Candidate pairs whose bounded evaluation stopped before visiting
+    /// every comparison of the rule.
+    pub pairs_short_circuited: u64,
+    /// Comparison operators actually evaluated across all queries.
+    pub comparisons_evaluated: u64,
+    /// Comparison operators skipped by score-bounded short-circuiting.
+    pub comparisons_skipped: u64,
     /// Plan slots answered by an already-pooled leaf at acquisition.
     pub leaf_hits: u64,
     /// Leaves built for this rule at acquisition.
@@ -198,6 +206,22 @@ pub struct CommitteeLink {
 pub(crate) struct RuleCounters {
     pub(crate) queries: AtomicU64,
     pub(crate) candidates: AtomicU64,
+    pub(crate) pairs_short_circuited: AtomicU64,
+    pub(crate) comparisons_evaluated: AtomicU64,
+    pub(crate) comparisons_skipped: AtomicU64,
+}
+
+impl RuleCounters {
+    /// Flushes one query's bounded-evaluation counters into the shared
+    /// totals (one batched add per counter, not one per pair).
+    pub(crate) fn record_eval(&self, eval: &EvalStats) {
+        self.pairs_short_circuited
+            .fetch_add(eval.pairs_short_circuited, Ordering::Relaxed);
+        self.comparisons_evaluated
+            .fetch_add(eval.comparisons_evaluated, Ordering::Relaxed);
+        self.comparisons_skipped
+            .fetch_add(eval.comparisons_skipped, Ordering::Relaxed);
+    }
 }
 
 /// One registry entry: the rule, its compiled form and lowered plan, and
@@ -227,6 +251,9 @@ impl RegisteredRule {
             rule: self.name.to_string(),
             queries: self.counters.queries.load(Ordering::Relaxed),
             candidates: self.counters.candidates.load(Ordering::Relaxed),
+            pairs_short_circuited: self.counters.pairs_short_circuited.load(Ordering::Relaxed),
+            comparisons_evaluated: self.counters.comparisons_evaluated.load(Ordering::Relaxed),
+            comparisons_skipped: self.counters.comparisons_skipped.load(Ordering::Relaxed),
             leaf_hits: self.leaf_hits,
             leaf_misses: self.leaf_misses,
             registered_epoch: self.registered_epoch,
@@ -1049,6 +1076,7 @@ impl ServiceReader {
             .counters
             .candidates
             .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let mut eval = EvalStats::default();
         for &position in &buf {
             // an exhaustive (`All`) plan enumerates every position, so
             // tombstoned slots must be skipped here; leaf postings only
@@ -1056,16 +1084,22 @@ impl ServiceReader {
             let Some(target_entity) = epoch.entities.get(position) else {
                 continue;
             };
-            let score = rule.registered.compiled.evaluate_two(
+            // bounded against the link threshold: candidates that cannot
+            // link stop at the earliest decisive comparison, and reported
+            // scores (≥ threshold) are bit-identical to exhaustive
+            let score = rule.registered.compiled.evaluate_bounded_two_stats(
                 source_entity,
                 target_entity,
                 &query_cache,
                 cache,
+                self.shared.link_threshold,
+                &mut eval,
             );
             if score >= self.shared.link_threshold {
                 out.push((position, score));
             }
         }
+        rule.registered.counters.record_eval(&eval);
         scratch.recycle(buf);
     }
 

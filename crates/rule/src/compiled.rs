@@ -17,13 +17,25 @@
 //!   as `Arc<[String]>` slices so repeated pair evaluations read borrowed
 //!   slices with zero per-pair allocation,
 //! * distance functions get threshold-aware fast paths: Levenshtein runs the
-//!   banded early-exit dynamic program within the comparison threshold, and
-//!   Jaccard/Dice read pre-built value sets cached next to the values.
+//!   bit-parallel kernel bounded by the comparison threshold, and
+//!   Jaccard/Dice run a linear merge over sorted token-id slices cached next
+//!   to the values (tokens are interned process-wide, see [`crate::tokens`]).
 //!
 //! The tree-walking evaluator stays as the reference oracle: for every rule
 //! and pair, `CompiledRule::evaluate` returns **bit-identical** scores to
 //! `LinkageRule::evaluate` (enforced by the property-based parity test in
 //! `tests/tests/compiled_parity.rs`).
+//!
+//! On top of the exact plan, [`CompiledRule::evaluate_bounded`] runs a
+//! **score-bounded** evaluation: each aggregation's children are ordered
+//! cheapest-first by a static cost model, and a running requirement is
+//! threaded down the tree so a pair stops at the earliest comparison that
+//! decides it cannot reach the link threshold.  The contract (documented in
+//! DESIGN.md and enforced by `tests/tests/bounded_parity.rs`): the returned
+//! score `s` always satisfies `exact ≤ s`, and `s ≥ threshold` implies
+//! `s == exact` bit-for-bit — classification and the scores of *linked*
+//! pairs are identical to exhaustive evaluation; only pairs already decided
+//! "no link" may carry a different (still sub-threshold) score.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -33,8 +45,7 @@ use std::sync::{Arc, Mutex};
 
 use linkdisc_entity::{Entity, EntityPair, PropertyIndex, Schema};
 use linkdisc_similarity::{
-    dice_distance_sets, jaccard_distance_sets, levenshtein_bounded, threshold_similarity,
-    DistanceFunction,
+    dice_ids, jaccard_ids, levenshtein_bounded, threshold_similarity, DistanceFunction,
 };
 use linkdisc_transform::TransformFunction;
 
@@ -79,6 +90,91 @@ enum Instruction {
         weight: u32,
         arity: usize,
     },
+}
+
+/// One node of the bounded-evaluation tree (the same similarity tree as the
+/// instruction list, in node form so evaluation can stop mid-aggregation).
+#[derive(Debug, Clone)]
+enum EvalNode {
+    /// Score two value slots with a distance function.
+    Compare {
+        source: SlotId,
+        target: SlotId,
+        function: DistanceFunction,
+        threshold: f64,
+    },
+    /// Combine child scores, visiting children cheapest-first.
+    Aggregate {
+        function: AggregationFunction,
+        /// Child node ids in the rule's original order (the order the
+        /// exhaustive evaluator accumulates in).
+        children: Vec<usize>,
+        /// Raw child weights, original order (`WeightedMean` applies its own
+        /// `max(1)` clamp, exactly like [`AggregationFunction::evaluate`]).
+        weights: Vec<u32>,
+        /// Positions into `children`, sorted cheapest-first by the static
+        /// cost model (stable: ties keep the original order).
+        visit: Vec<usize>,
+        /// `Σ max(weight, 1)` over the children, as used by `WeightedMean`.
+        weight_sum: f64,
+    },
+}
+
+/// Cumulative counters of the score-bounded evaluator.  Callers thread one
+/// through `evaluate_bounded_*_stats` and merge per-worker copies upward
+/// (`MatchingReport`, `IterationStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Pairs evaluated through the bounded path.
+    pub pairs: u64,
+    /// The subset of `pairs` that stopped before evaluating every
+    /// comparison.
+    pub pairs_short_circuited: u64,
+    /// Comparison operators actually evaluated.
+    pub comparisons_evaluated: u64,
+    /// Comparison operators skipped by short-circuiting.
+    pub comparisons_skipped: u64,
+}
+
+impl EvalStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.pairs += other.pairs;
+        self.pairs_short_circuited += other.pairs_short_circuited;
+        self.comparisons_evaluated += other.comparisons_evaluated;
+        self.comparisons_skipped += other.comparisons_skipped;
+    }
+
+    /// Fraction of comparisons skipped (`0.0` before any evaluation).
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.comparisons_evaluated + self.comparisons_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.comparisons_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Static relative cost of one comparison, used to order aggregation
+/// children cheapest-first.  The constants follow the spirit of the
+/// `PROBE_COST_RATIO` calibration in the matching crate (one full probe ≈ 50
+/// candidate-set operations): equality and numeric parses cost a few
+/// nanoseconds, sorted-id token merges tens, the string kernels hundreds —
+/// Levenshtein grows with its threshold because the distance must be chased
+/// across a wider band of the cross product before the comparison can give
+/// up.  Only the *ordering* matters, so coarse buckets are enough.
+fn comparison_cost(function: DistanceFunction, threshold: f64) -> f64 {
+    match function {
+        DistanceFunction::Equality => 1.0,
+        DistanceFunction::Numeric => 2.0,
+        DistanceFunction::Date => 3.0,
+        DistanceFunction::Geographic => 4.0,
+        DistanceFunction::Jaccard | DistanceFunction::Dice => 6.0,
+        DistanceFunction::Levenshtein => 16.0 + 2.0 * threshold.clamp(0.0, 10.0),
+        DistanceFunction::Jaro => 24.0,
+        DistanceFunction::JaroWinkler => 26.0,
+    }
 }
 
 /// One side's slot table, deduplicating structurally identical value
@@ -182,14 +278,12 @@ impl SlotProgram {
         function.apply_slices(&slices)
     }
 
-    /// The value *set* of a slot for one entity (Jaccard/Dice fast path).
-    fn set<'e>(
-        &self,
-        slot: SlotId,
-        entity: &'e Entity,
-        cache: &ValueCache<'e>,
-    ) -> Arc<HashSet<String>> {
-        cache.set(entity, self.hashes[slot], || {
+    /// The sorted token ids of a slot's value set for one entity — the
+    /// Jaccard/Dice fast path.  Interning is process-wide (see
+    /// [`crate::tokens`]), so ids from the source-side and target-side caches
+    /// are directly comparable.
+    fn ids<'e>(&self, slot: SlotId, entity: &'e Entity, cache: &ValueCache<'e>) -> Arc<[u32]> {
+        cache.token_ids(entity, self.hashes[slot], || {
             self.values(slot, entity, cache).as_slice().to_vec()
         })
     }
@@ -272,6 +366,11 @@ pub struct CompiledRule {
     source: SlotProgram,
     target: SlotProgram,
     instructions: Vec<Instruction>,
+    /// The same tree in node form for bounded evaluation, children ordered
+    /// cheapest-first; shares the slot tables with `instructions`.
+    nodes: Vec<EvalNode>,
+    root_node: Option<usize>,
+    total_comparisons: u32,
     rule_hash: u64,
 }
 
@@ -286,6 +385,9 @@ impl CompiledRule {
         let mut source_table = SlotTable::default();
         let mut target_table = SlotTable::default();
         let mut instructions = Vec::new();
+        let mut nodes = Vec::new();
+        let mut root_node = None;
+        let mut total_comparisons = 0;
         if let Some(root) = rule.root() {
             lower_similarity(
                 root,
@@ -295,6 +397,18 @@ impl CompiledRule {
                 &mut target_table,
                 &mut instructions,
             );
+            // second lowering for the bounded tree; slot interning is
+            // hash-deduplicated, so both plans share the same slot ids
+            let lowered = lower_node(
+                root,
+                source_schema,
+                target_schema,
+                &mut source_table,
+                &mut target_table,
+                &mut nodes,
+            );
+            root_node = Some(lowered.node);
+            total_comparisons = lowered.comparisons;
         }
         CompiledRule {
             source: SlotProgram {
@@ -308,6 +422,9 @@ impl CompiledRule {
                 hashes: target_table.hashes,
             },
             instructions,
+            nodes,
+            root_node,
+            total_comparisons,
             rule_hash: rule.canonical_hash(),
         }
     }
@@ -369,13 +486,6 @@ impl CompiledRule {
         if self.instructions.is_empty() {
             return 0.0;
         }
-        // evaluation scratch (score stack plus aggregation buffers) is
-        // reused across calls — evaluation never recurses into itself — so
-        // the per-pair hot path performs no allocation once warm
-        thread_local! {
-            static EVAL_SCRATCH: std::cell::RefCell<EvalScratch> =
-                const { std::cell::RefCell::new(EvalScratch::new()) };
-        }
         EVAL_SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
             self.run_instructions(
@@ -386,6 +496,307 @@ impl CompiledRule {
                 &mut scratch,
             )
         })
+    }
+
+    /// Number of comparison operators in the plan.
+    pub fn comparison_count(&self) -> u32 {
+        self.total_comparisons
+    }
+
+    /// Score-bounded evaluation against a link threshold: stops at the
+    /// earliest comparison that decides the pair cannot reach `threshold`.
+    ///
+    /// The returned score `s` is an **upper bound** of the exact score, and
+    /// whenever `s ≥ threshold` it *is* the exact score bit-for-bit — so
+    /// `s ≥ threshold` classifies pairs exactly like exhaustive evaluation,
+    /// and every link carries its exact score.  Pairs decided "no link" may
+    /// carry a score that differs from the exact one (both sub-threshold).
+    pub fn evaluate_bounded<'e>(
+        &self,
+        pair: &EntityPair<'e>,
+        cache: &ValueCache<'e>,
+        threshold: f64,
+    ) -> f64 {
+        let mut stats = EvalStats::default();
+        self.evaluate_bounded_two_stats(
+            pair.source,
+            pair.target,
+            cache,
+            cache,
+            threshold,
+            &mut stats,
+        )
+    }
+
+    /// [`CompiledRule::evaluate_bounded`] over a pair with per-side caches
+    /// (see [`CompiledRule::evaluate_two`] for the lifetime rationale).
+    pub fn evaluate_bounded_two<'s, 't>(
+        &self,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+        threshold: f64,
+    ) -> f64 {
+        let mut stats = EvalStats::default();
+        self.evaluate_bounded_two_stats(
+            source_entity,
+            target_entity,
+            source_cache,
+            target_cache,
+            threshold,
+            &mut stats,
+        )
+    }
+
+    /// [`CompiledRule::evaluate_bounded_two`] accumulating short-circuit
+    /// counters into `stats`.
+    pub fn evaluate_bounded_two_stats<'s, 't>(
+        &self,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+        threshold: f64,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        let Some(root) = self.root_node else {
+            return 0.0;
+        };
+        let mut evaluated = 0u32;
+        // the arena is borrowed out of the per-thread scratch for the whole
+        // recursion (comparison kernels never touch the scratch); it returns
+        // empty but with its capacity intact, so warm evaluation allocates
+        // nothing
+        let mut arena =
+            EVAL_SCRATCH.with(|scratch| std::mem::take(&mut scratch.borrow_mut().arena));
+        let score = self.eval_node(
+            root,
+            threshold,
+            source_entity,
+            target_entity,
+            source_cache,
+            target_cache,
+            &mut arena,
+            &mut evaluated,
+        );
+        debug_assert!(arena.is_empty(), "every weighted mean truncates its frame");
+        EVAL_SCRATCH.with(|scratch| scratch.borrow_mut().arena = arena);
+        stats.pairs += 1;
+        stats.comparisons_evaluated += u64::from(evaluated);
+        let skipped = self.total_comparisons - evaluated;
+        stats.comparisons_skipped += u64::from(skipped);
+        if skipped > 0 {
+            stats.pairs_short_circuited += 1;
+        }
+        score.clamp(0.0, 1.0)
+    }
+
+    /// Evaluates one node under the requirement `lo`.
+    ///
+    /// Invariants (the basis of the bounded-evaluation contract):
+    /// * the returned value is `≥` the node's exact score (upper bound),
+    /// * if the returned value is `≥ lo`, it **equals** the exact score
+    ///   bit-for-bit (`WeightedMean` replays its accumulation in the
+    ///   original child order to guarantee this).
+    ///
+    /// Passing `lo = f64::NEG_INFINITY` disables pruning entirely and
+    /// reproduces the exhaustive result everywhere.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_node<'s, 't>(
+        &self,
+        node: usize,
+        lo: f64,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+        arena: &mut Vec<f64>,
+        evaluated: &mut u32,
+    ) -> f64 {
+        match &self.nodes[node] {
+            EvalNode::Compare {
+                source,
+                target,
+                function,
+                threshold,
+            } => {
+                *evaluated += 1;
+                self.comparison_score(
+                    *source,
+                    *target,
+                    *function,
+                    *threshold,
+                    source_entity,
+                    target_entity,
+                    source_cache,
+                    target_cache,
+                )
+            }
+            EvalNode::Aggregate {
+                function,
+                children,
+                weights,
+                visit,
+                weight_sum,
+            } => {
+                if children.is_empty() {
+                    return 0.0;
+                }
+                match function {
+                    AggregationFunction::Min => {
+                        let mut worst = f64::MAX;
+                        for &pos in visit {
+                            let child = self.eval_node(
+                                children[pos],
+                                lo,
+                                source_entity,
+                                target_entity,
+                                source_cache,
+                                target_cache,
+                                arena,
+                                evaluated,
+                            );
+                            if child < lo {
+                                // the child's value is an upper bound of its
+                                // exact score, so the min is provably < lo
+                                return child;
+                            }
+                            worst = worst.min(child);
+                        }
+                        worst
+                    }
+                    AggregationFunction::Max => {
+                        // children only need to beat the best score so far;
+                        // taking the max over every *returned* value (pruned
+                        // children return upper bounds) preserves the
+                        // upper-bound invariant, and whenever the result is
+                        // ≥ lo it came from an exactly-evaluated child that
+                        // dominates all other upper bounds — exact.
+                        let mut best = f64::MIN;
+                        for &pos in visit {
+                            let requirement = lo.max(best);
+                            let child = self.eval_node(
+                                children[pos],
+                                requirement,
+                                source_entity,
+                                target_entity,
+                                source_cache,
+                                target_cache,
+                                arena,
+                                evaluated,
+                            );
+                            if child > best {
+                                best = child;
+                            }
+                            if best >= 1.0 {
+                                // a perfect score cannot be beaten
+                                break;
+                            }
+                        }
+                        best
+                    }
+                    AggregationFunction::WeightedMean => self.eval_weighted_mean(
+                        children,
+                        weights,
+                        visit,
+                        *weight_sum,
+                        lo,
+                        source_entity,
+                        target_entity,
+                        source_cache,
+                        target_cache,
+                        arena,
+                        evaluated,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// `WeightedMean` under requirement `lo`: each child's requirement is
+    /// derived by assuming every not-yet-visited child scores a perfect 1.0
+    /// (the PR 2 index algebra, reused at evaluation time).  A small slack
+    /// keeps floating-point round-off from ever pruning a pair an exact
+    /// evaluation would link; if the slack check itself is inconclusive, the
+    /// child is re-evaluated exactly and the loop continues.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_weighted_mean<'s, 't>(
+        &self,
+        children: &[usize],
+        weights: &[u32],
+        visit: &[usize],
+        weight_sum: f64,
+        lo: f64,
+        source_entity: &'s Entity,
+        target_entity: &'t Entity,
+        source_cache: &ValueCache<'s>,
+        target_cache: &ValueCache<'t>,
+        arena: &mut Vec<f64>,
+        evaluated: &mut u32,
+    ) -> f64 {
+        // fp guard: requirements are derived against `lo − SLACK`, so a prune
+        // implies the mean is below `lo` by at least SLACK — far above any
+        // round-off the two accumulation orders can disagree by — and a pair
+        // whose exact mean ties the threshold is never misclassified
+        const SLACK: f64 = 1e-9;
+        let slack_lo = lo - SLACK;
+        let base = arena.len();
+        arena.resize(base + children.len(), 0.0);
+        // Σ weight·score over visited children (visit order — only used for
+        // bound derivations; the exact result is replayed in original order)
+        let mut accumulated = 0.0f64;
+        // Σ weight over not-yet-visited children
+        let mut remaining = weight_sum;
+        for &pos in visit {
+            let weight = weights[pos].max(1) as f64;
+            remaining -= weight;
+            // requirement: accumulated + weight·c + remaining ≥ (lo−SLACK)·Σw
+            let requirement = (slack_lo * weight_sum - accumulated - remaining) / weight;
+            let mut child = if requirement > 1.0 {
+                // even a perfect child cannot reach lo — skip the subtree
+                // and let the guard below confirm the bound
+                1.0
+            } else {
+                self.eval_node(
+                    children[pos],
+                    requirement,
+                    source_entity,
+                    target_entity,
+                    source_cache,
+                    target_cache,
+                    arena,
+                    evaluated,
+                )
+            };
+            if requirement > 1.0 || child < requirement {
+                // child below requirement ⇒ the mean is below lo − SLACK even
+                // if every unvisited child scores a perfect 1.0
+                let upper_bound = (accumulated + weight * child + remaining) / weight_sum;
+                if upper_bound < lo {
+                    arena.truncate(base);
+                    return upper_bound;
+                }
+                // inconclusive fp edge: fall back to the exact child value
+                child = self.eval_node(
+                    children[pos],
+                    f64::NEG_INFINITY,
+                    source_entity,
+                    target_entity,
+                    source_cache,
+                    target_cache,
+                    arena,
+                    evaluated,
+                );
+            }
+            arena[base + pos] = child;
+            accumulated += weight * child;
+        }
+        // replay the accumulation in the rule's original child order so the
+        // floating-point result is bit-identical to the exhaustive fold
+        let result = AggregationFunction::WeightedMean.evaluate(&arena[base..], weights);
+        arena.truncate(base);
+        result
     }
 
     fn run_instructions<'s, 't>(
@@ -400,6 +811,7 @@ impl CompiledRule {
             stack,
             scores,
             weights,
+            ..
         } = scratch;
         stack.clear();
         for instruction in &self.instructions {
@@ -463,16 +875,34 @@ impl CompiledRule {
     ) -> f64 {
         match function {
             DistanceFunction::Jaccard | DistanceFunction::Dice => {
-                let a = self.source.set(source, source_entity, source_cache);
-                let b = self.target.set(target, target_entity, target_cache);
+                let a = self.source.ids(source, source_entity, source_cache);
+                let b = self.target.ids(target, target_entity, target_cache);
                 // the tree walk reports "unmeasurable" before ever reaching
                 // the set measure when either side is empty
                 if a.is_empty() || b.is_empty() {
                     return 0.0;
                 }
+                // size bound: the intersection is at most the smaller set and
+                // the union at least the larger, so the distance is at least
+                // this — if even that is past the threshold, the similarity
+                // is exactly 0 and the merge can be skipped (division is
+                // correctly rounded and monotone, so the bound never
+                // overshoots the true distance)
+                let (small, large) = if a.len() <= b.len() {
+                    (a.len(), b.len())
+                } else {
+                    (b.len(), a.len())
+                };
+                let best_distance = match function {
+                    DistanceFunction::Jaccard => 1.0 - small as f64 / large as f64,
+                    _ => 1.0 - 2.0 * small as f64 / (a.len() + b.len()) as f64,
+                };
+                if threshold_similarity(best_distance, threshold) == 0.0 {
+                    return 0.0;
+                }
                 let distance = match function {
-                    DistanceFunction::Jaccard => jaccard_distance_sets(&a, &b),
-                    _ => dice_distance_sets(&a, &b),
+                    DistanceFunction::Jaccard => jaccard_ids(&a, &b),
+                    _ => dice_ids(&a, &b),
                 };
                 threshold_similarity(distance, threshold)
             }
@@ -490,12 +920,14 @@ impl CompiledRule {
     }
 }
 
-/// Reusable per-thread evaluation state of [`CompiledRule::evaluate_two`]:
-/// the instruction score stack and the aggregation score/weight buffers.
+/// Reusable per-thread evaluation state: the instruction score stack and
+/// aggregation score/weight buffers of [`CompiledRule::evaluate_two`], plus
+/// the weighted-mean score arena of the bounded evaluator.
 struct EvalScratch {
     stack: Vec<(f64, u32)>,
     scores: Vec<f64>,
     weights: Vec<u32>,
+    arena: Vec<f64>,
 }
 
 impl EvalScratch {
@@ -504,8 +936,16 @@ impl EvalScratch {
             stack: Vec::new(),
             scores: Vec::new(),
             weights: Vec::new(),
+            arena: Vec::new(),
         }
     }
+}
+
+// evaluation scratch is reused across calls — evaluation never recurses into
+// itself — so the per-pair hot path performs no allocation once warm
+thread_local! {
+    static EVAL_SCRATCH: std::cell::RefCell<EvalScratch> =
+        const { std::cell::RefCell::new(EvalScratch::new()) };
 }
 
 /// Borrowed-or-interned values of a slot.
@@ -605,6 +1045,88 @@ fn lower_similarity(
     }
 }
 
+/// Result of lowering one similarity operator into the bounded-evaluation
+/// tree: its node id plus the estimated cost and comparison count of the
+/// whole subtree.
+struct LoweredNode {
+    node: usize,
+    cost: f64,
+    comparisons: u32,
+}
+
+fn lower_node(
+    operator: &SimilarityOperator,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    source_table: &mut SlotTable,
+    target_table: &mut SlotTable,
+    nodes: &mut Vec<EvalNode>,
+) -> LoweredNode {
+    match operator {
+        SimilarityOperator::Comparison(c) => {
+            let source = source_table.intern(&c.source, source_schema);
+            let target = target_table.intern(&c.target, target_schema);
+            let node = nodes.len();
+            nodes.push(EvalNode::Compare {
+                source,
+                target,
+                function: c.function,
+                threshold: c.threshold,
+            });
+            LoweredNode {
+                node,
+                cost: comparison_cost(c.function, c.threshold),
+                comparisons: 1,
+            }
+        }
+        SimilarityOperator::Aggregation(a) => {
+            let mut children = Vec::with_capacity(a.operators.len());
+            let mut weights = Vec::with_capacity(a.operators.len());
+            let mut costs = Vec::with_capacity(a.operators.len());
+            let mut comparisons = 0u32;
+            let mut cost = 1.0;
+            for child in &a.operators {
+                let lowered = lower_node(
+                    child,
+                    source_schema,
+                    target_schema,
+                    source_table,
+                    target_table,
+                    nodes,
+                );
+                children.push(lowered.node);
+                weights.push(child.weight());
+                costs.push(lowered.cost);
+                comparisons += lowered.comparisons;
+                cost += lowered.cost;
+            }
+            // cheapest-first visit order; the sort is stable, so equal-cost
+            // children keep the rule's original order
+            let mut visit: Vec<usize> = (0..children.len()).collect();
+            visit.sort_by(|&x, &y| costs[x].total_cmp(&costs[y]));
+            // sequential fold in original order, exactly like
+            // `AggregationFunction::evaluate` computes its weight sum
+            let mut weight_sum = 0.0f64;
+            for &weight in &weights {
+                weight_sum += weight.max(1) as f64;
+            }
+            let node = nodes.len();
+            nodes.push(EvalNode::Aggregate {
+                function: a.function,
+                children,
+                weights,
+                visit,
+                weight_sum,
+            });
+            LoweredNode {
+                node,
+                cost,
+                comparisons,
+            }
+        }
+    }
+}
+
 /// Deterministic structural hash of a value operator (property names and
 /// transformation functions, independent of schema indices), shared by both
 /// sides so identical chains hit the same [`ValueCache`] entries.
@@ -690,8 +1212,9 @@ const VALUE_CACHE_SHARD_CAPACITY: usize = 65_536;
 #[derive(Debug, Clone)]
 struct CachedSlot {
     values: Arc<[String]>,
-    /// Value set for Jaccard/Dice, built on first use.
-    set: Option<Arc<HashSet<String>>>,
+    /// Sorted token ids of the value set for Jaccard/Dice, built on first
+    /// use (ids come from the process-wide interner in [`crate::tokens`]).
+    ids: Option<Arc<[u32]>>,
 }
 
 /// Per-entity memo of transformation outputs (and value sets), shared across
@@ -792,18 +1315,21 @@ impl<'e> ValueCache<'e> {
         }
         let slot = shard.entry(key).or_insert(CachedSlot {
             values: values.clone(),
-            set: None,
+            ids: None,
         });
         slot.values.clone()
     }
 
-    /// The memoized value *set* of `(entity, chain)` for set-based measures.
-    pub fn set(
+    /// The memoized sorted token ids of `(entity, chain)` for the set-based
+    /// measures.  The process-wide token interner (see [`crate::tokens`]) is
+    /// only consulted on the miss path here — per-pair evaluation reads the
+    /// cached slice lock-free once it is built.
+    pub fn token_ids(
         &self,
         entity: &'e Entity,
         chain_hash: u64,
         compute_values: impl FnOnce() -> Vec<String>,
-    ) -> Arc<HashSet<String>> {
+    ) -> Arc<[u32]> {
         let key = (entity as *const Entity as usize, chain_hash);
         if let Some(slot) = self
             .shard(&key)
@@ -811,23 +1337,23 @@ impl<'e> ValueCache<'e> {
             .expect("value cache poisoned")
             .get(&key)
         {
-            if let Some(set) = &slot.set {
+            if let Some(ids) = &slot.ids {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return set.clone();
+                return ids.clone();
             }
         }
         // no separate miss counter bump here: the values() call below counts
         // the underlying lookup exactly once (hit if the values were already
         // memoized by a non-set comparison, miss if the slot is cold)
         let values = self.values(entity, chain_hash, compute_values);
-        let set: Arc<HashSet<String>> = Arc::new(values.iter().cloned().collect());
+        let ids: Arc<[u32]> = crate::tokens::sorted_token_ids(&values).into();
         let mut shard = self.shard(&key).lock().expect("value cache poisoned");
         if shard.len() >= VALUE_CACHE_SHARD_CAPACITY {
             shard.clear();
         }
-        let slot = shard.entry(key).or_insert(CachedSlot { values, set: None });
-        slot.set = Some(set.clone());
-        set
+        let slot = shard.entry(key).or_insert(CachedSlot { values, ids: None });
+        slot.ids = Some(ids.clone());
+        ids
     }
 
     /// Number of `(entity, chain)` entries currently memoized.
@@ -1175,6 +1701,219 @@ mod tests {
         // the same chain compiled twice (or inside a rule) hashes equally
         let again = CompiledChain::compile(&chain, &schema);
         assert_eq!(compiled_chain.structural_hash(), again.structural_hash());
+    }
+
+    #[test]
+    fn bounded_matches_exact_on_figure2() {
+        let schema = city_schema();
+        let rule = figure2_rule();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let cache = ValueCache::new();
+        let a = berlin(&schema);
+        let matching = EntityBuilder::new("b:berlin")
+            .value("label", "BERLIN")
+            .value("point", "52.52 13.40")
+            .build(schema.clone());
+        let differing = EntityBuilder::new("b:paris")
+            .value("label", "Paris")
+            .value("point", "48.85 2.35")
+            .build(schema.clone());
+        for other in [&matching, &differing] {
+            let pair = EntityPair::new(&a, other);
+            let exact = compiled.evaluate(&pair, &cache);
+            let bounded = compiled.evaluate_bounded(&pair, &cache, crate::rule::LINK_THRESHOLD);
+            assert_eq!(
+                exact >= crate::rule::LINK_THRESHOLD,
+                bounded >= crate::rule::LINK_THRESHOLD,
+                "classification must match"
+            );
+            assert!(bounded >= exact, "bounded result is an upper bound");
+            if bounded >= crate::rule::LINK_THRESHOLD {
+                assert_eq!(bounded.to_bits(), exact.to_bits(), "links score exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_without_threshold_is_exhaustive() {
+        let schema = city_schema();
+        // weighted mean with a skippable expensive child
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::WeightedMean,
+            vec![
+                compare(
+                    property("label"),
+                    property("label"),
+                    DistanceFunction::Levenshtein,
+                    2.0,
+                ),
+                compare(
+                    property("point"),
+                    property("point"),
+                    DistanceFunction::Equality,
+                    0.5,
+                ),
+            ],
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let cache = ValueCache::new();
+        let a = berlin(&schema);
+        let b = EntityBuilder::new("b")
+            .value("label", "Munich")
+            .value("point", "48.13 11.58")
+            .build(schema.clone());
+        let pair = EntityPair::new(&a, &b);
+        let exact = compiled.evaluate(&pair, &cache);
+        let mut stats = EvalStats::default();
+        let bounded = compiled.evaluate_bounded_two_stats(
+            &a,
+            &b,
+            &cache,
+            &cache,
+            f64::NEG_INFINITY,
+            &mut stats,
+        );
+        assert_eq!(bounded.to_bits(), exact.to_bits());
+        assert_eq!(stats.comparisons_evaluated, 2, "no pruning at -inf");
+        assert_eq!(stats.comparisons_skipped, 0);
+        assert_eq!(stats.pairs_short_circuited, 0);
+    }
+
+    #[test]
+    fn bounded_short_circuits_and_counts_skips() {
+        let schema = city_schema();
+        // min aggregation: the cheap equality comparison fails first and the
+        // expensive geographic one is never evaluated
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::Min,
+            vec![
+                compare(
+                    property("point"),
+                    property("point"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
+                compare(
+                    property("label"),
+                    property("label"),
+                    DistanceFunction::Equality,
+                    0.5,
+                ),
+            ],
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        assert_eq!(compiled.comparison_count(), 2);
+        let cache = ValueCache::new();
+        let a = berlin(&schema);
+        let b = EntityBuilder::new("b")
+            .value("label", "Paris")
+            .value("point", "52.52 13.40")
+            .build(schema.clone());
+        let mut stats = EvalStats::default();
+        let bounded = compiled.evaluate_bounded_two_stats(
+            &a,
+            &b,
+            &cache,
+            &cache,
+            crate::rule::LINK_THRESHOLD,
+            &mut stats,
+        );
+        assert!(bounded < crate::rule::LINK_THRESHOLD);
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(
+            stats.comparisons_evaluated, 1,
+            "equality (cost 1) is visited before geographic (cost 4) and aborts the min"
+        );
+        assert_eq!(stats.comparisons_skipped, 1);
+        assert_eq!(stats.pairs_short_circuited, 1);
+        assert!(stats.skip_rate() > 0.49 && stats.skip_rate() < 0.51);
+    }
+
+    #[test]
+    fn bounded_max_returns_exact_winner() {
+        let schema = city_schema();
+        let rule: LinkageRule = aggregation(
+            AggregationFunction::Max,
+            vec![
+                compare(
+                    property("label"),
+                    property("label"),
+                    DistanceFunction::Levenshtein,
+                    4.0,
+                ),
+                compare(
+                    property("point"),
+                    property("point"),
+                    DistanceFunction::Geographic,
+                    50.0,
+                ),
+            ],
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let cache = ValueCache::new();
+        let a = berlin(&schema);
+        // labels differ by 2 edits (similarity 0.5 < threshold), points match
+        // (similarity 1.0): the max must carry the exact geographic score
+        let b = EntityBuilder::new("b")
+            .value("label", "Berlix!")
+            .value("point", "52.52 13.40")
+            .build(schema.clone());
+        let pair = EntityPair::new(&a, &b);
+        let exact = compiled.evaluate(&pair, &cache);
+        let bounded = compiled.evaluate_bounded(&pair, &cache, crate::rule::LINK_THRESHOLD);
+        assert!(exact >= crate::rule::LINK_THRESHOLD);
+        assert_eq!(bounded.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn token_id_path_matches_tree_walk() {
+        let schema = Arc::new(Schema::new(["tags"]));
+        let a = EntityBuilder::new("a")
+            .value("tags", "jazz")
+            .value("tags", "piano")
+            .value("tags", "live")
+            .build(schema.clone());
+        let b = EntityBuilder::new("b")
+            .value("tags", "jazz")
+            .value("tags", "guitar")
+            .build(schema.clone());
+        for function in [DistanceFunction::Jaccard, DistanceFunction::Dice] {
+            let rule: LinkageRule =
+                compare(property("tags"), property("tags"), function, 0.9).into();
+            let compiled = CompiledRule::compile(&rule, &schema, &schema);
+            let cache = ValueCache::new();
+            let pair = EntityPair::new(&a, &b);
+            assert_eq!(
+                compiled.evaluate(&pair, &cache).to_bits(),
+                rule.evaluate(&pair).to_bits(),
+                "{function} id-merge diverged from the tree walk"
+            );
+        }
+        // size-ratio early exit: 1 shared token out of 1 vs 4 cannot pass a
+        // tight threshold, so the similarity is exactly 0 either way
+        let c = EntityBuilder::new("c")
+            .value("tags", "jazz")
+            .build(schema.clone());
+        let d = EntityBuilder::new("d")
+            .value("tags", "jazz")
+            .value("tags", "bebop")
+            .value("tags", "swing")
+            .value("tags", "cool")
+            .build(schema.clone());
+        let rule: LinkageRule = compare(
+            property("tags"),
+            property("tags"),
+            DistanceFunction::Jaccard,
+            0.2,
+        )
+        .into();
+        let compiled = CompiledRule::compile(&rule, &schema, &schema);
+        let pair = EntityPair::new(&c, &d);
+        assert_eq!(compiled.evaluate(&pair, &ValueCache::new()), 0.0);
+        assert_eq!(rule.evaluate(&pair), 0.0);
     }
 
     #[test]

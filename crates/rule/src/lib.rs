@@ -31,10 +31,13 @@ pub mod operators;
 pub mod render;
 pub mod rule;
 pub mod stats;
+pub mod tokens;
 
 pub use aggregation::AggregationFunction;
 pub use builder::{aggregation, compare, property, transform, RuleBuilder};
-pub use compiled::{ChainValues, CompiledChain, CompiledRule, PinnedValueCache, ValueCache};
+pub use compiled::{
+    ChainValues, CompiledChain, CompiledRule, EvalStats, PinnedValueCache, ValueCache,
+};
 pub use dsl::{parse_rule, print_rule, DslError};
 pub use indexing::{IndexedComparison, IndexingPlan, PlanNode};
 pub use operators::{

@@ -18,6 +18,8 @@ pub mod blocking;
 pub mod date;
 pub mod geo;
 pub mod numeric;
+pub mod scratch;
+pub mod stats;
 pub mod string;
 pub mod token;
 
@@ -25,8 +27,15 @@ pub use blocking::BlockKey;
 pub use date::date_distance;
 pub use geo::{geographic_distance, parse_point};
 pub use numeric::numeric_distance;
-pub use string::{jaro_similarity, jaro_winkler_similarity, levenshtein, levenshtein_bounded};
-pub use token::{dice_distance, dice_distance_sets, jaccard_distance, jaccard_distance_sets};
+pub use stats::KernelCounters;
+pub use string::{
+    jaro_similarity, jaro_winkler_similarity, levenshtein, levenshtein_bounded,
+    levenshtein_bounded_reference,
+};
+pub use token::{
+    dice_distance, dice_distance_sets, dice_ids, jaccard_distance, jaccard_distance_sets,
+    jaccard_ids,
+};
 
 /// The distance functions available to linkage rules.
 ///

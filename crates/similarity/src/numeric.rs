@@ -10,33 +10,50 @@ pub fn parse_number(value: &str) -> Option<f64> {
     if let Ok(v) = trimmed.parse::<f64>() {
         return Some(v);
     }
-    // fall back to scanning for the first number-looking run
-    let mut start = None;
-    let bytes: Vec<char> = trimmed.chars().collect();
-    for (i, c) in bytes.iter().enumerate() {
-        if c.is_ascii_digit() || *c == '-' || *c == '+' {
-            start = Some(i);
-            break;
-        }
-    }
-    let start = start?;
+    // fall back to scanning for the first number-looking run, walking the
+    // char iterator directly (no per-call buffer)
+    let start = trimmed
+        .char_indices()
+        .find(|(_, c)| c.is_ascii_digit() || *c == '-' || *c == '+')
+        .map(|(i, _)| i)?;
     let mut end = start;
     let mut seen_dot = false;
-    for (i, c) in bytes.iter().enumerate().skip(start) {
-        if c.is_ascii_digit() || (i == start && (*c == '-' || *c == '+')) {
-            end = i + 1;
-        } else if *c == '.' && !seen_dot {
+    let mut first = true;
+    for (offset, c) in trimmed[start..].char_indices() {
+        let at = start + offset;
+        if c.is_ascii_digit() || (first && (c == '-' || c == '+')) {
+            end = at + c.len_utf8();
+        } else if c == '.' && !seen_dot {
             seen_dot = true;
-            end = i + 1;
-        } else if *c == ',' {
+            end = at + c.len_utf8();
+        } else if c == ',' {
             // thousands separator: skip it but keep scanning
-            continue;
         } else {
             break;
         }
+        first = false;
     }
-    let candidate: String = bytes[start..end].iter().filter(|c| **c != ',').collect();
-    candidate.parse::<f64>().ok()
+    let run = &trimmed[start..end];
+    if !run.contains(',') {
+        return run.parse::<f64>().ok();
+    }
+    // strip interior thousands separators into a stack buffer; numbers with
+    // more than 64 significant bytes don't occur in practice, but fall back
+    // to an owned string rather than truncating if they do
+    let mut buf = [0u8; 64];
+    let mut len = 0usize;
+    for &byte in run.as_bytes() {
+        if byte == b',' {
+            continue;
+        }
+        if len == buf.len() {
+            let candidate: String = run.chars().filter(|c| *c != ',').collect();
+            return candidate.parse::<f64>().ok();
+        }
+        buf[len] = byte;
+        len += 1;
+    }
+    std::str::from_utf8(&buf[..len]).ok()?.parse::<f64>().ok()
 }
 
 /// The numeric difference `|a − b|` of Table 2.  Unparseable values yield an

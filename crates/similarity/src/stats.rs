@@ -1,0 +1,147 @@
+//! Process-wide kernel dispatch counters.
+//!
+//! The string kernels dispatch between a bit-parallel/byte fast path (ASCII
+//! inputs) and the character-level reference implementations (non-ASCII
+//! inputs).  These counters record which path ran so benches and reports can
+//! verify that real workloads actually hit the fast kernels — a dataset that
+//! silently falls back to the DP oracle would otherwise look like a plain
+//! regression.
+//!
+//! The counters are relaxed atomics: cheap enough for the hot path, and the
+//! consumers (MatchingReport, IterationStats, bench gates) only need
+//! monotone process-level deltas, not per-thread attribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LEVENSHTEIN_BIT_PARALLEL: AtomicU64 = AtomicU64::new(0);
+static LEVENSHTEIN_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static JARO_FAST: AtomicU64 = AtomicU64::new(0);
+static JARO_FALLBACK: AtomicU64 = AtomicU64::new(0);
+static TOKEN_ID_MERGE: AtomicU64 = AtomicU64::new(0);
+static TOKEN_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn count_levenshtein_bit_parallel() {
+    LEVENSHTEIN_BIT_PARALLEL.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_levenshtein_fallback() {
+    LEVENSHTEIN_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_jaro_fast() {
+    JARO_FAST.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_jaro_fallback() {
+    JARO_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_token_id_merge() {
+    TOKEN_ID_MERGE.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count_token_fallback() {
+    TOKEN_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the cumulative kernel dispatch counters.  Monotone;
+/// subtract two snapshots with [`KernelCounters::since`] to attribute counts
+/// to a job or learning run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Levenshtein calls answered by the Myers bit-parallel kernel.
+    pub levenshtein_bit_parallel: u64,
+    /// Levenshtein calls that fell back to the character DP (non-ASCII).
+    pub levenshtein_fallback: u64,
+    /// Jaro/Jaro-Winkler calls answered by the byte fast path.
+    pub jaro_fast: u64,
+    /// Jaro/Jaro-Winkler calls that fell back to the character path.
+    pub jaro_fallback: u64,
+    /// Jaccard/Dice evaluations answered by the sorted-id merge kernel.
+    pub token_id_merge: u64,
+    /// Jaccard/Dice evaluations through the hash-set/string paths.
+    pub token_fallback: u64,
+}
+
+impl KernelCounters {
+    /// The current cumulative counters.
+    pub fn snapshot() -> Self {
+        KernelCounters {
+            levenshtein_bit_parallel: LEVENSHTEIN_BIT_PARALLEL.load(Ordering::Relaxed),
+            levenshtein_fallback: LEVENSHTEIN_FALLBACK.load(Ordering::Relaxed),
+            jaro_fast: JARO_FAST.load(Ordering::Relaxed),
+            jaro_fallback: JARO_FALLBACK.load(Ordering::Relaxed),
+            token_id_merge: TOKEN_ID_MERGE.load(Ordering::Relaxed),
+            token_fallback: TOKEN_FALLBACK.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The counts accumulated since an `earlier` snapshot.
+    pub fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            levenshtein_bit_parallel: self
+                .levenshtein_bit_parallel
+                .saturating_sub(earlier.levenshtein_bit_parallel),
+            levenshtein_fallback: self
+                .levenshtein_fallback
+                .saturating_sub(earlier.levenshtein_fallback),
+            jaro_fast: self.jaro_fast.saturating_sub(earlier.jaro_fast),
+            jaro_fallback: self.jaro_fallback.saturating_sub(earlier.jaro_fallback),
+            token_id_merge: self.token_id_merge.saturating_sub(earlier.token_id_merge),
+            token_fallback: self.token_fallback.saturating_sub(earlier.token_fallback),
+        }
+    }
+
+    /// Total fast-path kernel invocations in this snapshot.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.levenshtein_bit_parallel + self.jaro_fast + self.token_id_merge
+    }
+
+    /// Total fallback (reference-path) invocations in this snapshot.
+    pub fn fallback_hits(&self) -> u64 {
+        self.levenshtein_fallback + self.jaro_fallback + self.token_fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let earlier = KernelCounters {
+            levenshtein_bit_parallel: 10,
+            jaro_fast: 2,
+            ..KernelCounters::default()
+        };
+        let later = KernelCounters {
+            levenshtein_bit_parallel: 25,
+            jaro_fast: 2,
+            token_id_merge: 7,
+            ..KernelCounters::default()
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.levenshtein_bit_parallel, 15);
+        assert_eq!(delta.jaro_fast, 0);
+        assert_eq!(delta.token_id_merge, 7);
+        assert_eq!(delta.fast_path_hits(), 22);
+        assert_eq!(delta.fallback_hits(), 0);
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let before = KernelCounters::snapshot();
+        count_levenshtein_bit_parallel();
+        count_token_id_merge();
+        let after = KernelCounters::snapshot();
+        let delta = after.since(&before);
+        assert!(delta.levenshtein_bit_parallel >= 1);
+        assert!(delta.token_id_merge >= 1);
+    }
+}

@@ -3,11 +3,84 @@
 //! These measures operate on the *value sets* directly.  In the linkage rules
 //! of the paper they are typically combined with a preceding `tokenize`
 //! transformation, so each value is a single token.
+//!
+//! All variants bottom out in one core: the intersection/union counts of two
+//! **sorted, deduplicated slices**, computed by a linear merge
+//! ([`sorted_overlap`]).  The compiled evaluator lowers each entity's token
+//! set once to sorted interned `u32` ids and calls [`jaccard_ids`] /
+//! [`dice_ids`] — a branch-light merge with zero per-pair allocation.  The
+//! string-slice entry points (`jaccard_distance`, `dice_distance`, the
+//! `_values` tokenising variants) are thin wrappers that sort-dedup their
+//! inputs and reuse the same core, and the `HashSet` variants are retained
+//! for pre-built sets; every variant computes identical counts and evaluates
+//! the same final expression, so they agree bit-for-bit.
 
 use std::collections::HashSet;
 
-fn to_set(values: &[String]) -> HashSet<&str> {
-    values.iter().map(|s| s.as_str()).collect()
+use crate::stats;
+
+/// Intersection and union sizes of two sorted, deduplicated slices, by
+/// linear merge.
+///
+/// Returns `(intersection, union)`.  With both inputs strictly increasing
+/// the counts equal the set-theoretic sizes, so every distance built on top
+/// matches its hash-set counterpart exactly.
+pub fn sorted_overlap<T: Ord>(a: &[T], b: &[T]) -> (usize, usize) {
+    let mut intersection = 0usize;
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                intersection += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (intersection, a.len() + b.len() - intersection)
+}
+
+/// Jaccard distance `1 − |A ∩ B| / |A ∪ B|` over sorted, deduplicated token
+/// ids — the compiled evaluator's kernel.
+///
+/// Both slices must be strictly increasing (the interned token-id slices
+/// cached per entity are).  Empty-set conventions match the string variants:
+/// both empty → 0, exactly one empty → 1.
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    stats::count_token_id_merge();
+    let (intersection, union) = sorted_overlap(a, b);
+    1.0 - intersection as f64 / union as f64
+}
+
+/// Dice distance `1 − 2|A ∩ B| / (|A| + |B|)` over sorted, deduplicated
+/// token ids (see [`jaccard_ids`]).
+pub fn dice_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    stats::count_token_id_merge();
+    let (intersection, _) = sorted_overlap(a, b);
+    1.0 - 2.0 * intersection as f64 / (a.len() + b.len()) as f64
+}
+
+/// Sort-dedup a borrowed token list so the merge core applies.
+fn sorted_tokens<'a>(values: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    let mut tokens: Vec<&str> = values.collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
 }
 
 /// Jaccard distance between two value sets: `1 − |A ∩ B| / |A ∪ B|`.
@@ -18,11 +91,11 @@ pub fn jaccard_distance(a: &[String], b: &[String]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 1.0;
     }
-    let sa = to_set(a);
-    let sb = to_set(b);
-    let intersection = sa.intersection(&sb).count() as f64;
-    let union = sa.union(&sb).count() as f64;
-    1.0 - intersection / union
+    stats::count_token_fallback();
+    let ta = sorted_tokens(a.iter().map(|s| s.as_str()));
+    let tb = sorted_tokens(b.iter().map(|s| s.as_str()));
+    let (intersection, union) = sorted_overlap(&ta, &tb);
+    1.0 - intersection as f64 / union as f64
 }
 
 /// Dice distance between two value sets: `1 − 2|A ∩ B| / (|A| + |B|)`.
@@ -33,18 +106,18 @@ pub fn dice_distance(a: &[String], b: &[String]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 1.0;
     }
-    let sa = to_set(a);
-    let sb = to_set(b);
-    let intersection = sa.intersection(&sb).count() as f64;
-    1.0 - 2.0 * intersection / (sa.len() + sb.len()) as f64
+    stats::count_token_fallback();
+    let ta = sorted_tokens(a.iter().map(|s| s.as_str()));
+    let tb = sorted_tokens(b.iter().map(|s| s.as_str()));
+    let (intersection, _) = sorted_overlap(&ta, &tb);
+    1.0 - 2.0 * intersection as f64 / (ta.len() + tb.len()) as f64
 }
 
 /// Jaccard distance between two pre-built value sets.
 ///
-/// The compiled evaluator caches the `HashSet` per `(entity, value operator)`
-/// so repeated pair evaluations skip the set construction; the counts (and
+/// Retained for callers that already hold `HashSet`s; the counts (and
 /// therefore the result) are exactly those of [`jaccard_distance`] on the
-/// underlying value slices.
+/// underlying value slices and of [`jaccard_ids`] on the interned ids.
 pub fn jaccard_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
@@ -52,13 +125,14 @@ pub fn jaccard_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 1.0;
     }
-    let intersection = a.iter().filter(|v| b.contains(*v)).count() as f64;
-    let union = (a.len() + b.len()) as f64 - intersection;
-    1.0 - intersection / union
+    stats::count_token_fallback();
+    let intersection = a.iter().filter(|v| b.contains(*v)).count();
+    let union = a.len() + b.len() - intersection;
+    1.0 - intersection as f64 / union as f64
 }
 
 /// Dice distance between two pre-built value sets (see
-/// [`jaccard_distance_sets`] for the caching rationale).
+/// [`jaccard_distance_sets`]).
 pub fn dice_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
@@ -66,24 +140,41 @@ pub fn dice_distance_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 1.0;
     }
-    let intersection = a.iter().filter(|v| b.contains(*v)).count() as f64;
-    1.0 - 2.0 * intersection / (a.len() + b.len()) as f64
+    stats::count_token_fallback();
+    let intersection = a.iter().filter(|v| b.contains(*v)).count();
+    1.0 - 2.0 * intersection as f64 / (a.len() + b.len()) as f64
 }
 
 /// Jaccard distance between two *single* values interpreted as whitespace
 /// separated token bags (used when the measure is applied without a previous
 /// `tokenize` transformation).
 pub fn jaccard_distance_values(a: &str, b: &str) -> f64 {
-    let ta: Vec<String> = a.split_whitespace().map(|s| s.to_string()).collect();
-    let tb: Vec<String> = b.split_whitespace().map(|s| s.to_string()).collect();
-    jaccard_distance(&ta, &tb)
+    let ta = sorted_tokens(a.split_whitespace());
+    let tb = sorted_tokens(b.split_whitespace());
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 1.0;
+    }
+    stats::count_token_fallback();
+    let (intersection, union) = sorted_overlap(&ta, &tb);
+    1.0 - intersection as f64 / union as f64
 }
 
 /// Dice distance between two single values interpreted as token bags.
 pub fn dice_distance_values(a: &str, b: &str) -> f64 {
-    let ta: Vec<String> = a.split_whitespace().map(|s| s.to_string()).collect();
-    let tb: Vec<String> = b.split_whitespace().map(|s| s.to_string()).collect();
-    dice_distance(&ta, &tb)
+    let ta = sorted_tokens(a.split_whitespace());
+    let tb = sorted_tokens(b.split_whitespace());
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 1.0;
+    }
+    stats::count_token_fallback();
+    let (intersection, _) = sorted_overlap(&ta, &tb);
+    1.0 - 2.0 * intersection as f64 / (ta.len() + tb.len()) as f64
 }
 
 #[cfg(test)]
@@ -131,6 +222,18 @@ mod tests {
     }
 
     #[test]
+    fn id_kernels_known_values() {
+        assert_eq!(jaccard_ids(&[1, 2], &[1, 2]), 0.0);
+        assert_eq!(jaccard_ids(&[1], &[2]), 1.0);
+        assert!((jaccard_ids(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_ids(&[], &[]), 0.0);
+        assert_eq!(jaccard_ids(&[7], &[]), 1.0);
+        assert_eq!(dice_ids(&[], &[]), 0.0);
+        assert_eq!(dice_ids(&[], &[7]), 1.0);
+        assert!((dice_ids(&[1, 2, 3], &[2, 3, 4]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn value_level_variants_tokenize_on_whitespace() {
         assert_eq!(
             jaccard_distance_values("new york times", "times new york"),
@@ -138,6 +241,33 @@ mod tests {
         );
         assert!(jaccard_distance_values("new york", "los angeles") > 0.99);
         assert_eq!(dice_distance_values("a b", "b a"), 0.0);
+    }
+
+    /// Maps distinct tokens to distinct ids with order preserved, mirroring
+    /// what an interner produces for these inputs.
+    fn as_sorted_ids(tokens: &[String]) -> Vec<u32> {
+        let mut seen: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        (0..seen.len() as u32).collect()
+    }
+
+    /// Shared ids across two token lists: intern over the union so equal
+    /// tokens on both sides get equal ids.
+    fn intern_pair(a: &[String], b: &[String]) -> (Vec<u32>, Vec<u32>) {
+        let mut vocab: Vec<&str> = a.iter().chain(b.iter()).map(|s| s.as_str()).collect();
+        vocab.sort_unstable();
+        vocab.dedup();
+        let lookup = |tokens: &[String]| {
+            let mut ids: Vec<u32> = tokens
+                .iter()
+                .map(|t| vocab.binary_search(&t.as_str()).unwrap() as u32)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        (lookup(a), lookup(b))
     }
 
     proptest! {
@@ -164,6 +294,37 @@ mod tests {
         fn identical_sets_have_zero_distance(a in proptest::collection::vec("[a-z]{1,3}", 0..6)) {
             prop_assert_eq!(jaccard_distance(&a, &a), 0.0);
             prop_assert_eq!(dice_distance(&a, &a), 0.0);
+            let ids = as_sorted_ids(&a);
+            prop_assert_eq!(jaccard_ids(&ids, &ids), 0.0);
+            prop_assert_eq!(dice_ids(&ids, &ids), 0.0);
+        }
+
+        /// The sorted-id kernels agree bit-for-bit with the HashSet and
+        /// string-slice variants over random multisets.
+        #[test]
+        fn id_kernels_match_hashset_variants(
+            a in proptest::collection::vec("[a-e]{1,2}", 0..8),
+            b in proptest::collection::vec("[a-e]{1,2}", 0..8),
+        ) {
+            let (ia, ib) = intern_pair(&a, &b);
+            let sa: HashSet<String> = a.iter().cloned().collect();
+            let sb: HashSet<String> = b.iter().cloned().collect();
+            prop_assert_eq!(
+                jaccard_ids(&ia, &ib).to_bits(),
+                jaccard_distance_sets(&sa, &sb).to_bits()
+            );
+            prop_assert_eq!(
+                dice_ids(&ia, &ib).to_bits(),
+                dice_distance_sets(&sa, &sb).to_bits()
+            );
+            prop_assert_eq!(
+                jaccard_ids(&ia, &ib).to_bits(),
+                jaccard_distance(&a, &b).to_bits()
+            );
+            prop_assert_eq!(
+                dice_ids(&ia, &ib).to_bits(),
+                dice_distance(&a, &b).to_bits()
+            );
         }
     }
 }

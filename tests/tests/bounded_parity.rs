@@ -1,0 +1,276 @@
+//! Property-based parity for the score-bounded evaluator: short-circuit
+//! evaluation never changes a classification, and every pair that classifies
+//! as a link scores bit-identically to exhaustive evaluation.
+//!
+//! The bounded contract (see `crates/rule/src/compiled.rs` and DESIGN.md) is
+//! that `evaluate_bounded(pair, cache, θ)` returns an upper bound of the
+//! exhaustive score which is *exact* whenever it lands at or above θ.  Scores
+//! are therefore allowed to differ only for pairs both sides classify as
+//! "no link" — which is precisely what these tests pin down over random
+//! GP-shaped rules on the Cora and Restaurant datasets.
+
+use genlink::random::RandomRuleGenerator;
+use genlink::{CompatiblePair, CrossoverOperator, RepresentationMode};
+use linkdisc_datasets::DatasetKind;
+use linkdisc_entity::EntityPair;
+use linkdisc_evaluation::{evaluate_compiled, evaluate_compiled_stats, evaluate_rule};
+use linkdisc_rule::{
+    CompiledRule, DistanceFunction, EvalStats, LinkageRule, ValueCache, LINK_THRESHOLD,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compatible pairs over the Cora schema, mirroring `compiled_parity.rs` so
+/// the rule sample exercises every distance function the generator offers.
+fn cora_pairs() -> Vec<CompatiblePair> {
+    let functions = [
+        DistanceFunction::Levenshtein,
+        DistanceFunction::Jaccard,
+        DistanceFunction::Numeric,
+        DistanceFunction::Date,
+        DistanceFunction::Dice,
+        DistanceFunction::Equality,
+    ];
+    ["title", "author", "venue", "date"]
+        .iter()
+        .enumerate()
+        .map(|(i, property)| CompatiblePair {
+            source_property: property.to_string(),
+            target_property: property.to_string(),
+            function: functions[i % functions.len()],
+            support: 0.5,
+        })
+        .collect()
+}
+
+#[test]
+fn bounded_classification_matches_exhaustive_on_1000_cora_combinations() {
+    let dataset = DatasetKind::Cora.generate(0.1, 17);
+    let source_entities = dataset.source.entities();
+    let target_entities = dataset.target.entities();
+    let resolved = linkdisc_entity::ResolvedReferenceLinks::resolve(
+        &dataset.links,
+        &dataset.source,
+        &dataset.target,
+    );
+    let positives = resolved.positive();
+    assert!(!positives.is_empty());
+
+    let mut generator = RandomRuleGenerator::new(cora_pairs(), RepresentationMode::Full);
+    generator.transformation_probability = 0.6;
+    let mut rng = StdRng::seed_from_u64(90125);
+
+    let cache = ValueCache::new();
+    let mut stats = EvalStats::default();
+    let mut combinations = 0usize;
+    let mut links = 0usize;
+    for rule_index in 0..60 {
+        // every third rule is a crossover offspring of two random rules, so
+        // the sample includes deeper aggregation trees (the only place
+        // short-circuiting can fire) than the generator alone produces
+        let rule: LinkageRule = if rule_index % 3 == 2 {
+            let a = generator.generate(&mut rng);
+            let b = generator.generate(&mut rng);
+            let operator =
+                CrossoverOperator::SPECIALIZED[rule_index % CrossoverOperator::SPECIALIZED.len()];
+            operator.apply(&a, &b, &mut rng)
+        } else {
+            generator.generate(&mut rng)
+        };
+        let compiled =
+            CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+        for pair_index in 0..20 {
+            // half resolved matches, half random cross-product pairs, so both
+            // the link and the (prunable) no-link paths are exercised
+            let pair = if pair_index % 2 == 0 {
+                positives[rng.gen_range(0..positives.len())]
+            } else {
+                EntityPair::new(
+                    &source_entities[rng.gen_range(0..source_entities.len())],
+                    &target_entities[rng.gen_range(0..target_entities.len())],
+                )
+            };
+            let exhaustive = compiled.evaluate(&pair, &cache);
+            let bounded = compiled.evaluate_bounded_two_stats(
+                pair.source,
+                pair.target,
+                &cache,
+                &cache,
+                LINK_THRESHOLD,
+                &mut stats,
+            );
+            // classification is identical...
+            assert_eq!(
+                exhaustive >= LINK_THRESHOLD,
+                bounded >= LINK_THRESHOLD,
+                "classification flipped for {rule:?} on ({}, {}): exhaustive {exhaustive} vs bounded {bounded}",
+                pair.source.id(),
+                pair.target.id(),
+            );
+            // ...the bounded score never underestimates...
+            assert!(
+                bounded >= exhaustive,
+                "bounded score {bounded} below exhaustive {exhaustive} for {rule:?}"
+            );
+            // ...and every link scores bit-for-bit like the exhaustive path
+            if bounded >= LINK_THRESHOLD {
+                assert_eq!(
+                    exhaustive.to_bits(),
+                    bounded.to_bits(),
+                    "linked score not exact for {rule:?} on ({}, {})",
+                    pair.source.id(),
+                    pair.target.id(),
+                );
+                links += 1;
+            }
+            combinations += 1;
+        }
+    }
+    assert!(combinations >= 1000, "only {combinations} combinations");
+    assert!(
+        links > 50,
+        "only {links} links exercised the exactness path"
+    );
+    assert_eq!(stats.pairs, combinations as u64);
+    assert!(
+        stats.comparisons_skipped > 0,
+        "the random-rule sample never short-circuited — pruning is dead"
+    );
+    assert!(stats.comparisons_evaluated > 0);
+}
+
+#[test]
+fn disabled_bound_reproduces_exhaustive_bit_for_bit() {
+    // θ = -∞ disables every prune, so the bounded evaluator must *be* the
+    // exhaustive evaluator, not merely agree with it at the threshold
+    let dataset = DatasetKind::Restaurant.generate(0.2, 5);
+    let source_entities = dataset.source.entities();
+    let target_entities = dataset.target.entities();
+    let mut generator = RandomRuleGenerator::new(cora_restaurant_pairs(), RepresentationMode::Full);
+    generator.transformation_probability = 0.5;
+    let mut rng = StdRng::seed_from_u64(7);
+    let cache = ValueCache::new();
+    for _ in 0..40 {
+        let rule = generator.generate(&mut rng);
+        let compiled =
+            CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+        for _ in 0..10 {
+            let pair = EntityPair::new(
+                &source_entities[rng.gen_range(0..source_entities.len())],
+                &target_entities[rng.gen_range(0..target_entities.len())],
+            );
+            let exhaustive = compiled.evaluate(&pair, &cache);
+            let bounded = compiled.evaluate_bounded(&pair, &cache, f64::NEG_INFINITY);
+            assert_eq!(
+                exhaustive.to_bits(),
+                bounded.to_bits(),
+                "θ=-∞ diverged for {rule:?}"
+            );
+        }
+    }
+}
+
+/// Compatible pairs over the Restaurant schema (name/address/city/type).
+fn cora_restaurant_pairs() -> Vec<CompatiblePair> {
+    let functions = [
+        DistanceFunction::Levenshtein,
+        DistanceFunction::Jaccard,
+        DistanceFunction::JaroWinkler,
+        DistanceFunction::Dice,
+    ];
+    ["name", "address", "city", "type"]
+        .iter()
+        .enumerate()
+        .map(|(i, property)| CompatiblePair {
+            source_property: property.to_string(),
+            target_property: property.to_string(),
+            function: functions[i % functions.len()],
+            support: 0.5,
+        })
+        .collect()
+}
+
+#[test]
+fn bounded_confusion_matrices_match_oracle_on_restaurant_links() {
+    let dataset = DatasetKind::Restaurant.generate(0.2, 5);
+    let resolved = linkdisc_entity::ResolvedReferenceLinks::resolve(
+        &dataset.links,
+        &dataset.source,
+        &dataset.target,
+    );
+    let mut generator = RandomRuleGenerator::new(cora_restaurant_pairs(), RepresentationMode::Full);
+    generator.transformation_probability = 0.5;
+    let mut rng = StdRng::seed_from_u64(11);
+    let cache = ValueCache::new();
+    let mut stats = EvalStats::default();
+    for _ in 0..25 {
+        let rule = generator.generate(&mut rng);
+        let compiled =
+            CompiledRule::compile(&rule, dataset.source.schema(), dataset.target.schema());
+        let oracle = evaluate_rule(&rule, &resolved);
+        let bounded = evaluate_compiled_stats(&compiled, &resolved, &cache, &mut stats);
+        assert_eq!(oracle, bounded, "matrices diverged for {rule:?}");
+        // evaluate_compiled now routes through the bounded path too
+        assert_eq!(oracle, evaluate_compiled(&compiled, &resolved, &cache));
+    }
+    assert!(stats.pairs > 0);
+    assert!(
+        stats.skip_rate() > 0.0,
+        "reference-link scoring never short-circuited"
+    );
+}
+
+#[test]
+fn learned_restaurant_rule_short_circuits_without_changing_links() {
+    // end-to-end: learn a rule the way the experiments do, then check the
+    // bounded evaluator agrees with the exhaustive one on every pair of the
+    // full cross product while skipping a meaningful share of comparisons
+    let dataset = DatasetKind::Restaurant.generate(0.1, 3);
+    let config = genlink::GenLinkConfig {
+        gp: {
+            let mut gp = genlink::GenLinkConfig::paper().gp;
+            gp.population_size = 40;
+            gp.max_iterations = 6;
+            gp.threads = 1;
+            gp
+        },
+        ..genlink::GenLinkConfig::paper()
+    };
+    let learner = genlink::GenLink::new(config);
+    let outcome = learner.learn(&dataset.source, &dataset.target, &dataset.links, 42);
+    let rule = &outcome.rule;
+    assert!(!rule.is_empty(), "learning produced an empty rule");
+    let compiled = CompiledRule::compile(rule, dataset.source.schema(), dataset.target.schema());
+    let cache = ValueCache::new();
+    let mut stats = EvalStats::default();
+    let mut links = 0usize;
+    for source in dataset.source.entities() {
+        for target in dataset.target.entities() {
+            let pair = EntityPair::new(source, target);
+            let exhaustive = compiled.evaluate(&pair, &cache);
+            let bounded = compiled.evaluate_bounded_two_stats(
+                source,
+                target,
+                &cache,
+                &cache,
+                LINK_THRESHOLD,
+                &mut stats,
+            );
+            assert_eq!(exhaustive >= LINK_THRESHOLD, bounded >= LINK_THRESHOLD);
+            if bounded >= LINK_THRESHOLD {
+                assert_eq!(exhaustive.to_bits(), bounded.to_bits());
+                links += 1;
+            }
+        }
+    }
+    assert!(links > 0, "the learned rule linked nothing");
+    // learned rules aggregate several comparisons, so the cross product —
+    // overwhelmingly non-matches — must short-circuit often; the >20%
+    // performance gate lives in bench_eval, this only pins the mechanism
+    if compiled.comparison_count() > 1 {
+        assert!(
+            stats.comparisons_skipped > 0,
+            "no comparison skipped across the whole cross product"
+        );
+    }
+}
